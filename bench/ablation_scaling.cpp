@@ -1,0 +1,84 @@
+// Ablation / Sec. VI-A methodology: pinpointing scalability bottlenecks by
+// scaling and differencing call path profiles from a pair of executions
+// (Coarfa et al. [3], used by the paper to motivate derived metrics).
+//
+// A strong-scaled subsurface solver is run on P and 2P ranks; under ideal
+// strong scaling the rank-aggregated cycles of every scope are conserved.
+// The serial setup phase doubles instead — the scaling-loss metric must
+// rank it first and a hot path over the loss column must land on it.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "pathview/analysis/scaling.hpp"
+#include "pathview/prof/merge.hpp"
+#include "pathview/sim/parallel_runner.hpp"
+#include "pathview/support/format.hpp"
+#include "pathview/workloads/subsurface.hpp"
+
+using namespace pathview;
+
+namespace {
+
+prof::CanonicalCct run_merged(workloads::SubsurfaceWorkload& w,
+                              std::uint32_t nranks) {
+  sim::ParallelConfig pc;
+  pc.nranks = nranks;
+  pc.base = w.run;
+  const auto raws = sim::run_parallel(*w.program, *w.lowering, pc);
+  return prof::merge_all(prof::correlate_all(raws, *w.tree));
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint32_t kBase = 4, kScaled = 8;
+  // One workload object: both runs must share the structure tree.
+  workloads::SubsurfaceWorkload w =
+      workloads::make_subsurface(kScaled, 42, /*strong_scale_base=*/kBase);
+
+  const prof::CanonicalCct base = run_merged(w, kBase);
+  const prof::CanonicalCct scaled = run_merged(w, kScaled);
+
+  const analysis::ScalingAnalysis sa =
+      analysis::analyze_scaling(base, kBase, scaled, kScaled,
+                                model::Event::kCycles);
+
+  // Walk the loss column: hot path by maximal positive loss.
+  const prof::CanonicalCct& u = *sa.cct;
+  std::puts("hot path over the scaling-loss column:");
+  prof::CctNodeId cur = u.root();
+  prof::CctNodeId last_named = u.root();
+  for (;;) {
+    prof::CctNodeId best = prof::kCctNull;
+    double best_v = 0;
+    for (prof::CctNodeId c : u.node(cur).children) {
+      const double v = sa.table.get(sa.loss_col, c);
+      if (best == prof::kCctNull || v > best_v) {
+        best = c;
+        best_v = v;
+      }
+    }
+    if (best == prof::kCctNull ||
+        best_v < 0.5 * sa.table.get(sa.loss_col, cur))
+      break;
+    cur = best;
+    last_named = cur;
+    std::printf("  %s  (loss %s)\n", u.label(cur).c_str(),
+                format_scientific(best_v).c_str());
+  }
+
+  const double root_loss = sa.table.get(sa.loss_col, u.root());
+  const double root_base = sa.table.get(sa.base_col, u.root());
+
+  bench::Report rep("Scaling-loss ablation (strong-scaled PFLOTRAN)");
+  rep.info("aggregate base cycles", root_base);
+  rep.info("aggregate scaling loss", root_loss);
+  rep.row("loss is a small fraction of the run (serial part only)", 1,
+          root_loss > 0 && root_loss < 0.25 * root_base ? 1 : 0, 0);
+  rep.row("loss drill-down ends at the serial setup statement", 1,
+          u.label(last_named).find("pflotran.F90: 6") != std::string::npos
+              ? 1
+              : 0,
+          0);
+  return rep.exit_code();
+}

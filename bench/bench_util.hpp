@@ -1,0 +1,41 @@
+// Shared helpers for the per-figure reproduction harnesses: each bench
+// prints the paper-claimed value next to the measured value and returns a
+// nonzero exit code when a measurement falls outside its tolerance band.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace pathview::bench {
+
+class Report {
+ public:
+  explicit Report(const std::string& title) {
+    std::printf("==== %s ====\n", title.c_str());
+    std::printf("%-58s %12s %12s %8s\n", "quantity", "paper", "measured",
+                "ok?");
+  }
+
+  /// Record one row; `tol` is the allowed absolute deviation.
+  void row(const std::string& what, double paper, double measured,
+           double tol) {
+    const bool ok = std::fabs(measured - paper) <= tol;
+    std::printf("%-58s %12.3f %12.3f %8s\n", what.c_str(), paper, measured,
+                ok ? "yes" : "NO");
+    failed_ |= !ok;
+  }
+
+  /// Informational row without a pass/fail band.
+  void info(const std::string& what, double measured) {
+    std::printf("%-58s %12s %12.3f\n", what.c_str(), "-", measured);
+  }
+
+  /// Exit code for main(): 0 iff every row was within tolerance.
+  int exit_code() const { return failed_ ? 1 : 0; }
+
+ private:
+  bool failed_ = false;
+};
+
+}  // namespace pathview::bench

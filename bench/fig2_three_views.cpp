@@ -1,0 +1,122 @@
+// Reproduction of the paper's Fig. 2: the three views of the Fig. 1 example
+// program, each annotated with inclusive/exclusive costs. Prints all three
+// rendered trees and checks every one of the figure's values.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "pathview/core/callers_view.hpp"
+#include "pathview/core/cct_view.hpp"
+#include "pathview/core/flat_view.hpp"
+#include "pathview/metrics/attribution.hpp"
+#include "pathview/model/source_renderer.hpp"
+#include "pathview/prof/correlate.hpp"
+#include "pathview/ui/tree_table.hpp"
+#include "pathview/workloads/paper_example.hpp"
+
+using namespace pathview;
+
+namespace {
+
+core::ViewNodeId find_node(core::View& v, core::ViewNodeId at,
+                           const std::string& label, double incl,
+                           metrics::ColumnId col, int role) {
+  if (v.label(at) == label && v.table().get(col, at) == incl &&
+      (role < 0 || static_cast<int>(v.node(at).role) == role))
+    return at;
+  for (core::ViewNodeId c : v.children_of(at)) {
+    const core::ViewNodeId r = find_node(v, c, label, incl, col, role);
+    if (r != core::kViewNull) return r;
+  }
+  return core::kViewNull;
+}
+
+void check(bench::Report& rep, core::View& v, const metrics::Attribution& a,
+           const std::string& label, double incl, double excl,
+           int role = -1) {
+  const metrics::ColumnId ic = a.cols.inclusive(model::Event::kCycles);
+  const metrics::ColumnId ec = a.cols.exclusive(model::Event::kCycles);
+  const core::ViewNodeId n = find_node(v, v.root(), label, incl, ic, role);
+  if (n == core::kViewNull) {
+    rep.row(label + " (node found)", 1, 0, 0);
+    return;
+  }
+  rep.row(label + " inclusive", incl, v.table().get(ic, n), 0);
+  rep.row(label + " exclusive", excl, v.table().get(ec, n), 0);
+}
+
+void render(core::View& v) {
+  ui::ExpansionState exp;
+  for (core::ViewNodeId id = 0; id < v.size(); ++id) {
+    // Fully expand (materializes the lazy Callers View).
+    (void)v.children_of(id);
+    exp.expand(id);
+  }
+  ui::TreeTableOptions opts;
+  std::fputs(render_tree_table(v, exp, opts).c_str(), stdout);
+  std::puts("");
+}
+
+}  // namespace
+
+int main() {
+  workloads::PaperExample ex;
+
+  // Fig. 1: the example program's two files (pseudo-source rendering).
+  std::puts("--- Fig. 1: example program ---");
+  for (model::FileId f = 0; f < ex.program().files().size(); ++f) {
+    std::printf("%s:\n", ex.program().file_name(f).c_str());
+    const auto lines = model::render_source(ex.program(), f);
+    for (std::size_t i = 0; i < lines.size(); ++i)
+      if (!lines[i].empty())
+        std::printf("  %2zu  %s\n", i + 1, lines[i].c_str());
+    std::puts("");
+  }
+  const prof::CanonicalCct cct = prof::correlate(ex.profile(), ex.tree());
+  const metrics::Attribution attr =
+      metrics::attribute_metrics(cct, std::array{model::Event::kCycles});
+
+  core::CctView cv(cct, attr);
+  core::CallersView av(cct, attr);
+  core::FlatView fv(cct, attr);
+
+  std::puts("--- Fig. 2a: Calling Context View (top-down) ---");
+  render(cv);
+  std::puts("--- Fig. 2b: Callers View (bottom-up) ---");
+  render(av);
+  std::puts("--- Fig. 2c: Flat View (static) ---");
+  render(fv);
+
+  bench::Report rep("Fig. 2 golden values (inclusive/exclusive cycles)");
+  // 2a — note: find_node keys on (label, inclusive), so recursion instances
+  // g1/g2/g3 are disambiguated by their inclusive costs.
+  check(rep, cv, attr, "m", 10, 0);
+  check(rep, cv, attr, "f", 7, 1);
+  check(rep, cv, attr, "g", 6, 1);   // g1
+  check(rep, cv, attr, "g", 5, 1);   // g2 (first match is g1's subtree: g2)
+  check(rep, cv, attr, "g", 3, 3);   // g3
+  check(rep, cv, attr, "h", 4, 4);
+  check(rep, cv, attr, "loop at file2.c: 8", 4, 0);
+  check(rep, cv, attr, "loop at file2.c: 9", 4, 4);
+  // 2b
+  check(rep, av, attr, "g", 9, 4);   // g_a root
+  check(rep, av, attr, "f", 7, 1);   // f_a root
+  check(rep, av, attr, "m", 10, 0);
+  check(rep, av, attr, "f", 6, 1);   // f_b caller of g
+  check(rep, av, attr, "g", 5, 1);   // g_b recursive caller
+  check(rep, av, attr, "m", 3, 3);   // m_a caller of g
+  check(rep, av, attr, "h", 4, 4);
+  // 2c
+  check(rep, fv, attr, "file1.c", 10, 1);
+  check(rep, fv, attr, "file2.c", 9, 8);
+  check(rep, fv, attr, "g", 9, 4,
+        static_cast<int>(core::NodeRole::kProc));   // g_x static proc
+  check(rep, fv, attr, "h", 4, 4,
+        static_cast<int>(core::NodeRole::kProc));   // h_x static proc
+  check(rep, fv, attr, "h", 4, 0,
+        static_cast<int>(core::NodeRole::kFrame));  // h_y call-site node
+  check(rep, fv, attr, "g", 5, 1,
+        static_cast<int>(core::NodeRole::kFrame));  // g_z call site
+  check(rep, fv, attr, "f", 7, 1,
+        static_cast<int>(core::NodeRole::kProc));   // f_x
+  return rep.exit_code();
+}

@@ -1,0 +1,225 @@
+// Scalability benchmarks (paper Sec. VII) and design-choice ablations
+// (DESIGN.md Sec. 5), using google-benchmark:
+//
+//   * correlation and view construction across CCT sizes;
+//   * LAZY vs EAGER Callers View construction — the paper's key
+//     scalability design choice ("the Callers View is constructed
+//     dynamically ... we store and process data only when needed");
+//   * hot-path analysis and metric-column sorting latency (the paper's
+//     interactivity claims);
+//   * multi-rank merge and summarization throughput;
+//   * XML vs compact binary experiment database I/O and size.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "pathview/core/callers_view.hpp"
+#include "pathview/core/cct_view.hpp"
+#include "pathview/core/flat_view.hpp"
+#include "pathview/core/hot_path.hpp"
+#include "pathview/core/sort.hpp"
+#include "pathview/db/experiment.hpp"
+#include "pathview/prof/correlate.hpp"
+#include "pathview/prof/summarize.hpp"
+#include "pathview/sim/parallel_runner.hpp"
+#include "pathview/workloads/random_program.hpp"
+
+using namespace pathview;
+
+namespace {
+
+/// A profiled experiment at a given program scale, built once per scale.
+struct Fixture {
+  workloads::Workload w;
+  std::unique_ptr<prof::CanonicalCct> cct;
+  std::unique_ptr<metrics::Attribution> attr;
+  sim::RawProfile raw;
+};
+
+const Fixture& fixture(int scale) {
+  static std::map<int, std::unique_ptr<Fixture>> cache;
+  auto& slot = cache[scale];
+  if (!slot) {
+    slot = std::make_unique<Fixture>();
+    workloads::RandomProgramOptions opts;
+    opts.seed = 1234 + static_cast<std::uint64_t>(scale);
+    opts.num_procs = static_cast<std::uint32_t>(scale);
+    opts.num_files = 4;
+    opts.max_body_stmts = 5;
+    opts.random_call_probs = false;  // denser CCTs
+    slot->w = workloads::make_random_program(opts);
+    sim::ExecutionEngine eng(*slot->w.program, *slot->w.lowering, slot->w.run);
+    slot->raw = eng.run();
+    slot->cct = std::make_unique<prof::CanonicalCct>(
+        prof::correlate(slot->raw, *slot->w.tree));
+    slot->attr = std::make_unique<metrics::Attribution>(
+        metrics::attribute_metrics(*slot->cct, metrics::all_events()));
+  }
+  return *slot;
+}
+
+void BM_Correlate(benchmark::State& state) {
+  const Fixture& f = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    prof::CanonicalCct cct = prof::correlate(f.raw, *f.w.tree);
+    benchmark::DoNotOptimize(cct.size());
+  }
+  state.counters["cct_nodes"] = static_cast<double>(f.cct->size());
+}
+BENCHMARK(BM_Correlate)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Attribution(benchmark::State& state) {
+  const Fixture& f = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    metrics::Attribution a =
+        metrics::attribute_metrics(*f.cct, metrics::all_events());
+    benchmark::DoNotOptimize(a.table.num_rows());
+  }
+}
+BENCHMARK(BM_Attribution)->Arg(16)->Arg(64);
+
+void BM_CctViewBuild(benchmark::State& state) {
+  const Fixture& f = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    core::CctView v(*f.cct, *f.attr);
+    benchmark::DoNotOptimize(v.size());
+  }
+}
+BENCHMARK(BM_CctViewBuild)->Arg(16)->Arg(64);
+
+void BM_FlatViewBuild(benchmark::State& state) {
+  const Fixture& f = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    core::FlatView v(*f.cct, *f.attr);
+    benchmark::DoNotOptimize(v.size());
+  }
+}
+BENCHMARK(BM_FlatViewBuild)->Arg(16)->Arg(64);
+
+// --- ablation: lazy vs eager Callers View ------------------------------------
+
+void BM_CallersViewLazy(benchmark::State& state) {
+  const Fixture& f = fixture(static_cast<int>(state.range(0)));
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    core::CallersView v(*f.cct, *f.attr,
+                        {core::RecursionPolicy::kExposedOnly, true});
+    nodes = v.size();
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.counters["view_nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_CallersViewLazy)->Arg(16)->Arg(64);
+
+void BM_CallersViewEager(benchmark::State& state) {
+  const Fixture& f = fixture(static_cast<int>(state.range(0)));
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    core::CallersView v(*f.cct, *f.attr,
+                        {core::RecursionPolicy::kExposedOnly, false});
+    nodes = v.size();
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.counters["view_nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_CallersViewEager)->Arg(16)->Arg(64);
+
+// --- interactivity: hot path and sorting -------------------------------------
+
+void BM_HotPath(benchmark::State& state) {
+  const Fixture& f = fixture(static_cast<int>(state.range(0)));
+  core::CctView v(*f.cct, *f.attr);
+  const metrics::ColumnId col =
+      f.attr->cols.inclusive(model::Event::kCycles);
+  for (auto _ : state) {
+    auto path = core::hot_path(v, v.root(), col);
+    benchmark::DoNotOptimize(path.size());
+  }
+}
+BENCHMARK(BM_HotPath)->Arg(16)->Arg(64);
+
+void BM_SortAllLevels(benchmark::State& state) {
+  const Fixture& f = fixture(static_cast<int>(state.range(0)));
+  core::CctView v(*f.cct, *f.attr);
+  const metrics::ColumnId col =
+      f.attr->cols.inclusive(model::Event::kCycles);
+  for (auto _ : state) {
+    core::sort_built_by(v, col);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_SortAllLevels)->Arg(16)->Arg(64);
+
+// --- parallel executions ------------------------------------------------------
+
+void BM_SummarizeRanks(benchmark::State& state) {
+  const auto nranks = static_cast<std::uint32_t>(state.range(0));
+  const Fixture& f = fixture(16);
+  sim::ParallelConfig pc;
+  pc.nranks = nranks;
+  pc.base = f.w.run;
+  const auto raws = sim::run_parallel(*f.w.program, *f.w.lowering, pc);
+  for (auto _ : state) {
+    prof::SummaryCct s = prof::summarize(raws, *f.w.tree);
+    benchmark::DoNotOptimize(s.nranks);
+  }
+  state.counters["ranks"] = nranks;
+}
+BENCHMARK(BM_SummarizeRanks)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// --- database formats ----------------------------------------------------------
+
+void BM_DbWriteXml(benchmark::State& state) {
+  const Fixture& f = fixture(static_cast<int>(state.range(0)));
+  const db::Experiment exp =
+      db::Experiment::capture(*f.w.tree, *f.cct, "bench", 1);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string s = db::to_xml(exp);
+    bytes = s.size();
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_DbWriteXml)->Arg(16)->Arg(64);
+
+void BM_DbWriteBinary(benchmark::State& state) {
+  const Fixture& f = fixture(static_cast<int>(state.range(0)));
+  const db::Experiment exp =
+      db::Experiment::capture(*f.w.tree, *f.cct, "bench", 1);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string s = db::to_binary(exp);
+    bytes = s.size();
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_DbWriteBinary)->Arg(16)->Arg(64);
+
+void BM_DbReadXml(benchmark::State& state) {
+  const Fixture& f = fixture(static_cast<int>(state.range(0)));
+  const std::string xml =
+      db::to_xml(db::Experiment::capture(*f.w.tree, *f.cct, "bench", 1));
+  for (auto _ : state) {
+    db::Experiment e = db::from_xml(xml);
+    benchmark::DoNotOptimize(e.nranks());
+  }
+}
+BENCHMARK(BM_DbReadXml)->Arg(16)->Arg(64);
+
+void BM_DbReadBinary(benchmark::State& state) {
+  const Fixture& f = fixture(static_cast<int>(state.range(0)));
+  const std::string bytes =
+      db::to_binary(db::Experiment::capture(*f.w.tree, *f.cct, "bench", 1));
+  for (auto _ : state) {
+    db::Experiment e = db::from_binary(bytes);
+    benchmark::DoNotOptimize(e.nranks());
+  }
+}
+BENCHMARK(BM_DbReadBinary)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

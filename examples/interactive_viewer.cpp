@@ -1,0 +1,69 @@
+// An interactive (and scriptable) viewer session over any of the bundled
+// workloads — the closest analog of sitting in front of hpcviewer.
+//
+// Usage:
+//   ./build/examples/interactive_viewer [combustion|mesh|paper]
+//   echo "hotpath\nrender\nquit" | ./build/examples/interactive_viewer
+//
+// Type `help` at the prompt for the command list.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "pathview/prof/correlate.hpp"
+#include "pathview/sim/engine.hpp"
+#include "pathview/ui/command_interpreter.hpp"
+#include "pathview/workloads/combustion.hpp"
+#include "pathview/workloads/mesh.hpp"
+#include "pathview/workloads/paper_example.hpp"
+
+using namespace pathview;
+
+int main(int argc, char** argv) {
+  const std::string which = argc > 1 ? argv[1] : "combustion";
+
+  // Profile the chosen workload.
+  std::unique_ptr<prof::CanonicalCct> cct;
+  std::unique_ptr<metrics::Attribution> attr;
+  const model::Program* program = nullptr;
+
+  workloads::CombustionWorkload comb;
+  workloads::MeshWorkload mesh;
+  workloads::PaperExample paper;
+
+  if (which == "combustion") {
+    comb = workloads::make_combustion();
+    sim::ExecutionEngine eng(*comb.program, *comb.lowering, comb.run);
+    cct = std::make_unique<prof::CanonicalCct>(
+        prof::correlate(eng.run(), *comb.tree));
+    program = &*comb.program;
+  } else if (which == "mesh") {
+    mesh = workloads::make_mesh();
+    sim::ExecutionEngine eng(*mesh.program, *mesh.lowering, mesh.run);
+    cct = std::make_unique<prof::CanonicalCct>(
+        prof::correlate(eng.run(), *mesh.tree));
+    program = &*mesh.program;
+  } else if (which == "paper") {
+    cct = std::make_unique<prof::CanonicalCct>(
+        prof::correlate(paper.profile(), paper.tree()));
+    program = &paper.program();
+  } else {
+    std::fprintf(stderr, "usage: %s [combustion|mesh|paper]\n", argv[0]);
+    return 2;
+  }
+
+  attr = std::make_unique<metrics::Attribution>(
+      metrics::attribute_metrics(*cct, metrics::all_events()));
+
+  ui::ViewerController::Config cfg;
+  cfg.program = program;
+  ui::ViewerController viewer(*cct, *attr, cfg);
+
+  std::printf("pathview interactive viewer — workload '%s', %zu CCT scopes\n",
+              which.c_str(), cct->size());
+  std::puts("type 'help' for commands, 'quit' to leave.");
+
+  ui::CommandInterpreter interp(viewer, std::cout);
+  interp.run(std::cin);
+  return 0;
+}

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Full verification: configure, build, run the test suite, then every
+# figure-reproduction harness (each exits nonzero if a paper value drifts
+# out of its tolerance band).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "== $b"
+  case "$b" in
+    *scalability) "$b" --benchmark_min_time=0.05 ;;
+    *) "$b" ;;
+  esac
+done
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,100 @@
+#include "pathview/analysis/diff.hpp"
+
+#include <unordered_map>
+
+#include "pathview/support/error.hpp"
+
+namespace pathview::analysis {
+
+namespace {
+
+/// Find a child of `parent` in `tree` matching `other`'s child `n` by name
+/// signature; create it when absent. (StructureTree::find_or_add_child keys
+/// loops/procs by entry address, which is meaningless across experiments.)
+structure::SNodeId find_or_add_by_name(structure::StructureTree& tree,
+                                       structure::SNodeId parent,
+                                       const structure::StructureTree& other,
+                                       structure::SNodeId n) {
+  const structure::SNode& on = other.node(n);
+  const std::string& oname = other.names().str(on.name);
+  const std::string& ofile = other.names().str(on.file);
+  for (structure::SNodeId c : tree.node(parent).children) {
+    const structure::SNode& tn = tree.node(c);
+    if (tn.kind != on.kind) continue;
+    if (tree.names().str(tn.name) != oname) continue;
+    if (tree.names().str(tn.file) != ofile) continue;
+    if (tn.line != on.line || tn.call_line != on.call_line) continue;
+    return c;
+  }
+  structure::SNode copy;
+  copy.kind = on.kind;
+  copy.parent = parent;
+  copy.name = tree.names().intern(oname);
+  copy.file = tree.names().intern(ofile);
+  copy.line = on.line;
+  copy.call_line = on.call_line;
+  copy.entry = on.entry;  // informative only; may collide across runs
+  copy.has_source = on.has_source;
+  return tree.add_node(std::move(copy));
+}
+
+}  // namespace
+
+ExperimentDiff diff_experiments(const db::Experiment& base,
+                                const db::Experiment& scaled,
+                                const DiffOptions& opts) {
+  ExperimentDiff out;
+  // Union tree starts as a copy of the base tree (scope ids preserved).
+  out.tree = std::make_unique<structure::StructureTree>(base.tree());
+
+  // Map every scope of the scaled tree into the union by name signature
+  // (parents before children: StructureTree ids are in creation order).
+  const structure::StructureTree& st = scaled.tree();
+  std::vector<structure::SNodeId> scope_map(st.size(), structure::kSNull);
+  scope_map[st.root()] = out.tree->root();
+  for (structure::SNodeId id = 1; id < st.size(); ++id) {
+    const structure::SNodeId parent = scope_map[st.node(id).parent];
+    if (parent == structure::kSNull)
+      throw InvalidArgument("diff_experiments: scaled tree parent unmapped");
+    scope_map[id] = find_or_add_by_name(*out.tree, parent, st, id);
+  }
+
+  // Union CCT: the base CCT re-bound to the union tree, then the scaled CCT
+  // inserted with remapped scope/call-site ids.
+  out.cct = std::make_unique<prof::CanonicalCct>(
+      base.cct().clone_with_tree(out.tree.get()));
+  const prof::CanonicalCct& sc = scaled.cct();
+  std::vector<prof::CctNodeId> cct_map(sc.size(), prof::kCctNull);
+  cct_map[prof::kCctRoot] = out.cct->root();
+  for (prof::CctNodeId id = 1; id < sc.size(); ++id) {
+    const prof::CctNode& n = sc.node(id);
+    cct_map[id] = out.cct->find_or_add_child(
+        cct_map[n.parent], n.kind, scope_map[n.scope],
+        n.call_site == structure::kSNull ? structure::kSNull
+                                         : scope_map[n.call_site]);
+  }
+
+  // Metric columns: inclusive costs per experiment, then the loss metric.
+  out.table.ensure_rows(out.cct->size());
+  const char* ev = model::event_name(opts.event);
+  out.base_col = out.table.add_column(metrics::MetricDesc{
+      std::string(ev) + " base (I)", metrics::MetricKind::kRaw, opts.event,
+      true, {}});
+  out.scaled_col = out.table.add_column(metrics::MetricDesc{
+      std::string(ev) + " scaled (I)", metrics::MetricKind::kRaw, opts.event,
+      true, {}});
+
+  const auto base_incl = base.cct().inclusive_samples();
+  for (prof::CctNodeId n = 0; n < base.cct().size(); ++n)
+    out.table.add(out.base_col, n, base_incl[n][opts.event]);  // ids preserved
+  const auto scaled_incl = sc.inclusive_samples();
+  for (prof::CctNodeId n = 0; n < sc.size(); ++n)
+    out.table.add(out.scaled_col, cct_map[n], scaled_incl[n][opts.event]);
+
+  out.loss_col = metrics::add_scaling_loss_metric(
+      out.table, out.base_col, out.scaled_col, opts.p_base, opts.p_scaled,
+      opts.mode);
+  return out;
+}
+
+}  // namespace pathview::analysis

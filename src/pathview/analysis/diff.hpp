@@ -1,0 +1,42 @@
+// Differencing two experiment databases (paper Sec. VI-A's methodology as a
+// user-facing feature, and the Intel-PTU-style "compare data between
+// different experiments" the related-work section mentions).
+//
+// Unlike analysis::analyze_scaling — which requires both CCTs to reference
+// the *same* structure tree — diff_experiments aligns two independent
+// experiments (separate trees, e.g. two .pvdb files from different runs or
+// binaries) by *name*: scopes match when their (kind, name, file, line,
+// inlined-call-line) paths match. Scopes unique to either run stay in the
+// union with zero cost on the other side.
+#pragma once
+
+#include <memory>
+
+#include "pathview/db/experiment.hpp"
+#include "pathview/metrics/waste.hpp"
+
+namespace pathview::analysis {
+
+struct ExperimentDiff {
+  /// Union structure tree (owned) and union CCT over it.
+  std::unique_ptr<structure::StructureTree> tree;
+  std::unique_ptr<prof::CanonicalCct> cct;
+  /// Rows = union CCT nodes.
+  metrics::MetricTable table;
+  metrics::ColumnId base_col = 0;    // inclusive metric, base experiment
+  metrics::ColumnId scaled_col = 0;  // inclusive metric, scaled experiment
+  metrics::ColumnId loss_col = 0;    // derived scaling loss
+};
+
+struct DiffOptions {
+  model::Event event = model::Event::kCycles;
+  metrics::ScalingMode mode = metrics::ScalingMode::kStrong;
+  double p_base = 1;    // rank counts (weak-scaling growth factor)
+  double p_scaled = 1;
+};
+
+ExperimentDiff diff_experiments(const db::Experiment& base,
+                                const db::Experiment& scaled,
+                                const DiffOptions& opts);
+
+}  // namespace pathview::analysis

@@ -1,0 +1,53 @@
+#include "pathview/analysis/histogram.hpp"
+
+#include <algorithm>
+
+#include "pathview/support/error.hpp"
+#include "pathview/support/format.hpp"
+
+namespace pathview::analysis {
+
+Histogram::Histogram(const std::vector<double>& xs, std::size_t bins) {
+  if (bins == 0) throw InvalidArgument("Histogram: bins == 0");
+  counts_.assign(bins, 0);
+  if (xs.empty()) return;
+  auto [lo, hi] = std::minmax_element(xs.begin(), xs.end());
+  lo_ = *lo;
+  hi_ = *hi;
+  width_ = (hi_ - lo_) / static_cast<double>(bins);
+  for (double x : xs) {
+    std::size_t b =
+        width_ > 0 ? static_cast<std::size_t>((x - lo_) / width_) : 0;
+    b = std::min(b, bins - 1);
+    ++counts_[b];
+    ++total_;
+  }
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  return bin + 1 == counts_.size() ? hi_ : bin_lo(bin + 1);
+}
+
+std::string Histogram::render(std::size_t bar_width) const {
+  const std::uint64_t peak =
+      counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+  std::string out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    out += "[" + pad_left(format_scientific(bin_lo(b)), 9) + ", " +
+           pad_left(format_scientific(bin_hi(b)), 9) + ") ";
+    const std::size_t len =
+        peak == 0 ? 0
+                  : static_cast<std::size_t>(static_cast<double>(bar_width) *
+                                             static_cast<double>(counts_[b]) /
+                                             static_cast<double>(peak));
+    out += std::string(len, '#');
+    out += " " + std::to_string(counts_[b]) + "\n";
+  }
+  return out;
+}
+
+}  // namespace pathview::analysis

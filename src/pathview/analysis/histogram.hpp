@@ -1,0 +1,33 @@
+// Fixed-bin histograms over per-rank metric values (the third panel of the
+// paper's Fig. 7 load-imbalance display).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pathview::analysis {
+
+class Histogram {
+ public:
+  /// Build `bins` equal-width bins covering [min(xs), max(xs)].
+  Histogram(const std::vector<double>& xs, std::size_t bins);
+
+  std::size_t num_bins() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_[bin]; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+  double min() const { return lo_; }
+  double max() const { return hi_; }
+  std::uint64_t total() const { return total_; }
+
+  /// ASCII rendering, one bar per bin.
+  std::string render(std::size_t bar_width = 40) const;
+
+ private:
+  double lo_ = 0, hi_ = 0, width_ = 0;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace pathview::analysis

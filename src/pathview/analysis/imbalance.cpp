@@ -1,0 +1,116 @@
+#include "pathview/analysis/imbalance.hpp"
+
+#include <algorithm>
+
+#include "pathview/support/error.hpp"
+
+namespace pathview::analysis {
+
+ImbalanceReport analyze_imbalance(const prof::SummaryCct& summary,
+                                  model::Event metric, std::size_t top_n) {
+  ImbalanceReport report;
+  report.metric = metric;
+  const prof::CanonicalCct& cct = summary.cct;
+
+  for (prof::CctNodeId n = 1; n < cct.size(); ++n) {
+    const prof::CctKind kind = cct.node(n).kind;
+    if (kind != prof::CctKind::kFrame && kind != prof::CctKind::kLoop)
+      continue;
+    const OnlineStats& st = summary.stats(n, metric);
+    if (st.sum() <= 0) continue;  // sparsity: drop all-zero scopes
+    ImbalanceRow row;
+    row.node = n;
+    row.label = cct.label(n);
+    row.total = st.sum();
+    row.mean = st.mean();
+    row.min = st.min();
+    row.max = st.max();
+    row.stddev = st.stddev();
+    row.imbalance_pct =
+        row.mean > 0 ? (row.max / row.mean - 1.0) * 100.0 : 0.0;
+    report.rows.push_back(std::move(row));
+  }
+
+  std::stable_sort(report.rows.begin(), report.rows.end(),
+                   [](const ImbalanceRow& a, const ImbalanceRow& b) {
+                     return a.total > b.total;
+                   });
+  if (report.rows.size() > top_n) report.rows.resize(top_n);
+  return report;
+}
+
+std::vector<double> per_rank_inclusive(
+    const std::vector<prof::CanonicalCct>& parts,
+    const prof::CanonicalCct& union_cct, prof::CctNodeId node,
+    model::Event metric) {
+  // Identify the node by its (kind, scope, call_site) path from the root,
+  // then descend each per-rank CCT along the same path.
+  struct Key {
+    prof::CctKind kind;
+    structure::SNodeId scope;
+    structure::SNodeId call_site;
+  };
+  std::vector<Key> path;
+  for (prof::CctNodeId cur = node; cur != prof::kCctRoot;
+       cur = union_cct.node(cur).parent) {
+    const prof::CctNode& n = union_cct.node(cur);
+    path.push_back(Key{n.kind, n.scope, n.call_site});
+  }
+  std::reverse(path.begin(), path.end());
+
+  std::vector<double> out;
+  out.reserve(parts.size());
+  for (const prof::CanonicalCct& part : parts) {
+    prof::CctNodeId cur = part.root();
+    bool found = true;
+    std::vector<model::EventVector> incl;  // computed lazily below
+    for (const Key& k : path) {
+      prof::CctNodeId next = prof::kCctNull;
+      for (prof::CctNodeId c : part.node(cur).children) {
+        const prof::CctNode& cn = part.node(c);
+        if (cn.kind == k.kind && cn.scope == k.scope &&
+            cn.call_site == k.call_site) {
+          next = c;
+          break;
+        }
+      }
+      if (next == prof::kCctNull) {
+        found = false;
+        break;
+      }
+      cur = next;
+    }
+    if (!found) {
+      out.push_back(0.0);  // scope absent on this rank => zero cost
+      continue;
+    }
+    const std::vector<model::EventVector> inc = part.inclusive_samples();
+    out.push_back(inc[cur][metric]);
+  }
+  return out;
+}
+
+std::vector<prof::CctNodeId> imbalance_hot_path(
+    const prof::SummaryCct& summary, model::Event metric, double threshold) {
+  const prof::CanonicalCct& cct = summary.cct;
+  std::vector<prof::CctNodeId> path{cct.root()};
+  prof::CctNodeId cur = cct.root();
+  for (;;) {
+    prof::CctNodeId best = prof::kCctNull;
+    double best_v = 0;
+    for (prof::CctNodeId c : cct.node(cur).children) {
+      const double v = summary.stats(c, metric).sum();
+      if (best == prof::kCctNull || v > best_v) {
+        best = c;
+        best_v = v;
+      }
+    }
+    const double here = summary.stats(cur, metric).sum();
+    if (best == prof::kCctNull || best_v < threshold * here) break;
+    path.push_back(best);
+    cur = best;
+  }
+  return path;
+}
+
+}  // namespace pathview::analysis

@@ -1,0 +1,53 @@
+// Load-imbalance identification (paper Sec. VI-C, Fig. 7).
+//
+// "We can identify a load imbalance by sorting by total inclusive idleness
+// summed over all MPI processes and performing hot path analysis to drill
+// down into the potential load imbalance context." The report combines the
+// summary statistics of a SummaryCct with per-rank series (the scatter /
+// sorted / histogram panels of Fig. 7).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pathview/analysis/histogram.hpp"
+#include "pathview/prof/summarize.hpp"
+
+namespace pathview::analysis {
+
+struct ImbalanceRow {
+  prof::CctNodeId node = prof::kCctNull;
+  std::string label;
+  double total = 0;      // sum over ranks of inclusive metric
+  double mean = 0;
+  double min = 0;
+  double max = 0;
+  double stddev = 0;
+  /// (max / mean - 1) * 100; the CrayPat-style imbalance percentage.
+  double imbalance_pct = 0;
+};
+
+struct ImbalanceReport {
+  model::Event metric = model::Event::kIdle;
+  std::vector<ImbalanceRow> rows;  // sorted by total, descending
+};
+
+/// Rank scopes by total inclusive `metric` over all ranks; keep `top_n`.
+/// Only frame and loop scopes are reported (statement noise suppressed).
+ImbalanceReport analyze_imbalance(const prof::SummaryCct& summary,
+                                  model::Event metric, std::size_t top_n);
+
+/// Per-rank inclusive values of one union-CCT scope: panel data for the
+/// Fig. 7 scatter/sorted/histogram plots. `parts` are the per-rank CCTs the
+/// summary was built from (identified by path, so any order works).
+std::vector<double> per_rank_inclusive(
+    const std::vector<prof::CanonicalCct>& parts,
+    const prof::CanonicalCct& union_cct, prof::CctNodeId node,
+    model::Event metric);
+
+/// Hot-path style drill-down over summed inclusive idleness: the deepest
+/// scope chain whose child keeps >= threshold of the parent's idleness.
+std::vector<prof::CctNodeId> imbalance_hot_path(
+    const prof::SummaryCct& summary, model::Event metric, double threshold);
+
+}  // namespace pathview::analysis

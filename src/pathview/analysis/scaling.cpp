@@ -1,0 +1,37 @@
+#include "pathview/analysis/scaling.hpp"
+
+#include "pathview/metrics/waste.hpp"
+
+namespace pathview::analysis {
+
+ScalingAnalysis analyze_scaling(const prof::CanonicalCct& base, double p_base,
+                                const prof::CanonicalCct& scaled,
+                                double p_scaled, model::Event metric,
+                                metrics::ScalingMode mode) {
+  ScalingAnalysis out;
+  out.cct = std::make_unique<prof::CanonicalCct>(&base.tree());
+  const std::vector<prof::CctNodeId> base_map = out.cct->merge(base);
+  const std::vector<prof::CctNodeId> scaled_map = out.cct->merge(scaled);
+
+  out.table.ensure_rows(out.cct->size());
+  out.base_col = out.table.add_column(metrics::MetricDesc{
+      std::string(model::event_name(metric)) + " base (I)",
+      metrics::MetricKind::kRaw, metric, true, {}});
+  out.scaled_col = out.table.add_column(metrics::MetricDesc{
+      std::string(model::event_name(metric)) + " scaled (I)",
+      metrics::MetricKind::kRaw, metric, true, {}});
+
+  const std::vector<model::EventVector> base_incl = base.inclusive_samples();
+  for (prof::CctNodeId n = 0; n < base.size(); ++n)
+    out.table.add(out.base_col, base_map[n], base_incl[n][metric]);
+  const std::vector<model::EventVector> scaled_incl =
+      scaled.inclusive_samples();
+  for (prof::CctNodeId n = 0; n < scaled.size(); ++n)
+    out.table.add(out.scaled_col, scaled_map[n], scaled_incl[n][metric]);
+
+  out.loss_col = metrics::add_scaling_loss_metric(
+      out.table, out.base_col, out.scaled_col, p_base, p_scaled, mode);
+  return out;
+}
+
+}  // namespace pathview::analysis

@@ -1,0 +1,33 @@
+// Scalability analysis via scaled differencing of two executions
+// (paper Sec. VI-A, after Coarfa et al. [3]): "we compute a derived metric
+// that quantifies scaling loss by scaling and differencing call path
+// profiles from a pair of executions."
+#pragma once
+
+#include <memory>
+
+#include "pathview/metrics/waste.hpp"
+#include "pathview/prof/cct.hpp"
+
+namespace pathview::analysis {
+
+struct ScalingAnalysis {
+  /// Union of the two executions' CCTs (samples are not meaningful here;
+  /// use the table columns).
+  std::unique_ptr<prof::CanonicalCct> cct;
+  metrics::MetricTable table;  // rows = union CCT nodes
+  metrics::ColumnId base_col = 0;    // inclusive metric in the base run
+  metrics::ColumnId scaled_col = 0;  // inclusive metric in the scaled run
+  metrics::ColumnId loss_col = 0;    // derived scaling loss
+};
+
+/// Align two experiments over the same structure tree and compute the
+/// scaling-loss metric over rank-aggregated inclusive costs (strong scaling
+/// by default; see metrics::ScalingMode). Scopes with positive loss did not
+/// scale ideally.
+ScalingAnalysis analyze_scaling(
+    const prof::CanonicalCct& base, double p_base,
+    const prof::CanonicalCct& scaled, double p_scaled, model::Event metric,
+    metrics::ScalingMode mode = metrics::ScalingMode::kStrong);
+
+}  // namespace pathview::analysis

@@ -1,0 +1,55 @@
+// The Callers View (paper Sec. III-B): a bottom-up view that lets the
+// analyst look upward along call paths from each procedure.
+//
+// Top-level entries are procedures; beneath each, the calling contexts in
+// which it was invoked, with the procedure's costs apportioned among them.
+// Recursion is handled with the exposed-instance rule (Sec. IV-B).
+//
+// Per the paper's scalability design (Sec. VII), the view is "constructed
+// dynamically": only top-level entries exist initially; caller levels
+// materialize when expanded. An eager mode exists for the ablation bench.
+#pragma once
+
+#include <unordered_map>
+
+#include "pathview/core/exposure.hpp"
+#include "pathview/core/view.hpp"
+
+namespace pathview::core {
+
+class CallersView final : public View {
+ public:
+  struct Options {
+    RecursionPolicy policy = RecursionPolicy::kExposedOnly;
+    bool lazy = true;  // false: materialize every caller level up front
+  };
+
+  CallersView(const prof::CanonicalCct& cct, const metrics::Attribution& attr,
+              const Options& opts);
+  CallersView(const prof::CanonicalCct& cct, const metrics::Attribution& attr)
+      : CallersView(cct, attr, Options{}) {}
+
+  /// Number of view nodes whose children have been materialized so far
+  /// (instrumentation for the lazy-vs-eager comparison).
+  std::size_t levels_built() const { return levels_built_; }
+
+ private:
+  void build_children(ViewNodeId id) override;
+  void set_metrics(ViewNodeId id,
+                   const std::vector<prof::CctNodeId>& instances);
+
+  /// (procedure instance whose cost this path explains, current frontier
+  /// frame whose callers the next level groups by)
+  struct Pair {
+    prof::CctNodeId instance;
+    prof::CctNodeId frontier;
+  };
+
+  const metrics::Attribution* attr_;
+  Options opts_;
+  AncestorIndex anc_;
+  std::unordered_map<ViewNodeId, std::vector<Pair>> pending_;
+  std::size_t levels_built_ = 0;
+};
+
+}  // namespace pathview::core

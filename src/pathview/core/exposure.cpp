@@ -1,0 +1,48 @@
+#include "pathview/core/exposure.hpp"
+
+#include <algorithm>
+
+namespace pathview::core {
+
+AncestorIndex::AncestorIndex(const prof::CanonicalCct& cct) {
+  tin_.resize(cct.size());
+  tout_.resize(cct.size());
+  std::uint32_t clock = 0;
+  // Iterative DFS with explicit enter/exit events.
+  std::vector<std::pair<prof::CctNodeId, bool>> stack;
+  stack.emplace_back(cct.root(), false);
+  while (!stack.empty()) {
+    auto [id, exiting] = stack.back();
+    stack.pop_back();
+    if (exiting) {
+      tout_[id] = clock++;
+      continue;
+    }
+    tin_[id] = clock++;
+    stack.emplace_back(id, true);
+    const auto& ch = cct.node(id).children;
+    for (auto it = ch.rbegin(); it != ch.rend(); ++it)
+      stack.emplace_back(*it, false);
+  }
+}
+
+std::vector<prof::CctNodeId> AncestorIndex::exposed(
+    std::vector<prof::CctNodeId> members) const {
+  std::sort(members.begin(), members.end(),
+            [&](prof::CctNodeId a, prof::CctNodeId b) {
+              return tin_[a] < tin_[b];
+            });
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  std::vector<prof::CctNodeId> out;
+  std::uint32_t covered_until = 0;  // exclusive tout bound of last exposed
+  bool have = false;
+  for (prof::CctNodeId m : members) {
+    if (have && tin_[m] < covered_until) continue;  // inside last exposed
+    out.push_back(m);
+    covered_until = tout_[m];
+    have = true;
+  }
+  return out;
+}
+
+}  // namespace pathview::core

@@ -1,0 +1,37 @@
+// Exposed-instance machinery for recursion-correct aggregation
+// (paper Sec. IV-B).
+//
+// "We define an instance of scope x to be exposed if it contains no
+// ancestor instance of x. To form the inclusive cost for x within the
+// Callers View, we sum all inclusive costs of x's exposed instances."
+// The same rule generalizes to any aggregation set S of CCT nodes mapped to
+// one Callers/Flat-view node: a member is exposed iff it has no proper
+// ancestor in S.
+#pragma once
+
+#include <vector>
+
+#include "pathview/prof/cct.hpp"
+
+namespace pathview::core {
+
+/// O(1) ancestor queries over a CCT via an Euler tour.
+class AncestorIndex {
+ public:
+  explicit AncestorIndex(const prof::CanonicalCct& cct);
+
+  /// True when `a` is a (non-strict) ancestor of `b`.
+  bool is_ancestor(prof::CctNodeId a, prof::CctNodeId b) const {
+    return tin_[a] <= tin_[b] && tout_[b] <= tout_[a];
+  }
+
+  /// The exposed subset of `members`: those with no proper ancestor in
+  /// `members`. Duplicates count as covering each other (one survives).
+  std::vector<prof::CctNodeId> exposed(
+      std::vector<prof::CctNodeId> members) const;
+
+ private:
+  std::vector<std::uint32_t> tin_, tout_;
+};
+
+}  // namespace pathview::core

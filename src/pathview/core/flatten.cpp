@@ -1,0 +1,33 @@
+#include "pathview/core/flatten.hpp"
+
+namespace pathview::core {
+
+FlattenState::FlattenState(View& view) : view_(&view) {
+  stack_.push_back(view.children_of(view.root()));
+}
+
+bool FlattenState::flatten() {
+  const std::vector<ViewNodeId>& cur = stack_.back();
+  std::vector<ViewNodeId> next;
+  bool changed = false;
+  for (ViewNodeId id : cur) {
+    const auto& ch = view_->children_of(id);
+    if (ch.empty()) {
+      next.push_back(id);  // leaves are unaffected
+    } else {
+      next.insert(next.end(), ch.begin(), ch.end());
+      changed = true;
+    }
+  }
+  if (!changed) return false;
+  stack_.push_back(std::move(next));
+  return true;
+}
+
+bool FlattenState::unflatten() {
+  if (stack_.size() <= 1) return false;
+  stack_.pop_back();
+  return true;
+}
+
+}  // namespace pathview::core

@@ -1,0 +1,37 @@
+// Flattening (paper Sec. III-C): "Flattening elides a scope and shows its
+// children instead. However, applying flattening to a childless scope (a
+// leaf) has no effect. ... flattening eliminates layers of hierarchical
+// structure (e.g., files and procedures) that prevent making direct
+// comparisons between loops in different routines."
+//
+// FlattenState tracks the view's current display roots; flatten()/
+// unflatten() move one level down/up.
+#pragma once
+
+#include <vector>
+
+#include "pathview/core/view.hpp"
+
+namespace pathview::core {
+
+class FlattenState {
+ public:
+  /// Initial display roots: the children of the view's root.
+  explicit FlattenState(View& view);
+
+  const std::vector<ViewNodeId>& roots() const { return stack_.back(); }
+  std::size_t depth() const { return stack_.size() - 1; }
+
+  /// Replace each current root that has children by its children (leaves
+  /// stay). Returns false (and does nothing) when every root is a leaf.
+  bool flatten();
+
+  /// Undo one flatten(); returns false at the initial level.
+  bool unflatten();
+
+ private:
+  View* view_;
+  std::vector<std::vector<ViewNodeId>> stack_;
+};
+
+}  // namespace pathview::core

@@ -1,0 +1,37 @@
+#include "pathview/core/hot_path.hpp"
+
+#include "pathview/support/error.hpp"
+
+namespace pathview::core {
+
+std::vector<ViewNodeId> hot_path(View& view, ViewNodeId start,
+                                 metrics::ColumnId metric,
+                                 const HotPathOptions& opts) {
+  if (metric >= view.table().num_columns())
+    throw InvalidArgument("hot_path: bad metric column");
+  if (start >= view.size()) throw InvalidArgument("hot_path: bad start node");
+
+  std::vector<ViewNodeId> path{start};
+  ViewNodeId cur = start;
+  while (path.size() < opts.max_depth) {
+    const auto& children = view.children_of(cur);  // materializes lazily
+    if (children.empty()) break;
+
+    ViewNodeId best = kViewNull;
+    double best_v = 0.0;
+    for (ViewNodeId c : children) {
+      const double v = view.table().get(metric, c);
+      if (best == kViewNull || v > best_v) {
+        best = c;
+        best_v = v;
+      }
+    }
+    const double here = view.table().get(metric, cur);
+    if (best == kViewNull || best_v < opts.threshold * here) break;
+    path.push_back(best);
+    cur = best;
+  }
+  return path;
+}
+
+}  // namespace pathview::core

@@ -1,0 +1,38 @@
+// Hot path analysis (paper Sec. V-C, Equation 3).
+//
+//   H(x) = H(Cmax(x))  if mI(Cmax(x)) >= t * mI(x)
+//        = x           otherwise
+//
+// "Hot path analysis enables the user to instantaneously drill down into a
+// nested context to pinpoint where costs were incurred." It works on any
+// view, any metric column (including derived metrics), from any starting
+// scope — "it is not just something that one applies to the root".
+#pragma once
+
+#include <vector>
+
+#include "pathview/core/view.hpp"
+
+namespace pathview::core {
+
+struct HotPathOptions {
+  /// The threshold t; the paper found 50% most useful and exposes it in the
+  /// preferences dialog.
+  double threshold = 0.5;
+  /// Safety bound on expansion depth.
+  std::size_t max_depth = 4096;
+};
+
+/// Expand the hot path for `metric` starting at `start`; returns the node
+/// chain [start, ..., end-of-hot-path]. Materializes lazy children as it
+/// descends.
+std::vector<ViewNodeId> hot_path(View& view, ViewNodeId start,
+                                 metrics::ColumnId metric,
+                                 const HotPathOptions& opts);
+
+inline std::vector<ViewNodeId> hot_path(View& view, ViewNodeId start,
+                                        metrics::ColumnId metric) {
+  return hot_path(view, start, metric, HotPathOptions{});
+}
+
+}  // namespace pathview::core

@@ -1,0 +1,36 @@
+#include "pathview/core/sort.hpp"
+
+#include <algorithm>
+
+#include "pathview/support/error.hpp"
+
+namespace pathview::core {
+
+void sort_children_by(View& view, ViewNodeId parent, metrics::ColumnId metric,
+                      bool descending) {
+  if (metric >= view.table().num_columns())
+    throw InvalidArgument("sort_children_by: bad metric column");
+  auto& ch = view.mutable_children(parent);
+  std::stable_sort(ch.begin(), ch.end(), [&](ViewNodeId a, ViewNodeId b) {
+    const double va = view.table().get(metric, a);
+    const double vb = view.table().get(metric, b);
+    return descending ? va > vb : va < vb;
+  });
+}
+
+void sort_built_by(View& view, metrics::ColumnId metric, bool descending) {
+  for (ViewNodeId id = 0; id < view.size(); ++id)
+    if (view.node(id).children_built && !view.node(id).children.empty())
+      sort_children_by(view, id, metric, descending);
+}
+
+void sort_children_by_label(View& view, ViewNodeId parent, bool ascending) {
+  auto& ch = view.mutable_children(parent);
+  std::stable_sort(ch.begin(), ch.end(), [&](ViewNodeId a, ViewNodeId b) {
+    const std::string la = view.label(a);
+    const std::string lb = view.label(b);
+    return ascending ? la < lb : la > lb;
+  });
+}
+
+}  // namespace pathview::core

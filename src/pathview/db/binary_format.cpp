@@ -1,0 +1,222 @@
+// The compact binary experiment format (the paper's stated future work:
+// "replacing our XML format for profiles with a more compact binary
+// format"). Layout: magic, then LEB128 varints (zigzag for signed values),
+// length-prefixed strings, and fixed 8-byte little-endian doubles.
+#include <bit>
+#include <cstring>
+
+#include "pathview/db/experiment.hpp"
+#include "pathview/support/error.hpp"
+
+namespace pathview::db {
+
+namespace {
+
+constexpr char kMagic[] = "PVDB1\n";
+constexpr std::size_t kMagicLen = 6;
+
+class Writer {
+ public:
+  void u64(std::uint64_t v) {
+    while (v >= 0x80) {
+      out_ += static_cast<char>((v & 0x7f) | 0x80);
+      v >>= 7;
+    }
+    out_ += static_cast<char>(v);
+  }
+  void i64(std::int64_t v) {  // zigzag
+    u64((static_cast<std::uint64_t>(v) << 1) ^
+        static_cast<std::uint64_t>(v >> 63));
+  }
+  void f64(double v) {
+    const auto bits = std::bit_cast<std::uint64_t>(v);
+    char buf[8];
+    for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(bits >> (8 * i));
+    out_.append(buf, 8);
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    out_ += s;
+  }
+  void raw(const char* p, std::size_t n) { out_.append(p, n); }
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      if (pos_ >= bytes_.size()) fail("truncated varint");
+      const auto b = static_cast<std::uint8_t>(bytes_[pos_++]);
+      if (shift >= 63 && (b & 0x7e) != 0) fail("varint overflow");
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+  std::int64_t i64() {
+    const std::uint64_t z = u64();
+    return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
+  double f64() {
+    if (pos_ + 8 > bytes_.size()) fail("truncated double");
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i)
+      bits |= static_cast<std::uint64_t>(
+                  static_cast<std::uint8_t>(bytes_[pos_ + i]))
+              << (8 * i);
+    pos_ += 8;
+    return std::bit_cast<double>(bits);
+  }
+  std::string str() {
+    const std::uint64_t n = u64();
+    if (pos_ + n > bytes_.size()) fail("truncated string");
+    std::string s(bytes_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+  void expect_magic() {
+    if (bytes_.substr(0, kMagicLen) != std::string_view(kMagic, kMagicLen))
+      fail("bad magic (not a pathview binary database)");
+    pos_ = kMagicLen;
+  }
+  bool at_end() const { return pos_ == bytes_.size(); }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError("binary db: " + what, pos_);
+  }
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string to_binary(const Experiment& exp) {
+  const structure::StructureTree& tree = exp.tree();
+  const prof::CanonicalCct& cct = exp.cct();
+  Writer w;
+  w.raw(kMagic, kMagicLen);
+  w.str(exp.name());
+  w.u64(exp.nranks());
+
+  w.u64(tree.size() - 1);
+  for (structure::SNodeId i = 1; i < tree.size(); ++i) {
+    const structure::SNode& n = tree.node(i);
+    w.u64(static_cast<std::uint64_t>(n.kind));
+    w.u64(n.parent);
+    w.str(tree.names().str(n.name));
+    w.str(tree.names().str(n.file));
+    w.i64(n.line);
+    w.i64(n.call_line);
+    w.u64(n.entry);
+    w.u64(n.has_source ? 1 : 0);
+  }
+
+  w.u64(cct.size() - 1);
+  for (prof::CctNodeId i = 1; i < cct.size(); ++i) {
+    const prof::CctNode& n = cct.node(i);
+    w.u64(static_cast<std::uint64_t>(n.kind));
+    w.u64(n.parent);
+    w.u64(n.scope);
+    // kSNull (2^32-1) compresses poorly; bias call sites by one instead.
+    w.u64(n.call_site == structure::kSNull
+              ? 0
+              : static_cast<std::uint64_t>(n.call_site) + 1);
+  }
+
+  std::uint64_t cells = 0;
+  for (prof::CctNodeId i = 0; i < cct.size(); ++i)
+    for (std::size_t e = 0; e < model::kNumEvents; ++e)
+      if (cct.samples(i).v[e] != 0.0) ++cells;
+  w.u64(cells);
+  for (prof::CctNodeId i = 0; i < cct.size(); ++i)
+    for (std::size_t e = 0; e < model::kNumEvents; ++e)
+      if (cct.samples(i).v[e] != 0.0) {
+        w.u64(i);
+        w.u64(e);
+        w.f64(cct.samples(i).v[e]);
+      }
+
+  w.u64(exp.user_metrics().size());
+  for (const metrics::MetricDesc& d : exp.user_metrics()) {
+    w.str(d.name);
+    w.str(d.formula);
+  }
+  return w.take();
+}
+
+Experiment from_binary(std::string_view bytes) {
+  Reader r(bytes);
+  r.expect_magic();
+  std::string name = r.str();
+  const auto nranks = static_cast<std::uint32_t>(r.u64());
+
+  auto tree = std::make_unique<structure::StructureTree>();
+  const std::uint64_t tn = r.u64();
+  for (std::uint64_t i = 0; i < tn; ++i) {
+    structure::SNode n;
+    n.kind = static_cast<structure::SKind>(r.u64());
+    n.parent = static_cast<structure::SNodeId>(r.u64());
+    n.name = tree->names().intern(r.str());
+    n.file = tree->names().intern(r.str());
+    n.line = static_cast<int>(r.i64());
+    n.call_line = static_cast<int>(r.i64());
+    n.entry = r.u64();
+    n.has_source = r.u64() != 0;
+    if (n.parent >= tree->size())
+      throw ParseError("binary db: dangling structure parent", r.pos());
+    const structure::SNodeId id = tree->add_node(std::move(n));
+    const structure::SNode& added = tree->node(id);
+    if (added.kind == structure::SKind::kProc)
+      tree->map_proc_entry(added.entry, id);
+    if (added.kind == structure::SKind::kStmt) tree->map_addr(added.entry, id);
+  }
+
+  prof::CanonicalCct cct(tree.get());
+  const std::uint64_t cn = r.u64();
+  for (std::uint64_t i = 0; i < cn; ++i) {
+    const auto kind = static_cast<prof::CctKind>(r.u64());
+    const auto parent = static_cast<prof::CctNodeId>(r.u64());
+    const auto scope = static_cast<structure::SNodeId>(r.u64());
+    const std::uint64_t cs = r.u64();
+    if (parent >= cct.size())
+      throw ParseError("binary db: dangling cct parent", r.pos());
+    cct.find_or_add_child(parent, kind, scope,
+                          cs == 0 ? structure::kSNull
+                                  : static_cast<structure::SNodeId>(cs - 1));
+  }
+
+  const std::uint64_t cells = r.u64();
+  for (std::uint64_t i = 0; i < cells; ++i) {
+    const auto node = static_cast<prof::CctNodeId>(r.u64());
+    const std::uint64_t e = r.u64();
+    const double v = r.f64();
+    if (node >= cct.size() || e >= model::kNumEvents)
+      throw ParseError("binary db: bad sample cell", r.pos());
+    model::EventVector ev;
+    ev.v[e] = v;
+    cct.add_samples(node, ev);
+  }
+  Experiment exp(std::move(tree), std::move(cct), std::move(name), nranks);
+  const std::uint64_t nmetrics = r.u64();
+  for (std::uint64_t i = 0; i < nmetrics; ++i) {
+    metrics::MetricDesc d;
+    d.name = r.str();
+    d.kind = metrics::MetricKind::kDerived;
+    d.formula = r.str();
+    exp.add_user_metric(std::move(d));
+  }
+  if (!r.at_end()) throw ParseError("binary db: trailing bytes", r.pos());
+  return exp;
+}
+
+}  // namespace pathview::db

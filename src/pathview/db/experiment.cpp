@@ -1,0 +1,98 @@
+#include "pathview/db/experiment.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "pathview/metrics/formula.hpp"
+#include "pathview/support/error.hpp"
+
+namespace pathview::db {
+
+Experiment::Experiment(std::unique_ptr<structure::StructureTree> tree,
+                       prof::CanonicalCct cct, std::string name,
+                       std::uint32_t nranks)
+    : tree_(std::move(tree)),
+      cct_(std::make_unique<prof::CanonicalCct>(std::move(cct))),
+      name_(std::move(name)),
+      nranks_(nranks) {
+  if (&cct_->tree() != tree_.get())
+    throw InvalidArgument("Experiment: cct does not reference the given tree");
+}
+
+Experiment Experiment::capture(const structure::StructureTree& tree,
+                               const prof::CanonicalCct& cct, std::string name,
+                               std::uint32_t nranks) {
+  auto tree_copy = std::make_unique<structure::StructureTree>(tree);
+  prof::CanonicalCct cct_copy = cct.clone_with_tree(tree_copy.get());
+  return Experiment(std::move(tree_copy), std::move(cct_copy),
+                    std::move(name), nranks);
+}
+
+void Experiment::add_user_metric(metrics::MetricDesc desc) {
+  if (desc.kind != metrics::MetricKind::kDerived)
+    throw InvalidArgument("Experiment::add_user_metric: not a derived metric");
+  // Validate the formula eagerly so corrupt definitions fail at save time.
+  (void)metrics::Formula::parse(desc.formula);
+  user_metrics_.push_back(std::move(desc));
+}
+
+bool Experiment::equivalent(const Experiment& a, const Experiment& b,
+                            std::string* why) {
+  auto fail = [&](const std::string& what) {
+    if (why) *why = what;
+    return false;
+  };
+  if (a.name() != b.name()) return fail("name mismatch");
+  if (a.nranks() != b.nranks()) return fail("nranks mismatch");
+  if (a.user_metrics().size() != b.user_metrics().size())
+    return fail("user metric count mismatch");
+  for (std::size_t i = 0; i < a.user_metrics().size(); ++i)
+    if (a.user_metrics()[i].name != b.user_metrics()[i].name ||
+        a.user_metrics()[i].formula != b.user_metrics()[i].formula)
+      return fail("user metric " + std::to_string(i) + " mismatch");
+  if (!structure::StructureTree::equivalent(a.tree(), b.tree(), why))
+    return false;
+  if (a.cct().size() != b.cct().size()) return fail("cct size mismatch");
+  for (prof::CctNodeId n = 0; n < a.cct().size(); ++n) {
+    const prof::CctNode& na = a.cct().node(n);
+    const prof::CctNode& nb = b.cct().node(n);
+    if (na.kind != nb.kind || na.parent != nb.parent ||
+        na.scope != nb.scope || na.call_site != nb.call_site ||
+        na.children != nb.children)
+      return fail("cct node " + std::to_string(n) + " mismatch");
+    for (std::size_t e = 0; e < model::kNumEvents; ++e)
+      if (a.cct().samples(n).v[e] != b.cct().samples(n).v[e])
+        return fail("cct samples " + std::to_string(n) + " mismatch");
+  }
+  return true;
+}
+
+namespace {
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw InvalidArgument("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw InvalidArgument("cannot create '" + path + "'");
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw InvalidArgument("short write to '" + path + "'");
+}
+}  // namespace
+
+void save_xml(const Experiment& exp, const std::string& path) {
+  write_file(path, to_xml(exp));
+}
+Experiment load_xml(const std::string& path) { return from_xml(read_file(path)); }
+
+void save_binary(const Experiment& exp, const std::string& path) {
+  write_file(path, to_binary(exp));
+}
+Experiment load_binary(const std::string& path) {
+  return from_binary(read_file(path));
+}
+
+}  // namespace pathview::db

@@ -1,0 +1,69 @@
+// Experiment databases.
+//
+// hpcprof writes an "experiment database" that hpcviewer loads; we support
+// two on-disk formats:
+//   * an XML format (hpctoolkit's historical experiment.xml analog), and
+//   * the compact varint-encoded binary format the paper lists as future
+//     work ("replacing our XML format for profiles with a more compact
+//     binary format").
+// Both round-trip the structure tree, the canonical CCT and its raw
+// samples, plus experiment metadata.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "pathview/metrics/metric_table.hpp"
+#include "pathview/prof/cct.hpp"
+
+namespace pathview::db {
+
+class Experiment {
+ public:
+  /// Take ownership of a structure tree; `cct` must reference `tree`.
+  Experiment(std::unique_ptr<structure::StructureTree> tree,
+             prof::CanonicalCct cct, std::string name, std::uint32_t nranks);
+
+  /// Deep-copy an existing (tree, cct) pair into a self-contained bundle.
+  static Experiment capture(const structure::StructureTree& tree,
+                            const prof::CanonicalCct& cct, std::string name,
+                            std::uint32_t nranks);
+
+  const structure::StructureTree& tree() const { return *tree_; }
+  const prof::CanonicalCct& cct() const { return *cct_; }
+  const std::string& name() const { return name_; }
+  std::uint32_t nranks() const { return nranks_; }
+
+  /// User-defined derived metrics saved with the experiment, so an analysis
+  /// session's waste/efficiency columns survive a save/load round trip.
+  const std::vector<metrics::MetricDesc>& user_metrics() const {
+    return user_metrics_;
+  }
+  /// Register a derived metric definition (kind must be kDerived).
+  void add_user_metric(metrics::MetricDesc desc);
+
+  /// Structural + sample equality (names compared as strings).
+  static bool equivalent(const Experiment& a, const Experiment& b,
+                         std::string* why = nullptr);
+
+ private:
+  std::unique_ptr<structure::StructureTree> tree_;
+  std::unique_ptr<prof::CanonicalCct> cct_;
+  std::string name_;
+  std::uint32_t nranks_ = 1;
+  std::vector<metrics::MetricDesc> user_metrics_;
+};
+
+// --- XML format -------------------------------------------------------------
+std::string to_xml(const Experiment& exp);
+Experiment from_xml(std::string_view xml);
+void save_xml(const Experiment& exp, const std::string& path);
+Experiment load_xml(const std::string& path);
+
+// --- compact binary format ---------------------------------------------------
+std::string to_binary(const Experiment& exp);
+Experiment from_binary(std::string_view bytes);
+void save_binary(const Experiment& exp, const std::string& path);
+Experiment load_binary(const std::string& path);
+
+}  // namespace pathview::db

@@ -1,0 +1,157 @@
+#include "pathview/db/measurement.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "pathview/support/error.hpp"
+
+namespace pathview::db {
+
+namespace {
+
+constexpr char kMagic[] = "PVMS1\n";
+constexpr std::size_t kMagicLen = 6;
+
+void put_u64(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out += static_cast<char>((v & 0x7f) | 0x80);
+    v >>= 7;
+  }
+  out += static_cast<char>(v);
+}
+
+void put_f64(std::string& out, double v) {
+  const auto bits = std::bit_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) out += static_cast<char>(bits >> (8 * i));
+}
+
+struct Cursor {
+  std::string_view bytes;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const char* what) const {
+    throw ParseError(std::string("measurement: ") + what, pos);
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      if (pos >= bytes.size()) fail("truncated varint");
+      const auto b = static_cast<std::uint8_t>(bytes[pos++]);
+      if (shift >= 63 && (b & 0x7e) != 0) fail("varint overflow");
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+  double f64() {
+    if (pos + 8 > bytes.size()) fail("truncated double");
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i)
+      bits |= static_cast<std::uint64_t>(
+                  static_cast<std::uint8_t>(bytes[pos + i]))
+              << (8 * i);
+    pos += 8;
+    return std::bit_cast<double>(bits);
+  }
+};
+
+}  // namespace
+
+std::string measurement_to_bytes(const sim::RawProfile& raw) {
+  std::string out(kMagic, kMagicLen);
+  put_u64(out, raw.rank);
+  put_u64(out, raw.thread);
+
+  const auto& nodes = raw.nodes();
+  put_u64(out, nodes.size() - 1);  // root is implicit
+  for (sim::NodeIndex i = 1; i < nodes.size(); ++i) {
+    put_u64(out, nodes[i].parent);
+    put_u64(out, nodes[i].call_site);
+    put_u64(out, nodes[i].callee_entry);
+  }
+
+  const auto cells = raw.cells();
+  put_u64(out, cells.size());
+  for (const auto& cell : cells) {
+    put_u64(out, cell.node);
+    put_u64(out, cell.leaf);
+    std::uint64_t mask = 0;
+    for (std::size_t e = 0; e < model::kNumEvents; ++e)
+      if (cell.counts.v[e] != 0.0) mask |= 1ull << e;
+    put_u64(out, mask);
+    for (std::size_t e = 0; e < model::kNumEvents; ++e)
+      if (mask & (1ull << e)) put_f64(out, cell.counts.v[e]);
+  }
+  return out;
+}
+
+sim::RawProfile measurement_from_bytes(std::string_view bytes) {
+  if (bytes.substr(0, kMagicLen) != std::string_view(kMagic, kMagicLen))
+    throw ParseError("measurement: bad magic", 0);
+  Cursor c{bytes, kMagicLen};
+
+  sim::RawProfile raw;
+  raw.rank = static_cast<std::uint32_t>(c.u64());
+  raw.thread = static_cast<std::uint32_t>(c.u64());
+
+  const std::uint64_t nnodes = c.u64();
+  std::vector<sim::NodeIndex> map(nnodes + 1, sim::kRawRoot);
+  for (std::uint64_t i = 1; i <= nnodes; ++i) {
+    const auto parent = c.u64();
+    const std::uint64_t call_site = c.u64();
+    const std::uint64_t callee = c.u64();
+    if (parent >= i) c.fail("node parent out of order");
+    map[i] = raw.child(map[parent], call_site, callee);
+  }
+
+  const std::uint64_t ncells = c.u64();
+  for (std::uint64_t i = 0; i < ncells; ++i) {
+    const std::uint64_t node = c.u64();
+    const std::uint64_t leaf = c.u64();
+    const std::uint64_t mask = c.u64();
+    if (node > nnodes) c.fail("cell node out of range");
+    for (std::size_t e = 0; e < model::kNumEvents; ++e)
+      if (mask & (1ull << e))
+        raw.add_sample(map[node], leaf, static_cast<model::Event>(e), c.f64());
+  }
+  if (c.pos != bytes.size()) c.fail("trailing bytes");
+  return raw;
+}
+
+std::string measurement_path(const std::string& dir, std::uint32_t rank) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/rank-%05u.pvms", rank);
+  return dir + buf;
+}
+
+void save_measurements(const std::vector<sim::RawProfile>& ranks,
+                       const std::string& dir) {
+  for (std::uint32_t r = 0; r < ranks.size(); ++r) {
+    const std::string path = measurement_path(dir, r);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw InvalidArgument("cannot create '" + path + "'");
+    const std::string bytes = measurement_to_bytes(ranks[r]);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw InvalidArgument("short write to '" + path + "'");
+  }
+}
+
+std::vector<sim::RawProfile> load_measurements(const std::string& dir) {
+  std::vector<sim::RawProfile> out;
+  for (std::uint32_t r = 0;; ++r) {
+    std::ifstream in(measurement_path(dir, r), std::ios::binary);
+    if (!in) break;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out.push_back(measurement_from_bytes(ss.str()));
+  }
+  if (out.empty())
+    throw InvalidArgument("no measurement files (rank-00000.pvms) in '" +
+                          dir + "'");
+  return out;
+}
+
+}  // namespace pathview::db

@@ -1,0 +1,147 @@
+// XML experiment-database writer and reader (the document-level logic; the
+// generic XML subset parser lives in xml_parser.cpp).
+#include <charconv>
+
+#include "pathview/db/experiment.hpp"
+#include "pathview/db/xml.hpp"
+#include "pathview/support/error.hpp"
+
+namespace pathview::db {
+
+namespace {
+
+std::uint64_t to_u64(const std::string& s) {
+  std::uint64_t v = 0;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || p != s.data() + s.size())
+    throw InvalidArgument("xml: bad integer '" + s + "'");
+  return v;
+}
+
+double to_f64(const std::string& s) {
+  try {
+    return std::stod(s);
+  } catch (const std::exception&) {
+    throw InvalidArgument("xml: bad number '" + s + "'");
+  }
+}
+
+std::string f64_str(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_xml(const Experiment& exp) {
+  const structure::StructureTree& tree = exp.tree();
+  const prof::CanonicalCct& cct = exp.cct();
+
+  std::string out = "<?xml version=\"1.0\"?>\n";
+  out += "<Experiment name=\"" + xml_escape(exp.name()) + "\" nranks=\"" +
+         std::to_string(exp.nranks()) + "\">\n";
+
+  out += " <Structure>\n";
+  for (structure::SNodeId i = 1; i < tree.size(); ++i) {
+    const structure::SNode& n = tree.node(i);
+    out += "  <S k=\"" + std::to_string(static_cast<int>(n.kind)) +
+           "\" p=\"" + std::to_string(n.parent) + "\" n=\"" +
+           xml_escape(tree.names().str(n.name)) + "\" f=\"" +
+           xml_escape(tree.names().str(n.file)) + "\" l=\"" +
+           std::to_string(n.line) + "\" cl=\"" + std::to_string(n.call_line) +
+           "\" e=\"" + std::to_string(n.entry) + "\" src=\"" +
+           (n.has_source ? "1" : "0") + "\"/>\n";
+  }
+  out += " </Structure>\n";
+
+  out += " <CCT>\n";
+  for (prof::CctNodeId i = 1; i < cct.size(); ++i) {
+    const prof::CctNode& n = cct.node(i);
+    out += "  <N k=\"" + std::to_string(static_cast<int>(n.kind)) +
+           "\" p=\"" + std::to_string(n.parent) + "\" s=\"" +
+           std::to_string(n.scope) + "\" cs=\"" + std::to_string(n.call_site) +
+           "\"/>\n";
+  }
+  out += " </CCT>\n";
+
+  out += " <Samples>\n";
+  for (prof::CctNodeId i = 0; i < cct.size(); ++i) {
+    const model::EventVector& ev = cct.samples(i);
+    for (std::size_t e = 0; e < model::kNumEvents; ++e)
+      if (ev.v[e] != 0.0)
+        out += "  <V n=\"" + std::to_string(i) + "\" e=\"" +
+               std::to_string(e) + "\" x=\"" + f64_str(ev.v[e]) + "\"/>\n";
+  }
+  out += " </Samples>\n";
+
+  out += " <Metrics>\n";
+  for (const metrics::MetricDesc& d : exp.user_metrics())
+    out += "  <D n=\"" + xml_escape(d.name) + "\" f=\"" +
+           xml_escape(d.formula) + "\"/>\n";
+  out += " </Metrics>\n";
+  out += "</Experiment>\n";
+  return out;
+}
+
+Experiment from_xml(std::string_view xml) {
+  const XmlNode root = parse_xml(xml);
+  if (root.name != "Experiment")
+    throw InvalidArgument("xml: root element is not <Experiment>");
+
+  auto tree = std::make_unique<structure::StructureTree>();
+  for (const XmlNode& s : root.child("Structure").children) {
+    if (s.name != "S") throw InvalidArgument("xml: expected <S>");
+    structure::SNode n;
+    n.kind = static_cast<structure::SKind>(to_u64(s.attr("k")));
+    n.parent = static_cast<structure::SNodeId>(to_u64(s.attr("p")));
+    n.name = tree->names().intern(s.attr("n"));
+    n.file = tree->names().intern(s.attr("f"));
+    n.line = static_cast<int>(to_u64(s.attr("l")));
+    n.call_line = static_cast<int>(to_u64(s.attr("cl")));
+    n.entry = to_u64(s.attr("e"));
+    n.has_source = s.attr("src") == "1";
+    const structure::SNodeId id = tree->add_node(std::move(n));
+    const structure::SNode& added = tree->node(id);
+    if (added.kind == structure::SKind::kProc)
+      tree->map_proc_entry(added.entry, id);
+    if (added.kind == structure::SKind::kStmt) tree->map_addr(added.entry, id);
+  }
+
+  prof::CanonicalCct cct(tree.get());
+  for (const XmlNode& c : root.child("CCT").children) {
+    if (c.name != "N") throw InvalidArgument("xml: expected <N>");
+    cct.find_or_add_child(
+        static_cast<prof::CctNodeId>(to_u64(c.attr("p"))),
+        static_cast<prof::CctKind>(to_u64(c.attr("k"))),
+        static_cast<structure::SNodeId>(to_u64(c.attr("s"))),
+        static_cast<structure::SNodeId>(to_u64(c.attr("cs"))));
+  }
+
+  for (const XmlNode& v : root.child("Samples").children) {
+    if (v.name != "V") throw InvalidArgument("xml: expected <V>");
+    model::EventVector ev;
+    const auto e = to_u64(v.attr("e"));
+    if (e >= model::kNumEvents) throw InvalidArgument("xml: bad event index");
+    ev.v[e] = to_f64(v.attr("x"));
+    cct.add_samples(static_cast<prof::CctNodeId>(to_u64(v.attr("n"))), ev);
+  }
+
+  Experiment exp(std::move(tree), std::move(cct), root.attr("name"),
+                 static_cast<std::uint32_t>(to_u64(root.attr("nranks"))));
+  // <Metrics> is optional for backward compatibility with older files.
+  for (const XmlNode& child : root.children) {
+    if (child.name != "Metrics") continue;
+    for (const XmlNode& d : child.children) {
+      if (d.name != "D") throw InvalidArgument("xml: expected <D>");
+      metrics::MetricDesc md;
+      md.name = d.attr("n");
+      md.kind = metrics::MetricKind::kDerived;
+      md.formula = d.attr("f");
+      exp.add_user_metric(std::move(md));
+    }
+  }
+  return exp;
+}
+
+}  // namespace pathview::db

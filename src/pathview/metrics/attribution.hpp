@@ -1,0 +1,48 @@
+// Inclusive/exclusive metric attribution over the canonical CCT
+// (paper Sec. IV-A, Equations 1 and 2).
+//
+// Exclusive (Eq. 1), by scope kind:
+//   * procedure frame (dynamic): sum of all statement samples within the
+//     frame reachable without crossing a call site — this crosses loops and
+//     inline scopes;
+//   * loop / inline scope (static): sum of *direct child* statement samples
+//     only ("the exclusive cost of l1 does not include the cost of l2 since
+//     l2 is not a statement");
+//   * statement: its own samples.
+// Inclusive (Eq. 2): subtree sum of raw samples.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "pathview/metrics/metric_table.hpp"
+#include "pathview/prof/cct.hpp"
+
+namespace pathview::metrics {
+
+struct EventColumns {
+  std::array<ColumnId, model::kNumEvents> incl{};
+  std::array<ColumnId, model::kNumEvents> excl{};
+
+  ColumnId inclusive(model::Event e) const {
+    return incl[static_cast<std::size_t>(e)];
+  }
+  ColumnId exclusive(model::Event e) const {
+    return excl[static_cast<std::size_t>(e)];
+  }
+};
+
+struct Attribution {
+  MetricTable table;   // rows indexed by CCT node id
+  EventColumns cols;
+  std::vector<model::Event> events;
+};
+
+/// Compute inclusive and exclusive columns for the given events over `cct`.
+Attribution attribute_metrics(const prof::CanonicalCct& cct,
+                              std::span<const model::Event> events);
+
+/// All six simulated events.
+std::span<const model::Event> all_events();
+
+}  // namespace pathview::metrics

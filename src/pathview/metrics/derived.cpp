@@ -1,0 +1,34 @@
+#include "pathview/metrics/derived.hpp"
+
+#include "pathview/support/error.hpp"
+
+namespace pathview::metrics {
+
+ColumnId add_derived_metric(MetricTable& table, std::string name,
+                            std::string_view formula_text) {
+  const Formula formula = Formula::parse(formula_text);
+  for (ColumnId ref : formula.referenced_columns())
+    if (ref >= table.num_columns())
+      throw InvalidArgument("derived metric '" + name +
+                            "' references missing column $" +
+                            std::to_string(ref));
+  MetricDesc desc;
+  desc.name = std::move(name);
+  desc.kind = MetricKind::kDerived;
+  desc.formula = formula.text();
+  const ColumnId col = table.add_column(std::move(desc));
+  recompute_derived(table, col);
+  return col;
+}
+
+void recompute_derived(MetricTable& table, ColumnId col) {
+  const MetricDesc& desc = table.desc(col);
+  if (desc.kind != MetricKind::kDerived)
+    throw InvalidArgument("recompute_derived: column '" + desc.name +
+                          "' is not derived");
+  const Formula formula = Formula::parse(desc.formula);
+  for (std::size_t row = 0; row < table.num_rows(); ++row)
+    table.set(col, row, formula.evaluate(table, row));
+}
+
+}  // namespace pathview::metrics

@@ -1,0 +1,21 @@
+// Derived metric columns: compile a formula, evaluate it for every row of a
+// metric table, and append the result as a new sortable column.
+#pragma once
+
+#include "pathview/metrics/formula.hpp"
+#include "pathview/metrics/metric_table.hpp"
+
+namespace pathview::metrics {
+
+/// Append a derived column computed row-wise from `formula`; returns its id.
+/// Being a real column, it can be sorted on and referenced by further
+/// derived metrics — the paper's key usability point ("sorting on derived
+/// metrics improves user productivity").
+ColumnId add_derived_metric(MetricTable& table, std::string name,
+                            std::string_view formula);
+
+/// Recompute a derived column in place (after its inputs changed, e.g. when
+/// a lazily-constructed view materialized more rows).
+void recompute_derived(MetricTable& table, ColumnId col);
+
+}  // namespace pathview::metrics

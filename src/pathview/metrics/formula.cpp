@@ -1,0 +1,290 @@
+#include "pathview/metrics/formula.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "pathview/support/error.hpp"
+
+namespace pathview::metrics {
+
+class FormulaParser {
+ public:
+  explicit FormulaParser(std::string_view text) : text_(text) {}
+
+  Formula parse() {
+    Formula f;
+    f.text_ = std::string(text_);
+    out_ = &f;
+    expr();
+    skip_ws();
+    if (pos_ != text_.size()) fail("unexpected trailing input");
+    std::sort(f.refs_.begin(), f.refs_.end());
+    f.refs_.erase(std::unique(f.refs_.begin(), f.refs_.end()), f.refs_.end());
+    return f;
+  }
+
+ private:
+  using Op = Formula::Op;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw InvalidArgument("formula error at position " + std::to_string(pos_) +
+                          ": " + what + " in '" + std::string(text_) + "'");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  bool accept(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void expect(char c) {
+    if (!accept(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  void emit(Op op, std::uint32_t arg = 0) {
+    out_->code_.push_back(Formula::Instr{op, arg});
+  }
+
+  void expr() {
+    term();
+    for (;;) {
+      if (accept('+')) {
+        term();
+        emit(Op::kAdd);
+      } else if (accept('-')) {
+        term();
+        emit(Op::kSub);
+      } else {
+        return;
+      }
+    }
+  }
+
+  void term() {
+    unary();
+    for (;;) {
+      if (accept('*')) {
+        unary();
+        emit(Op::kMul);
+      } else if (accept('/')) {
+        unary();
+        emit(Op::kDiv);
+      } else {
+        return;
+      }
+    }
+  }
+
+  void unary() {
+    if (accept('-')) {
+      unary();
+      emit(Op::kNeg);
+      return;
+    }
+    power();
+  }
+
+  void power() {
+    primary();
+    if (accept('^')) {
+      unary();  // right-associative
+      emit(Op::kPow);
+    }
+  }
+
+  void primary() {
+    const char c = peek();
+    if (c == '(') {
+      ++pos_;
+      expr();
+      expect(')');
+      return;
+    }
+    if (c == '$') {
+      ++pos_;
+      const std::uint32_t col = parse_uint("column index after '$'");
+      emit(Op::kPushCol, col);
+      out_->refs_.push_back(col);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      parse_number();
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      parse_call();
+      return;
+    }
+    fail("expected a number, '$n', function call, or '('");
+  }
+
+  std::uint32_t parse_uint(const char* what) {
+    skip_ws();
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      fail(std::string("expected ") + what);
+    std::uint64_t v = 0;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      v = v * 10 + static_cast<std::uint64_t>(text_[pos_] - '0');
+      if (v > 0xffffffffULL) fail("integer too large");
+      ++pos_;
+    }
+    return static_cast<std::uint32_t>(v);
+  }
+
+  void parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.'))
+      ++pos_;
+    // optional exponent
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      std::size_t p = pos_ + 1;
+      if (p < text_.size() && (text_[p] == '+' || text_[p] == '-')) ++p;
+      if (p < text_.size() && std::isdigit(static_cast<unsigned char>(text_[p]))) {
+        pos_ = p;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+          ++pos_;
+      }
+    }
+    try {
+      const double v = std::stod(std::string(text_.substr(start, pos_ - start)));
+      out_->constants_.push_back(v);
+      emit(Op::kPushConst,
+           static_cast<std::uint32_t>(out_->constants_.size() - 1));
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+  }
+
+  void parse_call() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_'))
+      ++pos_;
+    const std::string_view name = text_.substr(start, pos_ - start);
+
+    struct Fn {
+      std::string_view name;
+      Op op;
+      int arity;
+    };
+    static constexpr Fn kFns[] = {
+        {"min", Op::kMin, 2},  {"max", Op::kMax, 2}, {"pow", Op::kPow, 2},
+        {"abs", Op::kAbs, 1},  {"sqrt", Op::kSqrt, 1}, {"log", Op::kLog, 1},
+        {"exp", Op::kExp, 1},
+    };
+    const Fn* fn = nullptr;
+    for (const Fn& f : kFns)
+      if (f.name == name) fn = &f;
+    if (fn == nullptr) fail("unknown function '" + std::string(name) + "'");
+
+    expect('(');
+    expr();
+    for (int i = 1; i < fn->arity; ++i) {
+      expect(',');
+      expr();
+    }
+    expect(')');
+    emit(fn->op);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  Formula* out_ = nullptr;
+};
+
+Formula Formula::parse(std::string_view text) {
+  return FormulaParser(text).parse();
+}
+
+double Formula::evaluate(const MetricTable& table, std::size_t row) const {
+  double stack[64];
+  std::size_t sp = 0;
+  auto push = [&](double v) {
+    if (sp >= std::size(stack))
+      throw InvalidArgument("formula too deep: " + text_);
+    stack[sp++] = v;
+  };
+  auto pop = [&]() { return stack[--sp]; };
+
+  for (const Instr& in : code_) {
+    switch (in.op) {
+      case Op::kPushConst:
+        push(constants_[in.arg]);
+        break;
+      case Op::kPushCol:
+        if (in.arg >= table.num_columns())
+          throw InvalidArgument("formula references missing column $" +
+                                std::to_string(in.arg) + ": " + text_);
+        push(table.get(in.arg, row));
+        break;
+      case Op::kAdd: {
+        const double b = pop();
+        push(pop() + b);
+        break;
+      }
+      case Op::kSub: {
+        const double b = pop();
+        push(pop() - b);
+        break;
+      }
+      case Op::kMul: {
+        const double b = pop();
+        push(pop() * b);
+        break;
+      }
+      case Op::kDiv: {
+        const double b = pop();
+        const double a = pop();
+        push(b == 0.0 ? 0.0 : a / b);  // blank-cell semantics: x/0 -> 0
+        break;
+      }
+      case Op::kNeg:
+        push(-pop());
+        break;
+      case Op::kPow: {
+        const double b = pop();
+        push(std::pow(pop(), b));
+        break;
+      }
+      case Op::kMin: {
+        const double b = pop();
+        push(std::min(pop(), b));
+        break;
+      }
+      case Op::kMax: {
+        const double b = pop();
+        push(std::max(pop(), b));
+        break;
+      }
+      case Op::kAbs:
+        push(std::fabs(pop()));
+        break;
+      case Op::kSqrt:
+        push(std::sqrt(pop()));
+        break;
+      case Op::kLog:
+        push(std::log(pop()));
+        break;
+      case Op::kExp:
+        push(std::exp(pop()));
+        break;
+    }
+  }
+  return sp == 1 ? stack[0] : 0.0;
+}
+
+}  // namespace pathview::metrics

@@ -1,0 +1,70 @@
+// Spreadsheet-like derived-metric formulas (paper Sec. V-D).
+//
+// "A derived metric is defined by specifying a spreadsheet-like mathematical
+// formula that refers to data in other columns in the metric table by using
+// $n to refer to the value in the nth column."
+//
+// Grammar (standard precedence, left-associative, '^' right-associative):
+//   expr    := term (('+' | '-') term)*
+//   term    := unary (('*' | '/') unary)*
+//   unary   := '-' unary | power
+//   power   := primary ('^' unary)?
+//   primary := NUMBER | '$' INT | IDENT '(' expr (',' expr)* ')' | '(' expr ')'
+// Functions: min, max, abs, sqrt, log, exp, pow.
+//
+// Formulas compile to a small stack bytecode once and evaluate per row.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pathview/metrics/metric_table.hpp"
+
+namespace pathview::metrics {
+
+class Formula {
+ public:
+  /// Compile `text`; throws InvalidArgument with a position on bad input.
+  static Formula parse(std::string_view text);
+
+  /// Evaluate for one row of `table`. Column references out of range throw.
+  double evaluate(const MetricTable& table, std::size_t row) const;
+
+  /// 0-based indexes of every column the formula references.
+  const std::vector<ColumnId>& referenced_columns() const { return refs_; }
+
+  const std::string& text() const { return text_; }
+
+ private:
+  enum class Op : std::uint8_t {
+    kPushConst,  // push constants_[arg]
+    kPushCol,    // push table(arg, row)
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+    kNeg,
+    kPow,
+    kMin,
+    kMax,
+    kAbs,
+    kSqrt,
+    kLog,
+    kExp,
+  };
+  struct Instr {
+    Op op;
+    std::uint32_t arg = 0;
+  };
+
+  std::string text_;
+  std::vector<Instr> code_;
+  std::vector<double> constants_;
+  std::vector<ColumnId> refs_;
+
+  friend class FormulaParser;
+};
+
+}  // namespace pathview::metrics

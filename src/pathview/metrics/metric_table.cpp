@@ -1,0 +1,32 @@
+#include "pathview/metrics/metric_table.hpp"
+
+#include <numeric>
+
+#include "pathview/support/error.hpp"
+
+namespace pathview::metrics {
+
+ColumnId MetricTable::add_column(MetricDesc desc) {
+  descs_.push_back(std::move(desc));
+  columns_.emplace_back(nrows_, 0.0);
+  return static_cast<ColumnId>(columns_.size() - 1);
+}
+
+void MetricTable::ensure_rows(std::size_t n) {
+  if (n <= nrows_) return;
+  nrows_ = n;
+  for (auto& col : columns_) col.resize(n, 0.0);
+}
+
+double MetricTable::column_sum(ColumnId c) const {
+  const auto& col = columns_[c];
+  return std::accumulate(col.begin(), col.end(), 0.0);
+}
+
+ColumnId MetricTable::find(std::string_view name) const {
+  for (ColumnId c = 0; c < descs_.size(); ++c)
+    if (descs_[c].name == name) return c;
+  return static_cast<ColumnId>(descs_.size());
+}
+
+}  // namespace pathview::metrics

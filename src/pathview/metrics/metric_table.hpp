@@ -1,0 +1,65 @@
+// The metric table: a column store of per-scope metric values.
+//
+// hpcviewer's metric pane is a table whose rows are scopes (of whatever view
+// is displayed) and whose columns are metrics — measured (raw), summary
+// statistics, or user-defined derived metrics. Rows are addressed by view
+// node id; tables grow row-wise as lazily-constructed views materialize
+// nodes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pathview/model/program.hpp"
+
+namespace pathview::metrics {
+
+enum class MetricKind : std::uint8_t {
+  kRaw,      // measured: samples x period of a hardware event
+  kDerived,  // computed from other columns by a user formula
+  kSummary,  // cross-rank statistic (mean/min/max/stddev)
+};
+
+struct MetricDesc {
+  std::string name;
+  MetricKind kind = MetricKind::kRaw;
+  model::Event event = model::Event::kCycles;  // for kRaw
+  bool inclusive = true;  // inclusive vs exclusive flavor (paper Sec. IV-A)
+  std::string formula;    // for kDerived: the spreadsheet formula
+};
+
+using ColumnId = std::uint32_t;
+
+class MetricTable {
+ public:
+  ColumnId add_column(MetricDesc desc);
+
+  std::size_t num_columns() const { return columns_.size(); }
+  std::size_t num_rows() const { return nrows_; }
+
+  /// Grow every column to at least `n` rows (new cells zero).
+  void ensure_rows(std::size_t n);
+
+  const MetricDesc& desc(ColumnId c) const { return descs_[c]; }
+
+  double get(ColumnId c, std::size_t row) const { return columns_[c][row]; }
+  void set(ColumnId c, std::size_t row, double v) { columns_[c][row] = v; }
+  void add(ColumnId c, std::size_t row, double v) { columns_[c][row] += v; }
+
+  std::span<const double> column(ColumnId c) const { return columns_[c]; }
+
+  /// Column sum (used as the percentage denominator fallback).
+  double column_sum(ColumnId c) const;
+
+  /// Find a column by name; returns num_columns() when absent.
+  ColumnId find(std::string_view name) const;
+
+ private:
+  std::vector<MetricDesc> descs_;
+  std::vector<std::vector<double>> columns_;
+  std::size_t nrows_ = 0;
+};
+
+}  // namespace pathview::metrics

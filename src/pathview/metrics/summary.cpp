@@ -1,0 +1,50 @@
+#include "pathview/metrics/summary.hpp"
+
+#include "pathview/metrics/derived.hpp"
+#include "pathview/support/error.hpp"
+
+namespace pathview::metrics {
+
+SummaryColumns add_summary_columns(MetricTable& table,
+                                   const prof::SummaryCct& summary,
+                                   model::Event event) {
+  const std::string base = model::event_name(event);
+  table.ensure_rows(summary.cct.size());
+
+  auto col = [&](const std::string& suffix) {
+    MetricDesc d;
+    d.name = base + " " + suffix;
+    d.kind = MetricKind::kSummary;
+    d.event = event;
+    d.inclusive = true;
+    return table.add_column(std::move(d));
+  };
+
+  SummaryColumns out;
+  out.sum = col("Sum (I)");
+  out.mean = col("Mean (I)");
+  out.min = col("Min (I)");
+  out.max = col("Max (I)");
+  out.stddev = col("StdDev (I)");
+
+  for (prof::CctNodeId n = 0; n < summary.cct.size(); ++n) {
+    const OnlineStats& st = summary.stats(n, event);
+    table.set(out.sum, n, st.sum());
+    table.set(out.mean, n, st.mean());
+    table.set(out.min, n, st.min());
+    table.set(out.max, n, st.max());
+    table.set(out.stddev, n, st.stddev());
+  }
+  return out;
+}
+
+ColumnId add_imbalance_metric(MetricTable& table, const SummaryColumns& cols) {
+  // 100 * (max - mean) / mean; written so the x/0 -> 0 formula semantics
+  // leave zero-cost scopes at exactly 0 (blank), not -100.
+  return add_derived_metric(table, "IMBALANCE %",
+                            "($" + std::to_string(cols.max) + " - $" +
+                                std::to_string(cols.mean) + ") / $" +
+                                std::to_string(cols.mean) + " * 100");
+}
+
+}  // namespace pathview::metrics

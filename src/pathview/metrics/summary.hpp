@@ -1,0 +1,37 @@
+// Summary metric columns (paper Sec. IV "finalization" and Sec. VII).
+//
+// "In large parallel executions, it is not scalable to store all
+// information for all processes/threads in memory. Instead, HPCTOOLKIT
+// summarizes the profile data using statistical metrics such as arithmetic
+// mean, min, max and standard deviation. The finalization step in hpcviewer
+// then assembles intermediate summary metric values into final values."
+//
+// add_summary_columns() attaches Mean/Min/Max/StdDev (and Sum) columns of a
+// SummaryCct's cross-rank inclusive statistics to a metric table whose rows
+// are the summary CCT's nodes (e.g. a CctView built over it).
+#pragma once
+
+#include "pathview/metrics/metric_table.hpp"
+#include "pathview/prof/summarize.hpp"
+
+namespace pathview::metrics {
+
+struct SummaryColumns {
+  ColumnId sum = 0;
+  ColumnId mean = 0;
+  ColumnId min = 0;
+  ColumnId max = 0;
+  ColumnId stddev = 0;
+};
+
+/// Append the five summary columns for `event`; `table` must have (at
+/// least) one row per node of `summary.cct`.
+SummaryColumns add_summary_columns(MetricTable& table,
+                                   const prof::SummaryCct& summary,
+                                   model::Event event);
+
+/// CrayPat-style imbalance percentage column: (max/mean - 1) * 100,
+/// derived from existing summary columns via the formula engine.
+ColumnId add_imbalance_metric(MetricTable& table, const SummaryColumns& cols);
+
+}  // namespace pathview::metrics

@@ -1,0 +1,47 @@
+#include "pathview/metrics/waste.hpp"
+
+#include "pathview/metrics/derived.hpp"
+#include "pathview/support/error.hpp"
+
+namespace pathview::metrics {
+
+namespace {
+std::string col_ref(ColumnId c) { return "$" + std::to_string(c); }
+}  // namespace
+
+ColumnId add_fp_waste_metric(MetricTable& table, ColumnId cycles_col,
+                             ColumnId flops_col, double peak_flops_per_cycle) {
+  if (peak_flops_per_cycle <= 0)
+    throw InvalidArgument("add_fp_waste_metric: peak rate must be positive");
+  return add_derived_metric(
+      table, "FP WASTE",
+      col_ref(cycles_col) + " * " + std::to_string(peak_flops_per_cycle) +
+          " - " + col_ref(flops_col));
+}
+
+ColumnId add_relative_efficiency_metric(MetricTable& table,
+                                        ColumnId cycles_col, ColumnId flops_col,
+                                        double peak_flops_per_cycle) {
+  if (peak_flops_per_cycle <= 0)
+    throw InvalidArgument(
+        "add_relative_efficiency_metric: peak rate must be positive");
+  return add_derived_metric(
+      table, "REL EFFICIENCY",
+      col_ref(flops_col) + " / (" + col_ref(cycles_col) + " * " +
+          std::to_string(peak_flops_per_cycle) + ")");
+}
+
+ColumnId add_scaling_loss_metric(MetricTable& table, ColumnId base_cycles_col,
+                                 ColumnId scaled_cycles_col, double p_base,
+                                 double p_scaled, ScalingMode mode) {
+  if (p_base <= 0 || p_scaled <= 0)
+    throw InvalidArgument("add_scaling_loss_metric: rank counts must be positive");
+  const double growth =
+      mode == ScalingMode::kStrong ? 1.0 : p_scaled / p_base;
+  return add_derived_metric(
+      table, "SCALING LOSS",
+      col_ref(scaled_cycles_col) + " - " + col_ref(base_cycles_col) + " * " +
+          std::to_string(growth));
+}
+
+}  // namespace pathview::metrics

@@ -1,0 +1,40 @@
+// Canned derived metrics from the paper (Sec. V-D and VI-A):
+//   * floating-point waste: cycles x peak-FLOP/cycle - actual FLOPs — "how
+//     many additional FLOPs could have been executed if we were always
+//     computing at peak rate";
+//   * relative efficiency: actual FLOPs / (cycles x peak) — how hard a scope
+//     would be to tune further;
+//   * scaling loss: scaled difference between two executions (Coarfa et al.)
+//     used to pinpoint scalability bottlenecks in context.
+#pragma once
+
+#include "pathview/metrics/metric_table.hpp"
+
+namespace pathview::metrics {
+
+/// FP waste = $cycles * peak - $flops (both columns inclusive or both
+/// exclusive, caller's choice).
+ColumnId add_fp_waste_metric(MetricTable& table, ColumnId cycles_col,
+                             ColumnId flops_col, double peak_flops_per_cycle);
+
+/// Relative efficiency = $flops / ($cycles * peak), in [0, 1].
+ColumnId add_relative_efficiency_metric(MetricTable& table, ColumnId cycles_col,
+                                        ColumnId flops_col,
+                                        double peak_flops_per_cycle);
+
+/// Scaling loss between a baseline run on `p_base` ranks and a scaled run
+/// on `p_scaled` ranks (Coarfa et al., "scaling and differencing call path
+/// profiles"). Both columns hold costs AGGREGATED over all ranks:
+///   * strong scaling: total work is conserved under ideal scaling, so
+///       loss = $scaled - $base;
+///   * weak scaling: total work grows with the rank count, so
+///       loss = $scaled - $base * (p_scaled / p_base).
+/// Scopes with positive loss did not scale ideally.
+enum class ScalingMode : std::uint8_t { kStrong, kWeak };
+
+ColumnId add_scaling_loss_metric(MetricTable& table, ColumnId base_cycles_col,
+                                 ColumnId scaled_cycles_col, double p_base,
+                                 double p_scaled,
+                                 ScalingMode mode = ScalingMode::kStrong);
+
+}  // namespace pathview::metrics

@@ -1,0 +1,63 @@
+// Address-space abstraction.
+//
+// hpcrun records *addresses* (instruction pointers and return addresses);
+// hpcprof later maps them back to source constructs via the structure file.
+// Pathview mirrors this: the execution engine asks an AddressSpace for the
+// address of each statement it visits, and for compiler inlining decisions.
+// structure::Lowering implements the interface for a lowered BinaryImage;
+// IdentityAddressSpace provides a trivial no-inlining mapping for tests.
+#pragma once
+
+#include <cstdint>
+
+#include "pathview/model/program.hpp"
+
+namespace pathview::model {
+
+/// Synthetic machine address.
+using Addr = std::uint64_t;
+
+/// Identifier of an inline expansion instance; kTopLevelFrame means the
+/// statement executes at its own (non-inlined) location.
+using InlineFrameId = std::uint32_t;
+inline constexpr InlineFrameId kTopLevelFrame = 0;
+inline constexpr InlineFrameId kNotInlined = 0xffffffffu;
+
+class AddressSpace {
+ public:
+  virtual ~AddressSpace() = default;
+
+  /// Address of statement `s` when executing inside inline expansion `frame`
+  /// (kTopLevelFrame for code at its original location).
+  virtual Addr addr(InlineFrameId frame, StmtId s) const = 0;
+
+  /// If the call statement `call` (itself executing inside `frame`) was
+  /// inlined by the compiler, return the inline expansion the callee body
+  /// executes in; kNotInlined for a genuine dynamic call.
+  virtual InlineFrameId inline_expansion(InlineFrameId frame,
+                                         StmtId call) const = 0;
+
+  /// Entry address of procedure `p` (used as the callee identity in
+  /// recorded call paths).
+  virtual Addr proc_entry(ProcId p) const = 0;
+};
+
+/// No lowering: addresses are statement ids (biased so that they can never
+/// collide with proc entries), nothing is inlined. Suitable for pipeline
+/// tests that bypass structure recovery.
+class IdentityAddressSpace final : public AddressSpace {
+ public:
+  static constexpr Addr kStmtBase = 0x1000000;
+
+  Addr addr(InlineFrameId, StmtId s) const override { return kStmtBase + s; }
+  InlineFrameId inline_expansion(InlineFrameId, StmtId) const override {
+    return kNotInlined;
+  }
+  Addr proc_entry(ProcId p) const override { return p + 1; }
+
+  static bool is_stmt_addr(Addr a) { return a >= kStmtBase; }
+  static StmtId to_stmt(Addr a) { return static_cast<StmtId>(a - kStmtBase); }
+  static ProcId to_proc(Addr a) { return static_cast<ProcId>(a - 1); }
+};
+
+}  // namespace pathview::model

@@ -1,0 +1,135 @@
+#include "pathview/model/builder.hpp"
+
+#include <algorithm>
+
+#include "pathview/support/error.hpp"
+
+namespace pathview::model {
+
+// --- ScopeCursor -----------------------------------------------------------
+
+ScopeCursor& ScopeCursor::compute(int line, const EventVector& cost) {
+  Stmt s;
+  s.kind = StmtKind::kCompute;
+  s.line = line;
+  s.cost = cost;
+  b_->add_stmt(proc_, parent_, std::move(s));
+  return *this;
+}
+
+ScopeCursor& ScopeCursor::call(int line, ProcId callee, const CallOpts& opts) {
+  call_stmt(line, callee, opts);
+  return *this;
+}
+
+StmtId ScopeCursor::call_stmt(int line, ProcId callee, const CallOpts& opts) {
+  Stmt s;
+  s.kind = StmtKind::kCall;
+  s.line = line;
+  s.callee = callee;
+  s.call_prob = opts.prob;
+  s.max_rec_depth = opts.max_rec_depth;
+  s.cost = opts.cost;
+  return b_->add_stmt(proc_, parent_, std::move(s));
+}
+
+StmtId ScopeCursor::loop(int line, std::uint32_t trips, double trip_jitter) {
+  Stmt s;
+  s.kind = StmtKind::kLoop;
+  s.line = line;
+  s.trips = trips;
+  s.trip_jitter = trip_jitter;
+  return b_->add_stmt(proc_, parent_, std::move(s));
+}
+
+StmtId ScopeCursor::branch(int line, double prob) {
+  Stmt s;
+  s.kind = StmtKind::kBranch;
+  s.line = line;
+  s.taken_prob = prob;
+  return b_->add_stmt(proc_, parent_, std::move(s));
+}
+
+// --- ProgramBuilder --------------------------------------------------------
+
+ModuleId ProgramBuilder::module(std::string_view name) {
+  LoadModule m;
+  m.name = prog_.names_.intern(name);
+  prog_.modules_.push_back(std::move(m));
+  return static_cast<ModuleId>(prog_.modules_.size() - 1);
+}
+
+FileId ProgramBuilder::file(std::string_view name, ModuleId mod) {
+  if (mod >= prog_.modules_.size())
+    throw InvalidArgument("ProgramBuilder::file: dangling module id");
+  SourceFile f;
+  f.name = prog_.names_.intern(name);
+  f.module = mod;
+  prog_.files_.push_back(std::move(f));
+  const auto id = static_cast<FileId>(prog_.files_.size() - 1);
+  prog_.modules_[mod].files.push_back(id);
+  return id;
+}
+
+ProcId ProgramBuilder::proc(std::string_view name, FileId file, int begin_line,
+                            const ProcOpts& opts) {
+  if (file >= prog_.files_.size())
+    throw InvalidArgument("ProgramBuilder::proc: dangling file id");
+  Procedure p;
+  p.name = prog_.names_.intern(name);
+  p.file = file;
+  p.begin_line = begin_line;
+  p.end_line = opts.end_line;
+  p.inlinable = opts.inlinable;
+  p.has_source = opts.has_source;
+  prog_.procs_.push_back(std::move(p));
+  const auto id = static_cast<ProcId>(prog_.procs_.size() - 1);
+  prog_.files_[file].procs.push_back(id);
+  return id;
+}
+
+ScopeCursor ProgramBuilder::in(ProcId p) {
+  if (p >= prog_.procs_.size())
+    throw InvalidArgument("ProgramBuilder::in: dangling proc id");
+  return ScopeCursor(*this, p, kInvalidId);
+}
+
+ScopeCursor ProgramBuilder::in(ProcId p, StmtId s) {
+  if (p >= prog_.procs_.size() || s >= prog_.stmts_.size())
+    throw InvalidArgument("ProgramBuilder::in: dangling id");
+  const StmtKind k = prog_.stmts_[s].kind;
+  if (k != StmtKind::kLoop && k != StmtKind::kBranch)
+    throw InvalidArgument("ProgramBuilder::in: statement has no body");
+  return ScopeCursor(*this, p, s);
+}
+
+void ProgramBuilder::set_entry(ProcId p) {
+  if (p >= prog_.procs_.size())
+    throw InvalidArgument("ProgramBuilder::set_entry: dangling proc id");
+  prog_.entry_ = p;
+}
+
+StmtId ProgramBuilder::add_stmt(ProcId proc, StmtId parent, Stmt stmt) {
+  if (finished_) throw InvalidArgument("ProgramBuilder: already finished");
+  prog_.stmts_.push_back(std::move(stmt));
+  const auto id = static_cast<StmtId>(prog_.stmts_.size() - 1);
+  if (parent == kInvalidId)
+    prog_.procs_[proc].body.push_back(id);
+  else
+    prog_.stmts_[parent].body.push_back(id);
+  // Keep the procedure's line range covering its statements.
+  Procedure& pr = prog_.procs_[proc];
+  pr.end_line = std::max({pr.end_line, prog_.stmts_[id].line, pr.begin_line});
+  return id;
+}
+
+Program ProgramBuilder::finish() {
+  if (finished_) throw InvalidArgument("ProgramBuilder: already finished");
+  finished_ = true;
+  for (Procedure& p : prog_.procs_)
+    p.end_line = std::max(p.end_line, p.begin_line);
+  prog_.validate();
+  return std::move(prog_);
+}
+
+}  // namespace pathview::model

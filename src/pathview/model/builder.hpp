@@ -1,0 +1,96 @@
+// Fluent construction of program models.
+//
+// Example (the paper's Fig. 1 program):
+//
+//   ProgramBuilder b;
+//   auto mod   = b.module("a.out");
+//   auto file1 = b.file("file1.c", mod);
+//   auto file2 = b.file("file2.c", mod);
+//   auto f = b.proc("f", file1, 1);
+//   auto m = b.proc("m", file1, 6);
+//   auto g = b.proc("g", file2, 2);
+//   auto h = b.proc("h", file2, 7);
+//   b.in(f).call(2, g);
+//   b.in(m).call(7, f).call(8, g);
+//   ...
+//   b.set_entry(m);
+//   Program p = b.finish();
+#pragma once
+
+#include <string_view>
+
+#include "pathview/model/program.hpp"
+
+namespace pathview::model {
+
+struct CallOpts {
+  double prob = 1.0;              // probability the call executes per visit
+  std::uint32_t max_rec_depth = 64;
+  EventVector cost;               // cost charged at the call-site line itself
+};
+
+class ProgramBuilder;
+
+/// A statement-insertion cursor: either a procedure's top level or the body
+/// of a loop/branch statement. Cheap to copy; methods return *this (or the
+/// created statement id) so workload definitions chain naturally.
+class ScopeCursor {
+ public:
+  /// Append a compute statement; returns the cursor for chaining.
+  ScopeCursor& compute(int line, const EventVector& cost);
+  /// Append a call site; returns the cursor for chaining.
+  ScopeCursor& call(int line, ProcId callee, const CallOpts& opts = {});
+  /// Append a loop; returns the new loop statement's id (open it with
+  /// builder.in(proc, loop_id)).
+  StmtId loop(int line, std::uint32_t trips, double trip_jitter = 0.0);
+  /// Append a branch region taken with probability `prob`.
+  StmtId branch(int line, double prob);
+  /// Append a call site and return its statement id (when the id is needed,
+  /// e.g. to mark inlining).
+  StmtId call_stmt(int line, ProcId callee, const CallOpts& opts = {});
+
+ private:
+  friend class ProgramBuilder;
+  ScopeCursor(ProgramBuilder& b, ProcId proc, StmtId parent)
+      : b_(&b), proc_(proc), parent_(parent) {}
+
+  ProgramBuilder* b_;
+  ProcId proc_;
+  StmtId parent_;  // kInvalidId => procedure top level
+};
+
+class ProgramBuilder {
+ public:
+  ModuleId module(std::string_view name);
+  FileId file(std::string_view name, ModuleId mod);
+
+  struct ProcOpts {
+    bool inlinable = false;
+    bool has_source = true;
+    int end_line = 0;  // 0 => derived from the last statement line
+  };
+  ProcId proc(std::string_view name, FileId file, int begin_line,
+              const ProcOpts& opts);
+  ProcId proc(std::string_view name, FileId file, int begin_line) {
+    return proc(name, file, begin_line, ProcOpts{});
+  }
+
+  /// Cursor at the top level of `p`'s body.
+  ScopeCursor in(ProcId p);
+  /// Cursor inside the body of loop/branch `s` (which must belong to `p`).
+  ScopeCursor in(ProcId p, StmtId s);
+
+  void set_entry(ProcId p);
+
+  /// Validate and hand over the finished program. The builder is spent.
+  Program finish();
+
+ private:
+  friend class ScopeCursor;
+  StmtId add_stmt(ProcId proc, StmtId parent, Stmt stmt);
+
+  Program prog_;
+  bool finished_ = false;
+};
+
+}  // namespace pathview::model

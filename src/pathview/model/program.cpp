@@ -1,0 +1,98 @@
+#include "pathview/model/program.hpp"
+
+#include <functional>
+#include <string>
+
+#include "pathview/support/error.hpp"
+
+namespace pathview::model {
+
+const char* event_name(Event e) {
+  switch (e) {
+    case Event::kCycles:
+      return "PAPI_TOT_CYC";
+    case Event::kInstructions:
+      return "PAPI_TOT_INS";
+    case Event::kFlops:
+      return "PAPI_FP_OPS";
+    case Event::kL1Miss:
+      return "PAPI_L1_DCM";
+    case Event::kL2Miss:
+      return "PAPI_L2_DCM";
+    case Event::kIdle:
+      return "IDLE";
+  }
+  return "UNKNOWN";
+}
+
+EventVector make_cost(double cycles, double instructions, double flops,
+                      double l1_miss, double l2_miss, double idle) {
+  EventVector ev;
+  ev[Event::kCycles] = cycles;
+  ev[Event::kInstructions] = instructions;
+  ev[Event::kFlops] = flops;
+  ev[Event::kL1Miss] = l1_miss;
+  ev[Event::kL2Miss] = l2_miss;
+  ev[Event::kIdle] = idle;
+  return ev;
+}
+
+ProcId Program::find_proc(std::string_view name) const {
+  for (ProcId p = 0; p < procs_.size(); ++p)
+    if (names_.str(procs_[p].name) == name) return p;
+  return kInvalidId;
+}
+
+void Program::validate() const {
+  auto fail = [](const std::string& what) { throw InvalidArgument("Program: " + what); };
+
+  if (entry_ == kInvalidId || entry_ >= procs_.size())
+    fail("missing or dangling entry procedure");
+
+  for (ModuleId m = 0; m < modules_.size(); ++m)
+    for (FileId f : modules_[m].files)
+      if (f >= files_.size() || files_[f].module != m)
+        fail("module/file linkage broken for module " + std::to_string(m));
+
+  for (FileId f = 0; f < files_.size(); ++f) {
+    if (files_[f].module >= modules_.size())
+      fail("file " + std::to_string(f) + " has dangling module");
+    for (ProcId p : files_[f].procs)
+      if (p >= procs_.size() || procs_[p].file != f)
+        fail("file/proc linkage broken for file " + std::to_string(f));
+  }
+
+  // Walk each procedure's statement tree: check ids, line ranges, acyclicity,
+  // and that every statement belongs to exactly one parent.
+  std::vector<int> owner(stmts_.size(), -1);
+  for (ProcId p = 0; p < procs_.size(); ++p) {
+    const Procedure& proc = procs_[p];
+    if (proc.file >= files_.size())
+      fail("proc " + std::to_string(p) + " has dangling file");
+    std::function<void(StmtId, int)> walk = [&](StmtId s, int depth) {
+      if (s >= stmts_.size())
+        fail("proc " + std::to_string(p) + " references dangling stmt");
+      if (depth > 256) fail("statement tree too deep (cycle?)");
+      if (owner[s] != -1)
+        fail("stmt " + std::to_string(s) + " has multiple parents");
+      owner[s] = static_cast<int>(p);
+      const Stmt& st = stmts_[s];
+      if (st.line < proc.begin_line || st.line > proc.end_line)
+        fail("stmt " + std::to_string(s) + " line " + std::to_string(st.line) +
+             " outside proc range of " + names_.str(proc.name));
+      if (st.kind == StmtKind::kCall) {
+        if (st.callee >= procs_.size())
+          fail("call stmt " + std::to_string(s) + " has dangling callee");
+        if (!st.body.empty()) fail("call stmt must have no body");
+      }
+      if (st.kind == StmtKind::kLoop && st.body.empty())
+        fail("loop stmt " + std::to_string(s) + " has empty body");
+      if (st.kind == StmtKind::kCompute && !st.body.empty())
+        fail("compute stmt must have no body");
+      for (StmtId c : st.body) walk(c, depth + 1);
+    };
+    for (StmtId s : proc.body) walk(s, 0);
+  }
+}
+
+}  // namespace pathview::model

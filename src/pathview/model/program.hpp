@@ -1,0 +1,202 @@
+// The synthetic program model.
+//
+// Pathview replaces real binaries with a program model: load modules
+// containing source files containing procedures whose bodies are statement
+// trees (compute statements, call sites, loops, branches). Each statement
+// carries an event-cost model (cycles, instructions, flops, cache misses...)
+// per visit. The model plays three roles:
+//   1. "source code"  — the UI source pane renders pseudo-source from it;
+//   2. "executable"   — sim::ExecutionEngine interprets it under a virtual
+//                       clock and the sampler unwinds its call stack;
+//   3. ground truth   — structure::lower() discards the structure into a
+//                       BinaryImage and recovery is validated against it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pathview/support/string_table.hpp"
+
+namespace pathview::model {
+
+// ---------------------------------------------------------------------------
+// Hardware-counter events the simulated PMU can measure.
+// ---------------------------------------------------------------------------
+
+enum class Event : std::uint8_t {
+  kCycles = 0,
+  kInstructions,
+  kFlops,
+  kL1Miss,
+  kL2Miss,
+  kIdle,  // time spent waiting at synchronization points (SPMD runs)
+};
+
+inline constexpr std::size_t kNumEvents = 6;
+
+/// Printable PAPI-style event name ("PAPI_TOT_CYC", ...).
+const char* event_name(Event e);
+
+/// Per-visit (or per-sample) counts of every event; a small fixed vector.
+struct EventVector {
+  std::array<double, kNumEvents> v{};
+
+  double& operator[](Event e) { return v[static_cast<std::size_t>(e)]; }
+  double operator[](Event e) const { return v[static_cast<std::size_t>(e)]; }
+
+  EventVector& operator+=(const EventVector& o) {
+    for (std::size_t i = 0; i < kNumEvents; ++i) v[i] += o.v[i];
+    return *this;
+  }
+  EventVector& operator*=(double k) {
+    for (auto& x : v) x *= k;
+    return *this;
+  }
+  friend EventVector operator+(EventVector a, const EventVector& b) {
+    a += b;
+    return a;
+  }
+  friend EventVector operator*(EventVector a, double k) {
+    a *= k;
+    return a;
+  }
+  bool all_zero() const {
+    for (double x : v)
+      if (x != 0.0) return false;
+    return true;
+  }
+};
+
+/// Convenience builder: cycles/instructions dominate most statements.
+EventVector make_cost(double cycles, double instructions = 0.0,
+                      double flops = 0.0, double l1_miss = 0.0,
+                      double l2_miss = 0.0, double idle = 0.0);
+
+// ---------------------------------------------------------------------------
+// Identifiers (indexes into the Program's arena vectors).
+// ---------------------------------------------------------------------------
+
+using ModuleId = std::uint32_t;
+using FileId = std::uint32_t;
+using ProcId = std::uint32_t;
+using StmtId = std::uint32_t;
+
+inline constexpr std::uint32_t kInvalidId = 0xffffffffu;
+
+// ---------------------------------------------------------------------------
+// Statements.
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : std::uint8_t {
+  kCompute,  // straight-line work: consumes `cost` per visit
+  kCall,     // call site: transfers to `callee` with probability `call_prob`
+  kLoop,     // loop: executes `body` `trips` times per visit
+  kBranch,   // conditional region: executes `body` with probability
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::kCompute;
+  int line = 0;  // source line within the enclosing file
+
+  /// Cost charged each time the statement itself is visited. For calls this
+  /// is the call-instruction overhead (charged at the call-site line).
+  EventVector cost;
+
+  // --- kCall ---
+  ProcId callee = kInvalidId;
+  double call_prob = 1.0;      // probability the call is executed per visit
+  std::uint32_t max_rec_depth = 64;  // recursion bound for self/mutual calls
+
+  // --- kLoop ---
+  std::uint32_t trips = 0;    // mean iteration count
+  double trip_jitter = 0.0;   // relative stddev of randomized trip counts
+
+  // --- kBranch ---
+  double taken_prob = 1.0;    // probability `body` executes per visit
+
+  // --- kLoop / kBranch ---
+  std::vector<StmtId> body;
+};
+
+// ---------------------------------------------------------------------------
+// Procedures, files, load modules.
+// ---------------------------------------------------------------------------
+
+struct Procedure {
+  NameId name = 0;
+  FileId file = kInvalidId;
+  int begin_line = 0;
+  int end_line = 0;
+  std::vector<StmtId> body;  // top-level statements
+  /// Lowering inlines this procedure's body into call sites that request it
+  /// (mirrors `_intel_fast_memset`-style compiler inlining in the paper).
+  bool inlinable = false;
+  /// Procedures with no source (e.g. language runtime): the UI renders their
+  /// names in "plain black", not as source hyperlinks (paper Sec. III-D2).
+  bool has_source = true;
+};
+
+struct SourceFile {
+  NameId name = 0;
+  ModuleId module = kInvalidId;
+  std::vector<ProcId> procs;
+};
+
+struct LoadModule {
+  NameId name = 0;
+  std::vector<FileId> files;
+};
+
+// ---------------------------------------------------------------------------
+// Program.
+// ---------------------------------------------------------------------------
+
+class Program {
+ public:
+  StringTable& names() { return names_; }
+  const StringTable& names() const { return names_; }
+
+  const std::vector<LoadModule>& modules() const { return modules_; }
+  const std::vector<SourceFile>& files() const { return files_; }
+  const std::vector<Procedure>& procs() const { return procs_; }
+  const std::vector<Stmt>& stmts() const { return stmts_; }
+
+  const LoadModule& module(ModuleId id) const { return modules_.at(id); }
+  const SourceFile& file(FileId id) const { return files_.at(id); }
+  const Procedure& proc(ProcId id) const { return procs_.at(id); }
+  const Stmt& stmt(StmtId id) const { return stmts_.at(id); }
+
+  ProcId entry() const { return entry_; }
+
+  const std::string& proc_name(ProcId id) const {
+    return names_.str(proc(id).name);
+  }
+  const std::string& file_name(FileId id) const {
+    return names_.str(file(id).name);
+  }
+  const std::string& module_name(ModuleId id) const {
+    return names_.str(module(id).name);
+  }
+
+  /// Find a procedure by name; returns kInvalidId if absent.
+  ProcId find_proc(std::string_view name) const;
+
+  /// Throws InvalidArgument when internal references are inconsistent
+  /// (dangling callee/file ids, statements outside procedure line ranges,
+  /// statement-tree cycles, missing entry).
+  void validate() const;
+
+ private:
+  friend class ProgramBuilder;
+
+  StringTable names_;
+  std::vector<LoadModule> modules_;
+  std::vector<SourceFile> files_;
+  std::vector<Procedure> procs_;
+  std::vector<Stmt> stmts_;
+  ProcId entry_ = kInvalidId;
+};
+
+}  // namespace pathview::model

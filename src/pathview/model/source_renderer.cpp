@@ -1,0 +1,87 @@
+#include "pathview/model/source_renderer.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "pathview/support/format.hpp"
+
+namespace pathview::model {
+
+namespace {
+
+/// Pick the most descriptive text when several statements share a line.
+int text_priority(StmtKind k) {
+  switch (k) {
+    case StmtKind::kCall:
+      return 3;
+    case StmtKind::kLoop:
+      return 2;
+    case StmtKind::kBranch:
+      return 1;
+    case StmtKind::kCompute:
+      return 0;
+  }
+  return 0;
+}
+
+std::string stmt_text(const Program& prog, const Stmt& s, int depth) {
+  std::string indent(static_cast<std::size_t>(2 * (depth + 1)), ' ');
+  switch (s.kind) {
+    case StmtKind::kCall: {
+      std::string t = indent + prog.proc_name(s.callee) + "();";
+      if (s.call_prob < 1.0) t = indent + "if (..) " + prog.proc_name(s.callee) + "();";
+      return t;
+    }
+    case StmtKind::kLoop:
+      return indent + "for (i = 0; i < " + std::to_string(s.trips) + "; ++i) {";
+    case StmtKind::kBranch:
+      return indent + "if (..) {";
+    case StmtKind::kCompute:
+      return indent + "work();  /* " +
+             format_count(s.cost[Event::kCycles]) + " cyc, " +
+             format_count(s.cost[Event::kFlops]) + " flop */";
+  }
+  return indent;
+}
+
+}  // namespace
+
+std::vector<std::string> render_source(const Program& prog, FileId file) {
+  int max_line = 1;
+  for (ProcId p : prog.file(file).procs)
+    max_line = std::max(max_line, prog.proc(p).end_line + 1);
+
+  std::vector<std::string> lines(static_cast<std::size_t>(max_line));
+  std::vector<int> priority(static_cast<std::size_t>(max_line), -1);
+
+  auto put = [&](int line, const std::string& text, int prio) {
+    if (line < 1 || line > max_line) return;
+    auto i = static_cast<std::size_t>(line - 1);
+    if (prio > priority[i]) {
+      lines[i] = text;
+      priority[i] = prio;
+    }
+  };
+
+  for (ProcId pid : prog.file(file).procs) {
+    const Procedure& p = prog.proc(pid);
+    put(p.begin_line, "void " + prog.names().str(p.name) + "() {", 10);
+    put(p.end_line + 1, "}", 5);
+    std::function<void(StmtId, int)> walk = [&](StmtId sid, int depth) {
+      const Stmt& s = prog.stmt(sid);
+      put(s.line, stmt_text(prog, s, depth), text_priority(s.kind));
+      for (StmtId c : s.body) walk(c, depth + 1);
+    };
+    for (StmtId s : p.body) walk(s, 0);
+  }
+  return lines;
+}
+
+std::string render_source_line(const Program& prog, FileId file, int line) {
+  if (line < 1) return {};
+  auto lines = render_source(prog, file);
+  const auto i = static_cast<std::size_t>(line - 1);
+  return i < lines.size() ? lines[i] : std::string();
+}
+
+}  // namespace pathview::model

@@ -1,0 +1,22 @@
+// Pseudo-source rendering.
+//
+// The hpcviewer source pane shows real application source; our substitute
+// renders readable pseudo-C from the program model, keeping every statement
+// on its declared line so the viewer's file:line navigation is meaningful.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pathview/model/program.hpp"
+
+namespace pathview::model {
+
+/// Render `file` of `prog` as numbered source lines. The result has exactly
+/// max(end_line over procs, 1) entries; line N is result[N-1].
+std::vector<std::string> render_source(const Program& prog, FileId file);
+
+/// Render a single line (1-based) of a file; empty string when out of range.
+std::string render_source_line(const Program& prog, FileId file, int line);
+
+}  // namespace pathview::model

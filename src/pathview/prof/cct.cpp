@@ -1,0 +1,104 @@
+#include "pathview/prof/cct.hpp"
+
+#include "pathview/support/error.hpp"
+
+namespace pathview::prof {
+
+const char* cct_kind_name(CctKind k) {
+  switch (k) {
+    case CctKind::kRoot:
+      return "root";
+    case CctKind::kFrame:
+      return "frame";
+    case CctKind::kLoop:
+      return "loop";
+    case CctKind::kInline:
+      return "inline";
+    case CctKind::kStmt:
+      return "stmt";
+  }
+  return "?";
+}
+
+CanonicalCct::CanonicalCct(const structure::StructureTree* tree) : tree_(tree) {
+  if (tree == nullptr) throw InvalidArgument("CanonicalCct: null tree");
+  nodes_.push_back(CctNode{});
+  samples_.emplace_back();
+}
+
+CctNodeId CanonicalCct::find_or_add_child(CctNodeId parent, CctKind kind,
+                                          structure::SNodeId scope,
+                                          structure::SNodeId call_site) {
+  const EdgeKey key{parent, kind, scope, call_site};
+  if (auto it = edges_.find(key); it != edges_.end()) return it->second;
+  const auto id = static_cast<CctNodeId>(nodes_.size());
+  CctNode n;
+  n.kind = kind;
+  n.parent = parent;
+  n.scope = scope;
+  n.call_site = call_site;
+  nodes_.push_back(std::move(n));
+  samples_.emplace_back();
+  nodes_[parent].children.push_back(id);
+  edges_.emplace(key, id);
+  return id;
+}
+
+model::EventVector CanonicalCct::totals() const {
+  model::EventVector t;
+  for (const auto& s : samples_) t += s;
+  return t;
+}
+
+std::vector<model::EventVector> CanonicalCct::inclusive_samples() const {
+  std::vector<model::EventVector> incl = samples_;
+  // Children always have larger ids than parents (construction invariant),
+  // so a reverse sweep accumulates bottom-up.
+  for (auto id = static_cast<std::uint32_t>(nodes_.size()); id-- > 1;)
+    incl[nodes_[id].parent] += incl[id];
+  return incl;
+}
+
+std::vector<CctNodeId> CanonicalCct::merge(const CanonicalCct& other) {
+  if (tree_ != other.tree_)
+    throw InvalidArgument("CanonicalCct::merge: different structure trees");
+  std::vector<CctNodeId> map(other.size(), kCctNull);
+  map[kCctRoot] = kCctRoot;
+  samples_[kCctRoot] += other.samples_[kCctRoot];
+  // Parents precede children in id order, so a forward sweep suffices.
+  for (CctNodeId id = 1; id < other.size(); ++id) {
+    const CctNode& n = other.node(id);
+    const CctNodeId dst =
+        find_or_add_child(map[n.parent], n.kind, n.scope, n.call_site);
+    map[id] = dst;
+    samples_[dst] += other.samples_[id];
+  }
+  return map;
+}
+
+CanonicalCct CanonicalCct::clone_with_tree(
+    const structure::StructureTree* tree) const {
+  CanonicalCct out(tree);
+  out.nodes_ = nodes_;
+  out.samples_ = samples_;
+  out.edges_ = edges_;
+  return out;
+}
+
+std::string CanonicalCct::label(CctNodeId id) const {
+  const CctNode& n = node(id);
+  switch (n.kind) {
+    case CctKind::kRoot:
+      return "<program root>";
+    case CctKind::kFrame:
+      return tree_->name_of(n.scope);
+    case CctKind::kInline:
+      return "inlined: " + tree_->name_of(n.scope);
+    case CctKind::kLoop:
+    case CctKind::kStmt:
+      return tree_->label(n.scope);
+  }
+  return "?";
+}
+
+}  // namespace pathview::prof

@@ -1,0 +1,129 @@
+// The canonical calling context tree (paper Sec. IV-A).
+//
+// "This data structure is synthesized by hpcprof by integrating information
+// about static program structure into dynamic call chains." Nodes are either
+// dynamic scopes (procedure frames — a fused <call site, callee> pair) or
+// static scopes (loops, inlined procedures, statements) hung between frames
+// according to the structure tree. Raw sample counts live on statement
+// scopes; all metric attribution (inclusive/exclusive, Eq. 1 & 2) is done by
+// pathview::metrics on top of this tree.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "pathview/model/program.hpp"
+#include "pathview/structure/structure_tree.hpp"
+
+namespace pathview::prof {
+
+enum class CctKind : std::uint8_t {
+  kRoot = 0,
+  kFrame,   // dynamic: a procedure frame entered from a specific call site
+  kLoop,    // static: loop scope (from the structure tree)
+  kInline,  // static: inlined procedure scope
+  kStmt,    // static: statement scope — raw samples live here
+};
+
+const char* cct_kind_name(CctKind k);
+
+using CctNodeId = std::uint32_t;
+inline constexpr CctNodeId kCctRoot = 0;
+inline constexpr CctNodeId kCctNull = 0xffffffffu;
+
+struct CctNode {
+  CctKind kind = CctKind::kRoot;
+  CctNodeId parent = kCctNull;
+  /// The structure-tree scope this node represents (proc scope for frames).
+  structure::SNodeId scope = structure::kSNull;
+  /// For frames: the caller-side call-site statement scope (kSNull for the
+  /// entry frame). Frames are keyed by (callee scope, call site), so the
+  /// same procedure called from two lines yields two distinct contexts.
+  structure::SNodeId call_site = structure::kSNull;
+  std::vector<CctNodeId> children;
+};
+
+class CanonicalCct {
+ public:
+  explicit CanonicalCct(const structure::StructureTree* tree);
+
+  const structure::StructureTree& tree() const { return *tree_; }
+
+  CctNodeId root() const { return kCctRoot; }
+  const CctNode& node(CctNodeId id) const { return nodes_[id]; }
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Raw (sampled) event counts attributed directly to `id`.
+  const model::EventVector& samples(CctNodeId id) const { return samples_[id]; }
+  void add_samples(CctNodeId id, const model::EventVector& ev) {
+    samples_[id] += ev;
+  }
+
+  /// Find-or-insert a child of `parent` with the given identity.
+  CctNodeId find_or_add_child(CctNodeId parent, CctKind kind,
+                              structure::SNodeId scope,
+                              structure::SNodeId call_site = structure::kSNull);
+
+  /// Sum of raw samples over the whole tree (== per-event totals).
+  model::EventVector totals() const;
+
+  /// Per-node inclusive raw samples (subtree sums), indexed by node id.
+  std::vector<model::EventVector> inclusive_samples() const;
+
+  /// Merge `other` into this tree (summing samples of matching nodes).
+  /// Returns the mapping other-node-id -> this-node-id.
+  /// Both CCTs must reference the same structure tree.
+  std::vector<CctNodeId> merge(const CanonicalCct& other);
+
+  /// Deep copy re-bound to `tree` (which must have identical scope ids,
+  /// e.g. a copy of the original tree). Used when serializing experiments.
+  CanonicalCct clone_with_tree(const structure::StructureTree* tree) const;
+
+  /// Display label for a node ("g", "loop at file2.c: 8", ...).
+  std::string label(CctNodeId id) const;
+
+  /// Depth-first preorder walk; `fn(id, depth)`.
+  template <typename Fn>
+  void walk(Fn&& fn) const {
+    walk_from(root(), 0, fn);
+  }
+  template <typename Fn>
+  void walk_from(CctNodeId start, int depth0, Fn&& fn) const {
+    // Explicit stack to survive very deep recursion chains.
+    std::vector<std::pair<CctNodeId, int>> stack{{start, depth0}};
+    while (!stack.empty()) {
+      auto [id, depth] = stack.back();
+      stack.pop_back();
+      fn(id, depth);
+      const auto& ch = node(id).children;
+      for (auto it = ch.rbegin(); it != ch.rend(); ++it)
+        stack.emplace_back(*it, depth + 1);
+    }
+  }
+
+ private:
+  struct EdgeKey {
+    CctNodeId parent;
+    CctKind kind;
+    structure::SNodeId scope;
+    structure::SNodeId call_site;
+    bool operator==(const EdgeKey&) const = default;
+  };
+  struct EdgeKeyHash {
+    std::size_t operator()(const EdgeKey& k) const {
+      std::uint64_t h = k.parent;
+      h = h * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(k.kind);
+      h = h * 0xbf58476d1ce4e5b9ULL + k.scope;
+      h = h * 0x94d049bb133111ebULL + k.call_site;
+      return static_cast<std::size_t>(h ^ (h >> 31));
+    }
+  };
+
+  const structure::StructureTree* tree_;
+  std::vector<CctNode> nodes_;
+  std::vector<model::EventVector> samples_;
+  std::unordered_map<EdgeKey, CctNodeId, EdgeKeyHash> edges_;
+};
+
+}  // namespace pathview::prof

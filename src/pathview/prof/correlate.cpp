@@ -1,0 +1,93 @@
+#include "pathview/prof/correlate.hpp"
+
+#include "pathview/support/error.hpp"
+
+namespace pathview::prof {
+
+namespace {
+
+/// Insert the static scope chain (loops/inline scopes, excluding the
+/// enclosing proc and the statement itself) below `at`, returning the
+/// deepest inserted node.
+CctNodeId insert_static_chain(CanonicalCct& cct,
+                              const structure::StructureTree& tree,
+                              CctNodeId at, structure::SNodeId stmt_scope) {
+  const auto path = tree.path_from_proc(stmt_scope);
+  // path = [proc, (loop|inline)*, stmt]; insert only the middle.
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    const structure::SNode& sn = tree.node(path[i]);
+    const CctKind kind = sn.kind == structure::SKind::kLoop ? CctKind::kLoop
+                                                            : CctKind::kInline;
+    at = cct.find_or_add_child(at, kind, path[i]);
+  }
+  return at;
+}
+
+}  // namespace
+
+CanonicalCct correlate(const sim::RawProfile& raw,
+                       const structure::StructureTree& tree) {
+  CanonicalCct cct(&tree);
+
+  // Map each raw trie frame to its canonical frame node. Trie parents have
+  // smaller indexes than children, so one forward pass suffices.
+  const auto& trie = raw.nodes();
+  std::vector<CctNodeId> frame_of(trie.size(), kCctNull);
+  frame_of[sim::kRawRoot] = cct.root();
+
+  for (sim::NodeIndex i = 1; i < trie.size(); ++i) {
+    const sim::TrieNode& tn = trie[i];
+    const CctNodeId parent_frame = frame_of[tn.parent];
+    const structure::SNodeId callee = tree.proc_of_entry(tn.callee_entry);
+    if (callee == structure::kSNull)
+      throw InvalidArgument("correlate: unknown callee entry address " +
+                            std::to_string(tn.callee_entry));
+
+    CctNodeId at = parent_frame;
+    structure::SNodeId call_site = structure::kSNull;
+    if (tn.call_site != 0) {
+      call_site = tree.stmt_of_addr(tn.call_site);
+      if (call_site == structure::kSNull)
+        throw InvalidArgument("correlate: unmapped call-site address " +
+                              std::to_string(tn.call_site));
+      // Loops / inline scopes in the caller that enclose the call site are
+      // part of the calling context (paper Sec. III-D2).
+      at = insert_static_chain(cct, tree, at, call_site);
+    }
+    frame_of[i] = cct.find_or_add_child(at, CctKind::kFrame, callee, call_site);
+  }
+
+  // Attribute sample cells: resolve each leaf address to its statement
+  // scope and materialize the static chain inside the frame.
+  for (const sim::RawProfile::Cell& cell : raw.cells()) {
+    const CctNodeId frame = frame_of[cell.node];
+    const structure::SNodeId stmt = tree.stmt_of_addr(cell.leaf);
+    if (stmt == structure::kSNull)
+      throw InvalidArgument("correlate: unmapped sample address " +
+                            std::to_string(cell.leaf));
+    const CctNodeId at = insert_static_chain(cct, tree, frame, stmt);
+    const CctNodeId leaf =
+        cct.find_or_add_child(at, CctKind::kStmt, stmt);
+    cct.add_samples(leaf, cell.counts);
+  }
+
+  // Sparsity (paper Sec. V-A): "there is no representation for a scope ...
+  // unless there is a non-zero performance metric or it is a parent of
+  // another scope that meets this criteria." The trie records every frame
+  // entered, including ones no sample landed in; prune them.
+  const std::vector<model::EventVector> incl = cct.inclusive_samples();
+  CanonicalCct pruned(&tree);
+  std::vector<CctNodeId> map(cct.size(), kCctNull);
+  map[kCctRoot] = pruned.root();
+  for (CctNodeId id = 1; id < cct.size(); ++id) {
+    const CctNode& n = cct.node(id);
+    if (incl[id].all_zero() || map[n.parent] == kCctNull) continue;
+    const CctNodeId dst =
+        pruned.find_or_add_child(map[n.parent], n.kind, n.scope, n.call_site);
+    map[id] = dst;
+    pruned.add_samples(dst, cct.samples(id));
+  }
+  return pruned;
+}
+
+}  // namespace pathview::prof

@@ -1,0 +1,18 @@
+// Correlation (hpcprof analog): raw address-based call path profiles are
+// fused with the recovered static structure into a canonical CCT.
+#pragma once
+
+#include "pathview/prof/cct.hpp"
+#include "pathview/sim/raw_profile.hpp"
+
+namespace pathview::prof {
+
+/// Fuse one raw profile with the structure tree. Every dynamic frame's call
+/// site is resolved to its static context (enclosing loops and inline
+/// scopes are inserted between frames — the paper's "integrated view" of
+/// static and dynamic context), and every sample's instruction address is
+/// resolved down to a statement scope.
+CanonicalCct correlate(const sim::RawProfile& raw,
+                       const structure::StructureTree& tree);
+
+}  // namespace pathview::prof

@@ -1,0 +1,50 @@
+#include "pathview/prof/merge.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "pathview/prof/correlate.hpp"
+#include "pathview/support/error.hpp"
+
+namespace pathview::prof {
+
+std::vector<CanonicalCct> correlate_all(
+    const std::vector<sim::RawProfile>& ranks,
+    const structure::StructureTree& tree, std::uint32_t nthreads) {
+  std::vector<CanonicalCct> out;
+  out.reserve(ranks.size());
+  for (std::size_t i = 0; i < ranks.size(); ++i)
+    out.emplace_back(&tree);  // placeholders; filled below
+
+  if (nthreads == 0)
+    nthreads = std::max(1u, std::thread::hardware_concurrency());
+  nthreads = std::min<std::uint32_t>(nthreads,
+                                     static_cast<std::uint32_t>(ranks.size()));
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= ranks.size()) return;
+      out[i] = correlate(ranks[i], tree);
+    }
+  };
+  if (nthreads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads);
+    for (std::uint32_t t = 0; t < nthreads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  return out;
+}
+
+CanonicalCct merge_all(const std::vector<CanonicalCct>& parts) {
+  if (parts.empty()) throw InvalidArgument("merge_all: no profiles");
+  CanonicalCct acc(&parts.front().tree());
+  for (const CanonicalCct& p : parts) acc.merge(p);
+  return acc;
+}
+
+}  // namespace pathview::prof

@@ -1,0 +1,20 @@
+// Merging canonical CCTs from multiple ranks/threads.
+#pragma once
+
+#include <vector>
+
+#include "pathview/prof/cct.hpp"
+#include "pathview/sim/raw_profile.hpp"
+
+namespace pathview::prof {
+
+/// Correlate every rank's raw profile against `tree`, in parallel over a
+/// bounded thread pool (nthreads == 0 -> hardware concurrency).
+std::vector<CanonicalCct> correlate_all(
+    const std::vector<sim::RawProfile>& ranks,
+    const structure::StructureTree& tree, std::uint32_t nthreads = 0);
+
+/// Fold a set of per-rank CCTs into one (samples of matching nodes summed).
+CanonicalCct merge_all(const std::vector<CanonicalCct>& parts);
+
+}  // namespace pathview::prof

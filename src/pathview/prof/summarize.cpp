@@ -1,0 +1,40 @@
+#include "pathview/prof/summarize.hpp"
+
+#include "pathview/support/error.hpp"
+
+namespace pathview::prof {
+
+SummaryCct summarize(const std::vector<sim::RawProfile>& ranks,
+                     const structure::StructureTree& tree,
+                     std::uint32_t nthreads) {
+  if (ranks.empty()) throw InvalidArgument("summarize: no rank profiles");
+
+  std::vector<CanonicalCct> parts = correlate_all(ranks, tree, nthreads);
+
+  SummaryCct out{CanonicalCct(&tree), {}, static_cast<std::uint32_t>(ranks.size())};
+  for (const CanonicalCct& part : parts) {
+    const std::vector<CctNodeId> map = out.cct.merge(part);
+    out.inclusive_stats.resize(out.cct.size());
+    const std::vector<model::EventVector> incl = part.inclusive_samples();
+    for (CctNodeId src = 0; src < part.size(); ++src) {
+      auto& slot = out.inclusive_stats[map[src]];
+      for (std::size_t e = 0; e < model::kNumEvents; ++e)
+        slot[e].add(incl[src].v[e]);
+    }
+  }
+
+  // Scopes absent from some ranks: pad with zero observations so the
+  // statistics cover all nranks.
+  for (auto& slot : out.inclusive_stats) {
+    for (auto& st : slot) {
+      if (st.count() < out.nranks) {
+        OnlineStats pad = OnlineStats::zeros(out.nranks - st.count());
+        pad.merge(st);
+        st = pad;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pathview::prof

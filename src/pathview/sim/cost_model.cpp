@@ -1,0 +1,14 @@
+#include "pathview/sim/cost_model.hpp"
+
+namespace pathview::sim {
+
+// (Inline-only configuration types; this TU anchors the module and provides
+// a conventional default configuration.)
+
+SamplerConfig default_cycle_sampler(double period) {
+  SamplerConfig cfg;
+  cfg.sample(model::Event::kCycles, period);
+  return cfg;
+}
+
+}  // namespace pathview::sim

@@ -1,0 +1,56 @@
+// Machine and sampling configuration for the simulated profiler.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "pathview/model/program.hpp"
+
+namespace pathview::sim {
+
+/// Machine parameters used by derived metrics (e.g. floating-point waste
+/// needs the peak FLOP/cycle rate; paper Sec. V-D).
+struct MachineModel {
+  double peak_flops_per_cycle = 4.0;
+};
+
+/// Asynchronous sampling configuration. An event with period 0 is not
+/// sampled. Every fired sample attributes exactly `period` units of its
+/// event to the current (call path, instruction address) — the paper's
+/// "number of samples at x multiplied by the sample period".
+struct SamplerConfig {
+  std::array<double, model::kNumEvents> period{};
+
+  /// Randomize the initial phase of each event accumulator (realistic
+  /// sampling); disabled for the deterministic golden tests.
+  bool random_phase = false;
+
+  /// Relative dithering of the sampling period: each sample consumes a
+  /// threshold drawn uniformly from period * [1-j, 1+j] and attributes the
+  /// drawn amount, keeping totals unbiased. Real profilers randomize the
+  /// period to avoid phase-locking with periodic program behaviour; without
+  /// it, a loop whose per-iteration cost divides the period attributes
+  /// every sample to the same statement. 0 keeps sampling deterministic.
+  double period_jitter = 0.0;
+
+  void sample(model::Event e, double p) {
+    period[static_cast<std::size_t>(e)] = p;
+  }
+  double period_of(model::Event e) const {
+    return period[static_cast<std::size_t>(e)];
+  }
+  bool any_enabled() const {
+    for (double p : period)
+      if (p > 0) return true;
+    return false;
+  }
+};
+
+/// Per-rank cost transform: lets workload generators inject rank-dependent
+/// behaviour (load imbalance, idleness at synchronization points) without
+/// changing the program model. Receives (rank, nranks, stmt, base cost).
+using CostTransform = std::function<model::EventVector(
+    std::uint32_t, std::uint32_t, model::StmtId, const model::EventVector&)>;
+
+}  // namespace pathview::sim

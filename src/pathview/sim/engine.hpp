@@ -1,0 +1,77 @@
+// The simulated execution engine (hpcrun analog).
+//
+// Interprets a program model under a virtual clock: statement costs advance
+// per-event accumulators, the Sampler fires asynchronous samples, and every
+// sample is attributed to the current dynamic call path (a trie of
+// <return address, callee entry> pairs) and leaf instruction address —
+// exactly the signal a real sampling call path profiler produces.
+//
+// Cost-charging rules:
+//   * compute/call/branch statements charge their cost once per visit
+//     (a call's cost models call-instruction overhead at the call site);
+//   * loop statements charge their cost once per *iteration* (loop control
+//     overhead), and execute their body once per iteration;
+//   * calls execute with probability `call_prob`, bounded by the per-callee
+//     recursion limit and the global stack-depth limit;
+//   * compiler-inlined calls (decided by the AddressSpace) execute the
+//     callee body *without* creating a dynamic frame — their samples are
+//     attributed to inlined-instance addresses, recoverable only through
+//     static structure, as with a real optimizing compiler.
+#pragma once
+
+#include <cstdint>
+
+#include "pathview/model/address_space.hpp"
+#include "pathview/model/builder.hpp"
+#include "pathview/sim/cost_model.hpp"
+#include "pathview/sim/raw_profile.hpp"
+#include "pathview/sim/sampler.hpp"
+#include "pathview/support/prng.hpp"
+
+namespace pathview::sim {
+
+struct RunConfig {
+  std::uint64_t seed = 1;
+  std::uint32_t rank = 0;
+  std::uint32_t nranks = 1;
+  SamplerConfig sampler;
+  CostTransform cost_transform;  // optional per-rank cost rewriting
+  std::uint32_t max_stack_depth = 512;
+  /// Upper bound on executed statement visits: a runaway workload (deep
+  /// loop nests x long call chains) stops charging once exhausted. The
+  /// profile stays internally consistent — true_totals() reflects exactly
+  /// what executed.
+  std::uint64_t max_visits = 100'000'000;
+};
+
+class ExecutionEngine {
+ public:
+  ExecutionEngine(const model::Program& prog, const model::AddressSpace& aspace,
+                  RunConfig cfg);
+
+  /// Execute the program's entry procedure once; returns the raw profile.
+  RawProfile run();
+
+  /// Ground-truth event totals actually executed by the last run() —
+  /// sampled totals converge to these (exact when periods divide costs).
+  const model::EventVector& true_totals() const { return true_totals_; }
+
+ private:
+  void exec_body(const std::vector<model::StmtId>& body, NodeIndex node,
+                 model::InlineFrameId iframe, std::uint32_t depth);
+  void exec_stmt(model::StmtId s, NodeIndex node, model::InlineFrameId iframe,
+                 std::uint32_t depth);
+  void charge(const model::EventVector& cost, NodeIndex node, model::Addr leaf);
+
+  const model::Program& prog_;
+  const model::AddressSpace& aspace_;
+  RunConfig cfg_;
+  Prng prng_;
+  Sampler sampler_;
+  RawProfile profile_;
+  model::EventVector true_totals_;
+  std::vector<std::uint32_t> active_;  // per-proc live frame count
+  std::uint64_t visits_ = 0;
+};
+
+}  // namespace pathview::sim

@@ -1,0 +1,50 @@
+#include "pathview/sim/parallel_runner.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "pathview/support/error.hpp"
+
+namespace pathview::sim {
+
+std::vector<RawProfile> run_parallel(const model::Program& prog,
+                                     const model::AddressSpace& aspace,
+                                     const ParallelConfig& cfg) {
+  if (cfg.nranks == 0) throw InvalidArgument("run_parallel: nranks == 0");
+  const std::uint32_t tpr = std::max(1u, cfg.threads_per_rank);
+  const std::uint32_t contexts = cfg.nranks * tpr;
+
+  std::vector<RawProfile> out(contexts);
+
+  std::uint32_t nthreads = cfg.nthreads;
+  if (nthreads == 0) nthreads = std::max(1u, std::thread::hardware_concurrency());
+  nthreads = std::min(nthreads, contexts);
+
+  std::atomic<std::uint32_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::uint32_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= contexts) return;
+      RunConfig rc = cfg.base;
+      rc.rank = i / tpr;
+      rc.nranks = cfg.nranks;
+      // Independent stream per (rank, thread).
+      rc.seed = cfg.base.seed * 0x9e3779b97f4a7c15ULL + i;
+      ExecutionEngine engine(prog, aspace, std::move(rc));
+      out[i] = engine.run();
+      out[i].thread = i % tpr;
+    }
+  };
+
+  if (nthreads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads);
+    for (std::uint32_t i = 0; i < nthreads; ++i) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  return out;
+}
+
+}  // namespace pathview::sim

@@ -1,0 +1,33 @@
+// Multi-rank simulation (SPMD executions).
+//
+// Simulates an R-rank parallel execution by running R independent engine
+// instances — each with its own deterministic random stream and an optional
+// rank-dependent cost transform (how workload generators inject load
+// imbalance and synchronization idleness). Rank simulations are distributed
+// over a bounded std::thread pool; results are rank-private until returned,
+// so no synchronization beyond the work queue is needed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pathview/sim/engine.hpp"
+
+namespace pathview::sim {
+
+struct ParallelConfig {
+  std::uint32_t nranks = 1;
+  /// Simulated threads per rank (hpcrun profiles every thread separately);
+  /// each (rank, thread) pair gets its own profile and random stream.
+  std::uint32_t threads_per_rank = 1;
+  RunConfig base;          // seed/sampler/transform template; rank is set per rank
+  std::uint32_t nthreads = 0;  // worker pool size; 0 => hardware_concurrency
+};
+
+/// Run `cfg.nranks * cfg.threads_per_rank` simulated execution contexts of
+/// `prog`; result[i] is the profile of (rank = i / tpr, thread = i % tpr).
+std::vector<RawProfile> run_parallel(const model::Program& prog,
+                                     const model::AddressSpace& aspace,
+                                     const ParallelConfig& cfg);
+
+}  // namespace pathview::sim

@@ -1,0 +1,45 @@
+#include "pathview/sim/raw_profile.hpp"
+
+#include <algorithm>
+
+namespace pathview::sim {
+
+RawProfile::RawProfile() {
+  nodes_.push_back(TrieNode{});  // index 0: the root (process) frame
+}
+
+NodeIndex RawProfile::child(NodeIndex parent, model::Addr call_site,
+                            model::Addr callee_entry) {
+  const EdgeKey key{parent, call_site, callee_entry};
+  if (auto it = edges_.find(key); it != edges_.end()) return it->second;
+  const auto idx = static_cast<NodeIndex>(nodes_.size());
+  nodes_.push_back(TrieNode{parent, call_site, callee_entry});
+  edges_.emplace(key, idx);
+  return idx;
+}
+
+void RawProfile::add_sample(NodeIndex node, model::Addr leaf, model::Event e,
+                            double value) {
+  cells_[CellKey{node, leaf}][e] += value;
+  ++sample_counts_[static_cast<std::size_t>(e)];
+}
+
+std::vector<RawProfile::Cell> RawProfile::cells() const {
+  std::vector<Cell> out;
+  out.reserve(cells_.size());
+  for (const auto& [key, counts] : cells_)
+    out.push_back(Cell{key.node, key.leaf, counts});
+  // Deterministic order independent of hash-map iteration.
+  std::sort(out.begin(), out.end(), [](const Cell& a, const Cell& b) {
+    return a.node != b.node ? a.node < b.node : a.leaf < b.leaf;
+  });
+  return out;
+}
+
+model::EventVector RawProfile::totals() const {
+  model::EventVector t;
+  for (const auto& [key, counts] : cells_) t += counts;
+  return t;
+}
+
+}  // namespace pathview::sim

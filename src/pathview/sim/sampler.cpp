@@ -1,0 +1,38 @@
+#include "pathview/sim/sampler.hpp"
+
+namespace pathview::sim {
+
+Sampler::Sampler(const SamplerConfig& cfg, Prng& prng)
+    : cfg_(cfg), prng_(&prng) {
+  for (std::size_t i = 0; i < model::kNumEvents; ++i) {
+    if (cfg_.period[i] <= 0) continue;
+    threshold_[i] = draw_threshold(i);
+    if (cfg_.random_phase) acc_[i] = -prng.next_double() * cfg_.period[i];
+  }
+}
+
+double Sampler::draw_threshold(std::size_t i) {
+  const double period = cfg_.period[i];
+  const double j = cfg_.period_jitter;
+  if (j <= 0.0) return period;
+  return period * (1.0 + j * (2.0 * prng_->next_double() - 1.0));
+}
+
+void Sampler::charge(const model::EventVector& cost, const FireFn& fire) {
+  for (std::size_t i = 0; i < model::kNumEvents; ++i) {
+    if (cfg_.period[i] <= 0 || cost.v[i] <= 0) continue;
+    acc_[i] += cost.v[i];
+    // Fire once per crossed threshold. The common case is 0 or 1 samples;
+    // statements much longer than the period fire many times, all
+    // attributed here — exactly like a real PMU interrupting a long-running
+    // loop body repeatedly at the same PC. Each sample attributes the
+    // threshold it consumed (== period when undithered).
+    while (acc_[i] >= threshold_[i]) {
+      acc_[i] -= threshold_[i];
+      fire(static_cast<model::Event>(i), threshold_[i]);
+      threshold_[i] = draw_threshold(i);
+    }
+  }
+}
+
+}  // namespace pathview::sim

@@ -1,0 +1,41 @@
+// The asynchronous sampler.
+//
+// Each enabled event has an accumulator; executing a statement adds that
+// statement's event costs. Every time an accumulator crosses its period the
+// sampler "interrupts": it unwinds the (simulated) call stack and attributes
+// `period` units of the event to the current call path and instruction
+// address. This reproduces the statistical properties of hpcrun's
+// asynchronous sampling: expected attribution equals true cost, attribution
+// granularity is the period, and with deterministic integer costs and
+// period 1 the attribution is exact (used by the Fig. 2 golden tests).
+#pragma once
+
+#include <functional>
+
+#include "pathview/sim/cost_model.hpp"
+#include "pathview/sim/raw_profile.hpp"
+#include "pathview/support/prng.hpp"
+
+namespace pathview::sim {
+
+class Sampler {
+ public:
+  /// `fire(event, value)` is invoked for every sample taken; the engine
+  /// binds it to the current call-path trie node and leaf address.
+  using FireFn = std::function<void(model::Event, double)>;
+
+  Sampler(const SamplerConfig& cfg, Prng& prng);
+
+  /// Charge `cost` to the current context; may fire zero or more samples.
+  void charge(const model::EventVector& cost, const FireFn& fire);
+
+ private:
+  double draw_threshold(std::size_t event);
+
+  SamplerConfig cfg_;
+  Prng* prng_;
+  std::array<double, model::kNumEvents> acc_{};
+  std::array<double, model::kNumEvents> threshold_{};
+};
+
+}  // namespace pathview::sim

@@ -1,0 +1,59 @@
+#include "pathview/structure/binary_image.hpp"
+
+#include <algorithm>
+
+#include "pathview/support/error.hpp"
+
+namespace pathview::structure {
+
+void BinaryImage::finalize() {
+  std::sort(procs_.begin(), procs_.end(),
+            [](const BinProc& a, const BinProc& b) { return a.entry < b.entry; });
+  std::sort(lines_.begin(), lines_.end(),
+            [](const LineEntry& a, const LineEntry& b) { return a.addr < b.addr; });
+  // Note: inline_regions_ order and parent indexes are set by the producer
+  // (parents precede children); do not reorder them here.
+  for (std::size_t i = 1; i < procs_.size(); ++i)
+    if (procs_[i - 1].end > procs_[i].entry)
+      throw InvalidArgument("BinaryImage: overlapping procedure ranges");
+  for (const InlineRegion& r : inline_regions_)
+    if (r.parent != kNoParent && r.parent >= inline_regions_.size())
+      throw InvalidArgument("BinaryImage: dangling inline-region parent");
+  finalized_ = true;
+}
+
+const BinProc* BinaryImage::find_proc(Addr a) const {
+  auto it = std::upper_bound(
+      procs_.begin(), procs_.end(), a,
+      [](Addr x, const BinProc& p) { return x < p.entry; });
+  if (it == procs_.begin()) return nullptr;
+  --it;
+  return (a >= it->entry && a < it->end) ? &*it : nullptr;
+}
+
+const LineEntry* BinaryImage::find_line(Addr a) const {
+  auto it = std::lower_bound(
+      lines_.begin(), lines_.end(), a,
+      [](const LineEntry& e, Addr x) { return e.addr < x; });
+  return (it != lines_.end() && it->addr == a) ? &*it : nullptr;
+}
+
+std::vector<std::uint32_t> BinaryImage::inline_chain(Addr a) const {
+  // Find the innermost containing region, then walk parents.
+  std::uint32_t innermost = kNoParent;
+  Addr best_size = ~Addr{0};
+  for (std::uint32_t i = 0; i < inline_regions_.size(); ++i) {
+    const InlineRegion& r = inline_regions_[i];
+    if (a >= r.begin && a < r.end && (r.end - r.begin) < best_size) {
+      best_size = r.end - r.begin;
+      innermost = i;
+    }
+  }
+  std::vector<std::uint32_t> chain;
+  for (std::uint32_t i = innermost; i != kNoParent; i = inline_regions_[i].parent)
+    chain.push_back(i);
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+}  // namespace pathview::structure

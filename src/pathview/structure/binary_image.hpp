@@ -1,0 +1,99 @@
+// The synthetic "binary".
+//
+// structure::lower() translates a program model into a BinaryImage the way a
+// compiler translates source into an executable: every executed statement
+// instance gets a machine address, inlined callees are expanded in place at
+// fresh addresses, and the only recoverable metadata are the artifacts a
+// real binary carries — a symbol table (procedure ranges), a line map
+// (address -> file:line), DWARF-style inline regions, and control-flow
+// edges. Structure recovery must rebuild the scope hierarchy from these
+// alone (validated against ground truth in tests).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pathview/model/address_space.hpp"
+#include "pathview/support/string_table.hpp"
+
+namespace pathview::structure {
+
+using model::Addr;
+
+inline constexpr std::uint32_t kNoParent = 0xffffffffu;
+
+/// Symbol-table entry: a procedure's address range plus debug info.
+struct BinProc {
+  Addr entry = 0;
+  Addr end = 0;  // exclusive
+  NameId name = 0;
+  NameId module = 0;
+  NameId file = 0;
+  int line = 0;        // begin line
+  bool has_source = true;
+};
+
+/// Line-map entry (one per emitted instruction/statement instance).
+struct LineEntry {
+  Addr addr = 0;
+  NameId file = 0;
+  int line = 0;
+};
+
+/// DWARF DW_TAG_inlined_subroutine analog: a contiguous address range of
+/// code inlined from `callee`, called from `call_file:call_line`.
+struct InlineRegion {
+  Addr begin = 0;
+  Addr end = 0;  // exclusive
+  NameId callee = 0;       // inlined procedure's name
+  NameId callee_file = 0;  // file the inlined procedure lives in
+  int callee_line = 0;     // its declaration line
+  NameId call_file = 0;    // location of the inlined call site
+  int call_line = 0;
+  std::uint32_t parent = kNoParent;  // enclosing inline region, if nested
+};
+
+/// Intraprocedural control-flow edge (address granularity).
+struct CfgEdge {
+  Addr src = 0;
+  Addr dst = 0;
+};
+
+class BinaryImage {
+ public:
+  StringTable& names() { return names_; }
+  const StringTable& names() const { return names_; }
+
+  std::vector<BinProc>& procs() { return procs_; }
+  const std::vector<BinProc>& procs() const { return procs_; }
+  std::vector<LineEntry>& lines() { return lines_; }
+  const std::vector<LineEntry>& lines() const { return lines_; }
+  std::vector<InlineRegion>& inline_regions() { return inline_regions_; }
+  const std::vector<InlineRegion>& inline_regions() const {
+    return inline_regions_;
+  }
+  std::vector<CfgEdge>& edges() { return edges_; }
+  const std::vector<CfgEdge>& edges() const { return edges_; }
+
+  /// Sort tables and build lookup indexes; call once after construction.
+  void finalize();
+
+  /// Procedure containing `a`, or nullptr. Requires finalize().
+  const BinProc* find_proc(Addr a) const;
+
+  /// Exact line-map entry for `a`, or nullptr. Requires finalize().
+  const LineEntry* find_line(Addr a) const;
+
+  /// Inline regions containing `a`, outermost first. Requires finalize().
+  std::vector<std::uint32_t> inline_chain(Addr a) const;
+
+ private:
+  StringTable names_;
+  std::vector<BinProc> procs_;            // sorted by entry after finalize()
+  std::vector<LineEntry> lines_;          // sorted by addr after finalize()
+  std::vector<InlineRegion> inline_regions_;  // sorted by (begin, -size)
+  std::vector<CfgEdge> edges_;
+  bool finalized_ = false;
+};
+
+}  // namespace pathview::structure

@@ -1,0 +1,203 @@
+#include "pathview/structure/cfg.hpp"
+
+#include <algorithm>
+
+#include "pathview/support/error.hpp"
+
+namespace pathview::structure {
+
+namespace {
+constexpr std::uint32_t kNone = 0xffffffffu;
+}
+
+Cfg Cfg::build(const BinaryImage& img, Addr begin, Addr end) {
+  Cfg cfg;
+  // Node set: every line-map address in range plus every edge endpoint.
+  for (const LineEntry& le : img.lines())
+    if (le.addr >= begin && le.addr < end) cfg.nodes_.push_back(le.addr);
+  for (const CfgEdge& e : img.edges()) {
+    if (e.src >= begin && e.src < end) cfg.nodes_.push_back(e.src);
+    if (e.dst >= begin && e.dst < end) cfg.nodes_.push_back(e.dst);
+  }
+  std::sort(cfg.nodes_.begin(), cfg.nodes_.end());
+  cfg.nodes_.erase(std::unique(cfg.nodes_.begin(), cfg.nodes_.end()),
+                   cfg.nodes_.end());
+
+  cfg.succ_.resize(cfg.nodes_.size());
+  cfg.pred_.resize(cfg.nodes_.size());
+  for (const CfgEdge& e : img.edges()) {
+    if (e.src < begin || e.src >= end || e.dst < begin || e.dst >= end)
+      continue;
+    const std::uint32_t s = cfg.node_of(e.src);
+    const std::uint32_t d = cfg.node_of(e.dst);
+    cfg.succ_[s].push_back(d);
+    cfg.pred_[d].push_back(s);
+  }
+  for (auto& v : cfg.succ_) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+  for (auto& v : cfg.pred_) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+  return cfg;
+}
+
+std::uint32_t Cfg::node_of(Addr a) const {
+  auto it = std::lower_bound(nodes_.begin(), nodes_.end(), a);
+  if (it == nodes_.end() || *it != a) return kNone;
+  return static_cast<std::uint32_t>(it - nodes_.begin());
+}
+
+std::vector<std::uint32_t> Cfg::immediate_dominators() const {
+  const auto n = static_cast<std::uint32_t>(nodes_.size());
+  std::vector<std::uint32_t> idom(n, kNone);
+  if (n == 0) return idom;
+
+  // Reverse postorder from the entry node.
+  std::vector<std::uint32_t> rpo;
+  rpo.reserve(n);
+  std::vector<std::uint8_t> state(n, 0);  // 0=unseen 1=open 2=done
+  std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+  stack.emplace_back(entry_node(), 0);
+  state[entry_node()] = 1;
+  while (!stack.empty()) {
+    auto& [node, i] = stack.back();
+    if (i < succ_[node].size()) {
+      const std::uint32_t next = succ_[node][i++];
+      if (state[next] == 0) {
+        state[next] = 1;
+        stack.emplace_back(next, 0);
+      }
+    } else {
+      state[node] = 2;
+      rpo.push_back(node);
+      stack.pop_back();
+    }
+  }
+  std::reverse(rpo.begin(), rpo.end());
+
+  std::vector<std::uint32_t> rpo_index(n, kNone);
+  for (std::uint32_t i = 0; i < rpo.size(); ++i) rpo_index[rpo[i]] = i;
+
+  // Cooper–Harvey–Kennedy "engineered" iterative dominators.
+  auto intersect = [&](std::uint32_t a, std::uint32_t b) {
+    while (a != b) {
+      while (rpo_index[a] > rpo_index[b]) a = idom[a];
+      while (rpo_index[b] > rpo_index[a]) b = idom[b];
+    }
+    return a;
+  };
+
+  idom[entry_node()] = entry_node();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::uint32_t node : rpo) {
+      if (node == entry_node()) continue;
+      std::uint32_t new_idom = kNone;
+      for (std::uint32_t p : pred_[node]) {
+        if (idom[p] == kNone) continue;  // not yet processed / unreachable
+        new_idom = (new_idom == kNone) ? p : intersect(p, new_idom);
+      }
+      if (new_idom != kNone && idom[node] != new_idom) {
+        idom[node] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  return idom;
+}
+
+LoopNest find_loops(const Cfg& cfg) {
+  LoopNest nest;
+  const auto n = static_cast<std::uint32_t>(cfg.size());
+  nest.innermost.assign(n, kNoLoop);
+  if (n == 0) return nest;
+
+  const std::vector<std::uint32_t> idom = cfg.immediate_dominators();
+
+  auto dominates = [&](std::uint32_t a, std::uint32_t b) {
+    // Walk b's dominator chain; procedure CFGs are small so this is fine.
+    while (true) {
+      if (a == b) return true;
+      if (b == cfg.entry_node() || idom[b] == kNone || idom[b] == b)
+        return false;
+      b = idom[b];
+    }
+  };
+
+  // Back edges t->h (h dominates t); gather natural-loop bodies per header.
+  std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>> by_header;
+  auto body_index = [&](std::uint32_t header) -> std::vector<std::uint32_t>& {
+    for (auto& [h, body] : by_header)
+      if (h == header) return body;
+    by_header.emplace_back(header, std::vector<std::uint32_t>{});
+    return by_header.back().second;
+  };
+
+  for (std::uint32_t t = 0; t < n; ++t) {
+    if (idom[t] == kNone) continue;  // unreachable
+    for (std::uint32_t h : cfg.succ(t)) {
+      if (!dominates(h, t)) continue;
+      // Natural loop: h plus all nodes reaching t without passing h.
+      std::vector<std::uint32_t>& body = body_index(h);
+      std::vector<std::uint8_t> in_body(n, 0);
+      for (std::uint32_t m : body) in_body[m] = 1;
+      in_body[h] = 1;
+      if (body.empty()) body.push_back(h);
+      std::vector<std::uint32_t> work;
+      if (!in_body[t]) {
+        in_body[t] = 1;
+        body.push_back(t);
+        work.push_back(t);
+      }
+      while (!work.empty()) {
+        const std::uint32_t m = work.back();
+        work.pop_back();
+        for (std::uint32_t p : cfg.pred(m)) {
+          if (idom[p] == kNone || in_body[p]) continue;
+          in_body[p] = 1;
+          body.push_back(p);
+          work.push_back(p);
+        }
+      }
+    }
+  }
+
+  for (auto& [h, body] : by_header) {
+    std::sort(body.begin(), body.end());
+    NaturalLoop loop;
+    loop.header = h;
+    loop.body = std::move(body);
+    loop.min_addr = cfg.addr(loop.body.front());
+    loop.max_addr = cfg.addr(loop.body.back());
+    nest.loops.push_back(std::move(loop));
+  }
+
+  // Nest by body containment: the parent of L is the smallest loop with a
+  // strictly larger body that contains L's header.
+  std::sort(nest.loops.begin(), nest.loops.end(),
+            [](const NaturalLoop& a, const NaturalLoop& b) {
+              return a.body.size() > b.body.size();
+            });
+  for (std::uint32_t i = 0; i < nest.loops.size(); ++i) {
+    for (std::uint32_t j = i; j-- > 0;) {
+      const auto& outer = nest.loops[j].body;
+      if (nest.loops[j].body.size() > nest.loops[i].body.size() &&
+          std::binary_search(outer.begin(), outer.end(), nest.loops[i].header)) {
+        nest.loops[i].parent = j;
+        break;
+      }
+    }
+  }
+
+  // Innermost loop per node: iterate outer->inner so inner wins.
+  for (std::uint32_t i = 0; i < nest.loops.size(); ++i)
+    for (std::uint32_t m : nest.loops[i].body) nest.innermost[m] = i;
+
+  return nest;
+}
+
+}  // namespace pathview::structure

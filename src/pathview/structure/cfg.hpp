@@ -1,0 +1,68 @@
+// Per-procedure control-flow graph + loop-nesting analysis.
+//
+// hpcstruct recovers loop nests from machine code by control-flow analysis;
+// we reproduce the same pipeline on the synthetic CFG carried by the
+// BinaryImage: build the graph over a procedure's address range, compute
+// dominators (Cooper–Harvey–Kennedy iterative algorithm over a reverse
+// postorder), identify back edges, and form natural loops nested by body
+// containment.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pathview/structure/binary_image.hpp"
+
+namespace pathview::structure {
+
+inline constexpr std::uint32_t kNoLoop = 0xffffffffu;
+
+/// Control-flow graph over one procedure's addresses.
+class Cfg {
+ public:
+  /// Build from the image's edge list restricted to [begin, end); `entry`
+  /// must be `begin`. Nodes are the addresses that appear as endpoints or
+  /// line-map entries within the range.
+  static Cfg build(const BinaryImage& img, Addr begin, Addr end);
+
+  std::size_t size() const { return nodes_.size(); }
+  Addr addr(std::uint32_t n) const { return nodes_[n]; }
+  /// Node id for `a`; kNoLoop (0xffffffff) if not a node.
+  std::uint32_t node_of(Addr a) const;
+  std::uint32_t entry_node() const { return 0; }
+
+  const std::vector<std::uint32_t>& succ(std::uint32_t n) const {
+    return succ_[n];
+  }
+  const std::vector<std::uint32_t>& pred(std::uint32_t n) const {
+    return pred_[n];
+  }
+
+  /// Immediate dominators (idom[entry] == entry); unreachable nodes get
+  /// 0xffffffff.
+  std::vector<std::uint32_t> immediate_dominators() const;
+
+ private:
+  std::vector<Addr> nodes_;  // sorted ascending; index = node id
+  std::vector<std::vector<std::uint32_t>> succ_, pred_;
+};
+
+/// One recovered natural loop.
+struct NaturalLoop {
+  std::uint32_t header = 0;              // CFG node id of the loop header
+  std::uint32_t parent = kNoLoop;        // enclosing loop, or kNoLoop
+  std::vector<std::uint32_t> body;       // CFG node ids, sorted (incl. header)
+  Addr min_addr = 0, max_addr = 0;       // body address interval
+};
+
+struct LoopNest {
+  std::vector<NaturalLoop> loops;          // outer loops before inner loops
+  std::vector<std::uint32_t> innermost;    // per CFG node: innermost loop id
+};
+
+/// Find natural loops of `cfg` and nest them by body containment.
+/// Loops sharing a header are merged (standard natural-loop convention).
+LoopNest find_loops(const Cfg& cfg);
+
+}  // namespace pathview::structure

@@ -1,0 +1,54 @@
+#include "pathview/structure/dump.hpp"
+
+#include <cstdio>
+#include <functional>
+
+namespace pathview::structure {
+
+std::string render_structure(const StructureTree& tree,
+                             const DumpOptions& opts) {
+  std::string out;
+  std::size_t lines = 0;
+  bool truncated = false;
+
+  std::function<void(SNodeId, int)> walk = [&](SNodeId id, int depth) {
+    if (truncated) return;
+    const SNode& n = tree.node(id);
+    if (n.kind == SKind::kStmt && !opts.show_statements) return;
+    if (opts.max_lines != 0 && lines >= opts.max_lines) {
+      truncated = true;
+      return;
+    }
+    if (n.kind != SKind::kRoot) {
+      ++lines;
+      out += std::string(static_cast<std::size_t>(depth - 1) * 2, ' ');
+      out += skind_name(n.kind);
+      out += ' ';
+      out += tree.label(id);
+      switch (n.kind) {
+        case SKind::kProc:
+          out += " (" + tree.file_of(id) + ":" + std::to_string(n.line) + ")";
+          if (!n.has_source) out += " [binary only]";
+          break;
+        case SKind::kInline:
+          out += " (called at line " + std::to_string(n.call_line) + ")";
+          break;
+        default:
+          break;
+      }
+      if (opts.show_addresses && n.entry != 0) {
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), " @0x%llx",
+                      static_cast<unsigned long long>(n.entry));
+        out += buf;
+      }
+      out += '\n';
+    }
+    for (SNodeId c : n.children) walk(c, depth + 1);
+  };
+  walk(tree.root(), 0);
+  if (truncated) out += "... (truncated)\n";
+  return out;
+}
+
+}  // namespace pathview::structure

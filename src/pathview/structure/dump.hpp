@@ -1,0 +1,24 @@
+// Text rendering of a recovered structure tree (what hpcstruct prints):
+// the module/file/procedure/loop/inline/statement hierarchy with source
+// coordinates and entry addresses.
+#pragma once
+
+#include <string>
+
+#include "pathview/structure/structure_tree.hpp"
+
+namespace pathview::structure {
+
+struct DumpOptions {
+  bool show_addresses = false;
+  bool show_statements = true;
+  std::size_t max_lines = 0;  // 0: unlimited
+};
+
+std::string render_structure(const StructureTree& tree,
+                             const DumpOptions& opts);
+inline std::string render_structure(const StructureTree& tree) {
+  return render_structure(tree, DumpOptions{});
+}
+
+}  // namespace pathview::structure

@@ -1,0 +1,154 @@
+#include "pathview/structure/lower.hpp"
+
+#include "pathview/support/error.hpp"
+
+namespace pathview::structure {
+
+Lowering::Lowering(const model::Program& prog, Options opts)
+    : prog_(prog), opts_(opts) {
+  frames_.push_back(InlineFrameInfo{});  // slot 0: the top-level frame
+  proc_entry_.resize(prog.procs().size(), 0);
+  cursor_ = opts_.base;
+
+  // Mirror the program's module/file names into the image's "symbol table".
+  for (model::ProcId p = 0; p < prog.procs().size(); ++p) emit_proc(p);
+  img_.finalize();
+}
+
+Addr Lowering::alloc_addr(model::InlineFrameId frame, model::StmtId s,
+                          model::FileId file, int line) {
+  const Addr a = cursor_;
+  cursor_ += opts_.stride;
+  if (s != model::kInvalidId) addr_.emplace(key(frame, s), a);
+  img_.lines().push_back(
+      LineEntry{a, img_.names().intern(prog_.file_name(file)), line});
+  if (prev_in_proc_ != 0)
+    img_.edges().push_back(CfgEdge{prev_in_proc_, a});  // fallthrough
+  prev_in_proc_ = a;
+  return a;
+}
+
+bool Lowering::callee_in_chain(model::InlineFrameId frame,
+                               model::ProcId callee) const {
+  for (model::InlineFrameId f = frame; f != model::kTopLevelFrame;
+       f = frames_[f].parent)
+    if (frames_[f].callee == callee) return true;
+  return false;
+}
+
+void Lowering::emit_proc(model::ProcId p) {
+  const model::Procedure& proc = prog_.proc(p);
+  prev_in_proc_ = 0;
+  const Addr entry = cursor_;
+  // Entry stub: gives every procedure (even an empty one) an entry address
+  // and anchors the CFG's entry node.
+  alloc_addr(model::kTopLevelFrame, model::kInvalidId, proc.file,
+             proc.begin_line);
+  proc_entry_[p] = entry;
+  emit_body(proc.body, p, model::kTopLevelFrame, 0);
+
+  BinProc bp;
+  bp.entry = entry;
+  bp.end = cursor_;
+  bp.name = img_.names().intern(prog_.names().str(proc.name));
+  bp.module = img_.names().intern(
+      prog_.module_name(prog_.file(proc.file).module));
+  bp.file = img_.names().intern(prog_.file_name(proc.file));
+  bp.line = proc.begin_line;
+  bp.has_source = proc.has_source;
+  img_.procs().push_back(bp);
+}
+
+void Lowering::emit_body(const std::vector<model::StmtId>& body,
+                         model::ProcId owner, model::InlineFrameId frame,
+                         std::uint32_t inline_depth) {
+  for (model::StmtId s : body) emit_stmt(s, owner, frame, inline_depth);
+}
+
+void Lowering::emit_stmt(model::StmtId s, model::ProcId owner,
+                         model::InlineFrameId frame,
+                         std::uint32_t inline_depth) {
+  const model::Stmt& st = prog_.stmt(s);
+  const model::FileId owner_file = prog_.proc(owner).file;
+  const Addr a = alloc_addr(frame, s, owner_file, st.line);
+
+  switch (st.kind) {
+    case model::StmtKind::kCompute:
+      return;
+
+    case model::StmtKind::kBranch: {
+      emit_body(st.body, owner, frame, inline_depth);
+      // Skip edge: the branch may jump past its body.
+      img_.edges().push_back(CfgEdge{a, cursor_});
+      return;
+    }
+
+    case model::StmtKind::kLoop: {
+      emit_body(st.body, owner, frame, inline_depth);
+      // Back edge from the last body address to the loop header, and the
+      // header's exit edge past the loop.
+      img_.edges().push_back(CfgEdge{prev_in_proc_, a});
+      img_.edges().push_back(CfgEdge{a, cursor_});
+      return;
+    }
+
+    case model::StmtKind::kCall: {
+      const model::ProcId callee = st.callee;
+      const model::Procedure& cp = prog_.proc(callee);
+      const bool inlined = opts_.enable_inlining && cp.inlinable &&
+                           callee != owner && inline_depth < opts_.max_inline_depth &&
+                           !callee_in_chain(frame, callee);
+      if (!inlined) return;
+
+      // Expand the callee body in place at fresh addresses inside a new
+      // inline region (nested under the current frame's region, if any).
+      InlineRegion region;
+      region.begin = cursor_;
+      region.callee = img_.names().intern(prog_.names().str(cp.name));
+      region.callee_file = img_.names().intern(prog_.file_name(cp.file));
+      region.callee_line = cp.begin_line;
+      region.call_file = img_.names().intern(prog_.file_name(owner_file));
+      region.call_line = st.line;
+      region.parent = frames_[frame].region;
+      const auto region_idx =
+          static_cast<std::uint32_t>(img_.inline_regions().size());
+      img_.inline_regions().push_back(region);
+
+      InlineFrameInfo fi;
+      fi.parent = frame;
+      fi.call_stmt = s;
+      fi.callee = callee;
+      fi.region = region_idx;
+      const auto new_frame = static_cast<model::InlineFrameId>(frames_.size());
+      frames_.push_back(fi);
+      expansion_.emplace(key(frame, s), new_frame);
+
+      emit_body(cp.body, callee, new_frame, inline_depth + 1);
+      img_.inline_regions()[region_idx].end = cursor_;
+      return;
+    }
+  }
+}
+
+Addr Lowering::addr(model::InlineFrameId frame, model::StmtId s) const {
+  auto it = addr_.find(key(frame, s));
+  if (it == addr_.end())
+    throw InvalidArgument("Lowering::addr: no address for stmt " +
+                          std::to_string(s) + " in frame " +
+                          std::to_string(frame));
+  return it->second;
+}
+
+model::InlineFrameId Lowering::inline_expansion(model::InlineFrameId frame,
+                                                model::StmtId call) const {
+  auto it = expansion_.find(key(frame, call));
+  return it == expansion_.end() ? model::kNotInlined : it->second;
+}
+
+Addr Lowering::proc_entry(model::ProcId p) const {
+  if (p >= proc_entry_.size())
+    throw InvalidArgument("Lowering::proc_entry: dangling proc id");
+  return proc_entry_[p];
+}
+
+}  // namespace pathview::structure

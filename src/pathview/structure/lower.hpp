@@ -1,0 +1,78 @@
+// Lowering: program model -> synthetic binary.
+//
+// Plays the role of the compiler+linker: assigns machine addresses to every
+// statement instance, expands inlinable callees in place (creating fresh
+// addresses and DWARF-style inline regions), emits the line map, symbol
+// table and control-flow edges, and — because the execution engine must run
+// the *same* binary — implements model::AddressSpace so the engine emits the
+// lowered addresses while interpreting the model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "pathview/model/address_space.hpp"
+#include "pathview/model/program.hpp"
+#include "pathview/structure/binary_image.hpp"
+
+namespace pathview::structure {
+
+class Lowering final : public model::AddressSpace {
+ public:
+  struct Options {
+    bool enable_inlining = true;
+    std::uint32_t max_inline_depth = 8;
+    Addr base = 0x400000;
+    Addr stride = 4;
+  };
+
+  explicit Lowering(const model::Program& prog, Options opts);
+  explicit Lowering(const model::Program& prog) : Lowering(prog, Options{}) {}
+
+  // --- model::AddressSpace -------------------------------------------------
+  Addr addr(model::InlineFrameId frame, model::StmtId s) const override;
+  model::InlineFrameId inline_expansion(model::InlineFrameId frame,
+                                        model::StmtId call) const override;
+  Addr proc_entry(model::ProcId p) const override;
+
+  // --- lowering artifacts --------------------------------------------------
+  const BinaryImage& image() const { return img_; }
+
+  /// One record per inline expansion instance (index = InlineFrameId; slot 0
+  /// is the reserved top-level frame).
+  struct InlineFrameInfo {
+    model::InlineFrameId parent = model::kTopLevelFrame;
+    model::StmtId call_stmt = model::kInvalidId;
+    model::ProcId callee = model::kInvalidId;
+    std::uint32_t region = kNoParent;  // index into image().inline_regions()
+  };
+  const std::vector<InlineFrameInfo>& inline_frames() const { return frames_; }
+
+ private:
+  void emit_proc(model::ProcId p);
+  void emit_body(const std::vector<model::StmtId>& body, model::ProcId owner,
+                 model::InlineFrameId frame, std::uint32_t inline_depth);
+  void emit_stmt(model::StmtId s, model::ProcId owner,
+                 model::InlineFrameId frame, std::uint32_t inline_depth);
+  Addr alloc_addr(model::InlineFrameId frame, model::StmtId s,
+                  model::FileId file, int line);
+  bool callee_in_chain(model::InlineFrameId frame, model::ProcId callee) const;
+
+  static std::uint64_t key(model::InlineFrameId frame, std::uint32_t id) {
+    return (static_cast<std::uint64_t>(frame) << 32) | id;
+  }
+
+  const model::Program& prog_;
+  Options opts_;
+  BinaryImage img_;
+  std::vector<InlineFrameInfo> frames_;
+  std::unordered_map<std::uint64_t, Addr> addr_;        // (frame,stmt) -> addr
+  std::unordered_map<std::uint64_t, model::InlineFrameId> expansion_;
+  std::vector<Addr> proc_entry_;
+  Addr cursor_ = 0;
+  Addr prev_in_proc_ = 0;  // previous allocated addr (fallthrough chaining)
+};
+
+}  // namespace pathview::structure

@@ -1,0 +1,21 @@
+// Structure recovery (hpcstruct analog) and its ground-truth oracle.
+#pragma once
+
+#include "pathview/model/program.hpp"
+#include "pathview/structure/lower.hpp"
+#include "pathview/structure/structure_tree.hpp"
+
+namespace pathview::structure {
+
+/// Recover the static scope tree from a binary image alone: loop nests via
+/// CFG dominator analysis, inline scopes via DWARF-style inline regions,
+/// statements via the line map.
+StructureTree recover_structure(const BinaryImage& img);
+
+/// Build the same tree directly from the program model and its lowering
+/// (perfect knowledge). Tests assert recover_structure() produces an
+/// equivalent tree; the full pipeline may use either.
+StructureTree ground_truth_structure(const model::Program& prog,
+                                     const Lowering& lowering);
+
+}  // namespace pathview::structure

@@ -1,0 +1,34 @@
+// Error types shared by all pathview subsystems.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pathview {
+
+/// Base class for all pathview errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A malformed user input: bad formula, bad database file, bad builder call.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A database file could not be parsed.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, std::size_t offset)
+      : Error(what + " (at byte " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+}  // namespace pathview

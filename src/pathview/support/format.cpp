@@ -1,0 +1,57 @@
+#include "pathview/support/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pathview {
+
+std::string format_scientific(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2e", v);
+  return buf;
+}
+
+std::string format_percent(double frac) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", frac * 100.0);
+  return buf;
+}
+
+std::string format_metric_cell(double value, double total) {
+  if (value == 0.0) return {};
+  std::string s = format_scientific(value);
+  if (total > 0.0) {
+    s += ' ';
+    s += pad_left(format_percent(value / total), 5);
+  }
+  return s;
+}
+
+std::string format_count(double v) {
+  static constexpr const char* kSuffix[] = {"", "K", "M", "G", "T", "P"};
+  double a = std::fabs(v);
+  int tier = 0;
+  while (a >= 1000.0 && tier < 5) {
+    a /= 1000.0;
+    ++tier;
+  }
+  char buf[32];
+  if (tier == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", v < 0 ? -a : a, kSuffix[tier]);
+  }
+  return buf;
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace pathview

@@ -1,0 +1,29 @@
+// Metric/value formatting rules (paper Sec. V-A):
+//   * metric values are shown in a short scientific notation rather than
+//     "naively long and painful numbers";
+//   * zero cells are left blank ("blank cells can be understood at a glance");
+//   * a value is usually accompanied by its percentage of the column total.
+#pragma once
+
+#include <string>
+
+namespace pathview {
+
+/// "4.19e+07" — short scientific notation with 2 fractional digits.
+std::string format_scientific(double v);
+
+/// "41.4%" — one fractional digit. `frac` is a fraction of 1.0.
+std::string format_percent(double frac);
+
+/// Full metric cell: "4.19e+07 41.4%". Returns "" when `value` == 0
+/// (the blank-cell rule). `total` <= 0 suppresses the percentage.
+std::string format_metric_cell(double value, double total);
+
+/// Human-readable count with SI suffix: 1234567 -> "1.2M".
+std::string format_count(double v);
+
+/// Pad `s` on the left/right with spaces to at least `width` columns.
+std::string pad_left(const std::string& s, std::size_t width);
+std::string pad_right(const std::string& s, std::size_t width);
+
+}  // namespace pathview

@@ -1,0 +1,46 @@
+// Deterministic pseudo-random number generation.
+//
+// Simulated executions must be exactly reproducible across runs and across
+// rank counts, so every simulated rank derives its own independent stream
+// from a master seed via splitmix64 (the recommended seeding procedure for
+// the xoshiro family).
+#pragma once
+
+#include <cstdint>
+
+namespace pathview {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** 1.0 — fast, high-quality, 256-bit state.
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed);
+
+  /// Uniform on [0, 2^64).
+  std::uint64_t next_u64();
+
+  /// Uniform on [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform on [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Exponentially distributed with the given mean (> 0).
+  double next_exponential(double mean);
+
+  /// Pareto distributed with scale x_m > 0 and shape alpha > 0.
+  double next_pareto(double x_m, double alpha);
+
+  /// Derive an independent child stream (e.g. one per simulated rank).
+  Prng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace pathview

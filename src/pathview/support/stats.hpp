@@ -1,0 +1,47 @@
+// Streaming summary statistics.
+//
+// The paper's "finalization" step (Sec. IV, VII) replaces per-process metric
+// columns with summary statistics (mean, min, max, standard deviation) so
+// that experiments with thousands of ranks stay presentable. OnlineStats is
+// the accumulator used both by prof::summarize and analysis::imbalance.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pathview {
+
+/// Welford-style single-pass accumulator: mean/variance/min/max/sum.
+class OnlineStats {
+ public:
+  /// An accumulator pre-filled with `n` zero observations (used when a scope
+  /// is absent from some ranks' profiles: absent means zero cost).
+  static OnlineStats zeros(std::size_t n);
+
+  void add(double x);
+  /// Merge another accumulator (parallel reduction; Chan et al. update).
+  void merge(const OnlineStats& other);
+
+  std::size_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (divides by n).
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact quantile of a sample (linear interpolation, q in [0,1]).
+/// Copies and sorts; intended for reporting, not hot paths.
+double quantile(std::vector<double> xs, double q);
+
+}  // namespace pathview

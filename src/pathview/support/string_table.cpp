@@ -1,0 +1,41 @@
+#include "pathview/support/string_table.hpp"
+
+#include "pathview/support/error.hpp"
+
+namespace pathview {
+
+StringTable::StringTable() { intern(""); }
+
+StringTable::StringTable(const StringTable& other) : strings_(other.strings_) {
+  index_.reserve(strings_.size());
+  for (NameId id = 0; id < strings_.size(); ++id)
+    index_.emplace(std::string_view(strings_[id]), id);
+}
+
+StringTable& StringTable::operator=(const StringTable& other) {
+  if (this == &other) return *this;
+  StringTable copy(other);
+  strings_ = std::move(copy.strings_);
+  index_ = std::move(copy.index_);
+  return *this;
+}
+
+NameId StringTable::intern(std::string_view s) {
+  if (auto it = index_.find(s); it != index_.end()) return it->second;
+  const auto id = static_cast<NameId>(strings_.size());
+  const std::string& stored = strings_.emplace_back(s);
+  index_.emplace(std::string_view(stored), id);
+  return id;
+}
+
+const std::string& StringTable::str(NameId id) const {
+  if (id >= strings_.size())
+    throw InvalidArgument("StringTable: bad NameId " + std::to_string(id));
+  return strings_[id];
+}
+
+bool StringTable::contains(std::string_view s) const {
+  return index_.find(s) != index_.end();
+}
+
+}  // namespace pathview

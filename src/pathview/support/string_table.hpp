@@ -1,0 +1,48 @@
+// Interned strings.
+//
+// Experiment databases reference procedure/file names millions of times;
+// interning keeps the canonical CCT and views compact (an id per name) and
+// makes name equality an integer compare.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace pathview {
+
+/// Identifier of an interned string. 0 is always the empty string.
+using NameId = std::uint32_t;
+
+class StringTable {
+ public:
+  StringTable();
+  // The lookup index holds views into the stored strings, so copies must
+  // re-point the index at their own storage.
+  StringTable(const StringTable& other);
+  StringTable& operator=(const StringTable& other);
+  StringTable(StringTable&&) noexcept = default;
+  StringTable& operator=(StringTable&&) noexcept = default;
+
+  /// Intern `s`, returning its stable id. Idempotent.
+  NameId intern(std::string_view s);
+
+  /// Look up an interned string. Precondition: id was returned by intern().
+  const std::string& str(NameId id) const;
+
+  /// Number of distinct interned strings (>= 1: the empty string).
+  std::size_t size() const { return strings_.size(); }
+
+  /// True if `s` has already been interned.
+  bool contains(std::string_view s) const;
+
+ private:
+  // deque: element addresses are stable under growth, so index_ may hold
+  // views into the stored strings (vector would invalidate SSO buffers).
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, NameId> index_;
+};
+
+}  // namespace pathview

@@ -1,0 +1,261 @@
+#include "pathview/ui/command_interpreter.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include <fstream>
+
+#include "pathview/support/error.hpp"
+#include "pathview/ui/export.hpp"
+
+namespace pathview::ui {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r' || s.back() == '\n'))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// Pop the first whitespace-delimited word off `s`.
+std::string_view next_word(std::string_view& s) {
+  s = trim(s);
+  const std::size_t pos = s.find_first_of(" \t");
+  std::string_view word = s.substr(0, pos);
+  s = pos == std::string_view::npos ? std::string_view{} : trim(s.substr(pos));
+  return word;
+}
+
+bool parse_u32(std::string_view s, std::uint32_t& out) {
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && p == s.data() + s.size();
+}
+
+bool parse_f64(std::string_view s, double& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stod(std::string(s), &used);
+    return used == s.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+CommandInterpreter::CommandInterpreter(ViewerController& ctl,
+                                       std::ostream& out)
+    : ctl_(&ctl), out_(&out) {}
+
+void CommandInterpreter::run(std::istream& in, bool prompt) {
+  std::string line;
+  for (;;) {
+    if (prompt) *out_ << "pathview> " << std::flush;
+    if (!std::getline(in, line)) return;
+    if (!execute(line)) return;
+  }
+}
+
+bool CommandInterpreter::execute(std::string_view line) {
+  line = trim(line);
+  if (line.empty() || line.front() == '#') return true;
+  std::string_view rest = line;
+  const std::string_view cmd = next_word(rest);
+
+  try {
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      cmd_help();
+    } else if (cmd == "view") {
+      if (rest == "cct")
+        ctl_->select_view(core::ViewType::kCallingContext);
+      else if (rest == "callers")
+        ctl_->select_view(core::ViewType::kCallers);
+      else if (rest == "flat")
+        ctl_->select_view(core::ViewType::kFlat);
+      else {
+        *out_ << "error: view cct|callers|flat\n";
+        return true;
+      }
+      *out_ << "now: " << view_type_name(ctl_->current_view_type()) << "\n";
+    } else if (cmd == "render") {
+      cmd_render(rest);
+    } else if (cmd == "columns") {
+      cmd_columns();
+    } else if (cmd == "expand" || cmd == "collapse" || cmd == "select") {
+      std::uint32_t id = 0;
+      if (!parse_u32(rest, id) || id >= ctl_->current().size()) {
+        *out_ << "error: " << cmd << " needs a valid node id\n";
+        return true;
+      }
+      if (cmd == "expand")
+        ctl_->expand(id);
+      else if (cmd == "collapse")
+        ctl_->collapse(id);
+      else
+        ctl_->select(id);
+    } else if (cmd == "hotpath") {
+      std::uint32_t start = ctl_->current().root();
+      std::uint32_t col = 0;
+      std::string_view a = next_word(rest);
+      if (!a.empty() && !parse_u32(a, start)) {
+        *out_ << "error: hotpath [start-id] [column]\n";
+        return true;
+      }
+      std::string_view b = next_word(rest);
+      if (!b.empty() && !parse_u32(b, col)) {
+        *out_ << "error: hotpath [start-id] [column]\n";
+        return true;
+      }
+      const auto path = ctl_->run_hot_path(start, col);
+      *out_ << "hot path (" << path.size() << " scopes), ends at: "
+            << ctl_->current().label(path.back()) << "\n";
+    } else if (cmd == "sort") {
+      std::uint32_t col = 0;
+      const std::string_view c = next_word(rest);
+      if (!parse_u32(c, col) || col >= ctl_->current().table().num_columns()) {
+        *out_ << "error: sort <column> [asc|desc]\n";
+        return true;
+      }
+      ctl_->sort_by(col, rest != "asc");
+      *out_ << "sorted by column " << col << "\n";
+    } else if (cmd == "zoom") {
+      std::uint32_t id = 0;
+      if (!parse_u32(rest, id) || id >= ctl_->current().size()) {
+        *out_ << "error: zoom needs a valid node id\n";
+        return true;
+      }
+      ctl_->zoom(id);
+      *out_ << "zoomed to: " << ctl_->current().label(id) << "\n";
+    } else if (cmd == "unzoom") {
+      *out_ << (ctl_->unzoom() ? "unzoomed\n" : "at the outermost level\n");
+    } else if (cmd == "flatten") {
+      *out_ << (ctl_->flatten() ? "flattened\n" : "nothing to flatten\n");
+    } else if (cmd == "unflatten") {
+      *out_ << (ctl_->unflatten() ? "unflattened\n" : "at the top level\n");
+    } else if (cmd == "derive") {
+      const std::size_t eq = rest.find('=');
+      if (eq == std::string_view::npos) {
+        *out_ << "error: derive NAME = FORMULA\n";
+        return true;
+      }
+      const std::string name{trim(rest.substr(0, eq))};
+      const std::string formula{trim(rest.substr(eq + 1))};
+      const metrics::ColumnId col = ctl_->add_derived(name, formula);
+      *out_ << "derived metric '" << name << "' is column " << col << "\n";
+    } else if (cmd == "show") {
+      if (rest == "all" || rest.empty()) {
+        ctl_->show_all_columns();
+        *out_ << "showing every column\n";
+      } else {
+        std::vector<metrics::ColumnId> cols;
+        bool ok = true;
+        while (!rest.empty()) {
+          std::uint32_t c = 0;
+          if (!parse_u32(next_word(rest), c)) {
+            ok = false;
+            break;
+          }
+          cols.push_back(c);
+        }
+        if (!ok) {
+          *out_ << "error: show all | show COL [COL...]\n";
+          return true;
+        }
+        ctl_->show_columns(std::move(cols));
+        *out_ << "column selection updated\n";
+      }
+    } else if (cmd == "export") {
+      const std::string_view format = next_word(rest);
+      ExportOptions eopts;
+      eopts.columns = ctl_->visible_columns();
+      std::string data;
+      if (format == "csv")
+        data = export_csv(ctl_->current(), eopts);
+      else if (format == "json")
+        data = export_json(ctl_->current(), eopts);
+      else if (format == "dot")
+        data = export_dot(ctl_->current(), eopts);
+      else if (format == "html")
+        data = export_html(ctl_->current(), eopts);
+      else {
+        *out_ << "error: export csv|json|dot|html [file]\n";
+        return true;
+      }
+      if (rest.empty()) {
+        *out_ << data;
+      } else {
+        std::ofstream file{std::string(rest), std::ios::trunc};
+        if (!file) {
+          *out_ << "error: cannot write '" << std::string(rest) << "'\n";
+          return true;
+        }
+        file << data;
+        *out_ << "wrote " << data.size() << " bytes to " << std::string(rest)
+              << "\n";
+      }
+    } else if (cmd == "src") {
+      const std::string src = ctl_->source_pane();
+      *out_ << (src.empty() ? "no selection or no program source\n" : src);
+    } else if (cmd == "threshold") {
+      double t = 0;
+      if (!parse_f64(rest, t) || t <= 0.0 || t > 1.0) {
+        *out_ << "error: threshold X with 0 < X <= 1\n";
+        return true;
+      }
+      ctl_->set_hot_path_threshold(t);
+      *out_ << "hot-path threshold = " << t << "\n";
+    } else {
+      *out_ << "error: unknown command '" << std::string(cmd)
+            << "' (try 'help')\n";
+    }
+  } catch (const Error& e) {
+    *out_ << "error: " << e.what() << "\n";
+  }
+  return true;
+}
+
+void CommandInterpreter::cmd_render(std::string_view args) {
+  TreeTableOptions opts;
+  opts.show_ids = true;
+  std::uint32_t max_rows = 0;
+  if (!args.empty() && parse_u32(args, max_rows)) opts.max_rows = max_rows;
+  *out_ << ctl_->render(opts);
+}
+
+void CommandInterpreter::cmd_columns() {
+  const metrics::MetricTable& t = ctl_->current().table();
+  for (metrics::ColumnId c = 0; c < t.num_columns(); ++c) {
+    const metrics::MetricDesc& d = t.desc(c);
+    *out_ << "  [" << c << "] " << d.name;
+    if (d.kind == metrics::MetricKind::kDerived)
+      *out_ << "  = " << d.formula;
+    *out_ << "\n";
+  }
+}
+
+void CommandInterpreter::cmd_help() {
+  *out_ << "commands:\n"
+           "  view cct|callers|flat    switch views\n"
+           "  render [maxrows]         draw the current view\n"
+           "  expand N | collapse N    open/close a scope\n"
+           "  hotpath [N] [COL]        expand the hot path (Eq. 3)\n"
+           "  sort COL [asc|desc]      sort by a metric column\n"
+           "  flatten | unflatten      Flat-View flattening\n"
+           "  zoom N | unzoom          restrict display to a subtree\n"
+           "  derive NAME = FORMULA    user-defined derived metric\n"
+           "  columns                  list metric columns\n"
+           "  show all | show COL...   choose visible metric columns\n"
+           "  export csv|json|dot|html [f]  export the current view\n"
+           "  select N | src           selection + source pane\n"
+           "  threshold X              hot-path threshold\n"
+           "  quit\n";
+}
+
+}  // namespace pathview::ui

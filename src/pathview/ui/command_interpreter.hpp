@@ -1,0 +1,49 @@
+// A scriptable command language over the viewer controller — the headless
+// equivalent of hpcviewer's toolbar/menu interactions, usable both
+// interactively (examples/interactive_viewer) and from scripts/tests.
+//
+// Commands:
+//   view cct|callers|flat        switch views
+//   render [maxrows]             draw the current view (with node ids)
+//   expand N / collapse N        open/close a scope
+//   hotpath [N] [COL]            Eq. 3 expansion (default: root, column 0)
+//   sort COL [asc|desc]          sort every level by a metric column
+//   flatten / unflatten          Flat-View flattening
+//   derive NAME = FORMULA        define a derived metric ($n column refs)
+//   columns                      list metric columns
+//   show all | show COL...       choose visible metric columns
+//   export csv|json|dot [file]   export the current view
+//   select N / src               choose a scope / show its source
+//   threshold X                  set the hot-path threshold (0 < X <= 1)
+//   help                         command summary
+//   quit                         leave the loop
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+
+#include "pathview/ui/controller.hpp"
+
+namespace pathview::ui {
+
+class CommandInterpreter {
+ public:
+  CommandInterpreter(ViewerController& ctl, std::ostream& out);
+
+  /// Execute one command line; returns false when the command was `quit`.
+  /// Errors are reported to the output stream, never thrown.
+  bool execute(std::string_view line);
+
+  /// Read-eval-print loop over `in` until EOF or `quit`.
+  void run(std::istream& in, bool prompt = true);
+
+ private:
+  void cmd_render(std::string_view args);
+  void cmd_help();
+  void cmd_columns();
+
+  ViewerController* ctl_;
+  std::ostream* out_;
+};
+
+}  // namespace pathview::ui

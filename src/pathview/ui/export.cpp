@@ -1,0 +1,248 @@
+#include "pathview/ui/export.hpp"
+
+#include <cstdio>
+#include <functional>
+
+#include "pathview/support/format.hpp"
+
+namespace pathview::ui {
+
+namespace {
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::vector<metrics::ColumnId> resolve_columns(const core::View& view,
+                                               const ExportOptions& opts) {
+  if (!opts.columns.empty()) return opts.columns;
+  std::vector<metrics::ColumnId> cols;
+  for (metrics::ColumnId c = 0; c < view.table().num_columns(); ++c)
+    cols.push_back(c);
+  return cols;
+}
+
+template <typename Fn>
+void walk(core::View& view, const ExportOptions& opts, Fn&& fn) {
+  struct Item {
+    core::ViewNodeId id;
+    std::size_t depth;
+  };
+  std::vector<Item> stack{
+      {opts.root == core::kViewNull ? view.root() : opts.root, 0}};
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    fn(item.id, item.depth);
+    if (opts.max_depth != 0 && item.depth + 1 >= opts.max_depth + 1) continue;
+    const auto& ch = view.children_of(item.id);
+    for (auto it = ch.rbegin(); it != ch.rend(); ++it)
+      stack.push_back(Item{*it, item.depth + 1});
+  }
+}
+
+}  // namespace
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string export_csv(core::View& view, const ExportOptions& opts) {
+  const auto cols = resolve_columns(view, opts);
+  std::string out = "id,parent,depth,label";
+  for (metrics::ColumnId c : cols)
+    out += "," + csv_escape(view.table().desc(c).name);
+  out += '\n';
+  walk(view, opts, [&](core::ViewNodeId id, std::size_t depth) {
+    const core::ViewNode& n = view.node(id);
+    out += std::to_string(id) + ",";
+    out += (n.parent == core::kViewNull ? std::string("-")
+                                        : std::to_string(n.parent));
+    out += "," + std::to_string(depth) + "," + csv_escape(view.label(id));
+    for (metrics::ColumnId c : cols) out += "," + num(view.table().get(c, id));
+    out += '\n';
+  });
+  return out;
+}
+
+std::string export_json(core::View& view, const ExportOptions& opts) {
+  const auto cols = resolve_columns(view, opts);
+  std::string out;
+  std::function<void(core::ViewNodeId, std::size_t)> emit =
+      [&](core::ViewNodeId id, std::size_t depth) {
+        out += "{\"id\":" + std::to_string(id) + ",\"label\":\"" +
+               json_escape(view.label(id)) + "\",\"metrics\":{";
+        bool first = true;
+        for (metrics::ColumnId c : cols) {
+          if (!first) out += ',';
+          first = false;
+          out += "\"" + json_escape(view.table().desc(c).name) +
+                 "\":" + num(view.table().get(c, id));
+        }
+        out += "},\"children\":[";
+        if (opts.max_depth == 0 || depth < opts.max_depth) {
+          bool first_child = true;
+          for (core::ViewNodeId child : view.children_of(id)) {
+            if (!first_child) out += ',';
+            first_child = false;
+            emit(child, depth + 1);
+          }
+        }
+        out += "]}";
+      };
+  emit(opts.root == core::kViewNull ? view.root() : opts.root, 0);
+  out += '\n';
+  return out;
+}
+
+std::string export_dot(core::View& view, const ExportOptions& opts) {
+  const auto cols = resolve_columns(view, opts);
+  std::string out = "digraph pathview {\n  node [shape=box];\n";
+  walk(view, opts, [&](core::ViewNodeId id, std::size_t) {
+    std::string label = view.label(id);
+    if (!cols.empty())
+      label += "\\n" + format_scientific(view.table().get(cols[0], id));
+    out += "  n" + std::to_string(id) + " [label=\"" + json_escape(label) +
+           "\"];\n";
+    const core::ViewNode& n = view.node(id);
+    if (n.parent != core::kViewNull &&
+        (opts.root == core::kViewNull || id != opts.root))
+      out += "  n" + std::to_string(n.parent) + " -> n" + std::to_string(id) +
+             ";\n";
+  });
+  out += "}\n";
+  return out;
+}
+
+}  // namespace pathview::ui
+
+namespace pathview::ui {
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string export_html(core::View& view, const ExportOptions& opts) {
+  const auto cols = resolve_columns(view, opts);
+  std::vector<double> totals(cols.size());
+  for (std::size_t i = 0; i < cols.size(); ++i)
+    totals[i] = view.root_value(cols[i]);
+
+  std::string out;
+  out +=
+      "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n"
+      "<title>pathview — ";
+  out += html_escape(view_type_name(view.type()));
+  out +=
+      "</title>\n<style>\n"
+      "body{font-family:monospace;font-size:13px}\n"
+      "details{margin-left:1.2em}\n"
+      ".leaf{margin-left:2.35em}\n"
+      ".m{display:inline-block;min-width:9em;text-align:right;color:#225}\n"
+      ".cs{color:#862}\n"
+      "summary>.m,.leaf>.m{float:right;margin-left:1em}\n"
+      "</style></head>\n<body>\n<h3>";
+  out += html_escape(view_type_name(view.type()));
+  out += "</h3>\n<div>";
+  for (metrics::ColumnId c : cols) {
+    out += "<span class=\"m\"><b>";
+    out += html_escape(view.table().desc(c).name);
+    out += "</b></span>";
+  }
+  out += "</div>\n";
+
+  std::function<void(core::ViewNodeId, std::size_t)> emit =
+      [&](core::ViewNodeId id, std::size_t depth) {
+        std::string cells;
+        // Reverse order: floated cells stack right-to-left.
+        for (std::size_t i = cols.size(); i-- > 0;) {
+          const double v = view.table().get(cols[i], id);
+          cells += "<span class=\"m\">";
+          cells += html_escape(format_metric_cell(v, totals[i]));
+          cells += "</span>";
+        }
+        std::string label;
+        if (view.is_call_site(id)) label += "<span class=\"cs\">&#8618;</span> ";
+        label += html_escape(view.label(id));
+
+        const bool expand_children =
+            opts.max_depth == 0 || depth < opts.max_depth;
+        const auto& ch = expand_children
+                             ? view.children_of(id)
+                             : std::vector<core::ViewNodeId>{};
+        if (ch.empty()) {
+          out += "<div class=\"leaf\">" + label + cells + "</div>\n";
+          return;
+        }
+        out += "<details" + std::string(depth < 2 ? " open" : "") +
+               "><summary>" + label + cells + "</summary>\n";
+        for (core::ViewNodeId c : ch) emit(c, depth + 1);
+        out += "</details>\n";
+      };
+  emit(opts.root == core::kViewNull ? view.root() : opts.root, 0);
+  out += "</body></html>\n";
+  return out;
+}
+
+}  // namespace pathview::ui

@@ -1,0 +1,53 @@
+// View exporters: CSV and JSON for downstream tooling, GraphViz DOT for
+// visual inspection of a view's tree. Exports honor the views' sparsity
+// (rows carry raw numbers; blank-cell display rules are a renderer concern,
+// so exported zeros stay explicit).
+#pragma once
+
+#include <string>
+
+#include "pathview/core/view.hpp"
+
+namespace pathview::ui {
+
+struct ExportOptions {
+  std::vector<metrics::ColumnId> columns;  // empty: every column
+  /// Export only the subtree under this node (kViewNull: whole view).
+  core::ViewNodeId root = core::kViewNull;
+  std::size_t max_depth = 0;  // 0: unlimited
+};
+
+/// RFC-4180-style CSV: header row, then one row per node in preorder with
+/// columns: id, parent, depth, label, <metric columns...>.
+std::string export_csv(core::View& view, const ExportOptions& opts);
+inline std::string export_csv(core::View& view) {
+  return export_csv(view, ExportOptions{});
+}
+
+/// JSON: nested objects mirroring the tree ({"label", "metrics", "children"}).
+std::string export_json(core::View& view, const ExportOptions& opts);
+inline std::string export_json(core::View& view) {
+  return export_json(view, ExportOptions{});
+}
+
+/// GraphViz DOT of the view's tree, nodes labeled with the first metric.
+std::string export_dot(core::View& view, const ExportOptions& opts);
+inline std::string export_dot(core::View& view) {
+  return export_dot(view, ExportOptions{});
+}
+
+/// Self-contained HTML page: the view as a collapsible tree-table
+/// (<details>/<summary>), metric cells right-aligned with the blank-zero
+/// rule — a static stand-in for the hpcviewer GUI, viewable in any browser.
+std::string export_html(core::View& view, const ExportOptions& opts);
+inline std::string export_html(core::View& view) {
+  return export_html(view, ExportOptions{});
+}
+
+std::string html_escape(const std::string& s);
+
+/// Escape helpers (exposed for tests).
+std::string csv_escape(const std::string& s);
+std::string json_escape(const std::string& s);
+
+}  // namespace pathview::ui

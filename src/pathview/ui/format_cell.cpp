@@ -1,0 +1,22 @@
+#include "pathview/ui/format_cell.hpp"
+
+#include "pathview/support/format.hpp"
+
+namespace pathview::ui {
+
+std::string format_cell(double value, double total, const CellStyle& style) {
+  if (value == 0.0) return std::string(style.width, ' ');  // blank-cell rule
+  std::string s = format_scientific(value);
+  if (style.show_percent && total > 0.0)
+    s += " " + pad_left(format_percent(value / total), 6);
+  return pad_left(s, style.width);
+}
+
+std::string format_header(const metrics::MetricDesc& desc,
+                          const CellStyle& style) {
+  std::string name = desc.name;
+  if (name.size() > style.width) name = name.substr(0, style.width);
+  return pad_left(name, style.width);
+}
+
+}  // namespace pathview::ui

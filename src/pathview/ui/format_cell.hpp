@@ -1,0 +1,26 @@
+// Metric-pane cell formatting (paper Sec. V-A):
+//   * scientific notation with a short, readable format;
+//   * a percentage of the experiment aggregate alongside the value;
+//   * zero cells rendered blank.
+#pragma once
+
+#include <string>
+
+#include "pathview/metrics/metric_table.hpp"
+
+namespace pathview::ui {
+
+struct CellStyle {
+  bool show_percent = true;
+  std::size_t width = 17;  // "1.23e+09  41.4%"
+};
+
+/// Format one metric cell; `total` is the percentage denominator (usually
+/// the view root's inclusive value). Zero -> blank (all spaces).
+std::string format_cell(double value, double total, const CellStyle& style);
+
+/// Column header padded to the cell width.
+std::string format_header(const metrics::MetricDesc& desc,
+                          const CellStyle& style);
+
+}  // namespace pathview::ui

@@ -1,0 +1,75 @@
+#include "pathview/ui/object_view.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+#include "pathview/support/format.hpp"
+
+namespace pathview::ui {
+
+std::vector<ObjectRow> object_rows(const sim::RawProfile& raw,
+                                   const structure::BinaryImage& img,
+                                   model::Event sort_by) {
+  std::unordered_map<model::Addr, model::EventVector> by_addr;
+  for (const sim::RawProfile::Cell& cell : raw.cells())
+    by_addr[cell.leaf] += cell.counts;
+
+  std::vector<ObjectRow> rows;
+  rows.reserve(by_addr.size());
+  for (const auto& [addr, counts] : by_addr) {
+    ObjectRow row;
+    row.addr = addr;
+    row.counts = counts;
+    if (const structure::BinProc* bp = img.find_proc(addr))
+      row.proc = img.names().str(bp->name);
+    if (const structure::LineEntry* le = img.find_line(addr)) {
+      row.file = img.names().str(le->file);
+      row.line = le->line;
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [&](const ObjectRow& a, const ObjectRow& b) {
+              const double va = a.counts[sort_by];
+              const double vb = b.counts[sort_by];
+              return va != vb ? va > vb : a.addr < b.addr;
+            });
+  return rows;
+}
+
+std::string render_object_view(const sim::RawProfile& raw,
+                               const structure::BinaryImage& img,
+                               model::Event sort_by, std::size_t max_rows) {
+  const std::vector<ObjectRow> rows = object_rows(raw, img, sort_by);
+  double total = 0;
+  for (const ObjectRow& r : rows) total += r.counts[sort_by];
+
+  std::string out = pad_right("address", 12) + pad_right("procedure", 28) +
+                    pad_right("file:line", 26) +
+                    pad_left(model::event_name(sort_by), 14) +
+                    pad_left("%", 8) + "\n";
+  out += std::string(88, '-') + "\n";
+  std::size_t n = 0;
+  for (const ObjectRow& r : rows) {
+    if (max_rows != 0 && n++ >= max_rows) {
+      out += "... (" + std::to_string(rows.size() - max_rows) +
+             " more addresses)\n";
+      break;
+    }
+    char addr_buf[20];
+    std::snprintf(addr_buf, sizeof(addr_buf), "0x%08llx",
+                  static_cast<unsigned long long>(r.addr));
+    out += pad_right(addr_buf, 12);
+    out += pad_right(r.proc.substr(0, 27), 28);
+    out += pad_right(r.file + ":" + std::to_string(r.line), 26);
+    out += pad_left(format_scientific(r.counts[sort_by]), 14);
+    out += pad_left(total > 0 ? format_percent(r.counts[sort_by] / total)
+                              : std::string("-"),
+                    8);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace pathview::ui

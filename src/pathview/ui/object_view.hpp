@@ -1,0 +1,37 @@
+// Object-code presentation (paper Sec. IX): "Although HPCTOOLKIT supports a
+// simple text-based presentation of metrics correlated with object code, it
+// is cumbersome to use." — this is that presentation: flat, address-level
+// metric attribution straight from the raw profile and the binary's symbol
+// and line tables, before any structure fusion.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pathview/sim/raw_profile.hpp"
+#include "pathview/structure/binary_image.hpp"
+
+namespace pathview::ui {
+
+struct ObjectRow {
+  model::Addr addr = 0;
+  std::string proc;        // enclosing symbol
+  std::string file;
+  int line = 0;
+  model::EventVector counts;  // summed over every calling context
+};
+
+/// Aggregate the raw profile by instruction address (all contexts merged).
+/// Rows are sorted by the given event, descending; addresses without
+/// samples are omitted (sparsity).
+std::vector<ObjectRow> object_rows(const sim::RawProfile& raw,
+                                   const structure::BinaryImage& img,
+                                   model::Event sort_by);
+
+/// Render as a text table (top `max_rows`, 0 = all).
+std::string render_object_view(const sim::RawProfile& raw,
+                               const structure::BinaryImage& img,
+                               model::Event sort_by,
+                               std::size_t max_rows = 0);
+
+}  // namespace pathview::ui

@@ -1,0 +1,68 @@
+#include "pathview/ui/rank_plot.hpp"
+
+#include <algorithm>
+
+#include "pathview/support/format.hpp"
+
+namespace pathview::ui {
+
+namespace {
+
+std::string render_grid(const std::vector<double>& values,
+                        const PlotOptions& opts, char mark) {
+  if (values.empty()) return "(no data)\n";
+  const auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+  const double lo = *lo_it, hi = *hi_it;
+  const double span = hi > lo ? hi - lo : 1.0;
+
+  const std::size_t w = std::max<std::size_t>(8, opts.width);
+  const std::size_t h = std::max<std::size_t>(4, opts.height);
+  std::vector<std::string> grid(h, std::string(w, ' '));
+
+  // Bin ranks into columns; within a column plot min..max as a bar of marks
+  // so dense rank counts stay readable.
+  for (std::size_t col = 0; col < w; ++col) {
+    const std::size_t begin = col * values.size() / w;
+    const std::size_t end =
+        std::max(begin + 1, (col + 1) * values.size() / w);
+    if (begin >= values.size()) break;
+    double cmin = values[begin], cmax = values[begin];
+    for (std::size_t i = begin; i < end && i < values.size(); ++i) {
+      cmin = std::min(cmin, values[i]);
+      cmax = std::max(cmax, values[i]);
+    }
+    const auto row_of = [&](double v) {
+      const double t = (v - lo) / span;  // 0 bottom .. 1 top
+      return h - 1 -
+             std::min(h - 1, static_cast<std::size_t>(t * static_cast<double>(h - 1) + 0.5));
+    };
+    const std::size_t top = row_of(cmax);
+    const std::size_t bottom = row_of(cmin);
+    for (std::size_t r = top; r <= bottom; ++r) grid[r][col] = mark;
+  }
+
+  std::string out;
+  out += pad_left(format_scientific(hi), 10) + " +" + grid.front() + "\n";
+  for (std::size_t r = 1; r + 1 < h; ++r)
+    out += std::string(10, ' ') + " |" + grid[r] + "\n";
+  out += pad_left(format_scientific(lo), 10) + " +" + grid.back() + "\n";
+  out += std::string(10, ' ') + "  rank 0" +
+         std::string(w > 16 ? w - 14 : 1, ' ') + "rank " +
+         std::to_string(values.size() - 1) + "\n";
+  return out;
+}
+
+}  // namespace
+
+std::string render_rank_scatter(const std::vector<double>& values,
+                                const PlotOptions& opts) {
+  return render_grid(values, opts, '*');
+}
+
+std::string render_sorted_curve(std::vector<double> values,
+                                const PlotOptions& opts) {
+  std::sort(values.begin(), values.end());
+  return render_grid(values, opts, 'o');
+}
+
+}  // namespace pathview::ui

@@ -1,0 +1,31 @@
+// Per-rank metric plots: the paper's Fig. 7 shows three graph panels inside
+// hpcviewer — the raw per-process scatter of an inclusive metric, the same
+// values sorted, and their histogram. These render the first two as ASCII
+// (the histogram lives in analysis::Histogram).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pathview::ui {
+
+struct PlotOptions {
+  std::size_t width = 64;   // plot columns (ranks are binned to fit)
+  std::size_t height = 12;  // plot rows
+};
+
+/// Scatter plot: x = rank index, y = value.
+std::string render_rank_scatter(const std::vector<double>& values,
+                                const PlotOptions& opts);
+inline std::string render_rank_scatter(const std::vector<double>& values) {
+  return render_rank_scatter(values, PlotOptions{});
+}
+
+/// The same values sorted ascending (the paper's second panel).
+std::string render_sorted_curve(std::vector<double> values,
+                                const PlotOptions& opts);
+inline std::string render_sorted_curve(std::vector<double> values) {
+  return render_sorted_curve(std::move(values), PlotOptions{});
+}
+
+}  // namespace pathview::ui

@@ -1,0 +1,40 @@
+#include "pathview/ui/source_pane.hpp"
+
+#include <algorithm>
+
+#include "pathview/model/source_renderer.hpp"
+#include "pathview/support/format.hpp"
+
+namespace pathview::ui {
+
+std::string render_source_pane(const model::Program& prog,
+                               const structure::StructureTree& tree,
+                               structure::SNodeId scope, int context) {
+  const structure::SNode& sn = tree.node(scope);
+  if (sn.kind == structure::SKind::kProc && !sn.has_source)
+    return "[" + tree.name_of(scope) +
+           ": no source — implementation provided in binary-only form]\n";
+
+  const std::string& fname = tree.file_of(scope);
+  model::FileId file = model::kInvalidId;
+  for (model::FileId fid = 0; fid < prog.files().size(); ++fid)
+    if (prog.file_name(fid) == fname) file = fid;
+  if (file == model::kInvalidId)
+    return "[no source file '" + fname + "']\n";
+
+  const std::vector<std::string> lines = model::render_source(prog, file);
+  const int target = std::max(1, sn.line);
+  const int lo = std::max(1, target - context);
+  const int hi = std::min<int>(static_cast<int>(lines.size()), target + context);
+
+  std::string out = fname + ":\n";
+  for (int ln = lo; ln <= hi; ++ln) {
+    out += (ln == target ? "> " : "  ");
+    out += pad_left(std::to_string(ln), 5) + "  ";
+    out += lines[static_cast<std::size_t>(ln - 1)];
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace pathview::ui

@@ -1,0 +1,21 @@
+// The source pane: shows the (pseudo-)source around a selected scope.
+// Per the paper's top-down design, this is the ONLY path to source code —
+// "all access to the program source code is through the navigation pane;
+// there is no direct access to metric data from the source pane".
+#pragma once
+
+#include <string>
+
+#include "pathview/model/program.hpp"
+#include "pathview/structure/structure_tree.hpp"
+
+namespace pathview::ui {
+
+/// Render `context` lines of source around `scope`'s line, with a '>'
+/// marker on the scope's own line. Procedures without source render the
+/// paper's binary-only notice instead.
+std::string render_source_pane(const model::Program& prog,
+                               const structure::StructureTree& tree,
+                               structure::SNodeId scope, int context = 3);
+
+}  // namespace pathview::ui

@@ -1,0 +1,120 @@
+#include "pathview/ui/tree_table.hpp"
+
+#include <algorithm>
+
+#include "pathview/support/format.hpp"
+
+namespace pathview::ui {
+
+std::string render_nav_label(core::View& view, core::ViewNodeId id, int depth,
+                             bool expanded, bool has_children) {
+  std::string line(static_cast<std::size_t>(depth) * 2, ' ');
+  line += has_children ? (expanded ? "v " : "> ") : "  ";
+  if (view.is_call_site(id)) {
+    // The paper's box-with-arrow call-site icon.
+    line += view.type() == core::ViewType::kCallers ? "<=" : "=>";
+  }
+  const core::ViewNode& n = view.node(id);
+  std::string label = view.label(id);
+  // Runtime routines without source: "plain black" (bracketed) rendering.
+  if (n.scope != structure::kSNull) {
+    const structure::SNode& sn = view.tree().node(n.scope);
+    if (sn.kind == structure::SKind::kProc && !sn.has_source)
+      label = "[" + label + "]";
+  }
+  line += label;
+  return line;
+}
+
+std::string render_tree_table(core::View& view, const ExpansionState& exp,
+                              const TreeTableOptions& opts) {
+  std::vector<metrics::ColumnId> cols = opts.columns;
+  if (cols.empty())
+    for (metrics::ColumnId c = 0; c < view.table().num_columns(); ++c)
+      cols.push_back(c);
+
+  std::string out;
+  // Header row.
+  out += pad_right("Scope", opts.name_width);
+  for (metrics::ColumnId c : cols)
+    out += " " + format_header(view.table().desc(c), opts.cell);
+  out += '\n';
+  out += std::string(opts.name_width + cols.size() * (opts.cell.width + 1), '-');
+  out += '\n';
+
+  // Percent denominators: the root's value of the column — except for raw
+  // exclusive columns, whose root value is ~0; those use the experiment
+  // aggregate (the matching inclusive column's root value), as hpcviewer
+  // does.
+  std::vector<double> totals(cols.size());
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    totals[i] = view.root_value(cols[i]);
+    const metrics::MetricDesc& d = view.table().desc(cols[i]);
+    if (totals[i] == 0.0 && d.kind == metrics::MetricKind::kRaw &&
+        !d.inclusive) {
+      for (metrics::ColumnId c = 0; c < view.table().num_columns(); ++c) {
+        const metrics::MetricDesc& dc = view.table().desc(c);
+        if (dc.kind == metrics::MetricKind::kRaw && dc.inclusive &&
+            dc.event == d.event) {
+          totals[i] = view.root_value(c);
+          break;
+        }
+      }
+    }
+  }
+
+  std::size_t rows = 0;
+  bool truncated = false;
+
+  struct Item {
+    core::ViewNodeId id;
+    int depth;
+  };
+  std::vector<Item> stack;
+  const std::vector<core::ViewNodeId>& roots =
+      opts.roots.empty() ? view.children_of(view.root()) : opts.roots;
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it)
+    stack.push_back(Item{*it, 0});
+
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    if (opts.max_rows != 0 && rows >= opts.max_rows) {
+      truncated = true;
+      break;
+    }
+    ++rows;
+
+    const bool expanded = exp.is_expanded(item.id);
+    // Only expanded nodes materialize children — collapsed subtrees of a
+    // lazily-built view are never constructed.
+    const bool has_children =
+        expanded ? !view.children_of(item.id).empty()
+                 : (!view.node(item.id).children_built ||
+                    !view.node(item.id).children.empty());
+
+    std::string nav =
+        render_nav_label(view, item.id, item.depth, expanded, has_children);
+    if (std::find(opts.highlight.begin(), opts.highlight.end(), item.id) !=
+        opts.highlight.end())
+      nav.insert(0, "*");
+    if (opts.show_ids)
+      nav.insert(0, "[" + pad_left(std::to_string(item.id), 4) + "] ");
+    if (nav.size() > opts.name_width) nav.resize(opts.name_width);
+    out += pad_right(nav, opts.name_width);
+    for (std::size_t i = 0; i < cols.size(); ++i)
+      out += " " + format_cell(view.table().get(cols[i], item.id), totals[i],
+                               opts.cell);
+    out += '\n';
+
+    if (expanded && has_children) {
+      const auto& ch = view.children_of(item.id);
+      for (auto it = ch.rbegin(); it != ch.rend(); ++it)
+        stack.push_back(Item{*it, item.depth + 1});
+    }
+  }
+  if (truncated) out += "... (truncated)\n";
+  return out;
+}
+
+}  // namespace pathview::ui

@@ -1,0 +1,63 @@
+// The tree-table renderer: hpcviewer's navigation pane + metric pane as
+// text. "Data presentation in hpcviewer is based on tree-tabular
+// presentation, which is generally more scalable than a graph-oriented
+// presentation" (paper Sec. VII).
+//
+// Presentation rules implemented here (Sec. V):
+//   * call site and callee fused on one line, prefixed with the call-site
+//     glyph (the paper's box-with-arrow icon);
+//   * procedures without source shown in brackets (the paper's "plain
+//     black" non-hyperlink rendering for runtime routines);
+//   * zero cells blank; values in scientific notation with percentages;
+//   * only expanded nodes are visited — collapsed subtrees cost nothing
+//     (lazily constructed views stay unmaterialized).
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "pathview/core/view.hpp"
+#include "pathview/ui/format_cell.hpp"
+
+namespace pathview::ui {
+
+/// Which nodes are expanded in the navigation pane.
+class ExpansionState {
+ public:
+  bool is_expanded(core::ViewNodeId id) const { return expanded_.contains(id); }
+  void expand(core::ViewNodeId id) { expanded_.insert(id); }
+  void collapse(core::ViewNodeId id) { expanded_.erase(id); }
+  void collapse_all() { expanded_.clear(); }
+  /// Expand every node along `path`.
+  void expand_path(const std::vector<core::ViewNodeId>& path) {
+    for (core::ViewNodeId id : path) expanded_.insert(id);
+  }
+  std::size_t count() const { return expanded_.size(); }
+
+ private:
+  std::unordered_set<core::ViewNodeId> expanded_;
+};
+
+struct TreeTableOptions {
+  std::vector<metrics::ColumnId> columns;  // empty: every column
+  std::size_t name_width = 56;
+  CellStyle cell;
+  std::size_t max_rows = 0;  // 0: unlimited
+  /// Roots to render (empty: the view root's children). Used by flattening.
+  std::vector<core::ViewNodeId> roots;
+  /// Highlight these nodes (e.g. a hot path) with a marker.
+  std::vector<core::ViewNodeId> highlight;
+  /// Prefix every row with its view node id (for scripted navigation).
+  bool show_ids = false;
+};
+
+/// Render the visible (expanded) portion of `view` as a tree-table.
+std::string render_tree_table(core::View& view, const ExpansionState& exp,
+                              const TreeTableOptions& opts);
+
+/// One navigation-pane line for a node (indent, expander, glyph, label).
+std::string render_nav_label(core::View& view, core::ViewNodeId id, int depth,
+                             bool expanded, bool has_children);
+
+}  // namespace pathview::ui

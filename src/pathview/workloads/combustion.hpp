@@ -1,0 +1,32 @@
+// S3D-shaped turbulent-combustion workload (paper Fig. 3 and Fig. 6).
+//
+// Targets (shape, reproduced by bench/fig3 and bench/fig6):
+//   * the main integration loop (integrate_erk.f90:82) holds ~97.9% of
+//     inclusive cycles with ~0.0% exclusive;
+//   * hot-path analysis from the root ends at chemkin_m_reaction_rate_
+//     at ~41.4% of inclusive cycles;
+//   * rhsf_ itself (exclusive) accounts for ~8.7%;
+//   * the diffusive-flux loop runs at ~6% FP efficiency and accounts for
+//     ~13.5% of total floating-point waste;
+//   * the math-library exp loop runs at ~39% efficiency;
+//   * the `optimized` variant models the paper's loop transformation that
+//     made the flux loop 2.9x faster.
+#pragma once
+
+#include "pathview/workloads/workload.hpp"
+
+namespace pathview::workloads {
+
+struct CombustionWorkload : Workload {
+  model::ProcId main_proc, s3d_main, integrate, update, rhsf, diff_flux,
+      transport, chemkin, vendor_exp;
+  model::StmtId timestep_loop;  // integrate_erk.f90:82
+  model::StmtId flux_loop;      // rhsf.f90:210 (in diffusive_flux_terms)
+  model::StmtId exp_loop;       // w_exp.c:5 (inside the math library)
+  double peak_flops_per_cycle = 4.0;
+};
+
+CombustionWorkload make_combustion(bool optimized_flux = false,
+                                   std::uint64_t seed = 42);
+
+}  // namespace pathview::workloads

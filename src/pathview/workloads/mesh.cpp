@@ -1,0 +1,105 @@
+#include "pathview/workloads/mesh.hpp"
+
+namespace pathview::workloads {
+
+MeshWorkload make_mesh(std::uint64_t seed) {
+  using model::make_cost;
+  MeshWorkload w;
+
+  // Budgets: C total cycles, L total L1 misses (in event units).
+  constexpr double C = 2.0e8;
+  constexpr double L = 2.0e6;
+  constexpr int kQueries = 200;   // get_coords calls
+  constexpr int kCoordTrips = 50; // iterations of the loop at line 686
+  constexpr int kRbTrips = 8;     // red-black-tree search depth
+
+  model::ProgramBuilder b;
+  const auto exe = b.module("mbperf_iMesh.x");
+  const auto f_crt = b.file("crt0.c", exe);
+  const auto f_drv = b.file("mbperf.cpp", exe);
+  const auto f_core = b.file("MBCore.cpp", exe);
+  const auto f_seq = b.file("SequenceManager.cpp", exe);
+  const auto f_sd = b.file("Sequence_data.cpp", exe);
+  const auto f_ms = b.file("memset.S", exe);
+
+  w.main_proc = b.proc("main", f_crt, 1, {.has_source = false});
+  w.driver = b.proc("mbperf_main", f_drv, 10);
+  w.create = b.proc("Sequence_data::create", f_sd, 40);
+  w.tags = b.proc("TagServer::reserve", f_sd, 90);
+  w.get_coords = b.proc("MBCore::get_coords", f_core, 680);
+  w.find = b.proc("SequenceManager::find", f_seq, 120, {.inlinable = true});
+  w.compare =
+      b.proc("SequenceCompare::operator()", f_seq, 200, {.inlinable = true});
+  w.memset_proc =
+      b.proc("_intel_fast_memset.A", f_ms, 1, {.has_source = false});
+
+  b.in(w.main_proc).call(2, w.driver);
+
+  // Driver: mesh creation, tag setup, then the query loop.
+  b.in(w.driver)
+      .call(12, w.create)
+      .call(13, w.tags)
+      .compute(14, make_cost(0.35 * C, 0.5 * C, 0.4 * C, 0.40 * L));
+  const model::StmtId qloop = b.in(w.driver).loop(16, kQueries);
+  b.in(w.driver, qloop).call(17, w.get_coords);
+  b.in(w.driver)
+      .compute(19, make_cost(0.291 * C, 0.37 * C, 0.25 * C, 0.20 * L));
+
+  // Sequence_data::create: allocation plus the big memset (Fig. 4's 9.6%):
+  // one memset call per created sequence block (95 blocks) versus the one
+  // call in TagServer::reserve — the per-call cost is identical; the split
+  // comes from call counts, exactly as with real buffer sizes.
+  constexpr int kCreateBlocks = 95;  // 95 of 96 memset calls => 9.6% vs 0.1%
+  b.in(w.create).compute(42, make_cost(0.12 * C, 0.2 * C, 0, 0.052 * L));
+  const model::StmtId blocks = b.in(w.create).loop(43, kCreateBlocks);
+  b.in(w.create, blocks).call(44, w.memset_proc);
+  // TagServer::reserve: the small second memset caller (Fig. 4's ~0.1%).
+  b.in(w.tags).call(92, w.memset_proc);
+
+  // _intel_fast_memset.A: vendor assembly, no source (rendered "plain
+  // black" by the UI). 9.7% of all L1 misses in total.
+  constexpr double kMsCalls = kCreateBlocks + 1;
+  const model::StmtId msloop = b.in(w.memset_proc).loop(2, 16);
+  b.in(w.memset_proc, msloop)
+      .compute(3, make_cost(0.05 * C / (kMsCalls * 16.0),
+                            0.10 * C / (kMsCalls * 16.0), 0,
+                            0.097 * L / (kMsCalls * 16.0)));
+
+  // MBCore::get_coords (Fig. 5): all cycles inside the loop at line 686.
+  w.coords_loop = b.in(w.get_coords).loop(686, kCoordTrips);
+  constexpr double kPerIter = 1.0 / (kQueries * kCoordTrips);
+  b.in(w.get_coords, w.coords_loop)
+      .compute(687, make_cost(0.029 * C * kPerIter, 0.04 * C * kPerIter, 0,
+                              0.03 * L * kPerIter))
+      .call(688, w.find);  // inlined by the compiler
+
+  // SequenceManager::find: its body is a red-black-tree search loop; the
+  // comparison functor is inlined into the loop.
+  b.in(w.find).compute(122, make_cost(0.02 * C * kPerIter, 0.03 * C * kPerIter,
+                                      0, 0.01 * L * kPerIter));
+  w.rb_loop = b.in(w.find).loop(130, kRbTrips);
+  constexpr double kPerCmp = kPerIter / kRbTrips;
+  b.in(w.find, w.rb_loop)
+      .compute(131, make_cost(0.06 * C * kPerCmp, 0.09 * C * kPerCmp, 0,
+                              0.012 * L * kPerCmp))
+      .call(132, w.compare);  // inlined into the rb-tree loop
+
+  // SequenceCompare::operator(): pointer-chasing compare — the paper's
+  // 19.8%-of-L1-misses scope.
+  b.in(w.compare)
+      .compute(202, make_cost(0.08 * C * kPerCmp, 0.10 * C * kPerCmp, 0,
+                              0.198 * L * kPerCmp));
+
+  b.set_entry(w.main_proc);
+  w.finalize(b.finish());
+
+  w.run.seed = seed;
+  w.run.sampler.sample(model::Event::kCycles, 2000.0);
+  w.run.sampler.sample(model::Event::kL1Miss, 20.0);
+  w.run.sampler.sample(model::Event::kInstructions, 4000.0);
+  w.run.sampler.random_phase = true;
+  w.run.sampler.period_jitter = 0.3;
+  return w;
+}
+
+}  // namespace pathview::workloads

@@ -1,0 +1,28 @@
+// MOAB/mbperf-shaped mesh benchmark workload (paper Fig. 4 and Fig. 5).
+//
+// Targets (shape, reproduced by bench/fig4 and bench/fig5):
+//   * `_intel_fast_memset.A` (binary-only) accounts for ~9.7% of all L1
+//     data-cache misses, ~9.6% of which come from the call in
+//     `Sequence_data::create` (Callers View, Fig. 4);
+//   * `MBCore::get_coords` accounts for ~18.9% of total cycles, all of it
+//     inside the loop at line 686 (Flat View, Fig. 5);
+//   * within that loop, a hierarchy of inlined code — SequenceManager::find
+//     inlined into the loop, the red-black-tree search loop inside it, and
+//     SequenceCompare::operator() inlined into that loop — where applying
+//     the comparison operator accounts for ~19.8% of all L1 misses.
+#pragma once
+
+#include "pathview/workloads/workload.hpp"
+
+namespace pathview::workloads {
+
+struct MeshWorkload : Workload {
+  model::ProcId main_proc, driver, create, tags, get_coords, find, compare,
+      memset_proc;
+  model::StmtId coords_loop;  // MBCore.cpp:686
+  model::StmtId rb_loop;      // the inlined red-black-tree search loop
+};
+
+MeshWorkload make_mesh(std::uint64_t seed = 42);
+
+}  // namespace pathview::workloads

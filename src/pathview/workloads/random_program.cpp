@@ -1,0 +1,115 @@
+#include "pathview/workloads/random_program.hpp"
+
+#include "pathview/support/prng.hpp"
+
+namespace pathview::workloads {
+
+namespace {
+
+class Generator {
+ public:
+  explicit Generator(const RandomProgramOptions& opts)
+      : opts_(opts), prng_(opts.seed) {}
+
+  Workload generate() {
+    Workload w;
+    model::ProgramBuilder b;
+    const auto mod = b.module("rand.x");
+    std::vector<model::FileId> files;
+    for (std::uint32_t i = 0; i < opts_.num_files; ++i)
+      files.push_back(b.file("rand" + std::to_string(i) + ".c", mod));
+
+    std::vector<model::ProcId> procs;
+    for (std::uint32_t i = 0; i < opts_.num_procs; ++i) {
+      model::ProgramBuilder::ProcOpts po;
+      po.inlinable = opts_.allow_inlining && i > 0 && prng_.next_bool(0.25);
+      po.has_source = prng_.next_bool(0.9);
+      procs.push_back(b.proc("p" + std::to_string(i),
+                             files[prng_.next_below(files.size())],
+                             static_cast<int>(1 + 20 * i), po));
+    }
+
+    for (std::uint32_t i = 0; i < opts_.num_procs; ++i) {
+      emit_body(b, procs, i, b.in(procs[i]), static_cast<int>(1 + 20 * i), 0);
+      // Guarantee call-graph connectivity (a random body may be pure
+      // compute): every proc always reaches its successor.
+      if (i + 1 < opts_.num_procs)
+        b.in(procs[i]).call(static_cast<int>(20 * i + 19), procs[i + 1]);
+    }
+
+    b.set_entry(procs[0]);
+    w.finalize(b.finish());
+    w.run.seed = prng_.next_u64();
+    w.run.sampler.sample(model::Event::kCycles, 1.0);
+    w.run.sampler.sample(model::Event::kFlops, 1.0);
+    // Random call/loop topologies can multiply out; keep test workloads
+    // bounded (profiles stay internally consistent).
+    w.run.max_visits = 300'000;
+    return w;
+  }
+
+ private:
+  void emit_body(model::ProgramBuilder& b,
+                 const std::vector<model::ProcId>& procs, std::uint32_t self,
+                 model::ScopeCursor cursor, int base_line,
+                 std::uint32_t depth) {
+    const std::uint64_t n = 1 + prng_.next_below(opts_.max_body_stmts);
+    for (std::uint64_t k = 0; k < n; ++k) {
+      const int line = base_line + static_cast<int>(prng_.next_below(18)) + 1;
+      switch (prng_.next_below(depth < opts_.max_stmt_depth ? 4 : 2)) {
+        case 0:  // compute with small integer costs
+          cursor.compute(line,
+                         model::make_cost(
+                             static_cast<double>(1 + prng_.next_below(8)),
+                             static_cast<double>(prng_.next_below(4)),
+                             static_cast<double>(prng_.next_below(4))));
+          break;
+        case 1: {  // call: forward edge, or bounded self-recursion
+          std::uint32_t callee = self;
+          const bool self_rec = opts_.allow_recursion && prng_.next_bool(0.15);
+          if (!self_rec) {
+            if (self + 1 >= procs.size()) {
+              cursor.compute(line, model::make_cost(1));
+              break;
+            }
+            callee = self + 1 +
+                     static_cast<std::uint32_t>(
+                         prng_.next_below(procs.size() - self - 1));
+          }
+          model::CallOpts co;
+          co.prob = opts_.random_call_probs
+                        ? (prng_.next_bool(0.3) ? 0.5 : 1.0)
+                        : 1.0;
+          co.max_rec_depth = self_rec ? 3 : 64;
+          cursor.call(line, procs[callee], co);
+          break;
+        }
+        case 2: {  // loop (shallower loops iterate more)
+          const model::StmtId loop = cursor.loop(
+              line, static_cast<std::uint32_t>(
+                        1 + prng_.next_below(depth == 0 ? 4 : 2)));
+          emit_body(b, procs, self, b.in(procs[self], loop), line, depth + 1);
+          break;
+        }
+        case 3: {  // branch
+          const model::StmtId br = cursor.branch(
+              line, opts_.random_call_probs ? 0.5 + 0.5 * prng_.next_double()
+                                            : 1.0);
+          emit_body(b, procs, self, b.in(procs[self], br), line, depth + 1);
+          break;
+        }
+      }
+    }
+  }
+
+  RandomProgramOptions opts_;
+  Prng prng_;
+};
+
+}  // namespace
+
+Workload make_random_program(const RandomProgramOptions& opts) {
+  return Generator(opts).generate();
+}
+
+}  // namespace pathview::workloads

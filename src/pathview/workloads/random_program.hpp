@@ -1,0 +1,26 @@
+// Random program generator for property-based testing.
+//
+// Generates structurally diverse programs: multiple modules/files, nested
+// loops and branches, forward calls, bounded self-recursion, inlinable
+// procedures, and integer statement costs (so that with sampling period 1
+// the sampled profile equals the true execution exactly).
+#pragma once
+
+#include "pathview/workloads/workload.hpp"
+
+namespace pathview::workloads {
+
+struct RandomProgramOptions {
+  std::uint64_t seed = 1;
+  std::uint32_t num_files = 3;
+  std::uint32_t num_procs = 8;
+  std::uint32_t max_stmt_depth = 3;   // loop/branch nesting
+  std::uint32_t max_body_stmts = 4;
+  bool allow_recursion = true;
+  bool allow_inlining = true;
+  bool random_call_probs = true;  // false: every call executes
+};
+
+Workload make_random_program(const RandomProgramOptions& opts);
+
+}  // namespace pathview::workloads

@@ -1,0 +1,76 @@
+#include "pathview/workloads/registry.hpp"
+
+#include "pathview/sim/parallel_runner.hpp"
+#include "pathview/support/error.hpp"
+#include "pathview/workloads/combustion.hpp"
+#include "pathview/workloads/mesh.hpp"
+#include "pathview/workloads/paper_example.hpp"
+#include "pathview/workloads/random_program.hpp"
+#include "pathview/workloads/subsurface.hpp"
+
+namespace pathview::workloads {
+
+std::vector<NamedWorkload> list_workloads() {
+  return {
+      {"paper", "the paper's Fig. 1 example with the exact Fig. 2 profile"},
+      {"combustion", "S3D-shaped turbulent combustion (Fig. 3, Fig. 6)"},
+      {"combustion-optimized", "combustion with the 2.9x flux-loop rewrite"},
+      {"mesh", "MOAB/mbperf-shaped mesh benchmark (Fig. 4, Fig. 5)"},
+      {"subsurface", "PFLOTRAN-shaped SPMD solver with imbalance (Fig. 7)"},
+      {"random", "randomized program (property-test generator)"},
+  };
+}
+
+Workload make_workload(const std::string& name, std::uint32_t nranks,
+                       std::uint64_t seed) {
+  if (name == "paper") {
+    // The Fig. 1 program shape, engine-drivable: statement costs chosen so
+    // a deterministic run lands near the Fig. 2 profile (the exact golden
+    // profile is hand-built in PaperExample; this variant exists so the
+    // CLI tools can measure something).
+    Workload w;
+    model::ProgramBuilder b;
+    const auto mod = b.module("a.out");
+    const auto file1 = b.file("file1.c", mod);
+    const auto file2 = b.file("file2.c", mod);
+    const auto f = b.proc("f", file1, 1);
+    const auto m = b.proc("m", file1, 6);
+    const auto g = b.proc("g", file2, 2);
+    const auto h = b.proc("h", file2, 7);
+    b.in(f).call(2, g, {.cost = model::make_cost(1)});
+    b.in(m).call(7, f).call(8, g);
+    b.in(g)
+        .call(3, g, {.prob = 0.5, .max_rec_depth = 2,
+                     .cost = model::make_cost(1)})
+        .call(4, h, {.prob = 0.5, .cost = model::make_cost(1)});
+    const model::StmtId l1 = b.in(h).loop(8, 1);
+    const model::StmtId l2 = b.in(h, l1).loop(9, 4);
+    b.in(h, l2).compute(9, model::make_cost(1));
+    b.set_entry(m);
+    w.finalize(b.finish());
+    w.run.seed = seed;
+    w.run.sampler.sample(model::Event::kCycles, 1.0);
+    return w;
+  }
+  if (name == "combustion") return make_combustion(false, seed);
+  if (name == "combustion-optimized") return make_combustion(true, seed);
+  if (name == "mesh") return make_mesh(seed);
+  if (name == "subsurface") return make_subsurface(nranks ? nranks : 8, seed);
+  if (name == "random") {
+    RandomProgramOptions opts;
+    opts.seed = seed;
+    return make_random_program(opts);
+  }
+  throw InvalidArgument("unknown workload '" + name +
+                        "' (try: paper, combustion, mesh, subsurface, random)");
+}
+
+std::vector<sim::RawProfile> profile_workload(const Workload& w,
+                                              std::uint32_t nranks) {
+  sim::ParallelConfig pc;
+  pc.nranks = nranks == 0 ? 1 : nranks;
+  pc.base = w.run;
+  return sim::run_parallel(*w.program, *w.lowering, pc);
+}
+
+}  // namespace pathview::workloads

@@ -1,0 +1,32 @@
+// Name-based workload registry: lets the CLI tools and examples pick any of
+// the bundled synthetic applications by name.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pathview/sim/raw_profile.hpp"
+#include "pathview/workloads/workload.hpp"
+
+namespace pathview::workloads {
+
+struct NamedWorkload {
+  std::string name;
+  std::string description;
+};
+
+/// All registered workload names with one-line descriptions.
+std::vector<NamedWorkload> list_workloads();
+
+/// Instantiate a workload by name ("paper", "combustion",
+/// "combustion-optimized", "mesh", "subsurface", "random"). Throws
+/// InvalidArgument for unknown names. `nranks` is used by parallel
+/// workloads (and as the generation seed modifier for "random").
+Workload make_workload(const std::string& name, std::uint32_t nranks = 1,
+                       std::uint64_t seed = 42);
+
+/// Profile a workload: run `nranks` simulated ranks (1 = serial run).
+std::vector<sim::RawProfile> profile_workload(const Workload& w,
+                                              std::uint32_t nranks);
+
+}  // namespace pathview::workloads

@@ -1,0 +1,114 @@
+#include "pathview/workloads/subsurface.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "pathview/support/prng.hpp"
+
+namespace pathview::workloads {
+
+SubsurfaceWorkload make_subsurface(std::uint32_t nranks, std::uint64_t seed,
+                                   std::uint32_t strong_scale_base) {
+  using model::make_cost;
+  SubsurfaceWorkload w;
+  w.nranks = nranks;
+
+  // Skewed per-rank work factors: most ranks near 1, a heavy tail of
+  // overloaded ranks (uneven domain decomposition in heterogeneous porous
+  // media). Normalized so the mean stays ~1.
+  {
+    Prng prng(seed ^ 0xf107a11u);
+    w.rank_factor.resize(nranks);
+    double sum = 0;
+    for (auto& f : w.rank_factor) {
+      f = 0.7 + 0.3 * prng.next_double() + 0.25 * prng.next_pareto(1.0, 3.0);
+      sum += f;
+    }
+    for (auto& f : w.rank_factor) f *= static_cast<double>(nranks) / sum;
+  }
+  const double f_max =
+      *std::max_element(w.rank_factor.begin(), w.rank_factor.end());
+
+  constexpr double T = 1.0e8;  // per-rank nominal cycles
+  constexpr int kSteps = 25;
+  constexpr double W = 0.45 * T / kSteps;  // per-step solve work (nominal)
+
+  model::ProgramBuilder b;
+  const auto exe = b.module("pflotran.x");
+  const auto f_crt = b.file("crt0.c", exe);
+  const auto f_main = b.file("pflotran.F90", exe);
+  const auto f_step = b.file("timestepper.F90", exe);
+  const auto f_flow = b.file("flow.F90", exe);
+  const auto f_tran = b.file("transport.F90", exe);
+  const auto f_mpi = b.file("allreduce.c", exe);
+
+  w.main_proc = b.proc("main", f_crt, 1, {.has_source = false});
+  w.pflotran = b.proc("pflotran_main", f_main, 5);
+  w.stepper = b.proc("timestepper_run", f_step, 380);
+  w.flow = b.proc("flow_solve", f_flow, 30);
+  w.transport = b.proc("transport_solve", f_tran, 60);
+  w.allreduce = b.proc("mpi_allreduce", f_mpi, 10, {.has_source = false});
+
+  b.in(w.main_proc).call(2, w.pflotran);
+  b.in(w.pflotran)
+      .compute(6, make_cost(0.04 * T, 0.06 * T))  // setup / IO
+      .call(8, w.stepper);
+
+  // The paper's main iteration loop at timestepper.F90:384.
+  w.timestep_loop = b.in(w.stepper).loop(384, kSteps);
+  b.in(w.stepper, w.timestep_loop)
+      .call(386, w.flow)
+      .call(388, w.transport);
+
+  // Rank-scaled local work followed by the collective where fast ranks
+  // wait for the slowest one.
+  b.in(w.flow)
+      .compute(32, make_cost(W, 1.4 * W, 1.8 * W, 0.004 * W))
+      .call(34, w.allreduce);
+  b.in(w.transport)
+      .compute(62, make_cost(W, 1.3 * W, 1.6 * W, 0.006 * W))
+      .call(64, w.allreduce);
+
+  // The collective's wait: rescaled per rank to (f_max - f_rank) by the
+  // transform below. Idleness tracks the full gap; cycles only ~30% of it
+  // (a blocking wait burns few cycles), so per-rank inclusive cycles stay
+  // visibly scattered — the first panel of Fig. 7.
+  model::EventVector wait_cost = make_cost(0.3 * W);
+  wait_cost[model::Event::kIdle] = W;
+  b.in(w.allreduce).compute(12, wait_cost);
+
+  b.set_entry(w.main_proc);
+  w.finalize(b.finish());
+
+  const model::StmtId wait_id = w.program->proc(w.allreduce).body.front();
+  const model::StmtId flow_work = w.program->proc(w.flow).body.front();
+  const model::StmtId tran_work = w.program->proc(w.transport).body.front();
+
+  // Per-rank cost transform: work scales with the rank's factor; waiting at
+  // the collective scales with its distance to the slowest rank.
+  auto factors = std::make_shared<std::vector<double>>(w.rank_factor);
+  w.run.cost_transform = [factors, f_max, wait_id, flow_work, tran_work,
+                          strong_scale_base](
+                             std::uint32_t rank, std::uint32_t nranks_now,
+                             model::StmtId s, const model::EventVector& base) {
+    // Strong scaling: the global problem is fixed, so per-rank solver work
+    // shrinks as ranks grow; the serial setup phase does not.
+    const double shrink =
+        strong_scale_base > 0 && nranks_now > 0
+            ? static_cast<double>(strong_scale_base) / nranks_now
+            : 1.0;
+    const double f = (*factors)[rank % factors->size()];
+    if (s == flow_work || s == tran_work) return base * (f * shrink);
+    if (s == wait_id) return base * (std::max(0.0, f_max - f) * shrink);
+    return base;
+  };
+
+  w.run.seed = seed;
+  w.run.sampler.sample(model::Event::kCycles, 2000.0);
+  w.run.sampler.sample(model::Event::kIdle, 2000.0);
+  w.run.sampler.random_phase = true;
+  w.run.sampler.period_jitter = 0.3;
+  return w;
+}
+
+}  // namespace pathview::workloads

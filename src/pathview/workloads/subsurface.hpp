@@ -1,0 +1,33 @@
+// PFLOTRAN-shaped SPMD subsurface-flow workload (paper Fig. 7 / Sec. VI-C).
+//
+// An R-rank strong-scaled solver whose per-rank work is unevenly
+// distributed (skewed multiplicative factors); ranks idle at the collective
+// (mpi_allreduce) until the slowest rank arrives. Idleness is charged as
+// the kIdle event (plus wait cycles) at the collective's calling context,
+// so "sorting by total inclusive idleness summed over all MPI processes and
+// performing hot path analysis" drills into the main iteration loop at
+// timestepper.F90:384 — the paper's Fig. 7 workflow.
+#pragma once
+
+#include "pathview/workloads/workload.hpp"
+
+namespace pathview::workloads {
+
+struct SubsurfaceWorkload : Workload {
+  model::ProcId main_proc, pflotran, stepper, flow, transport, allreduce;
+  model::StmtId timestep_loop;  // timestepper.F90:384
+  std::uint32_t nranks = 0;
+  /// The per-rank work factors used by the cost transform (mean ~1).
+  std::vector<double> rank_factor;
+};
+
+/// `strong_scale_base` > 0 makes per-rank solver work scale as
+/// base/nranks (strong scaling with a fixed global problem); the setup/IO
+/// phase stays serial — the classic Amdahl bottleneck the scaling-loss
+/// analysis (Sec. VI-A) is meant to expose. 0 keeps per-rank work constant
+/// (weak scaling), as used by the Fig. 7 imbalance study.
+SubsurfaceWorkload make_subsurface(std::uint32_t nranks,
+                                   std::uint64_t seed = 42,
+                                   std::uint32_t strong_scale_base = 0);
+
+}  // namespace pathview::workloads

@@ -1,0 +1,31 @@
+// Common bundle for synthetic workloads: a program model, its lowering
+// (binary image + address space) and the recovered structure tree, with
+// stable heap storage so the bundle can be moved around.
+#pragma once
+
+#include <memory>
+
+#include "pathview/model/builder.hpp"
+#include "pathview/sim/engine.hpp"
+#include "pathview/structure/lower.hpp"
+#include "pathview/structure/recovery.hpp"
+
+namespace pathview::workloads {
+
+struct Workload {
+  std::unique_ptr<model::Program> program;
+  std::unique_ptr<structure::Lowering> lowering;
+  std::unique_ptr<structure::StructureTree> tree;
+  /// Suggested engine configuration (sampler periods, seed, transform).
+  sim::RunConfig run;
+
+  /// Finish construction: lower the program and recover structure.
+  void finalize(model::Program&& prog) {
+    program = std::make_unique<model::Program>(std::move(prog));
+    lowering = std::make_unique<structure::Lowering>(*program);
+    tree = std::make_unique<structure::StructureTree>(
+        structure::recover_structure(lowering->image()));
+  }
+};
+
+}  // namespace pathview::workloads

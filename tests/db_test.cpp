@@ -1,0 +1,175 @@
+// Tests for experiment databases: XML and compact binary round trips,
+// parser error handling, and the size advantage of the binary format.
+#include <gtest/gtest.h>
+
+#include "pathview/support/error.hpp"
+
+#include <cstdio>
+
+#include "pathview/db/experiment.hpp"
+#include "pathview/db/xml.hpp"
+#include "pathview/prof/correlate.hpp"
+#include "pathview/sim/engine.hpp"
+#include "pathview/workloads/paper_example.hpp"
+#include "pathview/workloads/random_program.hpp"
+
+namespace pathview::db {
+namespace {
+
+Experiment paper_experiment() {
+  workloads::PaperExample ex;
+  const prof::CanonicalCct cct = prof::correlate(ex.profile(), ex.tree());
+  Experiment exp =
+      Experiment::capture(ex.tree(), cct, "fig2 <example> & \"co\"", 1);
+  exp.add_user_metric(metrics::MetricDesc{
+      "FP WASTE", metrics::MetricKind::kDerived, model::Event::kCycles, true,
+      "$0 * 4 - $2"});
+  return exp;
+}
+
+TEST(UserMetrics, PersistAcrossBothFormats) {
+  const Experiment exp = paper_experiment();
+  ASSERT_EQ(exp.user_metrics().size(), 1u);
+  const Experiment via_xml = from_xml(to_xml(exp));
+  ASSERT_EQ(via_xml.user_metrics().size(), 1u);
+  EXPECT_EQ(via_xml.user_metrics()[0].formula, "$0 * 4 - $2");
+  const Experiment via_bin = from_binary(to_binary(exp));
+  EXPECT_EQ(via_bin.user_metrics()[0].name, "FP WASTE");
+}
+
+TEST(UserMetrics, RejectsInvalidDefinitions) {
+  Experiment exp = paper_experiment();
+  metrics::MetricDesc bad;
+  bad.name = "bad";
+  bad.kind = metrics::MetricKind::kDerived;
+  bad.formula = "$1 +";
+  EXPECT_THROW(exp.add_user_metric(bad), InvalidArgument);
+  metrics::MetricDesc raw;
+  raw.kind = metrics::MetricKind::kRaw;
+  EXPECT_THROW(exp.add_user_metric(raw), InvalidArgument);
+}
+
+TEST(Xml, EscapeRoundTrip) {
+  EXPECT_EQ(xml_escape("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+}
+
+TEST(Xml, ParserBasics) {
+  const XmlNode root = parse_xml(
+      "<?xml version=\"1.0\"?>\n<!-- c -->\n"
+      "<A x=\"1\"><B y=\"2\"/><B y=\"3\"/></A>");
+  EXPECT_EQ(root.name, "A");
+  EXPECT_EQ(root.attr("x"), "1");
+  EXPECT_EQ(root.attr_or("zz", "d"), "d");
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[1].attr("y"), "3");
+  EXPECT_EQ(&root.child("B"), &root.children[0]);
+}
+
+TEST(Xml, ParserErrors) {
+  EXPECT_THROW(parse_xml("<A>"), ParseError);
+  EXPECT_THROW(parse_xml("<A></B>"), ParseError);
+  EXPECT_THROW(parse_xml("<A x=1/>"), ParseError);
+  EXPECT_THROW(parse_xml("<A/><B/>"), ParseError);
+  EXPECT_THROW(parse_xml("<A x=\"&bogus;\"/>"), ParseError);
+  EXPECT_THROW(parse_xml("junk"), ParseError);
+}
+
+TEST(XmlDb, RoundTripsPaperExperiment) {
+  const Experiment exp = paper_experiment();
+  const std::string xml = to_xml(exp);
+  const Experiment back = from_xml(xml);
+  std::string why;
+  EXPECT_TRUE(Experiment::equivalent(exp, back, &why)) << why;
+  // And the re-serialization is byte-identical (canonical writer).
+  EXPECT_EQ(to_xml(back), xml);
+}
+
+TEST(BinaryDb, RoundTripsPaperExperiment) {
+  const Experiment exp = paper_experiment();
+  const std::string bytes = to_binary(exp);
+  const Experiment back = from_binary(bytes);
+  std::string why;
+  EXPECT_TRUE(Experiment::equivalent(exp, back, &why)) << why;
+  EXPECT_EQ(to_binary(back), bytes);
+}
+
+TEST(BinaryDb, IsMoreCompactThanXml) {
+  // The paper's motivation for the binary format.
+  workloads::Workload w = workloads::make_random_program(
+      {.seed = 99, .num_procs = 16, .max_body_stmts = 5});
+  sim::ExecutionEngine eng(*w.program, *w.lowering, w.run);
+  const prof::CanonicalCct cct = prof::correlate(eng.run(), *w.tree);
+  const Experiment exp = Experiment::capture(*w.tree, cct, "rand", 1);
+  EXPECT_LT(to_binary(exp).size(), to_xml(exp).size() / 3);
+}
+
+TEST(BinaryDb, RejectsCorruption) {
+  const Experiment exp = paper_experiment();
+  std::string bytes = to_binary(exp);
+  EXPECT_THROW(from_binary("NOPE"), ParseError);
+  EXPECT_THROW(from_binary(bytes.substr(0, bytes.size() / 2)), ParseError);
+  std::string trailing = bytes + "x";
+  EXPECT_THROW(from_binary(trailing), ParseError);
+}
+
+TEST(Db, FileRoundTrips) {
+  const Experiment exp = paper_experiment();
+  const std::string xml_path = "/tmp/pathview_test_exp.xml";
+  const std::string bin_path = "/tmp/pathview_test_exp.pvdb";
+  save_xml(exp, xml_path);
+  save_binary(exp, bin_path);
+  std::string why;
+  EXPECT_TRUE(Experiment::equivalent(exp, load_xml(xml_path), &why)) << why;
+  EXPECT_TRUE(Experiment::equivalent(exp, load_binary(bin_path), &why)) << why;
+  std::remove(xml_path.c_str());
+  std::remove(bin_path.c_str());
+  EXPECT_THROW(load_xml("/tmp/definitely_missing_pathview.xml"),
+               InvalidArgument);
+}
+
+// Property: round trips hold for arbitrary random-program experiments.
+class DbRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DbRoundTrip, XmlAndBinary) {
+  workloads::Workload w = workloads::make_random_program({.seed = GetParam()});
+  sim::ExecutionEngine eng(*w.program, *w.lowering, w.run);
+  const prof::CanonicalCct cct = prof::correlate(eng.run(), *w.tree);
+  const Experiment exp = Experiment::capture(
+      *w.tree, cct, "seed" + std::to_string(GetParam()), 1);
+  std::string why;
+  EXPECT_TRUE(Experiment::equivalent(exp, from_xml(to_xml(exp)), &why)) << why;
+  EXPECT_TRUE(Experiment::equivalent(exp, from_binary(to_binary(exp)), &why))
+      << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbRoundTrip,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace pathview::db
+
+namespace pathview::db {
+namespace {
+
+TEST(Xml, MissingAttributeAndChildThrow) {
+  const XmlNode root = parse_xml("<A x=\"1\"><B/></A>");
+  EXPECT_THROW(root.attr("missing"), InvalidArgument);
+  EXPECT_THROW(root.child("C"), InvalidArgument);
+  EXPECT_EQ(root.attr_or("x", "z"), "1");
+}
+
+TEST(XmlDb, RejectsStructuralCorruption) {
+  const Experiment exp = paper_experiment();
+  std::string xml = to_xml(exp);
+  // Wrong root element.
+  EXPECT_THROW(from_xml("<Nope/>"), InvalidArgument);
+  // Bad integer in an attribute.
+  const std::size_t pos = xml.find("nranks=\"1\"");
+  ASSERT_NE(pos, std::string::npos);
+  std::string bad = xml;
+  bad.replace(pos, 10, "nranks=\"x\"");
+  EXPECT_THROW(from_xml(bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pathview::db

@@ -1,0 +1,116 @@
+// Tests for cross-experiment differencing (name-based alignment).
+#include <gtest/gtest.h>
+
+#include "pathview/analysis/diff.hpp"
+#include "pathview/model/builder.hpp"
+#include "pathview/prof/correlate.hpp"
+#include "pathview/sim/engine.hpp"
+#include "pathview/structure/lower.hpp"
+#include "pathview/structure/recovery.hpp"
+#include "pathview/support/error.hpp"
+#include "pathview/workloads/combustion.hpp"
+
+namespace pathview::analysis {
+namespace {
+
+using model::Event;
+
+/// Build an experiment from a tiny program: main -> work(base_cycles),
+/// optionally plus an extra procedure only present in variant B.
+db::Experiment tiny_experiment(double work_cycles, bool with_extra,
+                               const std::string& name) {
+  model::ProgramBuilder b;
+  const auto file = b.file("app.c", b.module("app.x"));
+  const auto mainp = b.proc("main", file, 1);
+  const auto work = b.proc("work", file, 10);
+  b.in(mainp).call(2, work);
+  b.in(work).compute(11, model::make_cost(work_cycles));
+  if (with_extra) {
+    const auto extra = b.proc("extra", file, 20);
+    b.in(mainp).call(3, extra);
+    b.in(extra).compute(21, model::make_cost(500));
+  }
+  b.set_entry(mainp);
+  const model::Program prog = b.finish();
+  const structure::Lowering lw(prog);
+  const structure::StructureTree tree =
+      structure::recover_structure(lw.image());
+  sim::RunConfig rc;
+  rc.sampler.sample(Event::kCycles, 1.0);
+  sim::ExecutionEngine eng(prog, lw, rc);
+  const prof::CanonicalCct cct = prof::correlate(eng.run(), tree);
+  return db::Experiment::capture(tree, cct, name, 1);
+}
+
+TEST(Diff, AlignsByNameAcrossIndependentTrees) {
+  const db::Experiment base = tiny_experiment(1000, false, "base");
+  const db::Experiment scaled = tiny_experiment(1300, false, "scaled");
+  const ExperimentDiff d = diff_experiments(base, scaled, DiffOptions{});
+  // Identical shapes: the union has exactly the base's CCT size.
+  EXPECT_EQ(d.cct->size(), base.cct().size());
+  // Root loss = 300 (strong scaling: scaled - base).
+  EXPECT_DOUBLE_EQ(d.table.get(d.loss_col, 0), 300.0);
+  // The work frame carries the regression.
+  bool found = false;
+  for (prof::CctNodeId n = 1; n < d.cct->size(); ++n)
+    if (d.cct->label(n) == "work") {
+      EXPECT_DOUBLE_EQ(d.table.get(d.base_col, n), 1000.0);
+      EXPECT_DOUBLE_EQ(d.table.get(d.scaled_col, n), 1300.0);
+      EXPECT_DOUBLE_EQ(d.table.get(d.loss_col, n), 300.0);
+      found = true;
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(Diff, KeepsScopesUniqueToEitherSide) {
+  const db::Experiment base = tiny_experiment(1000, false, "base");
+  const db::Experiment scaled = tiny_experiment(1000, true, "scaled");
+  const ExperimentDiff d = diff_experiments(base, scaled, DiffOptions{});
+  EXPECT_GT(d.cct->size(), base.cct().size());
+  bool found_extra = false;
+  for (prof::CctNodeId n = 1; n < d.cct->size(); ++n)
+    if (d.cct->label(n) == "extra") {
+      found_extra = true;
+      EXPECT_DOUBLE_EQ(d.table.get(d.base_col, n), 0.0);
+      EXPECT_DOUBLE_EQ(d.table.get(d.scaled_col, n), 500.0);
+    }
+  EXPECT_TRUE(found_extra);
+  // Loss at the root is exactly the new procedure's cost.
+  EXPECT_DOUBLE_EQ(d.table.get(d.loss_col, 0), 500.0);
+}
+
+TEST(Diff, WeakScalingMode) {
+  const db::Experiment base = tiny_experiment(1000, false, "base");
+  const db::Experiment scaled = tiny_experiment(2000, false, "scaled");
+  DiffOptions opts;
+  opts.mode = metrics::ScalingMode::kWeak;
+  opts.p_base = 1;
+  opts.p_scaled = 2;
+  const ExperimentDiff d = diff_experiments(base, scaled, opts);
+  // Doubled totals on doubled ranks: ideal weak scaling, zero loss.
+  EXPECT_DOUBLE_EQ(d.table.get(d.loss_col, 0), 0.0);
+}
+
+TEST(Diff, FluxLoopImprovementShowsAsNegativeLoss) {
+  // The combustion pair: the optimized variant's flux loop must show a
+  // strongly negative loss (it got 2.9x faster).
+  auto capture = [](bool optimized) {
+    workloads::CombustionWorkload w = workloads::make_combustion(optimized);
+    sim::ExecutionEngine eng(*w.program, *w.lowering, w.run);
+    const prof::CanonicalCct cct = prof::correlate(eng.run(), *w.tree);
+    return db::Experiment::capture(*w.tree, cct,
+                                   optimized ? "opt" : "base", 1);
+  };
+  const db::Experiment base = capture(false);
+  const db::Experiment opt = capture(true);
+  const ExperimentDiff d = diff_experiments(base, opt, DiffOptions{});
+  double flux_loss = 0;
+  for (prof::CctNodeId n = 1; n < d.cct->size(); ++n)
+    if (d.cct->label(n) == "loop at rhsf.f90: 210")
+      flux_loss = d.table.get(d.loss_col, n);
+  // Base flux ~0.0862 * 4e8; optimized ~1/2.9 of that.
+  EXPECT_LT(flux_loss, -2.0e7);
+}
+
+}  // namespace
+}  // namespace pathview::analysis

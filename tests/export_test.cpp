@@ -1,0 +1,130 @@
+// Tests for the CSV/JSON/DOT view exporters.
+#include <gtest/gtest.h>
+
+#include "pathview/core/cct_view.hpp"
+#include "pathview/core/flat_view.hpp"
+#include "pathview/prof/correlate.hpp"
+#include "pathview/ui/export.hpp"
+#include "pathview/workloads/paper_example.hpp"
+
+namespace pathview::ui {
+namespace {
+
+using model::Event;
+
+struct Fixture {
+  Fixture()
+      : cct(prof::correlate(ex.profile(), ex.tree())),
+        attr(metrics::attribute_metrics(cct, std::array{Event::kCycles})) {}
+  workloads::PaperExample ex;
+  prof::CanonicalCct cct;
+  metrics::Attribution attr;
+};
+
+TEST(Escape, Csv) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Escape, Json) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("q\"b\\c"), "q\\\"b\\\\c");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+}
+
+TEST(ExportCsv, AllRowsAllColumns) {
+  Fixture f;
+  core::CctView v(f.cct, f.attr);
+  const std::string csv = export_csv(v);
+  // Header + one line per node.
+  std::size_t lines = 0;
+  for (char c : csv) lines += (c == '\n');
+  EXPECT_EQ(lines, v.size() + 1);
+  EXPECT_NE(csv.find("PAPI_TOT_CYC (I)"), std::string::npos);
+  EXPECT_NE(csv.find("loop at file2.c: 8"), std::string::npos);
+  // Root row: id 0, parent '-', total 10.
+  EXPECT_NE(csv.find("0,-,0,"), std::string::npos);
+}
+
+TEST(ExportCsv, SubtreeAndDepthLimit) {
+  Fixture f;
+  core::FlatView v(f.cct, f.attr);
+  ExportOptions opts;
+  opts.root = v.children_of(v.root())[0];  // the module
+  opts.max_depth = 1;                      // module + files only
+  const std::string csv = export_csv(v, opts);
+  EXPECT_NE(csv.find("a.out"), std::string::npos);
+  EXPECT_NE(csv.find("file1.c"), std::string::npos);
+  EXPECT_EQ(csv.find("loop at"), std::string::npos);  // too deep
+}
+
+TEST(ExportJson, ParsesShapeAndValues) {
+  Fixture f;
+  core::CctView v(f.cct, f.attr);
+  ExportOptions opts;
+  opts.columns = {f.attr.cols.inclusive(Event::kCycles)};
+  const std::string json = export_json(v, opts);
+  // Spot structural checks (no JSON parser needed for these invariants).
+  EXPECT_EQ(json.find("\"id\":0"), 1u);  // root object first
+  EXPECT_NE(json.find("\"label\":\"m\""), std::string::npos);
+  EXPECT_NE(json.find("\"PAPI_TOT_CYC (I)\":10"), std::string::npos);
+  // Balanced braces/brackets.
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(ExportDot, EdgesMatchTree) {
+  Fixture f;
+  core::CctView v(f.cct, f.attr);
+  const std::string dot = export_dot(v);
+  EXPECT_EQ(dot.rfind("digraph pathview {", 0), 0u);
+  std::size_t edges = 0;
+  for (std::size_t pos = dot.find(" -> "); pos != std::string::npos;
+       pos = dot.find(" -> ", pos + 1))
+    ++edges;
+  EXPECT_EQ(edges, v.size() - 1);  // a tree: n-1 edges
+}
+
+}  // namespace
+}  // namespace pathview::ui
+
+namespace pathview::ui {
+namespace {
+
+TEST(ExportHtml, SelfContainedCollapsibleTree) {
+  workloads::PaperExample ex;
+  const prof::CanonicalCct cct = prof::correlate(ex.profile(), ex.tree());
+  const metrics::Attribution attr = metrics::attribute_metrics(
+      cct, std::array{model::Event::kCycles});
+  core::CctView v(cct, attr);
+  const std::string html = export_html(v);
+  EXPECT_EQ(html.rfind("<!DOCTYPE html>", 0), 0u);
+  EXPECT_NE(html.find("<details"), std::string::npos);
+  EXPECT_NE(html.find("loop at file2.c: 8"), std::string::npos);
+  // Balanced details tags; leaves are divs.
+  std::size_t open_cnt = 0, close_cnt = 0;
+  for (std::size_t pos = html.find("<details"); pos != std::string::npos;
+       pos = html.find("<details", pos + 1))
+    ++open_cnt;
+  for (std::size_t pos = html.find("</details>"); pos != std::string::npos;
+       pos = html.find("</details>", pos + 1))
+    ++close_cnt;
+  EXPECT_EQ(open_cnt, close_cnt);
+  EXPECT_GT(open_cnt, 4u);
+  // Blank-zero rule: m's exclusive cell renders empty, never "0.00e+00".
+  EXPECT_EQ(html.find("0.00e+00"), std::string::npos);
+}
+
+TEST(ExportHtml, EscapesMarkup) {
+  EXPECT_EQ(html_escape("a<b>&\"c"), "a&lt;b&gt;&amp;&quot;c");
+}
+
+}  // namespace
+}  // namespace pathview::ui

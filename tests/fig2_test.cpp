@@ -1,0 +1,184 @@
+// Golden test: every value in the paper's Fig. 2 (three views of the
+// example program of Fig. 1) must be reproduced exactly.
+#include <gtest/gtest.h>
+
+#include "pathview/core/callers_view.hpp"
+#include "pathview/core/cct_view.hpp"
+#include "pathview/core/flat_view.hpp"
+#include "pathview/metrics/attribution.hpp"
+#include "pathview/prof/correlate.hpp"
+#include "pathview/workloads/paper_example.hpp"
+#include "test_util.hpp"
+
+namespace pathview {
+namespace {
+
+using core::NodeRole;
+using core::ViewNodeId;
+using testutil::child_labeled;
+using testutil::excl_cyc;
+using testutil::incl_cyc;
+
+class Fig2Test : public ::testing::Test {
+ protected:
+  Fig2Test()
+      : cct_(prof::correlate(ex_.profile(), ex_.tree())),
+        attr_(metrics::attribute_metrics(
+            cct_, std::array{model::Event::kCycles})) {}
+
+  void expect_costs(core::View& v, ViewNodeId n, double incl, double excl,
+                    const char* what) {
+    EXPECT_EQ(incl_cyc(v, n, attr_), incl) << what << " inclusive";
+    EXPECT_EQ(excl_cyc(v, n, attr_), excl) << what << " exclusive";
+  }
+
+  workloads::PaperExample ex_;
+  prof::CanonicalCct cct_;
+  metrics::Attribution attr_;
+};
+
+// --- Fig. 2a: calling context tree (top-down view) -------------------------
+
+TEST_F(Fig2Test, CallingContextView) {
+  core::CctView v(cct_, attr_);
+
+  const ViewNodeId m = child_labeled(v, v.root(), "m");
+  expect_costs(v, m, 10, 0, "m");
+
+  const ViewNodeId f = child_labeled(v, m, "f", NodeRole::kFrame);
+  expect_costs(v, f, 7, 1, "f");
+
+  const ViewNodeId g1 = child_labeled(v, f, "g", NodeRole::kFrame);
+  expect_costs(v, g1, 6, 1, "g1");
+
+  const ViewNodeId g2 = child_labeled(v, g1, "g", NodeRole::kFrame);
+  expect_costs(v, g2, 5, 1, "g2");
+
+  const ViewNodeId h = child_labeled(v, g2, "h", NodeRole::kFrame);
+  expect_costs(v, h, 4, 4, "h");
+
+  const ViewNodeId l1 = child_labeled(v, h, "loop at file2.c: 8");
+  expect_costs(v, l1, 4, 0, "l1");
+
+  const ViewNodeId l2 = child_labeled(v, l1, "loop at file2.c: 9");
+  expect_costs(v, l2, 4, 4, "l2");
+
+  const ViewNodeId g3 = child_labeled(v, m, "g", NodeRole::kFrame);
+  expect_costs(v, g3, 3, 3, "g3");
+
+  // g1 vs g3: distinct contexts of the same procedure (both under m's
+  // subtree but with different call sites). g2 is the recursive instance.
+  EXPECT_NE(g1, g3);
+}
+
+// --- Fig. 2b: callers tree (bottom-up view) --------------------------------
+
+TEST_F(Fig2Test, CallersView) {
+  core::CallersView v(cct_, attr_);
+
+  // Top-level entries.
+  const ViewNodeId ga = child_labeled(v, v.root(), "g", NodeRole::kProc);
+  const ViewNodeId fa = child_labeled(v, v.root(), "f", NodeRole::kProc);
+  const ViewNodeId ha = child_labeled(v, v.root(), "h", NodeRole::kProc);
+  const ViewNodeId ma = child_labeled(v, v.root(), "m", NodeRole::kProc);
+  expect_costs(v, ga, 9, 4, "g_a");   // exposed instances: g1 (6/1) + g3 (3/3)
+  expect_costs(v, fa, 7, 1, "f_a");
+  expect_costs(v, ha, 4, 4, "h");
+  expect_costs(v, ma, 10, 0, "m");
+
+  // Callers of g.
+  const ViewNodeId fb = child_labeled(v, ga, "f");
+  const ViewNodeId gb = child_labeled(v, ga, "g");
+  const ViewNodeId ma2 = child_labeled(v, ga, "m");
+  expect_costs(v, fb, 6, 1, "f_b");
+  expect_costs(v, gb, 5, 1, "g_b");
+  expect_costs(v, ma2, 3, 3, "m_a");
+
+  // Deeper along g's caller paths.
+  const ViewNodeId mc = child_labeled(v, fb, "m");
+  expect_costs(v, mc, 6, 1, "m_c");
+  const ViewNodeId fc = child_labeled(v, gb, "f");
+  expect_costs(v, fc, 5, 1, "f_c");
+  const ViewNodeId md = child_labeled(v, fc, "m");
+  expect_costs(v, md, 5, 1, "m_d");
+
+  // Callers of f.
+  const ViewNodeId mb = child_labeled(v, fa, "m");
+  expect_costs(v, mb, 7, 1, "m_b");
+
+  // Callers of h: the full reversed chain g <- g <- f <- m at 4/4.
+  const ViewNodeId gc = child_labeled(v, ha, "g");
+  expect_costs(v, gc, 4, 4, "g_c");
+  const ViewNodeId gd = child_labeled(v, gc, "g");
+  expect_costs(v, gd, 4, 4, "g_d");
+  const ViewNodeId fd = child_labeled(v, gd, "f");
+  expect_costs(v, fd, 4, 4, "f_d");
+  const ViewNodeId me = child_labeled(v, fd, "m");
+  expect_costs(v, me, 4, 4, "m_e");
+  EXPECT_TRUE(v.children_of(me).empty());
+
+  // m has no callers.
+  EXPECT_TRUE(v.children_of(ma).empty());
+}
+
+// --- Fig. 2c: flat tree (static view) --------------------------------------
+
+TEST_F(Fig2Test, FlatView) {
+  core::FlatView v(cct_, attr_);
+
+  const ViewNodeId mod = child_labeled(v, v.root(), "a.out", NodeRole::kModule);
+  const ViewNodeId file1 = child_labeled(v, mod, "file1.c", NodeRole::kFile);
+  const ViewNodeId file2 = child_labeled(v, mod, "file2.c", NodeRole::kFile);
+  expect_costs(v, file1, 10, 1, "file1");
+  expect_costs(v, file2, 9, 8, "file2");
+
+  const ViewNodeId fx = child_labeled(v, file1, "f", NodeRole::kProc);
+  const ViewNodeId mx = child_labeled(v, file1, "m", NodeRole::kProc);
+  const ViewNodeId gx = child_labeled(v, file2, "g", NodeRole::kProc);
+  const ViewNodeId hx = child_labeled(v, file2, "h", NodeRole::kProc);
+  expect_costs(v, fx, 7, 1, "f_x");
+  expect_costs(v, mx, 10, 0, "m");
+  expect_costs(v, gx, 9, 4, "g_x");
+  expect_costs(v, hx, 4, 4, "h_x");
+
+  // Call-site children (fused <call site, callee> lines).
+  const ViewNodeId gy = child_labeled(v, fx, "g", NodeRole::kFrame);
+  expect_costs(v, gy, 6, 1, "g_y");
+  const ViewNodeId gz = child_labeled(v, gx, "g", NodeRole::kFrame);
+  expect_costs(v, gz, 5, 1, "g_z");
+  const ViewNodeId hy = child_labeled(v, gx, "h", NodeRole::kFrame);
+  expect_costs(v, hy, 4, 0, "h_y");  // all of h's samples are inside loops
+  const ViewNodeId fy = child_labeled(v, mx, "f", NodeRole::kFrame);
+  expect_costs(v, fy, 7, 1, "f_y");
+  const ViewNodeId gv = child_labeled(v, mx, "g", NodeRole::kFrame);
+  expect_costs(v, gv, 3, 3, "g_v");
+
+  // Loop nest under the static h.
+  const ViewNodeId l1 = child_labeled(v, hx, "loop at file2.c: 8");
+  expect_costs(v, l1, 4, 0, "l1");
+  const ViewNodeId l2 = child_labeled(v, l1, "loop at file2.c: 9");
+  expect_costs(v, l2, 4, 4, "l2");
+
+  // Consistency across views (paper Sec. IV-B): the flat g_x equals the
+  // callers-view g_a by construction.
+  core::CallersView cv(cct_, attr_);
+  const ViewNodeId ga = child_labeled(cv, cv.root(), "g", NodeRole::kProc);
+  EXPECT_EQ(incl_cyc(v, gx, attr_), incl_cyc(cv, ga, attr_));
+}
+
+// --- RecursionPolicy::kAllInstances conserves exclusive totals -------------
+
+TEST_F(Fig2Test, AllInstancesPolicyConservesExclusive) {
+  core::FlatView v(cct_, attr_, core::RecursionPolicy::kAllInstances);
+  const ViewNodeId mod = child_labeled(v, v.root(), "a.out", NodeRole::kModule);
+  const ViewNodeId file1 = child_labeled(v, mod, "file1.c", NodeRole::kFile);
+  const ViewNodeId file2 = child_labeled(v, mod, "file2.c", NodeRole::kFile);
+  // g2's exclusive sample (dropped by the paper's exposed-only figure) is
+  // retained: g_x = 5 instead of 4, so file totals sum to all 10 samples.
+  const ViewNodeId gx = child_labeled(v, file2, "g", NodeRole::kProc);
+  EXPECT_EQ(excl_cyc(v, gx, attr_), 5);
+  EXPECT_EQ(excl_cyc(v, file1, attr_) + excl_cyc(v, file2, attr_), 10);
+}
+
+}  // namespace
+}  // namespace pathview

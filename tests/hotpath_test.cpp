@@ -1,0 +1,123 @@
+// Tests for hot path analysis (Eq. 3).
+#include <gtest/gtest.h>
+
+#include "pathview/support/error.hpp"
+
+#include "pathview/core/callers_view.hpp"
+#include "pathview/core/cct_view.hpp"
+#include "pathview/core/hot_path.hpp"
+#include "pathview/metrics/derived.hpp"
+#include "pathview/prof/correlate.hpp"
+#include "pathview/workloads/paper_example.hpp"
+#include "test_util.hpp"
+
+namespace pathview::core {
+namespace {
+
+using model::Event;
+using testutil::child_labeled;
+
+struct Fixture {
+  Fixture()
+      : cct(prof::correlate(ex.profile(), ex.tree())),
+        attr(metrics::attribute_metrics(cct, std::array{Event::kCycles})) {}
+  workloads::PaperExample ex;
+  prof::CanonicalCct cct;
+  metrics::Attribution attr;
+};
+
+TEST(HotPath, DescendsWhileChildKeepsThreshold) {
+  Fixture f;
+  CctView v(f.cct, f.attr);
+  const metrics::ColumnId incl = f.attr.cols.inclusive(Event::kCycles);
+  // From the root (10): m(10) -> f(7) -> g1(6) -> g2(5) -> h(4) -> l1(4)
+  // -> l2(4) -> stmt(4); every step keeps >= 50% of the parent.
+  const auto path = hot_path(v, v.root(), incl);
+  std::vector<std::string> labels;
+  for (ViewNodeId id : path) labels.push_back(v.label(id));
+  const std::vector<std::string> expect{
+      "Experiment aggregate metrics", "m", "f", "g", "g", "h",
+      "loop at file2.c: 8", "loop at file2.c: 9", "file2.c: 9"};
+  EXPECT_EQ(labels, expect);
+}
+
+TEST(HotPath, StopsBelowThreshold) {
+  Fixture f;
+  CctView v(f.cct, f.attr);
+  const metrics::ColumnId incl = f.attr.cols.inclusive(Event::kCycles);
+  HotPathOptions opts;
+  opts.threshold = 0.70;  // f(7)/m(10) = 0.70 still passes; every deeper
+                          // step (6/7, 5/6, 4/5, 4/4...) passes too.
+  const auto path70 = hot_path(v, v.root(), incl, opts);
+  EXPECT_GE(path70.size(), 8u);
+  opts.threshold = 0.75;  // f(7)/m(10) = 0.70 < 0.75 -> path stops at m
+  const auto path75 = hot_path(v, v.root(), incl, opts);
+  ASSERT_EQ(path75.size(), 2u);
+  EXPECT_EQ(v.label(path75.back()), "m");
+}
+
+TEST(HotPath, CanStartAtAnySubtree) {
+  Fixture f;
+  CctView v(f.cct, f.attr);
+  const metrics::ColumnId incl = f.attr.cols.inclusive(Event::kCycles);
+  const ViewNodeId m = child_labeled(v, v.root(), "m");
+  const ViewNodeId g3 = [&] {
+    // m's g child with inclusive 3 (g3).
+    for (ViewNodeId c : v.children_of(m))
+      if (v.label(c) == "g" && v.table().get(incl, c) == 3.0) return c;
+    return kViewNull;
+  }();
+  ASSERT_NE(g3, kViewNull);
+  const auto path = hot_path(v, g3, incl);
+  // g3 has only statement children each below 50%: path = {g3} or one stmt.
+  EXPECT_EQ(path.front(), g3);
+  EXPECT_LE(path.size(), 2u);
+}
+
+TEST(HotPath, WorksOnLazyCallersView) {
+  Fixture f;
+  CallersView v(f.cct, f.attr);
+  const metrics::ColumnId incl = f.attr.cols.inclusive(Event::kCycles);
+  const ViewNodeId ha = child_labeled(v, v.root(), "h", NodeRole::kProc);
+  const std::size_t before = v.size();
+  // h's caller chain is 4/4 all the way: the hot path walks (and thereby
+  // materializes) the whole reversed chain g <- g <- f <- m.
+  const auto path = hot_path(v, ha, incl);
+  ASSERT_EQ(path.size(), 5u);
+  EXPECT_EQ(v.label(path[1]), "g");
+  EXPECT_EQ(v.label(path[4]), "m");
+  EXPECT_GT(v.size(), before);
+}
+
+TEST(HotPath, WorksOnDerivedMetricColumns) {
+  Fixture f;
+  CctView v(f.cct, f.attr);
+  // Derived column = inclusive cycles squared; same ordering, same path.
+  const metrics::ColumnId d = metrics::add_derived_metric(
+      v.table(), "sq",
+      "$" + std::to_string(f.attr.cols.inclusive(Event::kCycles)) + " ^ 2");
+  const auto path = hot_path(v, v.root(), d);
+  // 7^2/10^2 = 0.49 < 0.5: the squared metric stops at m.
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(v.label(path.back()), "m");
+}
+
+TEST(HotPath, RejectsBadArguments) {
+  Fixture f;
+  CctView v(f.cct, f.attr);
+  EXPECT_THROW(hot_path(v, v.root(), 999), InvalidArgument);
+  EXPECT_THROW(hot_path(v, 99999, 0), InvalidArgument);
+}
+
+TEST(HotPath, ZeroCostSubtreeEndsImmediately) {
+  Fixture f;
+  CctView v(f.cct, f.attr);
+  const metrics::ColumnId incl = f.attr.cols.inclusive(Event::kCycles);
+  // A leaf statement: no children, path is just the start node.
+  const auto deep = hot_path(v, v.root(), incl);
+  const auto path = hot_path(v, deep.back(), incl);
+  EXPECT_EQ(path.size(), 1u);
+}
+
+}  // namespace
+}  // namespace pathview::core

@@ -1,0 +1,130 @@
+// Tests for compiler-inlining semantics across the whole pipeline: the
+// engine executes inlined callees in the caller's dynamic frame at
+// inline-instance addresses; recovery rebuilds the inline scopes; the CCT
+// shows them as static context rather than frames.
+#include <gtest/gtest.h>
+
+#include "pathview/metrics/attribution.hpp"
+#include "pathview/model/builder.hpp"
+#include "pathview/prof/correlate.hpp"
+#include "pathview/sim/engine.hpp"
+#include "pathview/structure/lower.hpp"
+#include "pathview/structure/recovery.hpp"
+
+namespace pathview {
+namespace {
+
+using model::Event;
+
+struct InlinePipeline {
+  InlinePipeline() {
+    model::ProgramBuilder b;
+    const auto file = b.file("app.c", b.module("app.x"));
+    caller = b.proc("caller", file, 1);
+    callee = b.proc("tiny", file, 10, {.inlinable = true});
+    b.in(caller).compute(2, model::make_cost(5)).call(3, callee);
+    b.in(callee).compute(11, model::make_cost(7));
+    b.set_entry(caller);
+    prog = std::make_unique<model::Program>(b.finish());
+    lowering = std::make_unique<structure::Lowering>(*prog);
+    tree = std::make_unique<structure::StructureTree>(
+        structure::recover_structure(lowering->image()));
+  }
+
+  model::ProcId caller, callee;
+  std::unique_ptr<model::Program> prog;
+  std::unique_ptr<structure::Lowering> lowering;
+  std::unique_ptr<structure::StructureTree> tree;
+};
+
+TEST(Inline, EngineEmitsInlineInstanceAddresses) {
+  InlinePipeline p;
+  sim::RunConfig rc;
+  rc.sampler.sample(Event::kCycles, 1.0);
+  sim::ExecutionEngine eng(*p.prog, *p.lowering, rc);
+  const sim::RawProfile raw = eng.run();
+
+  // One dynamic frame only (the caller): the inlined call created none.
+  EXPECT_EQ(raw.nodes().size(), 2u);  // root + caller
+  EXPECT_EQ(raw.totals()[Event::kCycles], 12.0);
+
+  // The callee's samples sit at the inline-instance address, which differs
+  // from the statement's standalone (out-of-line) address.
+  const model::StmtId callee_stmt = p.prog->proc(p.callee).body.front();
+  const model::Addr standalone =
+      p.lowering->addr(model::kTopLevelFrame, callee_stmt);
+  const model::InlineFrameId exp = p.lowering->inline_expansion(
+      model::kTopLevelFrame, p.prog->proc(p.caller).body[1]);
+  ASSERT_NE(exp, model::kNotInlined);
+  const model::Addr inlined = p.lowering->addr(exp, callee_stmt);
+  EXPECT_NE(standalone, inlined);
+
+  double at_inlined = 0, at_standalone = 0;
+  for (const auto& cell : raw.cells()) {
+    if (cell.leaf == inlined) at_inlined += cell.counts[Event::kCycles];
+    if (cell.leaf == standalone) at_standalone += cell.counts[Event::kCycles];
+  }
+  EXPECT_EQ(at_inlined, 7.0);
+  EXPECT_EQ(at_standalone, 0.0);
+}
+
+TEST(Inline, CctShowsInlineScopeNotFrame) {
+  InlinePipeline p;
+  sim::RunConfig rc;
+  rc.sampler.sample(Event::kCycles, 1.0);
+  sim::ExecutionEngine eng(*p.prog, *p.lowering, rc);
+  const prof::CanonicalCct cct = prof::correlate(eng.run(), *p.tree);
+
+  int frames = 0, inlines = 0;
+  prof::CctNodeId inline_node = prof::kCctNull;
+  cct.walk([&](prof::CctNodeId id, int) {
+    const prof::CctNode& n = cct.node(id);
+    if (n.kind == prof::CctKind::kFrame) ++frames;
+    if (n.kind == prof::CctKind::kInline) {
+      ++inlines;
+      inline_node = id;
+    }
+  });
+  EXPECT_EQ(frames, 1);   // only the caller
+  EXPECT_EQ(inlines, 1);  // "tiny" as an inline scope
+  ASSERT_NE(inline_node, prof::kCctNull);
+  EXPECT_EQ(cct.label(inline_node), "inlined: tiny");
+
+  const metrics::Attribution attr =
+      metrics::attribute_metrics(cct, std::array{Event::kCycles});
+  // Inline scope inclusive = the inlined body's cost; the caller frame's
+  // exclusive (Eq. 1 crosses inline scopes but not call sites) = 5 + 7.
+  EXPECT_EQ(attr.table.get(attr.cols.inclusive(Event::kCycles), inline_node),
+            7.0);
+  prof::CctNodeId caller_frame = prof::kCctNull;
+  cct.walk([&](prof::CctNodeId id, int) {
+    if (cct.node(id).kind == prof::CctKind::kFrame) caller_frame = id;
+  });
+  EXPECT_EQ(attr.table.get(attr.cols.exclusive(Event::kCycles), caller_frame),
+            12.0);
+}
+
+TEST(Inline, DisablingInliningRestoresDynamicCall) {
+  InlinePipeline p;
+  structure::Lowering::Options opts;
+  opts.enable_inlining = false;
+  const structure::Lowering lw(*p.prog, opts);
+  const structure::StructureTree tree =
+      structure::recover_structure(lw.image());
+  sim::RunConfig rc;
+  rc.sampler.sample(Event::kCycles, 1.0);
+  sim::ExecutionEngine eng(*p.prog, lw, rc);
+  const sim::RawProfile raw = eng.run();
+  EXPECT_EQ(raw.nodes().size(), 3u);  // root + caller + tiny (dynamic)
+  const prof::CanonicalCct cct = prof::correlate(raw, tree);
+  int inlines = 0, frames = 0;
+  cct.walk([&](prof::CctNodeId id, int) {
+    if (cct.node(id).kind == prof::CctKind::kInline) ++inlines;
+    if (cct.node(id).kind == prof::CctKind::kFrame) ++frames;
+  });
+  EXPECT_EQ(inlines, 0);
+  EXPECT_EQ(frames, 2);
+}
+
+}  // namespace
+}  // namespace pathview

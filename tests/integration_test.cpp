@@ -1,0 +1,133 @@
+// End-to-end pipeline tests over the engine-driven case-study workloads:
+// the paper's headline numbers must reproduce (loose bands; the bench
+// binaries report the precise values).
+#include <gtest/gtest.h>
+
+#include "pathview/core/callers_view.hpp"
+#include "pathview/core/cct_view.hpp"
+#include "pathview/core/flat_view.hpp"
+#include "pathview/core/hot_path.hpp"
+#include "pathview/metrics/waste.hpp"
+#include "pathview/prof/correlate.hpp"
+#include "pathview/sim/engine.hpp"
+#include "pathview/ui/controller.hpp"
+#include "pathview/workloads/combustion.hpp"
+#include "pathview/workloads/mesh.hpp"
+
+namespace pathview {
+namespace {
+
+using core::ViewNodeId;
+using model::Event;
+
+double find_value(core::View& v, const std::string& label,
+                  metrics::ColumnId col, core::NodeRole role) {
+  double best = 0;
+  for (ViewNodeId id = 0; id < v.size(); ++id) {
+    (void)v.children_of(id);
+    if (v.node(id).role == role && v.label(id) == label)
+      best = std::max(best, v.table().get(col, id));
+  }
+  return best;
+}
+
+TEST(CombustionPipeline, Fig3HeadlineNumbers) {
+  workloads::CombustionWorkload w = workloads::make_combustion();
+  sim::ExecutionEngine eng(*w.program, *w.lowering, w.run);
+  const prof::CanonicalCct cct = prof::correlate(eng.run(), *w.tree);
+  const metrics::Attribution attr = metrics::attribute_metrics(
+      cct, std::array{Event::kCycles, Event::kFlops});
+  core::CctView v(cct, attr);
+  const metrics::ColumnId ic = attr.cols.inclusive(Event::kCycles);
+  const metrics::ColumnId ec = attr.cols.exclusive(Event::kCycles);
+  const double total = v.root_value(ic);
+
+  EXPECT_NEAR(100 * find_value(v, "loop at integrate_erk.f90: 82", ic,
+                               core::NodeRole::kLoop) /
+                  total,
+              97.9, 1.5);
+  EXPECT_NEAR(100 * find_value(v, "chemkin_m_reaction_rate_", ic,
+                               core::NodeRole::kFrame) /
+                  total,
+              41.4, 2.0);
+  EXPECT_NEAR(100 * find_value(v, "rhsf", ec, core::NodeRole::kFrame) / total,
+              8.7, 1.0);
+
+  // Hot path ends at chemkin.
+  const auto path = core::hot_path(v, v.root(), ic);
+  EXPECT_EQ(v.label(path.back()), "chemkin_m_reaction_rate_");
+}
+
+TEST(CombustionPipeline, Fig6WasteMetrics) {
+  workloads::CombustionWorkload w = workloads::make_combustion();
+  sim::ExecutionEngine eng(*w.program, *w.lowering, w.run);
+  const prof::CanonicalCct cct = prof::correlate(eng.run(), *w.tree);
+  const metrics::Attribution attr = metrics::attribute_metrics(
+      cct, std::array{Event::kCycles, Event::kFlops});
+  core::FlatView fv(cct, attr);
+  // Exclusive-based waste: rank loops by their own work (see bench/fig6).
+  const metrics::ColumnId cyc = attr.cols.exclusive(Event::kCycles);
+  const metrics::ColumnId fl = attr.cols.exclusive(Event::kFlops);
+  const metrics::ColumnId waste =
+      metrics::add_fp_waste_metric(fv.table(), cyc, fl, 4.0);
+  const metrics::ColumnId eff =
+      metrics::add_relative_efficiency_metric(fv.table(), cyc, fl, 4.0);
+
+  const double flux_eff =
+      find_value(fv, "loop at rhsf.f90: 210", eff, core::NodeRole::kLoop);
+  const double exp_eff =
+      find_value(fv, "loop at w_exp.c: 5", eff, core::NodeRole::kLoop);
+  EXPECT_NEAR(100 * flux_eff, 6.0, 1.0);
+  EXPECT_NEAR(100 * exp_eff, 39.0, 2.5);
+
+  const double flux_waste =
+      find_value(fv, "loop at rhsf.f90: 210", waste, core::NodeRole::kLoop);
+  EXPECT_NEAR(100 * flux_waste / fv.table().get(waste, fv.root()), 13.5, 1.5);
+}
+
+TEST(MeshPipeline, Fig4And5HeadlineNumbers) {
+  workloads::MeshWorkload w = workloads::make_mesh();
+  sim::ExecutionEngine eng(*w.program, *w.lowering, w.run);
+  const prof::CanonicalCct cct = prof::correlate(eng.run(), *w.tree);
+  const metrics::Attribution attr = metrics::attribute_metrics(
+      cct, std::array{Event::kCycles, Event::kL1Miss});
+  const metrics::ColumnId l1 = attr.cols.inclusive(Event::kL1Miss);
+  const metrics::ColumnId cyc = attr.cols.inclusive(Event::kCycles);
+
+  core::CallersView cv(cct, attr);
+  const double total_l1 = cv.root_value(l1);
+  const double memset_pct =
+      100 *
+      find_value(cv, "_intel_fast_memset.A", l1, core::NodeRole::kProc) /
+      total_l1;
+  EXPECT_NEAR(memset_pct, 9.7, 1.0);
+
+  core::FlatView fv(cct, attr);
+  const double gc_pct =
+      100 * find_value(fv, "MBCore::get_coords", cyc, core::NodeRole::kProc) /
+      fv.root_value(cyc);
+  EXPECT_NEAR(gc_pct, 18.9, 1.5);
+  const double cmp_pct =
+      100 *
+      find_value(fv, "inlined from SequenceCompare::operator()", l1,
+                 core::NodeRole::kInline) /
+      fv.root_value(l1);
+  EXPECT_NEAR(cmp_pct, 19.8, 1.5);
+}
+
+TEST(MeshPipeline, BinaryOnlyProcRendersBracketed) {
+  workloads::MeshWorkload w = workloads::make_mesh();
+  sim::ExecutionEngine eng(*w.program, *w.lowering, w.run);
+  const prof::CanonicalCct cct = prof::correlate(eng.run(), *w.tree);
+  const metrics::Attribution attr =
+      metrics::attribute_metrics(cct, std::array{Event::kCycles});
+  ui::ViewerController viewer(cct, attr);
+  viewer.run_hot_path(viewer.current().root(),
+                      attr.cols.inclusive(Event::kCycles));
+  const std::string out = viewer.render();
+  // "main" has no source: shown bracketed, the paper's plain-black cue.
+  EXPECT_NE(out.find("[main]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pathview

@@ -1,0 +1,113 @@
+// Unit tests for the program model and builder.
+#include <gtest/gtest.h>
+
+#include "pathview/model/builder.hpp"
+#include "pathview/model/source_renderer.hpp"
+#include "pathview/support/error.hpp"
+
+namespace pathview::model {
+namespace {
+
+TEST(EventVector, Arithmetic) {
+  EventVector a = make_cost(10, 20, 30);
+  EventVector b = make_cost(1, 2, 3);
+  a += b;
+  EXPECT_EQ(a[Event::kCycles], 11);
+  EXPECT_EQ(a[Event::kInstructions], 22);
+  const EventVector c = b * 2.0;
+  EXPECT_EQ(c[Event::kFlops], 6);
+  EXPECT_FALSE(a.all_zero());
+  EXPECT_TRUE(EventVector{}.all_zero());
+}
+
+TEST(EventVector, EventNames) {
+  EXPECT_STREQ(event_name(Event::kCycles), "PAPI_TOT_CYC");
+  EXPECT_STREQ(event_name(Event::kL1Miss), "PAPI_L1_DCM");
+  EXPECT_STREQ(event_name(Event::kIdle), "IDLE");
+}
+
+TEST(Builder, BuildsSmallProgram) {
+  ProgramBuilder b;
+  const auto mod = b.module("a.out");
+  const auto file = b.file("x.c", mod);
+  const auto p = b.proc("p", file, 1);
+  const auto q = b.proc("q", file, 10);
+  b.in(p).compute(2, make_cost(5)).call(3, q);
+  const StmtId loop = b.in(q).loop(11, 4);
+  b.in(q, loop).compute(12, make_cost(1));
+  b.set_entry(p);
+  const Program prog = b.finish();
+
+  EXPECT_EQ(prog.procs().size(), 2u);
+  EXPECT_EQ(prog.entry(), p);
+  EXPECT_EQ(prog.find_proc("q"), q);
+  EXPECT_EQ(prog.find_proc("nope"), kInvalidId);
+  EXPECT_EQ(prog.proc(p).end_line, 3);
+  EXPECT_EQ(prog.proc(q).end_line, 12);
+  EXPECT_EQ(prog.stmt(loop).body.size(), 1u);
+}
+
+TEST(Builder, RejectsDanglingIds) {
+  ProgramBuilder b;
+  const auto mod = b.module("a.out");
+  EXPECT_THROW(b.file("x.c", 42), InvalidArgument);
+  const auto file = b.file("x.c", mod);
+  EXPECT_THROW(b.proc("p", 42, 1), InvalidArgument);
+  const auto p = b.proc("p", file, 1);
+  EXPECT_THROW(b.in(99), InvalidArgument);
+  EXPECT_THROW(b.set_entry(99), InvalidArgument);
+  b.in(p).compute(2, make_cost(1));
+  b.set_entry(p);
+  (void)b.finish();
+  EXPECT_THROW(b.finish(), InvalidArgument);  // builder is spent
+}
+
+TEST(Builder, RejectsBodylessScopeCursor) {
+  ProgramBuilder b;
+  const auto file = b.file("x.c", b.module("a.out"));
+  const auto p = b.proc("p", file, 1);
+  b.in(p).compute(2, make_cost(1));
+  // A compute statement (the first statement created: id 0) has no body.
+  EXPECT_THROW(b.in(p, StmtId{0}), InvalidArgument);
+}
+
+TEST(Program, ValidateCatchesMissingEntry) {
+  ProgramBuilder b;
+  const auto file = b.file("x.c", b.module("a.out"));
+  b.proc("p", file, 1);
+  EXPECT_THROW(b.finish(), InvalidArgument);  // no entry set
+}
+
+TEST(Program, ValidateCatchesEmptyLoop) {
+  ProgramBuilder b;
+  const auto file = b.file("x.c", b.module("a.out"));
+  const auto p = b.proc("p", file, 1);
+  b.in(p).loop(2, 3);  // never filled
+  b.set_entry(p);
+  EXPECT_THROW(b.finish(), InvalidArgument);
+}
+
+TEST(SourceRenderer, RendersDeclaredLines) {
+  ProgramBuilder b;
+  const auto file = b.file("x.c", b.module("a.out"));
+  const auto q = b.proc("q", file, 10);
+  const auto p = b.proc("p", file, 1);
+  b.in(p).compute(2, make_cost(5)).call(3, q);
+  const StmtId loop = b.in(q).loop(11, 4);
+  b.in(q, loop).compute(12, make_cost(1));
+  b.set_entry(p);
+  const Program prog = b.finish();
+
+  const auto lines = render_source(prog, file);
+  ASSERT_GE(lines.size(), 12u);
+  EXPECT_NE(lines[0].find("void p()"), std::string::npos);   // line 1
+  EXPECT_NE(lines[2].find("q();"), std::string::npos);       // line 3
+  EXPECT_NE(lines[9].find("void q()"), std::string::npos);   // line 10
+  EXPECT_NE(lines[10].find("for ("), std::string::npos);     // line 11
+  EXPECT_EQ(render_source_line(prog, file, 3), lines[2]);
+  EXPECT_EQ(render_source_line(prog, file, 9999), "");
+  EXPECT_EQ(render_source_line(prog, file, 0), "");
+}
+
+}  // namespace
+}  // namespace pathview::model

@@ -1,0 +1,182 @@
+// Property-based tests: invariants that must hold for arbitrary programs,
+// checked over a sweep of randomly generated workloads (parameterized
+// gtest). These pin down the attribution semantics far beyond the paper's
+// worked example.
+#include <gtest/gtest.h>
+
+#include "pathview/core/callers_view.hpp"
+#include "pathview/core/cct_view.hpp"
+#include "pathview/core/flat_view.hpp"
+#include "pathview/core/hot_path.hpp"
+#include "pathview/prof/correlate.hpp"
+#include "pathview/sim/engine.hpp"
+#include "pathview/workloads/random_program.hpp"
+
+namespace pathview {
+namespace {
+
+using core::NodeRole;
+using core::RecursionPolicy;
+using core::ViewNodeId;
+using model::Event;
+
+struct Pipeline {
+  explicit Pipeline(std::uint64_t seed)
+      : w(workloads::make_random_program({.seed = seed})),
+        engine(*w.program, *w.lowering, w.run),
+        raw(engine.run()),
+        cct(prof::correlate(raw, *w.tree)),
+        attr(metrics::attribute_metrics(cct,
+                                        std::array{Event::kCycles,
+                                                   Event::kFlops})) {}
+  workloads::Workload w;
+  sim::ExecutionEngine engine;
+  sim::RawProfile raw;
+  prof::CanonicalCct cct;
+  metrics::Attribution attr;
+};
+
+class Invariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Integer statement costs sampled at period 1 are attributed exactly: the
+// profile's totals equal the engine's ground-truth execution totals.
+TEST_P(Invariants, SamplingIsExactAtPeriodOne) {
+  Pipeline p(GetParam());
+  EXPECT_DOUBLE_EQ(p.raw.totals()[Event::kCycles],
+                   p.engine.true_totals()[Event::kCycles]);
+  EXPECT_DOUBLE_EQ(p.raw.totals()[Event::kFlops],
+                   p.engine.true_totals()[Event::kFlops]);
+}
+
+// Inclusive cost at the CCT root equals the total of all samples (Eq. 2).
+TEST_P(Invariants, RootInclusiveEqualsTotals) {
+  Pipeline p(GetParam());
+  const metrics::ColumnId ic = p.attr.cols.inclusive(Event::kCycles);
+  EXPECT_DOUBLE_EQ(p.attr.table.get(ic, prof::kCctRoot),
+                   p.cct.totals()[Event::kCycles]);
+}
+
+// Inclusive is monotone: a parent's inclusive >= any child's inclusive.
+TEST_P(Invariants, InclusiveIsMonotoneDownPaths) {
+  Pipeline p(GetParam());
+  const metrics::ColumnId ic = p.attr.cols.inclusive(Event::kCycles);
+  for (prof::CctNodeId n = 1; n < p.cct.size(); ++n)
+    EXPECT_LE(p.attr.table.get(ic, n),
+              p.attr.table.get(ic, p.cct.node(n).parent) + 1e-9);
+}
+
+// Every sample lands in exactly one procedure frame: frame exclusives sum
+// to the total (Eq. 1, dynamic rule).
+TEST_P(Invariants, FrameExclusivesPartitionTotal) {
+  Pipeline p(GetParam());
+  const metrics::ColumnId ec = p.attr.cols.exclusive(Event::kCycles);
+  double sum = 0;
+  for (prof::CctNodeId n = 0; n < p.cct.size(); ++n)
+    if (p.cct.node(n).kind == prof::CctKind::kFrame ||
+        p.cct.node(n).kind == prof::CctKind::kRoot)
+      sum += p.attr.table.get(ec, n);
+  EXPECT_NEAR(sum, p.cct.totals()[Event::kCycles], 1e-6);
+}
+
+// Exclusive never exceeds inclusive for any scope.
+TEST_P(Invariants, ExclusiveBoundedByInclusive) {
+  Pipeline p(GetParam());
+  const metrics::ColumnId ic = p.attr.cols.inclusive(Event::kCycles);
+  const metrics::ColumnId ec = p.attr.cols.exclusive(Event::kCycles);
+  for (prof::CctNodeId n = 0; n < p.cct.size(); ++n)
+    EXPECT_LE(p.attr.table.get(ec, n), p.attr.table.get(ic, n) + 1e-9);
+}
+
+// Sparsity (paper Sec. V-A): no CCT node exists unless it or a descendant
+// carries a nonzero metric.
+TEST_P(Invariants, NoAllZeroSubtrees) {
+  Pipeline p(GetParam());
+  const auto incl = p.cct.inclusive_samples();
+  for (prof::CctNodeId n = 1; n < p.cct.size(); ++n)
+    EXPECT_FALSE(incl[n].all_zero())
+        << "node " << n << " (" << p.cct.label(n) << ") is dead weight";
+}
+
+// Callers-view top-level inclusive == flat-view procedure inclusive (the
+// paper's cross-view consistency: "this is consistently the same as the
+// cost in Callers View").
+TEST_P(Invariants, CallersAndFlatAgreePerProcedure) {
+  Pipeline p(GetParam());
+  for (const RecursionPolicy policy :
+       {RecursionPolicy::kExposedOnly, RecursionPolicy::kAllInstances}) {
+    core::CallersView cv(p.cct, p.attr, {policy, /*lazy=*/true});
+    core::FlatView fv(p.cct, p.attr, policy);
+    for (metrics::ColumnId c = 0; c < p.attr.table.num_columns(); ++c) {
+      for (ViewNodeId cn : cv.children_of(cv.root())) {
+        // Find the same procedure scope in the flat view.
+        double flat_value = -1;
+        for (ViewNodeId fn = 0; fn < fv.size(); ++fn)
+          if (fv.node(fn).role == NodeRole::kProc &&
+              fv.node(fn).scope == cv.node(cn).scope)
+            flat_value = fv.table().get(c, fn);
+        EXPECT_NEAR(cv.table().get(c, cn), flat_value, 1e-6)
+            << "proc " << cv.label(cn) << " column " << c;
+      }
+    }
+  }
+}
+
+// Under kAllInstances, flat-view procedure exclusives partition the total.
+TEST_P(Invariants, FlatExclusiveConservedUnderAllInstances) {
+  Pipeline p(GetParam());
+  core::FlatView fv(p.cct, p.attr, RecursionPolicy::kAllInstances);
+  const metrics::ColumnId ec = p.attr.cols.exclusive(Event::kCycles);
+  double sum = 0;
+  for (ViewNodeId n = 0; n < fv.size(); ++n)
+    if (fv.node(n).role == NodeRole::kProc) sum += fv.table().get(ec, n);
+  EXPECT_NEAR(sum, p.cct.totals()[Event::kCycles], 1e-6);
+}
+
+// Flat root inclusive equals the experiment total for every view/policy.
+TEST_P(Invariants, ViewRootsCarryTheTotal) {
+  Pipeline p(GetParam());
+  const metrics::ColumnId ic = p.attr.cols.inclusive(Event::kCycles);
+  const double total = p.cct.totals()[Event::kCycles];
+  core::CctView cv(p.cct, p.attr);
+  core::FlatView fv(p.cct, p.attr);
+  core::CallersView av(p.cct, p.attr);
+  EXPECT_DOUBLE_EQ(cv.root_value(ic), total);
+  EXPECT_DOUBLE_EQ(fv.root_value(ic), total);
+  EXPECT_DOUBLE_EQ(av.root_value(ic), total);
+}
+
+// Hot path invariant (Eq. 3): every step's child holds >= t of its parent,
+// and the endpoint has no child that still does.
+TEST_P(Invariants, HotPathRespectsThreshold) {
+  Pipeline p(GetParam());
+  core::CctView v(p.cct, p.attr);
+  const metrics::ColumnId ic = p.attr.cols.inclusive(Event::kCycles);
+  const double t = 0.5;
+  const auto path = core::hot_path(v, v.root(), ic);
+  for (std::size_t i = 1; i < path.size(); ++i)
+    EXPECT_GE(v.table().get(ic, path[i]),
+              t * v.table().get(ic, path[i - 1]) - 1e-9);
+  const ViewNodeId end = path.back();
+  for (ViewNodeId c : v.children_of(end))
+    EXPECT_LT(v.table().get(ic, c), t * v.table().get(ic, end));
+}
+
+// The lazy Callers View never materializes more nodes than the eager one,
+// and a fully-expanded lazy view matches the eager node count.
+TEST_P(Invariants, LazyCallersViewIsASubsetUntilExpanded) {
+  Pipeline p(GetParam());
+  core::CallersView lazy(p.cct, p.attr,
+                         {RecursionPolicy::kExposedOnly, true});
+  core::CallersView eager(p.cct, p.attr,
+                          {RecursionPolicy::kExposedOnly, false});
+  EXPECT_LE(lazy.size(), eager.size());
+  for (ViewNodeId id = 0; id < lazy.size(); ++id)
+    (void)lazy.children_of(id);  // grows lazy.size() as it walks
+  EXPECT_EQ(lazy.size(), eager.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Invariants,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace pathview

@@ -1,0 +1,88 @@
+// Snapshot tests: the exact rendered text of the paper example locks the
+// presentation rules (indentation, expanders, call-site glyphs, scientific
+// notation, percent-of-root, blank zero cells) against regressions.
+// Trailing whitespace is stripped per line before comparing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pathview/core/cct_view.hpp"
+#include "pathview/metrics/attribution.hpp"
+#include "pathview/prof/correlate.hpp"
+#include "pathview/ui/tree_table.hpp"
+#include "pathview/workloads/paper_example.hpp"
+
+namespace pathview::ui {
+namespace {
+
+std::vector<std::string> lines_rstripped(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    out.push_back(line);
+  }
+  return out;
+}
+
+TEST(RenderGolden, Fig2CallingContextView) {
+  workloads::PaperExample ex;
+  const prof::CanonicalCct cct = prof::correlate(ex.profile(), ex.tree());
+  const metrics::Attribution attr =
+      metrics::attribute_metrics(cct, std::array{model::Event::kCycles});
+  core::CctView v(cct, attr);
+
+  ExpansionState exp;
+  for (core::ViewNodeId id = 0; id < v.size(); ++id) exp.expand(id);
+
+  TreeTableOptions opts;
+  opts.name_width = 40;
+  opts.cell.width = 16;
+
+  // Frames are materialized before statement scopes during correlation, so
+  // each frame's call children precede its own statement lines.
+  const std::vector<std::string> expected = {
+      "Scope                                    PAPI_TOT_CYC (I) PAPI_TOT_CYC (E)",
+      "--------------------------------------------------------------------------",
+      "v m                                       1.00e+01 100.0%",
+      "  v =>f                                   7.00e+00  70.0%  1.00e+00  10.0%",
+      "    v =>g                                 6.00e+00  60.0%  1.00e+00  10.0%",
+      "      v =>g                               5.00e+00  50.0%  1.00e+00  10.0%",
+      "        v =>h                             4.00e+00  40.0%  4.00e+00  40.0%",
+      "          v loop at file2.c: 8            4.00e+00  40.0%",
+      "            v loop at file2.c: 9          4.00e+00  40.0%  4.00e+00  40.0%",
+      "                file2.c: 9                4.00e+00  40.0%  4.00e+00  40.0%",
+      "          file2.c: 3                      1.00e+00  10.0%  1.00e+00  10.0%",
+      "        file2.c: 3                        1.00e+00  10.0%  1.00e+00  10.0%",
+      "      file1.c: 2                          1.00e+00  10.0%  1.00e+00  10.0%",
+      "  v =>g                                   3.00e+00  30.0%  3.00e+00  30.0%",
+      "      file2.c: 3                          1.00e+00  10.0%  1.00e+00  10.0%",
+      "      file2.c: 4                          2.00e+00  20.0%  2.00e+00  20.0%",
+  };
+
+  const std::vector<std::string> actual =
+      lines_rstripped(render_tree_table(v, exp, opts));
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(actual[i], expected[i]) << "line " << i;
+}
+
+TEST(RenderGolden, CollapsedViewShowsOnlyRoots) {
+  workloads::PaperExample ex;
+  const prof::CanonicalCct cct = prof::correlate(ex.profile(), ex.tree());
+  const metrics::Attribution attr =
+      metrics::attribute_metrics(cct, std::array{model::Event::kCycles});
+  core::CctView v(cct, attr);
+  ExpansionState exp;  // nothing expanded
+  TreeTableOptions opts;
+  opts.name_width = 20;
+  opts.cell.width = 16;
+  const std::string out = render_tree_table(v, exp, opts);
+  // Header + separator + exactly one row (m, collapsed).
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_NE(out.find("> m"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pathview::ui

@@ -1,0 +1,225 @@
+// Unit tests for pathview/support: formatting, PRNG, statistics, interning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pathview/support/error.hpp"
+#include "pathview/support/format.hpp"
+#include "pathview/support/prng.hpp"
+#include "pathview/support/stats.hpp"
+#include "pathview/support/string_table.hpp"
+
+namespace pathview {
+namespace {
+
+// --- format -----------------------------------------------------------------
+
+TEST(Format, Scientific) {
+  EXPECT_EQ(format_scientific(41900000.0), "4.19e+07");
+  EXPECT_EQ(format_scientific(0.0), "0.00e+00");
+  EXPECT_EQ(format_scientific(-1234.5), "-1.23e+03");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.414), "41.4%");
+  EXPECT_EQ(format_percent(1.0), "100.0%");
+  EXPECT_EQ(format_percent(0.0), "0.0%");
+}
+
+TEST(Format, MetricCellBlankWhenZero) {
+  EXPECT_EQ(format_metric_cell(0.0, 100.0), "");
+  EXPECT_NE(format_metric_cell(5.0, 100.0), "");
+}
+
+TEST(Format, MetricCellOmitsPercentWithoutTotal) {
+  const std::string cell = format_metric_cell(5.0, 0.0);
+  EXPECT_EQ(cell.find('%'), std::string::npos);
+}
+
+TEST(Format, Count) {
+  EXPECT_EQ(format_count(950.0), "950");
+  EXPECT_EQ(format_count(1234567.0), "1.2M");
+  EXPECT_EQ(format_count(2.5e9), "2.5G");
+}
+
+TEST(Format, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcdef", 4), "abcdef");
+}
+
+// --- prng -------------------------------------------------------------------
+
+TEST(Prng, DeterministicPerSeed) {
+  Prng a(42), b(42), c(43);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Prng, DoubleInUnitInterval) {
+  Prng p(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = p.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Prng, NextBelowRespectsBound) {
+  Prng p(9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(p.next_below(17), 17u);
+  EXPECT_EQ(p.next_below(0), 0u);
+  EXPECT_EQ(p.next_below(1), 0u);
+}
+
+TEST(Prng, BernoulliEdges) {
+  Prng p(1);
+  EXPECT_FALSE(p.next_bool(0.0));
+  EXPECT_TRUE(p.next_bool(1.0));
+  int heads = 0;
+  for (int i = 0; i < 20000; ++i) heads += p.next_bool(0.25);
+  EXPECT_NEAR(heads / 20000.0, 0.25, 0.02);
+}
+
+TEST(Prng, ExponentialMean) {
+  Prng p(5);
+  double sum = 0;
+  for (int i = 0; i < 50000; ++i) sum += p.next_exponential(3.0);
+  EXPECT_NEAR(sum / 50000.0, 3.0, 0.1);
+}
+
+TEST(Prng, ParetoAboveScale) {
+  Prng p(6);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(p.next_pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Prng, SplitStreamsDiffer) {
+  Prng a(11);
+  Prng b = a.split();
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+// --- stats ------------------------------------------------------------------
+
+TEST(Stats, BasicMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Stats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, MergeMatchesSequential) {
+  OnlineStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10 + i;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Stats, ZerosFactory) {
+  OnlineStats z = OnlineStats::zeros(10);
+  EXPECT_EQ(z.count(), 10u);
+  EXPECT_EQ(z.mean(), 0.0);
+  z.add(10.0);
+  EXPECT_EQ(z.count(), 11u);
+  EXPECT_NEAR(z.mean(), 10.0 / 11.0, 1e-12);
+}
+
+TEST(Stats, Quantile) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+}
+
+// --- string table -----------------------------------------------------------
+
+TEST(StringTable, InternIsIdempotent) {
+  StringTable t;
+  const NameId a = t.intern("hello");
+  const NameId b = t.intern("hello");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(t.str(a), "hello");
+}
+
+TEST(StringTable, EmptyStringIsZero) {
+  StringTable t;
+  EXPECT_EQ(t.intern(""), 0u);
+  EXPECT_EQ(t.str(0), "");
+}
+
+TEST(StringTable, ManyStringsStayStable) {
+  StringTable t;
+  std::vector<NameId> ids;
+  for (int i = 0; i < 2000; ++i) ids.push_back(t.intern("s" + std::to_string(i)));
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(t.str(ids[i]), "s" + std::to_string(i));
+    EXPECT_EQ(t.intern("s" + std::to_string(i)), ids[i]);
+  }
+  EXPECT_TRUE(t.contains("s1234"));
+  EXPECT_FALSE(t.contains("nope"));
+}
+
+TEST(StringTable, BadIdThrows) {
+  StringTable t;
+  EXPECT_THROW(t.str(999), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pathview
+
+// Regression tests: copied tables must not reference the source's storage
+// (the lookup index holds string_views into the stored strings).
+namespace pathview {
+namespace {
+
+TEST(StringTable, CopyIsSelfContained) {
+  auto original = std::make_unique<StringTable>();
+  std::vector<NameId> ids;
+  for (int i = 0; i < 100; ++i)
+    ids.push_back(original->intern("name" + std::to_string(i)));
+  StringTable copy = *original;
+  original.reset();  // destroy the source; the copy must stand alone
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(copy.str(ids[i]), "name" + std::to_string(i));
+    EXPECT_EQ(copy.intern("name" + std::to_string(i)), ids[i]);
+  }
+  StringTable assigned;
+  assigned = copy;
+  EXPECT_EQ(assigned.intern("name42"), ids[42]);
+  // Self-assignment safe.
+  assigned = assigned;
+  EXPECT_EQ(assigned.str(ids[42]), "name42");
+}
+
+TEST(StringTable, MoveKeepsLookups) {
+  StringTable a;
+  const NameId x = a.intern("moved");
+  StringTable b = std::move(a);
+  EXPECT_EQ(b.str(x), "moved");
+  EXPECT_EQ(b.intern("moved"), x);
+}
+
+}  // namespace
+}  // namespace pathview

@@ -1,0 +1,46 @@
+// Shared helpers for pathview tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "pathview/core/view.hpp"
+#include "pathview/metrics/attribution.hpp"
+
+namespace pathview::testutil {
+
+/// Find the (first) child of `parent` whose label matches; fails the test
+/// and returns kViewNull when absent.
+inline core::ViewNodeId child_labeled(core::View& v, core::ViewNodeId parent,
+                                      const std::string& label) {
+  for (core::ViewNodeId c : v.children_of(parent))
+    if (v.label(c) == label) return c;
+  ADD_FAILURE() << "no child labeled '" << label << "' under '"
+                << v.label(parent) << "'";
+  return core::kViewNull;
+}
+
+/// Child with a given label and role.
+inline core::ViewNodeId child_labeled(core::View& v, core::ViewNodeId parent,
+                                      const std::string& label,
+                                      core::NodeRole role) {
+  for (core::ViewNodeId c : v.children_of(parent))
+    if (v.node(c).role == role && v.label(c) == label) return c;
+  ADD_FAILURE() << "no child labeled '" << label << "' with role under '"
+                << v.label(parent) << "'";
+  return core::kViewNull;
+}
+
+/// Inclusive / exclusive cycle value of a view node (requires the view's
+/// table to carry the attribution's column layout, cycles first).
+inline double incl_cyc(const core::View& v, core::ViewNodeId n,
+                       const metrics::Attribution& a) {
+  return v.table().get(a.cols.inclusive(model::Event::kCycles), n);
+}
+inline double excl_cyc(const core::View& v, core::ViewNodeId n,
+                       const metrics::Attribution& a) {
+  return v.table().get(a.cols.exclusive(model::Event::kCycles), n);
+}
+
+}  // namespace pathview::testutil

@@ -1,0 +1,122 @@
+// Tests for the tool-facing surfaces: measurement files, the workload
+// registry, and the structure-tree dump.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "pathview/db/measurement.hpp"
+#include "pathview/prof/correlate.hpp"
+#include "pathview/sim/engine.hpp"
+#include "pathview/structure/dump.hpp"
+#include "pathview/support/error.hpp"
+#include "pathview/workloads/random_program.hpp"
+#include "pathview/workloads/registry.hpp"
+
+namespace pathview {
+namespace {
+
+using model::Event;
+
+void expect_same_cells(const sim::RawProfile& a, const sim::RawProfile& b) {
+  const auto ca = a.cells();
+  const auto cb = b.cells();
+  ASSERT_EQ(ca.size(), cb.size());
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    EXPECT_EQ(ca[i].node, cb[i].node);
+    EXPECT_EQ(ca[i].leaf, cb[i].leaf);
+    for (std::size_t e = 0; e < model::kNumEvents; ++e)
+      EXPECT_EQ(ca[i].counts.v[e], cb[i].counts.v[e]);
+  }
+}
+
+TEST(Measurement, RoundTripsProfile) {
+  workloads::Workload w = workloads::make_random_program({.seed = 7});
+  sim::ExecutionEngine eng(*w.program, *w.lowering, w.run);
+  const sim::RawProfile raw = eng.run();
+  const sim::RawProfile back =
+      db::measurement_from_bytes(db::measurement_to_bytes(raw));
+  EXPECT_EQ(back.rank, raw.rank);
+  EXPECT_EQ(back.nodes().size(), raw.nodes().size());
+  expect_same_cells(raw, back);
+  // Correlation over the loaded profile matches the original.
+  const prof::CanonicalCct a = prof::correlate(raw, *w.tree);
+  const prof::CanonicalCct b = prof::correlate(back, *w.tree);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.totals()[Event::kCycles], b.totals()[Event::kCycles]);
+}
+
+TEST(Measurement, RejectsCorruption) {
+  workloads::Workload w = workloads::make_random_program({.seed = 8});
+  sim::ExecutionEngine eng(*w.program, *w.lowering, w.run);
+  const std::string bytes = db::measurement_to_bytes(eng.run());
+  EXPECT_THROW(db::measurement_from_bytes("XXXX"), ParseError);
+  EXPECT_THROW(db::measurement_from_bytes(bytes.substr(0, bytes.size() / 2)),
+               ParseError);
+  EXPECT_THROW(db::measurement_from_bytes(bytes + "z"), ParseError);
+}
+
+TEST(Measurement, DirectorySaveAndLoad) {
+  const std::string dir = "/tmp/pathview_meas_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  workloads::Workload w = workloads::make_workload("subsurface", 3);
+  const auto ranks = workloads::profile_workload(w, 3);
+  db::save_measurements(ranks, dir);
+  const auto back = db::load_measurements(dir);
+  ASSERT_EQ(back.size(), 3u);
+  for (std::uint32_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(back[r].rank, r);
+    expect_same_cells(ranks[r], back[r]);
+  }
+  std::filesystem::remove_all(dir);
+  EXPECT_THROW(db::load_measurements(dir), InvalidArgument);
+}
+
+TEST(Registry, AllWorkloadsInstantiateAndProfile) {
+  for (const auto& wl : workloads::list_workloads()) {
+    SCOPED_TRACE(wl.name);
+    workloads::Workload w = workloads::make_workload(wl.name, 2, 42);
+    ASSERT_NE(w.program, nullptr);
+    ASSERT_NE(w.tree, nullptr);
+    const auto profiles = workloads::profile_workload(w, 1);
+    ASSERT_EQ(profiles.size(), 1u);
+    EXPECT_GT(profiles[0].totals()[Event::kCycles], 0.0)
+        << wl.name << " produced an empty profile";
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(workloads::make_workload("nope"), InvalidArgument);
+}
+
+TEST(StructureDump, RendersHierarchy) {
+  workloads::Workload w = workloads::make_workload("mesh");
+  const std::string text = structure::render_structure(*w.tree);
+  EXPECT_NE(text.find("module mbperf_iMesh.x"), std::string::npos);
+  EXPECT_NE(text.find("proc MBCore::get_coords"), std::string::npos);
+  EXPECT_NE(text.find("loop loop at MBCore.cpp: 686"), std::string::npos);
+  EXPECT_NE(text.find("inline inlined from SequenceManager::find"),
+            std::string::npos);
+  EXPECT_NE(text.find("[binary only]"), std::string::npos);
+
+  structure::DumpOptions opts;
+  opts.show_statements = false;
+  const std::string no_stmts = structure::render_structure(*w.tree, opts);
+  EXPECT_EQ(no_stmts.find("stmt "), std::string::npos);
+  EXPECT_LT(no_stmts.size(), text.size());
+
+  opts.max_lines = 5;
+  const std::string capped = structure::render_structure(*w.tree, opts);
+  EXPECT_NE(capped.find("(truncated)"), std::string::npos);
+
+  opts.show_addresses = true;
+  opts.max_lines = 0;
+  opts.show_statements = true;
+  const std::string with_addr = structure::render_structure(*w.tree, opts);
+  EXPECT_NE(with_addr.find("@0x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pathview

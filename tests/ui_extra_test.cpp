@@ -1,0 +1,267 @@
+// Tests for the supplementary presentation surfaces: summary metric
+// columns, the object-code view, and the scriptable command interpreter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pathview/support/error.hpp"
+
+#include "pathview/metrics/summary.hpp"
+#include "pathview/prof/correlate.hpp"
+#include "pathview/prof/summarize.hpp"
+#include "pathview/sim/parallel_runner.hpp"
+#include "pathview/ui/command_interpreter.hpp"
+#include "pathview/ui/object_view.hpp"
+#include "pathview/ui/rank_plot.hpp"
+#include "pathview/workloads/paper_example.hpp"
+#include "pathview/workloads/subsurface.hpp"
+
+namespace pathview {
+namespace {
+
+using model::Event;
+
+TEST(SummaryColumns, MatchOnlineStats) {
+  workloads::SubsurfaceWorkload w = workloads::make_subsurface(6);
+  sim::ParallelConfig pc;
+  pc.nranks = 6;
+  pc.base = w.run;
+  const auto raws = sim::run_parallel(*w.program, *w.lowering, pc);
+  const prof::SummaryCct summary = prof::summarize(raws, *w.tree, 2);
+
+  metrics::MetricTable table;
+  const metrics::SummaryColumns cols =
+      metrics::add_summary_columns(table, summary, Event::kCycles);
+  EXPECT_EQ(table.num_rows(), summary.cct.size());
+
+  for (prof::CctNodeId n = 0; n < summary.cct.size(); ++n) {
+    const OnlineStats& st = summary.stats(n, Event::kCycles);
+    EXPECT_DOUBLE_EQ(table.get(cols.sum, n), st.sum());
+    EXPECT_DOUBLE_EQ(table.get(cols.mean, n), st.mean());
+    EXPECT_DOUBLE_EQ(table.get(cols.min, n), st.min());
+    EXPECT_DOUBLE_EQ(table.get(cols.max, n), st.max());
+    EXPECT_DOUBLE_EQ(table.get(cols.stddev, n), st.stddev());
+    EXPECT_LE(table.get(cols.min, n), table.get(cols.mean, n) + 1e-9);
+    EXPECT_LE(table.get(cols.mean, n), table.get(cols.max, n) + 1e-9);
+  }
+
+  const metrics::ColumnId imb = metrics::add_imbalance_metric(table, cols);
+  // Root imbalance: (max/mean - 1) * 100, and zero-mean scopes stay zero.
+  const OnlineStats& root = summary.stats(prof::kCctRoot, Event::kCycles);
+  EXPECT_NEAR(table.get(imb, prof::kCctRoot),
+              (root.max() / root.mean() - 1.0) * 100.0, 1e-9);
+}
+
+TEST(ObjectView, AggregatesAcrossContextsAndSorts) {
+  workloads::PaperExample ex;
+  const auto rows = ui::object_rows(ex.profile(), ex.lowering().image(),
+                                    Event::kCycles);
+  ASSERT_FALSE(rows.empty());
+  // The recursive call line in g collects samples from g1+g2+g3 merged:
+  // 1 + 1 + 1 = 3 cycles at file2.c:3.
+  double g_line3 = 0;
+  double total = 0;
+  for (const auto& r : rows) {
+    total += r.counts[Event::kCycles];
+    if (r.proc == "g" && r.line == 3) g_line3 += r.counts[Event::kCycles];
+  }
+  EXPECT_EQ(g_line3, 3.0);
+  EXPECT_EQ(total, 10.0);
+  // Sorted descending by the chosen event.
+  for (std::size_t i = 1; i < rows.size(); ++i)
+    EXPECT_GE(rows[i - 1].counts[Event::kCycles],
+              rows[i].counts[Event::kCycles]);
+
+  const std::string text = ui::render_object_view(
+      ex.profile(), ex.lowering().image(), Event::kCycles, 3);
+  EXPECT_NE(text.find("more addresses"), std::string::npos);
+  EXPECT_NE(text.find("file2.c"), std::string::npos);
+}
+
+class InterpreterTest : public ::testing::Test {
+ protected:
+  InterpreterTest()
+      : cct_(prof::correlate(ex_.profile(), ex_.tree())),
+        attr_(metrics::attribute_metrics(cct_, std::array{Event::kCycles})),
+        viewer_(cct_, attr_,
+                [this] {
+                  ui::ViewerController::Config cfg;
+                  cfg.program = &ex_.program();
+                  return cfg;
+                }()),
+        interp_(viewer_, out_) {}
+
+  std::string take() {
+    std::string s = out_.str();
+    out_.str("");
+    return s;
+  }
+
+  workloads::PaperExample ex_;
+  prof::CanonicalCct cct_;
+  metrics::Attribution attr_;
+  ui::ViewerController viewer_;
+  std::ostringstream out_;
+  ui::CommandInterpreter interp_;
+};
+
+TEST_F(InterpreterTest, ViewSwitchingAndRender) {
+  EXPECT_TRUE(interp_.execute("view callers"));
+  EXPECT_NE(take().find("Callers View"), std::string::npos);
+  EXPECT_TRUE(interp_.execute("render"));
+  const std::string out = take();
+  EXPECT_NE(out.find("g"), std::string::npos);
+  EXPECT_NE(out.find("["), std::string::npos);  // node ids shown
+  EXPECT_TRUE(interp_.execute("view bogus"));
+  EXPECT_NE(take().find("error"), std::string::npos);
+}
+
+TEST_F(InterpreterTest, HotPathSortAndSource) {
+  EXPECT_TRUE(interp_.execute("hotpath"));
+  EXPECT_NE(take().find("ends at: file2.c: 9"), std::string::npos);
+  EXPECT_TRUE(interp_.execute("sort 0 desc"));
+  take();
+  EXPECT_TRUE(interp_.execute("src"));
+  EXPECT_NE(take().find("file2.c"), std::string::npos);
+}
+
+TEST_F(InterpreterTest, DeriveAndColumns) {
+  EXPECT_TRUE(interp_.execute("derive doubled = $0 * 2"));
+  EXPECT_NE(take().find("'doubled' is column"), std::string::npos);
+  EXPECT_TRUE(interp_.execute("columns"));
+  const std::string out = take();
+  EXPECT_NE(out.find("doubled"), std::string::npos);
+  EXPECT_NE(out.find("$0 * 2"), std::string::npos);
+  EXPECT_TRUE(interp_.execute("derive broken = $9 +"));
+  EXPECT_NE(take().find("error"), std::string::npos);
+}
+
+TEST_F(InterpreterTest, FlattenAndThreshold) {
+  EXPECT_TRUE(interp_.execute("view flat"));
+  take();
+  EXPECT_TRUE(interp_.execute("flatten"));
+  EXPECT_NE(take().find("flattened"), std::string::npos);
+  EXPECT_TRUE(interp_.execute("unflatten"));
+  take();
+  EXPECT_TRUE(interp_.execute("threshold 0.9"));
+  EXPECT_NE(take().find("0.9"), std::string::npos);
+  EXPECT_DOUBLE_EQ(viewer_.config().hot_path_threshold, 0.9);
+  EXPECT_TRUE(interp_.execute("threshold 7"));
+  EXPECT_NE(take().find("error"), std::string::npos);
+}
+
+TEST_F(InterpreterTest, QuitCommentsAndUnknown) {
+  EXPECT_TRUE(interp_.execute(""));
+  EXPECT_TRUE(interp_.execute("# a comment"));
+  EXPECT_TRUE(interp_.execute("frobnicate"));
+  EXPECT_NE(take().find("unknown command"), std::string::npos);
+  EXPECT_FALSE(interp_.execute("quit"));
+}
+
+TEST_F(InterpreterTest, RunLoopFromStream) {
+  std::istringstream script("view flat\nrender 5\nquit\n");
+  interp_.run(script, /*prompt=*/false);
+  const std::string out = take();
+  EXPECT_NE(out.find("Flat View"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pathview
+
+namespace pathview {
+namespace {
+
+TEST(InterpreterExport, ShowAndExportCommands) {
+  workloads::PaperExample ex;
+  const prof::CanonicalCct cct = prof::correlate(ex.profile(), ex.tree());
+  const metrics::Attribution attr =
+      metrics::attribute_metrics(cct, std::array{model::Event::kCycles});
+  ui::ViewerController viewer(cct, attr);
+  std::ostringstream out;
+  ui::CommandInterpreter interp(viewer, out);
+
+  // Restrict to column 0 and verify render shows only it.
+  EXPECT_TRUE(interp.execute("show 0"));
+  out.str("");
+  EXPECT_TRUE(interp.execute("render 2"));
+  std::string text = out.str();
+  EXPECT_NE(text.find("PAPI_TOT_CYC (I)"), std::string::npos);
+  EXPECT_EQ(text.find("PAPI_TOT_CYC (E)"), std::string::npos);
+
+  out.str("");
+  EXPECT_TRUE(interp.execute("export csv"));
+  text = out.str();
+  EXPECT_NE(text.find("id,parent,depth,label,PAPI_TOT_CYC (I)"),
+            std::string::npos);
+  EXPECT_EQ(text.find("PAPI_TOT_CYC (E)"), std::string::npos);
+
+  out.str("");
+  EXPECT_TRUE(interp.execute("export json"));
+  EXPECT_NE(out.str().find("\"children\":["), std::string::npos);
+
+  out.str("");
+  EXPECT_TRUE(interp.execute("export dot"));
+  EXPECT_NE(out.str().find("digraph pathview"), std::string::npos);
+
+  out.str("");
+  EXPECT_TRUE(interp.execute("export bogus"));
+  EXPECT_NE(out.str().find("error"), std::string::npos);
+
+  out.str("");
+  EXPECT_TRUE(interp.execute("show all"));
+  EXPECT_TRUE(interp.execute("show 99"));
+  EXPECT_NE(out.str().find("error"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pathview
+
+namespace pathview {
+namespace {
+
+TEST(RankPlot, ScatterAndSortedCurve) {
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i)
+    values.push_back(100.0 + (i * 37 % 50));  // scattered
+  const std::string scatter = ui::render_rank_scatter(values);
+  EXPECT_NE(scatter.find('*'), std::string::npos);
+  EXPECT_NE(scatter.find("rank 0"), std::string::npos);
+  EXPECT_NE(scatter.find("rank 99"), std::string::npos);
+  EXPECT_NE(scatter.find("1.49e+02"), std::string::npos);  // max label
+  EXPECT_NE(scatter.find("1.00e+02"), std::string::npos);  // min label
+
+  const std::string sorted = ui::render_sorted_curve(values);
+  EXPECT_NE(sorted.find('o'), std::string::npos);
+  // A sorted curve is monotone: the first column's mark is at/below the
+  // last column's mark. Extract mark rows of first and last plot columns.
+  EXPECT_EQ(ui::render_rank_scatter({}), "(no data)\n");
+  // Constant data must not divide by zero.
+  const std::string flat = ui::render_rank_scatter({5, 5, 5});
+  EXPECT_NE(flat.find('*'), std::string::npos);
+}
+
+TEST(ControllerZoom, RestrictsDisplayAndUnzooms) {
+  workloads::PaperExample ex;
+  const prof::CanonicalCct cct = prof::correlate(ex.profile(), ex.tree());
+  const metrics::Attribution attr =
+      metrics::attribute_metrics(cct, std::array{Event::kCycles});
+  ui::ViewerController ctl(cct, attr);
+  // Zoom to h's subtree: the render must no longer show m at top level.
+  core::View& v = ctl.current();
+  core::ViewNodeId h = core::kViewNull;
+  for (core::ViewNodeId id = 0; id < v.size(); ++id)
+    if (v.label(id) == "h") h = id;
+  ASSERT_NE(h, core::kViewNull);
+  ctl.zoom(h);
+  const std::string out = ctl.render();
+  EXPECT_NE(out.find("=>h"), std::string::npos);
+  EXPECT_EQ(out.find("=>f"), std::string::npos);
+  EXPECT_TRUE(ctl.unzoom());
+  EXPECT_FALSE(ctl.unzoom());
+  const std::string back = ctl.render();
+  EXPECT_NE(back.find("m"), std::string::npos);
+  EXPECT_THROW(ctl.zoom(999999), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pathview

@@ -1,0 +1,39 @@
+// pvstruct — the hpcstruct analog: lower a workload's program to a binary
+// image, recover its static structure, and print it.
+//
+// Usage: pvstruct <workload> [--addresses] [--no-statements] [--max N]
+#include <cstdio>
+#include <string>
+
+#include "pathview/structure/dump.hpp"
+#include "pathview/workloads/registry.hpp"
+#include "tool_util.hpp"
+
+using namespace pathview;
+
+int main(int argc, char** argv) {
+  tools::Args args(argc, argv);
+  if (args.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: pvstruct <workload> [--addresses] [--no-statements] "
+                 "[--max N]\n");
+    return 2;
+  }
+  try {
+    workloads::Workload w = workloads::make_workload(args.positional[0]);
+    structure::DumpOptions opts;
+    opts.show_addresses = args.has("addresses");
+    opts.show_statements = !args.has("no-statements");
+    opts.max_lines = static_cast<std::size_t>(args.flag("max", 0));
+    const structure::BinaryImage& img = w.lowering->image();
+    std::printf("binary image: %zu procs, %zu line-map entries, "
+                "%zu inline regions, %zu cfg edges\n\n",
+                img.procs().size(), img.lines().size(),
+                img.inline_regions().size(), img.edges().size());
+    std::fputs(structure::render_structure(*w.tree, opts).c_str(), stdout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pvstruct: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,50 @@
+// pvviewer — the hpcviewer analog: load an experiment database (XML or
+// binary) and explore it with the interactive command language; stored
+// derived-metric definitions are applied on load.
+//
+// Usage: pvviewer <experiment.{xml|pvdb}> [--script cmds...]
+//        echo "hotpath\nrender\nquit" | pvviewer exp.pvdb
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "pathview/db/experiment.hpp"
+#include "pathview/metrics/attribution.hpp"
+#include "pathview/metrics/derived.hpp"
+#include "pathview/ui/command_interpreter.hpp"
+#include "tool_util.hpp"
+
+using namespace pathview;
+
+int main(int argc, char** argv) {
+  tools::Args args(argc, argv);
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: pvviewer <experiment.{xml|pvdb}>\n");
+    return 2;
+  }
+  try {
+    const std::string& path = args.positional[0];
+    const bool binary =
+        path.size() > 5 && path.substr(path.size() - 5) == ".pvdb";
+    const db::Experiment exp =
+        binary ? db::load_binary(path) : db::load_xml(path);
+    std::printf("experiment '%s': %zu CCT scopes, %u rank(s), %zu stored "
+                "derived metric(s)\n",
+                exp.name().c_str(), exp.cct().size(), exp.nranks(),
+                exp.user_metrics().size());
+
+    const metrics::Attribution attr =
+        metrics::attribute_metrics(exp.cct(), metrics::all_events());
+    ui::ViewerController viewer(exp.cct(), attr);
+    // Re-apply the experiment's saved derived metrics across all views.
+    for (const metrics::MetricDesc& d : exp.user_metrics())
+      viewer.add_derived(d.name, d.formula);
+
+    ui::CommandInterpreter interp(viewer, std::cout);
+    interp.run(std::cin, /*prompt=*/true);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pvviewer: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,69 @@
+// Tiny argument-parsing helpers shared by the pathview CLI tools.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "pathview/model/program.hpp"
+#include "pathview/support/error.hpp"
+
+namespace pathview::tools {
+
+/// `--name value` / `--name=value` flags plus positional arguments.
+struct Args {
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string a = argv[i];
+      if (!a.empty() && a[0] == '-' && a != "-") {
+        a = a.substr(a.rfind("--", 0) == 0 ? 2 : 1);
+        const std::size_t eq = a.find('=');
+        if (eq != std::string::npos) {
+          flags.emplace_back(a.substr(0, eq), a.substr(eq + 1));
+        } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+          flags.emplace_back(a, argv[++i]);
+        } else {
+          flags.emplace_back(a, "");
+        }
+      } else {
+        positional.push_back(std::move(a));
+      }
+    }
+  }
+
+  bool has(const std::string& name) const {
+    for (const auto& [k, v] : flags)
+      if (k == name) return true;
+    return false;
+  }
+
+  std::string flag_str(const std::string& name,
+                       const std::string& fallback) const {
+    for (const auto& [k, v] : flags)
+      if (k == name) return v;
+    return fallback;
+  }
+
+  long flag(const std::string& name, long fallback) const {
+    for (const auto& [k, v] : flags)
+      if (k == name) return std::strtol(v.c_str(), nullptr, 10);
+    return fallback;
+  }
+
+  std::vector<std::pair<std::string, std::string>> flags;
+  std::vector<std::string> positional;
+};
+
+/// "cycles" / "instructions" / "flops" / "l1" / "l2" / "idle".
+inline model::Event parse_event(const std::string& name) {
+  if (name == "cycles") return model::Event::kCycles;
+  if (name == "instructions") return model::Event::kInstructions;
+  if (name == "flops") return model::Event::kFlops;
+  if (name == "l1") return model::Event::kL1Miss;
+  if (name == "l2") return model::Event::kL2Miss;
+  if (name == "idle") return model::Event::kIdle;
+  throw InvalidArgument("unknown event '" + name +
+                        "' (cycles|instructions|flops|l1|l2|idle)");
+}
+
+}  // namespace pathview::tools
