@@ -31,6 +31,7 @@ prof::CanonicalCct run_merged(workloads::SubsurfaceWorkload& w,
 }  // namespace
 
 int main() {
+  obs::set_enabled(true);  // collect counters for the JSON report
   constexpr std::uint32_t kBase = 4, kScaled = 8;
   // One workload object: both runs must share the structure tree.
   workloads::SubsurfaceWorkload w =
@@ -80,5 +81,6 @@ int main() {
               ? 1
               : 0,
           0);
+  rep.write_json("BENCH_ablation_scaling.json");
   return rep.exit_code();
 }

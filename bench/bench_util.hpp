@@ -1,17 +1,24 @@
 // Shared helpers for the per-figure reproduction harnesses: each bench
 // prints the paper-claimed value next to the measured value and returns a
 // nonzero exit code when a measurement falls outside its tolerance band.
+// Each harness also writes a machine-readable JSON report (rows plus the
+// obs counter snapshot) so the perf trajectory is tracked across PRs.
 #pragma once
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
+
+#include "pathview/obs/export.hpp"
+#include "pathview/obs/obs.hpp"
 
 namespace pathview::bench {
 
 class Report {
  public:
-  explicit Report(const std::string& title) {
+  explicit Report(const std::string& title) : title_(title) {
     std::printf("==== %s ====\n", title.c_str());
     std::printf("%-58s %12s %12s %8s\n", "quantity", "paper", "measured",
                 "ok?");
@@ -24,17 +31,78 @@ class Report {
     std::printf("%-58s %12.3f %12.3f %8s\n", what.c_str(), paper, measured,
                 ok ? "yes" : "NO");
     failed_ |= !ok;
+    rows_.push_back(Row{what, paper, measured, tol, ok, /*checked=*/true});
   }
 
   /// Informational row without a pass/fail band.
   void info(const std::string& what, double measured) {
     std::printf("%-58s %12s %12.3f\n", what.c_str(), "-", measured);
+    rows_.push_back(Row{what, 0.0, measured, 0.0, true, /*checked=*/false});
   }
 
   /// Exit code for main(): 0 iff every row was within tolerance.
   int exit_code() const { return failed_ ? 1 : 0; }
 
+  /// Write rows + the current obs counter snapshot as JSON. The file goes
+  /// to $PATHVIEW_BENCH_JSON (a directory) when set, else the working dir.
+  void write_json(const std::string& filename) const {
+    std::string path = filename;
+    if (const char* dir = std::getenv("PATHVIEW_BENCH_JSON"); dir && *dir)
+      path = std::string(dir) + "/" + filename;
+
+    std::string out = "{\n  \"title\": \"" + escape(title_) + "\",\n";
+    out += "  \"passed\": " + std::string(failed_ ? "false" : "true") + ",\n";
+    out += "  \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      out += i ? ",\n    " : "\n    ";
+      out += "{\"name\": \"" + escape(r.what) + "\", \"measured\": " +
+             num(r.measured);
+      if (r.checked)
+        out += ", \"paper\": " + num(r.paper) + ", \"tol\": " + num(r.tol) +
+               ", \"ok\": " + (r.ok ? "true" : "false");
+      out += "}";
+    }
+    out += "\n  ],\n  \"obs_counters\": {";
+    const obs::TraceSnapshot snap = obs::snapshot();
+    for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+      out += i ? ",\n    " : "\n    ";
+      out += "\"" + escape(snap.counters[i].first) +
+             "\": " + std::to_string(snap.counters[i].second);
+    }
+    out += "\n  }\n}\n";
+    obs::write_text_file(path, out);
+    std::printf("[wrote %s]\n", path.c_str());
+  }
+
  private:
+  struct Row {
+    std::string what;
+    double paper;
+    double measured;
+    double tol;
+    bool ok;
+    bool checked;
+  };
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  static std::string num(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+  }
+
+  std::string title_;
+  std::vector<Row> rows_;
   bool failed_ = false;
 };
 

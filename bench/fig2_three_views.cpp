@@ -59,6 +59,7 @@ void render(core::View& v) {
 }  // namespace
 
 int main() {
+  obs::set_enabled(true);  // collect counters for the JSON report
   workloads::PaperExample ex;
 
   // Fig. 1: the example program's two files (pseudo-source rendering).
@@ -118,5 +119,6 @@ int main() {
         static_cast<int>(core::NodeRole::kFrame));  // g_z call site
   check(rep, fv, attr, "f", 7, 1,
         static_cast<int>(core::NodeRole::kProc));   // f_x
+  rep.write_json("BENCH_fig2_three_views.json");
   return rep.exit_code();
 }

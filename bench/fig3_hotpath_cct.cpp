@@ -14,6 +14,7 @@
 using namespace pathview;
 
 int main() {
+  obs::set_enabled(true);  // collect counters for the JSON report
   workloads::CombustionWorkload w = workloads::make_combustion();
   sim::ExecutionEngine eng(*w.program, *w.lowering, w.run);
   const sim::RawProfile raw = eng.run();
@@ -69,5 +70,6 @@ int main() {
               ? 1
               : 0,
           0);
+  rep.write_json("BENCH_fig3_hotpath_cct.json");
   return rep.exit_code();
 }

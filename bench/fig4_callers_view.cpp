@@ -14,6 +14,7 @@
 using namespace pathview;
 
 int main() {
+  obs::set_enabled(true);  // collect counters for the JSON report
   workloads::MeshWorkload w = workloads::make_mesh();
   sim::ExecutionEngine eng(*w.program, *w.lowering, w.run);
   const sim::RawProfile raw = eng.run();
@@ -57,5 +58,6 @@ int main() {
           100.0 * via_other / total, 0.1);
   rep.row("number of distinct callers (paper: 2)", 2,
           static_cast<double>(cv.children_of(memset_node).size()), 0);
+  rep.write_json("BENCH_fig4_callers_view.json");
   return rep.exit_code();
 }

@@ -32,6 +32,7 @@ core::ViewNodeId find_labeled(core::View& v, core::ViewNodeId at,
 }  // namespace
 
 int main() {
+  obs::set_enabled(true);  // collect counters for the JSON report
   workloads::MeshWorkload w = workloads::make_mesh();
   sim::ExecutionEngine eng(*w.program, *w.lowering, w.run);
   const sim::RawProfile raw = eng.run();
@@ -95,5 +96,6 @@ int main() {
           cmp == core::kViewNull ? 0
                                  : 100.0 * fv.table().get(l1, cmp) / total_l1,
           1.2);
+  rep.write_json("BENCH_fig5_flat_inlining.json");
   return rep.exit_code();
 }

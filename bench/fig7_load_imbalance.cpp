@@ -92,5 +92,6 @@ int main(int argc, char** argv) {
     rep.row("slowest rank has (near-)minimum idleness", 1,
             idle[slowest] <= min_idle + 1e-6 ? 1 : 0, 0);
   }
+  rep.write_json("BENCH_fig7_load_imbalance.json");
   return rep.exit_code();
 }

@@ -11,10 +11,14 @@
 //   * XML vs compact binary experiment database I/O and size.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <map>
 #include <memory>
+#include <sstream>
 
 #include "pathview/core/callers_view.hpp"
+#include "pathview/obs/export.hpp"
+#include "pathview/obs/obs.hpp"
 #include "pathview/core/cct_view.hpp"
 #include "pathview/core/flat_view.hpp"
 #include "pathview/core/hot_path.hpp"
@@ -220,6 +224,60 @@ void BM_DbReadBinary(benchmark::State& state) {
 }
 BENCHMARK(BM_DbReadBinary)->Arg(16)->Arg(64);
 
+/// Display reporter that also captures the JSON report in a string, so we
+/// can wrap it with the obs counters without requiring --benchmark_out.
+class TeeReporter : public benchmark::BenchmarkReporter {
+ public:
+  explicit TeeReporter(std::ostream* json_out) {
+    json_.SetOutputStream(json_out);
+  }
+  bool ReportContext(const Context& ctx) override {
+    const bool a = console_.ReportContext(ctx);
+    const bool b = json_.ReportContext(ctx);
+    return a && b;
+  }
+  void ReportRuns(const std::vector<Run>& runs) override {
+    console_.ReportRuns(runs);
+    json_.ReportRuns(runs);
+  }
+  void Finalize() override {
+    console_.Finalize();
+    json_.Finalize();
+  }
+
+ private:
+  benchmark::ConsoleReporter console_;
+  benchmark::JSONReporter json_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: in addition to the console report, write the full
+// google-benchmark JSON report plus the obs counter snapshot to
+// BENCH_scalability.json (directory overridable via $PATHVIEW_BENCH_JSON).
+// Tracing stays off unless $PATHVIEW_TRACE is set, so the numbers measure
+// the disabled-mode cost of the instrumentation, not the tracer itself.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  std::ostringstream json;
+  TeeReporter display(&json);
+  benchmark::RunSpecifiedBenchmarks(&display);
+  benchmark::Shutdown();
+
+  std::string path = "BENCH_scalability.json";
+  if (const char* dir = std::getenv("PATHVIEW_BENCH_JSON"); dir && *dir)
+    path = std::string(dir) + "/" + path;
+  std::string out = "{\n\"title\": \"scalability\",\n\"obs_counters\": {";
+  const obs::TraceSnapshot snap = obs::snapshot();
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    out += i ? ",\n  " : "\n  ";
+    out += "\"" + snap.counters[i].first +
+           "\": " + std::to_string(snap.counters[i].second);
+  }
+  out += "\n},\n\"benchmark\": " + json.str() + "\n}\n";
+  obs::write_text_file(path, out);
+  std::printf("[wrote %s]\n", path.c_str());
+  return 0;
+}

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Full verification: configure, build, run the test suite, then every
 # figure-reproduction harness (each exits nonzero if a paper value drifts
-# out of its tolerance band).
+# out of its tolerance band), and finally the test suite again under
+# ASan+UBSan. Set PATHVIEW_SKIP_SANITIZE=1 to skip the sanitizer pass.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -18,4 +19,12 @@ for b in build/bench/*; do
     *) "$b" ;;
   esac
 done
+
+if [ "${PATHVIEW_SKIP_SANITIZE:-0}" != "1" ]; then
+  echo "== sanitizer pass (ASan+UBSan)"
+  cmake -B build-asan -G Ninja -DPATHVIEW_SANITIZE=ON
+  cmake --build build-asan
+  ctest --test-dir build-asan --output-on-failure
+fi
+
 echo "ALL CHECKS PASSED"

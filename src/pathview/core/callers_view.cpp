@@ -2,11 +2,14 @@
 
 #include <algorithm>
 
+#include "pathview/obs/obs.hpp"
+
 namespace pathview::core {
 
 CallersView::CallersView(const prof::CanonicalCct& cct,
                          const metrics::Attribution& attr, const Options& opts)
     : View(ViewType::kCallers, cct), attr_(&attr), opts_(opts), anc_(cct) {
+  PV_SPAN("core.callers_view.build");
   // Root node mirrors the experiment aggregate (percent denominators).
   ViewNode root;
   root.role = NodeRole::kRoot;

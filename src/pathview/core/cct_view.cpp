@@ -1,5 +1,7 @@
 #include "pathview/core/cct_view.hpp"
 
+#include "pathview/obs/obs.hpp"
+
 namespace pathview::core {
 
 namespace {
@@ -25,6 +27,7 @@ NodeRole role_of(prof::CctKind k) {
 CctView::CctView(const prof::CanonicalCct& cct,
                  const metrics::Attribution& attr)
     : View(ViewType::kCallingContext, cct) {
+  PV_SPAN("core.cct_view.build");
   // Mirror the CCT node-for-node; ids are preserved because CCT children
   // always have larger ids than their parents.
   for (prof::CctNodeId i = 0; i < cct.size(); ++i) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "pathview/obs/obs.hpp"
+
 namespace pathview::core {
 
 namespace {
@@ -45,6 +47,7 @@ ViewNodeId FlatView::find_or_add(ViewNodeId parent, NodeRole role,
 FlatView::FlatView(const prof::CanonicalCct& cct,
                    const metrics::Attribution& attr, RecursionPolicy policy)
     : View(ViewType::kFlat, cct) {
+  PV_SPAN("core.flat_view.build");
   const structure::StructureTree& tree = cct.tree();
   const metrics::MetricTable& src = attr.table;
 

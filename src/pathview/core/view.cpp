@@ -1,6 +1,7 @@
 #include "pathview/core/view.hpp"
 
 #include "pathview/metrics/derived.hpp"
+#include "pathview/obs/obs.hpp"
 
 namespace pathview::core {
 
@@ -22,6 +23,7 @@ ViewNodeId View::add_node(ViewNode n) {
   nodes_.push_back(std::move(n));
   if (parent != kViewNull) nodes_[parent].children.push_back(id);
   table_.ensure_rows(nodes_.size());
+  PV_COUNTER_ADD("core.view_rows", 1);
   return id;
 }
 
@@ -30,6 +32,7 @@ void View::ensure_children(ViewNodeId id) {
   const std::size_t rows_before = table_.num_rows();
   build_children(id);
   nodes_[id].children_built = true;
+  PV_COUNTER_ADD("core.lazy_child_builds", 1);
   if (table_.num_rows() != rows_before) {
     // Lazily materialized rows: recompute derived columns so sorting and
     // hot-path analysis on them stay correct.

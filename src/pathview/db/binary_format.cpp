@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "pathview/db/experiment.hpp"
+#include "pathview/obs/obs.hpp"
 #include "pathview/support/error.hpp"
 
 namespace pathview::db {
@@ -101,6 +102,7 @@ class Reader {
 }  // namespace
 
 std::string to_binary(const Experiment& exp) {
+  PV_SPAN("db.binary.write");
   const structure::StructureTree& tree = exp.tree();
   const prof::CanonicalCct& cct = exp.cct();
   Writer w;
@@ -151,10 +153,14 @@ std::string to_binary(const Experiment& exp) {
     w.str(d.name);
     w.str(d.formula);
   }
-  return w.take();
+  std::string out = w.take();
+  PV_COUNTER_ADD("db.binary_bytes_written", out.size());
+  return out;
 }
 
 Experiment from_binary(std::string_view bytes) {
+  PV_SPAN("db.binary.read");
+  PV_COUNTER_ADD("db.binary_bytes_read", bytes.size());
   Reader r(bytes);
   r.expect_magic();
   std::string name = r.str();

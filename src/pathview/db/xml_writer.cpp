@@ -4,6 +4,7 @@
 
 #include "pathview/db/experiment.hpp"
 #include "pathview/db/xml.hpp"
+#include "pathview/obs/obs.hpp"
 #include "pathview/support/error.hpp"
 
 namespace pathview::db {
@@ -35,6 +36,7 @@ std::string f64_str(double v) {
 }  // namespace
 
 std::string to_xml(const Experiment& exp) {
+  PV_SPAN("db.xml.write");
   const structure::StructureTree& tree = exp.tree();
   const prof::CanonicalCct& cct = exp.cct();
 
@@ -81,10 +83,13 @@ std::string to_xml(const Experiment& exp) {
            xml_escape(d.formula) + "\"/>\n";
   out += " </Metrics>\n";
   out += "</Experiment>\n";
+  PV_COUNTER_ADD("db.xml_bytes_written", out.size());
   return out;
 }
 
 Experiment from_xml(std::string_view xml) {
+  PV_SPAN("db.xml.read");
+  PV_COUNTER_ADD("db.xml_bytes_read", xml.size());
   const XmlNode root = parse_xml(xml);
   if (root.name != "Experiment")
     throw InvalidArgument("xml: root element is not <Experiment>");

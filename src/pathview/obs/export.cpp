@@ -1,0 +1,145 @@
+#include "pathview/obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "pathview/support/error.hpp"
+
+namespace pathview::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string us_str(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const TraceSnapshot& snap) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& ev) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n" + ev;
+  };
+  for (const ThreadTrace& t : snap.threads) {
+    for (const SpanRecord& s : t.spans) {
+      const std::uint64_t dur = s.end_ns > s.start_ns ? s.end_ns - s.start_ns : 0;
+      emit("{\"name\":\"" + json_escape(s.name) +
+           "\",\"cat\":\"pathview\",\"ph\":\"X\",\"ts\":" + us_str(s.start_ns) +
+           ",\"dur\":" + us_str(dur) + ",\"pid\":1,\"tid\":" +
+           std::to_string(t.tid) + "}");
+    }
+  }
+  for (const auto& [name, value] : snap.counters)
+    emit("{\"name\":\"" + json_escape(name) +
+         "\",\"cat\":\"pathview\",\"ph\":\"C\",\"ts\":0,\"pid\":1,\"args\":{"
+         "\"value\":" + std::to_string(value) + "}}");
+  out += "\n]}\n";
+  return out;
+}
+
+std::string phase_summary(const TraceSnapshot& snap) {
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t self_ns = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const ThreadTrace& t : snap.threads) {
+    // Self time: a span's duration minus the durations of its direct
+    // children (computed per thread via the parent indexes).
+    std::vector<std::uint64_t> child_ns(t.spans.size(), 0);
+    for (const SpanRecord& s : t.spans) {
+      if (s.parent < 0) continue;
+      const std::uint64_t dur = s.end_ns > s.start_ns ? s.end_ns - s.start_ns : 0;
+      child_ns[static_cast<std::size_t>(s.parent)] += dur;
+    }
+    for (std::size_t i = 0; i < t.spans.size(); ++i) {
+      const SpanRecord& s = t.spans[i];
+      const std::uint64_t dur = s.end_ns > s.start_ns ? s.end_ns - s.start_ns : 0;
+      Agg& a = by_name[s.name];
+      ++a.count;
+      a.total_ns += dur;
+      a.self_ns += dur > child_ns[i] ? dur - child_ns[i] : 0;
+    }
+  }
+
+  std::vector<std::pair<std::string, Agg>> rows(by_name.begin(), by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_ns > b.second.total_ns;
+  });
+
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-40s %8s %12s %12s %12s\n", "phase",
+                "count", "total ms", "self ms", "mean ms");
+  out += line;
+  out += std::string(88, '-') + "\n";
+  for (const auto& [name, a] : rows) {
+    std::snprintf(line, sizeof(line), "%-40s %8llu %12.3f %12.3f %12.3f\n",
+                  name.c_str(), static_cast<unsigned long long>(a.count),
+                  static_cast<double>(a.total_ns) / 1e6,
+                  static_cast<double>(a.self_ns) / 1e6,
+                  a.count ? static_cast<double>(a.total_ns) / 1e6 /
+                                static_cast<double>(a.count)
+                          : 0.0);
+    out += line;
+  }
+  if (rows.empty()) out += "(no spans recorded)\n";
+
+  if (!snap.counters.empty()) {
+    out += "\ncounters:\n";
+    for (const auto& [name, value] : snap.counters) {
+      std::snprintf(line, sizeof(line), "  %-45s %15llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      out += line;
+    }
+  }
+  return out;
+}
+
+void write_text_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw InvalidArgument("cannot create '" + path + "'");
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw InvalidArgument("short write to '" + path + "'");
+}
+
+}  // namespace pathview::obs

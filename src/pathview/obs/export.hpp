@@ -1,0 +1,24 @@
+// Trace exporters: Chrome trace-event JSON and a human-readable phase
+// summary. Both operate on an obs::TraceSnapshot so they can run on live
+// processes or on snapshots captured earlier.
+#pragma once
+
+#include <string>
+
+#include "pathview/obs/obs.hpp"
+
+namespace pathview::obs {
+
+/// Chrome trace-event JSON (load with chrome://tracing or Perfetto).
+/// Spans become complete ("ph":"X") events, counters become one counter
+/// ("ph":"C") event each.
+std::string to_chrome_trace(const TraceSnapshot& snap);
+
+/// Plain-text report: per-span-name count / total / self / mean wall time
+/// (sorted by total, descending) followed by every counter.
+std::string phase_summary(const TraceSnapshot& snap);
+
+/// Write `bytes` to `path` (throws InvalidArgument on I/O failure).
+void write_text_file(const std::string& path, const std::string& bytes);
+
+}  // namespace pathview::obs

@@ -1,0 +1,143 @@
+#include "pathview/obs/obs.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace pathview::obs {
+
+namespace detail {
+
+// Tracing starts enabled when PATHVIEW_TRACE is set so that library code in
+// any process (tools, benches, tests) records without explicit opt-in calls.
+std::atomic<bool> g_enabled{[] {
+  const char* env = std::getenv("PATHVIEW_TRACE");
+  return env != nullptr && *env != '\0';
+}()};
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace {
+
+const std::chrono::steady_clock::time_point g_epoch =
+    std::chrono::steady_clock::now();
+
+/// One thread's span storage. The owning thread appends through its
+/// thread_local pointer; snapshot() readers take `mu` — uncontended in the
+/// common case, which is what keeps spans cheap.
+struct ThreadBuffer {
+  std::uint32_t tid = 0;
+  std::mutex mu;
+  std::vector<SpanRecord> spans;       // guarded by mu
+  std::vector<std::int32_t> open;      // owner-thread only: open span stack
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;      // never shrinks
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during exit
+  return *r;
+}
+
+thread_local ThreadBuffer* tls_buffer = nullptr;
+
+ThreadBuffer& local_buffer() {
+  if (tls_buffer == nullptr) {
+    Registry& r = registry();
+    auto buf = std::make_unique<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(r.mu);
+    buf->tid = static_cast<std::uint32_t>(r.buffers.size());
+    tls_buffer = buf.get();
+    r.buffers.push_back(std::move(buf));
+  }
+  return *tls_buffer;
+}
+
+}  // namespace
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - g_epoch)
+          .count());
+}
+
+Counter& counter(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto& slot = r.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+std::size_t begin_span(const char* name) {
+  ThreadBuffer& b = local_buffer();
+  const std::uint64_t now = now_ns();
+  std::lock_guard<std::mutex> lock(b.mu);
+  const std::size_t index = b.spans.size();
+  SpanRecord rec;
+  rec.name = name;
+  rec.start_ns = now;
+  rec.parent = b.open.empty() ? -1 : b.open.back();
+  b.spans.push_back(rec);
+  b.open.push_back(static_cast<std::int32_t>(index));
+  return index;
+}
+
+void end_span(std::size_t index) {
+  ThreadBuffer& b = local_buffer();
+  const std::uint64_t now = now_ns();
+  std::lock_guard<std::mutex> lock(b.mu);
+  // reset() may have cleared the buffer between begin and end; bounds-check
+  // rather than resurrect a stale record.
+  if (index < b.spans.size() && b.spans[index].end_ns == 0)
+    b.spans[index].end_ns = now;
+  while (!b.open.empty()) {
+    const std::int32_t top = b.open.back();
+    b.open.pop_back();
+    if (static_cast<std::size_t>(top) == index) break;
+  }
+}
+
+TraceSnapshot snapshot() {
+  Registry& r = registry();
+  const std::uint64_t now = now_ns();
+  TraceSnapshot out;
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& buf : r.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    if (buf->spans.empty()) continue;
+    ThreadTrace t;
+    t.tid = buf->tid;
+    t.spans = buf->spans;
+    for (SpanRecord& s : t.spans)
+      if (s.end_ns == 0) s.end_ns = now;
+    out.threads.push_back(std::move(t));
+  }
+  for (const auto& [name, c] : r.counters)
+    out.counters.emplace_back(name, c->value());
+  return out;
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& buf : r.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->spans.clear();
+  }
+  for (const auto& [name, c] : r.counters)
+    c->v_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace pathview::obs

@@ -1,0 +1,165 @@
+// Self-instrumentation: spans, counters, and trace snapshots.
+//
+// Pathview's own pipeline (sim -> correlate -> merge -> summarize -> views ->
+// export) is instrumented with the same call-path philosophy the paper
+// advocates for application code: RAII spans record a per-thread call tree of
+// pipeline phases, and a process-wide registry of named counters tracks
+// volume metrics (samples processed, CCT nodes created, bytes written...).
+//
+// Cost model:
+//   * disabled (default): every PV_SPAN / PV_COUNTER_* site is one relaxed
+//     atomic load and a predictable branch;
+//   * compiled out (-DPATHVIEW_OBS_DISABLED): the macros expand to nothing;
+//   * enabled: spans take one uncontended per-thread mutex and one
+//     steady_clock read at entry and exit; counters are relaxed fetch_adds.
+//
+// Exporters live in obs/export.hpp (Chrome trace JSON, phase summary table)
+// and obs/self_profile.hpp (span tree -> experiment database for pvviewer).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pathview::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// Master runtime switch. Reading it is one relaxed atomic load; nothing is
+/// recorded while it is false.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on);
+
+// ---------------------------------------------------------------------------
+// Counters and gauges.
+// ---------------------------------------------------------------------------
+
+/// A named process-wide accumulator. Thread-safe; hot paths should cache the
+/// reference (PV_COUNTER_ADD does this with a function-local static).
+class Counter {
+ public:
+  void add(std::uint64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  /// Gauge semantics: overwrite instead of accumulate.
+  void set(std::uint64_t n) { v_.store(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  friend void reset();
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Find-or-create the counter registered under `name`. The reference stays
+/// valid for the life of the process (reset() zeroes values, it does not
+/// invalidate registrations).
+Counter& counter(const std::string& name);
+
+// ---------------------------------------------------------------------------
+// Spans.
+// ---------------------------------------------------------------------------
+
+/// One closed (or still-open) span in a thread's buffer. `name` must point
+/// to storage outliving the registry — string literals in practice.
+struct SpanRecord {
+  const char* name = "";
+  std::uint64_t start_ns = 0;  // relative to the process-wide epoch
+  std::uint64_t end_ns = 0;    // 0 while the span is still open
+  std::int32_t parent = -1;    // index into the same thread's span list
+};
+
+/// Begin a span on the calling thread; returns its buffer index.
+std::size_t begin_span(const char* name);
+/// Close the span opened as `index` (normally via the RAII Span below).
+void end_span(std::size_t index);
+
+/// RAII span guard. Captures enabled() at construction so a span opened
+/// while tracing is on is always closed, even if tracing is toggled off.
+class Span {
+ public:
+  explicit Span(const char* name) : live_(enabled()) {
+    if (live_) index_ = begin_span(name);
+  }
+  ~Span() {
+    if (live_) end_span(index_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  bool live_;
+  std::size_t index_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Snapshots.
+// ---------------------------------------------------------------------------
+
+struct ThreadTrace {
+  std::uint32_t tid = 0;  // dense registration order, not the OS tid
+  std::vector<SpanRecord> spans;
+};
+
+struct TraceSnapshot {
+  std::vector<ThreadTrace> threads;  // threads with at least one span
+  /// Counter name -> value, sorted by name.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
+/// Copy out every thread's spans and every counter. Open spans are clamped
+/// to "now" so a mid-flight snapshot still yields a well-formed trace.
+TraceSnapshot snapshot();
+
+/// Clear all recorded spans and zero all counters (registrations and thread
+/// buffers survive). Intended for tests and long-lived servers.
+void reset();
+
+/// Nanoseconds since the process-wide trace epoch.
+std::uint64_t now_ns();
+
+}  // namespace pathview::obs
+
+// ---------------------------------------------------------------------------
+// Instrumentation macros.
+// ---------------------------------------------------------------------------
+
+#if defined(PATHVIEW_OBS_DISABLED)
+
+#define PV_SPAN(name) static_cast<void>(0)
+#define PV_COUNTER_ADD(name, n) static_cast<void>(0)
+#define PV_COUNTER_SET(name, n) static_cast<void>(0)
+
+#else
+
+#define PV_OBS_CONCAT2(a, b) a##b
+#define PV_OBS_CONCAT(a, b) PV_OBS_CONCAT2(a, b)
+
+/// Open a span for the rest of the enclosing scope.
+#define PV_SPAN(name) \
+  ::pathview::obs::Span PV_OBS_CONCAT(pv_obs_span_, __LINE__)(name)
+
+/// Add `n` to the counter `name` (registered once per call site).
+#define PV_COUNTER_ADD(name, n)                                         \
+  do {                                                                  \
+    if (::pathview::obs::enabled()) {                                   \
+      static ::pathview::obs::Counter& pv_obs_ctr =                     \
+          ::pathview::obs::counter(name);                               \
+      pv_obs_ctr.add(static_cast<std::uint64_t>(n));                    \
+    }                                                                   \
+  } while (0)
+
+/// Gauge write: overwrite the counter `name` with `n`.
+#define PV_COUNTER_SET(name, n)                                         \
+  do {                                                                  \
+    if (::pathview::obs::enabled()) {                                   \
+      static ::pathview::obs::Counter& pv_obs_ctr =                     \
+          ::pathview::obs::counter(name);                               \
+      pv_obs_ctr.set(static_cast<std::uint64_t>(n));                    \
+    }                                                                   \
+  } while (0)
+
+#endif  // PATHVIEW_OBS_DISABLED

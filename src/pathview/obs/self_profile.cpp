@@ -1,0 +1,168 @@
+#include "pathview/obs/self_profile.hpp"
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "pathview/support/error.hpp"
+
+namespace pathview::obs {
+
+namespace {
+
+/// Builder state for the synthetic structure tree: one proc per span name,
+/// one "self" statement per proc, one call-site statement per caller/callee
+/// pair. Lines and entry addresses are synthetic but stable within a build.
+class SelfStructure {
+ public:
+  explicit SelfStructure(structure::StructureTree& tree) : tree_(&tree) {
+    structure::SNode mod;
+    mod.kind = structure::SKind::kModule;
+    mod.parent = tree_->root();
+    mod.name = tree_->names().intern("pathview");
+    module_ = tree_->add_node(std::move(mod));
+
+    structure::SNode file;
+    file.kind = structure::SKind::kFile;
+    file.parent = module_;
+    file_name_ = tree_->names().intern("pathview.self");
+    file.name = file_name_;
+    file.file = file_name_;
+    file_ = tree_->add_node(std::move(file));
+  }
+
+  /// Find-or-create the procedure scope for a span name.
+  structure::SNodeId proc(const std::string& name) {
+    auto [it, inserted] = procs_.try_emplace(name, structure::kSNull);
+    if (!inserted) return it->second;
+    structure::SNode p;
+    p.kind = structure::SKind::kProc;
+    p.parent = file_;
+    p.name = tree_->names().intern(name);
+    p.file = file_name_;
+    p.line = next_line_;
+    next_line_ += 16;  // leave room for the proc's statement scopes
+    p.entry = next_addr_++;
+    const structure::SNodeId id = tree_->add_node(std::move(p));
+    tree_->map_proc_entry(tree_->node(id).entry, id);
+    it->second = id;
+    return id;
+  }
+
+  /// The statement scope holding a procedure's self time.
+  structure::SNodeId self_stmt(structure::SNodeId proc_scope) {
+    return stmt_child(proc_scope, tree_->node(proc_scope).line + 1);
+  }
+
+  /// The call-site statement in `caller` from which `callee` is entered.
+  structure::SNodeId call_site(structure::SNodeId caller,
+                               structure::SNodeId callee) {
+    auto [it, inserted] = call_sites_.try_emplace({caller, callee},
+                                                  structure::kSNull);
+    if (!inserted) return it->second;
+    const int line = tree_->node(caller).line + 2 +
+                     static_cast<int>(calls_in_proc_[caller]++);
+    it->second = stmt_child(caller, line);
+    return it->second;
+  }
+
+ private:
+  structure::SNodeId stmt_child(structure::SNodeId proc_scope, int line) {
+    auto [it, inserted] = stmts_.try_emplace({proc_scope, line},
+                                             structure::kSNull);
+    if (!inserted) return it->second;
+    structure::SNode s;
+    s.kind = structure::SKind::kStmt;
+    s.parent = proc_scope;
+    s.name = tree_->names().intern("");
+    s.file = file_name_;
+    s.line = line;
+    s.entry = next_addr_++;
+    const structure::SNodeId id = tree_->add_node(std::move(s));
+    tree_->map_addr(tree_->node(id).entry, id);
+    it->second = id;
+    return id;
+  }
+
+  structure::StructureTree* tree_;
+  structure::SNodeId module_ = structure::kSNull;
+  structure::SNodeId file_ = structure::kSNull;
+  NameId file_name_ = 0;
+  int next_line_ = 1;
+  model::Addr next_addr_ = 0x1000;
+  std::map<std::string, structure::SNodeId> procs_;
+  std::map<std::pair<structure::SNodeId, structure::SNodeId>,
+           structure::SNodeId>
+      call_sites_;
+  std::map<std::pair<structure::SNodeId, int>, structure::SNodeId> stmts_;
+  std::map<structure::SNodeId, std::size_t> calls_in_proc_;
+};
+
+}  // namespace
+
+db::Experiment self_profile_experiment(const TraceSnapshot& snap,
+                                       const std::string& name) {
+  bool any = false;
+  for (const ThreadTrace& t : snap.threads) any |= !t.spans.empty();
+  if (!any)
+    throw InvalidArgument(
+        "self_profile_experiment: no spans recorded (is tracing enabled?)");
+
+  auto tree = std::make_unique<structure::StructureTree>();
+  SelfStructure structure(*tree);
+  prof::CanonicalCct cct(tree.get());
+
+  for (const ThreadTrace& t : snap.threads) {
+    // Parents precede children in the buffer, so one forward pass maps every
+    // span to a CCT frame. Threads with identical phase stacks merge into
+    // the same frames, exactly like ranks in prof::merge_all.
+    std::vector<std::uint64_t> child_ns(t.spans.size(), 0);
+    for (const SpanRecord& s : t.spans)
+      if (s.parent >= 0)
+        child_ns[static_cast<std::size_t>(s.parent)] +=
+            s.end_ns > s.start_ns ? s.end_ns - s.start_ns : 0;
+    std::vector<prof::CctNodeId> frame_of(t.spans.size(), prof::kCctNull);
+    for (std::size_t i = 0; i < t.spans.size(); ++i) {
+      const SpanRecord& s = t.spans[i];
+      const structure::SNodeId proc = structure.proc(s.name);
+      prof::CctNodeId parent_frame = cct.root();
+      structure::SNodeId call_site = structure::kSNull;
+      if (s.parent >= 0) {
+        parent_frame = frame_of[static_cast<std::size_t>(s.parent)];
+        const structure::SNodeId caller_proc =
+            structure.proc(t.spans[static_cast<std::size_t>(s.parent)].name);
+        call_site = structure.call_site(caller_proc, proc);
+      }
+      frame_of[i] = cct.find_or_add_child(parent_frame, prof::CctKind::kFrame,
+                                          proc, call_site);
+
+      const std::uint64_t dur =
+          s.end_ns > s.start_ns ? s.end_ns - s.start_ns : 0;
+      const std::uint64_t self_ns =
+          dur > child_ns[i] ? dur - child_ns[i] : 0;
+
+      const prof::CctNodeId leaf = cct.find_or_add_child(
+          frame_of[i], prof::CctKind::kStmt, structure.self_stmt(proc));
+      model::EventVector ev;
+      ev[model::Event::kCycles] = static_cast<double>(self_ns);
+      ev[model::Event::kInstructions] = 1.0;  // one entry into the phase
+      cct.add_samples(leaf, ev);
+    }
+  }
+
+  return db::Experiment(std::move(tree), std::move(cct), name,
+                        static_cast<std::uint32_t>(snap.threads.size()));
+}
+
+void save_self_profile(const std::string& path, const std::string& name) {
+  const db::Experiment exp = self_profile_experiment(snapshot(), name);
+  const bool binary =
+      path.size() > 5 && path.substr(path.size() - 5) == ".pvdb";
+  if (binary)
+    db::save_binary(exp, path);
+  else
+    db::save_xml(exp, path);
+}
+
+}  // namespace pathview::obs

@@ -1,0 +1,35 @@
+// Self-profile exporter: convert Pathview's own span trace into a canonical
+// CCT + experiment database, so pvviewer can open Pathview's execution with
+// the paper's three views and hot-path analysis — the tool applied to
+// itself.
+//
+// Mapping:
+//   * every distinct span name becomes a procedure scope in a synthetic
+//     "pathview" load module (file "pathview.self");
+//   * every caller->callee span edge becomes a call-site statement scope in
+//     the caller's procedure, so the Callers View attributes costs to the
+//     contexts that invoked each phase;
+//   * each span instance becomes a CCT frame keyed by that call site, with a
+//     statement child carrying its metrics;
+//   * metrics: cycles = self wall-nanoseconds (duration minus direct
+//     children), instructions = span entry count. Threads merge like ranks.
+#pragma once
+
+#include <string>
+
+#include "pathview/db/experiment.hpp"
+#include "pathview/obs/obs.hpp"
+
+namespace pathview::obs {
+
+/// Build a self-contained experiment database from a trace snapshot.
+/// Throws InvalidArgument when the snapshot contains no spans.
+db::Experiment self_profile_experiment(
+    const TraceSnapshot& snap, const std::string& name = "pathview-self");
+
+/// Snapshot the live trace and write it as an experiment database; the
+/// format is chosen by extension (".pvdb" binary, XML otherwise).
+void save_self_profile(const std::string& path,
+                       const std::string& name = "pathview-self");
+
+}  // namespace pathview::obs

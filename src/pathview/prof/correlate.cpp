@@ -1,5 +1,6 @@
 #include "pathview/prof/correlate.hpp"
 
+#include "pathview/obs/obs.hpp"
 #include "pathview/support/error.hpp"
 
 namespace pathview::prof {
@@ -27,6 +28,7 @@ CctNodeId insert_static_chain(CanonicalCct& cct,
 
 CanonicalCct correlate(const sim::RawProfile& raw,
                        const structure::StructureTree& tree) {
+  PV_SPAN("prof.correlate");
   CanonicalCct cct(&tree);
 
   // Map each raw trie frame to its canonical frame node. Trie parents have
@@ -59,7 +61,9 @@ CanonicalCct correlate(const sim::RawProfile& raw,
 
   // Attribute sample cells: resolve each leaf address to its statement
   // scope and materialize the static chain inside the frame.
-  for (const sim::RawProfile::Cell& cell : raw.cells()) {
+  const std::vector<sim::RawProfile::Cell> cells = raw.cells();
+  PV_COUNTER_ADD("prof.sample_cells", cells.size());
+  for (const sim::RawProfile::Cell& cell : cells) {
     const CctNodeId frame = frame_of[cell.node];
     const structure::SNodeId stmt = tree.stmt_of_addr(cell.leaf);
     if (stmt == structure::kSNull)
@@ -87,6 +91,8 @@ CanonicalCct correlate(const sim::RawProfile& raw,
     map[id] = dst;
     pruned.add_samples(dst, cct.samples(id));
   }
+  PV_COUNTER_ADD("prof.cct_nodes_created", cct.size());
+  PV_COUNTER_ADD("prof.cct_nodes_pruned", cct.size() - pruned.size());
   return pruned;
 }
 

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <thread>
 
+#include "pathview/obs/obs.hpp"
 #include "pathview/prof/correlate.hpp"
 #include "pathview/support/error.hpp"
 
@@ -11,6 +12,7 @@ namespace pathview::prof {
 std::vector<CanonicalCct> correlate_all(
     const std::vector<sim::RawProfile>& ranks,
     const structure::StructureTree& tree, std::uint32_t nthreads) {
+  PV_SPAN("prof.correlate_all");
   std::vector<CanonicalCct> out;
   out.reserve(ranks.size());
   for (std::size_t i = 0; i < ranks.size(); ++i)
@@ -41,9 +43,11 @@ std::vector<CanonicalCct> correlate_all(
 }
 
 CanonicalCct merge_all(const std::vector<CanonicalCct>& parts) {
+  PV_SPAN("prof.merge_all");
   if (parts.empty()) throw InvalidArgument("merge_all: no profiles");
   CanonicalCct acc(&parts.front().tree());
   for (const CanonicalCct& p : parts) acc.merge(p);
+  PV_COUNTER_ADD("prof.merged_cct_nodes", acc.size());
   return acc;
 }
 

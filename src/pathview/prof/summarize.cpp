@@ -1,5 +1,6 @@
 #include "pathview/prof/summarize.hpp"
 
+#include "pathview/obs/obs.hpp"
 #include "pathview/support/error.hpp"
 
 namespace pathview::prof {
@@ -7,6 +8,7 @@ namespace pathview::prof {
 SummaryCct summarize(const std::vector<sim::RawProfile>& ranks,
                      const structure::StructureTree& tree,
                      std::uint32_t nthreads) {
+  PV_SPAN("prof.summarize");
   if (ranks.empty()) throw InvalidArgument("summarize: no rank profiles");
 
   std::vector<CanonicalCct> parts = correlate_all(ranks, tree, nthreads);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "pathview/obs/obs.hpp"
 #include "pathview/support/error.hpp"
 
 namespace pathview::sim {
@@ -21,6 +22,7 @@ ExecutionEngine::ExecutionEngine(const model::Program& prog,
 }
 
 RawProfile ExecutionEngine::run() {
+  PV_SPAN("sim.engine.run");
   profile_ = RawProfile();
   profile_.rank = cfg_.rank;
   true_totals_ = model::EventVector{};
@@ -33,6 +35,12 @@ RawProfile ExecutionEngine::run() {
   ++active_[entry];
   exec_body(prog_.proc(entry).body, entry_node, model::kTopLevelFrame, 1);
   --active_[entry];
+
+  PV_COUNTER_ADD("sim.stmt_visits", visits_);
+  PV_COUNTER_ADD("sim.trie_nodes", profile_.nodes().size());
+  for (std::size_t e = 0; e < model::kNumEvents; ++e)
+    PV_COUNTER_ADD("sim.samples",
+                   profile_.sample_count(static_cast<model::Event>(e)));
   return std::move(profile_);
 }
 

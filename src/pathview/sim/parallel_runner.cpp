@@ -3,6 +3,7 @@
 #include <atomic>
 #include <thread>
 
+#include "pathview/obs/obs.hpp"
 #include "pathview/support/error.hpp"
 
 namespace pathview::sim {
@@ -10,6 +11,7 @@ namespace pathview::sim {
 std::vector<RawProfile> run_parallel(const model::Program& prog,
                                      const model::AddressSpace& aspace,
                                      const ParallelConfig& cfg) {
+  PV_SPAN("sim.run_parallel");
   if (cfg.nranks == 0) throw InvalidArgument("run_parallel: nranks == 0");
   const std::uint32_t tpr = std::max(1u, cfg.threads_per_rank);
   const std::uint32_t contexts = cfg.nranks * tpr;

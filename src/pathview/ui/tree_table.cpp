@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "pathview/obs/obs.hpp"
 #include "pathview/support/format.hpp"
 
 namespace pathview::ui {
@@ -28,6 +29,7 @@ std::string render_nav_label(core::View& view, core::ViewNodeId id, int depth,
 
 std::string render_tree_table(core::View& view, const ExpansionState& exp,
                               const TreeTableOptions& opts) {
+  PV_SPAN("ui.render_tree_table");
   std::vector<metrics::ColumnId> cols = opts.columns;
   if (cols.empty())
     for (metrics::ColumnId c = 0; c < view.table().num_columns(); ++c)
@@ -114,6 +116,7 @@ std::string render_tree_table(core::View& view, const ExpansionState& exp,
     }
   }
   if (truncated) out += "... (truncated)\n";
+  PV_COUNTER_ADD("ui.rows_rendered", rows);
   return out;
 }
 

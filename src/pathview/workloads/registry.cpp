@@ -1,5 +1,6 @@
 #include "pathview/workloads/registry.hpp"
 
+#include "pathview/obs/obs.hpp"
 #include "pathview/sim/parallel_runner.hpp"
 #include "pathview/support/error.hpp"
 #include "pathview/workloads/combustion.hpp"
@@ -67,6 +68,7 @@ Workload make_workload(const std::string& name, std::uint32_t nranks,
 
 std::vector<sim::RawProfile> profile_workload(const Workload& w,
                                               std::uint32_t nranks) {
+  PV_SPAN("workloads.profile_workload");
   sim::ParallelConfig pc;
   pc.nranks = nranks == 0 ? 1 : nranks;
   pc.base = w.run;

@@ -1,0 +1,277 @@
+// Tests for the self-instrumentation layer (pathview/obs): span recording
+// and nesting, counter accumulation across threads, disabled-mode no-ops,
+// the exporters, and the self-profile round trip through the experiment
+// database formats.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "pathview/core/callers_view.hpp"
+#include "pathview/core/cct_view.hpp"
+#include "pathview/core/flat_view.hpp"
+#include "pathview/metrics/attribution.hpp"
+#include "pathview/obs/export.hpp"
+#include "pathview/obs/obs.hpp"
+#include "pathview/obs/self_profile.hpp"
+#include "pathview/support/error.hpp"
+
+namespace pathview {
+namespace {
+
+// Tests driving the PV_* macros can't observe anything when the macros are
+// compiled out; the direct-API tests below still run in that configuration.
+#if defined(PATHVIEW_OBS_DISABLED)
+#define SKIP_IF_COMPILED_OUT() GTEST_SKIP() << "obs macros compiled out"
+#else
+#define SKIP_IF_COMPILED_OUT() static_cast<void>(0)
+#endif
+
+/// Every test starts from a clean, enabled tracer and leaves it disabled.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::reset();
+  }
+  void TearDown() override {
+    obs::reset();
+    obs::set_enabled(false);
+  }
+
+  /// This thread's spans from a fresh snapshot (other tests' threads may
+  /// have registered buffers; tests only spawn threads they join).
+  static std::vector<obs::SpanRecord> my_spans() {
+    const obs::TraceSnapshot snap = obs::snapshot();
+    std::vector<obs::SpanRecord> all;
+    for (const obs::ThreadTrace& t : snap.threads)
+      all.insert(all.end(), t.spans.begin(), t.spans.end());
+    return all;
+  }
+};
+
+TEST_F(ObsTest, SpanNestingRecordsParentsAndOrder) {
+  SKIP_IF_COMPILED_OUT();
+  {
+    PV_SPAN("outer");
+    {
+      PV_SPAN("mid");
+      { PV_SPAN("inner"); }
+    }
+    { PV_SPAN("sibling"); }
+  }
+  const auto spans = my_spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // Spans are recorded at entry, so parents precede children.
+  EXPECT_STREQ(spans[0].name, "outer");
+  EXPECT_STREQ(spans[1].name, "mid");
+  EXPECT_STREQ(spans[2].name, "inner");
+  EXPECT_STREQ(spans[3].name, "sibling");
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[1].parent, 0);
+  EXPECT_EQ(spans[2].parent, 1);
+  EXPECT_EQ(spans[3].parent, 0);
+  for (const obs::SpanRecord& s : spans) {
+    EXPECT_GE(s.end_ns, s.start_ns) << s.name;
+    if (s.parent >= 0) {
+      EXPECT_GE(s.start_ns, spans[static_cast<std::size_t>(s.parent)].start_ns);
+      EXPECT_LE(s.end_ns, spans[static_cast<std::size_t>(s.parent)].end_ns);
+    }
+  }
+}
+
+TEST_F(ObsTest, SnapshotClampsOpenSpans) {
+  const std::size_t idx = obs::begin_span("open");
+  const auto spans = my_spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_GE(spans[0].end_ns, spans[0].start_ns);  // clamped to "now", not 0
+  obs::end_span(idx);
+}
+
+TEST_F(ObsTest, CountersAccumulateAcrossThreads) {
+  SKIP_IF_COMPILED_OUT();
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 1000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([] {
+      for (int i = 0; i < kAdds; ++i) PV_COUNTER_ADD("test.mt_adds", 3);
+    });
+  for (std::thread& th : pool) th.join();
+  EXPECT_EQ(obs::counter("test.mt_adds").value(),
+            static_cast<std::uint64_t>(kThreads) * kAdds * 3);
+}
+
+TEST_F(ObsTest, EachThreadGetsItsOwnSpanBuffer) {
+  SKIP_IF_COMPILED_OUT();
+  constexpr int kThreads = 4;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([] {
+      PV_SPAN("worker.outer");
+      PV_SPAN("worker.inner");
+    });
+  for (std::thread& th : pool) th.join();
+
+  const obs::TraceSnapshot snap = obs::snapshot();
+  int worker_threads = 0;
+  for (const obs::ThreadTrace& t : snap.threads) {
+    if (t.spans.empty() ||
+        std::string(t.spans[0].name) != "worker.outer")
+      continue;
+    ++worker_threads;
+    ASSERT_EQ(t.spans.size(), 2u);
+    EXPECT_EQ(t.spans[1].parent, 0);  // nesting stays within the thread
+  }
+  EXPECT_EQ(worker_threads, kThreads);
+}
+
+TEST_F(ObsTest, GaugeSetOverwrites) {
+  SKIP_IF_COMPILED_OUT();
+  PV_COUNTER_SET("test.gauge", 7);
+  PV_COUNTER_SET("test.gauge", 5);
+  EXPECT_EQ(obs::counter("test.gauge").value(), 5u);
+}
+
+TEST_F(ObsTest, ResetClearsSpansAndZeroesCounters) {
+  SKIP_IF_COMPILED_OUT();
+  { PV_SPAN("gone"); }
+  PV_COUNTER_ADD("test.reset_me", 42);
+  obs::reset();
+  EXPECT_TRUE(my_spans().empty());
+  EXPECT_EQ(obs::counter("test.reset_me").value(), 0u);
+}
+
+TEST_F(ObsTest, DisabledModeRecordsNothing) {
+  obs::set_enabled(false);
+  { PV_SPAN("invisible"); }
+  PV_COUNTER_ADD("test.invisible", 99);
+  obs::set_enabled(true);
+  EXPECT_TRUE(my_spans().empty());
+  const obs::TraceSnapshot snap = obs::snapshot();
+  for (const auto& [name, value] : snap.counters)
+    EXPECT_NE(name, "test.invisible");
+}
+
+TEST_F(ObsTest, SpanOpenedWhileEnabledClosesAfterDisable) {
+  SKIP_IF_COMPILED_OUT();
+  {
+    PV_SPAN("toggled");
+    obs::set_enabled(false);
+  }  // Span captured enabled() at construction, so it must still close.
+  obs::set_enabled(true);
+  const auto spans = my_spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_GT(spans[0].end_ns, 0u);
+}
+
+TEST_F(ObsTest, ChromeTraceContainsSpansAndCounters) {
+  SKIP_IF_COMPILED_OUT();
+  {
+    PV_SPAN("phase.a");
+    { PV_SPAN("phase.b"); }
+  }
+  PV_COUNTER_ADD("test.bytes", 123);
+  const std::string json = obs::to_chrome_trace(obs::snapshot());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase.a\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase.b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("test.bytes"), std::string::npos);
+}
+
+TEST_F(ObsTest, PhaseSummaryAggregatesByName) {
+  SKIP_IF_COMPILED_OUT();
+  for (int i = 0; i < 3; ++i) { PV_SPAN("phase.repeat"); }
+  PV_COUNTER_ADD("test.summary_ctr", 17);
+  const std::string text = obs::phase_summary(obs::snapshot());
+  EXPECT_NE(text.find("phase.repeat"), std::string::npos);
+  EXPECT_NE(text.find("test.summary_ctr"), std::string::npos);
+  EXPECT_NE(text.find("17"), std::string::npos);
+}
+
+TEST_F(ObsTest, SelfProfileBuildsThreeOpenableViews) {
+  SKIP_IF_COMPILED_OUT();
+  {
+    PV_SPAN("tool.run");
+    {
+      PV_SPAN("load");
+      { PV_SPAN("parse"); }
+    }
+    { PV_SPAN("render"); }
+  }
+  const db::Experiment exp = obs::self_profile_experiment(obs::snapshot());
+  EXPECT_EQ(exp.nranks(), 1u);
+  EXPECT_GT(exp.cct().size(), 1u);
+
+  const metrics::Attribution attr =
+      metrics::attribute_metrics(exp.cct(), metrics::all_events());
+  core::CctView cct_view(exp.cct(), attr);
+  core::CallersView callers(exp.cct(), attr);
+  core::FlatView flat(exp.cct(), attr);
+  EXPECT_GT(cct_view.size(), 1u);
+  EXPECT_GT(callers.size(), 1u);
+  EXPECT_GT(flat.size(), 1u);
+
+  // Inclusive cycles at the root must equal the sum over thread roots —
+  // self times of all spans add back up to the covered wall time.
+  const metrics::ColumnId incl = attr.cols.inclusive(model::Event::kCycles);
+  EXPECT_GT(attr.table.get(incl, cct_view.node(cct_view.root()).origin),
+            0.0);
+}
+
+TEST_F(ObsTest, SelfProfileMergesThreadsLikeRanks) {
+  SKIP_IF_COMPILED_OUT();
+  constexpr int kThreads = 3;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([] { PV_SPAN("parallel.phase"); });
+  for (std::thread& th : pool) th.join();
+
+  const db::Experiment exp = obs::self_profile_experiment(obs::snapshot());
+  EXPECT_EQ(exp.nranks(), static_cast<std::uint32_t>(kThreads));
+  // Identical per-thread call paths dedup into one canonical path.
+  std::size_t frames = 0;
+  for (prof::CctNodeId n = 0; n < exp.cct().size(); ++n)
+    if (exp.cct().node(n).kind == prof::CctKind::kFrame) ++frames;
+  EXPECT_EQ(frames, 1u);
+}
+
+TEST_F(ObsTest, SelfProfileRoundTripsThroughXmlAndBinary) {
+  SKIP_IF_COMPILED_OUT();
+  {
+    PV_SPAN("root");
+    { PV_SPAN("child"); }
+    { PV_SPAN("child"); }
+  }
+  PV_COUNTER_ADD("test.rt", 1);
+  const db::Experiment exp =
+      obs::self_profile_experiment(obs::snapshot(), "rt-self");
+
+  std::string why;
+  const db::Experiment via_xml = db::from_xml(db::to_xml(exp));
+  EXPECT_TRUE(db::Experiment::equivalent(exp, via_xml, &why)) << why;
+  const db::Experiment via_bin = db::from_binary(db::to_binary(exp));
+  EXPECT_TRUE(db::Experiment::equivalent(exp, via_bin, &why)) << why;
+  EXPECT_EQ(via_xml.name(), "rt-self");
+}
+
+TEST_F(ObsTest, SelfProfileOnEmptySnapshotThrows) {
+  obs::reset();
+  EXPECT_THROW(obs::self_profile_experiment(obs::snapshot()),
+               InvalidArgument);
+}
+
+TEST(ObsMacroTest, MacrosCompileInAnyConfiguration) {
+  // In -DPATHVIEW_OBS_DISABLED builds the macros expand to no-ops; either
+  // way this must compile and record nothing while disabled.
+  obs::set_enabled(false);
+  PV_SPAN("noop");
+  PV_COUNTER_ADD("noop.ctr", 1);
+  PV_COUNTER_SET("noop.gauge", 2);
+}
+
+}  // namespace
+}  // namespace pathview

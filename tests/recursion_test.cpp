@@ -125,7 +125,9 @@ TEST_F(MutualRecursionTest, CallersViewExposedOnly) {
   expect(v, br, 14, 2, "b root");
   // Both b instances share the a->b call site, so they merge into ONE
   // caller group whose exposed cost is b1's (b2 is nested inside b1).
-  const auto& callers = v.children_of(br);
+  // Copy the ids: children_of returns a reference into the node table,
+  // which lazy child building below may reallocate.
+  const std::vector<ViewNodeId> callers = v.children_of(br);
   ASSERT_EQ(callers.size(), 1u);
   expect(v, callers[0], 14, 2, "b via a (merged group)");
   // One level deeper the group splits: b1's path goes to m, b2's to b.

@@ -153,6 +153,76 @@ TEST(Stats, Quantile) {
   EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
 }
 
+TEST(Stats, MergeEmptyIsIdentity) {
+  OnlineStats a, empty;
+  for (double x : {1.0, 5.0, 3.0}) a.add(x);
+  a.merge(empty);  // rhs empty: no change
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+
+  OnlineStats b;
+  b.merge(a);  // lhs empty: adopt rhs wholesale
+  EXPECT_EQ(b.count(), 3u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(b.variance(), a.variance());
+
+  OnlineStats c, d;
+  c.merge(d);  // both empty stays empty
+  EXPECT_EQ(c.count(), 0u);
+  EXPECT_EQ(c.mean(), 0.0);
+}
+
+TEST(Stats, MergeSingletons) {
+  OnlineStats a, b;
+  a.add(2.0);
+  b.add(8.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 9.0);  // population variance of {2, 8}
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 8.0);
+}
+
+TEST(Stats, ZerosTracksMinMax) {
+  // zeros(n) models n ranks that never touched a scope: the implicit
+  // observations are zero-cost, so they must participate in min/max.
+  OnlineStats z = OnlineStats::zeros(3);
+  EXPECT_DOUBLE_EQ(z.min(), 0.0);
+  EXPECT_DOUBLE_EQ(z.max(), 0.0);
+  z.add(4.0);
+  EXPECT_DOUBLE_EQ(z.min(), 0.0);  // the zero observations keep min at 0
+  EXPECT_DOUBLE_EQ(z.max(), 4.0);
+  EXPECT_DOUBLE_EQ(z.sum(), 4.0);
+  EXPECT_EQ(z.count(), 4u);
+}
+
+TEST(Stats, ZerosMergesLikeObservations) {
+  OnlineStats a;
+  a.add(6.0);
+  a.merge(OnlineStats::zeros(2));
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 6.0);
+}
+
+TEST(Stats, QuantileEdges) {
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 0.0), 7.0);  // single element at any q
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 1.0), 7.0);
+  // q outside [0,1] clamps rather than extrapolating.
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0, 3.0}, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0, 3.0}, 2.0), 3.0);
+  // Interpolation between adjacent order statistics.
+  EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 0.75), 7.5);
+  // Input order must not matter.
+  EXPECT_DOUBLE_EQ(quantile({5.0, 1.0, 3.0}, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile({5.0, 1.0, 3.0}, 0.0), 1.0);
+}
+
 // --- string table -----------------------------------------------------------
 
 TEST(StringTable, InternIsIdempotent) {

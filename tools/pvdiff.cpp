@@ -17,6 +17,11 @@ using namespace pathview;
 
 namespace {
 
+const char kUsage[] =
+    "usage: pvdiff <base.{xml|pvdb}> <scaled.{xml|pvdb}> "
+    "[--event E] [--mode strong|weak] [--ranks-base N] "
+    "[--ranks-scaled M] [--top N]\n";
+
 db::Experiment load(const std::string& path) {
   const bool binary =
       path.size() > 5 && path.substr(path.size() - 5) == ".pvdb";
@@ -27,63 +32,69 @@ db::Experiment load(const std::string& path) {
 
 int main(int argc, char** argv) {
   tools::Args args(argc, argv);
-  if (args.positional.size() != 2) {
-    std::fprintf(stderr,
-                 "usage: pvdiff <base.{xml|pvdb}> <scaled.{xml|pvdb}> "
-                 "[--event E] [--mode strong|weak] [--ranks-base N] "
-                 "[--ranks-scaled M] [--top N]\n");
-    return 2;
-  }
+  int exit_code = 0;
+  if (tools::handle_common_flags(args, "pvdiff", kUsage, &exit_code))
+    return exit_code;
+  if (args.positional.size() != 2) return tools::usage_error(kUsage);
   try {
-    const db::Experiment base = load(args.positional[0]);
-    const db::Experiment scaled = load(args.positional[1]);
+    tools::ObsSession obs_session(args, "pvdiff");
+    {
+      PV_SPAN("pvdiff.run");
+      const db::Experiment base = load(args.positional[0]);
+      const db::Experiment scaled = load(args.positional[1]);
 
-    analysis::DiffOptions opts;
-    opts.event = tools::parse_event(args.flag_str("event", "cycles"));
-    const std::string mode = args.flag_str("mode", "strong");
-    if (mode == "weak")
-      opts.mode = metrics::ScalingMode::kWeak;
-    else if (mode != "strong")
-      throw InvalidArgument("bad --mode (strong|weak)");
-    opts.p_base = static_cast<double>(args.flag("ranks-base", base.nranks()));
-    opts.p_scaled =
-        static_cast<double>(args.flag("ranks-scaled", scaled.nranks()));
+      analysis::DiffOptions opts;
+      opts.event = tools::parse_event(args.flag_str("event", "cycles"));
+      const std::string mode = args.flag_str("mode", "strong");
+      if (mode == "weak")
+        opts.mode = metrics::ScalingMode::kWeak;
+      else if (mode != "strong")
+        throw InvalidArgument("bad --mode (strong|weak)");
+      opts.p_base =
+          static_cast<double>(args.flag("ranks-base", base.nranks()));
+      opts.p_scaled =
+          static_cast<double>(args.flag("ranks-scaled", scaled.nranks()));
 
-    const analysis::ExperimentDiff d = analysis::diff_experiments(base, scaled, opts);
-    const prof::CanonicalCct& u = *d.cct;
+      const analysis::ExperimentDiff d =
+          analysis::diff_experiments(base, scaled, opts);
+      const prof::CanonicalCct& u = *d.cct;
 
-    std::printf("base '%s' (%zu scopes) vs scaled '%s' (%zu scopes); union "
-                "has %zu scopes\n",
-                base.name().c_str(), base.cct().size(), scaled.name().c_str(),
-                scaled.cct().size(), u.size());
-    std::printf("root %s: base %s, scaled %s, loss %s\n\n",
-                model::event_name(opts.event),
-                format_scientific(d.table.get(d.base_col, 0)).c_str(),
-                format_scientific(d.table.get(d.scaled_col, 0)).c_str(),
-                format_scientific(d.table.get(d.loss_col, 0)).c_str());
+      std::printf("base '%s' (%zu scopes) vs scaled '%s' (%zu scopes); union "
+                  "has %zu scopes\n",
+                  base.name().c_str(), base.cct().size(),
+                  scaled.name().c_str(), scaled.cct().size(), u.size());
+      std::printf("root %s: base %s, scaled %s, loss %s\n\n",
+                  model::event_name(opts.event),
+                  format_scientific(d.table.get(d.base_col, 0)).c_str(),
+                  format_scientific(d.table.get(d.scaled_col, 0)).c_str(),
+                  format_scientific(d.table.get(d.loss_col, 0)).c_str());
 
-    // Frames ranked by loss.
-    struct Row {
-      prof::CctNodeId node;
-      double loss;
-    };
-    std::vector<Row> rows;
-    for (prof::CctNodeId n = 1; n < u.size(); ++n)
-      if (u.node(n).kind == prof::CctKind::kFrame ||
-          u.node(n).kind == prof::CctKind::kLoop)
-        rows.push_back(Row{n, d.table.get(d.loss_col, n)});
-    std::sort(rows.begin(), rows.end(),
-              [](const Row& a, const Row& b) { return a.loss > b.loss; });
-    const auto top = static_cast<std::size_t>(args.flag("top", 10));
-    std::printf("%-52s %14s %14s %14s\n", "scope (frames and loops, by loss)",
-                "base", "scaled", "loss");
-    for (std::size_t i = 0; i < rows.size() && i < top; ++i) {
-      const Row& r = rows[i];
-      std::printf("%-52s %14s %14s %14s\n", u.label(r.node).c_str(),
-                  format_scientific(d.table.get(d.base_col, r.node)).c_str(),
-                  format_scientific(d.table.get(d.scaled_col, r.node)).c_str(),
-                  format_scientific(r.loss).c_str());
+      // Frames ranked by loss.
+      struct Row {
+        prof::CctNodeId node;
+        double loss;
+      };
+      std::vector<Row> rows;
+      for (prof::CctNodeId n = 1; n < u.size(); ++n)
+        if (u.node(n).kind == prof::CctKind::kFrame ||
+            u.node(n).kind == prof::CctKind::kLoop)
+          rows.push_back(Row{n, d.table.get(d.loss_col, n)});
+      std::sort(rows.begin(), rows.end(),
+                [](const Row& a, const Row& b) { return a.loss > b.loss; });
+      const auto top = static_cast<std::size_t>(args.flag("top", 10));
+      std::printf("%-52s %14s %14s %14s\n",
+                  "scope (frames and loops, by loss)", "base", "scaled",
+                  "loss");
+      for (std::size_t i = 0; i < rows.size() && i < top; ++i) {
+        const Row& r = rows[i];
+        std::printf(
+            "%-52s %14s %14s %14s\n", u.label(r.node).c_str(),
+            format_scientific(d.table.get(d.base_col, r.node)).c_str(),
+            format_scientific(d.table.get(d.scaled_col, r.node)).c_str(),
+            format_scientific(r.loss).c_str());
+      }
     }
+    obs_session.finish();
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pvdiff: %s\n", e.what());

@@ -14,40 +14,54 @@
 
 using namespace pathview;
 
+namespace {
+
+const char kUsage[] =
+    "usage: pvprof <workload> -o out.{xml|pvdb} [--ranks N] "
+    "[--seed S] [--measurements dir]\n"
+    "  --measurements: correlate hpcrun-style files written by\n"
+    "                  'pvrun <workload> -o dir' instead of\n"
+    "                  re-running the simulation\n";
+
+}  // namespace
+
 int main(int argc, char** argv) {
   tools::Args args(argc, argv);
+  int exit_code = 0;
+  if (tools::handle_common_flags(args, "pvprof", kUsage, &exit_code))
+    return exit_code;
   const std::string out = args.flag_str("o", args.flag_str("output", ""));
-  if (args.positional.empty() || out.empty()) {
-    std::fprintf(stderr,
-                 "usage: pvprof <workload> -o out.{xml|pvdb} [--ranks N] "
-                 "[--seed S] [--measurements dir]\n"
-                 "  --measurements: correlate hpcrun-style files written by\n"
-                 "                  'pvrun <workload> -o dir' instead of\n"
-                 "                  re-running the simulation\n");
-    return 2;
-  }
+  if (args.positional.empty() || out.empty())
+    return tools::usage_error(kUsage);
   try {
-    const auto nranks = static_cast<std::uint32_t>(args.flag("ranks", 1));
-    const auto seed = static_cast<std::uint64_t>(args.flag("seed", 42));
-    workloads::Workload w =
-        workloads::make_workload(args.positional[0], nranks, seed);
-    const std::string mdir = args.flag_str("measurements", "");
-    const auto raws = mdir.empty()
-                          ? workloads::profile_workload(w, nranks)
-                          : db::load_measurements(mdir);
-    const auto parts = prof::correlate_all(raws, *w.tree);
-    const prof::CanonicalCct merged = prof::merge_all(parts);
+    tools::ObsSession obs_session(args, "pvprof");
+    {
+      PV_SPAN("pvprof.run");
+      const auto nranks = static_cast<std::uint32_t>(args.flag("ranks", 1));
+      const auto seed = static_cast<std::uint64_t>(args.flag("seed", 42));
+      workloads::Workload w =
+          workloads::make_workload(args.positional[0], nranks, seed);
+      const std::string mdir = args.flag_str("measurements", "");
+      const auto raws = mdir.empty()
+                            ? workloads::profile_workload(w, nranks)
+                            : db::load_measurements(mdir);
+      const auto parts = prof::correlate_all(raws, *w.tree);
+      const prof::CanonicalCct merged = prof::merge_all(parts);
 
-    db::Experiment exp =
-        db::Experiment::capture(*w.tree, merged, args.positional[0], nranks);
-    const bool binary = out.size() > 5 && out.substr(out.size() - 5) == ".pvdb";
-    if (binary)
-      db::save_binary(exp, out);
-    else
-      db::save_xml(exp, out);
-    std::printf("wrote %s experiment '%s' (%zu CCT scopes, %zu rank(s)) to %s\n",
-                binary ? "binary" : "XML", exp.name().c_str(),
-                exp.cct().size(), raws.size(), out.c_str());
+      db::Experiment exp =
+          db::Experiment::capture(*w.tree, merged, args.positional[0], nranks);
+      const bool binary =
+          out.size() > 5 && out.substr(out.size() - 5) == ".pvdb";
+      if (binary)
+        db::save_binary(exp, out);
+      else
+        db::save_xml(exp, out);
+      std::printf(
+          "wrote %s experiment '%s' (%zu CCT scopes, %zu rank(s)) to %s\n",
+          binary ? "binary" : "XML", exp.name().c_str(), exp.cct().size(),
+          raws.size(), out.c_str());
+    }
+    obs_session.finish();
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pvprof: %s\n", e.what());

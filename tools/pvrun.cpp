@@ -13,50 +13,68 @@
 
 using namespace pathview;
 
+namespace {
+
+std::string usage_text() {
+  std::string usage =
+      "usage: pvrun <workload> [--ranks N] [--seed S] [--top N] "
+      "[--event NAME] [-o measurement-dir]\nworkloads:\n";
+  for (const auto& wl : workloads::list_workloads()) {
+    char line[128];
+    std::snprintf(line, sizeof(line), "  %-22s %s\n", wl.name.c_str(),
+                  wl.description.c_str());
+    usage += line;
+  }
+  return usage;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   tools::Args args(argc, argv);
-  if (args.positional.empty()) {
-    std::fprintf(stderr,
-                 "usage: pvrun <workload> [--ranks N] [--seed S] [--top N] "
-                 "[--event NAME] [-o measurement-dir]\nworkloads:\n");
-    for (const auto& wl : workloads::list_workloads())
-      std::fprintf(stderr, "  %-22s %s\n", wl.name.c_str(),
-                   wl.description.c_str());
-    return 2;
-  }
+  int exit_code = 0;
+  if (tools::handle_common_flags(args, "pvrun", usage_text(), &exit_code))
+    return exit_code;
+  if (args.positional.empty()) return tools::usage_error(usage_text());
   try {
-    const auto nranks = static_cast<std::uint32_t>(args.flag("ranks", 1));
-    const auto seed = static_cast<std::uint64_t>(args.flag("seed", 42));
-    const auto top = static_cast<std::size_t>(args.flag("top", 25));
-    const model::Event event = tools::parse_event(args.flag_str("event", "cycles"));
+    tools::ObsSession obs_session(args, "pvrun");
+    {
+      PV_SPAN("pvrun.run");
+      const auto nranks = static_cast<std::uint32_t>(args.flag("ranks", 1));
+      const auto seed = static_cast<std::uint64_t>(args.flag("seed", 42));
+      const auto top = static_cast<std::size_t>(args.flag("top", 25));
+      const model::Event event =
+          tools::parse_event(args.flag_str("event", "cycles"));
 
-    workloads::Workload w =
-        workloads::make_workload(args.positional[0], nranks, seed);
-    const auto profiles = workloads::profile_workload(w, nranks);
+      workloads::Workload w =
+          workloads::make_workload(args.positional[0], nranks, seed);
+      const auto profiles = workloads::profile_workload(w, nranks);
 
-    model::EventVector totals;
-    for (const auto& p : profiles) totals += p.totals();
-    std::printf("workload '%s', %u rank(s)\n", args.positional[0].c_str(),
-                nranks);
-    for (std::size_t e = 0; e < model::kNumEvents; ++e)
-      if (totals.v[e] > 0)
-        std::printf("  %-14s %.6g\n",
-                    model::event_name(static_cast<model::Event>(e)),
-                    totals.v[e]);
+      model::EventVector totals;
+      for (const auto& p : profiles) totals += p.totals();
+      std::printf("workload '%s', %u rank(s)\n", args.positional[0].c_str(),
+                  nranks);
+      for (std::size_t e = 0; e < model::kNumEvents; ++e)
+        if (totals.v[e] > 0)
+          std::printf("  %-14s %.6g\n",
+                      model::event_name(static_cast<model::Event>(e)),
+                      totals.v[e]);
 
-    const std::string outdir = args.flag_str("o", "");
-    if (!outdir.empty()) {
-      db::save_measurements(profiles, outdir);
-      std::printf("wrote %zu measurement file(s) to %s/\n", profiles.size(),
-                  outdir.c_str());
+      const std::string outdir = args.flag_str("o", "");
+      if (!outdir.empty()) {
+        db::save_measurements(profiles, outdir);
+        std::printf("wrote %zu measurement file(s) to %s/\n", profiles.size(),
+                    outdir.c_str());
+      }
+
+      std::printf("\nrank 0 object-code view (top %zu by %s):\n", top,
+                  model::event_name(event));
+      std::fputs(ui::render_object_view(profiles[0], w.lowering->image(),
+                                        event, top)
+                     .c_str(),
+                 stdout);
     }
-
-    std::printf("\nrank 0 object-code view (top %zu by %s):\n", top,
-                model::event_name(event));
-    std::fputs(ui::render_object_view(profiles[0], w.lowering->image(), event,
-                                      top)
-                   .c_str(),
-               stdout);
+    obs_session.finish();
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pvrun: %s\n", e.what());

@@ -16,32 +16,43 @@
 
 using namespace pathview;
 
+namespace {
+
+const char kUsage[] = "usage: pvviewer <experiment.{xml|pvdb}>\n";
+
+}  // namespace
+
 int main(int argc, char** argv) {
   tools::Args args(argc, argv);
-  if (args.positional.empty()) {
-    std::fprintf(stderr, "usage: pvviewer <experiment.{xml|pvdb}>\n");
-    return 2;
-  }
+  int exit_code = 0;
+  if (tools::handle_common_flags(args, "pvviewer", kUsage, &exit_code))
+    return exit_code;
+  if (args.positional.empty()) return tools::usage_error(kUsage);
   try {
-    const std::string& path = args.positional[0];
-    const bool binary =
-        path.size() > 5 && path.substr(path.size() - 5) == ".pvdb";
-    const db::Experiment exp =
-        binary ? db::load_binary(path) : db::load_xml(path);
-    std::printf("experiment '%s': %zu CCT scopes, %u rank(s), %zu stored "
-                "derived metric(s)\n",
-                exp.name().c_str(), exp.cct().size(), exp.nranks(),
-                exp.user_metrics().size());
+    tools::ObsSession obs_session(args, "pvviewer");
+    {
+      PV_SPAN("pvviewer.run");
+      const std::string& path = args.positional[0];
+      const bool binary =
+          path.size() > 5 && path.substr(path.size() - 5) == ".pvdb";
+      const db::Experiment exp =
+          binary ? db::load_binary(path) : db::load_xml(path);
+      std::printf("experiment '%s': %zu CCT scopes, %u rank(s), %zu stored "
+                  "derived metric(s)\n",
+                  exp.name().c_str(), exp.cct().size(), exp.nranks(),
+                  exp.user_metrics().size());
 
-    const metrics::Attribution attr =
-        metrics::attribute_metrics(exp.cct(), metrics::all_events());
-    ui::ViewerController viewer(exp.cct(), attr);
-    // Re-apply the experiment's saved derived metrics across all views.
-    for (const metrics::MetricDesc& d : exp.user_metrics())
-      viewer.add_derived(d.name, d.formula);
+      const metrics::Attribution attr =
+          metrics::attribute_metrics(exp.cct(), metrics::all_events());
+      ui::ViewerController viewer(exp.cct(), attr);
+      // Re-apply the experiment's saved derived metrics across all views.
+      for (const metrics::MetricDesc& d : exp.user_metrics())
+        viewer.add_derived(d.name, d.formula);
 
-    ui::CommandInterpreter interp(viewer, std::cout);
-    interp.run(std::cin, /*prompt=*/true);
+      ui::CommandInterpreter interp(viewer, std::cout);
+      interp.run(std::cin, /*prompt=*/true);
+    }
+    obs_session.finish();
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pvviewer: %s\n", e.what());

@@ -1,14 +1,34 @@
-// Tiny argument-parsing helpers shared by the pathview CLI tools.
+// Tiny argument-parsing helpers shared by the pathview CLI tools, plus the
+// common flag surface every tool exposes: --help / --version and the
+// observability trio (--trace, --pv-stats, --self-profile).
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "pathview/model/program.hpp"
+#include "pathview/obs/export.hpp"
+#include "pathview/obs/obs.hpp"
+#include "pathview/obs/self_profile.hpp"
 #include "pathview/support/error.hpp"
 
 namespace pathview::tools {
+
+inline constexpr const char* kVersion = "0.2.0";
+
+/// Common-flag help text appended to every tool's usage string.
+inline constexpr const char* kCommonUsage =
+    "common flags:\n"
+    "  --trace FILE.json          write a Chrome trace-event file of this\n"
+    "                             run (also enabled by $PATHVIEW_TRACE)\n"
+    "  --pv-stats                 print a phase/counter summary to stderr\n"
+    "  --self-profile FILE.{xml|pvdb}\n"
+    "                             write this run's span tree as an\n"
+    "                             experiment database (open with pvviewer)\n"
+    "  --version                  print version and exit\n"
+    "  --help                     print usage and exit\n";
 
 /// `--name value` / `--name=value` flags plus positional arguments.
 struct Args {
@@ -52,6 +72,80 @@ struct Args {
 
   std::vector<std::pair<std::string, std::string>> flags;
   std::vector<std::string> positional;
+};
+
+/// Handle --help / --version uniformly: help and version go to stdout and
+/// exit 0 (a request, not an error); usage errors are the caller's business
+/// (print `usage` to stderr, exit 2). Returns true when the tool must exit
+/// with `*exit_code`.
+inline bool handle_common_flags(const Args& args, const char* tool,
+                                const std::string& usage, int* exit_code) {
+  if (args.has("help") || args.has("h")) {
+    std::fputs(usage.c_str(), stdout);
+    std::fputs(kCommonUsage, stdout);
+    *exit_code = 0;
+    return true;
+  }
+  if (args.has("version")) {
+    std::printf("%s (pathview) %s\n", tool, kVersion);
+    *exit_code = 0;
+    return true;
+  }
+  return false;
+}
+
+/// Print `usage` (plus the common-flag help) to stderr; returns 2 so tools
+/// can `return tools::usage_error(kUsage);`.
+inline int usage_error(const std::string& usage) {
+  std::fputs(usage.c_str(), stderr);
+  std::fputs(kCommonUsage, stderr);
+  return 2;
+}
+
+/// Per-run observability wiring: enables tracing when any of --trace,
+/// --pv-stats, --self-profile or $PATHVIEW_TRACE is present; finish()
+/// writes/prints whatever was requested once the tool's work is done.
+class ObsSession {
+ public:
+  ObsSession(const Args& args, std::string tool) : tool_(std::move(tool)) {
+    trace_path_ = args.flag_str("trace", "");
+    if (trace_path_.empty()) {
+      if (const char* env = std::getenv("PATHVIEW_TRACE"); env && *env)
+        trace_path_ = env;
+    }
+    stats_ = args.has("pv-stats");
+    self_profile_path_ = args.flag_str("self-profile", "");
+    if (!trace_path_.empty() || stats_ || !self_profile_path_.empty())
+      obs::set_enabled(true);
+  }
+
+  /// Emit the requested trace artifacts. Call after all spans have closed.
+  void finish() const {
+    if (trace_path_.empty() && !stats_ && self_profile_path_.empty()) return;
+    const obs::TraceSnapshot snap = obs::snapshot();
+    if (!trace_path_.empty())
+      obs::write_text_file(trace_path_, obs::to_chrome_trace(snap));
+    if (!self_profile_path_.empty()) {
+      const db::Experiment exp =
+          obs::self_profile_experiment(snap, tool_ + "-self");
+      const bool binary = self_profile_path_.size() > 5 &&
+                          self_profile_path_.substr(
+                              self_profile_path_.size() - 5) == ".pvdb";
+      if (binary)
+        db::save_binary(exp, self_profile_path_);
+      else
+        db::save_xml(exp, self_profile_path_);
+    }
+    if (stats_)
+      std::fprintf(stderr, "\n[%s self-instrumentation]\n%s", tool_.c_str(),
+                   obs::phase_summary(snap).c_str());
+  }
+
+ private:
+  std::string tool_;
+  std::string trace_path_;
+  std::string self_profile_path_;
+  bool stats_ = false;
 };
 
 /// "cycles" / "instructions" / "flops" / "l1" / "l2" / "idle".
