@@ -10,7 +10,7 @@
 
 #include "bench_util.hpp"
 #include "pathview/analysis/scaling.hpp"
-#include "pathview/prof/merge.hpp"
+#include "pathview/prof/pipeline.hpp"
 #include "pathview/sim/parallel_runner.hpp"
 #include "pathview/support/format.hpp"
 #include "pathview/workloads/subsurface.hpp"
@@ -25,7 +25,7 @@ prof::CanonicalCct run_merged(workloads::SubsurfaceWorkload& w,
   pc.nranks = nranks;
   pc.base = w.run;
   const auto raws = sim::run_parallel(*w.program, *w.lowering, pc);
-  return prof::merge_all(prof::correlate_all(raws, *w.tree));
+  return prof::Pipeline().run(raws, *w.tree);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 
 #include "bench_util.hpp"
 #include "pathview/analysis/imbalance.hpp"
+#include "pathview/prof/pipeline.hpp"
 #include "pathview/prof/summarize.hpp"
 #include "pathview/sim/parallel_runner.hpp"
 #include "pathview/support/format.hpp"
@@ -27,7 +28,7 @@ int main(int argc, char** argv) {
   pc.base = w.run;
   const auto raws = sim::run_parallel(*w.program, *w.lowering, pc);
   const prof::SummaryCct summary = prof::summarize(raws, *w.tree);
-  const auto parts = prof::correlate_all(raws, *w.tree);
+  const auto parts = prof::Pipeline().correlate(raws, *w.tree);
 
   std::printf("ranks: %u\n\n", nranks);
   std::puts("scopes by total inclusive idleness:");

@@ -1,0 +1,152 @@
+// Reduction-tree merge scaling harness: times prof::Pipeline::merge against
+// the serial left fold (prof::merge_serial) at 64 ranks, across worker-thread
+// counts and reduction arities, and verifies that every configuration
+// produces a bit-identical merged CCT. Two scenarios:
+//   - divergent: recursive, probabilistic call paths — every rank explores a
+//     different region of a huge context space, so the union CCT dwarfs each
+//     part. This is the hard merge case (and the acceptance gate): the serial
+//     fold re-probes an ever-growing hash map, while the reduction tree
+//     merges small cache-resident trees and grafts disjoint subtrees as bulk
+//     copies.
+//   - spmd: every rank executes the same call paths (the paper's
+//     PFLOTRAN/S3D shape); the merge is pure node matching.
+// Writes BENCH_merge_scaling.json with the measured speedups + obs counters.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "pathview/prof/pipeline.hpp"
+#include "pathview/sim/parallel_runner.hpp"
+#include "pathview/workloads/random_program.hpp"
+
+using namespace pathview;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Best-of-`reps` wall-clock of `fn` in seconds.
+template <typename Fn>
+double best_of(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const Clock::time_point t0 = Clock::now();
+    fn();
+    best = std::min(best, seconds_since(t0));
+  }
+  return best;
+}
+
+bool identical(const prof::CanonicalCct& a, const prof::CanonicalCct& b) {
+  if (a.size() != b.size()) return false;
+  for (prof::CctNodeId id = 0; id < a.size(); ++id) {
+    const prof::CctNode& x = a.node(id);
+    const prof::CctNode& y = b.node(id);
+    if (x.kind != y.kind || x.parent != y.parent || x.scope != y.scope ||
+        x.call_site != y.call_site || x.children != y.children)
+      return false;
+    for (std::size_t e = 0; e < model::kNumEvents; ++e)
+      if (a.samples(id).v[e] != b.samples(id).v[e]) return false;
+  }
+  return true;
+}
+
+struct ScenarioResult {
+  bool all_identical = true;
+  double best_4plus = 0.0;  // best speedup with >= 4 worker threads
+};
+
+ScenarioResult run_scenario(bench::Report& rep, const std::string& tag,
+                            const workloads::RandomProgramOptions& wopts,
+                            std::uint32_t nranks, int reps) {
+  workloads::Workload w = workloads::make_random_program(wopts);
+  sim::ParallelConfig pc;
+  pc.nranks = nranks;
+  pc.base = w.run;
+  const std::vector<sim::RawProfile> raws =
+      sim::run_parallel(*w.program, *w.lowering, pc);
+  const std::vector<prof::CanonicalCct> parts =
+      prof::Pipeline().correlate(raws, *w.tree);
+
+  std::size_t part_nodes = 0;
+  for (const prof::CanonicalCct& p : parts) part_nodes += p.size();
+  rep.info(tag + ": mean part CCT nodes",
+           static_cast<double>(part_nodes) / nranks);
+  const prof::CanonicalCct ref = prof::merge_serial(parts);
+  rep.info(tag + ": merged CCT nodes", static_cast<double>(ref.size()));
+  const double serial_s = best_of(reps, [&] { prof::merge_serial(parts); });
+  rep.info(tag + ": serial merge_all fold [ms]", serial_s * 1e3);
+
+  ScenarioResult res;
+  for (const std::uint32_t nthreads : {1u, 2u, 4u, 8u}) {
+    for (const std::uint32_t arity : {2u, 4u}) {
+      prof::PipelineOptions opts;
+      opts.nthreads = nthreads;
+      opts.reduction_arity = arity;
+      const prof::Pipeline pipeline(std::move(opts));
+      res.all_identical &= identical(pipeline.merge(parts), ref);
+      // Both sides borrow `parts`, so the comparison is setup-free.
+      const double tree_s = best_of(reps, [&] { pipeline.merge(parts); });
+      const double speedup = serial_s / tree_s;
+      char what[96];
+      std::snprintf(what, sizeof(what),
+                    "%s: tree merge speedup (threads=%u, arity=%u)",
+                    tag.c_str(), nthreads, arity);
+      rep.info(what, speedup);
+      if (nthreads >= 4) res.best_4plus = std::max(res.best_4plus, speedup);
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  obs::set_enabled(true);
+  constexpr std::uint32_t kRanks = 64;
+
+  bench::Report rep("merge scaling: reduction tree vs serial fold");
+  rep.info("ranks", kRanks);
+
+  // Divergent recursive call paths: union CCT >> each part (acceptance).
+  // Deep nesting with modest fan-out maximizes divergence: each rank samples
+  // a thin slice of a ~3M-node context space (union/part ratio ~56x).
+  workloads::RandomProgramOptions divergent;
+  divergent.seed = 7;
+  divergent.num_files = 8;
+  divergent.num_procs = 56;
+  divergent.max_stmt_depth = 6;
+  divergent.max_body_stmts = 4;
+  const ScenarioResult main_res =
+      run_scenario(rep, "divergent", divergent, kRanks, 3);
+
+  // SPMD shape: every rank runs the same paths; union == each part.
+  workloads::RandomProgramOptions spmd;
+  spmd.seed = 7;
+  spmd.num_files = 8;
+  spmd.num_procs = 64;
+  spmd.max_stmt_depth = 4;
+  spmd.max_body_stmts = 5;
+  spmd.allow_recursion = false;
+  spmd.random_call_probs = false;
+  const ScenarioResult spmd_res = run_scenario(rep, "spmd", spmd, kRanks, 3);
+
+  // Acceptance gates: >= 2x over the serial fold at 64 ranks with >= 4
+  // worker threads on the divergent scenario, and bit-identical output for
+  // every configuration of both scenarios.
+  rep.row("tree merge >= 2x vs serial (64 ranks, >= 4 threads)", 1,
+          main_res.best_4plus >= 2.0 ? 1 : 0, 0);
+  rep.row("bit-identical CCT for all thread/arity configs", 1,
+          main_res.all_identical && spmd_res.all_identical ? 1 : 0, 0);
+  rep.info("best speedup with >= 4 threads", main_res.best_4plus);
+
+  rep.write_json("BENCH_merge_scaling.json");
+  return rep.exit_code();
+}

@@ -17,6 +17,7 @@
 #include "pathview/db/experiment.hpp"
 #include "pathview/metrics/attribution.hpp"
 #include "pathview/metrics/summary.hpp"
+#include "pathview/prof/pipeline.hpp"
 #include "pathview/prof/summarize.hpp"
 #include "pathview/ui/rank_plot.hpp"
 #include "pathview/ui/tree_table.hpp"
@@ -39,7 +40,7 @@ int main(int argc, char** argv) {
   pc.base = w.run;
   const auto raws = sim::run_parallel(*w.program, *w.lowering, pc);
   const prof::SummaryCct summary = prof::summarize(raws, *w.tree);
-  const auto parts = prof::correlate_all(raws, *w.tree);
+  const auto parts = prof::Pipeline().correlate(raws, *w.tree);
 
   std::puts("\n=== scopes ranked by total inclusive idleness ===");
   const analysis::ImbalanceReport rep =

@@ -1,8 +1,9 @@
 #!/bin/sh
 # Full verification: configure, build, run the test suite, then every
 # figure-reproduction harness (each exits nonzero if a paper value drifts
-# out of its tolerance band), and finally the test suite again under
-# ASan+UBSan. Set PATHVIEW_SKIP_SANITIZE=1 to skip the sanitizer pass.
+# out of its tolerance band), the test suite again under ASan+UBSan, and
+# the concurrent pipeline tests under TSan. Set PATHVIEW_SKIP_SANITIZE=1
+# to skip both sanitizer passes.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -25,6 +26,12 @@ if [ "${PATHVIEW_SKIP_SANITIZE:-0}" != "1" ]; then
   cmake -B build-asan -G Ninja -DPATHVIEW_SANITIZE=ON
   cmake --build build-asan
   ctest --test-dir build-asan --output-on-failure
+
+  echo "== sanitizer pass (TSan: pipeline worker pool)"
+  cmake -B build-tsan -G Ninja -DPATHVIEW_SANITIZE=thread
+  cmake --build build-tsan --target prof_test pipeline_test
+  build-tsan/tests/prof_test
+  build-tsan/tests/pipeline_test
 fi
 
 echo "ALL CHECKS PASSED"

@@ -1,5 +1,8 @@
 #include "pathview/prof/cct.hpp"
 
+#include <numeric>
+
+#include "pathview/obs/obs.hpp"
 #include "pathview/support/error.hpp"
 
 namespace pathview::prof {
@@ -26,9 +29,20 @@ CanonicalCct::CanonicalCct(const structure::StructureTree* tree) : tree_(tree) {
   samples_.emplace_back();
 }
 
+void CanonicalCct::ensure_edges() {
+  if (edges_.size() + 1 == nodes_.size()) return;
+  edges_.clear();
+  edges_.reserve(nodes_.size());
+  for (CctNodeId id = 1; id < nodes_.size(); ++id) {
+    const CctNode& n = nodes_[id];
+    edges_.emplace(EdgeKey{n.parent, n.kind, n.scope, n.call_site}, id);
+  }
+}
+
 CctNodeId CanonicalCct::find_or_add_child(CctNodeId parent, CctKind kind,
                                           structure::SNodeId scope,
                                           structure::SNodeId call_site) {
+  ensure_edges();
   const EdgeKey key{parent, kind, scope, call_site};
   if (auto it = edges_.find(key); it != edges_.end()) return it->second;
   const auto id = static_cast<CctNodeId>(nodes_.size());
@@ -41,6 +55,23 @@ CctNodeId CanonicalCct::find_or_add_child(CctNodeId parent, CctKind kind,
   samples_.emplace_back();
   nodes_[parent].children.push_back(id);
   edges_.emplace(key, id);
+  PV_COUNTER_ADD("prof.cct_nodes_allocated", 1);
+  return id;
+}
+
+CctNodeId CanonicalCct::append_child(CctNodeId parent, CctKind kind,
+                                     structure::SNodeId scope,
+                                     structure::SNodeId call_site) {
+  const auto id = static_cast<CctNodeId>(nodes_.size());
+  CctNode n;
+  n.kind = kind;
+  n.parent = parent;
+  n.scope = scope;
+  n.call_site = call_site;
+  nodes_.push_back(std::move(n));
+  samples_.emplace_back();
+  nodes_[parent].children.push_back(id);
+  PV_COUNTER_ADD("prof.cct_nodes_allocated", 1);
   return id;
 }
 
@@ -74,6 +105,20 @@ std::vector<CctNodeId> CanonicalCct::merge(const CanonicalCct& other) {
     samples_[dst] += other.samples_[id];
   }
   return map;
+}
+
+std::vector<CctNodeId> CanonicalCct::merge(CanonicalCct&& other) {
+  if (tree_ != other.tree_)
+    throw InvalidArgument("CanonicalCct::merge: different structure trees");
+  if (nodes_.size() == 1 && samples_[kCctRoot].all_zero() && edges_.empty()) {
+    nodes_ = std::move(other.nodes_);
+    samples_ = std::move(other.samples_);
+    edges_ = std::move(other.edges_);
+    std::vector<CctNodeId> map(nodes_.size());
+    std::iota(map.begin(), map.end(), 0u);
+    return map;
+  }
+  return merge(static_cast<const CanonicalCct&>(other));
 }
 
 CanonicalCct CanonicalCct::clone_with_tree(

@@ -50,6 +50,13 @@ class CanonicalCct {
 
   const structure::StructureTree& tree() const { return *tree_; }
 
+  /// Pre-size node storage for `n` nodes (the two-phase pipeline merge
+  /// knows the union size before materializing; the incremental fold can't).
+  void reserve(std::size_t n) {
+    nodes_.reserve(n);
+    samples_.reserve(n);
+  }
+
   CctNodeId root() const { return kCctRoot; }
   const CctNode& node(CctNodeId id) const { return nodes_[id]; }
   std::size_t size() const { return nodes_.size(); }
@@ -65,6 +72,21 @@ class CanonicalCct {
                               structure::SNodeId scope,
                               structure::SNodeId call_site = structure::kSNull);
 
+  /// Bulk-construction path (used by the pipeline merge, which materializes
+  /// an already-deduplicated union tree): append a child WITHOUT looking for
+  /// an existing sibling of the same identity — the caller guarantees
+  /// uniqueness. The sibling index that backs find_or_add_child is rebuilt
+  /// lazily on its next use.
+  CctNodeId append_child(CctNodeId parent, CctKind kind,
+                         structure::SNodeId scope,
+                         structure::SNodeId call_site = structure::kSNull);
+
+  /// Pre-size one node's child list (bulk-construction companion to
+  /// append_child, when the caller knows the exact child count up front).
+  void reserve_children(CctNodeId id, std::size_t n) {
+    nodes_[id].children.reserve(n);
+  }
+
   /// Sum of raw samples over the whole tree (== per-event totals).
   model::EventVector totals() const;
 
@@ -75,6 +97,11 @@ class CanonicalCct {
   /// Returns the mapping other-node-id -> this-node-id.
   /// Both CCTs must reference the same structure tree.
   std::vector<CctNodeId> merge(const CanonicalCct& other);
+
+  /// Move path: when this tree is still empty (fresh root, no samples) the
+  /// other tree is stolen wholesale — no node allocations, bit-identical to
+  /// the copying merge. Falls back to the copying merge otherwise.
+  std::vector<CctNodeId> merge(CanonicalCct&& other);
 
   /// Deep copy re-bound to `tree` (which must have identical scope ids,
   /// e.g. a copy of the original tree). Used when serializing experiments.
@@ -119,6 +146,9 @@ class CanonicalCct {
       return static_cast<std::size_t>(h ^ (h >> 31));
     }
   };
+
+  /// Rebuild `edges_` from `nodes_` if append_child left it stale.
+  void ensure_edges();
 
   const structure::StructureTree* tree_;
   std::vector<CctNode> nodes_;

@@ -1,54 +1,26 @@
 #include "pathview/prof/merge.hpp"
 
-#include <atomic>
-#include <thread>
-
-#include "pathview/obs/obs.hpp"
-#include "pathview/prof/correlate.hpp"
-#include "pathview/support/error.hpp"
+#include "pathview/prof/pipeline.hpp"
 
 namespace pathview::prof {
+
+// These are the deprecated one-release compatibility shims; defining them
+// must not itself warn.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 std::vector<CanonicalCct> correlate_all(
     const std::vector<sim::RawProfile>& ranks,
     const structure::StructureTree& tree, std::uint32_t nthreads) {
-  PV_SPAN("prof.correlate_all");
-  std::vector<CanonicalCct> out;
-  out.reserve(ranks.size());
-  for (std::size_t i = 0; i < ranks.size(); ++i)
-    out.emplace_back(&tree);  // placeholders; filled below
-
-  if (nthreads == 0)
-    nthreads = std::max(1u, std::thread::hardware_concurrency());
-  nthreads = std::min<std::uint32_t>(nthreads,
-                                     static_cast<std::uint32_t>(ranks.size()));
-
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= ranks.size()) return;
-      out[i] = correlate(ranks[i], tree);
-    }
-  };
-  if (nthreads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(nthreads);
-    for (std::uint32_t t = 0; t < nthreads; ++t) pool.emplace_back(worker);
-    for (auto& t : pool) t.join();
-  }
-  return out;
+  PipelineOptions opts;
+  opts.nthreads = nthreads;
+  return Pipeline(std::move(opts)).correlate(ranks, tree);
 }
 
 CanonicalCct merge_all(const std::vector<CanonicalCct>& parts) {
-  PV_SPAN("prof.merge_all");
-  if (parts.empty()) throw InvalidArgument("merge_all: no profiles");
-  CanonicalCct acc(&parts.front().tree());
-  for (const CanonicalCct& p : parts) acc.merge(p);
-  PV_COUNTER_ADD("prof.merged_cct_nodes", acc.size());
-  return acc;
+  return merge_serial(parts);
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace pathview::prof

@@ -1,20 +1,24 @@
-// Merging canonical CCTs from multiple ranks/threads.
+// DEPRECATED: thin shims over prof::Pipeline, kept for one release so
+// out-of-tree callers can migrate. New code should construct a
+// prof::Pipeline (see pipeline.hpp) and use run()/correlate()/merge();
+// merge_serial() in pipeline.hpp is the reference serial fold.
 #pragma once
 
 #include <vector>
 
-#include "pathview/prof/cct.hpp"
-#include "pathview/sim/raw_profile.hpp"
+#include "pathview/prof/pipeline.hpp"
 
 namespace pathview::prof {
 
 /// Correlate every rank's raw profile against `tree`, in parallel over a
 /// bounded thread pool (nthreads == 0 -> hardware concurrency).
+[[deprecated("use prof::Pipeline::correlate (or Pipeline::run)")]]
 std::vector<CanonicalCct> correlate_all(
     const std::vector<sim::RawProfile>& ranks,
     const structure::StructureTree& tree, std::uint32_t nthreads = 0);
 
 /// Fold a set of per-rank CCTs into one (samples of matching nodes summed).
+[[deprecated("use prof::Pipeline::merge (or prof::merge_serial)")]]
 CanonicalCct merge_all(const std::vector<CanonicalCct>& parts);
 
 }  // namespace pathview::prof

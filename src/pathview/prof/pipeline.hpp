@@ -1,0 +1,90 @@
+// The profile pipeline: correlation + parallel reduction-tree CCT merge.
+//
+// prof::Pipeline subsumes the old correlate_all/merge_all pair. Per-rank
+// correlation results feed a bounded task graph whose internal nodes merge
+// CCTs in a reduction tree of configurable arity, so merge work overlaps
+// correlation and no more than O(workers) full CCTs are in flight at once.
+//
+// Determinism: the merged CCT is bit-identical to the serial left fold
+// (`merge_serial`) regardless of thread count, reduction arity, or batch
+// size. Two mechanisms guarantee this:
+//   * every union node carries its *serial creation key* — the (part index,
+//     node id within that part) at which the serial fold would have created
+//     it — and the final tree is materialized in creation-key order, which
+//     reproduces the serial fold's node ids exactly;
+//   * per-node sample vectors are not summed inside the tree (intermediate
+//     merges splice per-part contribution lists in O(1)); the finalization
+//     folds each node's contributions in ascending part order — the exact
+//     floating-point association of the serial fold.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "pathview/prof/cct.hpp"
+#include "pathview/sim/raw_profile.hpp"
+
+namespace pathview::prof {
+
+/// Progress report delivered to PipelineOptions::progress. One event per
+/// completed task; `completed`/`total` count tasks of the given stage.
+struct PipelineProgress {
+  enum class Stage : std::uint8_t {
+    kCorrelate,  // a leaf task (correlate + pre-merge one batch of ranks)
+    kMerge,      // an internal reduction-tree merge task
+  };
+  Stage stage = Stage::kCorrelate;
+  std::size_t completed = 0;
+  std::size_t total = 0;
+};
+
+struct PipelineOptions {
+  /// Worker threads for every parallel phase; 0 = hardware concurrency.
+  std::uint32_t nthreads = 0;
+  /// Children per reduction-tree merge node (clamped to >= 2).
+  std::uint32_t reduction_arity = 2;
+  /// Ranks correlated and pre-merged per leaf task; 0 = auto (sized so the
+  /// tree has roughly 4 leaves per worker).
+  std::uint32_t batch_size = 0;
+  /// Optional progress callback. Invoked serially (never concurrently),
+  /// possibly from worker threads.
+  std::function<void(const PipelineProgress&)> progress;
+};
+
+/// The unified entry point for turning raw per-rank profiles into one
+/// canonical CCT. Stateless apart from its options; safe to reuse.
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineOptions opts = {});
+
+  const PipelineOptions& options() const { return opts_; }
+
+  /// Full pipeline: correlate every rank against `tree` and merge the
+  /// results in a reduction tree, overlapping the two stages. Throws
+  /// InvalidArgument when `ranks` is empty.
+  CanonicalCct run(const std::vector<sim::RawProfile>& ranks,
+                   const structure::StructureTree& tree) const;
+
+  /// Correlation only (parallel over the worker pool), one CCT per rank in
+  /// rank order. Equivalent to the deprecated correlate_all().
+  std::vector<CanonicalCct> correlate(const std::vector<sim::RawProfile>& ranks,
+                                      const structure::StructureTree& tree) const;
+
+  /// Reduction-tree merge of pre-correlated parts. The borrowing overload
+  /// leaves `parts` untouched; the consuming overload additionally moves a
+  /// single part through without copying its nodes and releases the inputs
+  /// with the run. Throws InvalidArgument when `parts` is empty or the parts
+  /// reference different structure trees.
+  CanonicalCct merge(const std::vector<CanonicalCct>& parts) const;
+  CanonicalCct merge(std::vector<CanonicalCct>&& parts) const;
+
+ private:
+  PipelineOptions opts_;
+};
+
+/// Reference serial left fold (the pre-pipeline merge_all semantics). Kept
+/// as the correctness oracle for the pipeline's determinism tests/benches.
+CanonicalCct merge_serial(const std::vector<CanonicalCct>& parts);
+
+}  // namespace pathview::prof

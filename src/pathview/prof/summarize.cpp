@@ -11,7 +11,9 @@ SummaryCct summarize(const std::vector<sim::RawProfile>& ranks,
   PV_SPAN("prof.summarize");
   if (ranks.empty()) throw InvalidArgument("summarize: no rank profiles");
 
-  std::vector<CanonicalCct> parts = correlate_all(ranks, tree, nthreads);
+  PipelineOptions popts;
+  popts.nthreads = nthreads;
+  std::vector<CanonicalCct> parts = Pipeline(std::move(popts)).correlate(ranks, tree);
 
   SummaryCct out{CanonicalCct(&tree), {}, static_cast<std::uint32_t>(ranks.size())};
   for (const CanonicalCct& part : parts) {

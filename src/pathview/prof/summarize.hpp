@@ -7,7 +7,7 @@
 #include <array>
 #include <vector>
 
-#include "pathview/prof/merge.hpp"
+#include "pathview/prof/pipeline.hpp"
 #include "pathview/support/stats.hpp"
 
 namespace pathview::prof {

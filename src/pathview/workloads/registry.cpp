@@ -67,11 +67,13 @@ Workload make_workload(const std::string& name, std::uint32_t nranks,
 }
 
 std::vector<sim::RawProfile> profile_workload(const Workload& w,
-                                              std::uint32_t nranks) {
+                                              std::uint32_t nranks,
+                                              std::uint32_t nthreads) {
   PV_SPAN("workloads.profile_workload");
   sim::ParallelConfig pc;
   pc.nranks = nranks == 0 ? 1 : nranks;
   pc.base = w.run;
+  pc.nthreads = nthreads;
   return sim::run_parallel(*w.program, *w.lowering, pc);
 }
 

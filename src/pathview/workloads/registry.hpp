@@ -25,8 +25,10 @@ std::vector<NamedWorkload> list_workloads();
 Workload make_workload(const std::string& name, std::uint32_t nranks = 1,
                        std::uint64_t seed = 42);
 
-/// Profile a workload: run `nranks` simulated ranks (1 = serial run).
+/// Profile a workload: run `nranks` simulated ranks (1 = serial run) on a
+/// worker pool of `nthreads` (0 = hardware concurrency).
 std::vector<sim::RawProfile> profile_workload(const Workload& w,
-                                              std::uint32_t nranks);
+                                              std::uint32_t nranks,
+                                              std::uint32_t nthreads = 0);
 
 }  // namespace pathview::workloads

@@ -6,6 +6,7 @@
 #include "pathview/analysis/imbalance.hpp"
 #include "pathview/analysis/scaling.hpp"
 #include "pathview/prof/correlate.hpp"
+#include "pathview/prof/pipeline.hpp"
 #include "pathview/sim/parallel_runner.hpp"
 #include "pathview/workloads/subsurface.hpp"
 
@@ -45,7 +46,9 @@ struct ParallelFixture {
     raws = sim::run_parallel(*w.program, *w.lowering, pc);
     summary = std::make_unique<prof::SummaryCct>(
         prof::summarize(raws, *w.tree, 2));
-    parts = prof::correlate_all(raws, *w.tree, 2);
+    prof::PipelineOptions popts;
+    popts.nthreads = 2;
+    parts = prof::Pipeline(popts).correlate(raws, *w.tree);
   }
   workloads::SubsurfaceWorkload w;
   std::vector<sim::RawProfile> raws;
@@ -115,8 +118,11 @@ TEST(Scaling, StrongScalingLossSemantics) {
   pc.nranks = 4;
   pc.base = w.run;
   const auto raws = sim::run_parallel(*w.program, *w.lowering, pc);
-  auto parts = prof::correlate_all(raws, *w.tree, 2);
-  const prof::CanonicalCct base = prof::merge_all(parts);
+  prof::PipelineOptions popts;
+  popts.nthreads = 2;
+  const prof::Pipeline pipeline(popts);
+  const prof::CanonicalCct base =
+      pipeline.merge(pipeline.correlate(raws, *w.tree));
 
   // "Scaled" run identical in aggregate = ideal strong scaling: zero loss.
   prof::CanonicalCct same(&*w.tree);

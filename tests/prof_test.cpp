@@ -5,6 +5,7 @@
 
 #include "pathview/prof/correlate.hpp"
 #include "pathview/prof/merge.hpp"
+#include "pathview/prof/pipeline.hpp"
 #include "pathview/prof/summarize.hpp"
 #include "pathview/sim/engine.hpp"
 #include "pathview/sim/parallel_runner.hpp"
@@ -63,11 +64,31 @@ TEST(Merge, TotalsAreAdditive) {
   pc.nranks = 3;
   pc.base = w.run;
   const auto raws = sim::run_parallel(*w.program, *w.lowering, pc);
-  const auto parts = correlate_all(raws, *w.tree, 2);
-  const CanonicalCct merged = merge_all(parts);
+  PipelineOptions popts;
+  popts.nthreads = 2;
+  const Pipeline pipeline(popts);
+  const auto parts = pipeline.correlate(raws, *w.tree);
+  const CanonicalCct merged = pipeline.merge(parts);
   double expect = 0;
   for (const auto& p : parts) expect += p.totals()[Event::kCycles];
   EXPECT_DOUBLE_EQ(merged.totals()[Event::kCycles], expect);
+}
+
+TEST(Merge, DeprecatedWrappersStillWork) {
+  // The one-release compatibility shims must keep the old semantics.
+  workloads::Workload w = workloads::make_random_program({.seed = 10});
+  sim::ParallelConfig pc;
+  pc.nranks = 2;
+  pc.base = w.run;
+  const auto raws = sim::run_parallel(*w.program, *w.lowering, pc);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto parts = correlate_all(raws, *w.tree, 2);
+  const CanonicalCct merged = merge_all(parts);
+#pragma GCC diagnostic pop
+  const CanonicalCct ref = merge_serial(Pipeline().correlate(raws, *w.tree));
+  ASSERT_EQ(merged.size(), ref.size());
+  EXPECT_EQ(merged.totals()[Event::kCycles], ref.totals()[Event::kCycles]);
 }
 
 TEST(Merge, IsIdempotentOnStructure) {

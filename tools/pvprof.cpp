@@ -8,7 +8,7 @@
 
 #include "pathview/db/experiment.hpp"
 #include "pathview/db/measurement.hpp"
-#include "pathview/prof/merge.hpp"
+#include "pathview/prof/pipeline.hpp"
 #include "pathview/workloads/registry.hpp"
 #include "tool_util.hpp"
 
@@ -18,10 +18,12 @@ namespace {
 
 const char kUsage[] =
     "usage: pvprof <workload> -o out.{xml|pvdb} [--ranks N] "
-    "[--seed S] [--measurements dir]\n"
+    "[--seed S] [--measurements dir] [--merge-arity K]\n"
     "  --measurements: correlate hpcrun-style files written by\n"
     "                  'pvrun <workload> -o dir' instead of\n"
-    "                  re-running the simulation\n";
+    "                  re-running the simulation\n"
+    "  --merge-arity:  children per reduction-tree merge node (default 2);\n"
+    "                  the merged CCT is identical for any arity\n";
 
 }  // namespace
 
@@ -39,14 +41,19 @@ int main(int argc, char** argv) {
       PV_SPAN("pvprof.run");
       const auto nranks = static_cast<std::uint32_t>(args.flag("ranks", 1));
       const auto seed = static_cast<std::uint64_t>(args.flag("seed", 42));
+      const std::uint32_t nthreads = tools::thread_count(args);
       workloads::Workload w =
           workloads::make_workload(args.positional[0], nranks, seed);
       const std::string mdir = args.flag_str("measurements", "");
       const auto raws = mdir.empty()
-                            ? workloads::profile_workload(w, nranks)
+                            ? workloads::profile_workload(w, nranks, nthreads)
                             : db::load_measurements(mdir);
-      const auto parts = prof::correlate_all(raws, *w.tree);
-      const prof::CanonicalCct merged = prof::merge_all(parts);
+      prof::PipelineOptions popts;
+      popts.nthreads = nthreads;
+      popts.reduction_arity =
+          static_cast<std::uint32_t>(args.flag("merge-arity", 2));
+      const prof::CanonicalCct merged =
+          prof::Pipeline(std::move(popts)).run(raws, *w.tree);
 
       db::Experiment exp =
           db::Experiment::capture(*w.tree, merged, args.positional[0], nranks);

@@ -48,7 +48,8 @@ int main(int argc, char** argv) {
 
       workloads::Workload w =
           workloads::make_workload(args.positional[0], nranks, seed);
-      const auto profiles = workloads::profile_workload(w, nranks);
+      const auto profiles =
+          workloads::profile_workload(w, nranks, tools::thread_count(args));
 
       model::EventVector totals;
       for (const auto& p : profiles) totals += p.totals();

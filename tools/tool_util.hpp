@@ -3,6 +3,7 @@
 // observability trio (--trace, --pv-stats, --self-profile).
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -21,6 +22,9 @@ inline constexpr const char* kVersion = "0.2.0";
 /// Common-flag help text appended to every tool's usage string.
 inline constexpr const char* kCommonUsage =
     "common flags:\n"
+    "  --threads N                worker threads for parallel phases\n"
+    "                             (simulation, correlation, reduction-tree\n"
+    "                             merge; 0 = all hardware threads)\n"
     "  --trace FILE.json          write a Chrome trace-event file of this\n"
     "                             run (also enabled by $PATHVIEW_TRACE)\n"
     "  --pv-stats                 print a phase/counter summary to stderr\n"
@@ -92,6 +96,14 @@ inline bool handle_common_flags(const Args& args, const char* tool,
     return true;
   }
   return false;
+}
+
+/// The unified `--threads N` flag (0 = all hardware threads). Every tool
+/// accepts it; tools with parallel phases thread it into PipelineOptions /
+/// ParallelConfig.
+inline std::uint32_t thread_count(const Args& args) {
+  const long v = args.flag("threads", 0);
+  return v < 0 ? 0u : static_cast<std::uint32_t>(v);
 }
 
 /// Print `usage` (plus the common-flag help) to stderr; returns 2 so tools
