@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_three_views.dir/fig2_three_views.cpp.o"
+  "CMakeFiles/fig2_three_views.dir/fig2_three_views.cpp.o.d"
+  "fig2_three_views"
+  "fig2_three_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_three_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_hotpath_cct.dir/fig3_hotpath_cct.cpp.o"
+  "CMakeFiles/fig3_hotpath_cct.dir/fig3_hotpath_cct.cpp.o.d"
+  "fig3_hotpath_cct"
+  "fig3_hotpath_cct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_hotpath_cct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_hotpath_cct.
+# This may be replaced when dependencies are built.

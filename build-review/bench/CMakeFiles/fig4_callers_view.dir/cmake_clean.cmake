@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_callers_view.dir/fig4_callers_view.cpp.o"
+  "CMakeFiles/fig4_callers_view.dir/fig4_callers_view.cpp.o.d"
+  "fig4_callers_view"
+  "fig4_callers_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_callers_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

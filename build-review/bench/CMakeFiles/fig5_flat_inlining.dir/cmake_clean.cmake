@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_flat_inlining.dir/fig5_flat_inlining.cpp.o"
+  "CMakeFiles/fig5_flat_inlining.dir/fig5_flat_inlining.cpp.o.d"
+  "fig5_flat_inlining"
+  "fig5_flat_inlining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_flat_inlining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

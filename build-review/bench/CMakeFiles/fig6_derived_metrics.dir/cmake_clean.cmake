@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_derived_metrics.dir/fig6_derived_metrics.cpp.o"
+  "CMakeFiles/fig6_derived_metrics.dir/fig6_derived_metrics.cpp.o.d"
+  "fig6_derived_metrics"
+  "fig6_derived_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_derived_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_load_imbalance.dir/fig7_load_imbalance.cpp.o"
+  "CMakeFiles/fig7_load_imbalance.dir/fig7_load_imbalance.cpp.o.d"
+  "fig7_load_imbalance"
+  "fig7_load_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_load_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

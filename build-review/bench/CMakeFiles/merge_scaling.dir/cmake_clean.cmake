@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_scaling.dir/merge_scaling.cpp.o"
+  "CMakeFiles/merge_scaling.dir/merge_scaling.cpp.o.d"
+  "merge_scaling"
+  "merge_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

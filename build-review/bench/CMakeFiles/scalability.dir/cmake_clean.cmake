@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalability.dir/scalability.cpp.o"
+  "CMakeFiles/scalability.dir/scalability.cpp.o.d"
+  "scalability"
+  "scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

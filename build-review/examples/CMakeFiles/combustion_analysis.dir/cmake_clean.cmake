@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combustion_analysis.dir/combustion_analysis.cpp.o"
+  "CMakeFiles/combustion_analysis.dir/combustion_analysis.cpp.o.d"
+  "combustion_analysis"
+  "combustion_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combustion_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imbalance_analysis.dir/imbalance_analysis.cpp.o"
+  "CMakeFiles/imbalance_analysis.dir/imbalance_analysis.cpp.o.d"
+  "imbalance_analysis"
+  "imbalance_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imbalance_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_viewer.dir/interactive_viewer.cpp.o"
+  "CMakeFiles/interactive_viewer.dir/interactive_viewer.cpp.o.d"
+  "interactive_viewer"
+  "interactive_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

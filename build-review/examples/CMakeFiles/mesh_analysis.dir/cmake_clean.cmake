@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_analysis.dir/mesh_analysis.cpp.o"
+  "CMakeFiles/mesh_analysis.dir/mesh_analysis.cpp.o.d"
+  "mesh_analysis"
+  "mesh_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

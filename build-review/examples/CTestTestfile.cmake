@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-review/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart_smoke "/root/repo/build-review/examples/quickstart")
+set_tests_properties(example_quickstart_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_interactive_smoke "sh" "-c" "printf 'hotpath\\nrender 10\\nview flat\\nflatten\\nrender 10\\nquit\\n' | /root/repo/build-review/examples/interactive_viewer paper")
+set_tests_properties(example_interactive_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")

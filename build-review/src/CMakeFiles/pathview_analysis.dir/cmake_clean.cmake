@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathview_analysis.dir/pathview/analysis/diff.cpp.o"
+  "CMakeFiles/pathview_analysis.dir/pathview/analysis/diff.cpp.o.d"
+  "CMakeFiles/pathview_analysis.dir/pathview/analysis/histogram.cpp.o"
+  "CMakeFiles/pathview_analysis.dir/pathview/analysis/histogram.cpp.o.d"
+  "CMakeFiles/pathview_analysis.dir/pathview/analysis/imbalance.cpp.o"
+  "CMakeFiles/pathview_analysis.dir/pathview/analysis/imbalance.cpp.o.d"
+  "CMakeFiles/pathview_analysis.dir/pathview/analysis/scaling.cpp.o"
+  "CMakeFiles/pathview_analysis.dir/pathview/analysis/scaling.cpp.o.d"
+  "libpathview_analysis.a"
+  "libpathview_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathview_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

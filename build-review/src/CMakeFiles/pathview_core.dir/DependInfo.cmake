@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pathview/core/callers_view.cpp" "src/CMakeFiles/pathview_core.dir/pathview/core/callers_view.cpp.o" "gcc" "src/CMakeFiles/pathview_core.dir/pathview/core/callers_view.cpp.o.d"
+  "/root/repo/src/pathview/core/cct_view.cpp" "src/CMakeFiles/pathview_core.dir/pathview/core/cct_view.cpp.o" "gcc" "src/CMakeFiles/pathview_core.dir/pathview/core/cct_view.cpp.o.d"
+  "/root/repo/src/pathview/core/exposure.cpp" "src/CMakeFiles/pathview_core.dir/pathview/core/exposure.cpp.o" "gcc" "src/CMakeFiles/pathview_core.dir/pathview/core/exposure.cpp.o.d"
+  "/root/repo/src/pathview/core/flat_view.cpp" "src/CMakeFiles/pathview_core.dir/pathview/core/flat_view.cpp.o" "gcc" "src/CMakeFiles/pathview_core.dir/pathview/core/flat_view.cpp.o.d"
+  "/root/repo/src/pathview/core/flatten.cpp" "src/CMakeFiles/pathview_core.dir/pathview/core/flatten.cpp.o" "gcc" "src/CMakeFiles/pathview_core.dir/pathview/core/flatten.cpp.o.d"
+  "/root/repo/src/pathview/core/hot_path.cpp" "src/CMakeFiles/pathview_core.dir/pathview/core/hot_path.cpp.o" "gcc" "src/CMakeFiles/pathview_core.dir/pathview/core/hot_path.cpp.o.d"
+  "/root/repo/src/pathview/core/sort.cpp" "src/CMakeFiles/pathview_core.dir/pathview/core/sort.cpp.o" "gcc" "src/CMakeFiles/pathview_core.dir/pathview/core/sort.cpp.o.d"
+  "/root/repo/src/pathview/core/view.cpp" "src/CMakeFiles/pathview_core.dir/pathview/core/view.cpp.o" "gcc" "src/CMakeFiles/pathview_core.dir/pathview/core/view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/pathview_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_prof.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_structure.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_model.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathview_core.dir/pathview/core/callers_view.cpp.o"
+  "CMakeFiles/pathview_core.dir/pathview/core/callers_view.cpp.o.d"
+  "CMakeFiles/pathview_core.dir/pathview/core/cct_view.cpp.o"
+  "CMakeFiles/pathview_core.dir/pathview/core/cct_view.cpp.o.d"
+  "CMakeFiles/pathview_core.dir/pathview/core/exposure.cpp.o"
+  "CMakeFiles/pathview_core.dir/pathview/core/exposure.cpp.o.d"
+  "CMakeFiles/pathview_core.dir/pathview/core/flat_view.cpp.o"
+  "CMakeFiles/pathview_core.dir/pathview/core/flat_view.cpp.o.d"
+  "CMakeFiles/pathview_core.dir/pathview/core/flatten.cpp.o"
+  "CMakeFiles/pathview_core.dir/pathview/core/flatten.cpp.o.d"
+  "CMakeFiles/pathview_core.dir/pathview/core/hot_path.cpp.o"
+  "CMakeFiles/pathview_core.dir/pathview/core/hot_path.cpp.o.d"
+  "CMakeFiles/pathview_core.dir/pathview/core/sort.cpp.o"
+  "CMakeFiles/pathview_core.dir/pathview/core/sort.cpp.o.d"
+  "CMakeFiles/pathview_core.dir/pathview/core/view.cpp.o"
+  "CMakeFiles/pathview_core.dir/pathview/core/view.cpp.o.d"
+  "libpathview_core.a"
+  "libpathview_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathview_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

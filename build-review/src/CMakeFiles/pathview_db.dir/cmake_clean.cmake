@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathview_db.dir/pathview/db/binary_format.cpp.o"
+  "CMakeFiles/pathview_db.dir/pathview/db/binary_format.cpp.o.d"
+  "CMakeFiles/pathview_db.dir/pathview/db/experiment.cpp.o"
+  "CMakeFiles/pathview_db.dir/pathview/db/experiment.cpp.o.d"
+  "CMakeFiles/pathview_db.dir/pathview/db/measurement.cpp.o"
+  "CMakeFiles/pathview_db.dir/pathview/db/measurement.cpp.o.d"
+  "CMakeFiles/pathview_db.dir/pathview/db/xml_parser.cpp.o"
+  "CMakeFiles/pathview_db.dir/pathview/db/xml_parser.cpp.o.d"
+  "CMakeFiles/pathview_db.dir/pathview/db/xml_writer.cpp.o"
+  "CMakeFiles/pathview_db.dir/pathview/db/xml_writer.cpp.o.d"
+  "libpathview_db.a"
+  "libpathview_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathview_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pathview/metrics/attribution.cpp" "src/CMakeFiles/pathview_metrics.dir/pathview/metrics/attribution.cpp.o" "gcc" "src/CMakeFiles/pathview_metrics.dir/pathview/metrics/attribution.cpp.o.d"
+  "/root/repo/src/pathview/metrics/derived.cpp" "src/CMakeFiles/pathview_metrics.dir/pathview/metrics/derived.cpp.o" "gcc" "src/CMakeFiles/pathview_metrics.dir/pathview/metrics/derived.cpp.o.d"
+  "/root/repo/src/pathview/metrics/formula.cpp" "src/CMakeFiles/pathview_metrics.dir/pathview/metrics/formula.cpp.o" "gcc" "src/CMakeFiles/pathview_metrics.dir/pathview/metrics/formula.cpp.o.d"
+  "/root/repo/src/pathview/metrics/metric_table.cpp" "src/CMakeFiles/pathview_metrics.dir/pathview/metrics/metric_table.cpp.o" "gcc" "src/CMakeFiles/pathview_metrics.dir/pathview/metrics/metric_table.cpp.o.d"
+  "/root/repo/src/pathview/metrics/summary.cpp" "src/CMakeFiles/pathview_metrics.dir/pathview/metrics/summary.cpp.o" "gcc" "src/CMakeFiles/pathview_metrics.dir/pathview/metrics/summary.cpp.o.d"
+  "/root/repo/src/pathview/metrics/waste.cpp" "src/CMakeFiles/pathview_metrics.dir/pathview/metrics/waste.cpp.o" "gcc" "src/CMakeFiles/pathview_metrics.dir/pathview/metrics/waste.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/pathview_prof.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_structure.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_model.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathview_metrics.dir/pathview/metrics/attribution.cpp.o"
+  "CMakeFiles/pathview_metrics.dir/pathview/metrics/attribution.cpp.o.d"
+  "CMakeFiles/pathview_metrics.dir/pathview/metrics/derived.cpp.o"
+  "CMakeFiles/pathview_metrics.dir/pathview/metrics/derived.cpp.o.d"
+  "CMakeFiles/pathview_metrics.dir/pathview/metrics/formula.cpp.o"
+  "CMakeFiles/pathview_metrics.dir/pathview/metrics/formula.cpp.o.d"
+  "CMakeFiles/pathview_metrics.dir/pathview/metrics/metric_table.cpp.o"
+  "CMakeFiles/pathview_metrics.dir/pathview/metrics/metric_table.cpp.o.d"
+  "CMakeFiles/pathview_metrics.dir/pathview/metrics/summary.cpp.o"
+  "CMakeFiles/pathview_metrics.dir/pathview/metrics/summary.cpp.o.d"
+  "CMakeFiles/pathview_metrics.dir/pathview/metrics/waste.cpp.o"
+  "CMakeFiles/pathview_metrics.dir/pathview/metrics/waste.cpp.o.d"
+  "libpathview_metrics.a"
+  "libpathview_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathview_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

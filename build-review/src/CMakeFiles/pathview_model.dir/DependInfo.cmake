@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pathview/model/builder.cpp" "src/CMakeFiles/pathview_model.dir/pathview/model/builder.cpp.o" "gcc" "src/CMakeFiles/pathview_model.dir/pathview/model/builder.cpp.o.d"
+  "/root/repo/src/pathview/model/program.cpp" "src/CMakeFiles/pathview_model.dir/pathview/model/program.cpp.o" "gcc" "src/CMakeFiles/pathview_model.dir/pathview/model/program.cpp.o.d"
+  "/root/repo/src/pathview/model/source_renderer.cpp" "src/CMakeFiles/pathview_model.dir/pathview/model/source_renderer.cpp.o" "gcc" "src/CMakeFiles/pathview_model.dir/pathview/model/source_renderer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/pathview_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathview_model.dir/pathview/model/builder.cpp.o"
+  "CMakeFiles/pathview_model.dir/pathview/model/builder.cpp.o.d"
+  "CMakeFiles/pathview_model.dir/pathview/model/program.cpp.o"
+  "CMakeFiles/pathview_model.dir/pathview/model/program.cpp.o.d"
+  "CMakeFiles/pathview_model.dir/pathview/model/source_renderer.cpp.o"
+  "CMakeFiles/pathview_model.dir/pathview/model/source_renderer.cpp.o.d"
+  "libpathview_model.a"
+  "libpathview_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathview_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

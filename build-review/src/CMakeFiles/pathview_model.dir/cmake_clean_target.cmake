@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpathview_model.a"
+)

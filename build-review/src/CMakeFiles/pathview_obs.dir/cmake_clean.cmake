@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathview_obs.dir/pathview/obs/export.cpp.o"
+  "CMakeFiles/pathview_obs.dir/pathview/obs/export.cpp.o.d"
+  "CMakeFiles/pathview_obs.dir/pathview/obs/obs.cpp.o"
+  "CMakeFiles/pathview_obs.dir/pathview/obs/obs.cpp.o.d"
+  "libpathview_obs.a"
+  "libpathview_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathview_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

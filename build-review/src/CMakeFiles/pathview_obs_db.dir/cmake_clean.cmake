@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathview_obs_db.dir/pathview/obs/self_profile.cpp.o"
+  "CMakeFiles/pathview_obs_db.dir/pathview/obs/self_profile.cpp.o.d"
+  "libpathview_obs_db.a"
+  "libpathview_obs_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathview_obs_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

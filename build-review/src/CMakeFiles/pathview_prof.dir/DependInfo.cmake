@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pathview/prof/cct.cpp" "src/CMakeFiles/pathview_prof.dir/pathview/prof/cct.cpp.o" "gcc" "src/CMakeFiles/pathview_prof.dir/pathview/prof/cct.cpp.o.d"
+  "/root/repo/src/pathview/prof/correlate.cpp" "src/CMakeFiles/pathview_prof.dir/pathview/prof/correlate.cpp.o" "gcc" "src/CMakeFiles/pathview_prof.dir/pathview/prof/correlate.cpp.o.d"
+  "/root/repo/src/pathview/prof/merge.cpp" "src/CMakeFiles/pathview_prof.dir/pathview/prof/merge.cpp.o" "gcc" "src/CMakeFiles/pathview_prof.dir/pathview/prof/merge.cpp.o.d"
+  "/root/repo/src/pathview/prof/pipeline.cpp" "src/CMakeFiles/pathview_prof.dir/pathview/prof/pipeline.cpp.o" "gcc" "src/CMakeFiles/pathview_prof.dir/pathview/prof/pipeline.cpp.o.d"
+  "/root/repo/src/pathview/prof/summarize.cpp" "src/CMakeFiles/pathview_prof.dir/pathview/prof/summarize.cpp.o" "gcc" "src/CMakeFiles/pathview_prof.dir/pathview/prof/summarize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/pathview_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_structure.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_model.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

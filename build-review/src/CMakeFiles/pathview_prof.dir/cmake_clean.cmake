@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathview_prof.dir/pathview/prof/cct.cpp.o"
+  "CMakeFiles/pathview_prof.dir/pathview/prof/cct.cpp.o.d"
+  "CMakeFiles/pathview_prof.dir/pathview/prof/correlate.cpp.o"
+  "CMakeFiles/pathview_prof.dir/pathview/prof/correlate.cpp.o.d"
+  "CMakeFiles/pathview_prof.dir/pathview/prof/merge.cpp.o"
+  "CMakeFiles/pathview_prof.dir/pathview/prof/merge.cpp.o.d"
+  "CMakeFiles/pathview_prof.dir/pathview/prof/pipeline.cpp.o"
+  "CMakeFiles/pathview_prof.dir/pathview/prof/pipeline.cpp.o.d"
+  "CMakeFiles/pathview_prof.dir/pathview/prof/summarize.cpp.o"
+  "CMakeFiles/pathview_prof.dir/pathview/prof/summarize.cpp.o.d"
+  "libpathview_prof.a"
+  "libpathview_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathview_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pathview/sim/cost_model.cpp" "src/CMakeFiles/pathview_sim.dir/pathview/sim/cost_model.cpp.o" "gcc" "src/CMakeFiles/pathview_sim.dir/pathview/sim/cost_model.cpp.o.d"
+  "/root/repo/src/pathview/sim/engine.cpp" "src/CMakeFiles/pathview_sim.dir/pathview/sim/engine.cpp.o" "gcc" "src/CMakeFiles/pathview_sim.dir/pathview/sim/engine.cpp.o.d"
+  "/root/repo/src/pathview/sim/parallel_runner.cpp" "src/CMakeFiles/pathview_sim.dir/pathview/sim/parallel_runner.cpp.o" "gcc" "src/CMakeFiles/pathview_sim.dir/pathview/sim/parallel_runner.cpp.o.d"
+  "/root/repo/src/pathview/sim/raw_profile.cpp" "src/CMakeFiles/pathview_sim.dir/pathview/sim/raw_profile.cpp.o" "gcc" "src/CMakeFiles/pathview_sim.dir/pathview/sim/raw_profile.cpp.o.d"
+  "/root/repo/src/pathview/sim/sampler.cpp" "src/CMakeFiles/pathview_sim.dir/pathview/sim/sampler.cpp.o" "gcc" "src/CMakeFiles/pathview_sim.dir/pathview/sim/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/pathview_model.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathview_sim.dir/pathview/sim/cost_model.cpp.o"
+  "CMakeFiles/pathview_sim.dir/pathview/sim/cost_model.cpp.o.d"
+  "CMakeFiles/pathview_sim.dir/pathview/sim/engine.cpp.o"
+  "CMakeFiles/pathview_sim.dir/pathview/sim/engine.cpp.o.d"
+  "CMakeFiles/pathview_sim.dir/pathview/sim/parallel_runner.cpp.o"
+  "CMakeFiles/pathview_sim.dir/pathview/sim/parallel_runner.cpp.o.d"
+  "CMakeFiles/pathview_sim.dir/pathview/sim/raw_profile.cpp.o"
+  "CMakeFiles/pathview_sim.dir/pathview/sim/raw_profile.cpp.o.d"
+  "CMakeFiles/pathview_sim.dir/pathview/sim/sampler.cpp.o"
+  "CMakeFiles/pathview_sim.dir/pathview/sim/sampler.cpp.o.d"
+  "libpathview_sim.a"
+  "libpathview_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathview_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

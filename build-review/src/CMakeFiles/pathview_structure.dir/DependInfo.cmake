@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pathview/structure/binary_image.cpp" "src/CMakeFiles/pathview_structure.dir/pathview/structure/binary_image.cpp.o" "gcc" "src/CMakeFiles/pathview_structure.dir/pathview/structure/binary_image.cpp.o.d"
+  "/root/repo/src/pathview/structure/cfg.cpp" "src/CMakeFiles/pathview_structure.dir/pathview/structure/cfg.cpp.o" "gcc" "src/CMakeFiles/pathview_structure.dir/pathview/structure/cfg.cpp.o.d"
+  "/root/repo/src/pathview/structure/dump.cpp" "src/CMakeFiles/pathview_structure.dir/pathview/structure/dump.cpp.o" "gcc" "src/CMakeFiles/pathview_structure.dir/pathview/structure/dump.cpp.o.d"
+  "/root/repo/src/pathview/structure/lower.cpp" "src/CMakeFiles/pathview_structure.dir/pathview/structure/lower.cpp.o" "gcc" "src/CMakeFiles/pathview_structure.dir/pathview/structure/lower.cpp.o.d"
+  "/root/repo/src/pathview/structure/recovery.cpp" "src/CMakeFiles/pathview_structure.dir/pathview/structure/recovery.cpp.o" "gcc" "src/CMakeFiles/pathview_structure.dir/pathview/structure/recovery.cpp.o.d"
+  "/root/repo/src/pathview/structure/structure_tree.cpp" "src/CMakeFiles/pathview_structure.dir/pathview/structure/structure_tree.cpp.o" "gcc" "src/CMakeFiles/pathview_structure.dir/pathview/structure/structure_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/pathview_model.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

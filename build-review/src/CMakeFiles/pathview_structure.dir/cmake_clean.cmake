@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathview_structure.dir/pathview/structure/binary_image.cpp.o"
+  "CMakeFiles/pathview_structure.dir/pathview/structure/binary_image.cpp.o.d"
+  "CMakeFiles/pathview_structure.dir/pathview/structure/cfg.cpp.o"
+  "CMakeFiles/pathview_structure.dir/pathview/structure/cfg.cpp.o.d"
+  "CMakeFiles/pathview_structure.dir/pathview/structure/dump.cpp.o"
+  "CMakeFiles/pathview_structure.dir/pathview/structure/dump.cpp.o.d"
+  "CMakeFiles/pathview_structure.dir/pathview/structure/lower.cpp.o"
+  "CMakeFiles/pathview_structure.dir/pathview/structure/lower.cpp.o.d"
+  "CMakeFiles/pathview_structure.dir/pathview/structure/recovery.cpp.o"
+  "CMakeFiles/pathview_structure.dir/pathview/structure/recovery.cpp.o.d"
+  "CMakeFiles/pathview_structure.dir/pathview/structure/structure_tree.cpp.o"
+  "CMakeFiles/pathview_structure.dir/pathview/structure/structure_tree.cpp.o.d"
+  "libpathview_structure.a"
+  "libpathview_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathview_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

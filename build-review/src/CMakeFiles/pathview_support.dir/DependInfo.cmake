@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pathview/support/format.cpp" "src/CMakeFiles/pathview_support.dir/pathview/support/format.cpp.o" "gcc" "src/CMakeFiles/pathview_support.dir/pathview/support/format.cpp.o.d"
+  "/root/repo/src/pathview/support/prng.cpp" "src/CMakeFiles/pathview_support.dir/pathview/support/prng.cpp.o" "gcc" "src/CMakeFiles/pathview_support.dir/pathview/support/prng.cpp.o.d"
+  "/root/repo/src/pathview/support/stats.cpp" "src/CMakeFiles/pathview_support.dir/pathview/support/stats.cpp.o" "gcc" "src/CMakeFiles/pathview_support.dir/pathview/support/stats.cpp.o.d"
+  "/root/repo/src/pathview/support/string_table.cpp" "src/CMakeFiles/pathview_support.dir/pathview/support/string_table.cpp.o" "gcc" "src/CMakeFiles/pathview_support.dir/pathview/support/string_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/pathview_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

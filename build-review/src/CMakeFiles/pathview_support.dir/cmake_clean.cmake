@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathview_support.dir/pathview/support/format.cpp.o"
+  "CMakeFiles/pathview_support.dir/pathview/support/format.cpp.o.d"
+  "CMakeFiles/pathview_support.dir/pathview/support/prng.cpp.o"
+  "CMakeFiles/pathview_support.dir/pathview/support/prng.cpp.o.d"
+  "CMakeFiles/pathview_support.dir/pathview/support/stats.cpp.o"
+  "CMakeFiles/pathview_support.dir/pathview/support/stats.cpp.o.d"
+  "CMakeFiles/pathview_support.dir/pathview/support/string_table.cpp.o"
+  "CMakeFiles/pathview_support.dir/pathview/support/string_table.cpp.o.d"
+  "libpathview_support.a"
+  "libpathview_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathview_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pathview/ui/command_interpreter.cpp" "src/CMakeFiles/pathview_ui.dir/pathview/ui/command_interpreter.cpp.o" "gcc" "src/CMakeFiles/pathview_ui.dir/pathview/ui/command_interpreter.cpp.o.d"
+  "/root/repo/src/pathview/ui/controller.cpp" "src/CMakeFiles/pathview_ui.dir/pathview/ui/controller.cpp.o" "gcc" "src/CMakeFiles/pathview_ui.dir/pathview/ui/controller.cpp.o.d"
+  "/root/repo/src/pathview/ui/export.cpp" "src/CMakeFiles/pathview_ui.dir/pathview/ui/export.cpp.o" "gcc" "src/CMakeFiles/pathview_ui.dir/pathview/ui/export.cpp.o.d"
+  "/root/repo/src/pathview/ui/format_cell.cpp" "src/CMakeFiles/pathview_ui.dir/pathview/ui/format_cell.cpp.o" "gcc" "src/CMakeFiles/pathview_ui.dir/pathview/ui/format_cell.cpp.o.d"
+  "/root/repo/src/pathview/ui/object_view.cpp" "src/CMakeFiles/pathview_ui.dir/pathview/ui/object_view.cpp.o" "gcc" "src/CMakeFiles/pathview_ui.dir/pathview/ui/object_view.cpp.o.d"
+  "/root/repo/src/pathview/ui/rank_plot.cpp" "src/CMakeFiles/pathview_ui.dir/pathview/ui/rank_plot.cpp.o" "gcc" "src/CMakeFiles/pathview_ui.dir/pathview/ui/rank_plot.cpp.o.d"
+  "/root/repo/src/pathview/ui/source_pane.cpp" "src/CMakeFiles/pathview_ui.dir/pathview/ui/source_pane.cpp.o" "gcc" "src/CMakeFiles/pathview_ui.dir/pathview/ui/source_pane.cpp.o.d"
+  "/root/repo/src/pathview/ui/tree_table.cpp" "src/CMakeFiles/pathview_ui.dir/pathview/ui/tree_table.cpp.o" "gcc" "src/CMakeFiles/pathview_ui.dir/pathview/ui/tree_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/pathview_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_prof.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_structure.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_model.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

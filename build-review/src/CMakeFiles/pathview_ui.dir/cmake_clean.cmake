@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathview_ui.dir/pathview/ui/command_interpreter.cpp.o"
+  "CMakeFiles/pathview_ui.dir/pathview/ui/command_interpreter.cpp.o.d"
+  "CMakeFiles/pathview_ui.dir/pathview/ui/controller.cpp.o"
+  "CMakeFiles/pathview_ui.dir/pathview/ui/controller.cpp.o.d"
+  "CMakeFiles/pathview_ui.dir/pathview/ui/export.cpp.o"
+  "CMakeFiles/pathview_ui.dir/pathview/ui/export.cpp.o.d"
+  "CMakeFiles/pathview_ui.dir/pathview/ui/format_cell.cpp.o"
+  "CMakeFiles/pathview_ui.dir/pathview/ui/format_cell.cpp.o.d"
+  "CMakeFiles/pathview_ui.dir/pathview/ui/object_view.cpp.o"
+  "CMakeFiles/pathview_ui.dir/pathview/ui/object_view.cpp.o.d"
+  "CMakeFiles/pathview_ui.dir/pathview/ui/rank_plot.cpp.o"
+  "CMakeFiles/pathview_ui.dir/pathview/ui/rank_plot.cpp.o.d"
+  "CMakeFiles/pathview_ui.dir/pathview/ui/source_pane.cpp.o"
+  "CMakeFiles/pathview_ui.dir/pathview/ui/source_pane.cpp.o.d"
+  "CMakeFiles/pathview_ui.dir/pathview/ui/tree_table.cpp.o"
+  "CMakeFiles/pathview_ui.dir/pathview/ui/tree_table.cpp.o.d"
+  "libpathview_ui.a"
+  "libpathview_ui.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathview_ui.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

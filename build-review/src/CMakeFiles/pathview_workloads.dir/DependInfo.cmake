@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pathview/workloads/combustion.cpp" "src/CMakeFiles/pathview_workloads.dir/pathview/workloads/combustion.cpp.o" "gcc" "src/CMakeFiles/pathview_workloads.dir/pathview/workloads/combustion.cpp.o.d"
+  "/root/repo/src/pathview/workloads/mesh.cpp" "src/CMakeFiles/pathview_workloads.dir/pathview/workloads/mesh.cpp.o" "gcc" "src/CMakeFiles/pathview_workloads.dir/pathview/workloads/mesh.cpp.o.d"
+  "/root/repo/src/pathview/workloads/paper_example.cpp" "src/CMakeFiles/pathview_workloads.dir/pathview/workloads/paper_example.cpp.o" "gcc" "src/CMakeFiles/pathview_workloads.dir/pathview/workloads/paper_example.cpp.o.d"
+  "/root/repo/src/pathview/workloads/random_program.cpp" "src/CMakeFiles/pathview_workloads.dir/pathview/workloads/random_program.cpp.o" "gcc" "src/CMakeFiles/pathview_workloads.dir/pathview/workloads/random_program.cpp.o.d"
+  "/root/repo/src/pathview/workloads/registry.cpp" "src/CMakeFiles/pathview_workloads.dir/pathview/workloads/registry.cpp.o" "gcc" "src/CMakeFiles/pathview_workloads.dir/pathview/workloads/registry.cpp.o.d"
+  "/root/repo/src/pathview/workloads/subsurface.cpp" "src/CMakeFiles/pathview_workloads.dir/pathview/workloads/subsurface.cpp.o" "gcc" "src/CMakeFiles/pathview_workloads.dir/pathview/workloads/subsurface.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/pathview_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_structure.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_prof.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_model.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathview_workloads.dir/pathview/workloads/combustion.cpp.o"
+  "CMakeFiles/pathview_workloads.dir/pathview/workloads/combustion.cpp.o.d"
+  "CMakeFiles/pathview_workloads.dir/pathview/workloads/mesh.cpp.o"
+  "CMakeFiles/pathview_workloads.dir/pathview/workloads/mesh.cpp.o.d"
+  "CMakeFiles/pathview_workloads.dir/pathview/workloads/paper_example.cpp.o"
+  "CMakeFiles/pathview_workloads.dir/pathview/workloads/paper_example.cpp.o.d"
+  "CMakeFiles/pathview_workloads.dir/pathview/workloads/random_program.cpp.o"
+  "CMakeFiles/pathview_workloads.dir/pathview/workloads/random_program.cpp.o.d"
+  "CMakeFiles/pathview_workloads.dir/pathview/workloads/registry.cpp.o"
+  "CMakeFiles/pathview_workloads.dir/pathview/workloads/registry.cpp.o.d"
+  "CMakeFiles/pathview_workloads.dir/pathview/workloads/subsurface.cpp.o"
+  "CMakeFiles/pathview_workloads.dir/pathview/workloads/subsurface.cpp.o.d"
+  "libpathview_workloads.a"
+  "libpathview_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathview_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

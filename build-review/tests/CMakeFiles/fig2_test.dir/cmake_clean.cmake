@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_test.dir/fig2_test.cpp.o"
+  "CMakeFiles/fig2_test.dir/fig2_test.cpp.o.d"
+  "fig2_test"
+  "fig2_test.pdb"
+  "fig2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

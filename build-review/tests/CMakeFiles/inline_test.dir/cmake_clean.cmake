@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inline_test.dir/inline_test.cpp.o"
+  "CMakeFiles/inline_test.dir/inline_test.cpp.o.d"
+  "inline_test"
+  "inline_test.pdb"
+  "inline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recursion_test.dir/recursion_test.cpp.o"
+  "CMakeFiles/recursion_test.dir/recursion_test.cpp.o.d"
+  "recursion_test"
+  "recursion_test.pdb"
+  "recursion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recursion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_golden_test.dir/render_golden_test.cpp.o"
+  "CMakeFiles/render_golden_test.dir/render_golden_test.cpp.o.d"
+  "render_golden_test"
+  "render_golden_test.pdb"
+  "render_golden_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

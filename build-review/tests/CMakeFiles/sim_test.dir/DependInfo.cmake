@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/sim_test.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/pathview_ui.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_obs_db.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_db.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_prof.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_structure.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_model.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/pathview_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

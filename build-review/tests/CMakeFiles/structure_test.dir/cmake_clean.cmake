@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structure_test.dir/structure_test.cpp.o"
+  "CMakeFiles/structure_test.dir/structure_test.cpp.o.d"
+  "structure_test"
+  "structure_test.pdb"
+  "structure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ui_extra_test.dir/ui_extra_test.cpp.o"
+  "CMakeFiles/ui_extra_test.dir/ui_extra_test.cpp.o.d"
+  "ui_extra_test"
+  "ui_extra_test.pdb"
+  "ui_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ui_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ui_test.dir/ui_test.cpp.o"
+  "CMakeFiles/ui_test.dir/ui_test.cpp.o.d"
+  "ui_test"
+  "ui_test.pdb"
+  "ui_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ui_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/fig2_test[1]_include.cmake")
+include("/root/repo/build-review/tests/support_test[1]_include.cmake")
+include("/root/repo/build-review/tests/model_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-review/tests/structure_test[1]_include.cmake")
+include("/root/repo/build-review/tests/prof_test[1]_include.cmake")
+include("/root/repo/build-review/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build-review/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build-review/tests/views_test[1]_include.cmake")
+include("/root/repo/build-review/tests/hotpath_test[1]_include.cmake")
+include("/root/repo/build-review/tests/ui_test[1]_include.cmake")
+include("/root/repo/build-review/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build-review/tests/db_test[1]_include.cmake")
+include("/root/repo/build-review/tests/property_test[1]_include.cmake")
+include("/root/repo/build-review/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-review/tests/recursion_test[1]_include.cmake")
+include("/root/repo/build-review/tests/ui_extra_test[1]_include.cmake")
+include("/root/repo/build-review/tests/export_test[1]_include.cmake")
+include("/root/repo/build-review/tests/tools_test[1]_include.cmake")
+include("/root/repo/build-review/tests/diff_test[1]_include.cmake")
+include("/root/repo/build-review/tests/render_golden_test[1]_include.cmake")
+include("/root/repo/build-review/tests/inline_test[1]_include.cmake")
+include("/root/repo/build-review/tests/obs_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvdiff.dir/pvdiff.cpp.o"
+  "CMakeFiles/pvdiff.dir/pvdiff.cpp.o.d"
+  "pvdiff"
+  "pvdiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvdiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvprof.dir/pvprof.cpp.o"
+  "CMakeFiles/pvprof.dir/pvprof.cpp.o.d"
+  "pvprof"
+  "pvprof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvprof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

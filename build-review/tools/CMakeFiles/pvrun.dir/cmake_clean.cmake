@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvrun.dir/pvrun.cpp.o"
+  "CMakeFiles/pvrun.dir/pvrun.cpp.o.d"
+  "pvrun"
+  "pvrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

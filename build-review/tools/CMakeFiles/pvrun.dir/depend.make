@@ -1,0 +1,2 @@
+# Empty dependencies file for pvrun.
+# This may be replaced when dependencies are built.

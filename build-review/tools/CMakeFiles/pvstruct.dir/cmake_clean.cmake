@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvstruct.dir/pvstruct.cpp.o"
+  "CMakeFiles/pvstruct.dir/pvstruct.cpp.o.d"
+  "pvstruct"
+  "pvstruct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvstruct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

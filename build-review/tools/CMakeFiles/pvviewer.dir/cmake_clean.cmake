@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvviewer.dir/pvviewer.cpp.o"
+  "CMakeFiles/pvviewer.dir/pvviewer.cpp.o.d"
+  "pvviewer"
+  "pvviewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvviewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

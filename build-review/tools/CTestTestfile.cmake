@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-review/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_pvrun_smoke "/root/repo/build-review/tools/pvrun" "paper" "--top" "5")
+set_tests_properties(tool_pvrun_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_pvstruct_smoke "/root/repo/build-review/tools/pvstruct" "mesh" "--max" "40")
+set_tests_properties(tool_pvstruct_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_pvprof_smoke "/root/repo/build-review/tools/pvprof" "random" "-o" "/root/repo/build-review/smoke.pvdb" "--ranks" "2")
+set_tests_properties(tool_pvprof_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_pvviewer_smoke "sh" "-c" "printf 'render 8\\nhotpath\\nquit\\n' | /root/repo/build-review/tools/pvviewer /root/repo/build-review/smoke.pvdb")
+set_tests_properties(tool_pvviewer_smoke PROPERTIES  DEPENDS "tool_pvprof_smoke" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_pvdiff_smoke "sh" "-c" "/root/repo/build-review/tools/pvprof combustion -o /root/repo/build-review/diff_a.pvdb && /root/repo/build-review/tools/pvprof combustion-optimized -o /root/repo/build-review/diff_b.pvdb && /root/repo/build-review/tools/pvdiff /root/repo/build-review/diff_a.pvdb /root/repo/build-review/diff_b.pvdb --top 6")
+set_tests_properties(tool_pvdiff_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
