@@ -1,0 +1,119 @@
+// Trace subsystem scaling harness: measures trace write throughput and
+// timeline render latency as the rank count grows 1 -> 64 with a fixed
+// 1M-record total, then proves the render path is sub-linear in trace
+// length — the pixel-budget downsampler must render a million-record trace
+// by indexed segment seeks, not by materializing the stream. Gates:
+//   * the 64-rank render of the 1M-record trace stays under its latency
+//     budget, and
+//   * rendering a deep single-rank 1M-record trace decodes well under the
+//     full record count (checked via the trace.decoded_records counter).
+// Writes BENCH_trace_scaling.json with the measurements + obs counters.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "pathview/analysis/timeline.hpp"
+#include "pathview/db/trace.hpp"
+#include "pathview/prof/pipeline.hpp"
+#include "pathview/ui/timeline.hpp"
+#include "pathview/workloads/registry.hpp"
+
+using namespace pathview;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Write `per_rank` synthetic records for each of `nranks` ranks: node ids
+/// cycle through the CCT, times advance by a small pseudo-random stride.
+double write_traces(const std::string& dir, std::uint32_t nranks,
+                    std::uint64_t per_rank, std::size_t cct_nodes,
+                    std::size_t segment_records) {
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const Clock::time_point t0 = Clock::now();
+  for (std::uint32_t r = 0; r < nranks; ++r) {
+    db::TraceWriterOptions opts;
+    opts.segment_records = segment_records;
+    db::TraceWriter w(db::trace_path(dir, r), r, opts);
+    std::uint64_t t = 0, x = r * 2654435761u + 12345;
+    for (std::uint64_t i = 0; i < per_rank; ++i) {
+      x ^= x << 13, x ^= x >> 7, x ^= x << 17;
+      t += 1 + x % 7;
+      w.append({t, static_cast<std::uint32_t>(x % cct_nodes), 0});
+    }
+    w.close();
+  }
+  return seconds_since(t0);
+}
+
+double render_once(const std::string& dir, const prof::CanonicalCct& cct) {
+  const auto traces = db::open_traces(dir);
+  analysis::TimelineOptions opts;
+  opts.width = 96;
+  opts.depth = 3;
+  const Clock::time_point t0 = Clock::now();
+  const ui::TimelineImage img = analysis::build_timeline(traces, cct, opts);
+  const double dt = seconds_since(t0);
+  if (img.width() != 96) std::abort();  // keep the work observable
+  return dt;
+}
+
+}  // namespace
+
+int main() {
+  obs::set_enabled(true);
+  constexpr std::uint64_t kTotalRecords = 1u << 20;  // ~1M
+  const std::string dir = "/tmp/pathview_bench_traces";
+
+  bench::Report rep("trace scaling: write throughput + timeline render");
+  rep.info("total records", static_cast<double>(kTotalRecords));
+
+  workloads::Workload w = workloads::make_workload("subsurface", 4, 42);
+  const auto raws = workloads::profile_workload(w, 4);
+  const prof::CanonicalCct cct = prof::Pipeline().run(raws, *w.tree);
+  rep.info("CCT nodes", static_cast<double>(cct.size()));
+
+  double render64 = 0.0;
+  for (const std::uint32_t nranks : {1u, 4u, 16u, 64u}) {
+    const std::uint64_t per_rank = kTotalRecords / nranks;
+    const double wsec =
+        write_traces(dir, nranks, per_rank, cct.size(), 4096);
+    rep.info("write throughput, " + std::to_string(nranks) +
+                 " rank(s) (Mrec/s)",
+             static_cast<double>(per_rank * nranks) / wsec / 1e6);
+    const double rsec = render_once(dir, cct);
+    rep.info("render latency, " + std::to_string(nranks) + " rank(s) (ms)",
+             rsec * 1e3);
+    if (nranks == 64) render64 = rsec;
+  }
+
+  // Gate 1: the 64-rank 1M-record timeline renders inside its budget.
+  rep.row("64-rank 1M-record render latency (s, budget 0.75)", 0.0, render64,
+          0.75);
+
+  // Gate 2: rendering never materializes the trace. A deep single-rank
+  // trace (1M records in 256-record segments) must decode only the segments
+  // its pixel probes land in — a fraction of the stream.
+  write_traces(dir, 1, kTotalRecords, cct.size(), 256);
+  const std::uint64_t before = obs::counter("trace.decoded_records").value();
+  const double deep_sec = render_once(dir, cct);
+  const std::uint64_t decoded =
+      obs::counter("trace.decoded_records").value() - before;
+  rep.info("deep-trace render latency (ms)", deep_sec * 1e3);
+  rep.info("deep-trace records decoded", static_cast<double>(decoded));
+  rep.row("deep-trace decoded fraction of stream (budget 0.25)", 0.0,
+          static_cast<double>(decoded) / static_cast<double>(kTotalRecords),
+          0.25);
+
+  std::filesystem::remove_all(dir);
+  rep.write_json("BENCH_trace_scaling.json");
+  return rep.exit_code();
+}

@@ -1,16 +1,29 @@
 #!/bin/sh
-# Full verification: configure, build, run the test suite, then every
-# figure-reproduction harness (each exits nonzero if a paper value drifts
-# out of its tolerance band), the test suite again under ASan+UBSan, and
-# the concurrent pipeline tests under TSan. Set PATHVIEW_SKIP_SANITIZE=1
-# to skip both sanitizer passes.
+# Full verification: configure (warnings-as-errors for library code), build,
+# run the test suite, then every figure-reproduction harness (each exits
+# nonzero if a paper value drifts out of its tolerance band), the test suite
+# again under ASan+UBSan, and the concurrent pipeline tests under TSan.
+#
+#   scripts/check.sh          full run
+#   scripts/check.sh --quick  build + tests only (no benches, no sanitizers)
+#
+# Set PATHVIEW_SKIP_SANITIZE=1 to skip both sanitizer passes.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
+quick=0
+[ "${1:-}" = "--quick" ] && quick=1
+
+cmake -B build -DPATHVIEW_WERROR=ON
+cmake --build build -j "$(nproc)"
+# Per-test timeout so one hung test fails instead of wedging the whole run.
+ctest --test-dir build --output-on-failure --timeout 120
+
+if [ "$quick" = "1" ]; then
+  echo "QUICK CHECKS PASSED"
+  exit 0
+fi
 
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
@@ -23,13 +36,13 @@ done
 
 if [ "${PATHVIEW_SKIP_SANITIZE:-0}" != "1" ]; then
   echo "== sanitizer pass (ASan+UBSan)"
-  cmake -B build-asan -G Ninja -DPATHVIEW_SANITIZE=ON
+  cmake -B build-asan -DPATHVIEW_SANITIZE=ON
   cmake --build build-asan
-  ctest --test-dir build-asan --output-on-failure
+  ctest --test-dir build-asan --output-on-failure --timeout 300
 
   echo "== sanitizer pass (TSan: pipeline worker pool)"
-  cmake -B build-tsan -G Ninja -DPATHVIEW_SANITIZE=thread
-  cmake --build build-tsan --target prof_test pipeline_test
+  cmake -B build-tsan -DPATHVIEW_SANITIZE=thread
+  cmake --build build-tsan -j "$(nproc)" --target prof_test pipeline_test
   build-tsan/tests/prof_test
   build-tsan/tests/pipeline_test
 fi

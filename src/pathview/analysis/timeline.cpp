@@ -1,0 +1,161 @@
+#include "pathview/analysis/timeline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "pathview/obs/obs.hpp"
+
+namespace pathview::analysis {
+
+DepthMapper::DepthMapper(const prof::CanonicalCct& cct) : cct_(&cct) {
+  const std::size_t n = cct.size();
+  enclosing_frame_.assign(n, cct.root());
+  depth_.assign(n, 0);
+  // Nodes are stored parent-before-child, so one forward pass suffices.
+  for (prof::CctNodeId id = 1; id < n; ++id) {
+    const prof::CctNode& node = cct.node(id);
+    if (node.kind == prof::CctKind::kFrame) {
+      enclosing_frame_[id] = id;
+      depth_[id] = depth_[enclosing_frame_[node.parent]] + 1;
+    } else {
+      enclosing_frame_[id] = enclosing_frame_[node.parent];
+      depth_[id] = depth_[node.parent];
+    }
+  }
+}
+
+prof::CctNodeId DepthMapper::at_depth(prof::CctNodeId id, int depth) const {
+  prof::CctNodeId f = enclosing_frame_[id];
+  while (depth_[f] > depth) f = enclosing_frame_[cct_->node(f).parent];
+  return f;
+}
+
+std::pair<std::uint64_t, std::uint64_t> trace_time_range(
+    const std::vector<std::unique_ptr<db::TraceReader>>& traces) {
+  std::uint64_t t0 = ~0ULL, t1 = 0;
+  bool any = false;
+  for (const auto& tr : traces) {
+    if (tr->empty()) continue;
+    any = true;
+    t0 = std::min(t0, tr->t_begin());
+    t1 = std::max(t1, tr->t_end());
+  }
+  if (!any) t0 = t1 = 0;
+  return {t0, t1};
+}
+
+ui::TimelineImage build_timeline(
+    const std::vector<std::unique_ptr<db::TraceReader>>& traces,
+    const prof::CanonicalCct& cct, const TimelineOptions& opts) {
+  PV_SPAN("trace.render");
+  ui::TimelineImage img;
+  auto [t0, t1] = std::make_pair(opts.t0, opts.t1);
+  if (t1 == 0) std::tie(t0, t1) = trace_time_range(traces);
+  img.t0 = t0;
+  img.t1 = t1;
+  img.depth = opts.depth;
+
+  const std::size_t width = std::max<std::size_t>(1, opts.width);
+  const int probes = std::max(1, opts.probes);
+  const double span = static_cast<double>(t1 - t0) + 1.0;
+  const DepthMapper mapper(cct);
+
+  std::uint64_t nprobes = 0;
+  for (const auto& tr : traces) {
+    img.ranks.push_back(tr->rank());
+    auto& row = img.cells.emplace_back(width, prof::kCctNull);
+    if (tr->empty()) continue;
+    for (std::size_t c = 0; c < width; ++c) {
+      // Modal depth-capped frame among the cell's probe points; ties break
+      // toward the smaller node id via the ordered map.
+      std::map<prof::CctNodeId, int> votes;
+      for (int k = 0; k < probes; ++k) {
+        const double frac = (static_cast<double>(c) +
+                             (static_cast<double>(k) + 0.5) / probes) /
+                            static_cast<double>(width);
+        const auto t = t0 + static_cast<std::uint64_t>(span * frac);
+        if (const auto ev = tr->sample_at(t); ev.has_value())
+          ++votes[mapper.at_depth(ev->node, opts.depth)];
+        ++nprobes;
+      }
+      prof::CctNodeId best = prof::kCctNull;
+      int best_votes = 0;
+      for (const auto& [id, n] : votes)
+        if (n > best_votes) best = id, best_votes = n;
+      row[c] = best;
+    }
+  }
+  PV_COUNTER_ADD("trace.render.probes", nprobes);
+  return img;
+}
+
+std::vector<TraceWindowStats> windowed_imbalance(
+    const std::vector<std::unique_ptr<db::TraceReader>>& traces,
+    std::size_t windows, std::uint64_t t0, std::uint64_t t1) {
+  PV_SPAN("trace.stats");
+  if (t1 == 0) std::tie(t0, t1) = trace_time_range(traces);
+  windows = std::max<std::size_t>(1, windows);
+  const double span = static_cast<double>(t1 - t0) + 1.0;
+
+  std::vector<TraceWindowStats> out;
+  out.reserve(windows);
+  for (std::size_t w = 0; w < windows; ++w) {
+    TraceWindowStats s;
+    s.t0 = t0 + static_cast<std::uint64_t>(span * w / windows);
+    s.t1 = w + 1 == windows
+               ? t1
+               : t0 + static_cast<std::uint64_t>(span * (w + 1) / windows) - 1;
+    s.min = -1;
+    double total = 0;
+    for (const auto& tr : traces) {
+      const auto n = static_cast<double>(tr->count_in(s.t0, s.t1));
+      total += n;
+      s.max = std::max(s.max, n);
+      s.min = s.min < 0 ? n : std::min(s.min, n);
+    }
+    s.min = std::max(s.min, 0.0);
+    s.mean = traces.empty() ? 0 : total / static_cast<double>(traces.size());
+    s.imbalance_pct = s.mean > 0 ? (s.max / s.mean - 1.0) * 100.0 : 0.0;
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<TracePhase> detect_phases(const ui::TimelineImage& img) {
+  std::vector<TracePhase> out;
+  const std::size_t width = img.width();
+  if (width == 0 || img.cells.empty()) return out;
+
+  const double span = static_cast<double>(img.t1 - img.t0) + 1.0;
+  const auto col_time = [&](std::size_t c) {
+    return img.t0 + static_cast<std::uint64_t>(span * c / width);
+  };
+
+  prof::CctNodeId prev = prof::kCctNull;
+  for (std::size_t c = 0; c < width; ++c) {
+    std::map<prof::CctNodeId, int> votes;
+    for (const auto& row : img.cells)
+      if (row[c] != prof::kCctNull) ++votes[row[c]];
+    prof::CctNodeId dom = prof::kCctNull;
+    int best = 0;
+    for (const auto& [id, n] : votes)
+      if (n > best) dom = id, best = n;
+
+    if (out.empty() || dom != prev) {
+      TracePhase p;
+      p.col0 = p.col1 = c;
+      p.t0 = col_time(c);
+      p.t1 = c + 1 == width ? img.t1 : col_time(c + 1) - 1;
+      p.dominant = dom;
+      out.push_back(p);
+    } else {
+      out.back().col1 = c;
+      out.back().t1 = c + 1 == width ? img.t1 : col_time(c + 1) - 1;
+    }
+    prev = dom;
+  }
+  return out;
+}
+
+}  // namespace pathview::analysis

@@ -1,0 +1,83 @@
+// Time-centric trace analysis: downsampled timelines, windowed imbalance,
+// phase boundaries.
+//
+// This is the trace-server half of the timeline view: given indexed per-rank
+// trace readers and the merged CCT, build a fixed-size rank x pixel image by
+// probing each pixel's time window with O(1) sample_at() seeks — the cost is
+// O(width x ranks x probes) segment-bounded decodes regardless of how many
+// records the traces hold, which is what lets a 64-rank million-record trace
+// render interactively.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pathview/db/trace.hpp"
+#include "pathview/prof/cct.hpp"
+#include "pathview/ui/timeline.hpp"
+
+namespace pathview::analysis {
+
+/// Maps any canonical CCT node to the ancestor frame shown at a call-stack
+/// depth cap, the timeline analog of hpctraceviewer's depth slider. Depth 0
+/// is the program root; each kFrame below it adds one.
+class DepthMapper {
+ public:
+  explicit DepthMapper(const prof::CanonicalCct& cct);
+
+  /// The frame (or root) displayed for `id` when the view is capped at
+  /// `depth`: the node's enclosing frame, walked up until its depth fits.
+  prof::CctNodeId at_depth(prof::CctNodeId id, int depth) const;
+
+  /// Call-stack depth of the node's enclosing frame.
+  int frame_depth(prof::CctNodeId id) const {
+    return depth_[enclosing_frame_[id]];
+  }
+
+ private:
+  const prof::CanonicalCct* cct_;
+  std::vector<prof::CctNodeId> enclosing_frame_;  // nearest frame/root ancestor
+  std::vector<int> depth_;                        // frame depth per node
+};
+
+struct TimelineOptions {
+  std::size_t width = 96;        // pixel columns
+  int depth = 1;                 // call-stack depth cap
+  std::uint64_t t0 = 0, t1 = 0;  // window; t1 == 0 means full trace range
+  int probes = 4;                // sample_at() probes per pixel cell
+};
+
+/// Full time range covered by any of the traces ([0, 0] when all empty).
+std::pair<std::uint64_t, std::uint64_t> trace_time_range(
+    const std::vector<std::unique_ptr<db::TraceReader>>& traces);
+
+/// Build the rank x pixel image: each cell is the modal depth-capped frame
+/// among the cell's probes (ties broken toward the smaller node id), or
+/// kCctNull when the rank has no activity yet at that time.
+ui::TimelineImage build_timeline(
+    const std::vector<std::unique_ptr<db::TraceReader>>& traces,
+    const prof::CanonicalCct& cct, const TimelineOptions& opts);
+
+/// Per-window load-imbalance statistics over record counts (CrayPat-style
+/// imbalance: (max/mean - 1) * 100). Counting uses the segment index, not
+/// record decoding, for windows spanning whole segments.
+struct TraceWindowStats {
+  std::uint64_t t0 = 0, t1 = 0;
+  double mean = 0, min = 0, max = 0;
+  double imbalance_pct = 0;
+};
+std::vector<TraceWindowStats> windowed_imbalance(
+    const std::vector<std::unique_ptr<db::TraceReader>>& traces,
+    std::size_t windows, std::uint64_t t0 = 0, std::uint64_t t1 = 0);
+
+/// Phase-boundary detection over a built image: a phase is a maximal run of
+/// pixel columns sharing the same dominant cell value (mode across ranks).
+struct TracePhase {
+  std::uint64_t t0 = 0, t1 = 0;
+  std::size_t col0 = 0, col1 = 0;      // inclusive pixel-column range
+  prof::CctNodeId dominant = prof::kCctNull;
+};
+std::vector<TracePhase> detect_phases(const ui::TimelineImage& img);
+
+}  // namespace pathview::analysis

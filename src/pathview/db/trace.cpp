@@ -1,0 +1,470 @@
+#include "pathview/db/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "pathview/obs/obs.hpp"
+#include "pathview/support/error.hpp"
+
+namespace pathview::db {
+
+namespace {
+
+constexpr char kMagic[] = "PVTR1\n";
+constexpr std::size_t kMagicLen = 6;
+constexpr char kTrailer[] = "PVTX";
+constexpr std::size_t kTrailerLen = 4;
+constexpr char kSegmentMarker = 'S';
+constexpr char kFooterMarker = 'F';
+constexpr std::uint8_t kFlagLeaf = 0x01;
+
+void put_u64(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out += static_cast<char>((v & 0x7f) | 0x80);
+    v >>= 7;
+  }
+  out += static_cast<char>(v);
+}
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+/// Varint cursor over an in-memory byte range.
+struct Cursor {
+  std::string_view bytes;
+  std::size_t pos = 0;
+  std::size_t base = 0;  // file offset of bytes[0], for error reporting
+
+  [[noreturn]] void fail(const char* what) const {
+    throw ParseError(std::string("trace: ") + what, base + pos);
+  }
+  bool at_end() const { return pos >= bytes.size(); }
+  std::uint8_t byte() {
+    if (at_end()) fail("truncated");
+    return static_cast<std::uint8_t>(bytes[pos++]);
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      if (at_end()) fail("truncated varint");
+      const auto b = static_cast<std::uint8_t>(bytes[pos++]);
+      if (shift >= 63 && (b & 0x7e) != 0) fail("varint overflow");
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+};
+
+}  // namespace
+
+// --- TraceWriter -------------------------------------------------------------
+
+TraceWriter::TraceWriter(const std::string& path, std::uint32_t rank,
+                         TraceWriterOptions opts)
+    : path_(path), opts_(opts), rank_(rank) {
+  if (opts_.segment_records == 0) opts_.segment_records = 4096;
+  buffer_.reserve(opts_.segment_records);
+  out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!out_) throw InvalidArgument("cannot create trace file '" + path + "'");
+  std::string header(kMagic, kMagicLen);
+  header += static_cast<char>(opts_.with_leaf ? kFlagLeaf : 0);
+  put_u64(header, rank_);
+  out_.write(header.data(), static_cast<std::streamsize>(header.size()));
+  offset_ = header.size();
+}
+
+TraceWriter::~TraceWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor flush is best effort; an unreadable tail is recoverable.
+  }
+}
+
+void TraceWriter::append(const sim::TraceEvent& ev) {
+  if (have_record_ && ev.time < last_time_)
+    throw InvalidArgument("trace: records out of time order");
+  last_time_ = ev.time;
+  have_record_ = true;
+  buffer_.push_back(ev);
+  if (buffer_.size() >= opts_.segment_records) flush_segment();
+}
+
+void TraceWriter::flush_segment() {
+  if (buffer_.empty()) return;
+  PV_SPAN("trace.write.segment");
+
+  std::string payload;
+  payload.reserve(buffer_.size() * 4);
+  std::uint64_t prev_t = buffer_.front().time;
+  std::int64_t prev_node = 0;
+  std::int64_t prev_leaf = 0;
+  for (std::size_t i = 0; i < buffer_.size(); ++i) {
+    const sim::TraceEvent& ev = buffer_[i];
+    if (ev.time < prev_t)
+      throw InvalidArgument("trace: records out of time order");
+    put_u64(payload, i == 0 ? 0 : ev.time - prev_t);
+    put_u64(payload, zigzag(static_cast<std::int64_t>(ev.node) - prev_node));
+    if (opts_.with_leaf)
+      put_u64(payload, zigzag(static_cast<std::int64_t>(ev.leaf) - prev_leaf));
+    prev_t = ev.time;
+    prev_node = static_cast<std::int64_t>(ev.node);
+    prev_leaf = static_cast<std::int64_t>(ev.leaf);
+  }
+
+  Segment seg;
+  seg.offset = offset_;
+  seg.count = buffer_.size();
+  seg.t_first = buffer_.front().time;
+  seg.t_last = buffer_.back().time;
+
+  std::string head(1, kSegmentMarker);
+  put_u64(head, seg.count);
+  put_u64(head, seg.t_first);
+  put_u64(head, seg.t_last);
+  put_u64(head, payload.size());
+  out_.write(head.data(), static_cast<std::streamsize>(head.size()));
+  out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!out_) throw InvalidArgument("short write to trace '" + path_ + "'");
+  offset_ += head.size() + payload.size();
+  bytes_ += head.size() + payload.size();
+  records_ += buffer_.size();
+  index_.push_back(seg);
+  buffer_.clear();
+}
+
+void TraceWriter::close() {
+  if (closed_) return;
+  flush_segment();
+
+  std::string footer(1, kFooterMarker);
+  put_u64(footer, index_.size());
+  for (const Segment& seg : index_) {
+    put_u64(footer, seg.offset);
+    put_u64(footer, seg.count);
+    put_u64(footer, seg.t_first);
+    put_u64(footer, seg.t_last);
+  }
+  const auto len = static_cast<std::uint32_t>(footer.size());
+  for (int i = 0; i < 4; ++i) footer += static_cast<char>(len >> (8 * i));
+  footer.append(kTrailer, kTrailerLen);
+  out_.write(footer.data(), static_cast<std::streamsize>(footer.size()));
+  out_.flush();
+  if (!out_) throw InvalidArgument("short write to trace '" + path_ + "'");
+  out_.close();
+  closed_ = true;
+  PV_COUNTER_ADD("trace.files_written", 1);
+  PV_COUNTER_ADD("trace.records_written", records_);
+  PV_COUNTER_ADD("trace.segments_written", index_.size());
+  PV_COUNTER_ADD("trace.bytes_written", bytes_ + footer.size());
+}
+
+// --- TraceReader -------------------------------------------------------------
+
+TraceReader::TraceReader(const std::string& path) : path_(path) {
+  in_.open(path, std::ios::binary);
+  if (!in_) throw InvalidArgument("cannot open trace file '" + path + "'");
+  in_.seekg(0, std::ios::end);
+  file_size_ = static_cast<std::uint64_t>(in_.tellg());
+
+  char header[kMagicLen];
+  in_.seekg(0);
+  in_.read(header, kMagicLen);
+  if (!in_ || std::string_view(header, kMagicLen) !=
+                  std::string_view(kMagic, kMagicLen)) {
+    // Distinguish "wrong version" from "not a trace" for a friendlier error.
+    if (in_ && std::string_view(header, 4) == std::string_view(kMagic, 4))
+      throw ParseError("trace: unsupported format version", 4);
+    throw ParseError("trace: bad magic", 0);
+  }
+  char flags = 0;
+  in_.read(&flags, 1);
+  if (!in_) throw ParseError("trace: truncated header", kMagicLen);
+  with_leaf_ = (static_cast<std::uint8_t>(flags) & kFlagLeaf) != 0;
+  // Rank varint (bounded; reuse Cursor over a small chunk).
+  std::string chunk(16, '\0');
+  in_.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+  chunk.resize(static_cast<std::size_t>(in_.gcount()));
+  in_.clear();
+  Cursor c{chunk, 0, kMagicLen + 1};
+  rank_ = static_cast<std::uint32_t>(c.u64());
+  header_end_ = kMagicLen + 1 + c.pos;
+
+  load_index();
+  for (const SegmentInfo& seg : segments_) total_records_ += seg.count;
+}
+
+void TraceReader::load_index() {
+  // Footer: ... [varint index] [u32 len] "PVTX". Fall back to a recovery
+  // scan whenever any part of it fails to validate.
+  if (file_size_ < header_end_ + kTrailerLen + 4) {
+    recover_index();
+    return;
+  }
+  char tail[kTrailerLen + 4];
+  in_.seekg(static_cast<std::streamoff>(file_size_ - kTrailerLen - 4));
+  in_.read(tail, sizeof(tail));
+  if (!in_ || std::string_view(tail + 4, kTrailerLen) !=
+                  std::string_view(kTrailer, kTrailerLen)) {
+    in_.clear();
+    recover_index();
+    return;
+  }
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(tail[i]))
+           << (8 * i);
+  if (len == 0 || len + kTrailerLen + 4 > file_size_) {
+    recover_index();
+    return;
+  }
+  const std::uint64_t footer_off = file_size_ - kTrailerLen - 4 - len;
+  std::string footer(len, '\0');
+  in_.seekg(static_cast<std::streamoff>(footer_off));
+  in_.read(footer.data(), static_cast<std::streamsize>(len));
+  if (!in_) {
+    in_.clear();
+    recover_index();
+    return;
+  }
+  try {
+    Cursor c{footer, 0, footer_off};
+    if (c.byte() != static_cast<std::uint8_t>(kFooterMarker))
+      c.fail("bad footer marker");
+    const std::uint64_t nsegs = c.u64();
+    std::vector<SegmentInfo> segs;
+    segs.reserve(nsegs);
+    std::uint64_t prev_end = 0;
+    for (std::uint64_t i = 0; i < nsegs; ++i) {
+      SegmentInfo seg;
+      seg.offset = c.u64();
+      seg.count = c.u64();
+      seg.t_first = c.u64();
+      seg.t_last = c.u64();
+      if (seg.offset < header_end_ || seg.offset >= footer_off ||
+          seg.count == 0 || seg.t_last < seg.t_first ||
+          seg.t_first < prev_end)
+        c.fail("inconsistent segment index");
+      prev_end = seg.t_last;
+      segs.push_back(seg);
+    }
+    if (c.pos != footer.size()) c.fail("trailing footer bytes");
+    segments_ = std::move(segs);
+  } catch (const ParseError&) {
+    recover_index();
+  }
+}
+
+void TraceReader::recover_index() {
+  // The footer is unusable: rebuild the index by walking segment headers
+  // from the front. Anything unparseable (a truncated final segment from a
+  // crashed capture, trailing garbage) ends the scan; every segment before
+  // it remains readable.
+  PV_SPAN("trace.read.recover");
+  recovered_ = true;
+  segments_.clear();
+  std::uint64_t off = header_end_;
+  while (off < file_size_) {
+    std::string head(32, '\0');
+    in_.seekg(static_cast<std::streamoff>(off));
+    in_.read(head.data(), static_cast<std::streamsize>(head.size()));
+    head.resize(static_cast<std::size_t>(in_.gcount()));
+    in_.clear();
+    if (head.empty() || head[0] != kSegmentMarker) break;
+    try {
+      Cursor c{head, 1, off};
+      SegmentInfo seg;
+      seg.offset = off;
+      seg.count = c.u64();
+      seg.t_first = c.u64();
+      seg.t_last = c.u64();
+      const std::uint64_t payload = c.u64();
+      const std::uint64_t end = off + c.pos + payload;
+      if (seg.count == 0 || seg.t_last < seg.t_first || end > file_size_)
+        break;
+      // Validate the payload decodes to exactly `count` records before
+      // accepting the segment (guards against a torn final write).
+      std::vector<sim::TraceEvent> scratch;
+      const std::size_t idx = segments_.size();
+      segments_.push_back(seg);
+      try {
+        read_segment(idx, scratch);
+      } catch (const ParseError&) {
+        segments_.pop_back();
+        break;
+      }
+      off = end;
+    } catch (const ParseError&) {
+      break;
+    }
+  }
+  cached_segment_ = static_cast<std::size_t>(-1);
+  PV_COUNTER_ADD("trace.recovered_files", 1);
+}
+
+void TraceReader::read_segment(std::size_t i,
+                               std::vector<sim::TraceEvent>& out) const {
+  out.clear();
+  if (i >= segments_.size())
+    throw InvalidArgument("trace: segment index out of range");
+  const SegmentInfo& seg = segments_[i];
+  // Segment header first (its size varies), then the payload.
+  std::string head(32, '\0');
+  in_.seekg(static_cast<std::streamoff>(seg.offset));
+  in_.read(head.data(), static_cast<std::streamsize>(head.size()));
+  head.resize(static_cast<std::size_t>(in_.gcount()));
+  in_.clear();
+  Cursor hc{head, 0, seg.offset};
+  if (hc.byte() != static_cast<std::uint8_t>(kSegmentMarker))
+    hc.fail("bad segment marker");
+  const std::uint64_t count = hc.u64();
+  hc.u64();  // t_first
+  hc.u64();  // t_last
+  const std::uint64_t payload_len = hc.u64();
+  if (count != seg.count) hc.fail("segment header disagrees with index");
+  if (seg.offset + hc.pos + payload_len > file_size_)
+    hc.fail("segment payload truncated");
+
+  std::string payload(payload_len, '\0');
+  in_.seekg(static_cast<std::streamoff>(seg.offset + hc.pos));
+  in_.read(payload.data(), static_cast<std::streamsize>(payload_len));
+  if (!in_) {
+    in_.clear();
+    throw ParseError("trace: segment payload unreadable", seg.offset);
+  }
+
+  out.reserve(count);
+  Cursor c{payload, 0, seg.offset + hc.pos};
+  std::uint64_t t = seg.t_first;
+  std::int64_t node = 0;
+  std::int64_t leaf = 0;
+  for (std::uint64_t r = 0; r < count; ++r) {
+    t += c.u64();
+    node += unzigzag(c.u64());
+    if (with_leaf_) leaf += unzigzag(c.u64());
+    if (node < 0 || node > 0xffffffffll) c.fail("node id out of range");
+    out.push_back(sim::TraceEvent{t, static_cast<std::uint32_t>(node),
+                                  static_cast<model::Addr>(leaf)});
+  }
+  if (!c.at_end()) c.fail("trailing segment bytes");
+  if (t != seg.t_last) c.fail("segment time range disagrees with records");
+  PV_COUNTER_ADD("trace.decoded_records", count);
+  PV_COUNTER_ADD("trace.segment_decodes", 1);
+}
+
+std::size_t TraceReader::segment_covering(std::uint64_t t) const {
+  // Greatest segment whose t_first <= t.
+  std::size_t lo = 0, hi = segments_.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (segments_[mid].t_first <= t)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo;  // first segment AFTER t; caller subtracts 1
+}
+
+std::optional<sim::TraceEvent> TraceReader::sample_at(std::uint64_t t) const {
+  if (empty() || t < segments_.front().t_first) return std::nullopt;
+  std::size_t si = segment_covering(t);
+  if (si == 0) return std::nullopt;
+  --si;
+  if (cached_segment_ != si) {
+    read_segment(si, cache_);
+    cached_segment_ = si;
+  }
+  // Greatest record with time <= t. Records are sorted by time.
+  auto it = std::upper_bound(
+      cache_.begin(), cache_.end(), t,
+      [](std::uint64_t v, const sim::TraceEvent& ev) { return v < ev.time; });
+  if (it == cache_.begin()) return std::nullopt;  // cannot happen: t >= t_first
+  return *std::prev(it);
+}
+
+void TraceReader::for_each_in(
+    std::uint64_t t0, std::uint64_t t1,
+    const std::function<void(const sim::TraceEvent&)>& fn) const {
+  if (empty() || t1 < t0) return;
+  std::size_t si = segment_covering(t0);
+  if (si > 0) --si;
+  std::vector<sim::TraceEvent> buf;
+  for (; si < segments_.size() && segments_[si].t_first <= t1; ++si) {
+    if (segments_[si].t_last < t0) continue;
+    read_segment(si, buf);
+    for (const sim::TraceEvent& ev : buf)
+      if (ev.time >= t0 && ev.time <= t1) fn(ev);
+  }
+}
+
+std::uint64_t TraceReader::count_in(std::uint64_t t0, std::uint64_t t1) const {
+  if (empty() || t1 < t0) return 0;
+  std::uint64_t n = 0;
+  std::size_t si = segment_covering(t0);
+  if (si > 0) --si;
+  std::vector<sim::TraceEvent> buf;
+  for (; si < segments_.size() && segments_[si].t_first <= t1; ++si) {
+    const SegmentInfo& seg = segments_[si];
+    if (seg.t_last < t0) continue;
+    if (seg.t_first >= t0 && seg.t_last <= t1) {
+      n += seg.count;  // fully inside: index-only
+      continue;
+    }
+    read_segment(si, buf);
+    for (const sim::TraceEvent& ev : buf)
+      if (ev.time >= t0 && ev.time <= t1) ++n;
+  }
+  return n;
+}
+
+std::vector<sim::TraceEvent> TraceReader::read_all() const {
+  std::vector<sim::TraceEvent> out;
+  out.reserve(total_records_);
+  std::vector<sim::TraceEvent> buf;
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    read_segment(i, buf);
+    out.insert(out.end(), buf.begin(), buf.end());
+  }
+  return out;
+}
+
+// --- trace database layout ---------------------------------------------------
+
+std::string trace_path(const std::string& dir, std::uint32_t rank) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/trace-%05u.pvt", rank);
+  return dir + buf;
+}
+
+std::string raw_trace_path(const std::string& dir, std::uint32_t rank) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/rank-%05u.pvtr", rank);
+  return dir + buf;
+}
+
+std::string trace_dir_for(const std::string& experiment_path) {
+  return experiment_path + ".trace";
+}
+
+std::vector<std::unique_ptr<TraceReader>> open_traces(const std::string& dir) {
+  std::vector<std::unique_ptr<TraceReader>> out;
+  for (std::uint32_t r = 0;; ++r) {
+    const std::string path = trace_path(dir, r);
+    if (!std::filesystem::exists(path)) break;
+    out.push_back(std::make_unique<TraceReader>(path));
+  }
+  if (out.empty())
+    throw InvalidArgument("no trace files (trace-00000.pvt) in '" + dir + "'");
+  return out;
+}
+
+}  // namespace pathview::db

@@ -1,0 +1,174 @@
+// Time-centric trace storage: the `trace.pvt` per-rank binary format.
+//
+// A trace file is a sequence of independently decodable segments followed by
+// an index footer, designed for three properties:
+//   * bounded capture memory — TraceWriter buffers one segment (a few
+//     thousand records) and spills it to disk when full;
+//   * O(1) time-range seeks — the footer indexes every segment's file
+//     offset and time range, so a reader can binary-search to the segment
+//     containing any time point and decode only that segment;
+//   * corruption tolerance — when the footer is missing or damaged (e.g. a
+//     crashed capture), the reader rebuilds the index by scanning segment
+//     headers from the front and drops a truncated tail instead of failing.
+//
+// On-disk layout (all integers varint-encoded unless noted; byte layout is
+// documented in docs/architecture.md):
+//
+//   "PVTR1\n"                                file magic + format version
+//   u8 flags                                 bit 0: records carry leaf addrs
+//   varint rank
+//   segment*:
+//     'S' varint count, t_first, t_last, payload_bytes
+//     payload: per record, delta-encoded from the previous record in the
+//       same segment: varint dt, zigzag-varint dnode [, zigzag-varint dleaf]
+//   footer:
+//     'F' varint nsegs, then per segment: varint offset, count, t_first,
+//     t_last; u32-LE footer length (from 'F'); "PVTX" trailer magic
+//
+// Two flavors share the format: *raw* capture traces (.pvtr, with leaf
+// addresses, node = rank-local trie index) written during simulation, and
+// *canonical* traces (.pvt, node = canonical CCT id) written next to the
+// experiment database after prof::TraceResolver maps the stream onto the
+// merged CCT.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pathview/sim/trace.hpp"
+
+namespace pathview::db {
+
+struct TraceWriterOptions {
+  /// Records buffered per segment; the only capture-side memory cost.
+  std::size_t segment_records = 4096;
+  /// Store leaf instruction addresses (raw capture traces need them to
+  /// resolve statement scopes; canonical traces do not).
+  bool with_leaf = false;
+};
+
+/// Streaming segment writer; implements sim::TraceSink so it can be handed
+/// straight to the execution engine. close() (or destruction) seals the file
+/// with the index footer.
+class TraceWriter final : public sim::TraceSink {
+ public:
+  TraceWriter(const std::string& path, std::uint32_t rank,
+              TraceWriterOptions opts = {});
+  ~TraceWriter() override;
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void append(const sim::TraceEvent& ev) override;
+
+  /// Flush the open segment and write the footer; idempotent.
+  void close();
+
+  std::uint64_t records_written() const { return records_; }
+
+ private:
+  struct Segment {
+    std::uint64_t offset = 0, count = 0, t_first = 0, t_last = 0;
+  };
+  void flush_segment();
+
+  std::string path_;
+  std::ofstream out_;
+  TraceWriterOptions opts_;
+  std::uint32_t rank_ = 0;
+  std::vector<sim::TraceEvent> buffer_;
+  std::vector<Segment> index_;
+  std::uint64_t offset_ = 0;   // current file write position
+  std::uint64_t records_ = 0;
+  std::uint64_t last_time_ = 0;
+  bool have_record_ = false;
+  std::uint64_t bytes_ = 0;
+  bool closed_ = false;
+};
+
+/// Indexed random-access reader. Loads only the header and index on open;
+/// record payloads are decoded segment-at-a-time on demand.
+class TraceReader {
+ public:
+  explicit TraceReader(const std::string& path);
+
+  struct SegmentInfo {
+    std::uint64_t offset = 0;   // file offset of the segment marker
+    std::uint64_t count = 0;
+    std::uint64_t t_first = 0;
+    std::uint64_t t_last = 0;
+  };
+
+  std::uint32_t rank() const { return rank_; }
+  bool with_leaf() const { return with_leaf_; }
+  /// True when the footer was damaged and the index was rebuilt by scanning
+  /// (a truncated trailing segment, if any, was dropped).
+  bool recovered() const { return recovered_; }
+
+  std::uint64_t size() const { return total_records_; }
+  bool empty() const { return total_records_ == 0; }
+  /// Time range covered by the trace ([0, 0] when empty).
+  std::uint64_t t_begin() const { return empty() ? 0 : segments_.front().t_first; }
+  std::uint64_t t_end() const { return empty() ? 0 : segments_.back().t_last; }
+  const std::vector<SegmentInfo>& segments() const { return segments_; }
+
+  /// Decode segment `i` into `out` (cleared first).
+  void read_segment(std::size_t i, std::vector<sim::TraceEvent>& out) const;
+
+  /// The record with the greatest time <= `t` (the trace-server "sample at
+  /// pixel midpoint" primitive): one index binary search plus one segment
+  /// decode. Returns nullopt when the trace is empty or `t` precedes the
+  /// first record.
+  std::optional<sim::TraceEvent> sample_at(std::uint64_t t) const;
+
+  /// Invoke `fn` for every record with t in [t0, t1]; decodes only the
+  /// overlapping segments.
+  void for_each_in(std::uint64_t t0, std::uint64_t t1,
+                   const std::function<void(const sim::TraceEvent&)>& fn) const;
+
+  /// Number of records with t in [t0, t1]. Segments fully inside the window
+  /// are counted from the index without decoding.
+  std::uint64_t count_in(std::uint64_t t0, std::uint64_t t1) const;
+
+  /// Convenience: decode the whole trace (tests / small traces only).
+  std::vector<sim::TraceEvent> read_all() const;
+
+ private:
+  std::size_t segment_covering(std::uint64_t t) const;
+  void load_index();
+  void recover_index();
+
+  std::string path_;
+  mutable std::ifstream in_;
+  std::uint32_t rank_ = 0;
+  bool with_leaf_ = false;
+  bool recovered_ = false;
+  std::uint64_t file_size_ = 0;
+  std::uint64_t header_end_ = 0;  // file offset of the first segment
+  std::uint64_t total_records_ = 0;
+  std::vector<SegmentInfo> segments_;
+  // One-segment decode cache: pvtrace probes many nearby time points, which
+  // land in the same segment far more often than not.
+  mutable std::size_t cached_segment_ = static_cast<std::size_t>(-1);
+  mutable std::vector<sim::TraceEvent> cache_;
+};
+
+// --- trace database layout ---------------------------------------------------
+
+/// "<dir>/trace-00042.pvt" — canonical per-rank trace inside a trace dir.
+std::string trace_path(const std::string& dir, std::uint32_t rank);
+/// "<dir>/rank-00042.pvtr" — raw capture trace next to measurement files.
+std::string raw_trace_path(const std::string& dir, std::uint32_t rank);
+/// The trace directory paired with an experiment database file:
+/// "exp.pvdb" -> "exp.pvdb.trace".
+std::string trace_dir_for(const std::string& experiment_path);
+
+/// Open every canonical per-rank trace in `dir` (ranks 0..N-1 until a file
+/// is missing). Throws InvalidArgument when rank 0 is absent.
+std::vector<std::unique_ptr<TraceReader>> open_traces(const std::string& dir);
+
+}  // namespace pathview::db

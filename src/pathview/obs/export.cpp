@@ -12,6 +12,9 @@ namespace pathview::obs {
 
 namespace {
 
+// Span and counter names are caller-controlled free text; escape everything
+// RFC 8259 requires so the trace file stays parseable no matter what PV_SPAN
+// was handed (quotes, backslashes, control bytes, embedded newlines).
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -29,10 +32,20 @@ std::string json_escape(const std::string& s) {
       case '\t':
         out += "\\t";
         break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
           out += buf;
         } else {
           out += c;

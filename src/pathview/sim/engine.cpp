@@ -27,6 +27,7 @@ RawProfile ExecutionEngine::run() {
   profile_.rank = cfg_.rank;
   true_totals_ = model::EventVector{};
   visits_ = 0;
+  trace_records_ = 0;
   std::fill(active_.begin(), active_.end(), 0u);
 
   const model::ProcId entry = prog_.entry();
@@ -38,6 +39,7 @@ RawProfile ExecutionEngine::run() {
 
   PV_COUNTER_ADD("sim.stmt_visits", visits_);
   PV_COUNTER_ADD("sim.trie_nodes", profile_.nodes().size());
+  PV_COUNTER_ADD("trace.captured_records", trace_records_);
   for (std::size_t e = 0; e < model::kNumEvents; ++e)
     PV_COUNTER_ADD("sim.samples",
                    profile_.sample_count(static_cast<model::Event>(e)));
@@ -49,6 +51,16 @@ void ExecutionEngine::charge(const model::EventVector& cost, NodeIndex node,
   true_totals_ += cost;
   sampler_.charge(cost, [&](model::Event e, double value) {
     profile_.add_sample(node, leaf, e, value);
+    // Time-centric trace: samples of the trace event mark "at virtual time T
+    // the call stack top was `node` executing `leaf`". The virtual clock is
+    // the cumulative charged cost of that event, read post-charge, so times
+    // are monotone and identical for every thread-count configuration.
+    if (cfg_.trace.sink != nullptr && e == cfg_.trace.event) {
+      const auto t = static_cast<std::uint64_t>(
+          true_totals_[cfg_.trace.event] + 0.5);
+      cfg_.trace.sink->append(TraceEvent{t, node, leaf});
+      ++trace_records_;
+    }
   });
 }
 

@@ -26,6 +26,7 @@
 #include "pathview/sim/cost_model.hpp"
 #include "pathview/sim/raw_profile.hpp"
 #include "pathview/sim/sampler.hpp"
+#include "pathview/sim/trace.hpp"
 #include "pathview/support/prng.hpp"
 
 namespace pathview::sim {
@@ -36,6 +37,8 @@ struct RunConfig {
   std::uint32_t nranks = 1;
   SamplerConfig sampler;
   CostTransform cost_transform;  // optional per-rank cost rewriting
+  /// Optional time-centric trace capture (see sim/trace.hpp).
+  TraceConfig trace;
   std::uint32_t max_stack_depth = 512;
   /// Upper bound on executed statement visits: a runaway workload (deep
   /// loop nests x long call chains) stops charging once exhausted. The
@@ -72,6 +75,7 @@ class ExecutionEngine {
   model::EventVector true_totals_;
   std::vector<std::uint32_t> active_;  // per-proc live frame count
   std::uint64_t visits_ = 0;
+  std::uint64_t trace_records_ = 0;
 };
 
 }  // namespace pathview::sim

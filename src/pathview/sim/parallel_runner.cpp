@@ -32,6 +32,8 @@ std::vector<RawProfile> run_parallel(const model::Program& prog,
       rc.nranks = cfg.nranks;
       // Independent stream per (rank, thread).
       rc.seed = cfg.base.seed * 0x9e3779b97f4a7c15ULL + i;
+      rc.trace.sink =
+          cfg.trace_sink_for ? cfg.trace_sink_for(i / tpr, i % tpr) : nullptr;
       ExecutionEngine engine(prog, aspace, std::move(rc));
       out[i] = engine.run();
       out[i].thread = i % tpr;

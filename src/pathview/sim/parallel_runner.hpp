@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "pathview/sim/engine.hpp"
@@ -22,6 +23,12 @@ struct ParallelConfig {
   std::uint32_t threads_per_rank = 1;
   RunConfig base;          // seed/sampler/transform template; rank is set per rank
   std::uint32_t nthreads = 0;  // worker pool size; 0 => hardware_concurrency
+  /// Optional per-context trace sinks: invoked once per (rank, thread) from
+  /// worker threads (must be thread-safe; typically an indexed lookup into a
+  /// preallocated writer array). Null / returning null disables capture for
+  /// that context. The returned sink itself is only used by one worker.
+  std::function<TraceSink*(std::uint32_t rank, std::uint32_t thread)>
+      trace_sink_for;
 };
 
 /// Run `cfg.nranks * cfg.threads_per_rank` simulated execution contexts of

@@ -1,0 +1,59 @@
+// Time-centric trace capture (hpcrun's trace file analog).
+//
+// Alongside profile samples, the engine can emit a per-rank stream of
+// (virtual-time, call-path) records: every sample of the configured trace
+// event appends one record marking "at virtual time T the call stack top was
+// trie node N executing address A". Virtual time is the cumulative charged
+// cost of the trace event (cycles by default), so traces are deterministic,
+// monotone, and directly comparable across ranks of one run.
+//
+// The engine writes through the TraceSink interface so capture stays
+// memory-bounded: the in-memory VectorTraceSink is for tests and small runs,
+// while db::TraceWriter (layered above, in pathview::db) spills fixed-size
+// segments to disk as they fill.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pathview/model/address_space.hpp"
+#include "pathview/model/program.hpp"
+
+namespace pathview::sim {
+
+/// One trace record. At capture time `node` is a rank-local raw trie index
+/// (sim::NodeIndex); after prof::TraceResolver maps a stream onto the merged
+/// experiment, `node` is a canonical CCT id and `leaf` is unused.
+struct TraceEvent {
+  std::uint64_t time = 0;   // virtual time in trace-event units
+  std::uint32_t node = 0;   // raw trie node (capture) or canonical CCT id
+  model::Addr leaf = 0;     // leaf instruction address (capture only)
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+/// Destination for a capture stream. One sink per execution context; the
+/// engine calls append() from exactly one thread, in time order.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void append(const TraceEvent& ev) = 0;
+};
+
+/// Unbounded in-memory sink (tests, small interactive runs).
+class VectorTraceSink final : public TraceSink {
+ public:
+  void append(const TraceEvent& ev) override { events.push_back(ev); }
+  std::vector<TraceEvent> events;
+};
+
+/// Capture configuration carried by RunConfig. `sink` is borrowed, not
+/// owned; tracing is off while it is null.
+struct TraceConfig {
+  TraceSink* sink = nullptr;
+  /// Samples of this event generate trace records (its cumulative charged
+  /// cost is also the virtual clock).
+  model::Event event = model::Event::kCycles;
+};
+
+}  // namespace pathview::sim

@@ -1,0 +1,186 @@
+#include "pathview/ui/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+namespace pathview::ui {
+namespace {
+
+constexpr char kEmpty = '.';
+constexpr char kOverflow = '#';
+constexpr char kGlyphs[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+constexpr std::size_t kNumGlyphs = sizeof(kGlyphs) - 1;
+
+// Deterministic per-node color (xterm-256 cube / SVG hex) so the same scope
+// renders identically across runs, windows, and exporters.
+std::uint32_t node_rgb(prof::CctNodeId id) {
+  std::uint64_t h = id + 1;
+  h *= 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 32;
+  // Bias every channel away from both black and white so glyphs stay legible.
+  const auto chan = [&](int shift) {
+    return 64 + static_cast<std::uint32_t>((h >> shift) & 0x7f);
+  };
+  return chan(0) << 16 | chan(8) << 8 | chan(16);
+}
+
+int xterm256(std::uint32_t rgb) {
+  const auto cube = [](std::uint32_t c) {
+    return static_cast<int>(c * 6 / 256);
+  };
+  return 16 + 36 * cube(rgb >> 16 & 0xff) + 6 * cube(rgb >> 8 & 0xff) +
+         cube(rgb & 0xff);
+}
+
+/// Glyphs by first appearance in row-major cell order.
+std::unordered_map<prof::CctNodeId, char> assign_glyphs(
+    const TimelineImage& img, std::vector<prof::CctNodeId>* order) {
+  std::unordered_map<prof::CctNodeId, char> glyph;
+  for (const auto& row : img.cells)
+    for (const prof::CctNodeId id : row) {
+      if (id == prof::kCctNull || glyph.count(id)) continue;
+      const std::size_t n = glyph.size();
+      glyph.emplace(id, n < kNumGlyphs ? kGlyphs[n] : kOverflow);
+      order->push_back(id);
+    }
+  return glyph;
+}
+
+std::string xml_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_timeline(const TimelineImage& img,
+                            const prof::CanonicalCct& cct,
+                            const TimelineRenderOptions& opts) {
+  std::string out;
+  out += "timeline  t=[" + std::to_string(img.t0) + ", " +
+         std::to_string(img.t1) + "]  depth=" + std::to_string(img.depth) +
+         "  (" + std::to_string(img.width()) + " x " +
+         std::to_string(img.cells.size()) + ")\n";
+
+  std::vector<prof::CctNodeId> order;
+  const auto glyph = assign_glyphs(img, &order);
+
+  for (std::size_t r = 0; r < img.cells.size(); ++r) {
+    char head[32];
+    std::snprintf(head, sizeof head, "rank %04u |",
+                  r < img.ranks.size() ? img.ranks[r] : 0u);
+    out += head;
+    for (const prof::CctNodeId id : img.cells[r]) {
+      if (id == prof::kCctNull) {
+        out += kEmpty;
+        continue;
+      }
+      const char g = glyph.at(id);
+      if (opts.ansi) {
+        char esc[32];
+        std::snprintf(esc, sizeof esc, "\x1b[48;5;%dm%c\x1b[0m",
+                      xterm256(node_rgb(id)), g);
+        out += esc;
+      } else {
+        out += g;
+      }
+    }
+    out += "|\n";
+  }
+
+  if (opts.show_legend && !order.empty()) {
+    out += "legend:\n";
+    const std::size_t n = std::min(order.size(), opts.max_legend);
+    for (std::size_t i = 0; i < n; ++i) {
+      const prof::CctNodeId id = order[i];
+      out += "  ";
+      out += glyph.at(id);
+      out += "  " + cct.label(id) + "\n";
+    }
+    if (order.size() > n)
+      out += "  (+" + std::to_string(order.size() - n) + " more scopes)\n";
+  }
+  return out;
+}
+
+std::string timeline_svg(const TimelineImage& img,
+                         const prof::CanonicalCct& cct) {
+  constexpr int kCellW = 6, kCellH = 14, kLeft = 70, kTop = 24;
+  constexpr int kLegendRow = 18;
+  const int w = static_cast<int>(img.width());
+  const int nrows = static_cast<int>(img.cells.size());
+
+  std::vector<prof::CctNodeId> order;
+  assign_glyphs(img, &order);
+  const int legend_h =
+      static_cast<int>(std::min<std::size_t>(order.size(), 24)) * kLegendRow;
+  const int svg_w = kLeft + w * kCellW + 10;
+  const int svg_h = kTop + nrows * kCellH + 16 + legend_h + 10;
+
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" "
+                "height=\"%d\" font-family=\"monospace\" font-size=\"11\">\n",
+                svg_w, svg_h);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "<text x=\"4\" y=\"14\">timeline t=[%llu, %llu] depth=%d</text>\n",
+                static_cast<unsigned long long>(img.t0),
+                static_cast<unsigned long long>(img.t1), img.depth);
+  out += buf;
+
+  for (int r = 0; r < nrows; ++r) {
+    const int y = kTop + r * kCellH;
+    std::snprintf(buf, sizeof buf,
+                  "<text x=\"4\" y=\"%d\">rank %04u</text>\n", y + kCellH - 3,
+                  static_cast<std::size_t>(r) < img.ranks.size()
+                      ? img.ranks[r]
+                      : 0u);
+    out += buf;
+    // One rect per run of equal cells keeps files small for wide images.
+    const auto& row = img.cells[r];
+    for (int c = 0; c < w;) {
+      const prof::CctNodeId id = row[c];
+      int e = c + 1;
+      while (e < w && row[e] == id) ++e;
+      if (id != prof::kCctNull) {
+        std::snprintf(buf, sizeof buf,
+                      "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" "
+                      "fill=\"#%06x\"><title>%s</title></rect>\n",
+                      kLeft + c * kCellW, y, (e - c) * kCellW, kCellH - 1,
+                      node_rgb(id), xml_escape(cct.label(id)).c_str());
+        out += buf;
+      }
+      c = e;
+    }
+  }
+
+  int ly = kTop + nrows * kCellH + 16;
+  const std::size_t n = std::min<std::size_t>(order.size(), 24);
+  for (std::size_t i = 0; i < n; ++i, ly += kLegendRow) {
+    const prof::CctNodeId id = order[i];
+    std::snprintf(buf, sizeof buf,
+                  "<rect x=\"4\" y=\"%d\" width=\"12\" height=\"12\" "
+                  "fill=\"#%06x\"/><text x=\"22\" y=\"%d\">%s</text>\n",
+                  ly, node_rgb(id), ly + 11,
+                  xml_escape(cct.label(id)).c_str());
+    out += buf;
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+}  // namespace pathview::ui

@@ -1,0 +1,51 @@
+// Time-centric timeline rendering (hpctraceviewer's main pane as text).
+//
+// A TimelineImage is the downsampled rank x time matrix produced by
+// analysis::build_timeline: one row per rank, one cell per pixel column,
+// each cell holding the canonical CCT node shown at the requested call-stack
+// depth (kCctNull = no activity). Renderers are pure presentation: ASCII
+// assigns each distinct scope a stable legend glyph, ANSI adds 256-color
+// backgrounds, and the SVG exporter emits the same matrix as colored rects
+// for reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pathview/prof/cct.hpp"
+
+namespace pathview::ui {
+
+struct TimelineImage {
+  std::uint64_t t0 = 0, t1 = 0;  // rendered time window (inclusive)
+  int depth = 0;                 // call-stack depth the cells were capped to
+  std::vector<std::uint32_t> ranks;                 // row labels
+  std::vector<std::vector<prof::CctNodeId>> cells;  // [row][column]
+
+  std::size_t width() const { return cells.empty() ? 0 : cells[0].size(); }
+};
+
+struct TimelineRenderOptions {
+  bool ansi = false;         // 256-color cell backgrounds
+  bool show_legend = true;   // glyph -> scope label table
+  std::size_t max_legend = 24;  // legend rows (distinct scopes) to print
+};
+
+/// ASCII/ANSI timeline: header, one row per rank, optional legend. Glyphs
+/// are assigned to scopes by first appearance in row-major order, so the
+/// output is deterministic for a deterministic image.
+std::string render_timeline(const TimelineImage& img,
+                            const prof::CanonicalCct& cct,
+                            const TimelineRenderOptions& opts);
+inline std::string render_timeline(const TimelineImage& img,
+                                   const prof::CanonicalCct& cct) {
+  return render_timeline(img, cct, TimelineRenderOptions{});
+}
+
+/// Standalone SVG document of the same matrix (one <rect> per run of equal
+/// cells, colors derived deterministically from node ids) plus a legend.
+std::string timeline_svg(const TimelineImage& img,
+                         const prof::CanonicalCct& cct);
+
+}  // namespace pathview::ui

@@ -17,8 +17,10 @@ PaperExample::PaperExample() {
   call_f_g = b.in(f).call_stmt(2, g);
   call_m_f = b.in(m).call_stmt(7, f);
   call_m_g = b.in(m).call_stmt(8, g);
-  call_g_g = b.in(g).call_stmt(3, g, {.prob = 0.5, .max_rec_depth = 2});
-  call_g_h = b.in(g).call_stmt(4, h, {.prob = 0.5});
+  call_g_g =
+      b.in(g).call_stmt(3, g, {.prob = 0.5, .max_rec_depth = 2, .cost = {}});
+  call_g_h = b.in(g).call_stmt(
+      4, h, {.prob = 0.5, .max_rec_depth = 64, .cost = {}});
   const model::StmtId l1 = b.in(h).loop(8, 1);
   const model::StmtId l2 = b.in(h, l1).loop(9, 4);
   stmt_l2 = l2;  // the compute statement shares l2's line

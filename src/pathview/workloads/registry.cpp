@@ -66,14 +66,16 @@ Workload make_workload(const std::string& name, std::uint32_t nranks,
                         "' (try: paper, combustion, mesh, subsurface, random)");
 }
 
-std::vector<sim::RawProfile> profile_workload(const Workload& w,
-                                              std::uint32_t nranks,
-                                              std::uint32_t nthreads) {
+std::vector<sim::RawProfile> profile_workload(
+    const Workload& w, std::uint32_t nranks, std::uint32_t nthreads,
+    std::function<sim::TraceSink*(std::uint32_t rank, std::uint32_t thread)>
+        trace_sink_for) {
   PV_SPAN("workloads.profile_workload");
   sim::ParallelConfig pc;
   pc.nranks = nranks == 0 ? 1 : nranks;
   pc.base = w.run;
   pc.nthreads = nthreads;
+  pc.trace_sink_for = std::move(trace_sink_for);
   return sim::run_parallel(*w.program, *w.lowering, pc);
 }
 

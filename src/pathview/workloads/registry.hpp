@@ -2,10 +2,12 @@
 // the bundled synthetic applications by name.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "pathview/sim/raw_profile.hpp"
+#include "pathview/sim/trace.hpp"
 #include "pathview/workloads/workload.hpp"
 
 namespace pathview::workloads {
@@ -26,9 +28,13 @@ Workload make_workload(const std::string& name, std::uint32_t nranks = 1,
                        std::uint64_t seed = 42);
 
 /// Profile a workload: run `nranks` simulated ranks (1 = serial run) on a
-/// worker pool of `nthreads` (0 = hardware concurrency).
-std::vector<sim::RawProfile> profile_workload(const Workload& w,
-                                              std::uint32_t nranks,
-                                              std::uint32_t nthreads = 0);
+/// worker pool of `nthreads` (0 = hardware concurrency). `trace_sink_for`,
+/// when set, enables time-centric trace capture: it is invoked once per rank
+/// (possibly from worker threads) and the returned sink receives that rank's
+/// trace stream (see sim::ParallelConfig::trace_sink_for).
+std::vector<sim::RawProfile> profile_workload(
+    const Workload& w, std::uint32_t nranks, std::uint32_t nthreads = 0,
+    std::function<sim::TraceSink*(std::uint32_t rank, std::uint32_t thread)>
+        trace_sink_for = nullptr);
 
 }  // namespace pathview::workloads

@@ -16,6 +16,7 @@
 #include "pathview/obs/obs.hpp"
 #include "pathview/obs/self_profile.hpp"
 #include "pathview/support/error.hpp"
+#include "json_util.hpp"
 
 namespace pathview {
 namespace {
@@ -262,6 +263,31 @@ TEST_F(ObsTest, SelfProfileOnEmptySnapshotThrows) {
   obs::reset();
   EXPECT_THROW(obs::self_profile_experiment(obs::snapshot()),
                InvalidArgument);
+}
+
+TEST_F(ObsTest, ChromeTraceEscapesHostileNames) {
+  SKIP_IF_COMPILED_OUT();
+  // Span and counter names are caller-controlled; names full of JSON
+  // metacharacters and control bytes must still yield a parseable document.
+  static const char kHostile[] =
+      "evil \"span\"\\ with\nnewline\ttab \x01\x1f and \x08\x0c\r bytes";
+  {
+    PV_SPAN(kHostile);
+  }
+  obs::counter("evil \"counter\"\\\n\x02{}[],:").add(7);
+
+  const std::string json = obs::to_chrome_trace(obs::snapshot());
+  EXPECT_TRUE(testutil::valid_json(json)) << json;
+  // The name survived (escaped, not dropped or truncated).
+  EXPECT_NE(json.find("evil \\\"span\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("\\u0002"), std::string::npos);
+  EXPECT_NE(json.find("\\r"), std::string::npos);
+  EXPECT_NE(json.find("\\b"), std::string::npos);
+  EXPECT_NE(json.find("\\f"), std::string::npos);
+  // No raw control bytes leaked into the output.
+  for (const char c : json)
+    EXPECT_FALSE(static_cast<unsigned char>(c) < 0x20 && c != '\n');
 }
 
 TEST(ObsMacroTest, MacrosCompileInAnyConfiguration) {

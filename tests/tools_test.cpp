@@ -1,17 +1,26 @@
 // Tests for the tool-facing surfaces: measurement files, the workload
-// registry, and the structure-tree dump.
+// registry, the structure-tree dump, and the CLI binaries themselves
+// (observability flags, the trace capture pipeline).
 #include <gtest/gtest.h>
 
-#include <cstdio>
-#include <filesystem>
+#include <sys/wait.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "pathview/db/experiment.hpp"
 #include "pathview/db/measurement.hpp"
+#include "pathview/db/trace.hpp"
 #include "pathview/prof/correlate.hpp"
 #include "pathview/sim/engine.hpp"
 #include "pathview/structure/dump.hpp"
 #include "pathview/support/error.hpp"
 #include "pathview/workloads/random_program.hpp"
 #include "pathview/workloads/registry.hpp"
+#include "json_util.hpp"
 
 namespace pathview {
 namespace {
@@ -89,6 +98,134 @@ TEST(Registry, AllWorkloadsInstantiateAndProfile) {
 
 TEST(Registry, UnknownNameThrows) {
   EXPECT_THROW(workloads::make_workload("nope"), InvalidArgument);
+}
+
+// --- driving the CLI binaries -----------------------------------------------
+
+/// Fixture running the actual tool executables (PATHVIEW_TOOL_DIR is baked
+/// in by CMake) inside a scratch directory.
+class ToolCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test: ctest runs these cases as parallel processes, and a
+    // shared scratch directory would be remove_all'd under a sibling's feet.
+    dir_ = std::string("/tmp/pathview_tools_cli_") +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static std::string tool(const std::string& name) {
+    return std::string(PATHVIEW_TOOL_DIR) + "/" + name;
+  }
+  std::string out(const std::string& name) const { return dir_ + "/" + name; }
+
+  /// Run a shell command; returns its exit status (stdout/stderr to `log`).
+  int run(const std::string& cmd) const {
+    const int rc =
+        std::system((cmd + " > " + out("log") + " 2>&1").c_str());
+    return rc == -1 ? -1 : WEXITSTATUS(rc);
+  }
+
+  std::string slurp(const std::string& p) const {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ToolCliTest, EveryToolWritesParseableChromeTrace) {
+  ASSERT_EQ(run(tool("pvprof") + " paper -o " + out("exp.pvdb")), 0);
+  const std::vector<std::pair<std::string, std::string>> cmds = {
+      {"pvrun", tool("pvrun") + " paper --top 3"},
+      {"pvstruct", tool("pvstruct") + " paper --max 20"},
+      {"pvprof", tool("pvprof") + " paper -o " + out("exp2.pvdb")},
+      {"pvviewer",
+       "printf 'quit\\n' | " + tool("pvviewer") + " " + out("exp.pvdb")},
+      {"pvdiff", tool("pvdiff") + " " + out("exp.pvdb") + " " +
+                     out("exp2.pvdb") + " --top 3"},
+  };
+  for (const auto& [name, cmd] : cmds) {
+    SCOPED_TRACE(name);
+    const std::string json_path = out(name + ".trace.json");
+    ASSERT_EQ(run(cmd + " --trace " + json_path), 0) << slurp(out("log"));
+    const std::string json = slurp(json_path);
+    ASSERT_FALSE(json.empty());
+    EXPECT_TRUE(testutil::valid_json(json)) << json.substr(0, 400);
+    EXPECT_NE(json.find(name + ".run"), std::string::npos);
+  }
+}
+
+TEST_F(ToolCliTest, SelfProfileDatabasesOpenInTheViewerStack) {
+  ASSERT_EQ(run(tool("pvrun") + " paper --top 3 --self-profile " +
+                out("sp.pvdb")),
+            0)
+      << slurp(out("log"));
+  const db::Experiment sp = db::load_binary(out("sp.pvdb"));
+  EXPECT_EQ(sp.name(), "pvrun-self");
+  bool found = false;
+  for (prof::CctNodeId id = 0; id < sp.cct().size(); ++id)
+    if (sp.cct().label(id) == "pvrun.run") found = true;
+  EXPECT_TRUE(found) << "self-profile lost the tool's root span";
+}
+
+TEST_F(ToolCliTest, TraceCapturePipelineEndToEnd) {
+  // pvrun captures raw traces next to the measurements...
+  ASSERT_EQ(run(tool("pvrun") + " subsurface --ranks 2 -o " + out("meas") +
+                " --trace-events"),
+            0)
+      << slurp(out("log"));
+  EXPECT_TRUE(std::filesystem::exists(db::raw_trace_path(out("meas"), 0)));
+  EXPECT_TRUE(std::filesystem::exists(db::raw_trace_path(out("meas"), 1)));
+
+  // ...pvprof converts them to canonical traces next to the database...
+  ASSERT_EQ(run(tool("pvprof") + " subsurface --ranks 2 --measurements " +
+                out("meas") + " -o " + out("exp.pvdb") +
+                " --trace-events --trace " + out("obs.json")),
+            0)
+      << slurp(out("log"));
+  const std::string tdir = db::trace_dir_for(out("exp.pvdb"));
+  const auto traces = db::open_traces(tdir);
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_GT(traces[0]->size(), 0u);
+
+  // ...the tool's own observability saw the trace subsystem at work...
+  const std::string obs_json = slurp(out("obs.json"));
+  EXPECT_TRUE(testutil::valid_json(obs_json));
+  EXPECT_NE(obs_json.find("trace.records_written"), std::string::npos);
+  EXPECT_NE(obs_json.find("trace.resolve.map_rank"), std::string::npos);
+
+  // ...and pvtrace renders a timeline from the pair.
+  ASSERT_EQ(run(tool("pvtrace") + " " + out("exp.pvdb") +
+                " --width 32 --depth 2 --stats --phases --svg " +
+                out("t.svg")),
+            0)
+      << slurp(out("log"));
+  const std::string text = slurp(out("log"));
+  EXPECT_NE(text.find("timeline"), std::string::npos);
+  EXPECT_NE(text.find("rank 0001"), std::string::npos);
+  EXPECT_NE(text.find("load imbalance"), std::string::npos);
+  EXPECT_NE(text.find("phase 0"), std::string::npos);
+  EXPECT_NE(slurp(out("t.svg")).find("<svg "), std::string::npos);
+}
+
+TEST_F(ToolCliTest, PvtraceTimelineIsIdenticalAcrossThreadCounts) {
+  std::vector<std::string> renders;
+  for (const char* threads : {"1", "4"}) {
+    const std::string exp = out(std::string("exp") + threads + ".pvdb");
+    ASSERT_EQ(run(tool("pvprof") + " subsurface --ranks 4 -o " + exp +
+                  " --trace-events --threads " + threads),
+              0)
+        << slurp(out("log"));
+    ASSERT_EQ(run(tool("pvtrace") + " " + exp + " --width 48 --depth 3"), 0);
+    renders.push_back(slurp(out("log")));
+  }
+  ASSERT_EQ(renders.size(), 2u);
+  EXPECT_EQ(renders[0], renders[1]);
 }
 
 TEST(StructureDump, RendersHierarchy) {

@@ -8,17 +8,27 @@
 #include <iostream>
 #include <string>
 
+#include "pathview/analysis/timeline.hpp"
 #include "pathview/db/experiment.hpp"
+#include "pathview/db/trace.hpp"
 #include "pathview/metrics/attribution.hpp"
 #include "pathview/metrics/derived.hpp"
 #include "pathview/ui/command_interpreter.hpp"
+#include "pathview/ui/timeline.hpp"
 #include "tool_util.hpp"
 
 using namespace pathview;
 
 namespace {
 
-const char kUsage[] = "usage: pvviewer <experiment.{xml|pvdb}>\n";
+const char kUsage[] =
+    "usage: pvviewer <experiment.{xml|pvdb}> [--timeline[=DEPTH]]\n"
+    "  --timeline:       print the rank/time trace timeline before the\n"
+    "                    interactive session (requires the experiment's\n"
+    "                    .trace directory, see pvprof --trace-events;\n"
+    "                    pvtrace offers the full timeline interface)\n"
+    "  --timeline-width N  timeline pixel columns (default 72)\n"
+    "  --trace-dir DIR     trace directory (default <experiment>.trace)\n";
 
 }  // namespace
 
@@ -33,14 +43,27 @@ int main(int argc, char** argv) {
     {
       PV_SPAN("pvviewer.run");
       const std::string& path = args.positional[0];
-      const bool binary =
-          path.size() > 5 && path.substr(path.size() - 5) == ".pvdb";
-      const db::Experiment exp =
-          binary ? db::load_binary(path) : db::load_xml(path);
+      const db::Experiment exp = tools::load_experiment(path);
       std::printf("experiment '%s': %zu CCT scopes, %u rank(s), %zu stored "
                   "derived metric(s)\n",
                   exp.name().c_str(), exp.cct().size(), exp.nranks(),
                   exp.user_metrics().size());
+
+      if (args.has("timeline")) {
+        const auto traces = db::open_traces(
+            args.flag_str("trace-dir", db::trace_dir_for(path)));
+        analysis::TimelineOptions topts;
+        const std::string dstr = args.flag_str("timeline", "");
+        topts.depth =
+            dstr.empty() ? 1 : static_cast<int>(std::strtol(dstr.c_str(), nullptr, 10));
+        topts.width =
+            static_cast<std::size_t>(args.flag("timeline-width", 72));
+        std::fputs(ui::render_timeline(
+                       analysis::build_timeline(traces, exp.cct(), topts),
+                       exp.cct())
+                       .c_str(),
+                   stdout);
+      }
 
       const metrics::Attribution attr =
           metrics::attribute_metrics(exp.cct(), metrics::all_events());

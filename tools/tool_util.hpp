@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "pathview/db/experiment.hpp"
 #include "pathview/model/program.hpp"
 #include "pathview/obs/export.hpp"
 #include "pathview/obs/obs.hpp"
@@ -17,7 +18,7 @@
 
 namespace pathview::tools {
 
-inline constexpr const char* kVersion = "0.2.0";
+inline constexpr const char* kVersion = "0.3.0";
 
 /// Common-flag help text appended to every tool's usage string.
 inline constexpr const char* kCommonUsage =
@@ -160,6 +161,14 @@ class ObsSession {
   bool stats_ = false;
 };
 
+/// Load an experiment database, picking the format by extension (".pvdb" is
+/// binary, everything else XML) — the convention every tool shares.
+inline db::Experiment load_experiment(const std::string& path) {
+  const bool binary =
+      path.size() > 5 && path.substr(path.size() - 5) == ".pvdb";
+  return binary ? db::load_binary(path) : db::load_xml(path);
+}
+
 /// "cycles" / "instructions" / "flops" / "l1" / "l2" / "idle".
 inline model::Event parse_event(const std::string& name) {
   if (name == "cycles") return model::Event::kCycles;
@@ -170,6 +179,16 @@ inline model::Event parse_event(const std::string& name) {
   if (name == "idle") return model::Event::kIdle;
   throw InvalidArgument("unknown event '" + name +
                         "' (cycles|instructions|flops|l1|l2|idle)");
+}
+
+/// The `--trace-events[=EVENT]` capture flag shared by pvrun and pvprof:
+/// records a per-rank time-centric trace of the given event's samples
+/// (default: cycles). Returns false when the flag is absent.
+inline bool trace_events_flag(const Args& args, model::Event* event) {
+  if (!args.has("trace-events")) return false;
+  const std::string name = args.flag_str("trace-events", "");
+  *event = name.empty() ? model::Event::kCycles : parse_event(name);
+  return true;
 }
 
 }  // namespace pathview::tools
