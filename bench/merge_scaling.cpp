@@ -82,7 +82,7 @@ ScenarioResult run_scenario(bench::Report& rep, const std::string& tag,
   const prof::CanonicalCct ref = prof::merge_serial(parts);
   rep.info(tag + ": merged CCT nodes", static_cast<double>(ref.size()));
   const double serial_s = best_of(reps, [&] { prof::merge_serial(parts); });
-  rep.info(tag + ": serial merge_all fold [ms]", serial_s * 1e3);
+  rep.info(tag + ": serial merge_serial fold [ms]", serial_s * 1e3);
 
   ScenarioResult res;
   for (const std::uint32_t nthreads : {1u, 2u, 4u, 8u}) {

@@ -1,8 +1,9 @@
 #!/bin/sh
 # Full verification: configure (warnings-as-errors for library code), build,
 # run the test suite, then every figure-reproduction harness (each exits
-# nonzero if a paper value drifts out of its tolerance band), the test suite
-# again under ASan+UBSan, and the concurrent pipeline tests under TSan.
+# nonzero if a paper value drifts out of its tolerance band), a pvserve
+# smoke with concurrent clients, the test suite again under ASan+UBSan, and
+# the concurrent pipeline tests + the serve smoke under TSan.
 #
 #   scripts/check.sh          full run
 #   scripts/check.sh --quick  build + tests only (no benches, no sanitizers)
@@ -14,6 +15,42 @@ cd "$(dirname "$0")/.."
 
 quick=0
 [ "${1:-}" = "--quick" ] && quick=1
+
+# Serve smoke against the tools of one build dir: daemon on an ephemeral
+# port, three concurrent clients each scripting open -> expand -> close,
+# then SIGTERM; the daemon must shut down reporting zero orphaned sessions.
+serve_smoke() {
+  sdir=$1
+  sdb=$sdir/serve_check.pvdb
+  slog=$sdir/serve_check.log
+  "$sdir/tools/pvprof" subsurface -o "$sdb" --ranks 4 > /dev/null
+  "$sdir/tools/pvserve" --port 0 > "$slog" 2>&1 &
+  spid=$!
+  for _ in $(seq 100); do
+    grep -q 'listening on' "$slog" && break
+    sleep 0.1
+  done
+  sport=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$slog")
+  cpids=""
+  for _ in 1 2 3; do
+    (
+      sid=$("$sdir/tools/pvserve" --client --port "$sport" \
+              --request "{\"v\":1,\"id\":1,\"op\":\"open\",\"path\":\"$sdb\"}" |
+            sed -n 's/.*"session":"\([^"]*\)".*/\1/p')
+      [ -n "$sid" ]
+      "$sdir/tools/pvserve" --client --port "$sport" --request \
+        "{\"v\":1,\"id\":2,\"op\":\"expand\",\"session\":\"$sid\",\"node\":1}" \
+        > /dev/null
+      "$sdir/tools/pvserve" --client --port "$sport" --request \
+        "{\"v\":1,\"id\":3,\"op\":\"close\",\"session\":\"$sid\"}" > /dev/null
+    ) &
+    cpids="$cpids $!"
+  done
+  for cpid in $cpids; do wait "$cpid"; done
+  kill -TERM "$spid"
+  wait "$spid"
+  grep -q '0 session(s) open' "$slog"
+}
 
 cmake -B build -DPATHVIEW_WERROR=ON
 cmake --build build -j "$(nproc)"
@@ -34,17 +71,25 @@ for b in build/bench/*; do
   esac
 done
 
+echo "== serve smoke (3 concurrent clients)"
+serve_smoke build
+
 if [ "${PATHVIEW_SKIP_SANITIZE:-0}" != "1" ]; then
   echo "== sanitizer pass (ASan+UBSan)"
   cmake -B build-asan -DPATHVIEW_SANITIZE=ON
   cmake --build build-asan
   ctest --test-dir build-asan --output-on-failure --timeout 300
+  echo "== serve smoke under ASan"
+  serve_smoke build-asan
 
-  echo "== sanitizer pass (TSan: pipeline worker pool)"
+  echo "== sanitizer pass (TSan: pipeline worker pool + serve)"
   cmake -B build-tsan -DPATHVIEW_SANITIZE=thread
-  cmake --build build-tsan -j "$(nproc)" --target prof_test pipeline_test
+  cmake --build build-tsan -j "$(nproc)" \
+    --target prof_test pipeline_test pvserve pvprof
   build-tsan/tests/prof_test
   build-tsan/tests/pipeline_test
+  echo "== serve smoke under TSan"
+  serve_smoke build-tsan
 fi
 
 echo "ALL CHECKS PASSED"

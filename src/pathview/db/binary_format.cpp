@@ -78,7 +78,9 @@ class Reader {
   }
   std::string str() {
     const std::uint64_t n = u64();
-    if (pos_ + n > bytes_.size()) fail("truncated string");
+    // Compare against the remaining bytes: pos_ + n could wrap for a
+    // corrupt length near 2^64.
+    if (n > bytes_.size() - pos_) fail("truncated string");
     std::string s(bytes_.substr(pos_, n));
     pos_ += n;
     return s;
@@ -170,7 +172,10 @@ Experiment from_binary(std::string_view bytes) {
   const std::uint64_t tn = r.u64();
   for (std::uint64_t i = 0; i < tn; ++i) {
     structure::SNode n;
-    n.kind = static_cast<structure::SKind>(r.u64());
+    const std::uint64_t kind = r.u64();
+    if (kind > static_cast<std::uint64_t>(structure::SKind::kStmt))
+      throw ParseError("binary db: bad structure scope kind", r.pos());
+    n.kind = static_cast<structure::SKind>(kind);
     n.parent = static_cast<structure::SNodeId>(r.u64());
     n.name = tree->names().intern(r.str());
     n.file = tree->names().intern(r.str());
@@ -190,12 +195,21 @@ Experiment from_binary(std::string_view bytes) {
   prof::CanonicalCct cct(tree.get());
   const std::uint64_t cn = r.u64();
   for (std::uint64_t i = 0; i < cn; ++i) {
-    const auto kind = static_cast<prof::CctKind>(r.u64());
+    const std::uint64_t rawkind = r.u64();
+    if (rawkind > static_cast<std::uint64_t>(prof::CctKind::kStmt))
+      throw ParseError("binary db: bad cct node kind", r.pos());
+    const auto kind = static_cast<prof::CctKind>(rawkind);
     const auto parent = static_cast<prof::CctNodeId>(r.u64());
     const auto scope = static_cast<structure::SNodeId>(r.u64());
     const std::uint64_t cs = r.u64();
     if (parent >= cct.size())
       throw ParseError("binary db: dangling cct parent", r.pos());
+    // Scope and call-site ids index the structure tree; a corrupt id would
+    // otherwise surface as an out-of-bounds read at first label() call.
+    if (scope != structure::kSNull && scope >= tree->size())
+      throw ParseError("binary db: cct scope out of range", r.pos());
+    if (cs != 0 && cs - 1 >= tree->size())
+      throw ParseError("binary db: cct call site out of range", r.pos());
     cct.find_or_add_child(parent, kind, scope,
                           cs == 0 ? structure::kSNull
                                   : static_cast<structure::SNodeId>(cs - 1));

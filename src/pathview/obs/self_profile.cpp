@@ -116,7 +116,7 @@ db::Experiment self_profile_experiment(const TraceSnapshot& snap,
   for (const ThreadTrace& t : snap.threads) {
     // Parents precede children in the buffer, so one forward pass maps every
     // span to a CCT frame. Threads with identical phase stacks merge into
-    // the same frames, exactly like ranks in prof::merge_all.
+    // the same frames, exactly like ranks in prof::merge_serial.
     std::vector<std::uint64_t> child_ns(t.spans.size(), 0);
     for (const SpanRecord& s : t.spans)
       if (s.parent >= 0)

@@ -636,7 +636,7 @@ Pipeline::Pipeline(PipelineOptions opts) : opts_(std::move(opts)) {}
 std::vector<CanonicalCct> Pipeline::correlate(
     const std::vector<sim::RawProfile>& ranks,
     const structure::StructureTree& tree) const {
-  PV_SPAN("prof.pipeline.correlate_all");
+  PV_SPAN("prof.pipeline.correlate");
   std::vector<CanonicalCct> out;
   out.reserve(ranks.size());
   for (std::size_t i = 0; i < ranks.size(); ++i)

@@ -1,6 +1,6 @@
 // The profile pipeline: correlation + parallel reduction-tree CCT merge.
 //
-// prof::Pipeline subsumes the old correlate_all/merge_all pair. Per-rank
+// prof::Pipeline is the sole entry point from raw profiles. Per-rank
 // correlation results feed a bounded task graph whose internal nodes merge
 // CCTs in a reduction tree of configurable arity, so merge work overlaps
 // correlation and no more than O(workers) full CCTs are in flight at once.
@@ -67,7 +67,7 @@ class Pipeline {
                    const structure::StructureTree& tree) const;
 
   /// Correlation only (parallel over the worker pool), one CCT per rank in
-  /// rank order. Equivalent to the deprecated correlate_all().
+  /// rank order.
   std::vector<CanonicalCct> correlate(const std::vector<sim::RawProfile>& ranks,
                                       const structure::StructureTree& tree) const;
 
@@ -83,7 +83,7 @@ class Pipeline {
   PipelineOptions opts_;
 };
 
-/// Reference serial left fold (the pre-pipeline merge_all semantics). Kept
+/// Reference serial left fold (the pre-pipeline semantics). Kept
 /// as the correctness oracle for the pipeline's determinism tests/benches.
 CanonicalCct merge_serial(const std::vector<CanonicalCct>& parts);
 

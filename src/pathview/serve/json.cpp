@@ -1,0 +1,388 @@
+#include "pathview/serve/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "pathview/support/error.hpp"
+
+namespace pathview::serve {
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = d;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) throw InvalidArgument("json: not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::kNumber) throw InvalidArgument("json: not a number");
+  return num_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) throw InvalidArgument("json: not a string");
+  return str_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (kind_ != Kind::kArray) throw InvalidArgument("json: not an array");
+  return arr_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  if (kind_ != Kind::kObject) throw InvalidArgument("json: not an object");
+  return obj_;
+}
+
+JsonValue& JsonValue::set(std::string key, JsonValue v) {
+  if (kind_ != Kind::kObject) throw InvalidArgument("json: set on non-object");
+  for (auto& [k, old] : obj_)
+    if (k == key) {
+      old = std::move(v);
+      return *this;
+    }
+  obj_.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+JsonValue& JsonValue::push(JsonValue v) {
+  if (kind_ != Kind::kArray) throw InvalidArgument("json: push on non-array");
+  arr_.push_back(std::move(v));
+  return *this;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+double JsonValue::get_number(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr || v->is_null()) return fallback;
+  return v->as_number();
+}
+
+std::uint64_t JsonValue::get_u64(std::string_view key,
+                                 std::uint64_t fallback) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr || v->is_null()) return fallback;
+  const double d = v->as_number();
+  if (!(d >= 0) || d != std::floor(d) || d > 1.8446744073709552e19)
+    throw InvalidArgument("json: field '" + std::string(key) +
+                          "' is not a non-negative integer");
+  return static_cast<std::uint64_t>(d);
+}
+
+std::string JsonValue::get_string(std::string_view key,
+                                  std::string_view fallback) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr || v->is_null()) return std::string(fallback);
+  return v->as_string();
+}
+
+bool JsonValue::get_bool(std::string_view key, bool fallback) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr || v->is_null()) return fallback;
+  return v->as_bool();
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------------
+
+std::string json_escape_string(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void dump_number(double v, std::string& out) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  // Doubles represent integers exactly up to 2^53; print those without a
+  // fraction so ids and counts stay readable and byte-stable.
+  constexpr double kExact = 9007199254740992.0;  // 2^53
+  if (v == std::floor(v) && v >= -kExact && v <= kExact) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+void JsonValue::dump_to(std::string& out) const {
+  switch (kind_) {
+    case Kind::kNull: out += "null"; return;
+    case Kind::kBool: out += bool_ ? "true" : "false"; return;
+    case Kind::kNumber: dump_number(num_, out); return;
+    case Kind::kString:
+      out += '"';
+      out += json_escape_string(str_);
+      out += '"';
+      return;
+    case Kind::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i != 0) out += ',';
+        arr_[i].dump_to(out);
+      }
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i != 0) out += ',';
+        out += '"';
+        out += json_escape_string(obj_[i].first);
+        out += "\":";
+        obj_[i].second.dump_to(out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view s, std::size_t max_depth)
+      : s_(s), max_depth_(max_depth) {}
+
+  JsonValue run() {
+    JsonValue v = value(0);
+    ws();
+    if (pos_ != s_.size()) fail("trailing bytes after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError("json: " + what, pos_);
+  }
+
+  bool eof() const { return pos_ >= s_.size(); }
+  char peek() const { return s_[pos_]; }
+  void ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r'))
+      ++pos_;
+  }
+  bool eat(char c) {
+    if (eof() || peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void expect(char c, const char* what) {
+    if (!eat(c)) fail(std::string("expected ") + what);
+  }
+  void literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word)
+      fail("bad literal (expected " + std::string(word) + ")");
+    pos_ += word.size();
+  }
+
+  std::string string() {
+    expect('"', "string");
+    std::string out;
+    for (;;) {
+      if (eof()) fail("unterminated string");
+      const char c = s_[pos_++];
+      const auto u = static_cast<unsigned char>(c);
+      if (c == '"') return out;
+      if (u < 0x20) fail("raw control byte in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (eof()) fail("truncated \\u escape");
+            const char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<std::uint32_t>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              cp |= static_cast<std::uint32_t>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              cp |= static_cast<std::uint32_t>(h - 'A' + 10);
+            else
+              fail("bad \\u escape digit");
+          }
+          // Encode the code point as UTF-8 (surrogates pass through as-is:
+          // the protocol only round-trips what clients send).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  double number() {
+    const std::size_t start = pos_;
+    eat('-');
+    if (eof() || !(peek() >= '0' && peek() <= '9')) fail("bad number");
+    while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    if (eat('.')) {
+      if (eof() || !(peek() >= '0' && peek() <= '9')) fail("bad fraction");
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || !(peek() >= '0' && peek() <= '9')) fail("bad exponent");
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string text(s_.substr(start, pos_ - start));
+    return std::strtod(text.c_str(), nullptr);
+  }
+
+  JsonValue value(std::size_t depth) {
+    if (depth > max_depth_) fail("nesting too deep");
+    ws();
+    if (eof()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{': {
+        ++pos_;
+        JsonValue v = JsonValue::object();
+        ws();
+        if (eat('}')) return v;
+        for (;;) {
+          ws();
+          std::string key = string();
+          ws();
+          expect(':', "':'");
+          v.set(std::move(key), value(depth + 1));
+          ws();
+          if (eat('}')) return v;
+          expect(',', "',' or '}'");
+        }
+      }
+      case '[': {
+        ++pos_;
+        JsonValue v = JsonValue::array();
+        ws();
+        if (eat(']')) return v;
+        for (;;) {
+          v.push(value(depth + 1));
+          ws();
+          if (eat(']')) return v;
+          expect(',', "',' or ']'");
+        }
+      }
+      case '"': return JsonValue::string(string());
+      case 't': literal("true"); return JsonValue::boolean(true);
+      case 'f': literal("false"); return JsonValue::boolean(false);
+      case 'n': literal("null"); return JsonValue::null();
+      default: return JsonValue::number(number());
+    }
+  }
+
+  std::string_view s_;
+  std::size_t max_depth_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::parse(std::string_view text, std::size_t max_depth) {
+  return Parser(text, max_depth).run();
+}
+
+}  // namespace pathview::serve

@@ -1,0 +1,102 @@
+// A small JSON value type with a hardened parser and a deterministic
+// writer, used by the serve protocol.
+//
+// The serve subsystem talks framed JSON over a socket, which makes this a
+// server-facing input path: the parser enforces a nesting-depth limit,
+// checks every length before consuming it, and reports failures as typed
+// ParseError (never crashes or allocates proportionally to a claimed —
+// rather than actual — input size). The writer is deterministic: object
+// keys keep insertion order, integral numbers within the double-exact range
+// print as integers, everything else as %.17g — so a response's bytes
+// depend only on the values encoded, never on thread count or timing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pathview::serve {
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull = 0,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  JsonValue() = default;  // null
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool b);
+  static JsonValue number(double v);
+  static JsonValue number(std::uint64_t v) {
+    return number(static_cast<double>(v));
+  }
+  static JsonValue number(std::int64_t v) {
+    return number(static_cast<double>(v));
+  }
+  static JsonValue string(std::string s);
+  static JsonValue array();
+  static JsonValue object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw InvalidArgument on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  // --- object/array builders -------------------------------------------------
+  /// Append/overwrite a member (object only); returns *this for chaining.
+  JsonValue& set(std::string key, JsonValue v);
+  /// Append an element (array only).
+  JsonValue& push(JsonValue v);
+
+  /// Object member lookup: nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+
+  // --- convenience getters for protocol fields -------------------------------
+  /// Member as a double; `fallback` when absent. Throws InvalidArgument when
+  /// present but not a number.
+  double get_number(std::string_view key, double fallback) const;
+  /// Member as a non-negative integer (ids, node numbers, widths).
+  std::uint64_t get_u64(std::string_view key, std::uint64_t fallback) const;
+  /// Member as a string; `fallback` when absent.
+  std::string get_string(std::string_view key, std::string_view fallback) const;
+  /// Member as a bool; `fallback` when absent.
+  bool get_bool(std::string_view key, bool fallback) const;
+
+  /// Deterministic compact serialization (no whitespace).
+  std::string dump() const;
+  void dump_to(std::string& out) const;
+
+  /// Parse one JSON document; throws ParseError on malformed input.
+  /// `max_depth` bounds recursion against hostile deeply-nested payloads.
+  static JsonValue parse(std::string_view text, std::size_t max_depth = 64);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+/// JSON string escaping (shared with the writer; exposed for tests).
+std::string json_escape_string(std::string_view s);
+
+}  // namespace pathview::serve

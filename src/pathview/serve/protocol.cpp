@@ -1,0 +1,180 @@
+#include "pathview/serve/protocol.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+#include "pathview/support/error.hpp"
+
+namespace pathview::serve {
+
+namespace {
+
+struct OpNames {
+  const char* wire;
+  const char* span;
+};
+
+constexpr OpNames kOpNames[kNumOps] = {
+    {"open", "serve.open"},
+    {"expand", "serve.expand"},
+    {"collapse", "serve.collapse"},
+    {"sort", "serve.sort"},
+    {"flatten", "serve.flatten"},
+    {"unflatten", "serve.unflatten"},
+    {"hot_path", "serve.hot_path"},
+    {"metrics", "serve.metrics"},
+    {"timeline_window", "serve.timeline_window"},
+    {"close", "serve.close"},
+    {"ping", "serve.ping"},
+    {"stats", "serve.stats"},
+    {"shutdown", "serve.shutdown"},
+};
+
+}  // namespace
+
+const char* op_name(Op op) { return kOpNames[static_cast<std::size_t>(op)].wire; }
+
+const char* op_span_name(Op op) {
+  return kOpNames[static_cast<std::size_t>(op)].span;
+}
+
+std::optional<Op> parse_op(std::string_view name) {
+  for (std::size_t i = 0; i < kNumOps; ++i)
+    if (name == kOpNames[i].wire) return static_cast<Op>(i);
+  return std::nullopt;
+}
+
+Request Request::from_json(JsonValue v) {
+  if (!v.is_object())
+    throw InvalidArgument("request must be a JSON object");
+  const auto version = static_cast<int>(v.get_u64("v", kProtocolVersion));
+  if (version != kProtocolVersion)
+    throw InvalidArgument("unsupported protocol version " +
+                          std::to_string(version) + " (this daemon speaks " +
+                          std::to_string(kProtocolVersion) + ")");
+  Request req;
+  req.id = v.get_u64("id", 0);
+  const std::string op = v.get_string("op", "");
+  if (op.empty()) throw InvalidArgument("request has no \"op\" field");
+  const std::optional<Op> parsed = parse_op(op);
+  if (!parsed) throw InvalidArgument("unknown op \"" + op + "\"");
+  req.op = *parsed;
+  req.body = std::move(v);
+  return req;
+}
+
+const char* error_kind_name(ErrorKind k) {
+  switch (k) {
+    case ErrorKind::kBadRequest: return "bad_request";
+    case ErrorKind::kNotFound: return "not_found";
+    case ErrorKind::kOverloaded: return "overloaded";
+    case ErrorKind::kDeadline: return "deadline";
+    case ErrorKind::kShutdown: return "shutdown";
+    case ErrorKind::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+JsonValue ok_response(std::uint64_t id) {
+  JsonValue v = JsonValue::object();
+  v.set("v", JsonValue::number(static_cast<std::int64_t>(kProtocolVersion)));
+  v.set("id", JsonValue::number(id));
+  v.set("ok", JsonValue::boolean(true));
+  return v;
+}
+
+JsonValue error_response(std::uint64_t id, ErrorKind kind,
+                         const std::string& message,
+                         std::uint32_t retry_after_ms) {
+  JsonValue v = JsonValue::object();
+  v.set("v", JsonValue::number(static_cast<std::int64_t>(kProtocolVersion)));
+  v.set("id", JsonValue::number(id));
+  v.set("ok", JsonValue::boolean(false));
+  JsonValue err = JsonValue::object();
+  err.set("kind", JsonValue::string(error_kind_name(kind)));
+  err.set("message", JsonValue::string(message));
+  v.set("error", std::move(err));
+  if (retry_after_ms > 0)
+    v.set("retry_after_ms",
+          JsonValue::number(static_cast<std::uint64_t>(retry_after_ms)));
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Framing.
+// ---------------------------------------------------------------------------
+
+std::string encode_frame(std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes)
+    throw InvalidArgument("frame payload exceeds " +
+                          std::to_string(kMaxFrameBytes) + " bytes");
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(payload.size() + 4);
+  out += static_cast<char>((n >> 24) & 0xff);
+  out += static_cast<char>((n >> 16) & 0xff);
+  out += static_cast<char>((n >> 8) & 0xff);
+  out += static_cast<char>(n & 0xff);
+  out += payload;
+  return out;
+}
+
+namespace {
+
+/// Read exactly `n` bytes; returns bytes read before EOF (== n on success).
+std::size_t read_exact(int fd, char* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r == 0) return got;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("socket read failed: ") + std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return got;
+}
+
+}  // namespace
+
+bool read_frame(int fd, std::string* out) {
+  char hdr[4];
+  const std::size_t got = read_exact(fd, hdr, 4);
+  if (got == 0) return false;  // clean EOF between frames
+  if (got < 4) throw Error("truncated frame header");
+  const std::uint32_t n = (static_cast<std::uint32_t>(
+                               static_cast<unsigned char>(hdr[0]))
+                           << 24) |
+                          (static_cast<std::uint32_t>(
+                               static_cast<unsigned char>(hdr[1]))
+                           << 16) |
+                          (static_cast<std::uint32_t>(
+                               static_cast<unsigned char>(hdr[2]))
+                           << 8) |
+                          static_cast<std::uint32_t>(
+                              static_cast<unsigned char>(hdr[3]));
+  if (n > kMaxFrameBytes)
+    throw Error("frame of " + std::to_string(n) + " bytes exceeds the " +
+                std::to_string(kMaxFrameBytes) + "-byte cap");
+  out->resize(n);
+  if (n != 0 && read_exact(fd, out->data(), n) < n)
+    throw Error("truncated frame payload");
+  return true;
+}
+
+void write_frame(int fd, std::string_view payload) {
+  const std::string framed = encode_frame(payload);
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t w = ::write(fd, framed.data() + sent, framed.size() - sent);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("socket write failed: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace pathview::serve

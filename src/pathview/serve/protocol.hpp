@@ -1,0 +1,110 @@
+// The pvserve wire protocol: framed JSON requests/responses over a local
+// TCP socket.
+//
+// Framing: every message is a 4-byte big-endian payload length followed by
+// that many bytes of UTF-8 JSON. Frames are capped at kMaxFrameBytes so a
+// hostile length prefix cannot make the daemon allocate unboundedly.
+//
+// Requests are JSON objects:
+//   {"v": 1, "id": <client sequence number>, "op": "<name>", ...params}
+// Responses echo the version and id:
+//   {"v": 1, "id": N, "ok": true, ...result}
+//   {"v": 1, "id": N, "ok": false,
+//    "error": {"kind": "...", "message": "..."} [, "retry_after_ms": M]}
+//
+// Responses are deterministic: for the same request sequence the daemon
+// produces byte-identical response streams regardless of its --threads
+// setting (the `stats` op, which reports live counters, is the documented
+// exception). See docs/serving.md for the full op reference.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "pathview/serve/json.hpp"
+
+namespace pathview::serve {
+
+inline constexpr int kProtocolVersion = 1;
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;  // 16 MiB
+
+// ---------------------------------------------------------------------------
+// Operations.
+// ---------------------------------------------------------------------------
+
+enum class Op : std::uint8_t {
+  kOpen = 0,       // {path [, view]} -> session + columns + root rows
+  kExpand,         // {session, node} -> rows for node's children
+  kCollapse,       // {session, node}
+  kSort,           // {session, column [, descending]}
+  kFlatten,        // {session} -> new display roots
+  kUnflatten,      // {session} -> new display roots
+  kHotPath,        // {session [, start] [, column]} -> path + rows
+  kMetrics,        // {session [, derive: {name, formula}]} -> column list
+  kTimelineWindow, // {session [, t0, t1, width, depth]} -> rank x pixel cells
+  kClose,          // {session}
+  kPing,           // {} -> version handshake
+  kStats,          // {} -> live server stats (NOT byte-deterministic)
+  kShutdown,       // {} -> ack, then the daemon begins graceful shutdown
+};
+
+inline constexpr std::size_t kNumOps = 13;
+
+/// Wire name of an op ("open", "expand", ...).
+const char* op_name(Op op);
+/// Parse a wire name; nullopt for unknown names.
+std::optional<Op> parse_op(std::string_view name);
+/// Obs span label for an op ("serve.open", ...), a static string.
+const char* op_span_name(Op op);
+
+// ---------------------------------------------------------------------------
+// Requests and responses.
+// ---------------------------------------------------------------------------
+
+struct Request {
+  std::uint64_t id = 0;
+  Op op = Op::kPing;
+  JsonValue body;  // the full request object (op-specific params)
+
+  /// Validate and decode one parsed request object. Throws InvalidArgument
+  /// on a missing/unknown op or an unsupported protocol version.
+  static Request from_json(JsonValue v);
+};
+
+/// Error kinds carried in the "error.kind" field.
+enum class ErrorKind : std::uint8_t {
+  kBadRequest = 0,  // malformed JSON / unknown op / bad params
+  kNotFound,        // unknown session, missing database or trace files
+  kOverloaded,      // request queue full; retry_after_ms is set
+  kDeadline,        // request expired before a worker picked it up
+  kShutdown,        // daemon is shutting down
+  kInternal,        // unexpected failure
+};
+
+const char* error_kind_name(ErrorKind k);
+
+/// {"v":1,"id":id,"ok":true} — extend with set() before dumping.
+JsonValue ok_response(std::uint64_t id);
+/// Error response; `retry_after_ms` > 0 adds the backpressure hint.
+JsonValue error_response(std::uint64_t id, ErrorKind kind,
+                         const std::string& message,
+                         std::uint32_t retry_after_ms = 0);
+
+// ---------------------------------------------------------------------------
+// Framing over file descriptors (blocking sockets).
+// ---------------------------------------------------------------------------
+
+/// Prefix `payload` with its 4-byte big-endian length.
+std::string encode_frame(std::string_view payload);
+
+/// Read one frame into `*out`. Returns false on clean EOF before any byte
+/// of the frame; throws pathview::Error on short reads, oversized frames,
+/// or socket errors.
+bool read_frame(int fd, std::string* out);
+
+/// Write one framed payload; throws pathview::Error on socket errors.
+void write_frame(int fd, std::string_view payload);
+
+}  // namespace pathview::serve

@@ -1,0 +1,332 @@
+#include "pathview/serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "pathview/obs/obs.hpp"
+#include "pathview/support/error.hpp"
+
+namespace pathview::serve {
+
+namespace {
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw InvalidArgument("bad listen address \"" + host +
+                          "\" (IPv4 dotted quad expected)");
+  return addr;
+}
+
+void close_quietly(int& fd) {
+  if (fd >= 0) ::close(fd);
+  fd = -1;
+}
+
+}  // namespace
+
+Server::Server() : Server(Options()) {}
+
+Server::Server(Options opts) : opts_(opts), sessions_(opts.sessions) {
+  if (opts_.threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    opts_.threads = hw == 0 ? 1 : hw;
+  }
+  if (opts_.queue_capacity == 0) opts_.queue_capacity = 1;
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  // Writes to a peer-closed socket must surface as EPIPE errors, not kill
+  // the daemon.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw Error(std::string("socket() failed: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr(opts_.host, opts_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    const std::string why = std::strerror(errno);
+    close_quietly(listen_fd_);
+    throw Error("cannot bind " + opts_.host + ":" +
+                std::to_string(opts_.port) + ": " + why);
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const std::string why = std::strerror(errno);
+    close_quietly(listen_fd_);
+    throw Error("listen() failed: " + why);
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen) <
+      0) {
+    const std::string why = std::strerror(errno);
+    close_quietly(listen_fd_);
+    throw Error("getsockname() failed: " + why);
+  }
+  port_ = ntohs(bound.sin_port);
+
+  if (::pipe(stop_pipe_) < 0) {
+    const std::string why = std::strerror(errno);
+    close_quietly(listen_fd_);
+    throw Error("pipe() failed: " + why);
+  }
+
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  workers_.reserve(opts_.threads);
+  for (std::size_t i = 0; i < opts_.threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::request_stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  {
+    // Wake the accept loop's poll(); the byte's value is irrelevant.
+    // stop_mu_ orders the write against wait() closing the pipe.
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (stop_pipe_[1] >= 0) {
+      const char b = 0;
+      [[maybe_unused]] ssize_t r = ::write(stop_pipe_[1], &b, 1);
+    }
+  }
+  queue_cv_.notify_all();
+}
+
+void Server::wait() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Unblock connection threads stuck in read_frame(), then join them — the
+  // threads are moved out first because a finishing connection thread locks
+  // conn_mu_ to record its exit.
+  close_connections();
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto& [fd, th] : conns_) to_join.push_back(std::move(th));
+  }
+  for (std::thread& th : to_join)
+    if (th.joinable()) th.join();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto& [fd, th] : conns_) close_quietly(fd);
+    conns_.clear();
+  }
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_)
+    if (w.joinable()) w.join();
+  workers_.clear();
+  close_quietly(listen_fd_);
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    close_quietly(stop_pipe_[0]);
+    close_quietly(stop_pipe_[1]);
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void Server::stop() {
+  request_stop();
+  wait();
+}
+
+void Server::close_connections() {
+  // SHUT_RD, not RDWR: blocked read_frame() calls wake with EOF while the
+  // write side stays open, so a response already being produced (e.g. the
+  // reply to "shutdown" itself) still reaches its client.
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (auto& [fd, th] : conns_)
+    if (fd >= 0) ::shutdown(fd, SHUT_RD);
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int pr = ::poll(fds, 2, -1);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // stop requested
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    conns_.emplace_back(fd, std::thread([this, fd] { serve_connection(fd); }));
+  }
+}
+
+void Server::serve_connection(int fd) {
+  PV_SPAN("serve.connection");
+  std::string payload;
+  try {
+    // One frame at a time: the response is on the wire before the next
+    // request is read, which is what makes per-connection streams
+    // deterministic under any worker count.
+    while (read_frame(fd, &payload)) {
+      const JsonValue resp = process(payload);
+      write_frame(fd, resp.dump());
+    }
+  } catch (const std::exception&) {
+    // Torn connection or malformed framing: drop the connection. Sessions
+    // are daemon-scoped and unaffected.
+  }
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (auto& [cfd, th] : conns_)
+    if (cfd == fd) {
+      ::close(fd);
+      cfd = -1;
+      break;
+    }
+}
+
+JsonValue Server::process(const std::string& payload) {
+  // Parse on the connection thread (cheap); run the op on the pool.
+  std::uint64_t id = 0;
+  Request req;
+  try {
+    JsonValue v = JsonValue::parse(payload);
+    if (v.is_object()) id = v.get_u64("id", 0);
+    req = Request::from_json(std::move(v));
+  } catch (const Error& e) {
+    return error_response(id, ErrorKind::kBadRequest, e.what());
+  }
+
+  if (stopping_.load(std::memory_order_acquire))
+    return error_response(req.id, ErrorKind::kShutdown,
+                          "server is shutting down");
+
+  Job job;
+  job.req = std::move(req);
+  job.deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(opts_.deadline_ms);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_.size() >= opts_.queue_capacity) {
+      rejects_full_.fetch_add(1, std::memory_order_relaxed);
+      PV_COUNTER_ADD("serve.rejects.queue_full", 1);
+      return error_response(job.req.id, ErrorKind::kOverloaded,
+                            "request queue is full", opts_.retry_after_ms);
+    }
+    queue_.push_back(&job);
+    PV_COUNTER_SET("serve.queue.depth", queue_.size());
+  }
+  queue_cv_.notify_one();
+
+  std::unique_lock<std::mutex> jlock(job.mu);
+  job.cv.wait(jlock, [&job] { return job.done; });
+  return std::move(job.resp);
+}
+
+void Server::worker_loop() {
+  while (true) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return !queue_.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      // Drain the queue even when stopping: connection threads are parked
+      // on these jobs.
+      if (queue_.empty()) return;
+      job = queue_.front();
+      queue_.pop_front();
+      PV_COUNTER_SET("serve.queue.depth", queue_.size());
+    }
+    JsonValue resp;
+    if (std::chrono::steady_clock::now() > job->deadline) {
+      rejects_deadline_.fetch_add(1, std::memory_order_relaxed);
+      PV_COUNTER_ADD("serve.rejects.deadline", 1);
+      resp = error_response(job->req.id, ErrorKind::kDeadline,
+                            "request sat in queue past its " +
+                                std::to_string(opts_.deadline_ms) +
+                                "ms deadline",
+                            opts_.retry_after_ms);
+    } else {
+      resp = execute(job->req);
+    }
+    {
+      // Notify while holding the mutex: the waiter owns the Job on its
+      // stack and may destroy it the instant it observes done, so the cv
+      // must not be touched after the lock is released.
+      std::lock_guard<std::mutex> jlock(job->mu);
+      job->resp = std::move(resp);
+      job->done = true;
+      job->cv.notify_one();
+    }
+  }
+}
+
+JsonValue Server::execute(const Request& req) {
+  PV_SPAN(op_span_name(req.op));
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  PV_COUNTER_ADD("serve.requests", 1);
+  JsonValue resp = sessions_.handle(req);
+  if (req.op == Op::kShutdown) {
+    request_stop();
+    resp.set("stopping", JsonValue::boolean(true));
+  } else if (req.op == Op::kStats) {
+    // Queue-side stats only the server knows; "stats" responses are the
+    // documented exception to byte determinism.
+    JsonValue q = JsonValue::object();
+    q.set("threads", JsonValue::number(
+                         static_cast<std::uint64_t>(opts_.threads)));
+    q.set("queue_capacity", JsonValue::number(static_cast<std::uint64_t>(
+                                opts_.queue_capacity)));
+    std::size_t depth;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      depth = queue_.size();
+    }
+    q.set("queue_depth", JsonValue::number(static_cast<std::uint64_t>(depth)));
+    q.set("requests", JsonValue::number(requests_handled()));
+    q.set("rejects_queue_full", JsonValue::number(queue_full_rejects()));
+    q.set("rejects_deadline", JsonValue::number(deadline_rejects()));
+    resp.set("server", std::move(q));
+  }
+  return resp;
+}
+
+int connect_to(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw Error(std::string("socket() failed: ") + std::strerror(errno));
+  sockaddr_in addr = make_addr(host, port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw Error("cannot connect to " + host + ":" + std::to_string(port) +
+                ": " + why);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace pathview::serve

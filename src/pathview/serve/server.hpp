@@ -1,0 +1,141 @@
+// The pvserve daemon core: a TCP localhost server speaking the framed
+// protocol of protocol.hpp, dispatching requests onto a bounded worker pool
+// over one SessionManager.
+//
+// Concurrency model (and the determinism contract): each connection is read
+// by its own thread, which submits ONE request at a time to the pool and
+// waits for the response before reading the next frame. Work from distinct
+// connections interleaves freely in the pool; work from one connection is
+// strictly sequential. Combined with the per-session mutex and the
+// deterministic JSON writer, the byte stream a client observes for a given
+// request sequence is identical regardless of --threads.
+//
+// Backpressure: when the queue is full the connection thread answers
+// {"ok":false,"error":{"kind":"overloaded"},...,"retry_after_ms":N} itself,
+// without enqueueing — an overloaded server keeps rejecting cheaply instead
+// of collapsing. Requests that sat in the queue past their deadline are
+// answered with kind "deadline" when a worker finally dequeues them.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pathview/serve/session.hpp"
+
+namespace pathview::serve {
+
+class Server {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    /// 0 = pick an ephemeral port (read it back via port()).
+    std::uint16_t port = 0;
+    /// Worker threads; 0 = hardware concurrency (at least 1).
+    std::size_t threads = 0;
+    /// Bounded request queue; submissions beyond this are rejected.
+    std::size_t queue_capacity = 128;
+    /// Per-request deadline, measured from submission to dequeue.
+    std::uint32_t deadline_ms = 10000;
+    /// Suggested client back-off attached to overload rejections.
+    std::uint32_t retry_after_ms = 50;
+    SessionManager::Options sessions;
+  };
+
+  Server();
+  explicit Server(Options opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, and spawn the accept + worker threads. Throws Error when
+  /// the address cannot be bound.
+  void start();
+
+  /// The bound port (valid after start(); resolves port 0 requests).
+  std::uint16_t port() const { return port_; }
+
+  /// Signal shutdown without blocking (safe from any thread, including a
+  /// worker answering a "shutdown" request).
+  void request_stop();
+
+  /// Block until the server has stopped and every thread is joined.
+  void wait();
+
+  /// request_stop() + wait().
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  SessionManager& sessions() { return sessions_; }
+  const Options& options() const { return opts_; }
+
+  /// Lifetime totals (also embedded in "stats" responses).
+  std::uint64_t requests_handled() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t queue_full_rejects() const {
+    return rejects_full_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t deadline_rejects() const {
+    return rejects_deadline_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One in-flight request; lives on the submitting connection thread's
+  /// stack, so the queue holds raw pointers.
+  struct Job {
+    Request req;
+    JsonValue resp;
+    bool done = false;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  void accept_loop();
+  void serve_connection(int fd);
+  /// Parse + dispatch one frame, returning the response to write.
+  JsonValue process(const std::string& payload);
+  void worker_loop();
+  JsonValue execute(const Request& req);
+  void close_connections();
+
+  Options opts_;
+  SessionManager sessions_;
+
+  int listen_fd_ = -1;
+  std::mutex stop_mu_;  // orders stop-pipe writes against its close
+  int stop_pipe_[2] = {-1, -1};  // self-pipe: wakes the accept loop's poll
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex conn_mu_;
+  std::vector<std::pair<int, std::thread>> conns_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job*> queue_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> rejects_full_{0};
+  std::atomic<std::uint64_t> rejects_deadline_{0};
+};
+
+/// Connect to a pvserve daemon; returns the socket fd. Throws Error on
+/// failure. Used by `pvserve --client`, the e2e tests, and the bench.
+int connect_to(const std::string& host, std::uint16_t port);
+
+}  // namespace pathview::serve

@@ -1,0 +1,461 @@
+#include "pathview/serve/session.hpp"
+
+#include <algorithm>
+
+#include "pathview/analysis/timeline.hpp"
+#include "pathview/core/flatten.hpp"
+#include "pathview/core/sort.hpp"
+#include "pathview/metrics/attribution.hpp"
+#include "pathview/obs/obs.hpp"
+#include "pathview/support/error.hpp"
+
+namespace pathview::serve {
+
+namespace {
+
+/// Internal control-flow exception carrying the protocol error kind.
+struct ServeError : Error {
+  ServeError(ErrorKind k, const std::string& what) : Error(what), kind(k) {}
+  ErrorKind kind;
+};
+
+core::ViewType parse_view(const std::string& name) {
+  if (name == "cct" || name.empty()) return core::ViewType::kCallingContext;
+  if (name == "callers") return core::ViewType::kCallers;
+  if (name == "flat") return core::ViewType::kFlat;
+  throw ServeError(ErrorKind::kBadRequest,
+                   "unknown view \"" + name + "\" (cct|callers|flat)");
+}
+
+const char* metric_kind_name(metrics::MetricKind k) {
+  switch (k) {
+    case metrics::MetricKind::kRaw: return "raw";
+    case metrics::MetricKind::kDerived: return "derived";
+    case metrics::MetricKind::kSummary: return "summary";
+  }
+  return "raw";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Session.
+// ---------------------------------------------------------------------------
+
+Session::Session(std::string sid, std::string path,
+                 std::shared_ptr<const db::Experiment> exp,
+                 core::ViewType view)
+    : sid_(std::move(sid)),
+      path_(std::move(path)),
+      exp_(std::move(exp)),
+      attr_(metrics::attribute_metrics(exp_->cct(), metrics::all_events())) {
+  viewer_ = std::make_unique<ui::ViewerController>(exp_->cct(), attr_);
+  viewer_->select_view(view);
+  // Stored derived metrics become columns of this session's tables, exactly
+  // as pvviewer applies them on load.
+  for (const metrics::MetricDesc& d : exp_->user_metrics())
+    viewer_->add_derived(d.name, d.formula);
+}
+
+void Session::check_node(std::uint64_t id) const {
+  if (id >= viewer_->current().size())
+    throw ServeError(ErrorKind::kBadRequest,
+                     "node " + std::to_string(id) + " out of range (view has " +
+                         std::to_string(viewer_->current().size()) +
+                         " materialized nodes)");
+}
+
+const std::vector<core::ViewNodeId>& Session::display_children(
+    core::ViewNodeId id) {
+  return viewer_->current().children_of(id);
+}
+
+JsonValue Session::encode_rows(const std::vector<core::ViewNodeId>& ids) {
+  core::View& view = viewer_->current();
+  const metrics::MetricTable& table = view.table();
+  JsonValue rows = JsonValue::array();
+  for (core::ViewNodeId id : ids) {
+    const core::ViewNode& n = view.node(id);
+    std::string label = view.label(id);
+    if (n.scope != structure::kSNull) {
+      const structure::SNode& sn = view.tree().node(n.scope);
+      if (sn.kind == structure::SKind::kProc && !sn.has_source)
+        label = "[" + label + "]";  // the paper's "plain black" rendering
+    }
+    // The tree-table's lazy expandability test: an unbuilt node might have
+    // children; a built one is asked directly. Never materializes.
+    const bool expandable = !n.children_built || !n.children.empty();
+    JsonValue row = JsonValue::object();
+    row.set("id", JsonValue::number(static_cast<std::uint64_t>(id)));
+    row.set("label", JsonValue::string(std::move(label)));
+    row.set("expandable", JsonValue::boolean(expandable));
+    if (view.is_call_site(id)) row.set("call_site", JsonValue::boolean(true));
+    JsonValue vals = JsonValue::array();
+    for (metrics::ColumnId c = 0; c < table.num_columns(); ++c)
+      vals.push(JsonValue::number(table.get(c, id)));
+    row.set("metrics", std::move(vals));
+    rows.push(std::move(row));
+  }
+  PV_COUNTER_ADD("serve.rows_encoded", ids.size());
+  return rows;
+}
+
+JsonValue Session::encode_columns() const {
+  const metrics::MetricTable& table = viewer_->current().table();
+  JsonValue cols = JsonValue::array();
+  for (metrics::ColumnId c = 0; c < table.num_columns(); ++c) {
+    const metrics::MetricDesc& d = table.desc(c);
+    JsonValue col = JsonValue::object();
+    col.set("id", JsonValue::number(static_cast<std::uint64_t>(c)));
+    col.set("name", JsonValue::string(d.name));
+    col.set("kind", JsonValue::string(metric_kind_name(d.kind)));
+    col.set("inclusive", JsonValue::boolean(d.inclusive));
+    cols.push(std::move(col));
+  }
+  return cols;
+}
+
+void Session::ensure_traces() {
+  if (traces_loaded_) {
+    if (traces_.empty())
+      throw ServeError(ErrorKind::kNotFound,
+                       "experiment has no trace directory");
+    return;
+  }
+  traces_loaded_ = true;
+  try {
+    traces_ = db::open_traces(db::trace_dir_for(path_));
+  } catch (const Error& e) {
+    throw ServeError(ErrorKind::kNotFound,
+                     std::string("no traces for this experiment: ") + e.what());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SessionManager.
+// ---------------------------------------------------------------------------
+
+SessionManager::SessionManager() : SessionManager(Options()) {}
+
+SessionManager::SessionManager(Options opts)
+    : opts_(opts), cache_(opts.cache) {}
+
+std::shared_ptr<Session> SessionManager::find(const std::string& sid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(sid);
+  if (it == sessions_.end())
+    throw ServeError(ErrorKind::kNotFound, "unknown session \"" + sid + "\"");
+  return it->second;
+}
+
+std::size_t SessionManager::open_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+std::uint64_t SessionManager::sessions_opened() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_sid_ - 1;
+}
+
+std::size_t SessionManager::close_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t n = sessions_.size();
+  sessions_.clear();
+  PV_COUNTER_SET("serve.sessions.open", 0);
+  return n;
+}
+
+JsonValue SessionManager::handle(const Request& req) {
+  try {
+    switch (req.op) {
+      case Op::kOpen: return do_open(req);
+      case Op::kClose: return do_close(req);
+      case Op::kPing: return do_ping(req);
+      case Op::kStats: return do_stats(req);
+      case Op::kShutdown: return ok_response(req.id);
+      default: return do_session_op(req);
+    }
+  } catch (const ServeError& e) {
+    return error_response(req.id, e.kind, e.what());
+  } catch (const Error& e) {
+    // InvalidArgument / ParseError from views, formulas, loaders.
+    return error_response(req.id, ErrorKind::kBadRequest, e.what());
+  } catch (const std::exception& e) {
+    return error_response(req.id, ErrorKind::kInternal, e.what());
+  }
+}
+
+JsonValue SessionManager::do_open(const Request& req) {
+  const std::string path = req.body.get_string("path", "");
+  if (path.empty())
+    throw ServeError(ErrorKind::kBadRequest, "open: missing \"path\"");
+  const core::ViewType view = parse_view(req.body.get_string("view", "cct"));
+
+  std::shared_ptr<const db::Experiment> exp;
+  try {
+    exp = cache_.get(path);
+  } catch (const Error& e) {
+    throw ServeError(ErrorKind::kNotFound,
+                     "cannot load \"" + path + "\": " + e.what());
+  }
+
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sessions_.size() >= opts_.max_sessions)
+      throw ServeError(ErrorKind::kOverloaded,
+                       "session limit (" +
+                           std::to_string(opts_.max_sessions) + ") reached");
+    const std::string sid = "s" + std::to_string(next_sid_++);
+    session = std::make_shared<Session>(sid, path, std::move(exp), view);
+    sessions_.emplace(sid, session);
+    PV_COUNTER_SET("serve.sessions.open", sessions_.size());
+  }
+  PV_COUNTER_ADD("serve.sessions.opened", 1);
+
+  std::lock_guard<std::mutex> slock(session->mu_);
+  JsonValue resp = ok_response(req.id);
+  resp.set("session", JsonValue::string(session->sid()));
+  resp.set("name", JsonValue::string(session->exp_->name()));
+  resp.set("nranks", JsonValue::number(static_cast<std::uint64_t>(
+                         session->exp_->nranks())));
+  resp.set("scopes", JsonValue::number(static_cast<std::uint64_t>(
+                         session->exp_->cct().size())));
+  resp.set("view", JsonValue::string(
+                       core::view_type_name(session->viewer_->current_view_type())));
+  resp.set("columns", session->encode_columns());
+  // The initially visible rows: the view root's children, nothing deeper.
+  resp.set("rows",
+           session->encode_rows(session->display_children(core::kViewRoot)));
+  return resp;
+}
+
+JsonValue SessionManager::do_close(const Request& req) {
+  const std::string sid = req.body.get_string("session", "");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(sid);
+  if (it == sessions_.end())
+    throw ServeError(ErrorKind::kNotFound, "unknown session \"" + sid + "\"");
+  sessions_.erase(it);
+  PV_COUNTER_SET("serve.sessions.open", sessions_.size());
+  PV_COUNTER_ADD("serve.sessions.closed", 1);
+  JsonValue resp = ok_response(req.id);
+  resp.set("closed", JsonValue::string(sid));
+  return resp;
+}
+
+JsonValue SessionManager::do_ping(const Request& req) const {
+  JsonValue resp = ok_response(req.id);
+  resp.set("server", JsonValue::string("pvserve"));
+  resp.set("protocol",
+           JsonValue::number(static_cast<std::int64_t>(kProtocolVersion)));
+  return resp;
+}
+
+JsonValue SessionManager::do_stats(const Request& req) {
+  const ExperimentCache::Stats cs = cache_.stats();
+  JsonValue resp = ok_response(req.id);
+  resp.set("sessions_open",
+           JsonValue::number(static_cast<std::uint64_t>(open_sessions())));
+  resp.set("sessions_opened", JsonValue::number(sessions_opened()));
+  JsonValue cache = JsonValue::object();
+  cache.set("hits", JsonValue::number(cs.hits));
+  cache.set("misses", JsonValue::number(cs.misses));
+  cache.set("evictions", JsonValue::number(cs.evictions));
+  cache.set("resident_bytes",
+            JsonValue::number(static_cast<std::uint64_t>(cs.resident_bytes)));
+  cache.set("entries",
+            JsonValue::number(static_cast<std::uint64_t>(cs.entries)));
+  cache.set("byte_budget", JsonValue::number(static_cast<std::uint64_t>(
+                               cache_.byte_budget())));
+  resp.set("cache", std::move(cache));
+  return resp;
+}
+
+JsonValue SessionManager::do_session_op(const Request& req) {
+  const std::string sid = req.body.get_string("session", "");
+  if (sid.empty())
+    throw ServeError(ErrorKind::kBadRequest, "missing \"session\"");
+  std::shared_ptr<Session> session = find(sid);
+  std::lock_guard<std::mutex> lock(session->mu_);
+  switch (req.op) {
+    case Op::kExpand: return op_expand(*session, req);
+    case Op::kCollapse: return op_collapse(*session, req);
+    case Op::kSort: return op_sort(*session, req);
+    case Op::kFlatten: return op_flatten(*session, req, /*unflatten=*/false);
+    case Op::kUnflatten: return op_flatten(*session, req, /*unflatten=*/true);
+    case Op::kHotPath: return op_hot_path(*session, req);
+    case Op::kMetrics: return op_metrics(*session, req);
+    case Op::kTimelineWindow: return op_timeline_window(*session, req);
+    default:
+      throw ServeError(ErrorKind::kBadRequest, "op not valid on a session");
+  }
+}
+
+JsonValue SessionManager::op_expand(Session& s, const Request& req) {
+  const std::uint64_t node = req.body.get_u64("node", core::kViewRoot);
+  s.check_node(node);
+  const auto id = static_cast<core::ViewNodeId>(node);
+  core::View& view = s.viewer_->current();
+  const std::size_t before = view.size();
+  s.viewer_->expand(id);
+  // Keep the active sort: only the children just materialized are ordered —
+  // work stays proportional to the returned rows.
+  if (s.sort_col_)
+    core::sort_children_by(view, id, *s.sort_col_, s.sort_desc_);
+  PV_COUNTER_ADD("serve.nodes_materialized", view.size() - before);
+  JsonValue resp = ok_response(req.id);
+  resp.set("node", JsonValue::number(node));
+  resp.set("rows", s.encode_rows(s.display_children(id)));
+  return resp;
+}
+
+JsonValue SessionManager::op_collapse(Session& s, const Request& req) {
+  const std::uint64_t node = req.body.get_u64("node", core::kViewRoot);
+  s.check_node(node);
+  s.viewer_->collapse(static_cast<core::ViewNodeId>(node));
+  JsonValue resp = ok_response(req.id);
+  resp.set("node", JsonValue::number(node));
+  return resp;
+}
+
+JsonValue SessionManager::op_sort(Session& s, const Request& req) {
+  const std::uint64_t col = req.body.get_u64("column", 0);
+  core::View& view = s.viewer_->current();
+  if (col >= view.table().num_columns())
+    throw ServeError(ErrorKind::kBadRequest,
+                     "sort: column " + std::to_string(col) + " out of range");
+  const bool desc = req.body.get_bool("descending", true);
+  s.sort_col_ = static_cast<metrics::ColumnId>(col);
+  s.sort_desc_ = desc;
+  s.viewer_->sort_by(*s.sort_col_, desc);
+  // Re-order what is already built (visible rows); lazily materialized
+  // levels are sorted as they appear in op_expand.
+  core::sort_built_by(view, *s.sort_col_, desc);
+  JsonValue resp = ok_response(req.id);
+  resp.set("column", JsonValue::number(col));
+  resp.set("descending", JsonValue::boolean(desc));
+  resp.set("rows", s.encode_rows(s.display_children(core::kViewRoot)));
+  return resp;
+}
+
+JsonValue SessionManager::op_flatten(Session& s, const Request& req,
+                                     bool unflatten) {
+  if (!s.flatten_)
+    s.flatten_ = std::make_unique<core::FlattenState>(s.viewer_->current());
+  const std::size_t before = s.viewer_->current().size();
+  const bool changed = unflatten ? s.flatten_->unflatten()
+                                 : s.flatten_->flatten();
+  PV_COUNTER_ADD("serve.nodes_materialized",
+                 s.viewer_->current().size() - before);
+  JsonValue resp = ok_response(req.id);
+  resp.set("changed", JsonValue::boolean(changed));
+  resp.set("depth",
+           JsonValue::number(static_cast<std::uint64_t>(s.flatten_->depth())));
+  resp.set("rows", s.encode_rows(s.flatten_->roots()));
+  return resp;
+}
+
+JsonValue SessionManager::op_hot_path(Session& s, const Request& req) {
+  const std::uint64_t start = req.body.get_u64("start", core::kViewRoot);
+  s.check_node(start);
+  const std::uint64_t col = req.body.get_u64("column", 0);
+  core::View& view = s.viewer_->current();
+  if (col >= view.table().num_columns())
+    throw ServeError(ErrorKind::kBadRequest,
+                     "hot_path: column " + std::to_string(col) +
+                         " out of range");
+  const double threshold = req.body.get_number("threshold", 0);
+  if (threshold != 0) {
+    if (!(threshold > 0) || threshold > 1)
+      throw ServeError(ErrorKind::kBadRequest,
+                       "hot_path: threshold must be in (0, 1]");
+    s.viewer_->set_hot_path_threshold(threshold);
+  }
+  const std::size_t before = view.size();
+  const std::vector<core::ViewNodeId> path = s.viewer_->run_hot_path(
+      static_cast<core::ViewNodeId>(start),
+      static_cast<metrics::ColumnId>(col));
+  PV_COUNTER_ADD("serve.nodes_materialized", view.size() - before);
+  JsonValue resp = ok_response(req.id);
+  JsonValue ids = JsonValue::array();
+  for (core::ViewNodeId id : path)
+    ids.push(JsonValue::number(static_cast<std::uint64_t>(id)));
+  resp.set("path", std::move(ids));
+  resp.set("rows", s.encode_rows(path));
+  return resp;
+}
+
+JsonValue SessionManager::op_metrics(Session& s, const Request& req) {
+  JsonValue resp = ok_response(req.id);
+  if (const JsonValue* derive = req.body.find("derive")) {
+    const std::string name = derive->get_string("name", "");
+    const std::string formula = derive->get_string("formula", "");
+    if (name.empty() || formula.empty())
+      throw ServeError(ErrorKind::kBadRequest,
+                       "metrics.derive needs \"name\" and \"formula\"");
+    // Bad formulas throw InvalidArgument -> bad_request.
+    const metrics::ColumnId c = s.viewer_->add_derived(name, formula);
+    resp.set("derived",
+             JsonValue::number(static_cast<std::uint64_t>(c)));
+  }
+  resp.set("columns", s.encode_columns());
+  return resp;
+}
+
+JsonValue SessionManager::op_timeline_window(Session& s, const Request& req) {
+  s.ensure_traces();
+  analysis::TimelineOptions topts;
+  topts.width = static_cast<std::size_t>(
+      std::clamp<std::uint64_t>(req.body.get_u64("width", 96), 1, 2048));
+  topts.depth = static_cast<int>(
+      std::clamp<std::uint64_t>(req.body.get_u64("depth", 1), 0, 64));
+  topts.t0 = req.body.get_u64("t0", 0);
+  topts.t1 = req.body.get_u64("t1", 0);
+  const ui::TimelineImage img =
+      analysis::build_timeline(s.traces_, s.exp_->cct(), topts);
+
+  JsonValue resp = ok_response(req.id);
+  resp.set("t0", JsonValue::number(img.t0));
+  resp.set("t1", JsonValue::number(img.t1));
+  resp.set("depth",
+           JsonValue::number(static_cast<std::int64_t>(img.depth)));
+  resp.set("width", JsonValue::number(static_cast<std::uint64_t>(img.width())));
+  JsonValue ranks = JsonValue::array();
+  for (std::uint32_t r : img.ranks)
+    ranks.push(JsonValue::number(static_cast<std::uint64_t>(r)));
+  resp.set("ranks", std::move(ranks));
+
+  // Cells as node ids (-1 = no activity); the legend maps the distinct ids
+  // that actually appear to their scope labels.
+  std::vector<prof::CctNodeId> distinct;
+  JsonValue cells = JsonValue::array();
+  for (const auto& row : img.cells) {
+    JsonValue jrow = JsonValue::array();
+    for (prof::CctNodeId c : row) {
+      if (c == prof::kCctNull) {
+        jrow.push(JsonValue::number(static_cast<std::int64_t>(-1)));
+      } else {
+        jrow.push(JsonValue::number(static_cast<std::uint64_t>(c)));
+        if (std::find(distinct.begin(), distinct.end(), c) == distinct.end())
+          distinct.push_back(c);
+      }
+    }
+    cells.push(std::move(jrow));
+  }
+  resp.set("cells", std::move(cells));
+  JsonValue legend = JsonValue::array();
+  for (prof::CctNodeId c : distinct) {
+    JsonValue entry = JsonValue::object();
+    entry.set("node", JsonValue::number(static_cast<std::uint64_t>(c)));
+    entry.set("label", JsonValue::string(s.exp_->cct().label(c)));
+    legend.push(std::move(entry));
+  }
+  resp.set("legend", std::move(legend));
+  PV_COUNTER_ADD("serve.timeline_cells",
+                 img.cells.size() * (img.cells.empty() ? 0 : img.width()));
+  return resp;
+}
+
+}  // namespace pathview::serve

@@ -1,0 +1,118 @@
+// Session-scoped lazy view cursors, and the request handlers over them.
+//
+// A Session is the server-side analog of one hpcviewer window: it pins a
+// shared immutable Experiment, owns the metric attribution and the three
+// lazily-built views (via ui::ViewerController), and tracks expansion +
+// sort state. Every navigation request does work proportional to the rows
+// it returns — `expand` materializes exactly the children of one node,
+// never the whole CCT — which is the paper's scalability principle moved
+// behind the network boundary.
+//
+// Sessions are daemon-scoped (they survive connection close, so one-shot
+// `pvserve --client` calls can script a navigation sequence) and are
+// identified by dense ids "s1", "s2", ... in creation order. A per-session
+// mutex serializes operations on one session; distinct sessions proceed in
+// parallel.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pathview/db/trace.hpp"
+#include "pathview/serve/experiment_cache.hpp"
+#include "pathview/serve/protocol.hpp"
+#include "pathview/ui/controller.hpp"
+
+namespace pathview::serve {
+
+class Session {
+ public:
+  Session(std::string sid, std::string path,
+          std::shared_ptr<const db::Experiment> exp, core::ViewType view);
+
+  const std::string& sid() const { return sid_; }
+
+ private:
+  friend class SessionManager;
+
+  /// Rows for `ids` in the current view: id, label, expandable flag,
+  /// call-site flag, and every metric column's value.
+  JsonValue encode_rows(const std::vector<core::ViewNodeId>& ids);
+  JsonValue encode_columns() const;
+  /// Children of `id` in display (post-sort) order.
+  const std::vector<core::ViewNodeId>& display_children(core::ViewNodeId id);
+  void check_node(std::uint64_t id) const;
+  /// Lazily open the experiment's trace directory (throws kNotFound-style
+  /// InvalidArgument when the experiment has no traces).
+  void ensure_traces();
+
+  std::string sid_;
+  std::string path_;
+  std::shared_ptr<const db::Experiment> exp_;
+  metrics::Attribution attr_;
+  std::unique_ptr<ui::ViewerController> viewer_;
+  std::optional<metrics::ColumnId> sort_col_;
+  bool sort_desc_ = true;
+  /// Session-owned flatten cursor over the current view (built on first
+  /// flatten/unflatten request).
+  std::unique_ptr<core::FlattenState> flatten_;
+  bool traces_loaded_ = false;
+  std::vector<std::unique_ptr<db::TraceReader>> traces_;
+  std::mutex mu_;  // serializes requests against this session
+};
+
+class SessionManager {
+ public:
+  struct Options {
+    ExperimentCache::Options cache;
+    std::size_t max_sessions = 256;
+    core::ViewType default_view = core::ViewType::kCallingContext;
+  };
+
+  SessionManager();
+  explicit SessionManager(Options opts);
+
+  /// Execute one request, returning the response object. Never throws:
+  /// failures become {"ok":false} error responses.
+  JsonValue handle(const Request& req);
+
+  std::size_t open_sessions() const;
+  /// Total sessions ever opened (open + closed).
+  std::uint64_t sessions_opened() const;
+  /// Drop every live session; returns how many were force-closed. Used at
+  /// daemon shutdown to report orphaned sessions.
+  std::size_t close_all();
+
+  ExperimentCache& cache() { return cache_; }
+
+ private:
+  JsonValue do_open(const Request& req);
+  JsonValue do_close(const Request& req);
+  JsonValue do_session_op(const Request& req);
+  JsonValue do_ping(const Request& req) const;
+  JsonValue do_stats(const Request& req);
+
+  // Session-op bodies; called with the session's mutex held.
+  JsonValue op_expand(Session& s, const Request& req);
+  JsonValue op_collapse(Session& s, const Request& req);
+  JsonValue op_sort(Session& s, const Request& req);
+  JsonValue op_flatten(Session& s, const Request& req, bool unflatten);
+  JsonValue op_hot_path(Session& s, const Request& req);
+  JsonValue op_metrics(Session& s, const Request& req);
+  JsonValue op_timeline_window(Session& s, const Request& req);
+
+  std::shared_ptr<Session> find(const std::string& sid) const;
+
+  Options opts_;
+  ExperimentCache cache_;
+  mutable std::mutex mu_;  // guards sessions_ and next_sid_
+  std::unordered_map<std::string, std::shared_ptr<Session>> sessions_;
+  std::uint64_t next_sid_ = 1;
+};
+
+}  // namespace pathview::serve

@@ -4,7 +4,6 @@
 #include "pathview/support/error.hpp"
 
 #include "pathview/prof/correlate.hpp"
-#include "pathview/prof/merge.hpp"
 #include "pathview/prof/pipeline.hpp"
 #include "pathview/prof/summarize.hpp"
 #include "pathview/sim/engine.hpp"
@@ -74,18 +73,17 @@ TEST(Merge, TotalsAreAdditive) {
   EXPECT_DOUBLE_EQ(merged.totals()[Event::kCycles], expect);
 }
 
-TEST(Merge, DeprecatedWrappersStillWork) {
-  // The one-release compatibility shims must keep the old semantics.
+TEST(Merge, PipelineMatchesSerialOracle) {
+  // The reduction-tree merge must reproduce the serial left fold exactly.
   workloads::Workload w = workloads::make_random_program({.seed = 10});
   sim::ParallelConfig pc;
   pc.nranks = 2;
   pc.base = w.run;
   const auto raws = sim::run_parallel(*w.program, *w.lowering, pc);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto parts = correlate_all(raws, *w.tree, 2);
-  const CanonicalCct merged = merge_all(parts);
-#pragma GCC diagnostic pop
+  PipelineOptions popts;
+  popts.nthreads = 2;
+  const Pipeline pipeline(popts);
+  const CanonicalCct merged = pipeline.merge(pipeline.correlate(raws, *w.tree));
   const CanonicalCct ref = merge_serial(Pipeline().correlate(raws, *w.tree));
   ASSERT_EQ(merged.size(), ref.size());
   EXPECT_EQ(merged.totals()[Event::kCycles], ref.totals()[Event::kCycles]);

@@ -3,7 +3,11 @@
 // (observability flags, the trace capture pipeline).
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <sys/wait.h>
+
+#include <chrono>
+#include <thread>
 
 #include <cstdio>
 #include <cstdlib>
@@ -226,6 +230,164 @@ TEST_F(ToolCliTest, PvtraceTimelineIsIdenticalAcrossThreadCounts) {
   }
   ASSERT_EQ(renders.size(), 2u);
   EXPECT_EQ(renders[0], renders[1]);
+}
+
+// --- pvserve end-to-end ------------------------------------------------------
+
+/// Daemon-driving helpers on top of the CLI fixture: start pvserve on an
+/// ephemeral port, script it with --client, and stop it with a signal.
+class PvserveCliTest : public ToolCliTest {
+ protected:
+  void TearDown() override {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);  // only if the test failed to stop it
+      wait_exit(2.0);
+    }
+    ToolCliTest::TearDown();
+  }
+
+  /// Launch the daemon; returns the bound port after parsing the listening
+  /// line from its log.
+  int start_daemon(const std::string& extra_flags = "") {
+    const std::string log = out("serve.log");
+    const std::string cmd = tool("pvserve") + " --port 0 " + extra_flags +
+                            " > " + log + " 2>&1 & echo $! > " +
+                            out("serve.pid");
+    if (std::system(cmd.c_str()) != 0) return -1;
+    pid_ = std::stoi(slurp(out("serve.pid")));
+    for (int i = 0; i < 100; ++i) {
+      const std::string text = slurp(log);
+      const std::size_t at = text.find("listening on 127.0.0.1:");
+      if (at != std::string::npos)
+        return std::stoi(text.substr(at + 23));
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    return -1;
+  }
+
+  /// One --client round trip; returns the reply line.
+  std::string request(int port, const std::string& body) {
+    const int rc = run(tool("pvserve") + " --client --port " +
+                       std::to_string(port) + " --request '" + body + "'");
+    EXPECT_EQ(rc, 0) << slurp(out("log"));
+    std::string reply = slurp(out("log"));
+    while (!reply.empty() && (reply.back() == '\n' || reply.back() == '\r'))
+      reply.pop_back();
+    return reply;
+  }
+
+  /// True once the daemon process is gone.
+  bool wait_exit(double seconds) {
+    for (int i = 0; i < static_cast<int>(seconds * 20); ++i) {
+      if (::kill(pid_, 0) != 0) {
+        pid_ = -1;
+        return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    return false;
+  }
+
+  pid_t pid_ = -1;
+};
+
+TEST_F(PvserveCliTest, SessionLifecycleOverTheWire) {
+  ASSERT_EQ(run(tool("pvprof") + " subsurface --ranks 4 -o " +
+                out("exp.pvdb") + " --trace-events"),
+            0)
+      << slurp(out("log"));
+  const int port = start_daemon();
+  ASSERT_GT(port, 0) << slurp(out("serve.log"));
+
+  EXPECT_NE(request(port, R"({"v":1,"id":1,"op":"ping"})")
+                .find("\"ok\":true"),
+            std::string::npos);
+
+  // open -> the first session is s1 and carries the root's rows.
+  const std::string opened = request(
+      port, R"({"v":1,"id":2,"op":"open","path":")" + out("exp.pvdb") +
+                R"("})");
+  EXPECT_NE(opened.find("\"session\":\"s1\""), std::string::npos) << opened;
+  EXPECT_NE(opened.find("\"rows\":["), std::string::npos);
+  EXPECT_TRUE(testutil::valid_json(opened));
+
+  // Sessions are daemon-scoped: a NEW connection keeps navigating s1.
+  const std::string expanded = request(
+      port, R"({"v":1,"id":3,"op":"expand","session":"s1","node":1})");
+  EXPECT_NE(expanded.find("\"ok\":true"), std::string::npos) << expanded;
+  const std::string sorted = request(
+      port,
+      R"({"v":1,"id":4,"op":"sort","session":"s1","column":0})");
+  EXPECT_NE(sorted.find("\"descending\":true"), std::string::npos);
+  const std::string hot = request(
+      port, R"({"v":1,"id":5,"op":"hot_path","session":"s1"})");
+  EXPECT_NE(hot.find("\"path\":["), std::string::npos) << hot;
+  const std::string timeline = request(
+      port,
+      R"({"v":1,"id":6,"op":"timeline_window","session":"s1","width":8})");
+  EXPECT_NE(timeline.find("\"cells\":["), std::string::npos) << timeline;
+
+  // Typed protocol errors, not crashes.
+  EXPECT_NE(request(port, R"({"v":1,"id":7,"op":"expand","session":"nope"})")
+                .find("\"kind\":\"not_found\""),
+            std::string::npos);
+  EXPECT_NE(request(port, R"({"v":1,"id":8,"op":"frobnicate"})")
+                .find("\"kind\":\"bad_request\""),
+            std::string::npos);
+  EXPECT_NE(request(port, R"({"v":9,"id":9,"op":"ping"})")
+                .find("\"kind\":\"bad_request\""),
+            std::string::npos);
+  EXPECT_NE(
+      request(port, R"({"v":1,"id":10,"op":"open","path":"/no/such.pvdb"})")
+          .find("\"kind\":\"not_found\""),
+      std::string::npos);
+
+  EXPECT_NE(request(port, R"({"v":1,"id":11,"op":"close","session":"s1"})")
+                .find("\"closed\":\"s1\""),
+            std::string::npos);
+
+  // SIGTERM: graceful shutdown, and the close above means no orphans.
+  ASSERT_EQ(::kill(pid_, SIGTERM), 0);
+  ASSERT_TRUE(wait_exit(5.0)) << "daemon ignored SIGTERM";
+  const std::string log = slurp(out("serve.log"));
+  EXPECT_NE(log.find("0 session(s) open"), std::string::npos) << log;
+}
+
+TEST_F(PvserveCliTest, ResponseStreamsIdenticalAcrossThreadCounts) {
+  ASSERT_EQ(run(tool("pvprof") + " subsurface --ranks 4 -o " +
+                out("exp.pvdb") + " --trace-events"),
+            0)
+      << slurp(out("log"));
+  const std::string script = out("reqs.txt");
+  {
+    std::ofstream reqs(script);
+    reqs << R"({"v":1,"id":1,"op":"open","path":)" << '"' << out("exp.pvdb")
+         << '"' << "}\n"
+         << R"({"v":1,"id":2,"op":"expand","session":"s1","node":1})" << "\n"
+         << R"({"v":1,"id":3,"op":"sort","session":"s1","column":0})" << "\n"
+         << R"({"v":1,"id":4,"op":"hot_path","session":"s1"})" << "\n"
+         << R"({"v":1,"id":5,"op":"flatten","session":"s1"})" << "\n"
+         << R"({"v":1,"id":6,"op":"timeline_window","session":"s1","width":16,"depth":2})"
+         << "\n"
+         << R"({"v":1,"id":7,"op":"close","session":"s1"})" << "\n";
+  }
+  std::vector<std::string> streams;
+  for (const char* threads : {"1", "4"}) {
+    const int port = start_daemon(std::string("--threads ") + threads);
+    ASSERT_GT(port, 0) << slurp(out("serve.log"));
+    ASSERT_EQ(std::system((tool("pvserve") + " --client --port " +
+                           std::to_string(port) + " < " + script + " > " +
+                           out("stream.txt") + " 2>&1")
+                              .c_str()),
+              0);
+    streams.push_back(slurp(out("stream.txt")));
+    request(port, R"({"v":1,"id":99,"op":"shutdown"})");
+    ASSERT_TRUE(wait_exit(5.0)) << "daemon ignored the shutdown request";
+    std::filesystem::remove(out("serve.log"));
+  }
+  ASSERT_EQ(streams.size(), 2u);
+  ASSERT_FALSE(streams[0].empty());
+  EXPECT_EQ(streams[0], streams[1]);
 }
 
 TEST(StructureDump, RendersHierarchy) {

@@ -1,0 +1,181 @@
+// pvserve — the profile query server.
+//
+// Daemon mode serves experiment databases over a framed JSON protocol on
+// localhost; any number of viewer clients share one in-memory copy of each
+// database and navigate it through session-scoped lazy cursors (open /
+// expand / sort / hot_path / timeline_window / ...), so interaction cost is
+// proportional to the rows on screen, never to profile size.
+//
+// Client mode (`pvserve --client`) sends requests to a running daemon and
+// prints one JSON reply per line — the scripting surface used by the e2e
+// tests and scripts/check.sh.
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <poll.h>
+#include <string>
+#include <thread>
+#include <unistd.h>
+
+#include "pathview/serve/server.hpp"
+#include "tool_util.hpp"
+
+namespace {
+
+const std::string kUsage = R"(pvserve - profile query server
+
+usage:
+  pvserve [flags]                     run the daemon (prints the bound port)
+  pvserve --client --port N [flags]   send requests to a running daemon
+
+daemon flags:
+  --port N           listen port (default 0 = pick an ephemeral port)
+  --host ADDR        listen address (default 127.0.0.1)
+  --threads N        worker threads (0 = all hardware threads)
+  --queue N          request queue capacity (default 128)
+  --deadline-ms N    per-request queue deadline (default 10000)
+  --cache-mb N       experiment cache byte budget in MiB (default 256)
+  --max-sessions N   concurrent session limit (default 256)
+
+client flags:
+  --port N           daemon port (required)
+  --host ADDR        daemon address (default 127.0.0.1)
+  --request JSON     send one request and print the reply; without it,
+                     each non-empty stdin line is sent as a request and
+                     every reply is printed on its own line
+
+protocol: 4-byte big-endian length prefix + JSON. See docs/serving.md.
+)";
+
+// Signal handling via self-pipe: the handler only writes a byte; a watcher
+// thread turns it into Server::request_stop().
+int g_sig_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char b = 's';
+  [[maybe_unused]] ssize_t r = ::write(g_sig_pipe[1], &b, 1);
+}
+
+int run_client(const pathview::tools::Args& args) {
+  using namespace pathview;
+  const long port = args.flag("port", 0);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "pvserve: --client needs --port N\n");
+    return 2;
+  }
+  const std::string host = args.flag_str("host", "127.0.0.1");
+  const int fd =
+      serve::connect_to(host, static_cast<std::uint16_t>(port));
+  int rc = 0;
+  std::string reply;
+  const auto roundtrip = [&](const std::string& req) {
+    serve::write_frame(fd, req);
+    if (!serve::read_frame(fd, &reply))
+      throw Error("daemon closed the connection before replying");
+    std::fwrite(reply.data(), 1, reply.size(), stdout);
+    std::fputc('\n', stdout);
+  };
+  try {
+    if (args.has("request")) {
+      roundtrip(args.flag_str("request", ""));
+    } else {
+      std::string line;
+      while (std::getline(std::cin, line)) {
+        if (line.empty()) continue;
+        roundtrip(line);
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pvserve: %s\n", e.what());
+    rc = 1;
+  }
+  ::close(fd);
+  std::fflush(stdout);
+  return rc;
+}
+
+int run_daemon(const pathview::tools::Args& args,
+               pathview::tools::ObsSession& obs_session) {
+  using namespace pathview;
+  serve::Server::Options opts;
+  opts.host = args.flag_str("host", "127.0.0.1");
+  const long port = args.flag("port", 0);
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "pvserve: bad --port %ld\n", port);
+    return 2;
+  }
+  opts.port = static_cast<std::uint16_t>(port);
+  opts.threads = tools::thread_count(args);
+  opts.queue_capacity = static_cast<std::size_t>(args.flag("queue", 128));
+  opts.deadline_ms =
+      static_cast<std::uint32_t>(args.flag("deadline-ms", 10000));
+  opts.retry_after_ms =
+      static_cast<std::uint32_t>(args.flag("retry-after-ms", 50));
+  opts.sessions.cache.byte_budget =
+      static_cast<std::size_t>(args.flag("cache-mb", 256)) << 20;
+  opts.sessions.max_sessions =
+      static_cast<std::size_t>(args.flag("max-sessions", 256));
+
+  serve::Server server(opts);
+  server.start();
+  // The line clients and tests parse to discover an ephemeral port.
+  std::printf("pvserve: listening on %s:%u (threads=%zu queue=%zu)\n",
+              server.options().host.c_str(), server.port(),
+              server.options().threads, server.options().queue_capacity);
+  std::fflush(stdout);
+
+  if (::pipe(g_sig_pipe) != 0) {
+    std::fprintf(stderr, "pvserve: pipe() failed\n");
+    server.stop();
+    return 1;
+  }
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::thread watcher([&server] {
+    char b;
+    while (::read(g_sig_pipe[0], &b, 1) < 0 && errno == EINTR) {
+    }
+    server.request_stop();
+  });
+
+  server.wait();  // returns after a signal or a "shutdown" request
+
+  // Unblock the watcher if shutdown came from the protocol, not a signal.
+  std::signal(SIGTERM, SIG_IGN);
+  std::signal(SIGINT, SIG_IGN);
+  const char b = 'q';
+  [[maybe_unused]] ssize_t r = ::write(g_sig_pipe[1], &b, 1);
+  watcher.join();
+  ::close(g_sig_pipe[0]);
+  ::close(g_sig_pipe[1]);
+
+  const std::size_t open = server.sessions().open_sessions();
+  std::printf(
+      "pvserve: shutdown, %zu session(s) open, %llu request(s) served, "
+      "%llu overload reject(s)\n",
+      open,
+      static_cast<unsigned long long>(server.requests_handled()),
+      static_cast<unsigned long long>(server.queue_full_rejects()));
+  std::fflush(stdout);
+  server.sessions().close_all();
+  obs_session.finish();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pathview;
+  tools::Args args(argc, argv);
+  int exit_code = 0;
+  if (tools::handle_common_flags(args, "pvserve", kUsage, &exit_code))
+    return exit_code;
+  try {
+    if (args.has("client")) return run_client(args);
+    tools::ObsSession obs_session(args, "pvserve");
+    return run_daemon(args, obs_session);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "pvserve: %s\n", e.what());
+    return 1;
+  }
+}

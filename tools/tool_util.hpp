@@ -18,7 +18,7 @@
 
 namespace pathview::tools {
 
-inline constexpr const char* kVersion = "0.3.0";
+inline constexpr const char* kVersion = "0.4.0";
 
 /// Common-flag help text appended to every tool's usage string.
 inline constexpr const char* kCommonUsage =
