@@ -101,7 +101,9 @@ std::uint64_t JsonValue::get_u64(std::string_view key,
   const JsonValue* v = find(key);
   if (v == nullptr || v->is_null()) return fallback;
   const double d = v->as_number();
-  if (!(d >= 0) || d != std::floor(d) || d > 1.8446744073709552e19)
+  // >= : the literal is exactly 2^64, which itself does not fit in uint64_t
+  // (casting it would be UB on untrusted input).
+  if (!(d >= 0) || d != std::floor(d) || d >= 1.8446744073709552e19)
     throw InvalidArgument("json: field '" + std::string(key) +
                           "' is not a non-negative integer");
   return static_cast<std::uint64_t>(d);

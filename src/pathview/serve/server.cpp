@@ -106,6 +106,12 @@ void Server::request_stop() {
       [[maybe_unused]] ssize_t r = ::write(stop_pipe_[1], &b, 1);
     }
   }
+  {
+    // Bridge the stopping_ store to the workers' predicate: a worker that
+    // read stopping_ == false under queue_mu_ is fully blocked in wait()
+    // once we can take the mutex, so the notify below cannot be lost.
+    std::lock_guard<std::mutex> lock(queue_mu_);
+  }
   queue_cv_.notify_all();
 }
 
@@ -155,8 +161,37 @@ void Server::close_connections() {
     if (fd >= 0) ::shutdown(fd, SHUT_RD);
 }
 
+std::size_t Server::tracked_connections() {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  return conns_.size();
+}
+
+void Server::reap_connections() {
+  // Finished serve_connection threads mark their entry with fd == -1; join
+  // and drop them here so a long-running daemon serving many short-lived
+  // connections doesn't accumulate dead thread handles. Joining happens
+  // outside conn_mu_ because the exiting thread's last act (marking the
+  // entry) itself takes conn_mu_.
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    auto it = conns_.begin();
+    while (it != conns_.end()) {
+      if (it->first == -1) {
+        done.push_back(std::move(it->second));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (std::thread& th : done)
+    if (th.joinable()) th.join();
+}
+
 void Server::accept_loop() {
   while (!stopping_.load(std::memory_order_acquire)) {
+    reap_connections();
     pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
     const int pr = ::poll(fds, 2, -1);
     if (pr < 0) {
@@ -227,6 +262,14 @@ JsonValue Server::process(const std::string& payload) {
                  std::chrono::milliseconds(opts_.deadline_ms);
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
+    // Re-check under queue_mu_: workers decide to exit on (stopping &&
+    // queue empty) under this same mutex, so a stop that lands after the
+    // unlocked check above cannot slip between this push and the last
+    // worker's exit — without this, the job would sit in the queue forever
+    // and wait() would hang joining this connection thread.
+    if (stopping_.load(std::memory_order_acquire))
+      return error_response(job.req.id, ErrorKind::kShutdown,
+                            "server is shutting down");
     if (queue_.size() >= opts_.queue_capacity) {
       rejects_full_.fetch_add(1, std::memory_order_relaxed);
       PV_COUNTER_ADD("serve.rejects.queue_full", 1);

@@ -89,6 +89,10 @@ class Server {
     return rejects_deadline_.load(std::memory_order_relaxed);
   }
 
+  /// Connection entries currently tracked (live plus finished-but-unreaped);
+  /// the accept loop reaps finished ones between accepts.
+  std::size_t tracked_connections();
+
  private:
   /// One in-flight request; lives on the submitting connection thread's
   /// stack, so the queue holds raw pointers.
@@ -102,6 +106,9 @@ class Server {
   };
 
   void accept_loop();
+  /// Join and erase conns_ entries whose connection thread has finished
+  /// (marked by fd == -1). Called from the accept loop between accepts.
+  void reap_connections();
   void serve_connection(int fd);
   /// Parse + dispatch one frame, returning the response to write.
   JsonValue process(const std::string& payload);

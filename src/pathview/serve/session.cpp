@@ -19,14 +19,6 @@ struct ServeError : Error {
   ErrorKind kind;
 };
 
-core::ViewType parse_view(const std::string& name) {
-  if (name == "cct" || name.empty()) return core::ViewType::kCallingContext;
-  if (name == "callers") return core::ViewType::kCallers;
-  if (name == "flat") return core::ViewType::kFlat;
-  throw ServeError(ErrorKind::kBadRequest,
-                   "unknown view \"" + name + "\" (cct|callers|flat)");
-}
-
 const char* metric_kind_name(metrics::MetricKind k) {
   switch (k) {
     case metrics::MetricKind::kRaw: return "raw";
@@ -37,6 +29,14 @@ const char* metric_kind_name(metrics::MetricKind k) {
 }
 
 }  // namespace
+
+core::ViewType parse_view_name(const std::string& name) {
+  if (name == "cct") return core::ViewType::kCallingContext;
+  if (name == "callers") return core::ViewType::kCallers;
+  if (name == "flat") return core::ViewType::kFlat;
+  // handle() maps InvalidArgument onto a kBadRequest error response.
+  throw InvalidArgument("unknown view \"" + name + "\" (cct|callers|flat)");
+}
 
 // ---------------------------------------------------------------------------
 // Session.
@@ -190,7 +190,9 @@ JsonValue SessionManager::do_open(const Request& req) {
   const std::string path = req.body.get_string("path", "");
   if (path.empty())
     throw ServeError(ErrorKind::kBadRequest, "open: missing \"path\"");
-  const core::ViewType view = parse_view(req.body.get_string("view", "cct"));
+  const std::string view_name = req.body.get_string("view", "");
+  const core::ViewType view =
+      view_name.empty() ? opts_.default_view : parse_view_name(view_name);
 
   std::shared_ptr<const db::Experiment> exp;
   try {
@@ -200,15 +202,30 @@ JsonValue SessionManager::do_open(const Request& req) {
                      "cannot load \"" + path + "\": " + e.what());
   }
 
-  std::shared_ptr<Session> session;
+  // Reserve the sid and a capacity slot under the lock, but construct the
+  // Session (metric attribution over the whole CCT — expensive) outside it
+  // so concurrent opens/finds on other sessions don't stall behind it.
+  std::string sid;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (sessions_.size() >= opts_.max_sessions)
+    if (sessions_.size() + pending_opens_ >= opts_.max_sessions)
       throw ServeError(ErrorKind::kOverloaded,
                        "session limit (" +
                            std::to_string(opts_.max_sessions) + ") reached");
-    const std::string sid = "s" + std::to_string(next_sid_++);
+    sid = "s" + std::to_string(next_sid_++);
+    ++pending_opens_;
+  }
+  std::shared_ptr<Session> session;
+  try {
     session = std::make_shared<Session>(sid, path, std::move(exp), view);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    --pending_opens_;
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --pending_opens_;
     sessions_.emplace(sid, session);
     PV_COUNTER_SET("serve.sessions.open", sessions_.size());
   }

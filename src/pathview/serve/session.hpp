@@ -71,6 +71,7 @@ class SessionManager {
   struct Options {
     ExperimentCache::Options cache;
     std::size_t max_sessions = 256;
+    /// View an "open" request starts in when it does not name one.
     core::ViewType default_view = core::ViewType::kCallingContext;
   };
 
@@ -110,9 +111,16 @@ class SessionManager {
 
   Options opts_;
   ExperimentCache cache_;
-  mutable std::mutex mu_;  // guards sessions_ and next_sid_
+  mutable std::mutex mu_;  // guards sessions_, next_sid_, pending_opens_
   std::unordered_map<std::string, std::shared_ptr<Session>> sessions_;
   std::uint64_t next_sid_ = 1;
+  /// Opens whose Session is being constructed outside mu_; counted against
+  /// max_sessions so concurrent opens cannot overshoot the limit.
+  std::size_t pending_opens_ = 0;
 };
+
+/// Parse a view name ("cct" | "callers" | "flat"). Throws InvalidArgument on
+/// anything else. Exposed for pvserve's --view flag.
+core::ViewType parse_view_name(const std::string& name);
 
 }  // namespace pathview::serve

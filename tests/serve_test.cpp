@@ -1,0 +1,159 @@
+// Unit tests for the serve subsystem's edges: JSON integer bounds on
+// untrusted input, SessionManager option handling, connection reaping, and
+// shutdown while clients are mid-request.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "pathview/db/experiment.hpp"
+#include "pathview/prof/correlate.hpp"
+#include "pathview/serve/server.hpp"
+#include "pathview/serve/session.hpp"
+#include "pathview/support/error.hpp"
+#include "pathview/workloads/paper_example.hpp"
+
+namespace pathview::serve {
+namespace {
+
+TEST(ServeJson, GetU64RejectsTwoToTheSixtyFour) {
+  // 18446744073709551616 is exactly 2^64: representable as a double but NOT
+  // as a uint64_t, so casting it would be UB. It must be rejected, while the
+  // largest double below 2^64 still converts.
+  JsonValue over = JsonValue::parse("{\"n\": 18446744073709551616}");
+  EXPECT_THROW(over.get_u64("n", 0), InvalidArgument);
+  JsonValue under = JsonValue::parse("{\"n\": 18446744073709549568}");
+  EXPECT_EQ(under.get_u64("n", 0), 18446744073709549568ull);
+  JsonValue huge = JsonValue::parse("{\"n\": 1e300}");
+  EXPECT_THROW(huge.get_u64("n", 0), InvalidArgument);
+}
+
+TEST(ServeSession, ParseViewName) {
+  EXPECT_EQ(parse_view_name("cct"), core::ViewType::kCallingContext);
+  EXPECT_EQ(parse_view_name("callers"), core::ViewType::kCallers);
+  EXPECT_EQ(parse_view_name("flat"), core::ViewType::kFlat);
+  EXPECT_THROW(parse_view_name("tree"), InvalidArgument);
+  EXPECT_THROW(parse_view_name(""), InvalidArgument);
+}
+
+/// Writes the paper example to an XML experiment database and deletes it on
+/// scope exit.
+class TempExperiment {
+ public:
+  TempExperiment() {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("serve_test_" + std::to_string(::getpid()) + ".xml"))
+                .string();
+    workloads::PaperExample ex;
+    const prof::CanonicalCct cct = prof::correlate(ex.profile(), ex.tree());
+    db::save_xml(db::Experiment::capture(ex.tree(), cct, "serve test", 1),
+                 path_);
+  }
+  ~TempExperiment() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+Request open_request(const std::string& path) {
+  Request req;
+  req.id = 1;
+  req.op = Op::kOpen;
+  req.body = JsonValue::object();
+  req.body.set("path", JsonValue::string(path));
+  return req;
+}
+
+TEST(ServeSession, OpenFallsBackToConfiguredDefaultView) {
+  TempExperiment exp;
+  SessionManager::Options opts;
+  opts.default_view = core::ViewType::kFlat;
+  SessionManager mgr(opts);
+
+  JsonValue resp = mgr.handle(open_request(exp.path()));
+  ASSERT_TRUE(resp.get_bool("ok", false)) << resp.dump();
+  EXPECT_EQ(resp.get_string("view", ""), core::view_type_name(
+                                             core::ViewType::kFlat));
+
+  // An explicit view in the request still wins over the configured default.
+  Request req = open_request(exp.path());
+  req.body.set("view", JsonValue::string("callers"));
+  resp = mgr.handle(req);
+  ASSERT_TRUE(resp.get_bool("ok", false)) << resp.dump();
+  EXPECT_EQ(resp.get_string("view", ""), core::view_type_name(
+                                             core::ViewType::kCallers));
+}
+
+constexpr char kPing[] = "{\"v\":1,\"id\":1,\"op\":\"ping\"}";
+
+TEST(ServeServer, FinishedConnectionsAreReaped) {
+  Server server;
+  server.start();
+  std::string reply;
+  // Many short-lived connections, each fully closed before the next opens.
+  for (int i = 0; i < 20; ++i) {
+    const int fd = connect_to("127.0.0.1", server.port());
+    write_frame(fd, kPing);
+    ASSERT_TRUE(read_frame(fd, &reply));
+    ::close(fd);
+  }
+  // Finished threads mark their entry asynchronously and the accept loop
+  // reaps on its next wake, so probe (each probe's accept wakes the loop)
+  // until the count collapses.
+  bool reaped = false;
+  for (int tries = 0; tries < 200 && !reaped; ++tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    const int fd = connect_to("127.0.0.1", server.port());
+    write_frame(fd, kPing);
+    ASSERT_TRUE(read_frame(fd, &reply));
+    ::close(fd);
+    reaped = server.tracked_connections() <= 3;
+  }
+  EXPECT_TRUE(reaped) << server.tracked_connections()
+                      << " connection entries still tracked";
+  server.stop();
+}
+
+TEST(ServeServer, StopWhileClientsHammerRequests) {
+  // Regression canary for the shutdown race: a request enqueued just as
+  // stopping lands must still be answered (or rejected with kind
+  // "shutdown"), never stranded — a stranded job parks its connection
+  // thread forever and stop() below would hang.
+  for (int iter = 0; iter < 4; ++iter) {
+    Server::Options opts;
+    opts.threads = 2;
+    Server server(opts);
+    server.start();
+    std::atomic<bool> done{false};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 4; ++c) {
+      clients.emplace_back([&] {
+        try {
+          const int fd = connect_to("127.0.0.1", server.port());
+          std::string reply;
+          while (!done.load(std::memory_order_acquire)) {
+            write_frame(fd, kPing);
+            if (!read_frame(fd, &reply)) break;
+          }
+          ::close(fd);
+        } catch (const Error&) {
+          // Torn connection during shutdown is expected.
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(iter * 5));
+    server.stop();  // must terminate; the ctest timeout guards a hang
+    done.store(true, std::memory_order_release);
+    for (std::thread& t : clients) t.join();
+  }
+}
+
+}  // namespace
+}  // namespace pathview::serve

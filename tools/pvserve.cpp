@@ -36,6 +36,8 @@ daemon flags:
   --deadline-ms N    per-request queue deadline (default 10000)
   --cache-mb N       experiment cache byte budget in MiB (default 256)
   --max-sessions N   concurrent session limit (default 256)
+  --view V           view new sessions start in when the open request
+                     does not name one: cct | callers | flat (default cct)
 
 client flags:
   --port N           daemon port (required)
@@ -115,6 +117,8 @@ int run_daemon(const pathview::tools::Args& args,
       static_cast<std::size_t>(args.flag("cache-mb", 256)) << 20;
   opts.sessions.max_sessions =
       static_cast<std::size_t>(args.flag("max-sessions", 256));
+  opts.sessions.default_view =
+      serve::parse_view_name(args.flag_str("view", "cct"));
 
   serve::Server server(opts);
   server.start();
