@@ -2,8 +2,9 @@
 # Full verification: configure (warnings-as-errors for library code), build,
 # run the test suite, then every figure-reproduction harness (each exits
 # nonzero if a paper value drifts out of its tolerance band), a pvserve
-# smoke with concurrent clients, the test suite again under ASan+UBSan, and
-# the concurrent pipeline tests + the serve smoke under TSan.
+# smoke with concurrent clients, a fault-injection matrix (kill-mid-write,
+# torn write, measurement salvage), the test suite again under ASan+UBSan,
+# and the concurrent pipeline/serve/fault tests + both smokes under TSan.
 #
 #   scripts/check.sh          full run
 #   scripts/check.sh --quick  build + tests only (no benches, no sanitizers)
@@ -52,6 +53,43 @@ serve_smoke() {
   grep -q '0 session(s) open' "$slog"
 }
 
+# Fault-injection matrix against the tools of one build dir: three canned
+# specs prove the durability story end to end — (1) kill -9 at the atomic
+# rename leaves the old database byte-identical, (2) a torn write fails
+# cleanly without touching the destination, (3) a truncated measurement
+# rank is refused strictly and recovered (loudly) by --salvage.
+fault_matrix() {
+  fdir=$1
+  fdb=$fdir/fault_check.pvdb
+  "$fdir/tools/pvprof" paper -o "$fdb" > /dev/null
+  cp "$fdb" "$fdb.orig"
+
+  rc=0
+  "$fdir/tools/pvprof" paper -o "$fdb" \
+    --fault-spec 'db.experiment.save.rename:crash' > /dev/null 2>&1 || rc=$?
+  [ "$rc" = 137 ]
+  cmp -s "$fdb" "$fdb.orig"
+
+  rc=0
+  "$fdir/tools/pvprof" paper -o "$fdb" \
+    --fault-spec 'db.experiment.save.write:short=9' > /dev/null 2>&1 || rc=$?
+  [ "$rc" = 1 ]
+  cmp -s "$fdb" "$fdb.orig"
+
+  fmeas=$fdir/fault_check_meas
+  rm -rf "$fmeas"
+  "$fdir/tools/pvrun" subsurface --ranks 4 -o "$fmeas" > /dev/null
+  head -c 40 "$fmeas/rank-00002.pvms" > "$fmeas/rank-00002.pvms.t"
+  mv "$fmeas/rank-00002.pvms.t" "$fmeas/rank-00002.pvms"
+  rc=0
+  "$fdir/tools/pvprof" subsurface --ranks 4 --measurements "$fmeas" \
+    -o "$fdb.s" > /dev/null 2>&1 || rc=$?
+  [ "$rc" = 1 ]
+  "$fdir/tools/pvprof" subsurface --ranks 4 --measurements "$fmeas" \
+    -o "$fdb.s" --salvage > "$fdir/fault_salvage.log" 2>&1
+  grep -q 'DEGRADED DATA' "$fdir/fault_salvage.log"
+}
+
 cmake -B build -DPATHVIEW_WERROR=ON
 cmake --build build -j "$(nproc)"
 # Per-test timeout so one hung test fails instead of wedging the whole run.
@@ -73,6 +111,8 @@ done
 
 echo "== serve smoke (3 concurrent clients)"
 serve_smoke build
+echo "== fault-injection matrix"
+fault_matrix build
 
 if [ "${PATHVIEW_SKIP_SANITIZE:-0}" != "1" ]; then
   echo "== sanitizer pass (ASan+UBSan)"
@@ -81,15 +121,21 @@ if [ "${PATHVIEW_SKIP_SANITIZE:-0}" != "1" ]; then
   ctest --test-dir build-asan --output-on-failure --timeout 300
   echo "== serve smoke under ASan"
   serve_smoke build-asan
+  echo "== fault-injection matrix under ASan"
+  fault_matrix build-asan
 
-  echo "== sanitizer pass (TSan: pipeline worker pool + serve)"
+  echo "== sanitizer pass (TSan: pipeline worker pool + serve + faults)"
   cmake -B build-tsan -DPATHVIEW_SANITIZE=thread
   cmake --build build-tsan -j "$(nproc)" \
-    --target prof_test pipeline_test pvserve pvprof
+    --target prof_test pipeline_test serve_test fault_test pvserve pvprof pvrun
   build-tsan/tests/prof_test
   build-tsan/tests/pipeline_test
+  build-tsan/tests/serve_test
+  build-tsan/tests/fault_test
   echo "== serve smoke under TSan"
   serve_smoke build-tsan
+  echo "== fault-injection matrix under TSan"
+  fault_matrix build-tsan
 fi
 
 echo "ALL CHECKS PASSED"

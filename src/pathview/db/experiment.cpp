@@ -1,10 +1,11 @@
 #include "pathview/db/experiment.hpp"
 
-#include <fstream>
-#include <sstream>
+#include <algorithm>
 
 #include "pathview/metrics/formula.hpp"
+#include "pathview/obs/obs.hpp"
 #include "pathview/support/error.hpp"
+#include "pathview/support/io.hpp"
 
 namespace pathview::db {
 
@@ -14,9 +15,17 @@ Experiment::Experiment(std::unique_ptr<structure::StructureTree> tree,
     : tree_(std::move(tree)),
       cct_(std::make_unique<prof::CanonicalCct>(std::move(cct))),
       name_(std::move(name)),
-      nranks_(nranks) {
+      nranks_(nranks),
+      degraded_(cct_->degraded()) {
   if (&cct_->tree() != tree_.get())
     throw InvalidArgument("Experiment: cct does not reference the given tree");
+}
+
+void Experiment::set_dropped_ranks(std::vector<std::uint32_t> ranks) {
+  std::sort(ranks.begin(), ranks.end());
+  ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+  dropped_ranks_ = std::move(ranks);
+  if (!dropped_ranks_.empty()) set_degraded(true);
 }
 
 Experiment Experiment::capture(const structure::StructureTree& tree,
@@ -44,6 +53,9 @@ bool Experiment::equivalent(const Experiment& a, const Experiment& b,
   };
   if (a.name() != b.name()) return fail("name mismatch");
   if (a.nranks() != b.nranks()) return fail("nranks mismatch");
+  if (a.degraded() != b.degraded()) return fail("degraded flag mismatch");
+  if (a.dropped_ranks() != b.dropped_ranks())
+    return fail("dropped rank list mismatch");
   if (a.user_metrics().size() != b.user_metrics().size())
     return fail("user metric count mismatch");
   for (std::size_t i = 0; i < a.user_metrics().size(); ++i)
@@ -67,32 +79,37 @@ bool Experiment::equivalent(const Experiment& a, const Experiment& b,
   return true;
 }
 
-namespace {
-std::string read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw InvalidArgument("cannot open '" + path + "'");
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
+void save_xml(const Experiment& exp, const std::string& path) {
+  support::atomic_write_file(path, to_xml(exp), "db.experiment.save");
 }
-void write_file(const std::string& path, const std::string& bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw InvalidArgument("cannot create '" + path + "'");
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!out) throw InvalidArgument("short write to '" + path + "'");
+Experiment load_xml(const std::string& path) {
+  return from_xml(support::read_file(path, "db.experiment.load"));
+}
+
+void save_binary(const Experiment& exp, const std::string& path) {
+  support::atomic_write_file(path, to_binary(exp), "db.experiment.save");
+}
+Experiment load_binary(const std::string& path) {
+  return from_binary(support::read_file(path, "db.experiment.load"));
+}
+
+namespace {
+bool is_binary_path(const std::string& path) {
+  return path.size() > 5 && path.substr(path.size() - 5) == ".pvdb";
 }
 }  // namespace
 
-void save_xml(const Experiment& exp, const std::string& path) {
-  write_file(path, to_xml(exp));
-}
-Experiment load_xml(const std::string& path) { return from_xml(read_file(path)); }
-
-void save_binary(const Experiment& exp, const std::string& path) {
-  write_file(path, to_binary(exp));
-}
-Experiment load_binary(const std::string& path) {
-  return from_binary(read_file(path));
+Experiment load(const std::string& path, const LoadOptions& opts,
+                LoadReport* report) {
+  const std::string bytes = support::read_file(path, "db.experiment.load");
+  if (is_binary_path(path)) {
+    Experiment exp = from_binary(bytes, opts, report);
+    if (report != nullptr && !report->clean())
+      PV_COUNTER_ADD("db.salvage.loads", 1);
+    return exp;
+  }
+  // The XML format has no checksums to salvage around; strict parse.
+  return from_xml(bytes);
 }
 
 }  // namespace pathview::db

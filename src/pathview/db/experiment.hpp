@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "pathview/db/load_report.hpp"
 #include "pathview/metrics/metric_table.hpp"
 #include "pathview/prof/cct.hpp"
 
@@ -42,7 +43,27 @@ class Experiment {
   /// Register a derived metric definition (kind must be kDerived).
   void add_user_metric(metrics::MetricDesc desc);
 
-  /// Structural + sample equality (names compared as strings).
+  /// The experiment is missing measured data: ranks were dropped during
+  /// profiling, or sections were dropped during a salvage load. The flag is
+  /// persisted by both on-disk formats so a salvaged database stays marked
+  /// across re-saves, and it seeds the degraded bit the CCT/metric tables
+  /// carry through the viewer stack. Set automatically from the CCT's own
+  /// flag at construction.
+  bool degraded() const { return degraded_; }
+  void set_degraded(bool d) {
+    degraded_ = d;
+    cct_->set_degraded(d);
+  }
+
+  /// Ranks known to be absent from the merged profile (for display; empty
+  /// for clean experiments).
+  const std::vector<std::uint32_t>& dropped_ranks() const {
+    return dropped_ranks_;
+  }
+  void set_dropped_ranks(std::vector<std::uint32_t> ranks);
+
+  /// Structural + sample equality (names compared as strings). Includes the
+  /// degraded flag: a salvaged experiment is not equivalent to a clean one.
   static bool equivalent(const Experiment& a, const Experiment& b,
                          std::string* why = nullptr);
 
@@ -51,6 +72,8 @@ class Experiment {
   std::unique_ptr<prof::CanonicalCct> cct_;
   std::string name_;
   std::uint32_t nranks_ = 1;
+  bool degraded_ = false;
+  std::vector<std::uint32_t> dropped_ranks_;
   std::vector<metrics::MetricDesc> user_metrics_;
 };
 
@@ -61,9 +84,34 @@ void save_xml(const Experiment& exp, const std::string& path);
 Experiment load_xml(const std::string& path);
 
 // --- compact binary format ---------------------------------------------------
-std::string to_binary(const Experiment& exp);
+
+/// On-disk binary format versions. kV2 (the default) is sectioned: every
+/// section carries a CRC32C and the file ends in a sealed, checksummed
+/// footer, so torn writes and bit rot are *detected* (strict loads) or
+/// *skipped and reported* (salvage loads). kV1 is the legacy unchecksummed
+/// stream; readers accept both forever.
+enum class BinaryVersion : std::uint8_t { kV1 = 1, kV2 = 2 };
+
+std::string to_binary(const Experiment& exp,
+                      BinaryVersion version = BinaryVersion::kV2);
 Experiment from_binary(std::string_view bytes);
+/// Non-strict decode: with opts.salvage, checksum failures in optional
+/// sections (metadata, samples, user metrics) and a missing/damaged footer
+/// are skipped and recorded in `*report` instead of thrown. The structure
+/// and CCT sections are load-bearing — damage there still throws, with the
+/// reason appended to the report.
+Experiment from_binary(std::string_view bytes, const LoadOptions& opts,
+                       LoadReport* report);
 void save_binary(const Experiment& exp, const std::string& path);
 Experiment load_binary(const std::string& path);
+
+// --- format-dispatching load -------------------------------------------------
+
+/// Load an experiment database, picking the format by extension (".pvdb" is
+/// binary, everything else XML). With opts.salvage, damaged binary
+/// databases load in degraded mode and `*report` (optional) records what
+/// was dropped and why.
+Experiment load(const std::string& path, const LoadOptions& opts = {},
+                LoadReport* report = nullptr);
 
 }  // namespace pathview::db

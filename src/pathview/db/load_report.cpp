@@ -1,0 +1,24 @@
+#include "pathview/db/load_report.hpp"
+
+namespace pathview::db {
+
+void LoadReport::merge(const LoadReport& other) {
+  degraded = degraded || other.degraded;
+  dropped_ranks.insert(dropped_ranks.end(), other.dropped_ranks.begin(),
+                       other.dropped_ranks.end());
+  notes.insert(notes.end(), other.notes.begin(), other.notes.end());
+}
+
+std::string LoadReport::summary() const {
+  if (clean()) return "";
+  std::string s = degraded ? "degraded load" : "recovered load";
+  if (!dropped_ranks.empty()) {
+    s += ": dropped rank(s)";
+    for (std::size_t i = 0; i < dropped_ranks.size(); ++i)
+      s += (i == 0 ? " " : ", ") + std::to_string(dropped_ranks[i]);
+  }
+  s += " (" + std::to_string(notes.size()) + " note(s))";
+  return s;
+}
+
+}  // namespace pathview::db

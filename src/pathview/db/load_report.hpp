@@ -1,0 +1,49 @@
+// LoadReport — the first-class record of what a salvage load dropped.
+//
+// Incomplete data is a *reported state*, not a crash and not a silent lie:
+// every non-strict loader (experiment databases, per-rank measurement
+// directories, traces) appends one note per dropped artifact and flips
+// `degraded` when the loaded result no longer reflects the full
+// measurement. Presentation layers surface the report as a banner and the
+// degraded bit rides the merged CCT / metric tables all the way to the
+// viewer and the serve protocol.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pathview::db {
+
+struct LoadOptions {
+  /// Skip-and-report instead of abort: tolerate damaged sections, missing
+  /// or corrupt per-rank files, and unsealed databases where possible.
+  bool salvage = false;
+};
+
+struct LoadReport {
+  /// The loaded result is missing measured data (dropped ranks, dropped
+  /// sample sections). Recoverable damage that lost nothing (e.g. a
+  /// rebuilt trace index) adds notes without setting this.
+  bool degraded = false;
+  /// Ranks whose measurement files were missing or unreadable.
+  std::vector<std::uint32_t> dropped_ranks;
+  /// Human-readable what-and-why, one line per event.
+  std::vector<std::string> notes;
+
+  bool clean() const { return !degraded && notes.empty(); }
+  void note(std::string what) { notes.push_back(std::move(what)); }
+  void drop_rank(std::uint32_t rank, std::string why) {
+    degraded = true;
+    dropped_ranks.push_back(rank);
+    notes.push_back(std::move(why));
+  }
+  /// Fold `other` into this report.
+  void merge(const LoadReport& other);
+
+  /// One-line summary ("degraded: 2 rank(s) dropped, 3 note(s)"); empty
+  /// string when clean.
+  std::string summary() const;
+};
+
+}  // namespace pathview::db

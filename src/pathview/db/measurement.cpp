@@ -1,11 +1,14 @@
 #include "pathview/db/measurement.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstdio>
-#include <fstream>
-#include <sstream>
+#include <cstdlib>
+#include <dirent.h>
 
+#include "pathview/obs/obs.hpp"
 #include "pathview/support/error.hpp"
+#include "pathview/support/io.hpp"
 
 namespace pathview::db {
 
@@ -129,28 +132,100 @@ std::string measurement_path(const std::string& dir, std::uint32_t rank) {
 
 void save_measurements(const std::vector<sim::RawProfile>& ranks,
                        const std::string& dir) {
-  for (std::uint32_t r = 0; r < ranks.size(); ++r) {
-    const std::string path = measurement_path(dir, r);
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) throw InvalidArgument("cannot create '" + path + "'");
-    const std::string bytes = measurement_to_bytes(ranks[r]);
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    if (!out) throw InvalidArgument("short write to '" + path + "'");
-  }
+  for (std::uint32_t r = 0; r < ranks.size(); ++r)
+    support::atomic_write_file(measurement_path(dir, r),
+                               measurement_to_bytes(ranks[r]),
+                               "db.measurement.save");
 }
 
+namespace {
+
+/// Every rank number with a "rank-NNNNN.pvms" file in `dir`, sorted.
+std::vector<std::uint32_t> scan_rank_files(const std::string& dir) {
+  std::vector<std::uint32_t> ranks;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr)
+    throw InvalidArgument("cannot open measurement directory '" + dir + "'");
+  while (const dirent* ent = ::readdir(d)) {
+    const std::string_view name = ent->d_name;
+    if (name.size() != 15 || !name.starts_with("rank-") ||
+        !name.ends_with(".pvms"))
+      continue;
+    const std::string digits(name.substr(5, 5));
+    char* end = nullptr;
+    const unsigned long r = std::strtoul(digits.c_str(), &end, 10);
+    if (end != digits.c_str() + digits.size()) continue;
+    ranks.push_back(static_cast<std::uint32_t>(r));
+  }
+  ::closedir(d);
+  std::sort(ranks.begin(), ranks.end());
+  ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+  return ranks;
+}
+
+}  // namespace
+
 std::vector<sim::RawProfile> load_measurements(const std::string& dir) {
+  return load_measurements(dir, LoadOptions{}, nullptr);
+}
+
+std::vector<sim::RawProfile> load_measurements(const std::string& dir,
+                                               const LoadOptions& opts,
+                                               LoadReport* report) {
+  LoadReport local;
+  LoadReport& rep = report != nullptr ? *report : local;
   std::vector<sim::RawProfile> out;
-  for (std::uint32_t r = 0;; ++r) {
-    std::ifstream in(measurement_path(dir, r), std::ios::binary);
-    if (!in) break;
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    out.push_back(measurement_from_bytes(ss.str()));
+
+  if (!opts.salvage) {
+    // Strict: dense rank sequence from 0; any damage is fatal.
+    for (std::uint32_t r = 0;; ++r) {
+      std::string bytes;
+      try {
+        bytes = support::read_file(measurement_path(dir, r),
+                                   "db.measurement.load");
+      } catch (const Error&) {
+        break;  // first missing file ends the sequence
+      }
+      out.push_back(measurement_from_bytes(bytes));
+    }
+    if (out.empty())
+      throw InvalidArgument("no measurement files (rank-00000.pvms) in '" +
+                            dir + "'");
+    return out;
+  }
+
+  // Salvage: take every rank file present, drop the damaged ones, and
+  // report both damage and gaps so the caller can mark the result degraded.
+  const std::vector<std::uint32_t> present = scan_rank_files(dir);
+  if (present.empty())
+    throw InvalidArgument("no measurement files (rank-*.pvms) in '" + dir +
+                          "'");
+  for (const std::uint32_t r : present) {
+    try {
+      const std::string bytes =
+          support::read_file(measurement_path(dir, r), "db.measurement.load");
+      out.push_back(measurement_from_bytes(bytes));
+    } catch (const Error& e) {
+      rep.drop_rank(r, "rank " + std::to_string(r) + " dropped: " + e.what());
+      PV_COUNTER_ADD("db.salvage.ranks_dropped", 1);
+    }
+  }
+  // Gaps: ranks 0..max present should be dense.
+  const std::uint32_t max_rank = present.back();
+  std::size_t idx = 0;
+  for (std::uint32_t r = 0; r <= max_rank; ++r) {
+    if (idx < present.size() && present[idx] == r) {
+      ++idx;
+      continue;
+    }
+    rep.drop_rank(r, "rank " + std::to_string(r) +
+                         " dropped: measurement file missing");
+    PV_COUNTER_ADD("db.salvage.ranks_dropped", 1);
   }
   if (out.empty())
-    throw InvalidArgument("no measurement files (rank-00000.pvms) in '" +
-                          dir + "'");
+    throw InvalidArgument("salvage found no loadable measurement files in '" +
+                          dir + "': " + rep.summary());
+  if (!rep.clean()) PV_COUNTER_ADD("db.salvage.loads", 1);
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "pathview/fault/fault.hpp"
 #include "pathview/obs/obs.hpp"
 #include "pathview/support/error.hpp"
 
@@ -102,6 +103,7 @@ void TraceWriter::append(const sim::TraceEvent& ev) {
 void TraceWriter::flush_segment() {
   if (buffer_.empty()) return;
   PV_SPAN("trace.write.segment");
+  PV_FAULT("db.trace.write.segment");
 
   std::string payload;
   payload.reserve(buffer_.size() * 4);
@@ -145,6 +147,7 @@ void TraceWriter::flush_segment() {
 void TraceWriter::close() {
   if (closed_) return;
   flush_segment();
+  PV_FAULT("db.trace.write.footer");
 
   std::string footer(1, kFooterMarker);
   put_u64(footer, index_.size());
@@ -309,6 +312,7 @@ void TraceReader::recover_index() {
   }
   cached_segment_ = static_cast<std::size_t>(-1);
   PV_COUNTER_ADD("trace.recovered_files", 1);
+  PV_COUNTER_ADD("db.trace.recovered", 1);
 }
 
 void TraceReader::read_segment(std::size_t i,

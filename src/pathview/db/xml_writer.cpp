@@ -42,7 +42,20 @@ std::string to_xml(const Experiment& exp) {
 
   std::string out = "<?xml version=\"1.0\"?>\n";
   out += "<Experiment name=\"" + xml_escape(exp.name()) + "\" nranks=\"" +
-         std::to_string(exp.nranks()) + "\">\n";
+         std::to_string(exp.nranks()) + "\"";
+  // Degradation attributes are omitted for clean experiments so the output
+  // stays byte-identical with older writers (and older parsers keep
+  // working: they ignore unknown attributes).
+  if (exp.degraded()) out += " degraded=\"1\"";
+  if (!exp.dropped_ranks().empty()) {
+    out += " dropped=\"";
+    for (std::size_t i = 0; i < exp.dropped_ranks().size(); ++i) {
+      if (i != 0) out += ',';
+      out += std::to_string(exp.dropped_ranks()[i]);
+    }
+    out += "\"";
+  }
+  out += ">\n";
 
   out += " <Structure>\n";
   for (structure::SNodeId i = 1; i < tree.size(); ++i) {
@@ -134,6 +147,23 @@ Experiment from_xml(std::string_view xml) {
 
   Experiment exp(std::move(tree), std::move(cct), root.attr("name"),
                  static_cast<std::uint32_t>(to_u64(root.attr("nranks"))));
+  if (root.attr_or("degraded", "0") == "1") exp.set_degraded(true);
+  if (const std::string dropped = root.attr_or("dropped", "");
+      !dropped.empty()) {
+    std::vector<std::uint32_t> ranks;
+    std::size_t start = 0;
+    while (start <= dropped.size()) {
+      const std::size_t comma = dropped.find(',', start);
+      const std::string tok = dropped.substr(
+          start, comma == std::string::npos ? std::string::npos
+                                            : comma - start);
+      if (!tok.empty())
+        ranks.push_back(static_cast<std::uint32_t>(to_u64(tok)));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    exp.set_dropped_ranks(std::move(ranks));
+  }
   // <Metrics> is optional for backward compatibility with older files.
   for (const XmlNode& child : root.children) {
     if (child.name != "Metrics") continue;

@@ -1,0 +1,320 @@
+#include "pathview/fault/fault.hpp"
+
+#include <charconv>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <thread>
+
+#include "pathview/obs/obs.hpp"
+
+namespace pathview::fault {
+
+namespace {
+
+/// splitmix64 — the deterministic hash behind probabilistic rules. Hashing
+/// (seed, rule index, hit index) instead of streaming a PRNG keeps firing
+/// decisions independent of thread interleaving for a fixed hit index.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Glob match with '*' (any run of characters). Sites are short dotted
+/// names, so the O(n*m) backtracking matcher is plenty.
+bool glob_match(std::string_view pat, std::string_view s) {
+  std::size_t p = 0, i = 0, star = std::string_view::npos, mark = 0;
+  while (i < s.size()) {
+    if (p < pat.size() && (pat[p] == s[i])) {
+      ++p;
+      ++i;
+    } else if (p < pat.size() && pat[p] == '*') {
+      star = p++;
+      mark = i;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      i = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pat.size() && pat[p] == '*') ++p;
+  return p == pat.size();
+}
+
+/// One installed rule plus its mutable hit state.
+struct LiveRule {
+  Rule rule;
+  std::atomic<std::uint64_t> hits{0};   // eligible site hits seen
+  std::atomic<std::uint64_t> fired{0};  // times actually fired
+};
+
+struct Installed {
+  std::uint64_t seed = 0;
+  std::vector<std::unique_ptr<LiveRule>> rules;
+  Installed* retired_next = nullptr;
+};
+
+/// Installed plans are never freed on replacement: a racing PV_FAULT
+/// evaluation may still be reading the old plan, and plans are tiny and
+/// installed a handful of times per process (startup, test phases). They
+/// are parked on `g_retired` rather than dropped so they stay reachable
+/// (LeakSanitizer would otherwise report every install/clear pair).
+std::atomic<Installed*> g_plan{nullptr};
+std::atomic<Installed*> g_retired{nullptr};
+
+void retire(Installed* old) {
+  if (old == nullptr) return;
+  Installed* head = g_retired.load(std::memory_order_relaxed);
+  do {
+    old->retired_next = head;
+  } while (!g_retired.compare_exchange_weak(
+      head, old, std::memory_order_release, std::memory_order_relaxed));
+}
+std::atomic<std::uint64_t> g_fired_total{0};
+
+[[noreturn]] void spec_error(std::string_view clause, const std::string& why) {
+  throw InvalidArgument("bad fault spec clause \"" + std::string(clause) +
+                        "\": " + why);
+}
+
+std::uint64_t parse_u64(std::string_view clause, std::string_view text,
+                        const char* what) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc() || ptr != text.data() + text.size())
+    spec_error(clause, std::string("bad ") + what + " value '" +
+                           std::string(text) + "'");
+  return v;
+}
+
+double parse_prob(std::string_view clause, std::string_view text) {
+  // std::from_chars<double> is spotty across toolchains; strtod on a copy.
+  const std::string s(text);
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || !(v >= 0.0) || v > 1.0)
+    spec_error(clause, "prob must be in [0, 1]");
+  return v;
+}
+
+/// Did rule `r` (index `idx` in the plan) fire for eligible-hit `hit`?
+bool prob_fires(const Installed& plan, std::size_t idx, const LiveRule& r,
+                std::uint64_t hit) {
+  if (r.rule.prob >= 1.0) return true;
+  if (r.rule.prob <= 0.0) return false;
+  const std::uint64_t h =
+      splitmix64(plan.seed ^ splitmix64(idx * 0x9e3779b97f4a7c15ULL + hit));
+  // 53-bit mantissa fraction in [0, 1).
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < r.rule.prob;
+}
+
+/// Count the hit and decide whether this rule fires at this site visit.
+bool rule_fires(const Installed& plan, std::size_t idx, LiveRule& r,
+                const char* site) {
+  if (!glob_match(r.rule.site, site)) return false;
+  const std::uint64_t hit = r.hits.fetch_add(1, std::memory_order_relaxed);
+  if (hit < r.rule.after) return false;
+  if (!prob_fires(plan, idx, r, hit)) return false;
+  // Enforce the firing cap with a CAS loop so concurrent hits cannot
+  // overshoot `count`.
+  std::uint64_t fired = r.fired.load(std::memory_order_relaxed);
+  do {
+    if (fired >= r.rule.count) return false;
+  } while (!r.fired.compare_exchange_weak(fired, fired + 1,
+                                          std::memory_order_relaxed));
+  return true;
+}
+
+void record_fire(const LiveRule& r, const char* site) {
+  g_fired_total.fetch_add(1, std::memory_order_relaxed);
+  PV_COUNTER_ADD("fault.fired", 1);
+  switch (r.rule.kind) {
+    case Kind::kError: PV_COUNTER_ADD("fault.errors", 1); break;
+    case Kind::kShortWrite: PV_COUNTER_ADD("fault.short_writes", 1); break;
+    case Kind::kDelay: PV_COUNTER_ADD("fault.delays", 1); break;
+    case Kind::kAlloc: PV_COUNTER_ADD("fault.allocs", 1); break;
+    case Kind::kCrash: PV_COUNTER_ADD("fault.crashes", 1); break;
+  }
+  (void)site;
+}
+
+/// Apply a fired non-short rule. Never returns for kCrash.
+void apply(const LiveRule& r, const char* site) {
+  record_fire(r, site);
+  switch (r.rule.kind) {
+    case Kind::kError:
+      throw InjectedFault(site, "I/O error (rule '" + r.rule.site + "')");
+    case Kind::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(r.rule.arg));
+      return;
+    case Kind::kAlloc:
+      throw std::bad_alloc();
+    case Kind::kCrash:
+      // A SIGKILL analog: no unwinding, no flushing, no atexit — exactly
+      // what a job killed mid-write looks like to the next reader.
+      std::_Exit(static_cast<int>(r.rule.arg ? r.rule.arg : 137));
+    case Kind::kShortWrite:
+      return;  // handled by clamp_len
+  }
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<bool> g_active{false};
+}  // namespace detail
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kError: return "error";
+    case Kind::kShortWrite: return "short";
+    case Kind::kDelay: return "delay";
+    case Kind::kAlloc: return "alloc";
+    case Kind::kCrash: return "crash";
+  }
+  return "?";
+}
+
+Plan Plan::parse(std::string_view spec) {
+  Plan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t end = std::min(spec.find(';', pos), spec.size());
+    const std::string_view clause = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (clause.empty()) {
+      if (end == spec.size()) break;
+      continue;  // tolerate empty clauses ("a:error;;b:crash")
+    }
+
+    // Split the clause on ':' into site, action, modifiers.
+    std::vector<std::string_view> parts;
+    std::size_t c = 0;
+    while (c <= clause.size()) {
+      const std::size_t ce = std::min(clause.find(':', c), clause.size());
+      parts.push_back(clause.substr(c, ce - c));
+      c = ce + 1;
+      if (ce == clause.size()) break;
+    }
+    if (parts.size() < 2) spec_error(clause, "expected site ':' action");
+
+    Rule rule;
+    rule.site = std::string(parts[0]);
+    if (rule.site.empty()) spec_error(clause, "empty site");
+
+    const std::string_view action = parts[1];
+    const std::size_t eq = action.find('=');
+    const std::string_view verb = action.substr(0, eq);
+    const std::string_view arg =
+        eq == std::string_view::npos ? std::string_view() : action.substr(eq + 1);
+    if (verb == "error") {
+      rule.kind = Kind::kError;
+    } else if (verb == "short") {
+      rule.kind = Kind::kShortWrite;
+      if (arg.empty()) spec_error(clause, "short needs '=BYTES'");
+      rule.arg = parse_u64(clause, arg, "short");
+    } else if (verb == "delay") {
+      rule.kind = Kind::kDelay;
+      if (arg.empty()) spec_error(clause, "delay needs '=MS'");
+      rule.arg = parse_u64(clause, arg, "delay");
+    } else if (verb == "alloc") {
+      rule.kind = Kind::kAlloc;
+    } else if (verb == "crash") {
+      rule.kind = Kind::kCrash;
+      if (!arg.empty()) rule.arg = parse_u64(clause, arg, "crash");
+    } else {
+      spec_error(clause, "unknown action '" + std::string(verb) +
+                             "' (error|short=N|delay=MS|alloc|crash)");
+    }
+
+    for (std::size_t i = 2; i < parts.size(); ++i) {
+      const std::string_view mod = parts[i];
+      const std::size_t meq = mod.find('=');
+      if (meq == std::string_view::npos)
+        spec_error(clause, "modifier '" + std::string(mod) + "' needs '='");
+      const std::string_view key = mod.substr(0, meq);
+      const std::string_view val = mod.substr(meq + 1);
+      if (key == "after") {
+        rule.after = parse_u64(clause, val, "after");
+      } else if (key == "count") {
+        rule.count = parse_u64(clause, val, "count");
+      } else if (key == "prob") {
+        rule.prob = parse_prob(clause, val);
+      } else if (key == "seed") {
+        plan.seed = parse_u64(clause, val, "seed");
+      } else {
+        spec_error(clause, "unknown modifier '" + std::string(key) +
+                               "' (after|count|prob|seed)");
+      }
+    }
+    plan.rules.push_back(std::move(rule));
+  }
+  return plan;
+}
+
+void install(Plan plan) {
+  auto installed = std::make_unique<Installed>();
+  installed->seed = plan.seed;
+  installed->rules.reserve(plan.rules.size());
+  for (Rule& r : plan.rules) {
+    auto live = std::make_unique<LiveRule>();
+    live->rule = std::move(r);
+    installed->rules.push_back(std::move(live));
+  }
+  const bool any = !installed->rules.empty();
+  retire(g_plan.exchange(installed.release(), std::memory_order_acq_rel));
+  detail::g_active.store(any, std::memory_order_release);
+}
+
+void install_spec(std::string_view spec) { install(Plan::parse(spec)); }
+
+bool install_from_env() {
+  const char* env = std::getenv("PATHVIEW_FAULTS");
+  if (env == nullptr || *env == '\0') return false;
+  install_spec(env);
+  return active();
+}
+
+void clear() {
+  detail::g_active.store(false, std::memory_order_release);
+  retire(g_plan.exchange(nullptr, std::memory_order_acq_rel));
+}
+
+std::uint64_t fired_total() {
+  return g_fired_total.load(std::memory_order_relaxed);
+}
+
+void check_site(const char* site) {
+  Installed* plan = g_plan.load(std::memory_order_acquire);
+  if (plan == nullptr) return;
+  for (std::size_t i = 0; i < plan->rules.size(); ++i) {
+    LiveRule& r = *plan->rules[i];
+    if (r.rule.kind == Kind::kShortWrite) continue;  // clamp_len territory
+    if (rule_fires(*plan, i, r, site)) apply(r, site);
+  }
+}
+
+std::size_t clamp_len(const char* site, std::size_t n) {
+  Installed* plan = g_plan.load(std::memory_order_acquire);
+  if (plan == nullptr) return n;
+  std::size_t out = n;
+  for (std::size_t i = 0; i < plan->rules.size(); ++i) {
+    LiveRule& r = *plan->rules[i];
+    if (!rule_fires(*plan, i, r, site)) continue;
+    if (r.rule.kind == Kind::kShortWrite) {
+      record_fire(r, site);
+      out = std::min<std::size_t>(out, r.rule.arg);
+    } else {
+      apply(r, site);
+    }
+  }
+  return out;
+}
+
+}  // namespace pathview::fault

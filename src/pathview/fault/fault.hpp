@@ -1,0 +1,151 @@
+// Deterministic, seeded fault injection at named sites.
+//
+// Every layer that touches disk or the network declares *fault points* —
+// named sites like "db.experiment.save.write" — via the PV_FAULT macros.
+// A fault::Plan (parsed from --fault-spec or $PATHVIEW_FAULTS) binds
+// actions to sites: I/O errors, short/torn writes, delays, allocation
+// failures, or a hard crash (the kill-mid-write scenario). Everything is
+// deterministic: rule eligibility is counted per site-hit, and
+// probabilistic rules hash (seed, rule, hit index) so a replayed run
+// injects the same faults at the same points.
+//
+// Spec grammar (see docs/robustness.md for the full reference):
+//
+//   spec   := rule (';' rule)*
+//   rule   := site ':' action (':' mod)*
+//   action := 'error' | 'short=' N | 'delay=' MS | 'alloc' | 'crash'
+//   mod    := 'after=' K | 'count=' K | 'prob=' P | 'seed=' S
+//   site   := dotted name, '*' wildcards allowed ("db.*", "*.rename")
+//
+// e.g.  PATHVIEW_FAULTS='db.experiment.save.write:crash:after=1'
+//       PATHVIEW_FAULTS='db.measurement.load.read:error:prob=0.25:seed=7'
+//
+// Cost model: when no plan is installed (the production state) every
+// PV_FAULT site is one relaxed atomic load and a predictable branch —
+// bench/fault_recovery.cpp gates this on the hot sampling loop. Compiling
+// with -DPATHVIEW_FAULT_DISABLED removes the sites entirely.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pathview/support/error.hpp"
+
+namespace pathview::fault {
+
+/// The action a rule injects when it fires.
+enum class Kind : std::uint8_t {
+  kError,       // throw InjectedFault (an I/O failure the caller must handle)
+  kShortWrite,  // clamp the next write/read length to `arg` bytes, then fail
+  kDelay,       // sleep `arg` milliseconds
+  kAlloc,       // throw std::bad_alloc
+  kCrash,       // _Exit(arg ? arg : 137) — a kill -9 analog, no unwinding
+};
+
+const char* kind_name(Kind k);
+
+struct Rule {
+  std::string site;  // glob over dotted site names; '*' matches any run
+  Kind kind = Kind::kError;
+  std::uint64_t arg = 0;    // kShortWrite: bytes kept; kDelay: ms; kCrash: code
+  std::uint64_t after = 0;  // skip the first `after` matching hits
+  std::uint64_t count = UINT64_MAX;  // fire at most `count` times
+  double prob = 1.0;        // firing probability once eligible
+};
+
+/// A parsed fault specification. Plans are immutable once installed.
+struct Plan {
+  std::uint64_t seed = 0;
+  std::vector<Rule> rules;
+
+  bool empty() const { return rules.empty(); }
+
+  /// Parse the spec grammar above. Throws InvalidArgument with a pointer to
+  /// the offending clause on malformed specs.
+  static Plan parse(std::string_view spec);
+};
+
+/// Thrown by fired kError / kShortWrite rules. Derives from pathview::Error
+/// so existing I/O error handling propagates it like a real failure.
+class InjectedFault : public Error {
+ public:
+  InjectedFault(const std::string& site, const std::string& what)
+      : Error("injected fault at " + site + ": " + what), site_(site) {}
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// True when a plan with at least one rule is installed. One relaxed load.
+inline bool active();
+
+/// Install `plan` process-wide (replacing any previous plan). Hit counters
+/// start at zero. Not intended to race PV_FAULT evaluation of the *previous*
+/// plan; install at startup or between test phases.
+void install(Plan plan);
+
+/// Parse + install. Throws InvalidArgument on a bad spec.
+void install_spec(std::string_view spec);
+
+/// Install from $PATHVIEW_FAULTS when set and non-empty; returns whether a
+/// plan was installed. Bad env specs throw (a tool should fail loudly, not
+/// silently skip its fault matrix).
+bool install_from_env();
+
+/// Remove the installed plan; PV_FAULT sites return to the fast path.
+void clear();
+
+/// Total rules fired since install (all kinds, all sites). Works with obs
+/// disabled; tests use it to assert a scenario actually injected.
+std::uint64_t fired_total();
+
+// --- slow-path site evaluation (call only when active()) --------------------
+
+/// Evaluate error/delay/alloc/crash rules at `site`. May throw
+/// InjectedFault / std::bad_alloc, sleep, or _Exit and never return.
+void check_site(const char* site);
+
+/// Evaluate short-write rules at `site` for an I/O of `n` bytes: returns
+/// the number of bytes the caller should actually transfer (== n when no
+/// rule fires). Also runs check_site semantics for the other kinds, so one
+/// call per chunk covers every action.
+std::size_t clamp_len(const char* site, std::size_t n);
+
+namespace detail {
+extern std::atomic<bool> g_active;
+}  // namespace detail
+
+inline bool active() {
+  return detail::g_active.load(std::memory_order_relaxed);
+}
+
+}  // namespace pathview::fault
+
+// ---------------------------------------------------------------------------
+// Site macros.
+// ---------------------------------------------------------------------------
+
+#if defined(PATHVIEW_FAULT_DISABLED)
+
+#define PV_FAULT(site) static_cast<void>(0)
+#define PV_FAULT_LEN(site, n) (n)
+
+#else
+
+/// Declare a fault point. Zero-cost when no plan is installed.
+#define PV_FAULT(site)                                   \
+  do {                                                   \
+    if (::pathview::fault::active())                     \
+      ::pathview::fault::check_site(site);               \
+  } while (0)
+
+/// Declare a fault point on an I/O of `n` bytes; evaluates to the length
+/// the caller should transfer (short/torn-write injection).
+#define PV_FAULT_LEN(site, n) \
+  (::pathview::fault::active() ? ::pathview::fault::clamp_len(site, n) : (n))
+
+#endif  // PATHVIEW_FAULT_DISABLED

@@ -15,6 +15,7 @@ Attribution attribute_metrics(const prof::CanonicalCct& cct,
                               std::span<const model::Event> events) {
   Attribution out;
   out.events.assign(events.begin(), events.end());
+  out.table.set_degraded(cct.degraded());
   out.table.ensure_rows(cct.size());
   for (model::Event e : events) {
     MetricDesc incl{std::string(model::event_name(e)) + " (I)",

@@ -56,10 +56,18 @@ class MetricTable {
   /// Find a column by name; returns num_columns() when absent.
   ColumnId find(std::string_view name) const;
 
+  /// Degraded-data marker: the values in this table were computed from an
+  /// incomplete measurement (see prof::CanonicalCct::degraded). Attribution
+  /// copies the flag from the CCT; UIs render it as a banner so a partial
+  /// profile is never presented as a complete one.
+  bool degraded() const { return degraded_; }
+  void set_degraded(bool d) { degraded_ = d; }
+
  private:
   std::vector<MetricDesc> descs_;
   std::vector<std::vector<double>> columns_;
   std::size_t nrows_ = 0;
+  bool degraded_ = false;
 };
 
 }  // namespace pathview::metrics

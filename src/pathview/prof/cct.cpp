@@ -95,6 +95,7 @@ std::vector<CctNodeId> CanonicalCct::merge(const CanonicalCct& other) {
     throw InvalidArgument("CanonicalCct::merge: different structure trees");
   std::vector<CctNodeId> map(other.size(), kCctNull);
   map[kCctRoot] = kCctRoot;
+  degraded_ = degraded_ || other.degraded_;
   samples_[kCctRoot] += other.samples_[kCctRoot];
   // Parents precede children in id order, so a forward sweep suffices.
   for (CctNodeId id = 1; id < other.size(); ++id) {
@@ -114,6 +115,7 @@ std::vector<CctNodeId> CanonicalCct::merge(CanonicalCct&& other) {
     nodes_ = std::move(other.nodes_);
     samples_ = std::move(other.samples_);
     edges_ = std::move(other.edges_);
+    degraded_ = degraded_ || other.degraded_;
     std::vector<CctNodeId> map(nodes_.size());
     std::iota(map.begin(), map.end(), 0u);
     return map;
@@ -127,6 +129,7 @@ CanonicalCct CanonicalCct::clone_with_tree(
   out.nodes_ = nodes_;
   out.samples_ = samples_;
   out.edges_ = edges_;
+  out.degraded_ = degraded_;
   return out;
 }
 

@@ -87,6 +87,14 @@ class CanonicalCct {
     nodes_[id].children.reserve(n);
   }
 
+  /// Degraded-data marker: set when this tree was built from an incomplete
+  /// measurement (missing/corrupt ranks, salvaged sample sections). Merges
+  /// OR the flag — one degraded contribution taints the union — and
+  /// clone_with_tree preserves it, so prof::Pipeline results and loaded
+  /// experiments carry it all the way to the presentation layers.
+  bool degraded() const { return degraded_; }
+  void set_degraded(bool d) { degraded_ = d; }
+
   /// Sum of raw samples over the whole tree (== per-event totals).
   model::EventVector totals() const;
 
@@ -153,6 +161,7 @@ class CanonicalCct {
   const structure::StructureTree* tree_;
   std::vector<CctNode> nodes_;
   std::vector<model::EventVector> samples_;
+  bool degraded_ = false;
   std::unordered_map<EdgeKey, CctNodeId, EdgeKeyHash> edges_;
 };
 

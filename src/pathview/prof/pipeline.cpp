@@ -425,6 +425,10 @@ CanonicalCct finalize(const MergeTree& t, MergeContext& ctx,
       for (std::int64_t c = t.nodes[i].chead; c != kNil; c = ctx.link(c))
         out.add_samples(map[i], ctx.parts[ref_part(c)]->samples(ref_id(c)));
   }
+  // One degraded contribution taints the union, exactly as the serial
+  // fold's merge() would have propagated it.
+  for (const CanonicalCct* p : ctx.parts)
+    if (p->degraded()) out.set_degraded(true);
   PV_COUNTER_ADD("prof.merged_cct_nodes", out.size());
   return out;
 }

@@ -1,0 +1,129 @@
+#include "pathview/serve/client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <unistd.h>
+
+#include "pathview/fault/fault.hpp"
+#include "pathview/obs/obs.hpp"
+#include "pathview/serve/server.hpp"
+#include "pathview/support/prng.hpp"
+
+namespace pathview::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Retryable iff the reply is a well-formed refusal that carries the
+/// server's explicit retry hint. Everything else is a final answer.
+bool retry_hint_ms(const JsonValue& reply, std::uint32_t* hint) {
+  if (!reply.is_object() || reply.get_bool("ok", true)) return false;
+  const JsonValue* ra = reply.find("retry_after_ms");
+  if (ra == nullptr || !ra->is_number()) return false;
+  *hint = static_cast<std::uint32_t>(
+      std::max(0.0, std::min(ra->as_number(), 3600.0 * 1000.0)));
+  return true;
+}
+
+}  // namespace
+
+Client::Client(const std::string& host, std::uint16_t port, RetryOptions retry)
+    : host_(host),
+      port_(port),
+      retry_(retry),
+      jitter_state_(retry.jitter_seed ^ 0x9e3779b97f4a7c15ull) {
+  reconnect();
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::reconnect() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  try {
+    fd_ = connect_to(host_, port_);
+  } catch (const fault::InjectedFault& e) {
+    // Injected connect failures model real transport failures.
+    throw TransportError(e.what());
+  }
+}
+
+JsonValue Client::call(JsonValue request) {
+  if (!request.is_object())
+    throw ProtocolError("client request must be a JSON object");
+  if (request.find("v") == nullptr)
+    request.set("v",
+                JsonValue::number(static_cast<std::int64_t>(kProtocolVersion)));
+  if (request.find("id") == nullptr)
+    request.set("id", JsonValue::number(next_id_++));
+
+  const std::string payload = request.dump();
+  const std::uint32_t attempts = std::max<std::uint32_t>(1, retry_.max_attempts);
+  const bool has_deadline = retry_.deadline_ms != 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(retry_.deadline_ms);
+
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    if (has_deadline && Clock::now() >= deadline)
+      throw TransportError("client deadline of " +
+                           std::to_string(retry_.deadline_ms) +
+                           "ms expired after " + std::to_string(attempt) +
+                           " attempt(s)");
+    std::string raw;
+    try {
+      write_frame(fd_, payload);
+      if (!read_frame(fd_, &raw))
+        throw TransportError("server closed the connection mid-call");
+    } catch (const fault::InjectedFault& e) {
+      throw TransportError(e.what());
+    }
+
+    JsonValue reply;
+    try {
+      reply = JsonValue::parse(raw);
+    } catch (const Error& e) {
+      throw ProtocolError(std::string("unparseable reply: ") + e.what());
+    }
+
+    std::uint32_t hint = 0;
+    if (!retry_hint_ms(reply, &hint)) return reply;
+    if (attempt + 1 >= attempts) return reply;  // retries exhausted: final
+
+    // Capped exponential backoff seeded from the server's hint, with
+    // deterministic +/-25% jitter so synchronized clients desynchronize.
+    const std::uint64_t base =
+        std::max<std::uint64_t>(hint, retry_.base_backoff_ms);
+    const std::uint64_t shift = std::min<std::uint32_t>(attempt, 20);
+    std::uint64_t delay =
+        std::min<std::uint64_t>(base << shift, retry_.max_backoff_ms);
+    const std::uint64_t quarter = delay / 4;
+    if (quarter > 0)
+      delay = delay - quarter + splitmix64(jitter_state_) % (2 * quarter + 1);
+    if (has_deadline) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - Clock::now())
+                            .count();
+      if (left <= 0)
+        throw TransportError("client deadline of " +
+                             std::to_string(retry_.deadline_ms) +
+                             "ms expired while backing off");
+      delay = std::min<std::uint64_t>(delay, static_cast<std::uint64_t>(left));
+    }
+    ++retries_;
+    PV_COUNTER_ADD("serve.client.retries", 1);
+    if (delay > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
+}
+
+JsonValue Client::call_op(const std::string& op, JsonValue body) {
+  JsonValue req = body.is_object() ? std::move(body) : JsonValue::object();
+  req.set("op", JsonValue::string(op));
+  return call(std::move(req));
+}
+
+}  // namespace pathview::serve

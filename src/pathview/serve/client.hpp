@@ -1,0 +1,81 @@
+// A resilient pvserve client: one connection, synchronous request/response,
+// honoring the server's backpressure contract.
+//
+// The server answers overload and queue-expiry with
+//   {"ok": false, "error": {"kind": "overloaded"|"deadline", ...},
+//    "retry_after_ms": M}
+// Client::call retries exactly those responses — an explicit, server-issued
+// hint — with capped exponential backoff seeded from the hint (delay_k =
+// min(M * 2^k, max_backoff_ms) plus deterministic jitter), until the
+// per-request deadline expires. Responses with ok:false and NO retry hint
+// are final answers, returned to the caller as-is; transport failures
+// (connect refused, torn connection) are never retried here because the
+// connection's session state is gone — they surface as TransportError for
+// the caller to handle.
+//
+// Error taxonomy (also the pvserve --client exit-code contract, see
+// docs/serving.md):
+//   TransportError — the bytes didn't flow            (exit 3)
+//   ProtocolError  — the bytes weren't a usable reply  (exit 2)
+//   ok:false reply — a well-formed refusal             (exit 2)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pathview/serve/json.hpp"
+#include "pathview/serve/protocol.hpp"
+
+namespace pathview::serve {
+
+struct RetryOptions {
+  /// Total tries per call (first attempt + retries). 0 behaves as 1.
+  std::uint32_t max_attempts = 5;
+  /// Backoff floor when a retryable reply carries no usable hint.
+  std::uint32_t base_backoff_ms = 10;
+  /// Backoff ceiling; the exponential curve is clamped here.
+  std::uint32_t max_backoff_ms = 2000;
+  /// Per-call wall-clock budget covering every attempt and every backoff
+  /// sleep. 0 = no deadline.
+  std::uint32_t deadline_ms = 0;
+  /// Seed for the deterministic jitter stream (+/- 25% of each delay).
+  std::uint64_t jitter_seed = 0;
+};
+
+class Client {
+ public:
+  /// Connect immediately. Throws TransportError when the daemon is
+  /// unreachable.
+  Client(const std::string& host, std::uint16_t port, RetryOptions retry = {});
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send one request object and return the decoded reply, retrying
+  /// server-hinted backpressure rejections. Fills in "v" and "id" when the
+  /// caller didn't. Throws TransportError / ProtocolError per the taxonomy
+  /// above; a final ok:false reply is RETURNED, not thrown.
+  JsonValue call(JsonValue request);
+
+  /// Convenience: build {"op": op, ...} from a prepared body and call it.
+  JsonValue call_op(const std::string& op, JsonValue body);
+
+  /// Retries performed across all calls (observability for tests/tools).
+  std::uint64_t retries() const { return retries_; }
+
+  int fd() const { return fd_; }
+
+ private:
+  void reconnect();
+
+  std::string host_;
+  std::uint16_t port_;
+  RetryOptions retry_;
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t jitter_state_;
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace pathview::serve

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <unistd.h>
 
+#include "pathview/fault/fault.hpp"
 #include "pathview/support/error.hpp"
 
 namespace pathview::serve {
@@ -130,7 +131,8 @@ std::size_t read_exact(int fd, char* buf, std::size_t n) {
     if (r == 0) return got;
     if (r < 0) {
       if (errno == EINTR) continue;
-      throw Error(std::string("socket read failed: ") + std::strerror(errno));
+      throw TransportError(std::string("socket read failed: ") +
+                           std::strerror(errno));
     }
     got += static_cast<std::size_t>(r);
   }
@@ -141,9 +143,10 @@ std::size_t read_exact(int fd, char* buf, std::size_t n) {
 
 bool read_frame(int fd, std::string* out) {
   char hdr[4];
+  PV_FAULT("serve.net.read");
   const std::size_t got = read_exact(fd, hdr, 4);
   if (got == 0) return false;  // clean EOF between frames
-  if (got < 4) throw Error("truncated frame header");
+  if (got < 4) throw TransportError("truncated frame header");
   const std::uint32_t n = (static_cast<std::uint32_t>(
                                static_cast<unsigned char>(hdr[0]))
                            << 24) |
@@ -156,22 +159,25 @@ bool read_frame(int fd, std::string* out) {
                           static_cast<std::uint32_t>(
                               static_cast<unsigned char>(hdr[3]));
   if (n > kMaxFrameBytes)
-    throw Error("frame of " + std::to_string(n) + " bytes exceeds the " +
-                std::to_string(kMaxFrameBytes) + "-byte cap");
+    throw ProtocolError("frame of " + std::to_string(n) +
+                        " bytes exceeds the " +
+                        std::to_string(kMaxFrameBytes) + "-byte cap");
   out->resize(n);
   if (n != 0 && read_exact(fd, out->data(), n) < n)
-    throw Error("truncated frame payload");
+    throw TransportError("truncated frame payload");
   return true;
 }
 
 void write_frame(int fd, std::string_view payload) {
+  PV_FAULT("serve.net.write");
   const std::string framed = encode_frame(payload);
   std::size_t sent = 0;
   while (sent < framed.size()) {
     const ssize_t w = ::write(fd, framed.data() + sent, framed.size() - sent);
     if (w < 0) {
       if (errno == EINTR) continue;
-      throw Error(std::string("socket write failed: ") + std::strerror(errno));
+      throw TransportError(std::string("socket write failed: ") +
+                           std::strerror(errno));
     }
     sent += static_cast<std::size_t>(w);
   }

@@ -25,10 +25,28 @@
 
 #include "pathview/serve/json.hpp"
 
+#include "pathview/support/error.hpp"
+
 namespace pathview::serve {
 
 inline constexpr int kProtocolVersion = 1;
 inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;  // 16 MiB
+
+/// The connection itself failed: connect refused, socket error, unexpected
+/// EOF mid-frame. The bytes never (fully) arrived. Maps to pvserve
+/// --client exit code 3.
+class TransportError : public Error {
+ public:
+  explicit TransportError(const std::string& what) : Error(what) {}
+};
+
+/// The bytes arrived but were not a usable reply: oversized frame, invalid
+/// JSON, or a well-formed error response with no retry hint. Maps to
+/// pvserve --client exit code 2.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
 
 // ---------------------------------------------------------------------------
 // Operations.
@@ -100,11 +118,11 @@ JsonValue error_response(std::uint64_t id, ErrorKind kind,
 std::string encode_frame(std::string_view payload);
 
 /// Read one frame into `*out`. Returns false on clean EOF before any byte
-/// of the frame; throws pathview::Error on short reads, oversized frames,
-/// or socket errors.
+/// of the frame; throws TransportError on short reads or socket errors and
+/// ProtocolError on oversized frames.
 bool read_frame(int fd, std::string* out);
 
-/// Write one framed payload; throws pathview::Error on socket errors.
+/// Write one framed payload; throws TransportError on socket errors.
 void write_frame(int fd, std::string_view payload);
 
 }  // namespace pathview::serve

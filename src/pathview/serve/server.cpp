@@ -10,6 +10,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "pathview/fault/fault.hpp"
 #include "pathview/obs/obs.hpp"
 #include "pathview/support/error.hpp"
 
@@ -223,7 +224,23 @@ void Server::serve_connection(int fd) {
     // One frame at a time: the response is on the wire before the next
     // request is read, which is what makes per-connection streams
     // deterministic under any worker count.
-    while (read_frame(fd, &payload)) {
+    for (;;) {
+      if (opts_.idle_timeout_ms != 0) {
+        // Wait for the next frame with a bound: a client that goes silent
+        // must not pin a connection thread (and its tracked fd) forever.
+        pollfd pfd{fd, POLLIN, 0};
+        const int pr =
+            ::poll(&pfd, 1, static_cast<int>(opts_.idle_timeout_ms));
+        if (pr < 0) {
+          if (errno == EINTR) continue;
+          break;
+        }
+        if (pr == 0) {
+          PV_COUNTER_ADD("serve.conn.idle_closed", 1);
+          break;
+        }
+      }
+      if (!read_frame(fd, &payload)) break;
       const JsonValue resp = process(payload);
       write_frame(fd, resp.dump());
     }
@@ -356,16 +373,18 @@ JsonValue Server::execute(const Request& req) {
 }
 
 int connect_to(const std::string& host, std::uint16_t port) {
+  PV_FAULT("serve.net.connect");
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0)
-    throw Error(std::string("socket() failed: ") + std::strerror(errno));
+    throw TransportError(std::string("socket() failed: ") +
+                         std::strerror(errno));
   sockaddr_in addr = make_addr(host, port);
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
       0) {
     const std::string why = std::strerror(errno);
     ::close(fd);
-    throw Error("cannot connect to " + host + ":" + std::to_string(port) +
-                ": " + why);
+    throw TransportError("cannot connect to " + host + ":" +
+                         std::to_string(port) + ": " + why);
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));

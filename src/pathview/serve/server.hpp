@@ -46,6 +46,9 @@ class Server {
     std::uint32_t deadline_ms = 10000;
     /// Suggested client back-off attached to overload rejections.
     std::uint32_t retry_after_ms = 50;
+    /// Close a connection whose client sends nothing for this long.
+    /// 0 disables the timeout (connections may idle forever).
+    std::uint32_t idle_timeout_ms = 0;
     SessionManager::Options sessions;
   };
 

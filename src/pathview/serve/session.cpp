@@ -237,6 +237,17 @@ JsonValue SessionManager::do_open(const Request& req) {
   resp.set("name", JsonValue::string(session->exp_->name()));
   resp.set("nranks", JsonValue::number(static_cast<std::uint64_t>(
                          session->exp_->nranks())));
+  // Degraded experiments (salvage-loaded, dropped ranks) announce it so a
+  // remote viewer can show the banner a local load would print.
+  if (session->exp_->degraded()) {
+    resp.set("degraded", JsonValue::boolean(true));
+    if (!session->exp_->dropped_ranks().empty()) {
+      JsonValue dropped = JsonValue::array();
+      for (const std::uint32_t r : session->exp_->dropped_ranks())
+        dropped.push(JsonValue::number(static_cast<std::uint64_t>(r)));
+      resp.set("dropped_ranks", std::move(dropped));
+    }
+  }
   resp.set("scopes", JsonValue::number(static_cast<std::uint64_t>(
                          session->exp_->cct().size())));
   resp.set("view", JsonValue::string(

@@ -1,5 +1,7 @@
 #include "pathview/sim/sampler.hpp"
 
+#include "pathview/fault/fault.hpp"
+
 namespace pathview::sim {
 
 Sampler::Sampler(const SamplerConfig& cfg, Prng& prng)
@@ -29,6 +31,9 @@ void Sampler::charge(const model::EventVector& cost, const FireFn& fire) {
     // threshold it consumed (== period when undithered).
     while (acc_[i] >= threshold_[i]) {
       acc_[i] -= threshold_[i];
+      // Alloc-failure injection point on the hottest loop in the system;
+      // bench/fault_recovery.cpp gates that the inactive check stays free.
+      PV_FAULT("sim.sample");
       fire(static_cast<model::Event>(i), threshold_[i]);
       threshold_[i] = draw_threshold(i);
     }

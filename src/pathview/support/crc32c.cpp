@@ -1,0 +1,51 @@
+#include "pathview/support/crc32c.hpp"
+
+#include <array>
+
+namespace pathview::support {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+
+using Table = std::array<std::array<std::uint32_t, 256>, 4>;
+
+constexpr Table make_tables() {
+  Table t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int k = 0; k < 8; ++k)
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    t[0][i] = crc;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xff];
+    t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xff];
+    t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xff];
+  }
+  return t;
+}
+
+constexpr Table kTables = make_tables();
+
+}  // namespace
+
+std::uint32_t crc32c(std::string_view data, std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  const auto* p = reinterpret_cast<const unsigned char*>(data.data());
+  std::size_t n = data.size();
+  while (n >= 4) {
+    crc ^= static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+    crc = kTables[3][crc & 0xff] ^ kTables[2][(crc >> 8) & 0xff] ^
+          kTables[1][(crc >> 16) & 0xff] ^ kTables[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n-- > 0) crc = (crc >> 8) ^ kTables[0][(crc ^ *p++) & 0xff];
+  return ~crc;
+}
+
+}  // namespace pathview::support

@@ -1,0 +1,16 @@
+// CRC32C (Castagnoli, poly 0x1EDC6F41 reflected to 0x82F63B78) — the
+// checksum guarding every section of the binary experiment database.
+// Software slicing-by-four; fast enough for database I/O (the database is
+// read once per load, not per query) and dependency-free.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace pathview::support {
+
+/// CRC32C of `data`, continuing from `seed` (pass a previous result to
+/// checksum a stream in pieces). `seed` is the *finalized* CRC value.
+std::uint32_t crc32c(std::string_view data, std::uint32_t seed = 0);
+
+}  // namespace pathview::support

@@ -1,0 +1,145 @@
+#include "pathview/support/io.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "pathview/fault/fault.hpp"
+#include "pathview/obs/obs.hpp"
+#include "pathview/support/error.hpp"
+
+namespace pathview::support {
+
+namespace {
+
+constexpr std::size_t kChunk = 64 * 1024;
+
+std::string site_name(const char* site, const char* leaf) {
+  return std::string(site) + "." + leaf;
+}
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw InvalidArgument(what + ": " + std::strerror(errno));
+}
+
+class Fd {
+ public:
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  int get() const { return fd_; }
+  void reset() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+  /// Close, reporting failure (close(2) can surface deferred write errors).
+  void close_checked(const std::string& what) {
+    const int fd = fd_;
+    fd_ = -1;
+    if (fd >= 0 && ::close(fd) != 0) fail_errno(what);
+  }
+
+ private:
+  int fd_;
+};
+
+void write_all(int fd, const char* site, std::string_view bytes) {
+  const std::string wsite = site_name(site, "write");
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const std::size_t want = std::min(kChunk, bytes.size() - off);
+    // A fired short-write rule tears this chunk: the prefix lands on disk
+    // (visible to any salvage pass over the temp file) and the write fails
+    // like a full filesystem would.
+    const std::size_t allowed = PV_FAULT_LEN(wsite.c_str(), want);
+    std::size_t chunk_off = 0;
+    while (chunk_off < allowed) {
+      const ssize_t w =
+          ::write(fd, bytes.data() + off + chunk_off, allowed - chunk_off);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        fail_errno("write failed");
+      }
+      chunk_off += static_cast<std::size_t>(w);
+    }
+    if (allowed < want)
+      throw fault::InjectedFault(wsite, "short write (" +
+                                            std::to_string(allowed) + " of " +
+                                            std::to_string(want) + " bytes)");
+    off += want;
+  }
+}
+
+void fsync_dir_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return;  // best-effort: some filesystems refuse dir opens
+  ::fsync(dfd);
+  ::close(dfd);
+}
+
+}  // namespace
+
+std::string read_file(const std::string& path, const char* site) {
+  PV_FAULT(site_name(site, "open").c_str());
+  Fd fd(::open(path.c_str(), O_RDONLY | O_CLOEXEC));
+  if (fd.get() < 0)
+    throw InvalidArgument("cannot open '" + path + "': " +
+                          std::strerror(errno));
+  std::string out;
+  const std::string rsite = site_name(site, "read");
+  char buf[kChunk];
+  for (;;) {
+    const ssize_t r = ::read(fd.get(), buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("read of '" + path + "' failed");
+    }
+    if (r == 0) break;
+    // Short-read injection truncates the stream mid-file — the view a
+    // loader gets of a file whose writer died without sealing it.
+    const std::size_t keep =
+        PV_FAULT_LEN(rsite.c_str(), static_cast<std::size_t>(r));
+    out.append(buf, keep);
+    if (keep < static_cast<std::size_t>(r)) break;
+  }
+  PV_COUNTER_ADD("io.bytes_read", out.size());
+  return out;
+}
+
+void atomic_write_file(const std::string& path, std::string_view bytes,
+                       const char* site) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  PV_FAULT(site_name(site, "open").c_str());
+  Fd fd(::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644));
+  if (fd.get() < 0)
+    throw InvalidArgument("cannot create '" + tmp + "': " +
+                          std::strerror(errno));
+  try {
+    write_all(fd.get(), site, bytes);
+    PV_FAULT(site_name(site, "fsync").c_str());
+    if (::fsync(fd.get()) != 0) fail_errno("fsync of '" + tmp + "' failed");
+    fd.close_checked("close of '" + tmp + "' failed");
+    // The commit point: rename(2) is atomic on POSIX filesystems, so a
+    // crash on either side of it leaves a complete file at `path`.
+    PV_FAULT(site_name(site, "rename").c_str());
+    if (::rename(tmp.c_str(), path.c_str()) != 0)
+      fail_errno("rename '" + tmp + "' -> '" + path + "' failed");
+  } catch (...) {
+    fd.reset();
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  fsync_dir_of(path);
+  PV_COUNTER_ADD("io.atomic_writes", 1);
+  PV_COUNTER_ADD("io.bytes_written", bytes.size());
+}
+
+}  // namespace pathview::support

@@ -1,0 +1,34 @@
+// Crash-safe file I/O primitives shared by everything that persists state.
+//
+// atomic_write_file implements the classic durable-replace protocol: write
+// the full payload to "<path>.tmp.<pid>", fsync it, rename(2) it over the
+// destination, and fsync the containing directory. A reader therefore sees
+// either the complete old file or the complete new file — never a torn
+// mixture — no matter where a crash lands (the crash-recovery e2e kills
+// writers at every step to prove it).
+//
+// Both helpers are fault-injection sites (PV_FAULT / PV_FAULT_LEN) under
+// "<site>.open|write|fsync|rename|read"; pass a dotted site prefix such as
+// "db.experiment.save".
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace pathview::support {
+
+/// Read the whole file. Throws InvalidArgument when it cannot be opened and
+/// InjectedFault under an injected read fault. Fault sites:
+/// "<site>.open", "<site>.read" (short-read rules truncate the result —
+/// exactly what a reader racing a crashed writer would have seen).
+std::string read_file(const std::string& path, const char* site = "io.load");
+
+/// Atomically replace `path` with `bytes` (temp + fsync + rename + dir
+/// fsync). Throws InvalidArgument on real I/O errors, InjectedFault under
+/// injected faults; the temp file is unlinked on every failure path. Fault
+/// sites: "<site>.open", "<site>.write" (per 64 KiB chunk; short rules tear
+/// the temp file then fail), "<site>.fsync", "<site>.rename".
+void atomic_write_file(const std::string& path, std::string_view bytes,
+                       const char* site = "io.save");
+
+}  // namespace pathview::support

@@ -118,7 +118,9 @@ std::string ViewerController::render(TreeTableOptions opts) {
     opts.roots = flatten_[idx]->roots();
   if (opts.highlight.empty()) opts.highlight = highlight_[idx];
   if (opts.columns.empty()) opts.columns = visible_[idx];
-  std::string head = std::string(view_type_name(v.type())) + "\n";
+  std::string head = std::string(view_type_name(v.type()));
+  if (v.cct().degraded()) head += " [DEGRADED]";
+  head += "\n";
   return head + render_tree_table(v, exp_[idx], opts);
 }
 

@@ -87,6 +87,10 @@ class ViewerController {
   // --- rendering -------------------------------------------------------------
   std::string render(TreeTableOptions opts = TreeTableOptions{});
 
+  /// True when the underlying CCT was salvaged from damaged data — render()
+  /// tags every view header with "[DEGRADED]" (see docs/robustness.md).
+  bool degraded() const { return cct_view_.cct().degraded(); }
+
   const Config& config() const { return cfg_; }
   /// Adjust the hot-path threshold (the paper's preferences dialog).
   void set_hot_path_threshold(double t) { cfg_.hot_path_threshold = t; }

@@ -9,11 +9,15 @@
 #include <filesystem>
 #include <string>
 #include <thread>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 #include <vector>
 
 #include "pathview/db/experiment.hpp"
 #include "pathview/prof/correlate.hpp"
+#include "pathview/serve/client.hpp"
+#include "pathview/serve/experiment_cache.hpp"
 #include "pathview/serve/server.hpp"
 #include "pathview/serve/session.hpp"
 #include "pathview/support/error.hpp"
@@ -153,6 +157,173 @@ TEST(ServeServer, StopWhileClientsHammerRequests) {
     done.store(true, std::memory_order_release);
     for (std::thread& t : clients) t.join();
   }
+}
+
+TEST(ServeCache, EvictionRacesConcurrentOpensOfTheSamePath) {
+  // A byte budget far below one experiment forces an eviction on every
+  // insert (only the shard's front entry survives), while several threads
+  // concurrently re-open the same two databases. The shared_ptr handoff
+  // must stay correct: every get() returns a complete experiment even when
+  // a sibling thread just evicted the entry. (TSan/ASan runs of this test
+  // are part of scripts/check.sh.)
+  const std::string base =
+      (std::filesystem::temp_directory_path() /
+       ("serve_cache_race_" + std::to_string(::getpid()))).string();
+  workloads::PaperExample ex;
+  const prof::CanonicalCct cct = prof::correlate(ex.profile(), ex.tree());
+  const std::vector<std::string> paths = {base + "_a.xml", base + "_b.xml"};
+  for (const std::string& p : paths)
+    db::save_xml(db::Experiment::capture(ex.tree(), cct, p, 1), p);
+
+  ExperimentCache::Options opts;
+  opts.byte_budget = 1;  // evict on every insert
+  opts.shards = 1;       // maximum contention
+  ExperimentCache cache(opts);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        const std::string& p = paths[(t + i) % paths.size()];
+        const std::shared_ptr<const db::Experiment> got = cache.get(p);
+        if (!got || got->name() != p || got->cct().size() == 0)
+          failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  const ExperimentCache::Stats stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.entries, 1u);
+  for (const std::string& p : paths) std::remove(p.c_str());
+}
+
+/// Minimal scripted daemon for client-retry tests: accepts one connection
+/// and answers each request from a canned reply list (then echoes ok:true).
+class ScriptedServer {
+ public:
+  explicit ScriptedServer(std::vector<std::string> replies)
+      : replies_(std::move(replies)) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+        ::listen(fd_, 1) != 0)
+      throw Error("ScriptedServer: bind/listen failed");
+    socklen_t len = sizeof addr;
+    ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this] {
+      const int conn = ::accept(fd_, nullptr, nullptr);
+      if (conn < 0) return;
+      std::string req;
+      std::size_t i = 0;
+      try {
+        while (read_frame(conn, &req)) {
+          ++requests_;
+          write_frame(conn, i < replies_.size() ? replies_[i++]
+                                                : R"({"ok":true})");
+        }
+      } catch (const Error&) {
+        // Client went away; fine.
+      }
+      ::close(conn);
+    });
+  }
+  ~ScriptedServer() {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    thread_.join();
+  }
+  std::uint16_t port() const { return port_; }
+  int requests() const { return requests_.load(); }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::vector<std::string> replies_;
+  std::atomic<int> requests_{0};
+  std::thread thread_;
+};
+
+TEST(ServeClient, RetriesOnlyOnExplicitRetryAfterHints) {
+  ScriptedServer srv({R"({"ok":false,"retry_after_ms":1})",
+                      R"({"ok":false,"retry_after_ms":1})"});
+  RetryOptions retry;
+  retry.max_attempts = 5;
+  retry.base_backoff_ms = 1;
+  Client client("127.0.0.1", srv.port(), retry);
+  const JsonValue reply = client.call_op("ping", JsonValue::object());
+  EXPECT_TRUE(reply.get_bool("ok", false)) << reply.dump();
+  EXPECT_EQ(client.retries(), 2u);
+  EXPECT_EQ(srv.requests(), 3);
+}
+
+TEST(ServeClient, RefusalWithoutHintIsFinal) {
+  ScriptedServer srv({R"({"ok":false,"error":{"kind":"bad_request"}})"});
+  RetryOptions retry;
+  retry.max_attempts = 5;
+  retry.base_backoff_ms = 1;
+  Client client("127.0.0.1", srv.port(), retry);
+  const JsonValue reply = client.call_op("ping", JsonValue::object());
+  EXPECT_FALSE(reply.get_bool("ok", true));
+  EXPECT_EQ(client.retries(), 0u);
+  EXPECT_EQ(srv.requests(), 1);
+}
+
+TEST(ServeClient, ExhaustedRetriesReturnTheLastRefusal) {
+  ScriptedServer srv({R"({"ok":false,"retry_after_ms":1})",
+                      R"({"ok":false,"retry_after_ms":1})",
+                      R"({"ok":false,"retry_after_ms":1})"});
+  RetryOptions retry;
+  retry.max_attempts = 2;
+  retry.base_backoff_ms = 1;
+  Client client("127.0.0.1", srv.port(), retry);
+  const JsonValue reply = client.call_op("ping", JsonValue::object());
+  EXPECT_FALSE(reply.get_bool("ok", true));
+  EXPECT_EQ(client.retries(), 1u);
+  EXPECT_EQ(srv.requests(), 2);
+}
+
+TEST(ServeClient, DeadlineBoundsRetriesAndBackoff) {
+  // The daemon stalls forever behind retry hints; a 40ms deadline must cut
+  // the call off with a transport error instead of backing off unbounded.
+  std::vector<std::string> always;
+  for (int i = 0; i < 64; ++i)
+    always.push_back(R"({"ok":false,"retry_after_ms":30})");
+  ScriptedServer srv(std::move(always));
+  RetryOptions retry;
+  retry.max_attempts = 100;
+  retry.base_backoff_ms = 1;
+  retry.deadline_ms = 40;
+  Client client("127.0.0.1", srv.port(), retry);
+  EXPECT_THROW(client.call_op("ping", JsonValue::object()), TransportError);
+}
+
+TEST(ServeClient, UnparseableReplyIsAProtocolError) {
+  ScriptedServer srv({"this is not json"});
+  Client client("127.0.0.1", srv.port(), {});
+  EXPECT_THROW(client.call_op("ping", JsonValue::object()), ProtocolError);
+}
+
+TEST(ServeServer, IdleConnectionsAreClosedByTheTimeout) {
+  Server::Options opts;
+  opts.idle_timeout_ms = 50;
+  Server server(opts);
+  server.start();
+  const int fd = connect_to("127.0.0.1", server.port());
+  // An active request keeps the connection; then going quiet closes it.
+  std::string reply;
+  write_frame(fd, kPing);
+  ASSERT_TRUE(read_frame(fd, &reply));
+  const bool eof = !read_frame(fd, &reply);  // blocks until the server closes
+  EXPECT_TRUE(eof);
+  ::close(fd);
+  server.stop();
 }
 
 }  // namespace

@@ -265,11 +265,13 @@ class PvserveCliTest : public ToolCliTest {
     return -1;
   }
 
-  /// One --client round trip; returns the reply line.
-  std::string request(int port, const std::string& body) {
+  /// One --client round trip; returns the reply line. A daemon refusal
+  /// (ok:false reply) exits 2 — callers sending bad requests on purpose
+  /// pass expect_rc = 2 (the documented protocol-error exit code).
+  std::string request(int port, const std::string& body, int expect_rc = 0) {
     const int rc = run(tool("pvserve") + " --client --port " +
                        std::to_string(port) + " --request '" + body + "'");
-    EXPECT_EQ(rc, 0) << slurp(out("log"));
+    EXPECT_EQ(rc, expect_rc) << slurp(out("log"));
     std::string reply = slurp(out("log"));
     while (!reply.empty() && (reply.back() == '\n' || reply.back() == '\r'))
       reply.pop_back();
@@ -327,18 +329,20 @@ TEST_F(PvserveCliTest, SessionLifecycleOverTheWire) {
       R"({"v":1,"id":6,"op":"timeline_window","session":"s1","width":8})");
   EXPECT_NE(timeline.find("\"cells\":["), std::string::npos) << timeline;
 
-  // Typed protocol errors, not crashes.
-  EXPECT_NE(request(port, R"({"v":1,"id":7,"op":"expand","session":"nope"})")
-                .find("\"kind\":\"not_found\""),
-            std::string::npos);
-  EXPECT_NE(request(port, R"({"v":1,"id":8,"op":"frobnicate"})")
+  // Typed protocol errors, not crashes — and the client exits 2 for each.
+  EXPECT_NE(
+      request(port, R"({"v":1,"id":7,"op":"expand","session":"nope"})", 2)
+          .find("\"kind\":\"not_found\""),
+      std::string::npos);
+  EXPECT_NE(request(port, R"({"v":1,"id":8,"op":"frobnicate"})", 2)
                 .find("\"kind\":\"bad_request\""),
             std::string::npos);
-  EXPECT_NE(request(port, R"({"v":9,"id":9,"op":"ping"})")
+  EXPECT_NE(request(port, R"({"v":9,"id":9,"op":"ping"})", 2)
                 .find("\"kind\":\"bad_request\""),
             std::string::npos);
   EXPECT_NE(
-      request(port, R"({"v":1,"id":10,"op":"open","path":"/no/such.pvdb"})")
+      request(port, R"({"v":1,"id":10,"op":"open","path":"/no/such.pvdb"})",
+              2)
           .find("\"kind\":\"not_found\""),
       std::string::npos);
 
@@ -388,6 +392,125 @@ TEST_F(PvserveCliTest, ResponseStreamsIdenticalAcrossThreadCounts) {
   ASSERT_EQ(streams.size(), 2u);
   ASSERT_FALSE(streams[0].empty());
   EXPECT_EQ(streams[0], streams[1]);
+}
+
+TEST_F(PvserveCliTest, ClientExitCodesDistinguishTransportFromProtocol) {
+  // No daemon listening: the connect fails -> transport error -> exit 3.
+  EXPECT_EQ(run(tool("pvserve") + " --client --port 1 --request "
+                R"('{"v":1,"id":1,"op":"ping"}')"),
+            3);
+
+  const int port = start_daemon();
+  ASSERT_GT(port, 0) << slurp(out("serve.log"));
+  // Unparseable request JSON never reaches the wire -> protocol -> exit 2.
+  EXPECT_EQ(run(tool("pvserve") + " --client --port " + std::to_string(port) +
+                " --request '{broken'"),
+            2);
+  // A daemon refusal prints the reply but still exits 2.
+  EXPECT_EQ(run(tool("pvserve") + " --client --port " + std::to_string(port) +
+                R"( --request '{"v":1,"id":1,"op":"frobnicate"}')"),
+            2);
+  EXPECT_NE(slurp(out("log")).find("\"kind\":\"bad_request\""),
+            std::string::npos);
+  // A healthy round trip: exit 0.
+  EXPECT_EQ(run(tool("pvserve") + " --client --port " + std::to_string(port) +
+                R"( --request '{"v":1,"id":2,"op":"ping"}')"),
+            0);
+  ASSERT_EQ(::kill(pid_, SIGTERM), 0);
+  ASSERT_TRUE(wait_exit(5.0));
+}
+
+// --- fault injection & crash recovery ----------------------------------------
+
+TEST_F(ToolCliTest, CrashMidSaveLeavesOldDatabaseIntact) {
+  const std::string dbp = out("exp.pvdb");
+  ASSERT_EQ(run(tool("pvprof") + " paper -o " + dbp), 0) << slurp(out("log"));
+  const std::string before = slurp(dbp);
+  ASSERT_FALSE(before.empty());
+
+  // kill -9 analog at the atomic-rename step: exit 137, destination intact.
+  EXPECT_EQ(run(tool("pvprof") + " paper -o " + dbp +
+                " --fault-spec 'db.experiment.save.rename:crash'"),
+            137);
+  EXPECT_EQ(slurp(dbp), before);
+
+  // A clean I/O failure at the same site: error exit, intact again.
+  EXPECT_EQ(run(tool("pvprof") + " paper -o " + dbp +
+                " --fault-spec 'db.experiment.save.rename:error'"),
+            1);
+  EXPECT_EQ(slurp(dbp), before);
+
+  // Torn mid-write: the temp file tears, the destination is never touched.
+  EXPECT_EQ(run(tool("pvprof") + " paper -o " + dbp +
+                " --fault-spec 'db.experiment.save.write:short=7'"),
+            1);
+  EXPECT_EQ(slurp(dbp), before);
+
+  // After all that abuse the database still opens clean, no degraded banner.
+  ASSERT_EQ(run("printf 'quit\\n' | " + tool("pvviewer") + " " + dbp), 0)
+      << slurp(out("log"));
+  EXPECT_EQ(slurp(out("log")).find("DEGRADED"), std::string::npos);
+}
+
+TEST_F(ToolCliTest, SalvageProfilesDamagedMeasurements) {
+  ASSERT_EQ(run(tool("pvrun") + " subsurface --ranks 4 -o " + out("meas")), 0)
+      << slurp(out("log"));
+  // Truncate rank 2's measurement file — a writer crashed mid-stream.
+  const std::string victim = db::measurement_path(out("meas"), 2);
+  const std::string bytes = slurp(victim);
+  ASSERT_GT(bytes.size(), 30u);
+  {
+    std::ofstream o(victim, std::ios::binary | std::ios::trunc);
+    o.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+
+  // Strict profiling refuses the damaged directory...
+  EXPECT_EQ(run(tool("pvprof") + " subsurface --ranks 4 --measurements " +
+                out("meas") + " -o " + out("strict.pvdb")),
+            1);
+
+  // ...salvage drops the rank, marks the experiment, and says so loudly.
+  ASSERT_EQ(run(tool("pvprof") + " subsurface --ranks 4 --measurements " +
+                out("meas") + " -o " + out("exp.pvdb") + " --salvage"),
+            0)
+      << slurp(out("log"));
+  const std::string log = slurp(out("log"));
+  EXPECT_NE(log.find("DEGRADED DATA"), std::string::npos) << log;
+  EXPECT_NE(log.find("rank 2"), std::string::npos) << log;
+
+  const db::Experiment exp = db::load_binary(out("exp.pvdb"));
+  EXPECT_TRUE(exp.degraded());
+  EXPECT_EQ(exp.dropped_ranks(), (std::vector<std::uint32_t>{2}));
+
+  // The viewer banners the damage instead of presenting partial data whole.
+  ASSERT_EQ(run("printf 'quit\\n' | " + tool("pvviewer") + " " +
+                out("exp.pvdb")),
+            0)
+      << slurp(out("log"));
+  EXPECT_NE(slurp(out("log")).find("[DEGRADED]"), std::string::npos);
+}
+
+TEST_F(ToolCliTest, RecoveredTraceIndexIsSurfaced) {
+  ASSERT_EQ(run(tool("pvprof") + " subsurface --ranks 2 -o " +
+                out("exp.pvdb") + " --trace-events"),
+            0)
+      << slurp(out("log"));
+  // Chop the tail off rank 1's trace: the footer index is gone, the reader
+  // must fall back to scanning.
+  const std::string tpath =
+      db::trace_path(db::trace_dir_for(out("exp.pvdb")), 1);
+  const std::string bytes = slurp(tpath);
+  ASSERT_GT(bytes.size(), 32u);
+  {
+    std::ofstream o(tpath, std::ios::binary | std::ios::trunc);
+    o.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 12));
+  }
+  ASSERT_EQ(run(tool("pvtrace") + " " + out("exp.pvdb") + " --width 16"), 0)
+      << slurp(out("log"));
+  const std::string log = slurp(out("log"));
+  EXPECT_NE(log.find("recovered"), std::string::npos) << log;
+  EXPECT_NE(log.find("rank 1 trace index was damaged"), std::string::npos)
+      << log;
 }
 
 TEST(StructureDump, RendersHierarchy) {

@@ -82,6 +82,25 @@ TEST(Controller, HotPathExpandsAndHighlights) {
   EXPECT_NE(out.find("Calling Context View"), std::string::npos);
 }
 
+TEST(Controller, DegradedCctTagsEveryViewHeader) {
+  Fixture f;
+  {
+    ViewerController clean(f.cct, f.attr);
+    EXPECT_FALSE(clean.degraded());
+    EXPECT_EQ(clean.render().find("[DEGRADED]"), std::string::npos);
+  }
+  f.cct.set_degraded(true);
+  ViewerController ctl(f.cct, f.attr);
+  EXPECT_TRUE(ctl.degraded());
+  for (auto t : {core::ViewType::kCallingContext, core::ViewType::kCallers,
+                 core::ViewType::kFlat}) {
+    ctl.select_view(t);
+    const std::string out = ctl.render();
+    EXPECT_NE(out.find("[DEGRADED]"), std::string::npos);
+    EXPECT_LT(out.find("[DEGRADED]"), out.find('\n'));
+  }
+}
+
 TEST(Controller, DerivedMetricSharedAcrossViews) {
   Fixture f;
   ViewerController ctl(f.cct, f.attr);

@@ -24,11 +24,14 @@ namespace {
 
 const char kUsage[] =
     "usage: pvprof <workload> -o out.{xml|pvdb} [--ranks N] "
-    "[--seed S] [--measurements dir] [--merge-arity K] "
+    "[--seed S] [--measurements dir] [--salvage] [--merge-arity K] "
     "[--trace-events[=EVENT]]\n"
     "  --measurements: correlate hpcrun-style files written by\n"
     "                  'pvrun <workload> -o dir' instead of\n"
     "                  re-running the simulation\n"
+    "  --salvage:      tolerate damaged/missing per-rank measurement\n"
+    "                  files: drop them, report the damage, and mark the\n"
+    "                  experiment degraded\n"
     "  --merge-arity:  children per reduction-tree merge node (default 2);\n"
     "                  the merged CCT is identical for any arity\n"
     "  --trace-events: write canonical per-rank time-centric traces to\n"
@@ -95,10 +98,14 @@ int main(int argc, char** argv) {
         sink_for = [&tracers](std::uint32_t rank, std::uint32_t) {
           return static_cast<sim::TraceSink*>(tracers[rank].get());
         };
+      db::LoadReport report;
+      db::LoadOptions lopts;
+      lopts.salvage = args.has("salvage");
       const auto raws =
           mdir.empty() ? workloads::profile_workload(w, nranks, nthreads,
                                                      std::move(sink_for))
-                       : db::load_measurements(mdir);
+                       : db::load_measurements(mdir, lopts, &report);
+      tools::print_load_report("pvprof", report);
       for (auto& t : tracers) t->close();
       prof::PipelineOptions popts;
       popts.nthreads = nthreads;
@@ -109,6 +116,10 @@ int main(int argc, char** argv) {
 
       db::Experiment exp =
           db::Experiment::capture(*w.tree, merged, args.positional[0], nranks);
+      if (report.degraded) {
+        exp.set_degraded(true);
+        exp.set_dropped_ranks(report.dropped_ranks);
+      }
       const bool binary =
           out.size() > 5 && out.substr(out.size() - 5) == ".pvdb";
       if (binary)

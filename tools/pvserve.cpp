@@ -9,6 +9,7 @@
 // Client mode (`pvserve --client`) sends requests to a running daemon and
 // prints one JSON reply per line — the scripting surface used by the e2e
 // tests and scripts/check.sh.
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <iostream>
@@ -17,6 +18,7 @@
 #include <thread>
 #include <unistd.h>
 
+#include "pathview/serve/client.hpp"
 #include "pathview/serve/server.hpp"
 #include "tool_util.hpp"
 
@@ -34,6 +36,7 @@ daemon flags:
   --threads N        worker threads (0 = all hardware threads)
   --queue N          request queue capacity (default 128)
   --deadline-ms N    per-request queue deadline (default 10000)
+  --idle-timeout-ms N  close connections idle this long (default 0 = never)
   --cache-mb N       experiment cache byte budget in MiB (default 256)
   --max-sessions N   concurrent session limit (default 256)
   --view V           view new sessions start in when the open request
@@ -45,6 +48,15 @@ client flags:
   --request JSON     send one request and print the reply; without it,
                      each non-empty stdin line is sent as a request and
                      every reply is printed on its own line
+  --retries N        attempts per request when the daemon answers with a
+                     retry_after_ms backpressure hint (default 5)
+  --backoff-ms N     backoff cap for those retries (default 2000)
+  --deadline-ms N    per-request wall-clock budget, attempts + backoff
+                     (default 0 = none)
+
+client exit codes: 0 ok; 2 protocol error (the daemon refused the request
+or replied unusably); 3 transport error (could not connect, connection
+torn). See docs/serving.md.
 
 protocol: 4-byte big-endian length prefix + JSON. See docs/serving.md.
 )";
@@ -58,26 +70,47 @@ void on_signal(int) {
   [[maybe_unused]] ssize_t r = ::write(g_sig_pipe[1], &b, 1);
 }
 
+// Client exit codes (documented in docs/serving.md and asserted by the e2e
+// tests): 0 = every reply was ok:true; 2 = protocol-level failure (a final
+// ok:false reply, or an unusable reply); 3 = transport-level failure.
+constexpr int kExitOk = 0;
+constexpr int kExitProtocol = 2;
+constexpr int kExitTransport = 3;
+
 int run_client(const pathview::tools::Args& args) {
   using namespace pathview;
   const long port = args.flag("port", 0);
   if (port <= 0 || port > 65535) {
     std::fprintf(stderr, "pvserve: --client needs --port N\n");
-    return 2;
+    return kExitProtocol;
   }
   const std::string host = args.flag_str("host", "127.0.0.1");
-  const int fd =
-      serve::connect_to(host, static_cast<std::uint16_t>(port));
-  int rc = 0;
-  std::string reply;
-  const auto roundtrip = [&](const std::string& req) {
-    serve::write_frame(fd, req);
-    if (!serve::read_frame(fd, &reply))
-      throw Error("daemon closed the connection before replying");
-    std::fwrite(reply.data(), 1, reply.size(), stdout);
-    std::fputc('\n', stdout);
-  };
+  serve::RetryOptions retry;
+  retry.max_attempts =
+      static_cast<std::uint32_t>(std::max(1l, args.flag("retries", 5)));
+  retry.max_backoff_ms =
+      static_cast<std::uint32_t>(std::max(1l, args.flag("backoff-ms", 2000)));
+  retry.deadline_ms =
+      static_cast<std::uint32_t>(std::max(0l, args.flag("deadline-ms", 0)));
+
+  int rc = kExitOk;
   try {
+    serve::Client client(host, static_cast<std::uint16_t>(port), retry);
+    const auto roundtrip = [&](const std::string& req) {
+      serve::JsonValue parsed;
+      try {
+        parsed = serve::JsonValue::parse(req);
+      } catch (const Error& e) {
+        throw serve::ProtocolError(std::string("bad request JSON: ") +
+                                   e.what());
+      }
+      const serve::JsonValue reply = client.call(std::move(parsed));
+      const std::string line = reply.dump();
+      std::fwrite(line.data(), 1, line.size(), stdout);
+      std::fputc('\n', stdout);
+      // A final refusal is still exit 2, even though the reply printed.
+      if (!reply.get_bool("ok", false)) rc = kExitProtocol;
+    };
     if (args.has("request")) {
       roundtrip(args.flag_str("request", ""));
     } else {
@@ -87,11 +120,16 @@ int run_client(const pathview::tools::Args& args) {
         roundtrip(line);
       }
     }
+  } catch (const serve::TransportError& e) {
+    std::fprintf(stderr, "pvserve: transport error: %s\n", e.what());
+    rc = kExitTransport;
+  } catch (const serve::ProtocolError& e) {
+    std::fprintf(stderr, "pvserve: protocol error: %s\n", e.what());
+    rc = kExitProtocol;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pvserve: %s\n", e.what());
-    rc = 1;
+    rc = kExitProtocol;
   }
-  ::close(fd);
   std::fflush(stdout);
   return rc;
 }
@@ -113,6 +151,8 @@ int run_daemon(const pathview::tools::Args& args,
       static_cast<std::uint32_t>(args.flag("deadline-ms", 10000));
   opts.retry_after_ms =
       static_cast<std::uint32_t>(args.flag("retry-after-ms", 50));
+  opts.idle_timeout_ms =
+      static_cast<std::uint32_t>(args.flag("idle-timeout-ms", 0));
   opts.sessions.cache.byte_budget =
       static_cast<std::size_t>(args.flag("cache-mb", 256)) << 20;
   opts.sessions.max_sessions =

@@ -58,15 +58,8 @@ int main(int argc, char** argv) {
           args.flag_str("trace-dir", db::trace_dir_for(path)));
 
       std::uint64_t records = 0;
-      for (const auto& tr : traces) {
-        records += tr->size();
-        if (tr->recovered())
-          std::fprintf(stderr,
-                       "pvtrace: warning: rank %u trace index was damaged; "
-                       "recovered %llu record(s) by scanning\n",
-                       tr->rank(),
-                       static_cast<unsigned long long>(tr->size()));
-      }
+      for (const auto& tr : traces) records += tr->size();
+      tools::warn_recovered_traces("pvtrace", traces);
       const auto [tb, te] = analysis::trace_time_range(traces);
       std::printf("experiment '%s': %zu trace rank(s), %llu record(s), "
                   "t=[%llu, %llu]\n",

@@ -22,7 +22,10 @@ using namespace pathview;
 namespace {
 
 const char kUsage[] =
-    "usage: pvviewer <experiment.{xml|pvdb}> [--timeline[=DEPTH]]\n"
+    "usage: pvviewer <experiment.{xml|pvdb}> [--salvage] [--timeline[=DEPTH]]\n"
+    "  --salvage:        load a damaged database non-strictly: skip corrupt\n"
+    "                    sections, report what was dropped, and flag the\n"
+    "                    session as degraded\n"
     "  --timeline:       print the rank/time trace timeline before the\n"
     "                    interactive session (requires the experiment's\n"
     "                    .trace directory, see pvprof --trace-events;\n"
@@ -43,15 +46,27 @@ int main(int argc, char** argv) {
     {
       PV_SPAN("pvviewer.run");
       const std::string& path = args.positional[0];
-      const db::Experiment exp = tools::load_experiment(path);
+      db::LoadReport report;
+      const db::Experiment exp =
+          tools::load_experiment(path, args.has("salvage"), &report);
+      tools::print_load_report("pvviewer", report);
       std::printf("experiment '%s': %zu CCT scopes, %u rank(s), %zu stored "
-                  "derived metric(s)\n",
+                  "derived metric(s)%s\n",
                   exp.name().c_str(), exp.cct().size(), exp.nranks(),
-                  exp.user_metrics().size());
+                  exp.user_metrics().size(),
+                  exp.degraded() ? " [DEGRADED]" : "");
+      if (exp.degraded() && !exp.dropped_ranks().empty()) {
+        std::string ranks;
+        for (const std::uint32_t r : exp.dropped_ranks())
+          ranks += (ranks.empty() ? "" : ", ") + std::to_string(r);
+        std::printf("DEGRADED: missing measured data from rank(s) %s\n",
+                    ranks.c_str());
+      }
 
       if (args.has("timeline")) {
         const auto traces = db::open_traces(
             args.flag_str("trace-dir", db::trace_dir_for(path)));
+        tools::warn_recovered_traces("pvviewer", traces);
         analysis::TimelineOptions topts;
         const std::string dstr = args.flag_str("timeline", "");
         topts.depth =

@@ -6,10 +6,13 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "pathview/db/experiment.hpp"
+#include "pathview/db/trace.hpp"
+#include "pathview/fault/fault.hpp"
 #include "pathview/model/program.hpp"
 #include "pathview/obs/export.hpp"
 #include "pathview/obs/obs.hpp"
@@ -32,6 +35,9 @@ inline constexpr const char* kCommonUsage =
     "  --self-profile FILE.{xml|pvdb}\n"
     "                             write this run's span tree as an\n"
     "                             experiment database (open with pvviewer)\n"
+    "  --fault-spec SPEC          install a deterministic fault-injection\n"
+    "                             plan (also read from $PATHVIEW_FAULTS;\n"
+    "                             see docs/robustness.md for the grammar)\n"
     "  --version                  print version and exit\n"
     "  --help                     print usage and exit\n";
 
@@ -94,6 +100,19 @@ inline bool handle_common_flags(const Args& args, const char* tool,
   if (args.has("version")) {
     std::printf("%s (pathview) %s\n", tool, kVersion);
     *exit_code = 0;
+    return true;
+  }
+  // Fault-injection wiring, shared by every tool: an explicit --fault-spec
+  // wins over $PATHVIEW_FAULTS. A malformed spec is a usage error.
+  try {
+    if (const std::string spec = args.flag_str("fault-spec", "");
+        !spec.empty())
+      fault::install_spec(spec);
+    else
+      fault::install_from_env();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s: bad fault spec: %s\n", tool, e.what());
+    *exit_code = 2;
     return true;
   }
   return false;
@@ -167,6 +186,44 @@ inline db::Experiment load_experiment(const std::string& path) {
   const bool binary =
       path.size() > 5 && path.substr(path.size() - 5) == ".pvdb";
   return binary ? db::load_binary(path) : db::load_xml(path);
+}
+
+/// Salvage-aware variant (the --salvage flag): damaged optional content is
+/// skipped and recorded in `report` instead of failing the load.
+inline db::Experiment load_experiment(const std::string& path, bool salvage,
+                                      db::LoadReport* report) {
+  db::LoadOptions opts;
+  opts.salvage = salvage;
+  return db::load(path, opts, report);
+}
+
+/// Print a salvage load's damage report to stderr, one warning line per
+/// note plus a closing degraded banner — shared by every tool that loads
+/// with --salvage so partial data is never presented silently.
+inline void print_load_report(const char* tool, const db::LoadReport& report) {
+  if (report.clean()) return;
+  for (const std::string& note : report.notes)
+    std::fprintf(stderr, "%s: warning: %s\n", tool, note.c_str());
+  if (report.degraded)
+    std::fprintf(stderr,
+                 "%s: warning: DEGRADED DATA — this profile is missing "
+                 "measured data (%s)\n",
+                 tool, report.summary().c_str());
+}
+
+/// Warn (to stderr) about every trace whose footer index was damaged and
+/// rebuilt by scanning — shared by pvtrace and pvviewer --timeline so a
+/// truncated trace from a crashed capture is always surfaced.
+inline void warn_recovered_traces(
+    const char* tool,
+    const std::vector<std::unique_ptr<db::TraceReader>>& traces) {
+  for (const auto& tr : traces)
+    if (tr->recovered())
+      std::fprintf(stderr,
+                   "%s: warning: rank %u trace index was damaged; "
+                   "recovered %llu record(s) by scanning\n",
+                   tool, tr->rank(),
+                   static_cast<unsigned long long>(tr->size()));
 }
 
 /// "cycles" / "instructions" / "flops" / "l1" / "l2" / "idle".
