@@ -30,7 +30,7 @@ prof::CanonicalCct run_merged(workloads::SubsurfaceWorkload& w,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   obs::set_enabled(true);  // collect counters for the JSON report
   constexpr std::uint32_t kBase = 4, kScaled = 8;
   // One workload object: both runs must share the structure tree.
@@ -71,7 +71,8 @@ int main() {
   const double root_loss = sa.table.get(sa.loss_col, u.root());
   const double root_base = sa.table.get(sa.base_col, u.root());
 
-  bench::Report rep("Scaling-loss ablation (strong-scaled PFLOTRAN)");
+  bench::Report rep("Scaling-loss ablation (strong-scaled PFLOTRAN)",
+                    bench::meta_from_args(argc, argv, "ablation_scaling"));
   rep.info("aggregate base cycles", root_base);
   rep.info("aggregate scaling loss", root_loss);
   rep.row("loss is a small fraction of the run (serial part only)", 1,

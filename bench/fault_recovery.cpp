@@ -47,8 +47,9 @@ double time_hot_loop(std::size_t iters) {
 
 }  // namespace
 
-int main() {
-  bench::Report report("fault injection & crash recovery");
+int main(int argc, char** argv) {
+  bench::Report report("fault injection & crash recovery",
+                       bench::meta_from_args(argc, argv, "fault_recovery"));
 
   // --- zero-cost gate on the hot sampling loop -------------------------------
   fault::clear();

@@ -58,7 +58,7 @@ void render(core::View& v) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   obs::set_enabled(true);  // collect counters for the JSON report
   workloads::PaperExample ex;
 
@@ -87,7 +87,8 @@ int main() {
   std::puts("--- Fig. 2c: Flat View (static) ---");
   render(fv);
 
-  bench::Report rep("Fig. 2 golden values (inclusive/exclusive cycles)");
+  bench::Report rep("Fig. 2 golden values (inclusive/exclusive cycles)",
+                    bench::meta_from_args(argc, argv, "fig2_three_views"));
   // 2a — note: find_node keys on (label, inclusive), so recursion instances
   // g1/g2/g3 are disambiguated by their inclusive costs.
   check(rep, cv, attr, "m", 10, 0);

@@ -13,7 +13,7 @@
 
 using namespace pathview;
 
-int main() {
+int main(int argc, char** argv) {
   obs::set_enabled(true);  // collect counters for the JSON report
   workloads::CombustionWorkload w = workloads::make_combustion();
   sim::ExecutionEngine eng(*w.program, *w.lowering, w.run);
@@ -48,7 +48,8 @@ int main() {
     return 100.0 * best / total;
   };
 
-  bench::Report rep("Fig. 3 (S3D calling-context / hot-path study)");
+  bench::Report rep("Fig. 3 (S3D calling-context / hot-path study)",
+                    bench::meta_from_args(argc, argv, "fig3_hotpath_cct"));
   rep.row("integration loop incl cycles %  (paper 97.9)", 97.9,
           pct_of("loop at integrate_erk.f90: 82", ic, true), 1.0);
   rep.row("integration loop excl cycles %  (paper ~0.0)", 0.0,

@@ -13,7 +13,7 @@
 
 using namespace pathview;
 
-int main() {
+int main(int argc, char** argv) {
   obs::set_enabled(true);  // collect counters for the JSON report
   workloads::MeshWorkload w = workloads::make_mesh();
   sim::ExecutionEngine eng(*w.program, *w.lowering, w.run);
@@ -49,7 +49,8 @@ int main() {
       via_other += cv.table().get(l1, c);
   }
 
-  bench::Report rep("Fig. 4 (MOAB Callers View, % of total L1 misses)");
+  bench::Report rep("Fig. 4 (MOAB Callers View, % of total L1 misses)",
+                    bench::meta_from_args(argc, argv, "fig4_callers_view"));
   rep.row("_intel_fast_memset.A total  (paper 9.7)", 9.7,
           100.0 * cv.table().get(l1, memset_node) / total, 0.6);
   rep.row("via Sequence_data::create  (paper 9.6)", 9.6,

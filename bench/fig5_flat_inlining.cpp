@@ -31,7 +31,7 @@ core::ViewNodeId find_labeled(core::View& v, core::ViewNodeId at,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   obs::set_enabled(true);  // collect counters for the JSON report
   workloads::MeshWorkload w = workloads::make_mesh();
   sim::ExecutionEngine eng(*w.program, *w.lowering, w.run);
@@ -81,7 +81,8 @@ int main() {
           : find_labeled(fv, find_inl,
                          "inlined from SequenceCompare::operator()");
 
-  bench::Report rep("Fig. 5 (MOAB Flat View with inlining hierarchy)");
+  bench::Report rep("Fig. 5 (MOAB Flat View with inlining hierarchy)",
+                    bench::meta_from_args(argc, argv, "fig5_flat_inlining"));
   rep.row("get_coords incl cycles %          (paper 18.9)", 18.9,
           100.0 * fv.table().get(cyc, gc) / total_cyc, 1.0);
   rep.row("its loop holds all of those %      (paper 18.9)", 18.9,

@@ -54,7 +54,7 @@ double flux_loop_cycles(bool optimized) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   obs::set_enabled(true);  // collect counters for the JSON report
   workloads::CombustionWorkload w = workloads::make_combustion();
   sim::ExecutionEngine eng(*w.program, *w.lowering, w.run);
@@ -94,7 +94,8 @@ int main() {
     if (r.label == "loop at w_exp.c: 5") exp_eff = r.eff;
   }
 
-  bench::Report rep("Fig. 6 (derived FP waste / relative efficiency)");
+  bench::Report rep("Fig. 6 (derived FP waste / relative efficiency)",
+                    bench::meta_from_args(argc, argv, "fig6_derived_metrics"));
   rep.row("flux loop waste share %   (paper 13.5)", 13.5,
           100.0 * flux_waste / total_waste, 1.0);
   rep.row("flux loop rel. efficiency %  (paper 6)", 6.0, 100.0 * flux_eff,

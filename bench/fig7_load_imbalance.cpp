@@ -19,8 +19,10 @@
 using namespace pathview;
 
 int main(int argc, char** argv) {
-  const auto nranks =
-      static_cast<std::uint32_t>(argc > 1 ? std::atoi(argv[1]) : 128);
+  // Optional positional rank count; runner flags (--timestamp/--git-rev)
+  // are not it.
+  const auto nranks = static_cast<std::uint32_t>(
+      argc > 1 && argv[1][0] != '-' ? std::atoi(argv[1]) : 128);
   workloads::SubsurfaceWorkload w = workloads::make_subsurface(nranks);
 
   sim::ParallelConfig pc;
@@ -54,7 +56,8 @@ int main(int argc, char** argv) {
       loop_node = id;
     }
 
-  bench::Report rep("Fig. 7 (PFLOTRAN load imbalance)");
+  bench::Report rep("Fig. 7 (PFLOTRAN load imbalance)",
+                    bench::meta_from_args(argc, argv, "fig7_load_imbalance"));
   rep.row("idleness hot path reaches timestepper.F90:384", 1,
           through_loop ? 1 : 0, 0);
   if (loop_node != prof::kCctNull) {

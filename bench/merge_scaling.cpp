@@ -108,11 +108,12 @@ ScenarioResult run_scenario(bench::Report& rep, const std::string& tag,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   obs::set_enabled(true);
   constexpr std::uint32_t kRanks = 64;
 
-  bench::Report rep("merge scaling: reduction tree vs serial fold");
+  bench::Report rep("merge scaling: reduction tree vs serial fold",
+                    bench::meta_from_args(argc, argv, "merge_scaling"));
   rep.info("ranks", kRanks);
 
   // Divergent recursive call paths: union CCT >> each part (acceptance).

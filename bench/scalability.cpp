@@ -258,6 +258,23 @@ class TeeReporter : public benchmark::BenchmarkReporter {
 // Tracing stays off unless $PATHVIEW_TRACE is set, so the numbers measure
 // the disabled-mode cost of the instrumentation, not the tracer itself.
 int main(int argc, char** argv) {
+  // Pull out the shared provenance flags (--timestamp/--git-rev, set by
+  // scripts/bench.sh) before google-benchmark sees — and rejects — them.
+  std::string timestamp, git_rev;
+  {
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--timestamp" && i + 1 < argc) {
+        timestamp = argv[++i];
+      } else if (a == "--git-rev" && i + 1 < argc) {
+        git_rev = argv[++i];
+      } else {
+        argv[kept++] = argv[i];
+      }
+    }
+    argc = kept;
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
 
@@ -269,7 +286,13 @@ int main(int argc, char** argv) {
   std::string path = "BENCH_scalability.json";
   if (const char* dir = std::getenv("PATHVIEW_BENCH_JSON"); dir && *dir)
     path = std::string(dir) + "/" + path;
-  std::string out = "{\n\"title\": \"scalability\",\n\"obs_counters\": {";
+  const auto opt = [](const std::string& s) {
+    return s.empty() ? std::string("null") : "\"" + s + "\"";
+  };
+  std::string out = "{\n\"schema\": \"pathview-bench-v2\",\n";
+  out += "\"name\": \"scalability\",\n\"title\": \"scalability\",\n";
+  out += "\"timestamp\": " + opt(timestamp) + ",\n";
+  out += "\"git_rev\": " + opt(git_rev) + ",\n\"obs_counters\": {";
   const obs::TraceSnapshot snap = obs::snapshot();
   for (std::size_t i = 0; i < snap.counters.size(); ++i) {
     out += i ? ",\n  " : "\n  ";

@@ -9,6 +9,7 @@
 //   - determinism: the byte stream a client observes is identical for
 //     --threads 1 and --threads 4.
 // Writes BENCH_serve_scaling.json with the measurements + obs counters.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -71,14 +72,33 @@ std::string extract_sid(const std::string& open_reply) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   obs::set_enabled(true);
   constexpr std::uint32_t kRanks = 64;
   constexpr int kClients = 16;
 
-  bench::Report rep("pvserve: concurrent profile query serving");
+  bench::Report rep("pvserve: concurrent profile query serving",
+                    bench::meta_from_args(argc, argv, "serve_scaling"));
+  rep.config("workload", "subsurface");
+  rep.config("ranks", static_cast<double>(kRanks));
+  rep.config("clients", static_cast<double>(kClients));
   rep.info("ranks", kRanks);
   rep.info("clients", kClients);
+
+  // --- phase 0: the telemetry hot path is nearly free ----------------------
+  // Every request does one histogram add + two counter adds; the whole
+  // budget for that is 50 ns. Measured over 2^20 adds on a warm histogram.
+  {
+    obs::Histogram& h = obs::histogram("bench.histogram.add");
+    for (std::uint64_t i = 0; i < 10000; ++i) h.add(i);  // warm up
+    constexpr std::uint64_t kAdds = 1u << 20;
+    const Clock::time_point t0 = Clock::now();
+    for (std::uint64_t i = 0; i < kAdds; ++i) h.add(i & 0xffff);
+    const double ns_per_add =
+        seconds_since(t0) * 1e9 / static_cast<double>(kAdds);
+    rep.info("histogram add [ns]", ns_per_add);
+    rep.gate_max("histogram hot path <= 50 ns/add", ns_per_add, 50.0);
+  }
 
   // --- build the 64-rank merged experiment once, on disk -------------------
   const std::string dir = "/tmp/pathview_serve_bench";
@@ -138,17 +158,22 @@ int main() {
           fds[c],
           R"({"v":1,"id":1,"op":"open","path":")" + db_path + R"("})"));
     }
-    // ...then all clients hammer the navigation script concurrently.
+    // ...then all clients hammer the navigation script concurrently, each
+    // recording every round trip's latency for the percentile gates.
     constexpr int kRounds = 200;
     std::atomic<std::uint64_t> completed{0};
+    std::vector<std::vector<double>> latencies_us(kClients);
     std::vector<std::thread> clients;
     const Clock::time_point t0 = Clock::now();
     for (int c = 0; c < kClients; ++c) {
       clients.emplace_back([&, c] {
         const std::vector<std::string> script = session_script(sids[c]);
+        latencies_us[c].reserve(kRounds * script.size());
         for (int r = 0; r < kRounds; ++r)
           for (const std::string& req : script) {
+            const Clock::time_point s = Clock::now();
             roundtrip(fds[c], req);
+            latencies_us[c].push_back(seconds_since(s) * 1e6);
             completed.fetch_add(1, std::memory_order_relaxed);
           }
       });
@@ -157,10 +182,25 @@ int main() {
     const double elapsed = seconds_since(t0);
     const double rps = static_cast<double>(completed.load()) / elapsed;
     for (int fd : fds) ::close(fd);
+
+    std::vector<double> all;
+    for (const auto& v : latencies_us) all.insert(all.end(), v.begin(),
+                                                  v.end());
+    std::sort(all.begin(), all.end());
+    const auto pct = [&](double q) {
+      return all[std::min(all.size() - 1,
+                          static_cast<std::size_t>(q * all.size()))];
+    };
     rep.info("requests completed", static_cast<double>(completed.load()));
     rep.info("elapsed [s]", elapsed);
     rep.info("throughput [req/s]", rps);
+    rep.info("latency p50 [us]", pct(0.50));
+    rep.info("latency p99 [us]", pct(0.99));
     rep.row("16 clients sustain >= 1k req/s", 1, rps >= 1000.0 ? 1 : 0, 0);
+    // Round-trip latency ceilings under full 16-way concurrency (localhost,
+    // so this is serving cost + queueing, not network).
+    rep.gate_max("latency p50 <= 25 ms", pct(0.50) / 1000.0, 25.0);
+    rep.gate_max("latency p99 <= 100 ms", pct(0.99) / 1000.0, 100.0);
     server.stop();
   }
 

@@ -68,12 +68,13 @@ double render_once(const std::string& dir, const prof::CanonicalCct& cct) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   obs::set_enabled(true);
   constexpr std::uint64_t kTotalRecords = 1u << 20;  // ~1M
   const std::string dir = "/tmp/pathview_bench_traces";
 
-  bench::Report rep("trace scaling: write throughput + timeline render");
+  bench::Report rep("trace scaling: write throughput + timeline render",
+                    bench::meta_from_args(argc, argv, "trace_scaling"));
   rep.info("total records", static_cast<double>(kTotalRecords));
 
   workloads::Workload w = workloads::make_workload("subsurface", 4, 42);

@@ -18,14 +18,19 @@ quick=0
 [ "${1:-}" = "--quick" ] && quick=1
 
 # Serve smoke against the tools of one build dir: daemon on an ephemeral
-# port, three concurrent clients each scripting open -> expand -> close,
-# then SIGTERM; the daemon must shut down reporting zero orphaned sessions.
+# port with metrics exposition on, three concurrent clients each scripting
+# open -> expand -> close, one pvtop dashboard frame, then SIGTERM; the
+# daemon must shut down reporting zero orphaned sessions and leave behind a
+# well-formed Prometheus text snapshot carrying the serving RED metrics.
 serve_smoke() {
   sdir=$1
   sdb=$sdir/serve_check.pvdb
   slog=$sdir/serve_check.log
+  sprom=$sdir/serve_check.prom
+  rm -f "$sprom"
   "$sdir/tools/pvprof" subsurface -o "$sdb" --ranks 4 > /dev/null
-  "$sdir/tools/pvserve" --port 0 > "$slog" 2>&1 &
+  "$sdir/tools/pvserve" --port 0 --metrics-file "$sprom" \
+    --metrics-interval-ms 200 > "$slog" 2>&1 &
   spid=$!
   for _ in $(seq 100); do
     grep -q 'listening on' "$slog" && break
@@ -48,9 +53,34 @@ serve_smoke() {
     cpids="$cpids $!"
   done
   for cpid in $cpids; do wait "$cpid"; done
+  # One live dashboard frame over the same daemon (plain mode, no escapes).
+  "$sdir/tools/pvtop" --port "$sport" --once | grep -q 'pvtop'
   kill -TERM "$spid"
   wait "$spid"
   grep -q '0 session(s) open' "$slog"
+  # Scrape validation: the shutdown path writes a final snapshot; it must
+  # expose the per-op RED families and the serving gauges, every sample line
+  # must parse as `name{labels} value`, and each family is TYPEd once.
+  [ -s "$sprom" ]
+  grep -q '^# TYPE pathview_serve_requests_total counter' "$sprom"
+  grep -q '^pathview_serve_requests_total{op="open"} 3' "$sprom"
+  grep -q '^pathview_serve_request_latency_us_bucket{op="expand",le="+Inf"} 3' \
+    "$sprom"
+  grep -q '^pathview_serve_sessions_open 0' "$sprom"
+  grep -q '^pathview_serve_uptime_seconds ' "$sprom"
+  if grep -v '^#' "$sprom" | grep -vq \
+      '^[a-zA-Z_:][a-zA-Z0-9_:]*\({[^}]*}\)\{0,1\} -\{0,1\}[0-9]'; then
+    echo "serve_smoke: malformed Prometheus sample line in $sprom" >&2
+    grep -v '^#' "$sprom" | grep -v \
+      '^[a-zA-Z_:][a-zA-Z0-9_:]*\({[^}]*}\)\{0,1\} -\{0,1\}[0-9]' >&2
+    return 1
+  fi
+  dup=$(grep '^# TYPE ' "$sprom" | sort | uniq -d)
+  if [ -n "$dup" ]; then
+    echo "serve_smoke: duplicate TYPE lines in $sprom:" >&2
+    echo "$dup" >&2
+    return 1
+  fi
 }
 
 # Fault-injection matrix against the tools of one build dir: three canned
@@ -124,12 +154,14 @@ if [ "${PATHVIEW_SKIP_SANITIZE:-0}" != "1" ]; then
   echo "== fault-injection matrix under ASan"
   fault_matrix build-asan
 
-  echo "== sanitizer pass (TSan: pipeline worker pool + serve + faults)"
+  echo "== sanitizer pass (TSan: pipeline worker pool + obs + serve + faults)"
   cmake -B build-tsan -DPATHVIEW_SANITIZE=thread
   cmake --build build-tsan -j "$(nproc)" \
-    --target prof_test pipeline_test serve_test fault_test pvserve pvprof pvrun
+    --target prof_test pipeline_test obs_test serve_test fault_test \
+    pvserve pvprof pvrun pvtop
   build-tsan/tests/prof_test
   build-tsan/tests/pipeline_test
+  build-tsan/tests/obs_test
   build-tsan/tests/serve_test
   build-tsan/tests/fault_test
   echo "== serve smoke under TSan"

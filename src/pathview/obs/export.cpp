@@ -2,15 +2,15 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "pathview/support/error.hpp"
 
 namespace pathview::obs {
-
-namespace {
 
 // Span and counter names are caller-controlled free text; escape everything
 // RFC 8259 requires so the trace file stays parseable no matter what PV_SPAN
@@ -55,6 +55,8 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+namespace {
+
 std::string us_str(std::uint64_t ns) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1000.0);
@@ -71,13 +73,54 @@ std::string to_chrome_trace(const TraceSnapshot& snap) {
     first = false;
     out += "\n" + ev;
   };
+  // Metadata: name the process and each thread so Perfetto's track labels
+  // read "pathview / thread N" instead of bare numeric ids.
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{"
+       "\"name\":\"pathview\"}}");
+  for (const ThreadTrace& t : snap.threads)
+    emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+         std::to_string(t.tid) + ",\"args\":{\"name\":\"" +
+         (t.tid == 0 ? std::string("main") : "thread " + std::to_string(t.tid)) +
+         "\"}}");
+  // One request's spans can land on different worker threads; collect every
+  // span per trace id so flow events can stitch them in time order.
+  struct FlowPoint {
+    std::uint64_t ts_ns;
+    std::uint32_t tid;
+  };
+  std::map<std::uint64_t, std::vector<FlowPoint>> flows;
   for (const ThreadTrace& t : snap.threads) {
     for (const SpanRecord& s : t.spans) {
       const std::uint64_t dur = s.end_ns > s.start_ns ? s.end_ns - s.start_ns : 0;
-      emit("{\"name\":\"" + json_escape(s.name) +
-           "\",\"cat\":\"pathview\",\"ph\":\"X\",\"ts\":" + us_str(s.start_ns) +
-           ",\"dur\":" + us_str(dur) + ",\"pid\":1,\"tid\":" +
-           std::to_string(t.tid) + "}");
+      std::string ev = "{\"name\":\"" + json_escape(s.name) +
+                       "\",\"cat\":\"pathview\",\"ph\":\"X\",\"ts\":" +
+                       us_str(s.start_ns) + ",\"dur\":" + us_str(dur) +
+                       ",\"pid\":1,\"tid\":" + std::to_string(t.tid);
+      if (s.trace_id != 0)
+        ev += ",\"args\":{\"trace_id\":" + std::to_string(s.trace_id) + "}";
+      emit(ev + "}");
+      if (s.trace_id != 0)
+        flows[s.trace_id].push_back(FlowPoint{s.start_ns, t.tid});
+    }
+  }
+  // Flow events: start ("s") on the first span of a trace id, step ("t") on
+  // the middles, end ("f") on the last. Each binds to the enclosing slice
+  // via matching ts/tid, which is how Perfetto draws the arrows.
+  for (auto& [trace_id, points] : flows) {
+    if (points.size() < 2) continue;  // nothing to stitch
+    std::sort(points.begin(), points.end(),
+              [](const FlowPoint& a, const FlowPoint& b) {
+                return a.ts_ns < b.ts_ns;
+              });
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const char* ph = i == 0 ? "s" : (i + 1 == points.size() ? "f" : "t");
+      std::string ev = "{\"name\":\"trace\",\"cat\":\"request\",\"ph\":\"" +
+                       std::string(ph) +
+                       "\",\"id\":" + std::to_string(trace_id) +
+                       ",\"ts\":" + us_str(points[i].ts_ns) +
+                       ",\"pid\":1,\"tid\":" + std::to_string(points[i].tid);
+      if (*ph == 'f') ev += ",\"bp\":\"e\"";
+      emit(ev + "}");
     }
   }
   for (const auto& [name, value] : snap.counters)
@@ -85,6 +128,96 @@ std::string to_chrome_trace(const TraceSnapshot& snap) {
          "\",\"cat\":\"pathview\",\"ph\":\"C\",\"ts\":0,\"pid\":1,\"args\":{"
          "\"value\":" + std::to_string(value) + "}}");
   out += "\n]}\n";
+  return out;
+}
+
+namespace {
+
+/// Split a registry key into its Prometheus family name and label body:
+/// `serve.requests.total{op="open"}` -> ("pathview_serve_requests_total",
+/// `op="open"`). Characters outside [a-zA-Z0-9_] become '_'.
+void split_prometheus_key(const std::string& key, std::string* family,
+                          std::string* labels) {
+  const std::size_t brace = key.find('{');
+  const std::string base = key.substr(0, brace);
+  *labels = brace == std::string::npos
+                ? std::string()
+                : key.substr(brace + 1, key.size() - brace - 2);
+  *family = "pathview_";
+  for (const char c : base) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    *family += ok ? c : '_';
+  }
+}
+
+/// `family{labels,extra}` or the bare family when both parts are empty.
+std::string series(const std::string& family, const std::string& labels,
+                   const std::string& extra = std::string()) {
+  std::string out = family;
+  if (!labels.empty() || !extra.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !extra.empty()) out += ',';
+    out += extra;
+    out += '}';
+  }
+  return out;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+std::string to_prometheus(const TraceSnapshot& snap) {
+  std::string out;
+  std::string last_family;
+  // Scalars. Registry order is sorted by key, so all series of one labeled
+  // family are adjacent and the # TYPE header is emitted exactly once.
+  for (const auto& [key, value] : snap.counters) {
+    std::string family, labels;
+    split_prometheus_key(key, &family, &labels);
+    if (family != last_family) {
+      const std::size_t brace = key.find('{');
+      const std::string base = key.substr(0, brace);
+      const char* type = ends_with(base, ".total") || ends_with(base, ".errors")
+                             ? "counter"
+                             : "gauge";
+      out += "# TYPE " + family + " " + type + "\n";
+      last_family = family;
+    }
+    out += series(family, labels) + " " + std::to_string(value) + "\n";
+  }
+  // Histograms: cumulative le buckets (only the non-empty ones plus +Inf,
+  // which keeps 305-bucket series readable), then _sum and _count.
+  last_family.clear();
+  for (const auto& [key, hist] : snap.histograms) {
+    std::string family, labels;
+    split_prometheus_key(key, &family, &labels);
+    if (family != last_family) {
+      out += "# TYPE " + family + " histogram\n";
+      last_family = family;
+    }
+    std::uint64_t cumulative = 0;
+    // The overflow bucket is covered by the mandatory +Inf line below.
+    for (std::size_t i = 0; i + 1 < HistogramSnapshot::kNumBuckets; ++i) {
+      if (hist.buckets[i] == 0) continue;
+      cumulative += hist.buckets[i];
+      out += series(family + "_bucket", labels,
+                    "le=\"" + std::to_string(Histogram::bucket_upper_bound(i)) +
+                        "\"") +
+             " " + std::to_string(cumulative) + "\n";
+    }
+    out += series(family + "_bucket", labels, "le=\"+Inf\"") + " " +
+           std::to_string(hist.count) + "\n";
+    out += series(family + "_sum", labels) + " " + std::to_string(hist.sum) +
+           "\n";
+    out += series(family + "_count", labels) + " " +
+           std::to_string(hist.count) + "\n";
+  }
   return out;
 }
 
@@ -142,6 +275,21 @@ std::string phase_summary(const TraceSnapshot& snap) {
     for (const auto& [name, value] : snap.counters) {
       std::snprintf(line, sizeof(line), "  %-45s %15llu\n", name.c_str(),
                     static_cast<unsigned long long>(value));
+      out += line;
+    }
+  }
+
+  if (!snap.histograms.empty()) {
+    out += "\nhistograms:\n";
+    std::snprintf(line, sizeof(line), "  %-45s %10s %10s %10s %10s\n", "name",
+                  "count", "mean", "p50", "p99");
+    out += line;
+    for (const auto& [name, h] : snap.histograms) {
+      std::snprintf(line, sizeof(line),
+                    "  %-45s %10llu %10.1f %10llu %10llu\n", name.c_str(),
+                    static_cast<unsigned long long>(h.count), h.mean(),
+                    static_cast<unsigned long long>(h.value_at(0.50)),
+                    static_cast<unsigned long long>(h.value_at(0.99)));
       out += line;
     }
   }

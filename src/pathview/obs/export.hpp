@@ -1,6 +1,6 @@
-// Trace exporters: Chrome trace-event JSON and a human-readable phase
-// summary. Both operate on an obs::TraceSnapshot so they can run on live
-// processes or on snapshots captured earlier.
+// Trace exporters: Chrome trace-event JSON, Prometheus text exposition,
+// and a human-readable phase summary. All operate on an obs::TraceSnapshot
+// so they can run on live processes or on snapshots captured earlier.
 #pragma once
 
 #include <string>
@@ -11,14 +11,30 @@ namespace pathview::obs {
 
 /// Chrome trace-event JSON (load with chrome://tracing or Perfetto).
 /// Spans become complete ("ph":"X") events, counters become one counter
-/// ("ph":"C") event each.
+/// ("ph":"C") event each. Metadata events ("ph":"M") name the process and
+/// every thread; spans stamped with a trace id carry it in args and are
+/// stitched across threads with flow events ("ph":"s"/"t"/"f", id =
+/// trace id), so one request's journey through the worker pool reads as a
+/// connected arrow chain in Perfetto.
 std::string to_chrome_trace(const TraceSnapshot& snap);
 
+/// Prometheus text exposition format (one gauge/counter line per scalar,
+/// cumulative _bucket/_sum/_count series per histogram). Registry keys are
+/// mangled to `pathview_<name with non-alphanumerics as '_'>`; a labeled()
+/// suffix `{k="v"}` passes through as Prometheus labels. Names ending in
+/// `.total` or `.errors` are typed `counter`, everything else `gauge`.
+std::string to_prometheus(const TraceSnapshot& snap);
+
 /// Plain-text report: per-span-name count / total / self / mean wall time
-/// (sorted by total, descending) followed by every counter.
+/// (sorted by total, descending) followed by every counter and histogram
+/// (count / mean / p50 / p99).
 std::string phase_summary(const TraceSnapshot& snap);
 
 /// Write `bytes` to `path` (throws InvalidArgument on I/O failure).
 void write_text_file(const std::string& path, const std::string& bytes);
+
+/// Escape `s` per RFC 8259 so it can be embedded in a JSON string literal.
+/// Shared by the trace exporter and the structured event log.
+std::string json_escape(const std::string& s);
 
 }  // namespace pathview::obs

@@ -1,0 +1,125 @@
+#include "pathview/obs/log.hpp"
+
+#include <chrono>
+#include <vector>
+
+#include "pathview/obs/export.hpp"
+
+namespace pathview::obs {
+
+namespace {
+
+std::uint64_t wall_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+EventLog::EventLog(Options opts) : opts_(std::move(opts)) {
+  if (opts_.capacity == 0) opts_.capacity = 1;
+  if (opts_.path.empty()) {
+    sink_ = stderr;
+  } else {
+    sink_ = std::fopen(opts_.path.c_str(), "ab");
+    owns_sink_ = sink_ != nullptr;
+    if (sink_ == nullptr) sink_ = stderr;  // degrade, never fail the caller
+  }
+  writer_ = std::thread([this] { writer_loop(); });
+}
+
+EventLog::~EventLog() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+  if (owns_sink_) std::fclose(sink_);
+}
+
+void EventLog::log(LogEvent ev) {
+  const std::uint64_t ts = wall_ms();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ || queue_.size() >= opts_.capacity) {
+      ++dropped_;
+      return;
+    }
+    queue_.push_back(Entry{std::move(ev), ts});
+  }
+  cv_.notify_one();
+}
+
+void EventLog::flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && !writing_; });
+}
+
+std::uint64_t EventLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string EventLog::format_line(const LogEvent& ev, LogFormat format,
+                                  std::uint64_t ts_ms) {
+  if (format == LogFormat::kJson) {
+    std::string out = "{\"ts\":" + std::to_string(ts_ms) + ",\"level\":\"" +
+                      json_escape(ev.level) + "\",\"op\":\"" +
+                      json_escape(ev.op) +
+                      "\",\"trace_id\":" + std::to_string(ev.trace_id) +
+                      ",\"latency_us\":" + std::to_string(ev.latency_us) +
+                      ",\"outcome\":\"" + json_escape(ev.outcome) + "\"";
+    if (!ev.message.empty())
+      out += ",\"message\":\"" + json_escape(ev.message) + "\"";
+    out += "}";
+    return out;
+  }
+  std::string out = "ts=" + std::to_string(ts_ms) + " level=" + ev.level +
+                    " op=" + ev.op +
+                    " trace_id=" + std::to_string(ev.trace_id) +
+                    " latency_us=" + std::to_string(ev.latency_us) +
+                    " outcome=" + ev.outcome;
+  if (!ev.message.empty()) {
+    out += " message=\"";
+    for (const char c : ev.message) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c == '\n' ? ' ' : c;
+    }
+    out += '"';
+  }
+  return out;
+}
+
+void EventLog::writer_loop() {
+  std::vector<Entry> batch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return !queue_.empty() || stop_; });
+      if (queue_.empty() && stop_) return;
+      // Claim the whole queue; format and write it outside the mutex so a
+      // slow sink never blocks log().
+      batch.assign(std::make_move_iterator(queue_.begin()),
+                   std::make_move_iterator(queue_.end()));
+      queue_.clear();
+      writing_ = true;
+    }
+    for (const Entry& e : batch) {
+      const std::string line = format_line(e.ev, opts_.format, e.ts_ms);
+      std::fwrite(line.data(), 1, line.size(), sink_);
+      std::fputc('\n', sink_);
+    }
+    std::fflush(sink_);
+    batch.clear();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      writing_ = false;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace pathview::obs

@@ -1,0 +1,94 @@
+// Structured event log: one line per event, text or JSON, written by a
+// bounded non-blocking background writer.
+//
+// The producer side (EventLog::log) is a queue push under a briefly-held
+// mutex — the writer thread formats and fwrites OUTSIDE that mutex, so a
+// slow or blocked sink (disk stall, full pipe) can never stall the caller.
+// When the queue is full the event is dropped and counted; dropped() makes
+// the loss observable instead of silent.
+//
+// Line schema (docs/observability.md):
+//   json: {"ts":<unix ms>,"level":"...","op":"...","trace_id":N,
+//          "latency_us":N,"outcome":"..."[,"message":"..."]}
+//   text: ts=<unix ms> level=... op=... trace_id=N latency_us=N outcome=...
+//         [message="..."]
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace pathview::obs {
+
+enum class LogFormat : std::uint8_t { kText = 0, kJson };
+
+/// One structured event. `level` must be a static string ("info", "warn",
+/// "error"); the rest is copied.
+struct LogEvent {
+  const char* level = "info";
+  std::string op;
+  std::uint64_t trace_id = 0;
+  std::uint64_t latency_us = 0;
+  std::string outcome;  // "ok" or an error kind
+  std::string message;  // optional free text
+};
+
+class EventLog {
+ public:
+  struct Options {
+    LogFormat format = LogFormat::kText;
+    /// Sink path; empty = stderr. Files are opened in append mode.
+    std::string path;
+    /// Queue bound; events beyond it are dropped (and counted).
+    std::size_t capacity = 1024;
+  };
+
+  explicit EventLog(Options opts);
+  /// Drains the queue, flushes, and joins the writer.
+  ~EventLog();
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Enqueue one event. Non-blocking: never waits on I/O; drops when the
+  /// queue is at capacity. The wall-clock timestamp is taken here, not at
+  /// write time.
+  void log(LogEvent ev);
+
+  /// Block until every event enqueued so far has been written and flushed.
+  void flush();
+
+  /// Events dropped because the queue was full.
+  std::uint64_t dropped() const;
+
+  /// Format one line (no trailing newline); exposed for tests.
+  static std::string format_line(const LogEvent& ev, LogFormat format,
+                                 std::uint64_t ts_ms);
+
+ private:
+  struct Entry {
+    LogEvent ev;
+    std::uint64_t ts_ms;
+  };
+
+  void writer_loop();
+
+  Options opts_;
+  std::FILE* sink_ = nullptr;
+  bool owns_sink_ = false;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;       // wakes the writer
+  std::condition_variable idle_cv_;  // wakes flush() waiters
+  std::deque<Entry> queue_;
+  bool stop_ = false;
+  bool writing_ = false;  // writer holds a dequeued batch
+  std::uint64_t dropped_ = 0;
+  std::thread writer_;
+};
+
+}  // namespace pathview::obs

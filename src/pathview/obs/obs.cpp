@@ -1,6 +1,8 @@
 #include "pathview/obs/obs.hpp"
 
+#include <bit>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <map>
 #include <memory>
@@ -42,6 +44,7 @@ struct Registry {
   std::mutex mu;
   std::vector<std::unique_ptr<ThreadBuffer>> buffers;      // never shrinks
   std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
 };
 
 Registry& registry() {
@@ -50,6 +53,7 @@ Registry& registry() {
 }
 
 thread_local ThreadBuffer* tls_buffer = nullptr;
+thread_local std::uint64_t tls_trace_id = 0;
 
 ThreadBuffer& local_buffer() {
   if (tls_buffer == nullptr) {
@@ -80,6 +84,104 @@ Counter& counter(const std::string& name) {
   return *slot;
 }
 
+Histogram& histogram(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto& slot = r.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string labeled(
+    std::string_view name,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels) {
+  std::string out(name);
+  if (labels.size() == 0) return out;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    for (const char c : v) {
+      if (c == '\\' || c == '"') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram.
+// ---------------------------------------------------------------------------
+
+std::size_t Histogram::bucket_index(std::uint64_t v) {
+  if (v < kSub) return static_cast<std::size_t>(v);  // exact small values
+  const unsigned e = static_cast<unsigned>(std::bit_width(v)) - 1;
+  if (e >= kMaxExp) return kNumBuckets - 1;  // overflow bucket
+  // Top kSubBits bits below the leading one select the linear sub-bucket.
+  const std::uint64_t sub = (v >> (e - kSubBits)) - kSub;
+  return (static_cast<std::size_t>(e) - kSubBits + 1) * kSub +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t Histogram::bucket_upper_bound(std::size_t i) {
+  if (i < kSub) return i;  // exact block: bucket i holds only value i
+  if (i >= kNumBuckets - 1) return UINT64_MAX;
+  const std::size_t block = i / kSub;  // >= 1
+  const std::uint64_t sub = i % kSub;
+  const unsigned e = kSubBits + static_cast<unsigned>(block) - 1;
+  const std::uint64_t lower = (kSub + sub) << (e - kSubBits);
+  return lower + ((1ull << (e - kSubBits)) - 1);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  out.sum = sum_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    out.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    out.count += out.buckets[i];
+  }
+  return out;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
+std::uint64_t HistogramSnapshot::value_at(double q) const {
+  if (count == 0) return 0;
+  const double clamped = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  // Rank of the requested quantile, 1-based; q=0 maps to the first sample.
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(clamped * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return Histogram::bucket_upper_bound(i);
+  }
+  return Histogram::bucket_upper_bound(kNumBuckets - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Trace ids.
+// ---------------------------------------------------------------------------
+
+void set_trace_id(std::uint64_t id) { tls_trace_id = id; }
+
+std::uint64_t current_trace_id() { return tls_trace_id; }
+
 std::size_t begin_span(const char* name) {
   ThreadBuffer& b = local_buffer();
   const std::uint64_t now = now_ns();
@@ -89,6 +191,7 @@ std::size_t begin_span(const char* name) {
   rec.name = name;
   rec.start_ns = now;
   rec.parent = b.open.empty() ? -1 : b.open.back();
+  rec.trace_id = tls_trace_id;
   b.spans.push_back(rec);
   b.open.push_back(static_cast<std::int32_t>(index));
   return index;
@@ -126,6 +229,8 @@ TraceSnapshot snapshot() {
   }
   for (const auto& [name, c] : r.counters)
     out.counters.emplace_back(name, c->value());
+  for (const auto& [name, h] : r.histograms)
+    out.histograms.emplace_back(name, h->snapshot());
   return out;
 }
 
@@ -138,6 +243,10 @@ void reset() {
   }
   for (const auto& [name, c] : r.counters)
     c->v_.store(0, std::memory_order_relaxed);
+  for (const auto& [name, h] : r.histograms) {
+    h->sum_.store(0, std::memory_order_relaxed);
+    for (auto& b : h->buckets_) b.store(0, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace pathview::obs

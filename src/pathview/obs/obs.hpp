@@ -1,10 +1,11 @@
-// Self-instrumentation: spans, counters, and trace snapshots.
+// Self-instrumentation: spans, counters, histograms, and trace snapshots.
 //
 // Pathview's own pipeline (sim -> correlate -> merge -> summarize -> views ->
 // export) is instrumented with the same call-path philosophy the paper
 // advocates for application code: RAII spans record a per-thread call tree of
-// pipeline phases, and a process-wide registry of named counters tracks
-// volume metrics (samples processed, CCT nodes created, bytes written...).
+// pipeline phases, and a process-wide registry of named counters and
+// log-linear latency histograms tracks volume and distribution metrics
+// (samples processed, CCT nodes created, per-op request latency...).
 //
 // Cost model:
 //   * disabled (default): every PV_SPAN / PV_COUNTER_* site is one relaxed
@@ -12,14 +13,26 @@
 //   * compiled out (-DPATHVIEW_OBS_DISABLED): the macros expand to nothing;
 //   * enabled: spans take one uncontended per-thread mutex and one
 //     steady_clock read at entry and exit; counters are relaxed fetch_adds.
+//   * Counter/Histogram references obtained directly from the registry
+//     (counter()/histogram()) record unconditionally — that is what a
+//     long-running server uses for always-on telemetry; only the PV_*
+//     macros are gated on enabled().
 //
-// Exporters live in obs/export.hpp (Chrome trace JSON, phase summary table)
-// and obs/self_profile.hpp (span tree -> experiment database for pvviewer).
+// Registry keys may carry a small label set in the canonical form produced
+// by labeled(): `name{k="v",...}`. Exporters (Prometheus text format in
+// particular) parse that suffix back into per-series labels.
+//
+// Exporters live in obs/export.hpp (Chrome trace JSON, Prometheus text,
+// phase summary table), obs/log.hpp (structured event log) and
+// obs/self_profile.hpp (span tree -> experiment database for pvviewer).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <initializer_list>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -59,6 +72,86 @@ class Counter {
 /// invalidate registrations).
 Counter& counter(const std::string& name);
 
+/// Build the canonical labeled registry key: `name{k="v",...}` with labels
+/// in the order given. Values are escaped (backslash, quote, newline) so
+/// the key parses back unambiguously in exporters.
+std::string labeled(
+    std::string_view name,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels);
+
+// ---------------------------------------------------------------------------
+// Histograms.
+// ---------------------------------------------------------------------------
+
+class Histogram;
+
+/// A mergeable point-in-time copy of one histogram's buckets. Percentile
+/// extraction is exact over the recorded bucket counts: value_at(q) returns
+/// the inclusive upper bound of the bucket holding the rank-ceil(q*count)
+/// sample (so the true sample value is <= the reported one, within the
+/// bucket's <= 12.5% relative width).
+struct HistogramSnapshot {
+  static constexpr std::size_t kNumBuckets = 305;  // == Histogram::kNumBuckets
+
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, kNumBuckets> buckets{};
+
+  /// Accumulate another snapshot (bucket-wise; the layouts are identical).
+  void merge(const HistogramSnapshot& other);
+
+  /// Upper bound of the bucket containing quantile `q` in [0,1]; 0 when the
+  /// histogram is empty. q<=0 is the minimum bucket, q>=1 the maximum.
+  std::uint64_t value_at(double q) const;
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// A fixed-size log-linear histogram: 8 linear sub-buckets per power of two
+/// ("octave"), values 0..7 exact, everything above 2^40-1 clamped into one
+/// overflow bucket. add() is lock-free (two relaxed fetch_adds) and safe
+/// against concurrent snapshot(); snapshot() is not atomic with respect to
+/// in-flight adds (count and sum may disagree by the adds that raced it),
+/// which is fine for telemetry.
+class Histogram {
+ public:
+  static constexpr unsigned kSubBits = 3;            // 2^3 sub-buckets/octave
+  static constexpr unsigned kSub = 1u << kSubBits;
+  static constexpr unsigned kMaxExp = 40;            // ~1100 s in ns, ~12 d in us
+  // One exact block for 0..kSub-1, one block per octave kSubBits..kMaxExp-1,
+  // plus the overflow bucket.
+  static constexpr std::size_t kNumBuckets =
+      kSub * (kMaxExp - kSubBits + 1) + 1;
+  static_assert(kNumBuckets == HistogramSnapshot::kNumBuckets,
+                "snapshot layout must match");
+
+  void add(std::uint64_t v) {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot snapshot() const;
+
+  /// Bucket layout (exposed for exporters and tests).
+  static std::size_t bucket_index(std::uint64_t v);
+  /// Inclusive upper bound of bucket `i`; UINT64_MAX for the overflow
+  /// bucket.
+  static std::uint64_t bucket_upper_bound(std::size_t i);
+
+ private:
+  friend void reset();
+  std::atomic<std::uint64_t> sum_{0};
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+};
+
+/// Find-or-create the histogram registered under `name` (optionally a
+/// labeled() key). Same lifetime contract as counter().
+Histogram& histogram(const std::string& name);
+
 // ---------------------------------------------------------------------------
 // Spans.
 // ---------------------------------------------------------------------------
@@ -70,6 +163,29 @@ struct SpanRecord {
   std::uint64_t start_ns = 0;  // relative to the process-wide epoch
   std::uint64_t end_ns = 0;    // 0 while the span is still open
   std::int32_t parent = -1;    // index into the same thread's span list
+  std::uint64_t trace_id = 0;  // request-scoped correlation id (0 = none)
+};
+
+/// Request-scoped trace id: spans begun while a thread's trace id is set
+/// are stamped with it, correlating server-side work with the client
+/// request that caused it. Thread-local; 0 means "no trace".
+void set_trace_id(std::uint64_t id);
+std::uint64_t current_trace_id();
+
+/// RAII guard installing `id` as the calling thread's trace id for the
+/// enclosing scope (restores the previous id on exit, so nested requests —
+/// should they ever happen — unwind correctly).
+class TraceIdScope {
+ public:
+  explicit TraceIdScope(std::uint64_t id) : prev_(current_trace_id()) {
+    set_trace_id(id);
+  }
+  ~TraceIdScope() { set_trace_id(prev_); }
+  TraceIdScope(const TraceIdScope&) = delete;
+  TraceIdScope& operator=(const TraceIdScope&) = delete;
+
+ private:
+  std::uint64_t prev_;
 };
 
 /// Begin a span on the calling thread; returns its buffer index.
@@ -108,14 +224,19 @@ struct TraceSnapshot {
   std::vector<ThreadTrace> threads;  // threads with at least one span
   /// Counter name -> value, sorted by name.
   std::vector<std::pair<std::string, std::uint64_t>> counters;
+  /// Histogram name -> bucket snapshot, sorted by name.
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
 };
 
-/// Copy out every thread's spans and every counter. Open spans are clamped
-/// to "now" so a mid-flight snapshot still yields a well-formed trace.
+/// Copy out every thread's spans, every counter and every histogram. Open
+/// spans are clamped to "now" — the SAME now for every thread and span, so
+/// an open parent and its open child each get clamped exactly once and
+/// their self/total times stay consistent in phase summaries.
 TraceSnapshot snapshot();
 
-/// Clear all recorded spans and zero all counters (registrations and thread
-/// buffers survive). Intended for tests and long-lived servers.
+/// Clear all recorded spans and zero all counters and histograms
+/// (registrations and thread buffers survive). Intended for tests and
+/// long-lived servers.
 void reset();
 
 /// Nanoseconds since the process-wide trace epoch.
@@ -132,6 +253,7 @@ std::uint64_t now_ns();
 #define PV_SPAN(name) static_cast<void>(0)
 #define PV_COUNTER_ADD(name, n) static_cast<void>(0)
 #define PV_COUNTER_SET(name, n) static_cast<void>(0)
+#define PV_HISTOGRAM_ADD(name, v) static_cast<void>(0)
 
 #else
 
@@ -159,6 +281,16 @@ std::uint64_t now_ns();
       static ::pathview::obs::Counter& pv_obs_ctr =                     \
           ::pathview::obs::counter(name);                               \
       pv_obs_ctr.set(static_cast<std::uint64_t>(n));                    \
+    }                                                                   \
+  } while (0)
+
+/// Record `v` into the histogram `name` (registered once per call site).
+#define PV_HISTOGRAM_ADD(name, v)                                       \
+  do {                                                                  \
+    if (::pathview::obs::enabled()) {                                   \
+      static ::pathview::obs::Histogram& pv_obs_hist =                  \
+          ::pathview::obs::histogram(name);                             \
+      pv_obs_hist.add(static_cast<std::uint64_t>(v));                   \
     }                                                                   \
   } while (0)
 

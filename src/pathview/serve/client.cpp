@@ -60,6 +60,8 @@ JsonValue Client::call(JsonValue request) {
                 JsonValue::number(static_cast<std::int64_t>(kProtocolVersion)));
   if (request.find("id") == nullptr)
     request.set("id", JsonValue::number(next_id_++));
+  if (trace_id_ != 0 && request.find("trace_id") == nullptr)
+    request.set("trace_id", JsonValue::number(trace_id_));
 
   const std::string payload = request.dump();
   const std::uint32_t attempts = std::max<std::uint32_t>(1, retry_.max_attempts);

@@ -58,6 +58,13 @@ class Client {
   /// above; a final ok:false reply is RETURNED, not thrown.
   JsonValue call(JsonValue request);
 
+  /// Correlation id stamped on every subsequent call's "trace_id" field
+  /// (unless the request already carries one). The payload is serialized
+  /// once per call, so the same id rides every retry of an attempt.
+  /// 0 (the default) disables stamping.
+  void set_trace_id(std::uint64_t id) { trace_id_ = id; }
+  std::uint64_t trace_id() const { return trace_id_; }
+
   /// Convenience: build {"op": op, ...} from a prepared body and call it.
   JsonValue call_op(const std::string& op, JsonValue body);
 
@@ -74,6 +81,7 @@ class Client {
   RetryOptions retry_;
   int fd_ = -1;
   std::uint64_t next_id_ = 1;
+  std::uint64_t trace_id_ = 0;
   std::uint64_t jitter_state_;
   std::uint64_t retries_ = 0;
 };

@@ -56,6 +56,7 @@ Request Request::from_json(JsonValue v) {
                           std::to_string(kProtocolVersion) + ")");
   Request req;
   req.id = v.get_u64("id", 0);
+  req.trace_id = v.get_u64("trace_id", 0);
   const std::string op = v.get_string("op", "");
   if (op.empty()) throw InvalidArgument("request has no \"op\" field");
   const std::optional<Op> parsed = parse_op(op);

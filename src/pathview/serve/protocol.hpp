@@ -6,11 +6,18 @@
 // hostile length prefix cannot make the daemon allocate unboundedly.
 //
 // Requests are JSON objects:
-//   {"v": 1, "id": <client sequence number>, "op": "<name>", ...params}
+//   {"v": 1, "id": <client sequence number>, "op": "<name>",
+//    ["trace_id": T,] ...params}
 // Responses echo the version and id:
 //   {"v": 1, "id": N, "ok": true, ...result}
 //   {"v": 1, "id": N, "ok": false,
-//    "error": {"kind": "...", "message": "..."} [, "retry_after_ms": M]}
+//    "error": {"kind": "...", "message": "..."} [, "retry_after_ms": M]
+//    [, "trace_id": T]}
+//
+// `trace_id` is an optional client-chosen 64-bit correlation id: the server
+// stamps it on its spans and structured log lines for the request, and
+// echoes it on error replies. The field is optional in both directions —
+// a PR 5-era peer that never sends or returns it interoperates unchanged.
 //
 // Responses are deterministic: for the same request sequence the daemon
 // produces byte-identical response streams regardless of its --threads
@@ -84,6 +91,8 @@ const char* op_span_name(Op op);
 struct Request {
   std::uint64_t id = 0;
   Op op = Op::kPing;
+  /// Client-chosen correlation id; 0 when the request carried none.
+  std::uint64_t trace_id = 0;
   JsonValue body;  // the full request object (op-specific params)
 
   /// Validate and decode one parsed request object. Throws InvalidArgument

@@ -11,8 +11,10 @@
 #include <unistd.h>
 
 #include "pathview/fault/fault.hpp"
+#include "pathview/obs/export.hpp"
 #include "pathview/obs/obs.hpp"
 #include "pathview/support/error.hpp"
+#include "pathview/support/io.hpp"
 
 namespace pathview::serve {
 
@@ -43,6 +45,31 @@ Server::Server(Options opts) : opts_(opts), sessions_(opts.sessions) {
     opts_.threads = hw == 0 ? 1 : hw;
   }
   if (opts_.queue_capacity == 0) opts_.queue_capacity = 1;
+  if (opts_.metrics_interval_ms == 0) opts_.metrics_interval_ms = 1000;
+  bind_op_metrics();
+  if (!opts_.log_format.empty()) {
+    obs::EventLog::Options lopts;
+    lopts.format = opts_.log_format == "json" ? obs::LogFormat::kJson
+                                              : obs::LogFormat::kText;
+    lopts.path = opts_.log_file;
+    log_ = std::make_unique<obs::EventLog>(lopts);
+  }
+}
+
+void Server::bind_op_metrics() {
+  // Labeled registry series, one per op: always-on (direct registry
+  // references bypass the enabled() gate), shared with the Prometheus
+  // exposition and zeroed by obs::reset() without invalidating these
+  // pointers.
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    const char* op = op_name(static_cast<Op>(i));
+    op_count_[i] =
+        &obs::counter(obs::labeled("serve.requests.total", {{"op", op}}));
+    op_errors_[i] =
+        &obs::counter(obs::labeled("serve.requests.errors", {{"op", op}}));
+    op_latency_[i] = &obs::histogram(
+        obs::labeled("serve.request.latency.us", {{"op", op}}));
+  }
 }
 
 Server::~Server() { stop(); }
@@ -89,10 +116,15 @@ void Server::start() {
 
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
+  start_time_ = std::chrono::steady_clock::now();
   workers_.reserve(opts_.threads);
   for (std::size_t i = 0; i < opts_.threads; ++i)
     workers_.emplace_back([this] { worker_loop(); });
   accept_thread_ = std::thread([this] { accept_loop(); });
+  if (!opts_.metrics_file.empty()) {
+    metrics_stop_ = false;
+    metrics_thread_ = std::thread([this] { metrics_loop(); });
+  }
 }
 
 void Server::request_stop() {
@@ -139,6 +171,17 @@ void Server::wait() {
   for (std::thread& w : workers_)
     if (w.joinable()) w.join();
   workers_.clear();
+  if (metrics_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      metrics_stop_ = true;
+    }
+    metrics_cv_.notify_all();
+    metrics_thread_.join();
+    // One final snapshot so the file reflects the complete run.
+    write_metrics_file();
+  }
+  if (log_) log_->flush();
   close_quietly(listen_fd_);
   {
     std::lock_guard<std::mutex> lock(stop_mu_);
@@ -260,18 +303,60 @@ void Server::serve_connection(int fd) {
 JsonValue Server::process(const std::string& payload) {
   // Parse on the connection thread (cheap); run the op on the pool.
   std::uint64_t id = 0;
+  std::uint64_t tid = 0;
+  std::string op_text;
   Request req;
   try {
     JsonValue v = JsonValue::parse(payload);
-    if (v.is_object()) id = v.get_u64("id", 0);
+    if (v.is_object()) {
+      id = v.get_u64("id", 0);
+      tid = v.get_u64("trace_id", 0);
+      op_text = v.get_string("op", "");
+    }
     req = Request::from_json(std::move(v));
   } catch (const Error& e) {
-    return error_response(id, ErrorKind::kBadRequest, e.what());
+    // A request we could not decode is still a request outcome: tag the
+    // refusal with whatever identity the raw JSON carried so it is
+    // matchable in the log and by the caller. (No RED attribution — there
+    // is no valid op to charge it to.)
+    if (log_) {
+      obs::LogEvent ev;
+      ev.level = "error";
+      ev.op = op_text.empty() ? "?" : op_text;
+      ev.trace_id = tid;
+      ev.outcome = error_kind_name(ErrorKind::kBadRequest);
+      ev.message = e.what();
+      log_->log(std::move(ev));
+    }
+    JsonValue resp = error_response(id, ErrorKind::kBadRequest, e.what());
+    if (tid != 0) resp.set("trace_id", JsonValue::number(tid));
+    return resp;
   }
 
+  // A rejection is still a request outcome: stamp the caller's trace id,
+  // count it against the op's RED series, and log it.
+  const auto reject = [this, &req](ErrorKind kind, const std::string& message,
+                                   std::uint32_t retry_after) {
+    const std::size_t oi = static_cast<std::size_t>(req.op);
+    op_count_[oi]->add(1);
+    op_errors_[oi]->add(1);
+    if (log_) {
+      obs::LogEvent ev;
+      ev.level = "error";
+      ev.op = op_name(req.op);
+      ev.trace_id = req.trace_id;
+      ev.outcome = error_kind_name(kind);
+      ev.message = message;
+      log_->log(std::move(ev));
+    }
+    JsonValue resp = error_response(req.id, kind, message, retry_after);
+    if (req.trace_id != 0)
+      resp.set("trace_id", JsonValue::number(req.trace_id));
+    return resp;
+  };
+
   if (stopping_.load(std::memory_order_acquire))
-    return error_response(req.id, ErrorKind::kShutdown,
-                          "server is shutting down");
+    return reject(ErrorKind::kShutdown, "server is shutting down", 0);
 
   Job job;
   job.req = std::move(req);
@@ -285,13 +370,12 @@ JsonValue Server::process(const std::string& payload) {
     // worker's exit — without this, the job would sit in the queue forever
     // and wait() would hang joining this connection thread.
     if (stopping_.load(std::memory_order_acquire))
-      return error_response(job.req.id, ErrorKind::kShutdown,
-                            "server is shutting down");
+      return reject(ErrorKind::kShutdown, "server is shutting down", 0);
     if (queue_.size() >= opts_.queue_capacity) {
       rejects_full_.fetch_add(1, std::memory_order_relaxed);
       PV_COUNTER_ADD("serve.rejects.queue_full", 1);
-      return error_response(job.req.id, ErrorKind::kOverloaded,
-                            "request queue is full", opts_.retry_after_ms);
+      return reject(ErrorKind::kOverloaded, "request queue is full",
+                    opts_.retry_after_ms);
     }
     queue_.push_back(&job);
     PV_COUNTER_SET("serve.queue.depth", queue_.size());
@@ -322,11 +406,25 @@ void Server::worker_loop() {
     if (std::chrono::steady_clock::now() > job->deadline) {
       rejects_deadline_.fetch_add(1, std::memory_order_relaxed);
       PV_COUNTER_ADD("serve.rejects.deadline", 1);
-      resp = error_response(job->req.id, ErrorKind::kDeadline,
-                            "request sat in queue past its " +
-                                std::to_string(opts_.deadline_ms) +
-                                "ms deadline",
+      const std::size_t oi = static_cast<std::size_t>(job->req.op);
+      op_count_[oi]->add(1);
+      op_errors_[oi]->add(1);
+      const std::string message = "request sat in queue past its " +
+                                  std::to_string(opts_.deadline_ms) +
+                                  "ms deadline";
+      if (log_) {
+        obs::LogEvent ev;
+        ev.level = "error";
+        ev.op = op_name(job->req.op);
+        ev.trace_id = job->req.trace_id;
+        ev.outcome = error_kind_name(ErrorKind::kDeadline);
+        ev.message = message;
+        log_->log(std::move(ev));
+      }
+      resp = error_response(job->req.id, ErrorKind::kDeadline, message,
                             opts_.retry_after_ms);
+      if (job->req.trace_id != 0)
+        resp.set("trace_id", JsonValue::number(job->req.trace_id));
     } else {
       resp = execute(job->req);
     }
@@ -343,9 +441,14 @@ void Server::worker_loop() {
 }
 
 JsonValue Server::execute(const Request& req) {
+  // The trace id scope covers the op span and everything the handler opens
+  // beneath it, so every server-side span of this request carries the
+  // client's correlation id.
+  obs::TraceIdScope trace_scope(req.trace_id);
   PV_SPAN(op_span_name(req.op));
   requests_.fetch_add(1, std::memory_order_relaxed);
   PV_COUNTER_ADD("serve.requests", 1);
+  const std::uint64_t t0 = obs::now_ns();
   JsonValue resp = sessions_.handle(req);
   if (req.op == Op::kShutdown) {
     request_stop();
@@ -367,9 +470,130 @@ JsonValue Server::execute(const Request& req) {
     q.set("requests", JsonValue::number(requests_handled()));
     q.set("rejects_queue_full", JsonValue::number(queue_full_rejects()));
     q.set("rejects_deadline", JsonValue::number(deadline_rejects()));
+    q.set("uptime_ms", JsonValue::number(uptime_ms()));
     resp.set("server", std::move(q));
+    resp.set("ops", op_stats_json());
+  }
+  const std::uint64_t latency_us = (obs::now_ns() - t0) / 1000;
+  const bool ok = resp.get_bool("ok", false);
+
+  // Per-op RED series (rate, errors, duration). Recorded after the reply is
+  // built, so a "stats" reply describes the state just before itself.
+  const std::size_t oi = static_cast<std::size_t>(req.op);
+  op_count_[oi]->add(1);
+  if (!ok) op_errors_[oi]->add(1);
+  op_latency_[oi]->add(latency_us);
+
+  // Error replies echo the trace id (when the request carried one) so a
+  // client can correlate a refusal with its own attempt. Derived purely
+  // from the request, so byte determinism across --threads is unaffected.
+  if (!ok && req.trace_id != 0)
+    resp.set("trace_id", JsonValue::number(req.trace_id));
+
+  if (log_) {
+    obs::LogEvent ev;
+    ev.level = ok ? (latency_us / 1000 >= opts_.slow_ms ? "warn" : "info")
+                  : "error";
+    ev.op = op_name(req.op);
+    ev.trace_id = req.trace_id;
+    ev.latency_us = latency_us;
+    if (ok) {
+      ev.outcome = "ok";
+    } else {
+      const JsonValue* err = resp.find("error");
+      ev.outcome =
+          err != nullptr ? err->get_string("kind", "internal") : "internal";
+    }
+    log_->log(std::move(ev));
   }
   return resp;
+}
+
+std::uint64_t Server::uptime_ms() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count());
+}
+
+JsonValue Server::op_stats_json() const {
+  JsonValue ops = JsonValue::object();
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    const std::uint64_t count = op_count_[i]->value();
+    if (count == 0) continue;  // only ops that have been exercised
+    const obs::HistogramSnapshot h = op_latency_[i]->snapshot();
+    JsonValue o = JsonValue::object();
+    o.set("count", JsonValue::number(count));
+    o.set("errors", JsonValue::number(op_errors_[i]->value()));
+    o.set("mean_us", JsonValue::number(h.mean()));
+    o.set("p50_us", JsonValue::number(h.value_at(0.50)));
+    o.set("p90_us", JsonValue::number(h.value_at(0.90)));
+    o.set("p99_us", JsonValue::number(h.value_at(0.99)));
+    o.set("p999_us", JsonValue::number(h.value_at(0.999)));
+    ops.set(op_name(static_cast<Op>(i)), std::move(o));
+  }
+  return ops;
+}
+
+void Server::refresh_gauges() {
+  // Gauges are point-in-time values: write them into the registry directly
+  // (bypassing the enabled() gate) right before a snapshot is taken.
+  obs::counter("serve.queue.capacity")
+      .set(static_cast<std::uint64_t>(opts_.queue_capacity));
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    obs::counter("serve.queue.depth")
+        .set(static_cast<std::uint64_t>(queue_.size()));
+  }
+  obs::counter("serve.threads").set(static_cast<std::uint64_t>(opts_.threads));
+  obs::counter("serve.uptime.seconds").set(uptime_ms() / 1000);
+  obs::counter("serve.requests.handled").set(requests_handled());
+  obs::counter("serve.rejects.queue_full.total").set(queue_full_rejects());
+  obs::counter("serve.rejects.deadline.total").set(deadline_rejects());
+  obs::counter("serve.sessions.open")
+      .set(static_cast<std::uint64_t>(sessions_.open_sessions()));
+  obs::counter("serve.sessions.opened.total").set(sessions_.sessions_opened());
+  obs::counter("serve.sessions.degraded")
+      .set(static_cast<std::uint64_t>(sessions_.degraded_sessions()));
+  const ExperimentCache::Stats cs = sessions_.cache().stats();
+  obs::counter("serve.cache.hits.total").set(cs.hits);
+  obs::counter("serve.cache.misses.total").set(cs.misses);
+  obs::counter("serve.cache.evictions.total").set(cs.evictions);
+  obs::counter("serve.cache.resident.bytes")
+      .set(static_cast<std::uint64_t>(cs.resident_bytes));
+  obs::counter("serve.cache.entries")
+      .set(static_cast<std::uint64_t>(cs.entries));
+  obs::counter("serve.cache.byte.budget")
+      .set(static_cast<std::uint64_t>(sessions_.cache().byte_budget()));
+  if (log_) obs::counter("serve.log.dropped.total").set(log_->dropped());
+}
+
+std::string Server::metrics_text() {
+  refresh_gauges();
+  return obs::to_prometheus(obs::snapshot());
+}
+
+void Server::write_metrics_file() {
+  try {
+    support::atomic_write_file(opts_.metrics_file, metrics_text(),
+                               "serve.metrics");
+  } catch (const std::exception&) {
+    // Telemetry must never take the serving path down; count and carry on.
+    obs::counter("serve.metrics.write_failures.total").add(1);
+  }
+}
+
+void Server::metrics_loop() {
+  std::unique_lock<std::mutex> lock(metrics_mu_);
+  for (;;) {
+    metrics_cv_.wait_for(lock,
+                         std::chrono::milliseconds(opts_.metrics_interval_ms),
+                         [this] { return metrics_stop_; });
+    if (metrics_stop_) return;  // wait() writes the final snapshot
+    lock.unlock();
+    write_metrics_file();
+    lock.lock();
+  }
 }
 
 int connect_to(const std::string& host, std::uint16_t port) {

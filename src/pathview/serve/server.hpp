@@ -17,6 +17,7 @@
 // answered with kind "deadline" when a worker finally dequeues them.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -28,6 +29,8 @@
 #include <thread>
 #include <vector>
 
+#include "pathview/obs/log.hpp"
+#include "pathview/obs/obs.hpp"
 #include "pathview/serve/session.hpp"
 
 namespace pathview::serve {
@@ -49,6 +52,16 @@ class Server {
     /// Close a connection whose client sends nothing for this long.
     /// 0 disables the timeout (connections may idle forever).
     std::uint32_t idle_timeout_ms = 0;
+    /// Structured per-request log: "" disables, "text" or "json" enable.
+    std::string log_format;
+    /// Log sink path; empty = stderr. Ignored when log_format is "".
+    std::string log_file;
+    /// Requests slower than this log at level "warn" instead of "info".
+    std::uint32_t slow_ms = 250;
+    /// Periodic Prometheus text-format snapshots, atomically replaced at
+    /// this path. "" disables the metrics writer thread.
+    std::string metrics_file;
+    std::uint32_t metrics_interval_ms = 1000;
     SessionManager::Options sessions;
   };
 
@@ -96,6 +109,18 @@ class Server {
   /// the accept loop reaps finished ones between accepts.
   std::size_t tracked_connections();
 
+  /// Milliseconds since start().
+  std::uint64_t uptime_ms() const;
+
+  /// Render the server's current telemetry (per-op RED registry series,
+  /// cache/session/queue gauges, uptime) as Prometheus text exposition
+  /// format. This is what the --metrics-file writer persists.
+  std::string metrics_text();
+
+  /// The per-request structured log, or nullptr when logging is disabled.
+  /// Exposed so shutdown paths (and tests) can flush it deterministically.
+  obs::EventLog* event_log() { return log_.get(); }
+
  private:
   /// One in-flight request; lives on the submitting connection thread's
   /// stack, so the queue holds raw pointers.
@@ -118,6 +143,17 @@ class Server {
   void worker_loop();
   JsonValue execute(const Request& req);
   void close_connections();
+  /// Per-op RED counters/histograms live in the labeled obs registry;
+  /// cache the pointers once so the request hot path never takes the
+  /// registry mutex.
+  void bind_op_metrics();
+  /// Push the live gauge values (queue depth, sessions, cache, uptime)
+  /// into the registry so a metrics snapshot reflects "now".
+  void refresh_gauges();
+  void metrics_loop();
+  /// Build the per-op block of a "stats" reply from the RED registry.
+  JsonValue op_stats_json() const;
+  void write_metrics_file();
 
   Options opts_;
   SessionManager sessions_;
@@ -142,6 +178,19 @@ class Server {
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> rejects_full_{0};
   std::atomic<std::uint64_t> rejects_deadline_{0};
+
+  // Per-op RED metrics (always on, independent of obs::enabled()).
+  std::array<obs::Counter*, kNumOps> op_count_{};
+  std::array<obs::Counter*, kNumOps> op_errors_{};
+  std::array<obs::Histogram*, kNumOps> op_latency_{};
+
+  std::unique_ptr<obs::EventLog> log_;
+  std::chrono::steady_clock::time_point start_time_;
+
+  std::thread metrics_thread_;
+  std::mutex metrics_mu_;
+  std::condition_variable metrics_cv_;
+  bool metrics_stop_ = false;
 };
 
 /// Connect to a pvserve daemon; returns the socket fd. Throws Error on

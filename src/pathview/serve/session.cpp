@@ -158,6 +158,14 @@ std::uint64_t SessionManager::sessions_opened() const {
   return next_sid_ - 1;
 }
 
+std::size_t SessionManager::degraded_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [sid, s] : sessions_)
+    if (s->exp_->degraded()) ++n;
+  return n;
+}
+
 std::size_t SessionManager::close_all() {
   std::lock_guard<std::mutex> lock(mu_);
   const std::size_t n = sessions_.size();
@@ -287,6 +295,8 @@ JsonValue SessionManager::do_stats(const Request& req) {
   resp.set("sessions_open",
            JsonValue::number(static_cast<std::uint64_t>(open_sessions())));
   resp.set("sessions_opened", JsonValue::number(sessions_opened()));
+  resp.set("sessions_degraded", JsonValue::number(static_cast<std::uint64_t>(
+                                    degraded_sessions())));
   JsonValue cache = JsonValue::object();
   cache.set("hits", JsonValue::number(cs.hits));
   cache.set("misses", JsonValue::number(cs.misses));

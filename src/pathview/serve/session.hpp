@@ -85,6 +85,9 @@ class SessionManager {
   std::size_t open_sessions() const;
   /// Total sessions ever opened (open + closed).
   std::uint64_t sessions_opened() const;
+  /// Open sessions whose experiment loaded in degraded mode (some inputs
+  /// were unreadable; see pathview::fault). Surfaced in "stats" and pvtop.
+  std::size_t degraded_sessions() const;
   /// Drop every live session; returns how many were force-closed. Used at
   /// daemon shutdown to report orphaned sessions.
   std::size_t close_all();

@@ -1,0 +1,70 @@
+#include "pathview/ui/ansi.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pathview::ui::ansi {
+
+namespace {
+
+// UTF-8 lower-eighth through full blocks (U+2581..U+2588), 3 bytes each.
+constexpr const char* kBlocks[8] = {
+    "▁", "▂", "▃", "▄",
+    "▅", "▆", "▇", "█",
+};
+constexpr char kAsciiLevels[] = " .:-=+*#@";
+
+}  // namespace
+
+int xterm256(std::uint32_t rgb) {
+  const auto cube = [](std::uint32_t c) {
+    return static_cast<int>(c * 6 / 256);
+  };
+  return 16 + 36 * cube(rgb >> 16 & 0xff) + 6 * cube(rgb >> 8 & 0xff) +
+         cube(rgb & 0xff);
+}
+
+std::string fg256(int index) {
+  return "\x1b[38;5;" + std::to_string(index) + "m";
+}
+
+std::string bg256(int index) {
+  return "\x1b[48;5;" + std::to_string(index) + "m";
+}
+
+std::string styled(const std::string& sgr, const std::string& text, bool on) {
+  if (!on) return text;
+  return sgr + text + kReset;
+}
+
+std::string sparkline(const std::vector<double>& values, bool ascii) {
+  if (values.empty()) return "";
+  double max = 0;
+  for (const double v : values)
+    if (std::isfinite(v)) max = std::max(max, v);
+  std::string out;
+  const int levels = ascii ? static_cast<int>(sizeof(kAsciiLevels)) - 2 : 7;
+  for (const double v : values) {
+    int level = 0;
+    if (max > 0 && std::isfinite(v) && v > 0)
+      level = std::clamp(static_cast<int>(std::lround(v / max * levels)), 0,
+                         levels);
+    if (ascii)
+      out += kAsciiLevels[level];
+    else
+      out += kBlocks[level];
+  }
+  return out;
+}
+
+std::string bar(double frac, std::size_t width) {
+  if (!std::isfinite(frac) || frac < 0) frac = 0;
+  if (frac > 1) frac = 1;
+  const auto filled = static_cast<std::size_t>(
+      std::lround(frac * static_cast<double>(width)));
+  std::string out(width, '.');
+  std::fill_n(out.begin(), std::min(filled, width), '#');
+  return out;
+}
+
+}  // namespace pathview::ui::ansi

@@ -1,0 +1,46 @@
+// Terminal escape-sequence helpers shared by the ANSI renderers (the
+// timeline view's 256-color cells, pvtop's live dashboard).
+//
+// Everything here is pure string construction — no terminal probing, no
+// global state — so renderers stay deterministic and testable: the caller
+// decides whether ANSI is appropriate (a flag, isatty) and either calls
+// these or falls back to plain glyphs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pathview::ui::ansi {
+
+inline constexpr const char* kReset = "\x1b[0m";
+inline constexpr const char* kBold = "\x1b[1m";
+inline constexpr const char* kDim = "\x1b[2m";
+/// Clear the whole screen and park the cursor at the top-left; the
+/// redraw-in-place sequence pvtop emits between frames.
+inline constexpr const char* kClearHome = "\x1b[2J\x1b[H";
+inline constexpr const char* kHideCursor = "\x1b[?25l";
+inline constexpr const char* kShowCursor = "\x1b[?25h";
+
+/// Map 8-bit-per-channel RGB onto the xterm-256 6x6x6 color cube.
+int xterm256(std::uint32_t rgb);
+
+/// SGR sequences selecting an xterm-256 palette index.
+std::string fg256(int index);
+std::string bg256(int index);
+
+/// `text` wrapped in `sgr` + kReset; with ansi false, returns `text`
+/// unchanged (the universal "maybe colorize" shape).
+std::string styled(const std::string& sgr, const std::string& text, bool on);
+
+/// An 8-level Unicode block-glyph sparkline of `values` scaled to
+/// [0, max(values)]; e.g. {0,1,2,4} -> "▁▃▄█". Values below zero clamp to
+/// the baseline glyph. With `ascii` true uses " .:-=+*#@" levels instead
+/// (for logs and non-UTF-8 terminals). Empty input -> empty string.
+std::string sparkline(const std::vector<double>& values, bool ascii = false);
+
+/// A fixed-width horizontal gauge: `frac` in [0,1] filled with '#' over
+/// '.', e.g. bar(0.5, 10) == "#####.....". NaN/negative clamp to 0.
+std::string bar(double frac, std::size_t width);
+
+}  // namespace pathview::ui::ansi

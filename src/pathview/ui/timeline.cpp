@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <unordered_map>
 
+#include "pathview/ui/ansi.hpp"
+
 namespace pathview::ui {
 namespace {
 
@@ -24,14 +26,6 @@ std::uint32_t node_rgb(prof::CctNodeId id) {
     return 64 + static_cast<std::uint32_t>((h >> shift) & 0x7f);
   };
   return chan(0) << 16 | chan(8) << 8 | chan(16);
-}
-
-int xterm256(std::uint32_t rgb) {
-  const auto cube = [](std::uint32_t c) {
-    return static_cast<int>(c * 6 / 256);
-  };
-  return 16 + 36 * cube(rgb >> 16 & 0xff) + 6 * cube(rgb >> 8 & 0xff) +
-         cube(rgb & 0xff);
 }
 
 /// Glyphs by first appearance in row-major cell order.
@@ -89,10 +83,8 @@ std::string render_timeline(const TimelineImage& img,
       }
       const char g = glyph.at(id);
       if (opts.ansi) {
-        char esc[32];
-        std::snprintf(esc, sizeof esc, "\x1b[48;5;%dm%c\x1b[0m",
-                      xterm256(node_rgb(id)), g);
-        out += esc;
+        out += ansi::styled(ansi::bg256(ansi::xterm256(node_rgb(id))),
+                            std::string(1, g), true);
       } else {
         out += g;
       }

@@ -4,7 +4,9 @@
 // database formats.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <thread>
 #include <vector>
 
@@ -13,6 +15,7 @@
 #include "pathview/core/flat_view.hpp"
 #include "pathview/metrics/attribution.hpp"
 #include "pathview/obs/export.hpp"
+#include "pathview/obs/log.hpp"
 #include "pathview/obs/obs.hpp"
 #include "pathview/obs/self_profile.hpp"
 #include "pathview/support/error.hpp"
@@ -297,6 +300,345 @@ TEST(ObsMacroTest, MacrosCompileInAnyConfiguration) {
   PV_SPAN("noop");
   PV_COUNTER_ADD("noop.ctr", 1);
   PV_COUNTER_SET("noop.gauge", 2);
+}
+
+// ---------------------------------------------------------------------------
+// Histograms.
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, HistogramSmallValuesAreExact) {
+  // Values below one octave of sub-buckets land in their own bucket, so
+  // 0..7 round-trip exactly through every percentile.
+  obs::Histogram& h = obs::histogram("test.hist.exact");
+  for (std::uint64_t v = 0; v < 8; ++v) h.add(v);
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_EQ(s.sum, 0u + 1 + 2 + 3 + 4 + 5 + 6 + 7);
+  for (std::uint64_t v = 0; v < 8; ++v)
+    EXPECT_EQ(s.buckets[v], 1u) << "bucket " << v;
+  EXPECT_EQ(s.value_at(0.0), 0u);   // rank clamps to the first sample
+  EXPECT_EQ(s.value_at(0.5), 3u);   // ceil(0.5 * 8) = 4th sample = value 3
+  EXPECT_EQ(s.value_at(1.0), 7u);
+}
+
+TEST_F(ObsTest, HistogramBucketIndexBoundsRoundTrip) {
+  // Every probed value must fall at or below its bucket's upper bound and
+  // strictly above the previous bucket's (the defining bucket invariant).
+  for (const std::uint64_t v :
+       {0ull, 1ull, 7ull, 8ull, 15ull, 16ull, 17ull, 1000ull, 123456ull,
+        (1ull << 30), (1ull << 39), (1ull << 40) - 1}) {
+    const std::size_t i = obs::Histogram::bucket_index(v);
+    EXPECT_LE(v, obs::Histogram::bucket_upper_bound(i)) << v;
+    if (i > 0)
+      EXPECT_GT(v, obs::Histogram::bucket_upper_bound(i - 1)) << v;
+  }
+}
+
+TEST_F(ObsTest, HistogramZeroAndOverflowEdges) {
+  obs::Histogram& h = obs::histogram("test.hist.edges");
+  h.add(0);
+  // Beyond 2^40 everything lands in the overflow bucket, whose upper bound
+  // (and thus any percentile resolving into it) saturates at uint64 max.
+  h.add(1ull << 40);
+  h.add(~0ull);
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[obs::HistogramSnapshot::kNumBuckets - 1], 2u);
+  EXPECT_EQ(s.value_at(0.01), 0u);
+  EXPECT_EQ(s.value_at(1.0), ~0ull);
+  EXPECT_EQ(obs::Histogram::bucket_upper_bound(
+                obs::HistogramSnapshot::kNumBuckets - 1),
+            ~0ull);
+}
+
+TEST_F(ObsTest, HistogramPercentilesBoundedByBucketWidth) {
+  // Percentiles come back as bucket upper bounds: exact-ish (within one
+  // sub-bucket, 1/8 relative width) rather than exact for large values.
+  obs::Histogram& h = obs::histogram("test.hist.pct");
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.add(v);
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1000u);
+  const std::uint64_t p50 = s.value_at(0.50);
+  const std::uint64_t p99 = s.value_at(0.99);
+  EXPECT_GE(p50, 500u);
+  EXPECT_LE(p50, 500u + 500u / 8 + 1);
+  EXPECT_GE(p99, 990u);
+  EXPECT_LE(p99, 990u + 990u / 8 + 1);
+  EXPECT_NEAR(s.mean(), 500.5, 0.001);
+}
+
+TEST_F(ObsTest, HistogramMergeAccumulates) {
+  obs::Histogram& a = obs::histogram("test.hist.merge.a");
+  obs::Histogram& b = obs::histogram("test.hist.merge.b");
+  for (int i = 0; i < 10; ++i) a.add(5);
+  for (int i = 0; i < 30; ++i) b.add(500);
+  obs::HistogramSnapshot s = a.snapshot();
+  s.merge(b.snapshot());
+  EXPECT_EQ(s.count, 40u);
+  EXPECT_EQ(s.sum, 10u * 5 + 30u * 500);
+  EXPECT_EQ(s.value_at(0.25), 5u);   // the a-side quartile
+  EXPECT_GE(s.value_at(0.9), 500u);  // the b-side tail
+}
+
+TEST_F(ObsTest, HistogramConcurrentAddVsSnapshot) {
+  // Adds race snapshots by design (relaxed atomics); under TSan this test
+  // proves the hot path is data-race-free, and afterwards no sample may
+  // have been lost or double-counted.
+  obs::Histogram& h = obs::histogram("test.hist.race");
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kAdds = 20000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (std::uint64_t i = 0; i < kAdds; ++i) h.add(i % 1000);
+    });
+  go.store(true, std::memory_order_release);
+  std::uint64_t last_count = 0;
+  for (int i = 0; i < 50; ++i) {
+    const obs::HistogramSnapshot s = h.snapshot();
+    EXPECT_GE(s.count, last_count);  // monotone under concurrent adds
+    last_count = s.count;
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(h.snapshot().count, kThreads * kAdds);
+}
+
+TEST_F(ObsTest, ResetZeroesHistograms) {
+  obs::Histogram& h = obs::histogram("test.hist.reset");
+  h.add(42);
+  obs::reset();
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0u);
+}
+
+TEST_F(ObsTest, LabeledBuildsCanonicalKeys) {
+  EXPECT_EQ(obs::labeled("m", {{"op", "expand"}}), "m{op=\"expand\"}");
+  EXPECT_EQ(obs::labeled("m", {{"a", "1"}, {"b", "2"}}),
+            "m{a=\"1\",b=\"2\"}");
+  // Hostile label values must stay inside the quotes.
+  EXPECT_EQ(obs::labeled("m", {{"k", "a\"b\\c\nd"}}),
+            "m{k=\"a\\\"b\\\\c\\nd\"}");
+  // Same labels -> same key -> same registry slot.
+  obs::counter(obs::labeled("test.labeled", {{"op", "x"}})).add(2);
+  obs::counter(obs::labeled("test.labeled", {{"op", "x"}})).add(3);
+  EXPECT_EQ(obs::counter("test.labeled{op=\"x\"}").value(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Trace ids and span clamping.
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, SnapshotClampsNestedOpenSpansOnceEach) {
+  // A snapshot taken while a parent AND child span are still open must
+  // clamp each of them exactly once, to the SAME "now" — otherwise the
+  // child could appear to outlive its parent, and repeated snapshots
+  // would accumulate drift into the live records.
+  const std::size_t parent = obs::begin_span("open.parent");
+  const std::size_t child = obs::begin_span("open.child");
+  const auto s1 = my_spans();
+  ASSERT_EQ(s1.size(), 2u);
+  EXPECT_EQ(s1[0].end_ns, s1[1].end_ns);  // one clamp timestamp for both
+  EXPECT_GE(s1[0].end_ns, s1[0].start_ns);
+  EXPECT_GE(s1[1].end_ns, s1[1].start_ns);
+
+  // A later snapshot re-clamps fresh copies; the live records were not
+  // mutated by the first snapshot.
+  const auto s2 = my_spans();
+  EXPECT_EQ(s2[0].end_ns, s2[1].end_ns);
+  EXPECT_GE(s2[0].end_ns, s1[0].end_ns);
+
+  obs::end_span(child);
+  obs::end_span(parent);
+  const auto closed = my_spans();
+  EXPECT_LE(closed[1].end_ns, closed[0].end_ns);  // child within parent
+}
+
+TEST_F(ObsTest, TraceIdScopeStampsSpansAndRestores) {
+  SKIP_IF_COMPILED_OUT();
+  {
+    obs::TraceIdScope outer(111);
+    { PV_SPAN("traced.outer"); }
+    {
+      obs::TraceIdScope inner(222);
+      { PV_SPAN("traced.inner"); }
+    }
+    { PV_SPAN("traced.restored"); }
+  }
+  { PV_SPAN("traced.cleared"); }
+  const auto spans = my_spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].trace_id, 111u);
+  EXPECT_EQ(spans[1].trace_id, 222u);
+  EXPECT_EQ(spans[2].trace_id, 111u);  // inner scope restored outer's id
+  EXPECT_EQ(spans[3].trace_id, 0u);    // outer scope restored "none"
+}
+
+TEST_F(ObsTest, ChromeTraceCarriesMetadataAndFlows) {
+  SKIP_IF_COMPILED_OUT();
+  {
+    obs::TraceIdScope trace(777);
+    { PV_SPAN("req.a"); }
+    { PV_SPAN("req.b"); }
+  }
+  { PV_SPAN("untraced"); }
+  const std::string json = obs::to_chrome_trace(obs::snapshot());
+  EXPECT_TRUE(testutil::valid_json(json)) << json;
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  // Two spans under trace 777: a flow start and a flow finish bind them.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":777"), std::string::npos);
+}
+
+TEST_F(ObsTest, ChromeTraceSkipsSinglePointFlows) {
+  SKIP_IF_COMPILED_OUT();
+  {
+    obs::TraceIdScope trace(42);
+    { PV_SPAN("lone"); }
+  }
+  const std::string json = obs::to_chrome_trace(obs::snapshot());
+  // One span under the id: stamping args is fine, a dangling flow is not.
+  EXPECT_NE(json.find("\"trace_id\":42"), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"s\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition.
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, PrometheusExposesCountersGaugesAndLabels) {
+  obs::counter("test.prom.requests.total").add(7);
+  obs::counter("test.prom.queue.depth").set(3);
+  obs::counter(obs::labeled("test.prom.ops.total", {{"op", "expand"}}))
+      .add(2);
+  obs::counter(obs::labeled("test.prom.ops.total", {{"op", "sort"}})).add(1);
+  const std::string text = obs::to_prometheus(obs::snapshot());
+  EXPECT_NE(text.find("# TYPE pathview_test_prom_requests_total counter\n"
+                      "pathview_test_prom_requests_total 7\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE pathview_test_prom_queue_depth gauge\n"
+                      "pathview_test_prom_queue_depth 3\n"),
+            std::string::npos);
+  // Labeled series share one family and one TYPE line.
+  const std::size_t type_at =
+      text.find("# TYPE pathview_test_prom_ops_total counter");
+  ASSERT_NE(type_at, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE pathview_test_prom_ops_total", type_at + 1),
+            std::string::npos);
+  EXPECT_NE(text.find("pathview_test_prom_ops_total{op=\"expand\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("pathview_test_prom_ops_total{op=\"sort\"} 1"),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, PrometheusHistogramBucketsAreCumulative) {
+  obs::Histogram& h = obs::histogram("test.prom.latency.us");
+  h.add(1);
+  h.add(1);
+  h.add(100);
+  const std::string text = obs::to_prometheus(obs::snapshot());
+  EXPECT_NE(text.find("# TYPE pathview_test_prom_latency_us histogram"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("pathview_test_prom_latency_us_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("pathview_test_prom_latency_us_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("pathview_test_prom_latency_us_sum 102"),
+            std::string::npos);
+  EXPECT_NE(text.find("pathview_test_prom_latency_us_count 3"),
+            std::string::npos);
+  // Exactly one +Inf line for THIS series (other histograms may be
+  // registered when the whole binary runs in one process).
+  const std::string inf_line =
+      "pathview_test_prom_latency_us_bucket{le=\"+Inf\"}";
+  const std::size_t inf_at = text.find(inf_line);
+  ASSERT_NE(inf_at, std::string::npos);
+  EXPECT_EQ(text.find(inf_line, inf_at + 1), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// The structured event log.
+// ---------------------------------------------------------------------------
+
+TEST(EventLogTest, FormatsTextAndJsonLines) {
+  obs::LogEvent ev;
+  ev.level = "warn";
+  ev.op = "expand";
+  ev.trace_id = 99;
+  ev.latency_us = 1234;
+  ev.outcome = "ok";
+  ev.message = "slow \"request\"\nwith newline";
+  const std::string json =
+      obs::EventLog::format_line(ev, obs::LogFormat::kJson, 1700000000000);
+  EXPECT_EQ(json,
+            "{\"ts\":1700000000000,\"level\":\"warn\",\"op\":\"expand\","
+            "\"trace_id\":99,\"latency_us\":1234,\"outcome\":\"ok\","
+            "\"message\":\"slow \\\"request\\\"\\nwith newline\"}");
+  const std::string text =
+      obs::EventLog::format_line(ev, obs::LogFormat::kText, 1700000000000);
+  EXPECT_NE(text.find("level=warn"), std::string::npos);
+  EXPECT_NE(text.find("op=expand"), std::string::npos);
+  EXPECT_NE(text.find("trace_id=99"), std::string::npos);
+  EXPECT_NE(text.find("latency_us=1234"), std::string::npos);
+  // One event, one line: embedded newlines must not split the record (the
+  // writer adds the terminator, format_line never embeds one).
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 0);
+}
+
+TEST(EventLogTest, WritesLinesToFileNonBlocking) {
+  const std::string path = ::testing::TempDir() + "/obs_eventlog_test.log";
+  std::remove(path.c_str());
+  {
+    obs::EventLog::Options opts;
+    opts.format = obs::LogFormat::kJson;
+    opts.path = path;
+    obs::EventLog log(opts);
+    for (int i = 0; i < 20; ++i) {
+      obs::LogEvent ev;
+      ev.op = "ping";
+      ev.trace_id = static_cast<std::uint64_t>(i);
+      log.log(std::move(ev));
+    }
+    log.flush();
+    EXPECT_EQ(log.dropped(), 0u);
+  }  // destructor joins the writer and closes the sink
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content(1 << 16, '\0');
+  content.resize(std::fread(content.data(), 1, content.size(), f));
+  std::fclose(f);
+  EXPECT_EQ(std::count(content.begin(), content.end(), '\n'), 20);
+  EXPECT_NE(content.find("\"trace_id\":19"), std::string::npos);
+  EXPECT_TRUE(testutil::valid_json(
+      content.substr(0, content.find('\n'))));
+}
+
+TEST(EventLogTest, DropsWhenQueueIsFullInsteadOfBlocking) {
+  // A zero-capacity queue forces the drop path deterministically: every
+  // log() finds the queue "full" whenever the writer isn't mid-drain.
+  obs::EventLog::Options opts;
+  opts.format = obs::LogFormat::kText;
+  opts.path = ::testing::TempDir() + "/obs_eventlog_drop.log";
+  opts.capacity = 1;
+  obs::EventLog log(opts);
+  // Bursts of log() calls race a 1-slot queue; retry bursts until the
+  // producer outpaces the writer at least once (first burst in practice).
+  for (int round = 0; round < 100 && log.dropped() == 0; ++round)
+    for (int i = 0; i < 2000; ++i) {
+      obs::LogEvent ev;
+      ev.op = "spam";
+      log.log(std::move(ev));
+    }
+  log.flush();
+  EXPECT_GT(log.dropped(), 0u);
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "pathview/db/experiment.hpp"
+#include "pathview/obs/obs.hpp"
 #include "pathview/prof/correlate.hpp"
 #include "pathview/serve/client.hpp"
 #include "pathview/serve/experiment_cache.hpp"
@@ -308,6 +309,178 @@ TEST(ServeClient, UnparseableReplyIsAProtocolError) {
   ScriptedServer srv({"this is not json"});
   Client client("127.0.0.1", srv.port(), {});
   EXPECT_THROW(client.call_op("ping", JsonValue::object()), ProtocolError);
+}
+
+// ---------------------------------------------------------------------------
+// Trace ids on the wire.
+// ---------------------------------------------------------------------------
+
+TEST(ServeTraceId, RequestDecodesOptionalTraceId) {
+  const Request with = Request::from_json(
+      JsonValue::parse(R"({"v":1,"id":1,"op":"ping","trace_id":9001})"));
+  EXPECT_EQ(with.trace_id, 9001u);
+  // A PR 5-era client that never sends the field still decodes fine.
+  const Request without =
+      Request::from_json(JsonValue::parse(R"({"v":1,"id":1,"op":"ping"})"));
+  EXPECT_EQ(without.trace_id, 0u);
+}
+
+TEST(ServeTraceId, ErrorRepliesEchoTheTraceId) {
+  Server server;
+  server.start();
+  const int fd = connect_to("127.0.0.1", server.port());
+  std::string raw;
+
+  // An ok reply never carries trace_id (byte-determinism surface).
+  write_frame(fd, R"({"v":1,"id":1,"op":"ping","trace_id":77})");
+  ASSERT_TRUE(read_frame(fd, &raw));
+  EXPECT_EQ(raw.find("trace_id"), std::string::npos) << raw;
+
+  // An error reply echoes it...
+  write_frame(fd,
+              R"({"v":1,"id":2,"op":"expand","session":"nope","trace_id":77})");
+  ASSERT_TRUE(read_frame(fd, &raw));
+  JsonValue reply = JsonValue::parse(raw);
+  EXPECT_FALSE(reply.get_bool("ok", true));
+  EXPECT_EQ(reply.get_u64("trace_id", 0), 77u);
+
+  // ...but only when the request carried one (PR 5 compatibility: a peer
+  // that never sends the field never sees it back).
+  write_frame(fd, R"({"v":1,"id":3,"op":"expand","session":"nope"})");
+  ASSERT_TRUE(read_frame(fd, &raw));
+  EXPECT_EQ(raw.find("trace_id"), std::string::npos) << raw;
+
+  ::close(fd);
+  server.stop();
+}
+
+TEST(ServeClient, StampsConfiguredTraceIdUnlessRequestHasOne) {
+  Server server;
+  server.start();
+  Client client("127.0.0.1", server.port(), {});
+  client.set_trace_id(4242);
+  // The stamped id is observable through the error-reply echo.
+  JsonValue req = JsonValue::object();
+  req.set("op", JsonValue::string("expand"));
+  req.set("session", JsonValue::string("nope"));
+  JsonValue reply = client.call(std::move(req));
+  EXPECT_FALSE(reply.get_bool("ok", true));
+  EXPECT_EQ(reply.get_u64("trace_id", 0), 4242u);
+
+  // An explicit per-request id wins over the client-level one.
+  req = JsonValue::object();
+  req.set("op", JsonValue::string("expand"));
+  req.set("session", JsonValue::string("nope"));
+  req.set("trace_id", JsonValue::number(std::uint64_t{7}));
+  reply = client.call(std::move(req));
+  EXPECT_EQ(reply.get_u64("trace_id", 0), 7u);
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Stats exposition and the metrics file.
+// ---------------------------------------------------------------------------
+
+TEST(ServeStats, ReportsPerOpRedMetrics) {
+  obs::reset();  // per-op RED series are process-global registry slots
+  TempExperiment exp;
+  Server server;
+  server.start();
+  Client client("127.0.0.1", server.port(), {});
+  client.call_op("ping", JsonValue::object());
+  JsonValue body = JsonValue::object();
+  body.set("path", JsonValue::string(exp.path()));
+  ASSERT_TRUE(client.call_op("open", std::move(body)).get_bool("ok", false));
+  // One failing op so the error counter has something to show.
+  body = JsonValue::object();
+  body.set("session", JsonValue::string("nope"));
+  client.call_op("expand", std::move(body));
+
+  const JsonValue stats = client.call_op("stats", JsonValue::object());
+  ASSERT_TRUE(stats.get_bool("ok", false)) << stats.dump();
+  EXPECT_EQ(stats.get_u64("sessions_degraded", 99), 0u);
+  const JsonValue* srv = stats.find("server");
+  ASSERT_NE(srv, nullptr);
+  // A fresh server may legitimately report 0 ms; presence is the contract.
+  ASSERT_NE(srv->find("uptime_ms"), nullptr) << stats.dump();
+  EXPECT_LT(srv->get_u64("uptime_ms", ~0ull), 60'000u);
+
+  const JsonValue* ops = stats.find("ops");
+  ASSERT_NE(ops, nullptr) << stats.dump();
+  const JsonValue* ping = ops->find("ping");
+  ASSERT_NE(ping, nullptr) << stats.dump();
+  EXPECT_EQ(ping->get_u64("count", 0), 1u);
+  EXPECT_EQ(ping->get_u64("errors", 99), 0u);
+  // Percentile fields exist and are ordered.
+  const std::uint64_t p50 = ping->get_u64("p50_us", ~0ull);
+  const std::uint64_t p99 = ping->get_u64("p99_us", 0);
+  const std::uint64_t p999 = ping->get_u64("p999_us", 0);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+  const JsonValue* expand = ops->find("expand");
+  ASSERT_NE(expand, nullptr);
+  EXPECT_EQ(expand->get_u64("count", 0), 1u);
+  EXPECT_EQ(expand->get_u64("errors", 0), 1u);
+  // Ops never exercised are omitted, not zero-filled.
+  EXPECT_EQ(ops->find("shutdown"), nullptr);
+  server.stop();
+}
+
+TEST(ServeStats, MetricsTextIsPrometheusShaped) {
+  obs::reset();
+  Server server;
+  server.start();
+  Client client("127.0.0.1", server.port(), {});
+  client.call_op("ping", JsonValue::object());
+  const std::string text = server.metrics_text();
+  EXPECT_NE(text.find("# TYPE pathview_serve_requests_total counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("pathview_serve_requests_total{op=\"ping\"} 1"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("pathview_serve_request_latency_us_bucket{op=\"ping\",le=\""),
+      std::string::npos);
+  EXPECT_NE(text.find("pathview_serve_sessions_open 0"), std::string::npos);
+  EXPECT_NE(text.find("pathview_serve_uptime_seconds"), std::string::npos);
+  EXPECT_NE(text.find("pathview_serve_queue_capacity 128"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(ServeStats, MetricsFileIsWrittenAndReplaced) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("serve_metrics_" + std::to_string(::getpid()) + ".prom"))
+          .string();
+  std::remove(path.c_str());
+  obs::reset();
+  {
+    Server::Options opts;
+    opts.metrics_file = path;
+    opts.metrics_interval_ms = 20;
+    Server server(opts);
+    server.start();
+    Client client("127.0.0.1", server.port(), {});
+    client.call_op("ping", JsonValue::object());
+    // The periodic writer must produce the file within a few intervals.
+    bool wrote = false;
+    for (int i = 0; i < 200 && !wrote; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      wrote = std::filesystem::exists(path);
+    }
+    EXPECT_TRUE(wrote);
+    server.stop();  // stop() also writes one final snapshot
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content(1 << 16, '\0');
+  content.resize(std::fread(content.data(), 1, content.size(), f));
+  std::fclose(f);
+  EXPECT_NE(content.find("pathview_serve_requests_total{op=\"ping\"} 1"),
+            std::string::npos)
+      << content.substr(0, 512);
+  std::remove(path.c_str());
 }
 
 TEST(ServeServer, IdleConnectionsAreClosedByTheTimeout) {

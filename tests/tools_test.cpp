@@ -420,6 +420,73 @@ TEST_F(PvserveCliTest, ClientExitCodesDistinguishTransportFromProtocol) {
   ASSERT_TRUE(wait_exit(5.0));
 }
 
+TEST_F(PvserveCliTest, TraceIdFlowsFromClientFlagToServerJsonLog) {
+  const std::string reqlog = out("requests.jsonl");
+  const int port =
+      start_daemon("--log-format json --log-file " + reqlog);
+  ASSERT_GT(port, 0) << slurp(out("serve.log"));
+
+  // The client stamps every request with the configured trace id...
+  EXPECT_EQ(run(tool("pvserve") + " --client --port " + std::to_string(port) +
+                R"( --trace-id 987654321 --request '{"v":1,"id":1,"op":"ping"}')"),
+            0);
+  // ...including ones the daemon refuses — and the error reply echoes it so
+  // the client-side line and the server-side log line are matchable.
+  EXPECT_EQ(run(tool("pvserve") + " --client --port " + std::to_string(port) +
+                R"( --trace-id 987654321 --request '{"v":1,"id":2,"op":"frobnicate"}')"),
+            2);
+  EXPECT_NE(slurp(out("log")).find("\"trace_id\":987654321"),
+            std::string::npos)
+      << slurp(out("log"));
+
+  request(port, R"({"v":1,"id":99,"op":"shutdown"})");
+  ASSERT_TRUE(wait_exit(5.0));
+
+  // Every structured log line is one JSON object; the tagged requests carry
+  // the trace id end to end.
+  const std::string lines = slurp(reqlog);
+  ASSERT_FALSE(lines.empty());
+  std::size_t tagged = 0, total = 0;
+  std::istringstream in(lines);
+  for (std::string line; std::getline(in, line);) {
+    if (line.empty()) continue;
+    ++total;
+    EXPECT_TRUE(testutil::valid_json(line)) << line;
+    EXPECT_NE(line.find("\"op\":"), std::string::npos) << line;
+    if (line.find("\"trace_id\":987654321") != std::string::npos) ++tagged;
+  }
+  EXPECT_GE(total, 3u) << lines;  // ping + frobnicate + shutdown
+  EXPECT_EQ(tagged, 2u) << lines;
+}
+
+TEST_F(PvserveCliTest, PvtopOnceRendersOneDashboardFrame) {
+  const int port = start_daemon();
+  ASSERT_GT(port, 0) << slurp(out("serve.log"));
+
+  // Put one op on the board so the table has a row to render.
+  EXPECT_NE(request(port, R"({"v":1,"id":1,"op":"ping"})")
+                .find("\"ok\":true"),
+            std::string::npos);
+
+  ASSERT_EQ(run(tool("pvtop") + " --port " + std::to_string(port) +
+                " --once"),
+            0)
+      << slurp(out("log"));
+  const std::string frame = slurp(out("log"));
+  EXPECT_NE(frame.find("pvtop"), std::string::npos) << frame;
+  EXPECT_NE(frame.find(" up "), std::string::npos);
+  EXPECT_NE(frame.find("sessions:"), std::string::npos);
+  EXPECT_NE(frame.find("ping"), std::string::npos) << frame;
+  // --once never emits escape sequences: pipelines stay clean.
+  EXPECT_EQ(frame.find('\x1b'), std::string::npos);
+
+  // Transport errors surface as exit 3, same taxonomy as the client.
+  EXPECT_EQ(run(tool("pvtop") + " --port 1 --once"), 3);
+
+  request(port, R"({"v":1,"id":99,"op":"shutdown"})");
+  ASSERT_TRUE(wait_exit(5.0));
+}
+
 // --- fault injection & crash recovery ----------------------------------------
 
 TEST_F(ToolCliTest, CrashMidSaveLeavesOldDatabaseIntact) {

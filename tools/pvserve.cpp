@@ -41,10 +41,18 @@ daemon flags:
   --max-sessions N   concurrent session limit (default 256)
   --view V           view new sessions start in when the open request
                      does not name one: cct | callers | flat (default cct)
+  --log-format F     per-request structured log: text | json (default off)
+  --log-file PATH    log sink (default stderr; appends)
+  --slow-ms N        log requests slower than this at "warn" (default 250)
+  --metrics-file P   write Prometheus text-format metric snapshots to P
+                     (atomically replaced) every --metrics-interval-ms
+  --metrics-interval-ms N  snapshot cadence (default 1000)
 
 client flags:
   --port N           daemon port (required)
   --host ADDR        daemon address (default 127.0.0.1)
+  --trace-id T       stamp this correlation id on every request that does
+                     not carry its own "trace_id" field
   --request JSON     send one request and print the reply; without it,
                      each non-empty stdin line is sent as a request and
                      every reply is printed on its own line
@@ -96,6 +104,8 @@ int run_client(const pathview::tools::Args& args) {
   int rc = kExitOk;
   try {
     serve::Client client(host, static_cast<std::uint16_t>(port), retry);
+    client.set_trace_id(
+        static_cast<std::uint64_t>(std::max(0l, args.flag("trace-id", 0))));
     const auto roundtrip = [&](const std::string& req) {
       serve::JsonValue parsed;
       try {
@@ -159,6 +169,18 @@ int run_daemon(const pathview::tools::Args& args,
       static_cast<std::size_t>(args.flag("max-sessions", 256));
   opts.sessions.default_view =
       serve::parse_view_name(args.flag_str("view", "cct"));
+  opts.log_format = args.flag_str("log-format", "");
+  if (!opts.log_format.empty() && opts.log_format != "text" &&
+      opts.log_format != "json") {
+    std::fprintf(stderr, "pvserve: bad --log-format \"%s\" (text|json)\n",
+                 opts.log_format.c_str());
+    return 2;
+  }
+  opts.log_file = args.flag_str("log-file", "");
+  opts.slow_ms = static_cast<std::uint32_t>(args.flag("slow-ms", 250));
+  opts.metrics_file = args.flag_str("metrics-file", "");
+  opts.metrics_interval_ms =
+      static_cast<std::uint32_t>(args.flag("metrics-interval-ms", 1000));
 
   serve::Server server(opts);
   server.start();
