@@ -83,6 +83,43 @@ serve_smoke() {
   fi
 }
 
+# Query smoke against the tools of one build dir: pvquery end to end (the
+# full grammar, the explain fast path, JSON output) and the pvserve query op
+# answering with the byte-identical "result" encoding for the same query.
+query_smoke() {
+  qdir=$1
+  qdb=$qdir/query_check.pvdb
+  qlog=$qdir/query_check.log
+  "$qdir/tools/pvprof" subsurface -o "$qdb" --ranks 2 > /dev/null
+  "$qdir/tools/pvquery" "$qdb" \
+    "match '**' where cycles.incl > 0.05*total order by cycles.excl desc limit 10" |
+    grep -q 'row(s)'
+  "$qdir/tools/pvquery" "$qdb" "where cycles.incl > 0.1*total" --explain |
+    grep -q 'columnar scan'
+  qtext="where cycles.incl > 0.1*total order by cycles.incl desc limit 5"
+  qjson=$("$qdir/tools/pvquery" "$qdb" "$qtext" --json)
+  [ -n "$qjson" ]
+  "$qdir/tools/pvserve" --port 0 > "$qlog" 2>&1 &
+  qpid=$!
+  for _ in $(seq 100); do
+    grep -q 'listening on' "$qlog" && break
+    sleep 0.1
+  done
+  qport=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$qlog")
+  sid=$("$qdir/tools/pvserve" --client --port "$qport" \
+          --request "{\"v\":1,\"id\":1,\"op\":\"open\",\"path\":\"$qdb\"}" |
+        sed -n 's/.*"session":"\([^"]*\)".*/\1/p')
+  [ -n "$sid" ]
+  "$qdir/tools/pvserve" --client --port "$qport" --request \
+    "{\"v\":1,\"id\":2,\"op\":\"query\",\"session\":\"$sid\",\"q\":\"$qtext\"}" |
+    grep -qF "\"result\":$qjson"
+  "$qdir/tools/pvserve" --client --port "$qport" --request \
+    "{\"v\":1,\"id\":3,\"op\":\"explain\",\"session\":\"$sid\",\"q\":\"$qtext\"}" |
+    grep -q 'columnar scan'
+  kill -TERM "$qpid"
+  wait "$qpid"
+}
+
 # Fault-injection matrix against the tools of one build dir: three canned
 # specs prove the durability story end to end — (1) kill -9 at the atomic
 # rename leaves the old database byte-identical, (2) a torn write fails
@@ -141,6 +178,8 @@ done
 
 echo "== serve smoke (3 concurrent clients)"
 serve_smoke build
+echo "== query smoke (pvquery + serve query op)"
+query_smoke build
 echo "== fault-injection matrix"
 fault_matrix build
 
@@ -151,6 +190,8 @@ if [ "${PATHVIEW_SKIP_SANITIZE:-0}" != "1" ]; then
   ctest --test-dir build-asan --output-on-failure --timeout 300
   echo "== serve smoke under ASan"
   serve_smoke build-asan
+  echo "== query smoke under ASan"
+  query_smoke build-asan
   echo "== fault-injection matrix under ASan"
   fault_matrix build-asan
 
@@ -158,14 +199,17 @@ if [ "${PATHVIEW_SKIP_SANITIZE:-0}" != "1" ]; then
   cmake -B build-tsan -DPATHVIEW_SANITIZE=thread
   cmake --build build-tsan -j "$(nproc)" \
     --target prof_test pipeline_test obs_test serve_test fault_test \
-    pvserve pvprof pvrun pvtop
+    query_test pvserve pvprof pvrun pvtop pvquery
   build-tsan/tests/prof_test
   build-tsan/tests/pipeline_test
   build-tsan/tests/obs_test
   build-tsan/tests/serve_test
   build-tsan/tests/fault_test
+  build-tsan/tests/query_test
   echo "== serve smoke under TSan"
   serve_smoke build-tsan
+  echo "== query smoke under TSan"
+  query_smoke build-tsan
   echo "== fault-injection matrix under TSan"
   fault_matrix build-tsan
 fi

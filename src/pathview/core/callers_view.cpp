@@ -59,9 +59,9 @@ void CallersView::set_metrics(ViewNodeId id,
     const bool inclusive = src.desc(c).inclusive;
     const bool exposed_only =
         inclusive || opts_.policy == RecursionPolicy::kExposedOnly;
+    const std::span<const double> col = src.column(c);
     double v = 0.0;
-    for (prof::CctNodeId i : exposed_only ? exposed : instances)
-      v += src.get(c, i);
+    for (prof::CctNodeId i : exposed_only ? exposed : instances) v += col[i];
     table().set(c, id, v);
   }
 }

@@ -1,5 +1,7 @@
 #include "pathview/core/cct_view.hpp"
 
+#include <algorithm>
+
 #include "pathview/obs/obs.hpp"
 
 namespace pathview::core {
@@ -41,11 +43,13 @@ CctView::CctView(const prof::CanonicalCct& cct,
     vn.children_built = true;
     add_node(std::move(vn));
   }
-  // Copy the attribution's metric columns verbatim.
+  // Copy the attribution's metric columns verbatim — one contiguous
+  // buffer-to-buffer copy per column (rows were materialized above, so the
+  // destination buffers are already full-size).
   for (metrics::ColumnId c = 0; c < attr.table.num_columns(); ++c) {
     const metrics::ColumnId vc = table().add_column(attr.table.desc(c));
-    for (std::size_t row = 0; row < attr.table.num_rows(); ++row)
-      table().set(vc, row, attr.table.get(c, row));
+    const std::span<const double> src = attr.table.column(c);
+    std::copy(src.begin(), src.end(), table().column_mut(vc).begin());
   }
 }
 

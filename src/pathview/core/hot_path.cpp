@@ -17,16 +17,19 @@ std::vector<ViewNodeId> hot_path(View& view, ViewNodeId start,
     const auto& children = view.children_of(cur);  // materializes lazily
     if (children.empty()) break;
 
+    // Fetched after children_of: lazy materialization may have grown (and
+    // reallocated) the column buffer.
+    const std::span<const double> col = view.table().column(metric);
     ViewNodeId best = kViewNull;
     double best_v = 0.0;
     for (ViewNodeId c : children) {
-      const double v = view.table().get(metric, c);
+      const double v = col[c];
       if (best == kViewNull || v > best_v) {
         best = c;
         best_v = v;
       }
     }
-    const double here = view.table().get(metric, cur);
+    const double here = col[cur];
     if (best == kViewNull || best_v < opts.threshold * here) break;
     path.push_back(best);
     cur = best;

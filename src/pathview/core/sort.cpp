@@ -11,10 +11,10 @@ void sort_children_by(View& view, ViewNodeId parent, metrics::ColumnId metric,
   if (metric >= view.table().num_columns())
     throw InvalidArgument("sort_children_by: bad metric column");
   auto& ch = view.mutable_children(parent);
+  // One contiguous column read per comparison instead of a row-wise get().
+  const std::span<const double> col = view.table().column(metric);
   std::stable_sort(ch.begin(), ch.end(), [&](ViewNodeId a, ViewNodeId b) {
-    const double va = view.table().get(metric, a);
-    const double vb = view.table().get(metric, b);
-    return descending ? va > vb : va < vb;
+    return descending ? col[a] > col[b] : col[a] < col[b];
   });
 }
 

@@ -624,6 +624,11 @@ Experiment from_binary(std::string_view bytes) {
   return from_binary(bytes, LoadOptions{}, &report);
 }
 
+bool sniff_binary(std::string_view bytes) {
+  return bytes.substr(0, kMagicLen) == std::string_view(kMagicV1, kMagicLen) ||
+         bytes.substr(0, kMagicLen) == std::string_view(kMagicV2, kMagicLen);
+}
+
 Experiment from_binary(std::string_view bytes, const LoadOptions& opts,
                        LoadReport* report) {
   PV_SPAN("db.binary.read");

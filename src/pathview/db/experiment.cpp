@@ -93,23 +93,35 @@ Experiment load_binary(const std::string& path) {
   return from_binary(support::read_file(path, "db.experiment.load"));
 }
 
-namespace {
-bool is_binary_path(const std::string& path) {
-  return path.size() > 5 && path.substr(path.size() - 5) == ".pvdb";
+OpenResult open(const std::string& path, const OpenOptions& opts) {
+  PV_SPAN("db.open");
+  const std::string bytes = support::read_file(path, "db.experiment.load");
+  LoadReport report;
+  if (sniff_binary(bytes)) {
+    Experiment exp = from_binary(bytes, LoadOptions{opts.salvage}, &report);
+    if (!report.clean()) PV_COUNTER_ADD("db.salvage.loads", 1);
+    return OpenResult{std::move(exp), std::move(report)};
+  }
+  // XML prolog or bare root tag (the writer emits `<?xml` first, but accept
+  // hand-edited files that start at the root element).
+  std::size_t i = 0;
+  while (i < bytes.size() &&
+         (bytes[i] == ' ' || bytes[i] == '\t' || bytes[i] == '\r' ||
+          bytes[i] == '\n'))
+    ++i;
+  if (i < bytes.size() && bytes[i] == '<')
+    return OpenResult{from_xml(bytes), std::move(report)};
+  throw ParseError("db::open: '" + path +
+                       "' is neither a PVDB binary nor an XML experiment "
+                       "database",
+                   i);
 }
-}  // namespace
 
 Experiment load(const std::string& path, const LoadOptions& opts,
                 LoadReport* report) {
-  const std::string bytes = support::read_file(path, "db.experiment.load");
-  if (is_binary_path(path)) {
-    Experiment exp = from_binary(bytes, opts, report);
-    if (report != nullptr && !report->clean())
-      PV_COUNTER_ADD("db.salvage.loads", 1);
-    return exp;
-  }
-  // The XML format has no checksums to salvage around; strict parse.
-  return from_xml(bytes);
+  OpenResult r = open(path, OpenOptions{opts.salvage});
+  if (report != nullptr) report->merge(r.report);
+  return std::move(r.experiment);
 }
 
 }  // namespace pathview::db

@@ -105,12 +105,38 @@ Experiment from_binary(std::string_view bytes, const LoadOptions& opts,
 void save_binary(const Experiment& exp, const std::string& path);
 Experiment load_binary(const std::string& path);
 
+/// True when `bytes` begin with a PVDB magic (any version) — the content
+/// sniff db::open uses to pick the binary decoder.
+bool sniff_binary(std::string_view bytes);
+
+// --- content-sniffing open ---------------------------------------------------
+
+struct OpenOptions {
+  /// Skip-and-report instead of abort on damaged binary databases (see
+  /// LoadOptions::salvage; the XML format has no checksums to salvage
+  /// around, so XML always parses strictly).
+  bool salvage = false;
+};
+
+struct OpenResult {
+  Experiment experiment;
+  LoadReport report;
+};
+
+/// Open an experiment database, picking the decoder by *content*: the
+/// file's leading bytes are sniffed for a PVDB1/PVDB2 magic (binary) or an
+/// XML prolog/tag. A ".pvdb" file holding XML — or an extensionless dump
+/// holding a binary database — opens correctly either way. Content that is
+/// neither throws ParseError. This is the one loading entry point every
+/// tool and the serve ExperimentCache share.
+OpenResult open(const std::string& path, const OpenOptions& opts = {});
+
 // --- format-dispatching load -------------------------------------------------
 
-/// Load an experiment database, picking the format by extension (".pvdb" is
-/// binary, everything else XML). With opts.salvage, damaged binary
-/// databases load in degraded mode and `*report` (optional) records what
-/// was dropped and why.
+/// Load an experiment database (thin wrapper over db::open, kept for
+/// callers that don't need the report bundled). With opts.salvage, damaged
+/// binary databases load in degraded mode and `*report` (optional) records
+/// what was dropped and why.
 Experiment load(const std::string& path, const LoadOptions& opts = {},
                 LoadReport* report = nullptr);
 

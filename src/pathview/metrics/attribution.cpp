@@ -29,11 +29,13 @@ Attribution attribute_metrics(const prof::CanonicalCct& cct,
   }
 
   // Inclusive: subtree sums of raw samples (children have larger ids than
-  // parents, so one reverse sweep accumulates bottom-up).
+  // parents, so one reverse sweep accumulates bottom-up). Filled one
+  // contiguous column at a time.
   const std::vector<model::EventVector> incl = cct.inclusive_samples();
-  for (prof::CctNodeId n = 0; n < cct.size(); ++n)
-    for (model::Event e : events)
-      out.table.set(out.cols.inclusive(e), n, incl[n][e]);
+  for (model::Event e : events) {
+    const std::span<double> dst = out.table.column_mut(out.cols.inclusive(e));
+    for (prof::CctNodeId n = 0; n < cct.size(); ++n) dst[n] = incl[n][e];
+  }
 
   // Exclusive: every statement's raw samples credit (a) the statement
   // itself, (b) its direct parent when that parent is a loop or inline

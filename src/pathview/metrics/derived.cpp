@@ -27,8 +27,9 @@ void recompute_derived(MetricTable& table, ColumnId col) {
     throw InvalidArgument("recompute_derived: column '" + desc.name +
                           "' is not derived");
   const Formula formula = Formula::parse(desc.formula);
+  const std::span<double> dst = table.column_mut(col);
   for (std::size_t row = 0; row < table.num_rows(); ++row)
-    table.set(col, row, formula.evaluate(table, row));
+    dst[row] = formula.evaluate(table, row);
 }
 
 }  // namespace pathview::metrics

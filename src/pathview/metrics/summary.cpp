@@ -27,13 +27,19 @@ SummaryColumns add_summary_columns(MetricTable& table,
   out.max = col("Max (I)");
   out.stddev = col("StdDev (I)");
 
+  // Fill each freshly added column through its contiguous buffer.
+  const std::span<double> sum = table.column_mut(out.sum);
+  const std::span<double> mean = table.column_mut(out.mean);
+  const std::span<double> min = table.column_mut(out.min);
+  const std::span<double> max = table.column_mut(out.max);
+  const std::span<double> stddev = table.column_mut(out.stddev);
   for (prof::CctNodeId n = 0; n < summary.cct.size(); ++n) {
     const OnlineStats& st = summary.stats(n, event);
-    table.set(out.sum, n, st.sum());
-    table.set(out.mean, n, st.mean());
-    table.set(out.min, n, st.min());
-    table.set(out.max, n, st.max());
-    table.set(out.stddev, n, st.stddev());
+    sum[n] = st.sum();
+    mean[n] = st.mean();
+    min[n] = st.min();
+    max[n] = st.max();
+    stddev[n] = st.stddev();
   }
   return out;
 }

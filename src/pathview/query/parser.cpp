@@ -1,0 +1,642 @@
+// Lexer + recursive-descent parser for the pathview::query text grammar,
+// the canonical printer (to_text), and the QueryBuilder (which produces the
+// same AST, reusing parse_predicate so both surfaces share one grammar).
+//
+// Every diagnostic throws pathview::ParseError carrying the byte offset of
+// the offending token, so tools can point at the exact spot:
+//   query: expected 'incl' or 'excl' after '.' (at byte 31)
+#include "pathview/query/query.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "pathview/obs/obs.hpp"
+#include "pathview/support/error.hpp"
+
+namespace pathview::query {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, std::size_t offset) {
+  throw ParseError("query: " + what, offset);
+}
+
+bool is_ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool is_ident_char(char c) {
+  return is_ident_start(c) || (c >= '0' && c <= '9');
+}
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+struct Token {
+  enum Kind : std::uint8_t { kEnd, kIdent, kNumber, kString, kPunct };
+  Kind kind = kEnd;
+  std::string_view text;  // ident text, punct spelling, or string *body*
+  double number = 0.0;
+  std::size_t offset = 0;
+};
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      ++i;
+      continue;
+    }
+    Token t;
+    t.offset = i;
+    if (is_ident_start(c)) {
+      std::size_t j = i;
+      while (j < src.size() && is_ident_char(src[j])) ++j;
+      t.kind = Token::kIdent;
+      t.text = src.substr(i, j - i);
+      i = j;
+    } else if (is_digit(c) ||
+               (c == '.' && i + 1 < src.size() && is_digit(src[i + 1]))) {
+      const char* first = src.data() + i;
+      const char* last = src.data() + src.size();
+      double v = 0.0;
+      const auto [p, ec] = std::from_chars(first, last, v);
+      if (ec != std::errc()) fail("bad number literal", i);
+      t.kind = Token::kNumber;
+      t.number = v;
+      t.text = src.substr(i, static_cast<std::size_t>(p - first));
+      i += static_cast<std::size_t>(p - first);
+    } else if (c == '\'' || c == '"') {
+      const std::size_t close = src.find(c, i + 1);
+      if (close == std::string_view::npos)
+        fail("unterminated string literal", i);
+      t.kind = Token::kString;
+      t.text = src.substr(i + 1, close - i - 1);
+      i = close + 1;
+    } else {
+      // Two-char operators first.
+      static constexpr std::string_view kTwo[] = {">=", "<=", "==", "!="};
+      t.kind = Token::kPunct;
+      t.text = src.substr(i, 1);
+      for (std::string_view two : kTwo)
+        if (src.substr(i, 2) == two) t.text = src.substr(i, 2);
+      if (std::string_view("()+-*/<>.,!=").find(t.text[0]) ==
+          std::string_view::npos)
+        fail("unexpected character '" + std::string(1, c) + "'", i);
+      i += t.text.size();
+    }
+    out.push_back(t);
+  }
+  out.push_back(Token{Token::kEnd, {}, 0.0, src.size()});
+  return out;
+}
+
+/// A resolved metric reference: the column name plus how it was written.
+struct MetricRef {
+  std::string column;
+  std::string display;
+  std::size_t offset = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : toks_(lex(src)) {}
+
+  Query parse_query() {
+    Query q;
+    bool saw_match = false, saw_where = false, saw_select = false;
+    bool saw_order = false, saw_limit = false;
+    for (;;) {
+      const Token& t = peek();
+      if (t.kind == Token::kEnd) break;
+      if (t.kind != Token::kIdent)
+        fail("expected a clause keyword (match/where/select/order/limit)",
+             t.offset);
+      if (t.text == "match") {
+        if (std::exchange(saw_match, true)) fail("duplicate 'match'", t.offset);
+        next();
+        const Token& s = peek();
+        if (s.kind != Token::kString)
+          fail("expected a quoted path pattern after 'match'", s.offset);
+        q.pattern = std::string(s.text);
+        q.pattern_offset = s.offset + 1;  // inside the quotes
+        next();
+      } else if (t.text == "where") {
+        if (std::exchange(saw_where, true)) fail("duplicate 'where'", t.offset);
+        next();
+        q.where = parse_or();
+      } else if (t.text == "select") {
+        if (std::exchange(saw_select, true))
+          fail("duplicate 'select'", t.offset);
+        next();
+        for (;;) {
+          q.select.push_back(parse_select_item());
+          if (!accept_punct(",")) break;
+        }
+      } else if (t.text == "order") {
+        if (std::exchange(saw_order, true)) fail("duplicate 'order'", t.offset);
+        next();
+        if (peek().kind != Token::kIdent || peek().text != "by")
+          fail("expected 'by' after 'order'", peek().offset);
+        next();
+        const MetricRef m = parse_metric();
+        q.order_by = m.column;
+        q.order_by_offset = m.offset;
+        if (peek().kind == Token::kIdent &&
+            (peek().text == "asc" || peek().text == "desc")) {
+          q.order_desc = peek().text == "desc";
+          next();
+        }
+      } else if (t.text == "limit") {
+        if (std::exchange(saw_limit, true)) fail("duplicate 'limit'", t.offset);
+        next();
+        const Token& n = peek();
+        if (n.kind != Token::kNumber || n.number < 1.0 ||
+            n.number != static_cast<double>(
+                            static_cast<std::uint64_t>(n.number)))
+          fail("'limit' needs a positive integer", n.offset);
+        q.limit = static_cast<std::uint64_t>(n.number);
+        next();
+      } else {
+        fail("unknown clause '" + std::string(t.text) +
+                 "' (expected match/where/select/order/limit)",
+             t.offset);
+      }
+    }
+    return q;
+  }
+
+  std::unique_ptr<Expr> parse_bare_predicate() {
+    auto e = parse_or();
+    if (peek().kind != Token::kEnd)
+      fail("unexpected trailing input after predicate", peek().offset);
+    return e;
+  }
+
+ private:
+  const Token& peek() const { return toks_[pos_]; }
+  const Token& next() { return toks_[pos_++]; }
+
+  bool accept_punct(std::string_view p) {
+    if (peek().kind == Token::kPunct && peek().text == p) {
+      next();
+      return true;
+    }
+    return false;
+  }
+
+  static std::unique_ptr<Expr> make(ExprOp op, std::size_t offset,
+                                    std::unique_ptr<Expr> lhs = nullptr,
+                                    std::unique_ptr<Expr> rhs = nullptr) {
+    auto e = std::make_unique<Expr>();
+    e->op = op;
+    e->offset = offset;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+  }
+
+  MetricRef parse_metric() {
+    const Token& t = peek();
+    MetricRef m;
+    m.offset = t.offset;
+    if (t.kind == Token::kString) {
+      m.column = std::string(t.text);
+      m.display = "\"" + m.column + "\"";
+      next();
+      return m;
+    }
+    if (t.kind != Token::kIdent)
+      fail("expected a metric (e.g. cycles.incl or a quoted column name)",
+           t.offset);
+    const std::string base(t.text);
+    next();
+    if (accept_punct(".")) {
+      const Token& s = peek();
+      if (s.kind != Token::kIdent || (s.text != "incl" && s.text != "excl"))
+        fail("expected 'incl' or 'excl' after '.'", s.offset);
+      m.column = base + (s.text == "incl" ? " (I)" : " (E)");
+      m.display = base + "." + std::string(s.text);
+      next();
+      return m;
+    }
+    m.column = base;
+    m.display = base;
+    return m;
+  }
+
+  SelectItem parse_select_item() {
+    const Token& t = peek();
+    if (t.kind == Token::kIdent) {
+      SelectItem::Agg agg = SelectItem::Agg::kNone;
+      if (t.text == "count") agg = SelectItem::Agg::kCount;
+      if (t.text == "sum") agg = SelectItem::Agg::kSum;
+      if (t.text == "min") agg = SelectItem::Agg::kMin;
+      if (t.text == "max") agg = SelectItem::Agg::kMax;
+      if (t.text == "mean") agg = SelectItem::Agg::kMean;
+      if (agg != SelectItem::Agg::kNone && toks_[pos_ + 1].kind == Token::kPunct &&
+          toks_[pos_ + 1].text == "(") {
+        const std::string fn(t.text);
+        next();
+        next();  // '('
+        SelectItem item;
+        item.agg = agg;
+        if (agg == SelectItem::Agg::kCount) {
+          if (!accept_punct("*"))
+            fail("expected '*' in count(*)", peek().offset);
+          item.display = "count(*)";
+        } else {
+          const MetricRef m = parse_metric();
+          item.metric = m.column;
+          item.display = fn + "(" + m.display + ")";
+        }
+        if (!accept_punct(")"))
+          fail("expected ')' to close " + fn + "(...)", peek().offset);
+        return item;
+      }
+    }
+    const MetricRef m = parse_metric();
+    SelectItem item;
+    item.metric = m.column;
+    item.display = m.display;
+    return item;
+  }
+
+  std::unique_ptr<Expr> parse_or() {
+    auto e = parse_and();
+    while (peek().kind == Token::kIdent && peek().text == "or") {
+      const std::size_t off = next().offset;
+      e = make(ExprOp::kOr, off, std::move(e), parse_and());
+    }
+    return e;
+  }
+
+  std::unique_ptr<Expr> parse_and() {
+    auto e = parse_not();
+    while (peek().kind == Token::kIdent && peek().text == "and") {
+      const std::size_t off = next().offset;
+      e = make(ExprOp::kAnd, off, std::move(e), parse_not());
+    }
+    return e;
+  }
+
+  std::unique_ptr<Expr> parse_not() {
+    if (peek().kind == Token::kIdent && peek().text == "not") {
+      const std::size_t off = next().offset;
+      return make(ExprOp::kNot, off, parse_not());
+    }
+    return parse_cmp();
+  }
+
+  std::unique_ptr<Expr> parse_cmp() {
+    auto e = parse_sum();
+    const Token& t = peek();
+    if (t.kind == Token::kPunct) {
+      ExprOp op;
+      if (t.text == ">")
+        op = ExprOp::kGt;
+      else if (t.text == ">=")
+        op = ExprOp::kGe;
+      else if (t.text == "<")
+        op = ExprOp::kLt;
+      else if (t.text == "<=")
+        op = ExprOp::kLe;
+      else if (t.text == "==")
+        op = ExprOp::kEq;
+      else if (t.text == "!=")
+        op = ExprOp::kNe;
+      else
+        return e;
+      const std::size_t off = next().offset;
+      return make(op, off, std::move(e), parse_sum());
+    }
+    return e;
+  }
+
+  std::unique_ptr<Expr> parse_sum() {
+    auto e = parse_term();
+    for (;;) {
+      // Read the offset before std::move(e) can be sequenced first.
+      const std::size_t off = e->offset;
+      if (accept_punct("+"))
+        e = make(ExprOp::kAdd, off, std::move(e), parse_term());
+      else if (accept_punct("-"))
+        e = make(ExprOp::kSub, off, std::move(e), parse_term());
+      else
+        return e;
+    }
+  }
+
+  std::unique_ptr<Expr> parse_term() {
+    auto e = parse_unary();
+    for (;;) {
+      const std::size_t off = e->offset;
+      if (accept_punct("*"))
+        e = make(ExprOp::kMul, off, std::move(e), parse_unary());
+      else if (accept_punct("/"))
+        e = make(ExprOp::kDiv, off, std::move(e), parse_unary());
+      else
+        return e;
+    }
+  }
+
+  std::unique_ptr<Expr> parse_unary() {
+    const Token& t = peek();
+    if (t.kind == Token::kPunct && t.text == "-") {
+      const std::size_t off = next().offset;
+      return make(ExprOp::kNeg, off, parse_unary());
+    }
+    if (t.kind == Token::kPunct && t.text == "(") {
+      next();
+      auto e = parse_or();
+      if (!accept_punct(")")) fail("expected ')'", peek().offset);
+      return e;
+    }
+    if (t.kind == Token::kNumber) {
+      auto e = make(ExprOp::kNumber, t.offset);
+      e->number = t.number;
+      next();
+      return e;
+    }
+    if (t.kind == Token::kIdent && t.text == "total") {
+      next();
+      return make(ExprOp::kTotal, t.offset);
+    }
+    if (t.kind == Token::kIdent || t.kind == Token::kString) {
+      const MetricRef m = parse_metric();
+      auto e = make(ExprOp::kMetric, m.offset);
+      e->metric = m.column;
+      return e;
+    }
+    fail("expected a value (number, metric, 'total', or parenthesized "
+         "expression)",
+         t.offset);
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+// --- canonical printer ------------------------------------------------------
+
+/// Deterministic number rendering: integers print without a fraction,
+/// everything else with the fewest digits that round-trip a parse
+/// (so 0.05 prints as "0.05", not "0.050000000000000003").
+std::string format_num(double v) {
+  char buf[40];
+  constexpr double kExact = 9007199254740992.0;  // 2^53
+  if (v == std::floor(v) && v >= -kExact && v <= kExact) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+bool is_bare_ident(std::string_view s) {
+  if (s.empty() || !is_ident_start(s[0])) return false;
+  for (char c : s)
+    if (!is_ident_char(c)) return false;
+  return true;
+}
+
+/// Column names print bare when they re-lex as one identifier; otherwise
+/// double-quoted (both forms re-parse to the same column).
+std::string print_metric(const std::string& column) {
+  if (is_bare_ident(column)) return column;
+  return "\"" + column + "\"";
+}
+
+int precedence(ExprOp op) {
+  switch (op) {
+    case ExprOp::kOr:
+      return 1;
+    case ExprOp::kAnd:
+      return 2;
+    case ExprOp::kNot:
+      return 3;
+    case ExprOp::kGt:
+    case ExprOp::kGe:
+    case ExprOp::kLt:
+    case ExprOp::kLe:
+    case ExprOp::kEq:
+    case ExprOp::kNe:
+      return 4;
+    case ExprOp::kAdd:
+    case ExprOp::kSub:
+      return 5;
+    case ExprOp::kMul:
+    case ExprOp::kDiv:
+      return 6;
+    case ExprOp::kNeg:
+      return 7;
+    default:
+      return 8;  // leaves
+  }
+}
+
+const char* op_spelling(ExprOp op) {
+  switch (op) {
+    case ExprOp::kAdd:
+      return " + ";
+    case ExprOp::kSub:
+      return " - ";
+    case ExprOp::kMul:
+      return " * ";
+    case ExprOp::kDiv:
+      return " / ";
+    case ExprOp::kGt:
+      return " > ";
+    case ExprOp::kGe:
+      return " >= ";
+    case ExprOp::kLt:
+      return " < ";
+    case ExprOp::kLe:
+      return " <= ";
+    case ExprOp::kEq:
+      return " == ";
+    case ExprOp::kNe:
+      return " != ";
+    case ExprOp::kAnd:
+      return " and ";
+    case ExprOp::kOr:
+      return " or ";
+    default:
+      return "?";
+  }
+}
+
+void print_expr(const Expr& e, int parent_prec, std::string& out) {
+  const int prec = precedence(e.op);
+  switch (e.op) {
+    case ExprOp::kNumber: {
+      out += format_num(e.number);
+      return;
+    }
+    case ExprOp::kMetric:
+      out += print_metric(e.metric);
+      return;
+    case ExprOp::kTotal:
+      out += "total";
+      return;
+    case ExprOp::kNeg:
+      out += "-";
+      print_expr(*e.lhs, prec, out);
+      return;
+    case ExprOp::kNot:
+      out += "not ";
+      print_expr(*e.lhs, prec, out);
+      return;
+    default: {
+      const bool wrap = prec < parent_prec;
+      if (wrap) out += "(";
+      print_expr(*e.lhs, prec, out);
+      out += op_spelling(e.op);
+      // +1 on the right side keeps subtraction/division re-parsable
+      // (a - (b - c) must keep its parens).
+      print_expr(*e.rhs, prec + 1, out);
+      if (wrap) out += ")";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Query parse(std::string_view text) {
+  PV_SPAN("query.parse");
+  PV_COUNTER_ADD("query.parses", 1);
+  return Parser(text).parse_query();
+}
+
+std::unique_ptr<Expr> parse_predicate(std::string_view text) {
+  return Parser(text).parse_bare_predicate();
+}
+
+std::string to_text(const Query& q) {
+  std::string out;
+  auto sep = [&] {
+    if (!out.empty()) out += " ";
+  };
+  if (!q.pattern.empty()) {
+    out += "match '" + q.pattern + "'";
+  }
+  if (q.where) {
+    sep();
+    out += "where ";
+    print_expr(*q.where, 0, out);
+  }
+  if (!q.select.empty()) {
+    sep();
+    out += "select ";
+    for (std::size_t i = 0; i < q.select.size(); ++i) {
+      if (i > 0) out += ", ";
+      const SelectItem& s = q.select[i];
+      if (s.agg == SelectItem::Agg::kNone)
+        out += print_metric(s.metric);
+      else
+        out += s.display;
+    }
+  }
+  if (!q.order_by.empty()) {
+    sep();
+    out += "order by " + print_metric(q.order_by) +
+           (q.order_desc ? " desc" : " asc");
+  }
+  if (q.limit > 0) {
+    sep();
+    out += "limit " + std::to_string(q.limit);
+  }
+  return out;
+}
+
+std::string to_text(const Expr& e) {
+  std::string out;
+  print_expr(e, 0, out);
+  return out;
+}
+
+std::string resolve_metric_name(std::string_view ref) {
+  const std::size_t dot = ref.rfind('.');
+  if (dot != std::string_view::npos) {
+    const std::string_view suffix = ref.substr(dot + 1);
+    if (suffix == "incl")
+      return std::string(ref.substr(0, dot)) + " (I)";
+    if (suffix == "excl")
+      return std::string(ref.substr(0, dot)) + " (E)";
+  }
+  return std::string(ref);
+}
+
+QueryBuilder& QueryBuilder::match(std::string pattern) {
+  q_.pattern = std::move(pattern);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::where(std::string_view predicate) {
+  auto e = parse_predicate(predicate);
+  if (q_.where) {
+    // Successive where() calls AND together.
+    auto conj = std::make_unique<Expr>();
+    conj->op = ExprOp::kAnd;
+    conj->lhs = std::move(q_.where);
+    conj->rhs = std::move(e);
+    q_.where = std::move(conj);
+  } else {
+    q_.where = std::move(e);
+  }
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::select(std::string_view metric) {
+  SelectItem item;
+  item.metric = resolve_metric_name(metric);
+  item.display = std::string(metric);
+  q_.select.push_back(std::move(item));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::aggregate(SelectItem::Agg agg,
+                                      std::string_view metric) {
+  if (agg == SelectItem::Agg::kNone)
+    throw InvalidArgument("QueryBuilder::aggregate: pass a real aggregate");
+  SelectItem item;
+  item.agg = agg;
+  const char* fn = agg == SelectItem::Agg::kCount  ? "count"
+                   : agg == SelectItem::Agg::kSum  ? "sum"
+                   : agg == SelectItem::Agg::kMin  ? "min"
+                   : agg == SelectItem::Agg::kMax  ? "max"
+                                                   : "mean";
+  if (agg == SelectItem::Agg::kCount) {
+    item.display = "count(*)";
+  } else {
+    if (metric.empty())
+      throw InvalidArgument(std::string("QueryBuilder::aggregate: ") + fn +
+                            " needs a metric");
+    item.metric = resolve_metric_name(metric);
+    item.display = std::string(fn) + "(" + std::string(metric) + ")";
+  }
+  q_.select.push_back(std::move(item));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::order_by(std::string_view metric,
+                                     bool descending) {
+  q_.order_by = resolve_metric_name(metric);
+  q_.order_desc = descending;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::limit(std::uint64_t n) {
+  q_.limit = n;
+  return *this;
+}
+
+Query QueryBuilder::build() { return std::move(q_); }
+
+}  // namespace pathview::query

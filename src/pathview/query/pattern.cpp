@@ -1,0 +1,77 @@
+#include "pathview/query/pattern.hpp"
+
+#include "pathview/support/error.hpp"
+
+namespace pathview::query {
+
+PathPattern parse_pattern(std::string_view text, std::size_t offset) {
+  PathPattern p;
+  p.text = std::string(text);
+  if (text.empty()) return p;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i < text.size() && text[i] != '/') continue;
+    const std::string_view seg = text.substr(start, i - start);
+    if (seg.empty())
+      throw ParseError("query: empty path-pattern segment", offset + start);
+    PathPattern::Segment s;
+    if (seg == "**")
+      s.any_depth = true;
+    else
+      s.glob = std::string(seg);
+    p.segments.push_back(std::move(s));
+    start = i + 1;
+  }
+  // 63 non-accept states + 1 accept bit must fit the 64-bit state set.
+  if (p.segments.size() > 63)
+    throw ParseError("query: path pattern has too many segments (max 63)",
+                     offset);
+  return p;
+}
+
+bool glob_match(std::string_view glob, std::string_view name) {
+  // Classic two-pointer glob with single-star backtracking.
+  std::size_t gi = 0, ni = 0;
+  std::size_t star = std::string_view::npos, star_ni = 0;
+  while (ni < name.size()) {
+    if (gi < glob.size() && (glob[gi] == '?' || glob[gi] == name[ni])) {
+      ++gi;
+      ++ni;
+    } else if (gi < glob.size() && glob[gi] == '*') {
+      star = gi++;
+      star_ni = ni;
+    } else if (star != std::string_view::npos) {
+      gi = star + 1;
+      ni = ++star_ni;
+    } else {
+      return false;
+    }
+  }
+  while (gi < glob.size() && glob[gi] == '*') ++gi;
+  return gi == glob.size();
+}
+
+PatternMatcher::PatternMatcher(const PathPattern& pattern)
+    : segs_(pattern.segments), nsegs_(pattern.segments.size()) {}
+
+PatternMatcher::StateSet PatternMatcher::closure(StateSet s) const {
+  // Ascending sweep: consecutive '**' segments chain their epsilon moves.
+  for (std::size_t i = 0; i < nsegs_; ++i)
+    if (((s >> i) & 1) && segs_[i].any_depth) s |= StateSet{1} << (i + 1);
+  return s;
+}
+
+PatternMatcher::StateSet PatternMatcher::advance(StateSet s,
+                                                 std::string_view name) const {
+  StateSet t = 0;
+  for (std::size_t i = 0; i < nsegs_; ++i) {
+    if (!((s >> i) & 1)) continue;
+    if (segs_[i].any_depth)
+      t |= StateSet{1} << i;  // '**' absorbs this frame, stays live
+    else if (glob_match(segs_[i].glob, name))
+      t |= StateSet{1} << (i + 1);
+  }
+  return closure(t);
+}
+
+}  // namespace pathview::query

@@ -1,0 +1,143 @@
+// pathview::query — a programmatic query surface over calling context trees.
+//
+// Analysts at scale ask questions instead of paging view rows (the Hatchet
+// line of work): match call-path patterns, filter by metric predicates,
+// aggregate subtrees. A query is either written in the compact text grammar
+//
+//   match 'main/**/mpi_*' where cycles.incl > 0.05*total
+//   order by cycles.excl desc limit 20
+//
+// or assembled with QueryBuilder; both produce the same AST (Query), which
+// plan.hpp compiles against a concrete CCT + MetricTable and executes.
+//
+// Grammar (clauses in any order, each at most once):
+//   query    := clause*
+//   clause   := 'match' STRING
+//             | 'where' expr
+//             | 'select' item (',' item)*
+//             | 'order' 'by' metric ('asc'|'desc')?
+//             | 'limit' INT
+//   item     := metric | ('count'|'sum'|'min'|'max'|'mean') '(' arg ')'
+//   arg      := '*' (count only) | metric
+//   expr     := or-precedence boolean/arithmetic over metrics, numbers,
+//               'total', with  and or not  + - * /  > >= < <= == !=
+//   metric   := EVENT '.' ('incl'|'excl')   e.g. cycles.incl -> "cycles (I)"
+//             | IDENT                        a column named exactly IDENT
+//             | STRING                       a quoted column name, e.g.
+//                                            "IMBALANCE %"
+//
+// `total` denotes the root-row value of the nearest metric in the same
+// comparison (so `cycles.incl > 0.05*total` reads "more than 5% of the
+// experiment's inclusive cycles"). Parse errors throw pathview::ParseError
+// carrying the byte offset of the offending token.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pathview::query {
+
+/// Expression AST node kinds (predicates and arithmetic share one tree).
+enum class ExprOp : std::uint8_t {
+  kNumber,  // literal
+  kMetric,  // metric column reference (resolved at compile time)
+  kTotal,   // root-row value of the comparison's anchor metric
+  kNeg,     // unary minus (lhs)
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kGt,
+  kGe,
+  kLt,
+  kLe,
+  kEq,
+  kNe,
+  kAnd,
+  kOr,
+  kNot,  // lhs only
+};
+
+struct Expr {
+  ExprOp op = ExprOp::kNumber;
+  double number = 0.0;     // kNumber
+  std::string metric;      // kMetric: the column *name* to resolve
+  std::size_t offset = 0;  // source byte offset (compile errors point here)
+  std::unique_ptr<Expr> lhs;
+  std::unique_ptr<Expr> rhs;
+};
+
+/// One `select` output: a plain metric column or an aggregate over the
+/// matched row set.
+struct SelectItem {
+  enum class Agg : std::uint8_t { kNone, kCount, kSum, kMin, kMax, kMean };
+  Agg agg = Agg::kNone;
+  std::string metric;   // column name; empty for count(*)
+  std::string display;  // header text, as written (e.g. "sum(cycles.incl)")
+};
+
+/// A parsed (or built) query. Movable, not copyable (owns the Expr tree).
+struct Query {
+  std::string pattern;          // '' = every node
+  std::size_t pattern_offset = 0;  // byte offset of the pattern literal
+  std::unique_ptr<Expr> where;  // null = no predicate
+  std::vector<SelectItem> select;  // empty = referenced metrics (or all)
+  std::string order_by;            // column name; '' = CCT node order
+  std::size_t order_by_offset = 0;
+  bool order_desc = true;
+  std::uint64_t limit = 0;  // 0 = unlimited
+};
+
+/// Parse the text grammar. Throws pathview::ParseError (with byte offset)
+/// on malformed input.
+Query parse(std::string_view text);
+
+/// Parse just a predicate expression (the `where` body) — the builder's
+/// where() uses this so both surfaces share one grammar.
+std::unique_ptr<Expr> parse_predicate(std::string_view text);
+
+/// Canonical text rendering of a query (explain headers, serve echoes).
+/// Column names round-trip as quoted strings, so the output re-parses.
+std::string to_text(const Query& q);
+
+/// Canonical rendering of one expression (used by Plan::explain to show the
+/// predicate after `total` has been folded to a constant).
+std::string to_text(const Expr& e);
+
+/// Fluent C++ builder producing the same AST as the text grammar.
+///
+///   Query q = QueryBuilder()
+///                 .match("main/**/mpi_*")
+///                 .where("cycles.incl > 0.05*total")
+///                 .order_by("cycles.excl", /*descending=*/true)
+///                 .limit(20)
+///                 .build();
+class QueryBuilder {
+ public:
+  /// Call-path pattern ('/'-separated segments; per-segment globs * and ?;
+  /// '**' matches any number of frames).
+  QueryBuilder& match(std::string pattern);
+  /// Predicate in the text grammar (parsed immediately; throws ParseError).
+  QueryBuilder& where(std::string_view predicate);
+  /// Append one projected metric ("cycles.incl", "IMBALANCE %", ...).
+  QueryBuilder& select(std::string_view metric);
+  /// Append one aggregate output; metric is ignored for kCount.
+  QueryBuilder& aggregate(SelectItem::Agg agg, std::string_view metric = "");
+  QueryBuilder& order_by(std::string_view metric, bool descending = true);
+  QueryBuilder& limit(std::uint64_t n);
+  /// Move the built query out (the builder is then empty).
+  Query build();
+
+ private:
+  Query q_;
+};
+
+/// Resolve a metric reference as the grammar does: `EVENT.incl`/`EVENT.excl`
+/// become the attribution column names ("cycles (I)" / "cycles (E)");
+/// anything else is a literal column name.
+std::string resolve_metric_name(std::string_view ref);
+
+}  // namespace pathview::query

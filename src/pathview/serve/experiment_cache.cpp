@@ -30,10 +30,10 @@ std::size_t estimate_experiment_bytes(const db::Experiment& exp) {
 namespace {
 
 std::shared_ptr<const db::Experiment> load(const std::string& path) {
-  const bool binary =
-      path.size() > 5 && path.substr(path.size() - 5) == ".pvdb";
-  return std::make_shared<const db::Experiment>(binary ? db::load_binary(path)
-                                                       : db::load_xml(path));
+  // Content-sniffing open (strict: a damaged database is an error reply,
+  // never silently-degraded shared state).
+  return std::make_shared<const db::Experiment>(
+      std::move(db::open(path).experiment));
 }
 
 }  // namespace

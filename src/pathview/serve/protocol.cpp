@@ -30,6 +30,8 @@ constexpr OpNames kOpNames[kNumOps] = {
     {"ping", "serve.ping"},
     {"stats", "serve.stats"},
     {"shutdown", "serve.shutdown"},
+    {"query", "serve.query"},
+    {"explain", "serve.explain"},
 };
 
 }  // namespace

@@ -73,9 +73,11 @@ enum class Op : std::uint8_t {
   kPing,           // {} -> version handshake
   kStats,          // {} -> live server stats (NOT byte-deterministic)
   kShutdown,       // {} -> ack, then the daemon begins graceful shutdown
+  kQuery,          // {session, q} -> query result rows + stats
+  kExplain,        // {session, q} -> compiled query plan text
 };
 
-inline constexpr std::size_t kNumOps = 13;
+inline constexpr std::size_t kNumOps = 15;
 
 /// Wire name of an op ("open", "expand", ...).
 const char* op_name(Op op);

@@ -1,0 +1,30 @@
+#include "pathview/serve/query_codec.hpp"
+
+namespace pathview::serve {
+
+JsonValue encode_query_result(const query::QueryResult& r) {
+  JsonValue out = JsonValue::object();
+  JsonValue cols = JsonValue::array();
+  for (const std::string& c : r.columns) cols.push(JsonValue::string(c));
+  out.set("columns", std::move(cols));
+  JsonValue rows = JsonValue::array();
+  for (const query::ResultRow& row : r.rows) {
+    JsonValue jr = JsonValue::object();
+    jr.set("node", JsonValue::number(static_cast<std::uint64_t>(row.node)));
+    jr.set("path", JsonValue::string(row.path));
+    jr.set("label", JsonValue::string(row.label));
+    JsonValue vals = JsonValue::array();
+    for (const double v : row.values) vals.push(JsonValue::number(v));
+    jr.set("values", std::move(vals));
+    rows.push(std::move(jr));
+  }
+  out.set("rows", std::move(rows));
+  JsonValue stats = JsonValue::object();
+  stats.set("nodes_visited", JsonValue::number(r.stats.nodes_visited));
+  stats.set("rows_scanned", JsonValue::number(r.stats.rows_scanned));
+  stats.set("rows_matched", JsonValue::number(r.stats.rows_matched));
+  out.set("stats", std::move(stats));
+  return out;
+}
+
+}  // namespace pathview::serve

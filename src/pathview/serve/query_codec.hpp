@@ -1,0 +1,18 @@
+// Shared JSON encoding of query results, used by both the pvserve `query`
+// op and pvquery --json. One encoder means the two surfaces are
+// byte-identical for the same query over the same experiment — the query
+// acceptance invariant, and what tools_test asserts.
+#pragma once
+
+#include "pathview/query/plan.hpp"
+#include "pathview/serve/json.hpp"
+
+namespace pathview::serve {
+
+/// {"columns":[...],"rows":[{"node":N,"path":"...","label":"...",
+///  "values":[...]}],"stats":{"nodes_visited":..,"rows_scanned":..,
+///  "rows_matched":..}} — deterministic field order, numbers via the
+/// protocol's canonical dump_number.
+JsonValue encode_query_result(const query::QueryResult& r);
+
+}  // namespace pathview::serve

@@ -6,7 +6,10 @@
 #include "pathview/core/flatten.hpp"
 #include "pathview/core/sort.hpp"
 #include "pathview/metrics/attribution.hpp"
+#include "pathview/metrics/derived.hpp"
 #include "pathview/obs/obs.hpp"
+#include "pathview/query/plan.hpp"
+#include "pathview/serve/query_codec.hpp"
 #include "pathview/support/error.hpp"
 
 namespace pathview::serve {
@@ -54,7 +57,16 @@ Session::Session(std::string sid, std::string path,
   // Stored derived metrics become columns of this session's tables, exactly
   // as pvviewer applies them on load.
   for (const metrics::MetricDesc& d : exp_->user_metrics())
-    viewer_->add_derived(d.name, d.formula);
+    add_derived(d.name, d.formula);
+}
+
+metrics::ColumnId Session::add_derived(const std::string& name,
+                                       const std::string& formula) {
+  const metrics::ColumnId c = viewer_->add_derived(name, formula);
+  // Mirror into the attribution table (the query substrate, rows = CCT node
+  // ids) so `query`/`explain` can reference every column the views show.
+  metrics::add_derived_metric(attr_.table, name, formula);
+  return c;
 }
 
 void Session::check_node(std::uint64_t id) const {
@@ -326,6 +338,8 @@ JsonValue SessionManager::do_session_op(const Request& req) {
     case Op::kHotPath: return op_hot_path(*session, req);
     case Op::kMetrics: return op_metrics(*session, req);
     case Op::kTimelineWindow: return op_timeline_window(*session, req);
+    case Op::kQuery: return op_query(*session, req, /*explain_only=*/false);
+    case Op::kExplain: return op_query(*session, req, /*explain_only=*/true);
     default:
       throw ServeError(ErrorKind::kBadRequest, "op not valid on a session");
   }
@@ -434,11 +448,32 @@ JsonValue SessionManager::op_metrics(Session& s, const Request& req) {
       throw ServeError(ErrorKind::kBadRequest,
                        "metrics.derive needs \"name\" and \"formula\"");
     // Bad formulas throw InvalidArgument -> bad_request.
-    const metrics::ColumnId c = s.viewer_->add_derived(name, formula);
+    const metrics::ColumnId c = s.add_derived(name, formula);
     resp.set("derived",
              JsonValue::number(static_cast<std::uint64_t>(c)));
   }
   resp.set("columns", s.encode_columns());
+  return resp;
+}
+
+JsonValue SessionManager::op_query(Session& s, const Request& req,
+                                   bool explain_only) {
+  const std::string text = req.body.get_string("q", "");
+  if (text.empty())
+    throw ServeError(ErrorKind::kBadRequest,
+                     std::string(explain_only ? "explain" : "query") +
+                         ": missing \"q\"");
+  // ParseError (grammar, with byte offset) and InvalidArgument (unknown
+  // columns) surface as kBadRequest via handle().
+  query::Plan plan =
+      query::compile(query::parse(text), s.exp_->cct(), s.attr_.table);
+  JsonValue resp = ok_response(req.id);
+  resp.set("query", JsonValue::string(plan.text()));
+  if (explain_only) {
+    resp.set("plan", JsonValue::string(plan.explain()));
+    return resp;
+  }
+  resp.set("result", encode_query_result(plan.execute()));
   return resp;
 }
 

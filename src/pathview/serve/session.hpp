@@ -40,6 +40,12 @@ class Session {
  private:
   friend class SessionManager;
 
+  /// Add a derived metric to the three views AND the attribution table, so
+  /// interactive columns and the query substrate never diverge. Returns the
+  /// view-table column id (what the `metrics` op reports).
+  metrics::ColumnId add_derived(const std::string& name,
+                                const std::string& formula);
+
   /// Rows for `ids` in the current view: id, label, expandable flag,
   /// call-site flag, and every metric column's value.
   JsonValue encode_rows(const std::vector<core::ViewNodeId>& ids);
@@ -109,6 +115,9 @@ class SessionManager {
   JsonValue op_hot_path(Session& s, const Request& req);
   JsonValue op_metrics(Session& s, const Request& req);
   JsonValue op_timeline_window(Session& s, const Request& req);
+  /// `query` and `explain`: compile the "q" text against the session's CCT
+  /// and attribution table (rows = CCT node ids, independent of view state).
+  JsonValue op_query(Session& s, const Request& req, bool explain_only);
 
   std::shared_ptr<Session> find(const std::string& sid) const;
 

@@ -38,4 +38,9 @@ bool StringTable::contains(std::string_view s) const {
   return index_.find(s) != index_.end();
 }
 
+std::optional<NameId> StringTable::lookup(std::string_view s) const {
+  if (auto it = index_.find(s); it != index_.end()) return it->second;
+  return std::nullopt;
+}
+
 }  // namespace pathview

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -37,6 +38,10 @@ class StringTable {
 
   /// True if `s` has already been interned.
   bool contains(std::string_view s) const;
+
+  /// The id of `s` if it has been interned, nullopt otherwise. Unlike
+  /// intern(), never mutates the table (usable on shared const tables).
+  std::optional<NameId> lookup(std::string_view s) const;
 
  private:
   // deque: element addresses are stable under growth, so index_ may hold

@@ -117,14 +117,31 @@ bool CommandInterpreter::execute(std::string_view line) {
       *out_ << "hot path (" << path.size() << " scopes), ends at: "
             << ctl_->current().label(path.back()) << "\n";
     } else if (cmd == "sort") {
-      std::uint32_t col = 0;
-      const std::string_view c = next_word(rest);
-      if (!parse_u32(c, col) || col >= ctl_->current().table().num_columns()) {
-        *out_ << "error: sort <column> [asc|desc]\n";
+      // sort COL [asc|desc] — COL is a column index or a (quoted) name.
+      std::string_view spec = rest;
+      bool desc = true;
+      const std::size_t sp = spec.find_last_of(" \t");
+      if (sp != std::string_view::npos) {
+        const std::string_view dir = trim(spec.substr(sp));
+        if (dir == "asc" || dir == "desc") {
+          desc = dir != "asc";
+          spec = trim(spec.substr(0, sp));
+        }
+      }
+      std::optional<metrics::ColumnId> col;
+      if (std::uint32_t idx = 0; parse_u32(spec, idx)) {
+        if (idx < ctl_->current().table().num_columns()) col = idx;
+      } else {
+        if (spec.size() >= 2 && spec.front() == '"' && spec.back() == '"')
+          spec = spec.substr(1, spec.size() - 2);
+        col = ctl_->find_column(spec);
+      }
+      if (!col) {
+        *out_ << "error: sort <column|\"metric name\"> [asc|desc]\n";
         return true;
       }
-      ctl_->sort_by(col, rest != "asc");
-      *out_ << "sorted by column " << col << "\n";
+      ctl_->sort_by(*col, desc);
+      *out_ << "sorted by column " << *col << "\n";
     } else if (cmd == "zoom") {
       std::uint32_t id = 0;
       if (!parse_u32(rest, id) || id >= ctl_->current().size()) {
@@ -246,7 +263,7 @@ void CommandInterpreter::cmd_help() {
            "  render [maxrows]         draw the current view\n"
            "  expand N | collapse N    open/close a scope\n"
            "  hotpath [N] [COL]        expand the hot path (Eq. 3)\n"
-           "  sort COL [asc|desc]      sort by a metric column\n"
+           "  sort COL [asc|desc]      sort by a metric column (index or name)\n"
            "  flatten | unflatten      Flat-View flattening\n"
            "  zoom N | unzoom          restrict display to a subtree\n"
            "  derive NAME = FORMULA    user-defined derived metric\n"

@@ -7,7 +7,7 @@
 //   render [maxrows]             draw the current view (with node ids)
 //   expand N / collapse N        open/close a scope
 //   hotpath [N] [COL]            Eq. 3 expansion (default: root, column 0)
-//   sort COL [asc|desc]          sort every level by a metric column
+//   sort COL [asc|desc]          sort every level by a column index or name
 //   flatten / unflatten          Flat-View flattening
 //   derive NAME = FORMULA        define a derived metric ($n column refs)
 //   columns                      list metric columns

@@ -58,6 +58,12 @@ class ViewerController {
   metrics::ColumnId add_derived(const std::string& name,
                                 const std::string& formula);
 
+  /// Resolve a metric column of the current view by name (column layouts are
+  /// identical across views, so the id is valid in all three).
+  std::optional<metrics::ColumnId> find_column(std::string_view name) {
+    return current().table().find(name);
+  }
+
   // --- metric-column visibility (the paper's "select which metric to
   // observe"); empty selection = show everything -------------------------------
   void show_columns(std::vector<metrics::ColumnId> cols);

@@ -107,7 +107,113 @@ TEST(MetricTable, GrowsRowsAcrossColumns) {
   EXPECT_EQ(t.get(b, 4), 0.0);
   EXPECT_DOUBLE_EQ(t.column_sum(a), 5.0);
   EXPECT_EQ(t.find("b"), b);
-  EXPECT_EQ(t.find("zzz"), t.num_columns());
+  EXPECT_EQ(t.find("zzz"), std::nullopt);
+}
+
+TEST(MetricTable, InternsColumnNames) {
+  MetricTable t;
+  const ColumnId a = t.add_column(
+      MetricDesc{"cycles (I)", MetricKind::kRaw, Event::kCycles, true, {}});
+  const ColumnId b = t.add_column(
+      MetricDesc{"flops (I)", MetricKind::kRaw, Event::kFlops, true, {}});
+  const ColumnId a2 = t.add_column(
+      MetricDesc{"cycles (I)", MetricKind::kRaw, Event::kCycles, true, {}});
+  // Equal names share one interned id; distinct names never collide.
+  EXPECT_EQ(t.name_id(a), t.name_id(a2));
+  EXPECT_NE(t.name_id(a), t.name_id(b));
+  // Lookup by name returns the FIRST column carrying the name.
+  EXPECT_EQ(t.find("cycles (I)"), a);
+  EXPECT_EQ(t.find("flops (I)"), b);
+}
+
+TEST(MetricTable, ScanMatchesTheNaiveRowLoop) {
+  MetricTable t;
+  const ColumnId c = t.add_column(
+      MetricDesc{"c", MetricKind::kRaw, Event::kCycles, true, {}});
+  const ColumnId other = t.add_column(
+      MetricDesc{"other", MetricKind::kRaw, Event::kCycles, true, {}});
+  t.ensure_rows(257);
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    t.set(c, r, static_cast<double>((r * 7919) % 101));
+    t.set(other, r, 1e9);  // never touched by the scan below
+  }
+  const double bound = 50.0;
+  std::vector<RowId> expect;
+  for (std::size_t r = 0; r < t.num_rows(); ++r)
+    if (t.get(c, r) > bound) expect.push_back(static_cast<RowId>(r));
+  std::vector<RowId> got;
+  std::vector<double> vals;
+  const std::size_t n = t.scan(
+      c, [&](double v) { return v > bound; },
+      [&](RowId r, double v) {
+        got.push_back(r);
+        vals.push_back(v);
+      });
+  EXPECT_EQ(n, expect.size());
+  EXPECT_EQ(got, expect);  // row order, same rows
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(vals[i], t.get(c, got[i]));
+}
+
+TEST(MetricTable, GatherCopiesRowsAndChecksBounds) {
+  MetricTable t;
+  const ColumnId c = t.add_column(
+      MetricDesc{"c", MetricKind::kRaw, Event::kCycles, true, {}});
+  t.ensure_rows(5);
+  for (std::size_t r = 0; r < 5; ++r) t.set(c, r, static_cast<double>(r * r));
+  const std::vector<RowId> rows{4, 0, 2};
+  std::vector<double> out(3);
+  t.gather(c, rows, out);
+  EXPECT_EQ(out, (std::vector<double>{16.0, 0.0, 4.0}));
+  std::vector<double> wrong_size(2);
+  EXPECT_THROW(t.gather(c, rows, wrong_size), InvalidArgument);
+  const std::vector<RowId> oob{1, 9};
+  std::vector<double> out2(2);
+  EXPECT_THROW(t.gather(c, oob, out2), InvalidArgument);
+}
+
+TEST(MetricTable, AddRowsAppendsZeroFilled) {
+  MetricTable t;
+  const ColumnId c = t.add_column(
+      MetricDesc{"c", MetricKind::kRaw, Event::kCycles, true, {}});
+  EXPECT_EQ(t.add_rows(2), 0u);
+  t.set(c, 1, 3.0);
+  const RowId first = t.add_rows(3);
+  EXPECT_EQ(first, 2u);
+  EXPECT_EQ(t.num_rows(), 5u);
+  EXPECT_EQ(t.get(c, 1), 3.0);  // existing cells survive the growth
+  for (RowId r = first; r < 5; ++r) EXPECT_EQ(t.get(c, r), 0.0);
+  // ensure_rows never shrinks.
+  t.ensure_rows(1);
+  EXPECT_EQ(t.num_rows(), 5u);
+}
+
+TEST(MetricTable, ColumnSpansAreContiguousAndWritable) {
+  MetricTable t;
+  const ColumnId c = t.add_column(
+      MetricDesc{"c", MetricKind::kRaw, Event::kCycles, true, {}});
+  t.ensure_rows(4);
+  std::span<double> w = t.column_mut(c);
+  ASSERT_EQ(w.size(), 4u);
+  for (std::size_t r = 0; r < w.size(); ++r) w[r] = static_cast<double>(r);
+  const std::span<const double> v = t.column(c);
+  EXPECT_EQ(v.data(), w.data());
+  EXPECT_EQ(t.get(c, 3), 3.0);
+  EXPECT_DOUBLE_EQ(t.column_sum(c), 6.0);
+}
+
+TEST(MetricTable, DegradedBitRoundTripsThroughAttribution) {
+  workloads::PaperExample ex;
+  prof::CanonicalCct cct = prof::correlate(ex.profile(), ex.tree());
+  cct.set_degraded(true);
+  const Attribution attr = attribute_metrics(cct, all_events());
+  EXPECT_TRUE(attr.table.degraded());
+  MetricTable plain;
+  EXPECT_FALSE(plain.degraded());
+  plain.set_degraded(true);
+  EXPECT_TRUE(plain.degraded());
+  plain.set_degraded(false);
+  EXPECT_FALSE(plain.degraded());
 }
 
 // --- derived metrics ---------------------------------------------------------

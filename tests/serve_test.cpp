@@ -96,6 +96,103 @@ TEST(ServeSession, OpenFallsBackToConfiguredDefaultView) {
                                              core::ViewType::kCallers));
 }
 
+Request session_request(int id, Op op, const std::string& sid,
+                        const std::string& q) {
+  Request req;
+  req.id = id;
+  req.op = op;
+  req.body = JsonValue::object();
+  req.body.set("session", JsonValue::string(sid));
+  req.body.set("q", JsonValue::string(q));
+  return req;
+}
+
+TEST(ServeSession, QueryOpExecutesAndEchoesCanonicalText) {
+  TempExperiment exp;
+  SessionManager mgr{SessionManager::Options{}};
+  JsonValue open = mgr.handle(open_request(exp.path()));
+  ASSERT_TRUE(open.get_bool("ok", false)) << open.dump();
+  const std::string sid = open.get_string("session", "");
+
+  JsonValue resp = mgr.handle(session_request(
+      2, Op::kQuery, sid, "order by cycles.incl desc limit 3"));
+  ASSERT_TRUE(resp.get_bool("ok", false)) << resp.dump();
+  // The echo is the canonical text with the order-by column resolved.
+  EXPECT_EQ(resp.get_string("query", ""),
+            "order by \"cycles (I)\" desc limit 3");
+  const std::string dump = resp.dump();
+  EXPECT_NE(dump.find("\"result\""), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"rows\""), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"stats\""), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"rows_matched\""), std::string::npos) << dump;
+}
+
+TEST(ServeSession, ExplainOpReturnsThePlanWithoutExecuting) {
+  TempExperiment exp;
+  SessionManager mgr{SessionManager::Options{}};
+  JsonValue open = mgr.handle(open_request(exp.path()));
+  ASSERT_TRUE(open.get_bool("ok", false)) << open.dump();
+  const std::string sid = open.get_string("session", "");
+
+  JsonValue resp = mgr.handle(session_request(
+      3, Op::kExplain, sid, "where cycles.incl > 0.5*total"));
+  ASSERT_TRUE(resp.get_bool("ok", false)) << resp.dump();
+  const std::string plan = resp.get_string("plan", "");
+  EXPECT_NE(plan.find("columnar scan"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("plan for:"), std::string::npos) << plan;
+  // No result payload on explain.
+  EXPECT_EQ(resp.dump().find("\"result\""), std::string::npos);
+}
+
+TEST(ServeSession, QueryOpRejectsBadInputStructurally) {
+  TempExperiment exp;
+  SessionManager mgr{SessionManager::Options{}};
+  JsonValue open = mgr.handle(open_request(exp.path()));
+  const std::string sid = open.get_string("session", "");
+
+  // Missing "q" and malformed query text both come back as error responses,
+  // never as a dropped connection or a crash.
+  JsonValue missing = mgr.handle(session_request(4, Op::kQuery, sid, ""));
+  EXPECT_FALSE(missing.get_bool("ok", true)) << missing.dump();
+  JsonValue bad = mgr.handle(
+      session_request(5, Op::kQuery, sid, "limit limit"));
+  EXPECT_FALSE(bad.get_bool("ok", true)) << bad.dump();
+  JsonValue unknown_col = mgr.handle(
+      session_request(6, Op::kQuery, sid, "where bogus > 1"));
+  EXPECT_FALSE(unknown_col.get_bool("ok", true)) << unknown_col.dump();
+}
+
+TEST(ServeServer, QueryResponsesAreByteIdenticalAcrossThreadCounts) {
+  TempExperiment exp;
+  std::vector<std::string> replies;
+  for (const int threads : {1, 4}) {
+    Server::Options opts;
+    opts.threads = threads;
+    Server server(opts);
+    server.start();
+    const int fd = connect_to("127.0.0.1", server.port());
+    const std::string open_req =
+        "{\"v\":1,\"id\":1,\"op\":\"open\",\"path\":\"" + exp.path() + "\"}";
+    std::string reply;
+    write_frame(fd, open_req);
+    ASSERT_TRUE(read_frame(fd, &reply));
+    const std::string sid = JsonValue::parse(reply).get_string("session", "");
+    ASSERT_FALSE(sid.empty()) << reply;
+    const std::string query_req =
+        "{\"v\":1,\"id\":2,\"op\":\"query\",\"session\":\"" + sid + "\","
+        "\"q\":\"match '**/g' where cycles.incl > 0.2*total "
+        "order by cycles.incl desc limit 5\"}";
+    write_frame(fd, query_req);
+    ASSERT_TRUE(read_frame(fd, &reply));
+    replies.push_back(reply);
+    ::close(fd);
+    server.stop();
+  }
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_NE(replies[0].find("\"ok\":true"), std::string::npos) << replies[0];
+  EXPECT_EQ(replies[0], replies[1]);  // byte-identical across --threads
+}
+
 constexpr char kPing[] = "{\"v\":1,\"id\":1,\"op\":\"ping\"}";
 
 TEST(ServeServer, FinishedConnectionsAreReaped) {

@@ -394,6 +394,45 @@ TEST_F(PvserveCliTest, ResponseStreamsIdenticalAcrossThreadCounts) {
   EXPECT_EQ(streams[0], streams[1]);
 }
 
+TEST_F(PvserveCliTest, PvqueryJsonMatchesServeQueryResult) {
+  ASSERT_EQ(run(tool("pvprof") + " subsurface --ranks 2 -o " +
+                out("exp.pvdb")),
+            0)
+      << slurp(out("log"));
+  // The same query both ways; the grammar accepts single- or double-quoted
+  // patterns, which lets each transport use the quote the shell leaves free.
+  const std::string tail =
+      " where cycles.incl > 0.05*total order by cycles.excl desc limit 10";
+  ASSERT_EQ(run(tool("pvquery") + " " + out("exp.pvdb") + " \"match '**'" +
+                tail + "\" --json"),
+            0)
+      << slurp(out("log"));
+  std::string local = slurp(out("log"));
+  while (!local.empty() && (local.back() == '\n' || local.back() == '\r'))
+    local.pop_back();
+  ASSERT_FALSE(local.empty());
+  EXPECT_TRUE(testutil::valid_json(local)) << local.substr(0, 400);
+
+  const int port = start_daemon();
+  ASSERT_GT(port, 0) << slurp(out("serve.log"));
+  const std::string opened = request(
+      port, R"({"v":1,"id":1,"op":"open","path":")" + out("exp.pvdb") +
+                R"("})");
+  ASSERT_NE(opened.find("\"session\":\"s1\""), std::string::npos) << opened;
+  const std::string reply = request(
+      port, R"({"v":1,"id":2,"op":"query","session":"s1","q":"match \"**\")" +
+                tail + R"("})");
+  // The serve response embeds pvquery's --json output byte-for-byte as its
+  // "result" field — one encoder, two transports.
+  EXPECT_NE(reply.find("\"result\":" + local), std::string::npos)
+      << "serve result diverged from pvquery --json:\n"
+      << reply << "\nvs\n"
+      << local;
+
+  request(port, R"({"v":1,"id":99,"op":"shutdown"})");
+  ASSERT_TRUE(wait_exit(5.0)) << "daemon ignored the shutdown request";
+}
+
 TEST_F(PvserveCliTest, ClientExitCodesDistinguishTransportFromProtocol) {
   // No daemon listening: the connect fails -> transport error -> exit 3.
   EXPECT_EQ(run(tool("pvserve") + " --client --port 1 --request "

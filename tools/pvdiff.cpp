@@ -22,12 +22,6 @@ const char kUsage[] =
     "[--event E] [--mode strong|weak] [--ranks-base N] "
     "[--ranks-scaled M] [--top N]\n";
 
-db::Experiment load(const std::string& path) {
-  const bool binary =
-      path.size() > 5 && path.substr(path.size() - 5) == ".pvdb";
-  return binary ? db::load_binary(path) : db::load_xml(path);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -40,8 +34,8 @@ int main(int argc, char** argv) {
     tools::ObsSession obs_session(args, "pvdiff");
     {
       PV_SPAN("pvdiff.run");
-      const db::Experiment base = load(args.positional[0]);
-      const db::Experiment scaled = load(args.positional[1]);
+      const db::Experiment base = tools::load_experiment(args.positional[0]);
+      const db::Experiment scaled = tools::load_experiment(args.positional[1]);
 
       analysis::DiffOptions opts;
       opts.event = tools::parse_event(args.flag_str("event", "cycles"));

@@ -180,21 +180,19 @@ class ObsSession {
   bool stats_ = false;
 };
 
-/// Load an experiment database, picking the format by extension (".pvdb" is
-/// binary, everything else XML) — the convention every tool shares.
+/// Load an experiment database via db::open — the format is sniffed from
+/// the file content (PVDB magic vs XML), not the extension.
 inline db::Experiment load_experiment(const std::string& path) {
-  const bool binary =
-      path.size() > 5 && path.substr(path.size() - 5) == ".pvdb";
-  return binary ? db::load_binary(path) : db::load_xml(path);
+  return std::move(db::open(path).experiment);
 }
 
 /// Salvage-aware variant (the --salvage flag): damaged optional content is
 /// skipped and recorded in `report` instead of failing the load.
 inline db::Experiment load_experiment(const std::string& path, bool salvage,
                                       db::LoadReport* report) {
-  db::LoadOptions opts;
-  opts.salvage = salvage;
-  return db::load(path, opts, report);
+  db::OpenResult r = db::open(path, db::OpenOptions{salvage});
+  if (report != nullptr) report->merge(r.report);
+  return std::move(r.experiment);
 }
 
 /// Print a salvage load's damage report to stderr, one warning line per
