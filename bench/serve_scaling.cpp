@@ -7,7 +7,11 @@
 //   - bounded memory: the experiment cache's byte budget is respected as
 //     distinct databases stream through it;
 //   - determinism: the byte stream a client observes is identical for
-//     --threads 1 and --threads 4.
+//     --threads 1 and --threads 4;
+//   - self-profiling overhead: the continuous profiler at its default
+//     97 Hz costs <= 5% of request throughput, and every window it emits
+//     is a clean experiment database that answers a serve.* hot-path
+//     query.
 // Writes BENCH_serve_scaling.json with the measurements + obs counters.
 #include <algorithm>
 #include <atomic>
@@ -21,6 +25,8 @@
 
 #include "bench_util.hpp"
 #include "pathview/db/experiment.hpp"
+#include "pathview/metrics/attribution.hpp"
+#include "pathview/query/plan.hpp"
 #include "pathview/support/error.hpp"
 #include "pathview/prof/pipeline.hpp"
 #include "pathview/serve/server.hpp"
@@ -144,9 +150,16 @@ int main(int argc, char** argv) {
   }
 
   // --- phase 2: throughput with 16 concurrent clients ----------------------
-  {
-    serve::Server::Options opts;
-    opts.threads = 0;  // all hardware threads
+  // Run the identical 16-client navigation storm twice: once with the
+  // continuous profiler off, once in the production configuration (97 Hz +
+  // window writes). The second run carries the paper-facing latency gates;
+  // the pair yields the self-profiling overhead gate.
+  struct ThroughputResult {
+    double rps = 0;
+    double p50_us = 0;
+    double p99_us = 0;
+  };
+  const auto run_throughput = [&](serve::Server::Options opts) {
     serve::Server server(opts);
     server.start();
     // Each client opens its own session first (setup, untimed)...
@@ -180,7 +193,6 @@ int main(int argc, char** argv) {
     }
     for (std::thread& t : clients) t.join();
     const double elapsed = seconds_since(t0);
-    const double rps = static_cast<double>(completed.load()) / elapsed;
     for (int fd : fds) ::close(fd);
 
     std::vector<double> all;
@@ -191,17 +203,72 @@ int main(int argc, char** argv) {
       return all[std::min(all.size() - 1,
                           static_cast<std::size_t>(q * all.size()))];
     };
-    rep.info("requests completed", static_cast<double>(completed.load()));
-    rep.info("elapsed [s]", elapsed);
-    rep.info("throughput [req/s]", rps);
-    rep.info("latency p50 [us]", pct(0.50));
-    rep.info("latency p99 [us]", pct(0.99));
-    rep.row("16 clients sustain >= 1k req/s", 1, rps >= 1000.0 ? 1 : 0, 0);
-    // Round-trip latency ceilings under full 16-way concurrency (localhost,
-    // so this is serving cost + queueing, not network).
-    rep.gate_max("latency p50 <= 25 ms", pct(0.50) / 1000.0, 25.0);
-    rep.gate_max("latency p99 <= 100 ms", pct(0.99) / 1000.0, 100.0);
     server.stop();
+    return ThroughputResult{static_cast<double>(completed.load()) / elapsed,
+                            pct(0.50), pct(0.99)};
+  };
+
+  const std::string prof_dir = dir + "/self_profile_ring";
+  {
+    serve::Server::Options off_opts;
+    off_opts.threads = 0;  // all hardware threads
+    off_opts.self_profile_hz = 0;
+    const ThroughputResult off = run_throughput(off_opts);
+
+    serve::Server::Options on_opts;
+    on_opts.threads = 0;
+    on_opts.self_profile_hz = 97.0;  // the pvserve default
+    on_opts.self_profile_interval_ms = 250;
+    on_opts.self_profile_dir = prof_dir;
+    on_opts.self_profile_retain = 8;
+    const ThroughputResult on = run_throughput(on_opts);
+
+    rep.info("throughput, profiler off [req/s]", off.rps);
+    rep.info("throughput, profiler on [req/s]", on.rps);
+    rep.info("latency p50, profiler on [us]", on.p50_us);
+    rep.info("latency p99, profiler on [us]", on.p99_us);
+    const double overhead_pct =
+        off.rps > 0 ? std::max(0.0, (1.0 - on.rps / off.rps) * 100.0) : 0.0;
+    rep.info("continuous profiling overhead [%]", overhead_pct);
+    rep.row("16 clients sustain >= 1k req/s (profiling on)", 1,
+            on.rps >= 1000.0 ? 1 : 0, 0);
+    // Round-trip latency ceilings under full 16-way concurrency (localhost,
+    // so this is serving cost + queueing, not network) — measured with the
+    // profiler on, because that is how pvserve ships.
+    rep.gate_max("latency p50 <= 25 ms (profiling on)", on.p50_us / 1000.0,
+                 25.0);
+    rep.gate_max("latency p99 <= 100 ms (profiling on)", on.p99_us / 1000.0,
+                 100.0);
+    // The tentpole's cost contract: always-on profiling may not tax request
+    // throughput by more than 5%.
+    rep.row("profiling overhead <= 5% of req/s", 1,
+            on.rps >= 0.95 * off.rps ? 1 : 0, 0);
+  }
+
+  // --- phase 2b: the emitted windows are real experiment databases ---------
+  {
+    std::vector<std::string> windows;
+    if (std::filesystem::exists(prof_dir))
+      for (const auto& e : std::filesystem::directory_iterator(prof_dir))
+        windows.push_back(e.path().string());
+    std::sort(windows.begin(), windows.end());
+    rep.info("profile windows written", static_cast<double>(windows.size()));
+    rep.row("profiler run left >= 1 window on disk", 1,
+            windows.empty() ? 0 : 1, 0);
+    if (!windows.empty()) {
+      const db::Experiment wexp = db::load_binary(windows.back());
+      rep.row("window loads clean (not degraded)", 1,
+              wexp.degraded() ? 0 : 1, 0);
+      metrics::Attribution attr =
+          metrics::attribute_metrics(wexp.cct(), metrics::all_events());
+      const query::QueryResult qr = query::run(
+          "match '**/serve.*' order by PAPI_TOT_INS.excl desc limit 10",
+          wexp.cct(), attr.table);
+      rep.info("serve.* paths in the newest window",
+               static_cast<double>(qr.rows.size()));
+      rep.row("window answers the serve.* hot-path query", 1,
+              qr.rows.empty() ? 0 : 1, 0);
+    }
   }
 
   // --- phase 3: the cache byte budget bounds resident bytes ----------------

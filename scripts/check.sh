@@ -83,6 +83,52 @@ serve_smoke() {
   fi
 }
 
+# Continuous-profiling smoke against the tools of one build dir: a daemon
+# with a fast window cadence profiles itself into a retention ring while
+# clients generate load; the self_profile/profile_windows ops must answer,
+# a window file must appear in the ring (bounded by the retain count), and
+# pvquery must answer a serve.* hot-path query over it with real rows.
+profile_smoke() {
+  pdir=$1
+  pring=$pdir/profile_check_ring
+  plog=$pdir/profile_check.log
+  rm -rf "$pring"
+  "$pdir/tools/pvserve" --port 0 --self-profile-hz 199 \
+    --self-profile-interval-ms 200 --self-profile-dir "$pring" \
+    --self-profile-retain 4 > "$plog" 2>&1 &
+  ppid=$!
+  for _ in $(seq 100); do
+    grep -q 'listening on' "$plog" && break
+    sleep 0.1
+  done
+  pport=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$plog")
+  # Some request load while the sampler rotates windows underneath it.
+  for _ in $(seq 20); do
+    printf '{"v":1,"id":1,"op":"ping"}\n'
+  done | "$pdir/tools/pvserve" --client --port "$pport" > /dev/null
+  for _ in $(seq 100); do
+    ls "$pring"/window-*.pvdb > /dev/null 2>&1 && break
+    sleep 0.1
+  done
+  "$pdir/tools/pvserve" --client --port "$pport" \
+    --request '{"v":1,"id":2,"op":"self_profile"}' |
+    grep -q '"enabled":true'
+  "$pdir/tools/pvserve" --client --port "$pport" \
+    --request '{"v":1,"id":3,"op":"profile_windows"}' |
+    grep -q '"windows":\['
+  kill -TERM "$ppid"
+  wait "$ppid"
+  pwin=$(ls "$pring"/window-*.pvdb 2>/dev/null | head -1)
+  [ -n "$pwin" ]
+  [ "$(ls "$pring"/window-*.pvdb | wc -l)" -le 4 ]
+  # Each window is an ordinary experiment database: a hot-path query over
+  # the server's own spans returns at least one serve.* row.
+  "$pdir/tools/pvquery" "$pwin" \
+    "match '**/serve.*' order by PAPI_TOT_INS.excl desc limit 5" |
+    grep -q '^[[:space:]]*[0-9][0-9]*[[:space:]][[:space:]]*serve\.'
+  rm -rf "$pring"
+}
+
 # Query smoke against the tools of one build dir: pvquery end to end (the
 # full grammar, the explain fast path, JSON output) and the pvserve query op
 # answering with the byte-identical "result" encoding for the same query.
@@ -178,6 +224,8 @@ done
 
 echo "== serve smoke (3 concurrent clients)"
 serve_smoke build
+echo "== continuous-profiling smoke (windowed self-profile ring)"
+profile_smoke build
 echo "== query smoke (pvquery + serve query op)"
 query_smoke build
 echo "== fault-injection matrix"
@@ -190,6 +238,8 @@ if [ "${PATHVIEW_SKIP_SANITIZE:-0}" != "1" ]; then
   ctest --test-dir build-asan --output-on-failure --timeout 300
   echo "== serve smoke under ASan"
   serve_smoke build-asan
+  echo "== continuous-profiling smoke under ASan"
+  profile_smoke build-asan
   echo "== query smoke under ASan"
   query_smoke build-asan
   echo "== fault-injection matrix under ASan"
@@ -208,6 +258,8 @@ if [ "${PATHVIEW_SKIP_SANITIZE:-0}" != "1" ]; then
   build-tsan/tests/query_test
   echo "== serve smoke under TSan"
   serve_smoke build-tsan
+  echo "== continuous-profiling smoke under TSan"
+  profile_smoke build-tsan
   echo "== query smoke under TSan"
   query_smoke build-tsan
   echo "== fault-injection matrix under TSan"

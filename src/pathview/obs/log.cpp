@@ -18,7 +18,8 @@ std::uint64_t wall_ms() {
 
 }  // namespace
 
-EventLog::EventLog(Options opts) : opts_(std::move(opts)) {
+EventLog::EventLog(Options opts)
+    : opts_(std::move(opts)), drop_counter_(&counter("log.dropped.total")) {
   if (opts_.capacity == 0) opts_.capacity = 1;
   if (opts_.path.empty()) {
     sink_ = stderr;
@@ -46,6 +47,7 @@ void EventLog::log(LogEvent ev) {
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_ || queue_.size() >= opts_.capacity) {
       ++dropped_;
+      drop_counter_->add(1);
       return;
     }
     queue_.push_back(Entry{std::move(ev), ts});

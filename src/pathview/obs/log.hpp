@@ -22,6 +22,8 @@
 #include <string>
 #include <thread>
 
+#include "pathview/obs/obs.hpp"
+
 namespace pathview::obs {
 
 enum class LogFormat : std::uint8_t { kText = 0, kJson };
@@ -62,7 +64,9 @@ class EventLog {
   /// Block until every event enqueued so far has been written and flushed.
   void flush();
 
-  /// Events dropped because the queue was full.
+  /// Events dropped because the queue was full. Every drop also bumps the
+  /// registry counter `log.dropped.total` (exported to Prometheus as
+  /// `pathview_log_dropped_total`), so the loss is scrapeable too.
   std::uint64_t dropped() const;
 
   /// Format one line (no trailing newline); exposed for tests.
@@ -80,6 +84,7 @@ class EventLog {
   Options opts_;
   std::FILE* sink_ = nullptr;
   bool owns_sink_ = false;
+  Counter* drop_counter_ = nullptr;  // registry-owned, cached at construction
 
   mutable std::mutex mu_;
   std::condition_variable cv_;       // wakes the writer

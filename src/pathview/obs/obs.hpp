@@ -39,15 +39,51 @@
 namespace pathview::obs {
 
 namespace detail {
-extern std::atomic<bool> g_enabled;
+/// Process-wide span mode bits. kRecord is the classic "tracing enabled"
+/// switch (spans append to per-thread buffers); kLive is set while at least
+/// one continuous-profiling sampler holds a live-sampling reference (spans
+/// additionally publish onto the thread's lock-free live stack). The
+/// per-thread kFlight bit lives in `t_flight_armed`, not here.
+extern std::atomic<std::uint32_t> g_mode;
+extern thread_local bool t_flight_armed;
+inline constexpr std::uint32_t kModeRecord = 1u;
+inline constexpr std::uint32_t kModeLive = 2u;
+inline constexpr std::uint32_t kModeFlight = 4u;
+
+/// Combined mode for a span opening on this thread right now: one relaxed
+/// atomic load plus one thread-local load.
+inline std::uint32_t span_mode() {
+  std::uint32_t m = g_mode.load(std::memory_order_relaxed);
+  if (t_flight_armed) m |= kModeFlight;
+  return m;
+}
+
+/// Multi-mode span entry/exit (record and/or live-publish and/or flight
+/// capture, per the bits in `mode`). Returns the record-buffer index when
+/// kRecord is set, 0 otherwise.
+std::size_t span_enter(const char* name, std::uint32_t mode);
+void span_exit(std::size_t index, std::uint32_t mode);
 }  // namespace detail
 
-/// Master runtime switch. Reading it is one relaxed atomic load; nothing is
-/// recorded while it is false.
+/// Master runtime switch for span *recording*. Reading it is one relaxed
+/// atomic load; span buffers stay empty while it is false. Counters,
+/// histograms, live sampling and flight capture are independent of it.
 inline bool enabled() {
-  return detail::g_enabled.load(std::memory_order_relaxed);
+  return (detail::g_mode.load(std::memory_order_relaxed) &
+          detail::kModeRecord) != 0;
 }
 void set_enabled(bool on);
+
+/// Live-sampling references, held by continuous-profiling samplers while
+/// they run. While the refcount is nonzero every Span push/pop additionally
+/// publishes onto the owning thread's lock-free live stack (no clock read,
+/// a handful of relaxed/release stores) so sample_live_stacks() can see it.
+void acquire_live_sampling();
+void release_live_sampling();
+inline bool live_sampling_enabled() {
+  return (detail::g_mode.load(std::memory_order_relaxed) &
+          detail::kModeLive) != 0;
+}
 
 // ---------------------------------------------------------------------------
 // Counters and gauges.
@@ -164,6 +200,15 @@ struct SpanRecord {
   std::uint64_t end_ns = 0;    // 0 while the span is still open
   std::int32_t parent = -1;    // index into the same thread's span list
   std::uint64_t trace_id = 0;  // request-scoped correlation id (0 = none)
+  /// Entry weight: 1 for a real RAII span; the number of wall-clock samples
+  /// folded into this record when it is a synthetic continuous-profiling
+  /// node (obs/sampler.hpp). self_profile_experiment maps it onto the
+  /// instructions column.
+  std::uint64_t weight = 1;
+  /// Request-attributed weight (samples that landed while a trace id was
+  /// set). 0 means "derive from trace_id": a real span with trace_id != 0
+  /// counts its full weight as traced.
+  std::uint64_t traced_weight = 0;
 };
 
 /// Request-scoped trace id: spans begun while a thread's trace id is set
@@ -193,23 +238,106 @@ std::size_t begin_span(const char* name);
 /// Close the span opened as `index` (normally via the RAII Span below).
 void end_span(std::size_t index);
 
-/// RAII span guard. Captures enabled() at construction so a span opened
-/// while tracing is on is always closed, even if tracing is toggled off.
+/// RAII span guard. Captures the mode bits (record / live-publish / flight)
+/// at construction so a span opened under one mode is always closed under
+/// the same mode, even if switches are toggled mid-span.
 class Span {
  public:
-  explicit Span(const char* name) : live_(enabled()) {
-    if (live_) index_ = begin_span(name);
+  explicit Span(const char* name) : mode_(detail::span_mode()) {
+    if (mode_ != 0) index_ = detail::span_enter(name, mode_);
   }
   ~Span() {
-    if (live_) end_span(index_);
+    if (mode_ != 0) detail::span_exit(index_, mode_);
   }
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
  private:
-  bool live_;
+  std::uint32_t mode_;
   std::size_t index_ = 0;
 };
+
+// ---------------------------------------------------------------------------
+// Live stacks (continuous-profiling substrate).
+// ---------------------------------------------------------------------------
+
+/// Frames kept per live stack; deeper stacks publish only the outermost
+/// kMaxLiveDepth frames and report their true logical depth.
+inline constexpr std::uint32_t kMaxLiveDepth = 128;
+
+/// One thread's live call-path at the instant a sampler walked it:
+/// outermost frame first, innermost last. `depth` is the logical depth and
+/// may exceed frames.size() when the stack was deeper than kMaxLiveDepth.
+struct LiveThreadSample {
+  std::uint32_t tid = 0;       // dense obs thread id
+  std::uint64_t trace_id = 0;  // request id active on that thread (0 = none)
+  std::uint32_t depth = 0;
+  std::vector<const char*> frames;
+};
+
+/// Result of one walk over every registered thread's live stack. Threads
+/// with an empty stack are omitted. `torn` counts stacks that could not be
+/// read consistently within the bounded retry budget (the thread kept
+/// mutating its stack under the reader) and were skipped; `truncated`
+/// counts sampled stacks deeper than kMaxLiveDepth.
+struct LiveStackWalk {
+  std::vector<LiveThreadSample> samples;
+  std::uint64_t torn = 0;
+  std::uint64_t truncated = 0;
+};
+
+/// Walk every thread's published live stack. Wait-free with respect to the
+/// sampled threads (they never block; the reader retries on a version
+/// mismatch and gives up after a bounded number of attempts). Returns
+/// nothing useful unless live sampling is on (acquire_live_sampling()).
+LiveStackWalk sample_live_stacks();
+
+// ---------------------------------------------------------------------------
+// Flight recorder (slow-request capture).
+// ---------------------------------------------------------------------------
+
+/// One span captured by an armed flight recorder on its owning thread.
+struct FlightSpan {
+  const char* name = "";
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;   // 0 while still open at take()/disarm
+  std::int32_t parent = -1;   // index into the same capture
+};
+
+/// RAII per-thread span capture, independent of enabled(): while armed,
+/// every Span on the calling thread records its timing and nesting into a
+/// bounded private buffer, and flight_note() attaches free-text annotations
+/// (e.g. a query plan). A server arms one around each request it may need
+/// to explain; if the request turns out slow it formats take() into the
+/// event log, otherwise the capture is dropped for free. Single-threaded:
+/// the recorder must be taken/destroyed on the thread that armed it, and
+/// arming is not reentrant (a nested recorder is a no-op shell).
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t max_spans = 256);
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// True when this recorder actually armed the thread (no other recorder
+  /// was active on it).
+  bool armed() const { return armed_; }
+
+  /// Copy out the spans captured so far; open spans are clamped to now.
+  std::vector<FlightSpan> spans() const;
+  /// Notes attached via flight_note() since arming, in order.
+  const std::vector<std::string>& notes() const;
+  /// True when at least one span was discarded because the buffer filled.
+  bool overflowed() const;
+
+ private:
+  bool armed_ = false;
+};
+
+/// Attach a note to the flight recorder armed on the calling thread, if
+/// any; otherwise a no-op. Safe to call unconditionally from instrumented
+/// code (e.g. the query engine recording its plan).
+void flight_note(std::string text);
 
 // ---------------------------------------------------------------------------
 // Snapshots.

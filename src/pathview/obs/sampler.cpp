@@ -1,0 +1,338 @@
+#include "pathview/obs/sampler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string_view>
+#include <utility>
+
+#include "pathview/obs/self_profile.hpp"
+
+namespace pathview::obs {
+
+namespace {
+
+std::uint64_t wall_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+/// Registry counters shared by every profiler instance (the registry is
+/// process-global anyway); cached once so ticks stay off the registry
+/// mutex.
+struct SamplerCounters {
+  Counter* ticks;
+  Counter* samples;
+  Counter* traced;
+  Counter* torn;
+  Counter* truncated;
+  Counter* windows;
+  Counter* write_errors;
+};
+
+SamplerCounters& sampler_counters() {
+  static SamplerCounters c{
+      &counter("obs.sampler.ticks.total"),
+      &counter("obs.sampler.samples.total"),
+      &counter("obs.sampler.samples.traced.total"),
+      &counter("obs.sampler.torn.total"),
+      &counter("obs.sampler.truncated.total"),
+      &counter("obs.sampler.windows.written.total"),
+      &counter("obs.sampler.write.errors.total"),
+  };
+  return c;
+}
+
+/// Per-op sample attribution counter, keyed by the innermost serve.* frame
+/// name. Names are string literals, so the cache key is just the pointer's
+/// character data.
+Counter& op_counter(const char* op) {
+  static std::mutex mu;
+  static std::map<std::string_view, Counter*> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto [it, inserted] = cache.try_emplace(std::string_view(op), nullptr);
+  if (inserted)
+    it->second =
+        &counter(labeled("obs.sampler.op_samples.total", {{"op", op}}));
+  return *it->second;
+}
+
+}  // namespace
+
+ContinuousProfiler::ContinuousProfiler(Options opts) : opts_(std::move(opts)) {
+  if (opts_.interval_ms == 0) opts_.interval_ms = 1;
+  if (opts_.retain == 0) opts_.retain = 1;
+  if (!opts_.dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opts_.dir, ec);
+  }
+  window_t0_ms_ = wall_ms();
+  acquire_live_sampling();
+}
+
+ContinuousProfiler::~ContinuousProfiler() {
+  stop();
+  release_live_sampling();
+}
+
+std::uint64_t ContinuousProfiler::period_ns() const {
+  if (opts_.hz <= 0.0) return 0;
+  return static_cast<std::uint64_t>(1e9 / opts_.hz);
+}
+
+void ContinuousProfiler::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_running_ || opts_.hz <= 0.0) return;
+  stop_ = false;
+  thread_running_ = true;
+  window_t0_ms_ = wall_ms();
+  thread_ = std::thread([this] { run(); });
+}
+
+void ContinuousProfiler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  thread_running_ = false;
+  // Flush the partial window so short-lived servers still leave a profile.
+  close_window_locked();
+}
+
+bool ContinuousProfiler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return thread_running_;
+}
+
+void ContinuousProfiler::run() {
+  using Clock = std::chrono::steady_clock;
+  const auto period = std::chrono::nanoseconds(period_ns());
+  const auto interval = std::chrono::milliseconds(opts_.interval_ms);
+  auto next = Clock::now() + period;
+  auto window_end = Clock::now() + interval;
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_) {
+    if (cv_.wait_until(lk, next, [this] { return stop_; })) break;
+    lk.unlock();
+    const LiveStackWalk walk = sample_live_stacks();
+    lk.lock();
+    fold_walk_locked(walk);
+    if (Clock::now() >= window_end) {
+      close_window_locked();
+      window_end = Clock::now() + interval;
+    }
+    next += period;
+    // A stall (suspend, writer hiccup) must not trigger a catch-up burst.
+    if (next < Clock::now()) next = Clock::now() + period;
+  }
+}
+
+void ContinuousProfiler::tick_once() {
+  const LiveStackWalk walk = sample_live_stacks();
+  std::lock_guard<std::mutex> lock(mu_);
+  fold_walk_locked(walk);
+}
+
+void ContinuousProfiler::rotate_now() {
+  std::lock_guard<std::mutex> lock(mu_);
+  close_window_locked();
+}
+
+void ContinuousProfiler::fold_walk_locked(const LiveStackWalk& walk) {
+  SamplerCounters& c = sampler_counters();
+  ++ticks_;
+  c.ticks->add(1);
+  if (walk.torn != 0) {
+    torn_ += walk.torn;
+    c.torn->add(walk.torn);
+  }
+  if (walk.truncated != 0) {
+    truncated_ += walk.truncated;
+    c.truncated->add(walk.truncated);
+  }
+  for (const LiveThreadSample& s : walk.samples) {
+    if (s.frames.empty()) continue;
+    const bool traced = s.trace_id != 0;
+    ++window_samples_;
+    ++samples_;
+    c.samples->add(1);
+    if (traced) {
+      ++window_traced_;
+      ++traced_;
+      c.traced->add(1);
+    }
+
+    ThreadFold& tf = fold_[s.tid];
+    tf.tid = s.tid;
+    std::int32_t cur = -1;
+    for (const char* f : s.frames) {
+      const std::string_view key(f);
+      auto& kids = cur < 0 ? tf.roots : tf.nodes[static_cast<std::size_t>(cur)]
+                                            .children;
+      const auto it = kids.find(key);
+      std::int32_t nxt;
+      if (it != kids.end()) {
+        nxt = it->second;
+      } else {
+        nxt = static_cast<std::int32_t>(tf.nodes.size());
+        FoldNode n;
+        n.name = f;
+        n.parent = cur;
+        tf.nodes.push_back(std::move(n));
+        // Re-fetch: push_back may have moved the parent node (and with it
+        // the map header `kids` referenced).
+        auto& kids2 = cur < 0 ? tf.roots
+                              : tf.nodes[static_cast<std::size_t>(cur)].children;
+        kids2.emplace(key, nxt);
+      }
+      ++tf.nodes[static_cast<std::size_t>(nxt)].incl_samples;
+      cur = nxt;
+    }
+    FoldNode& leaf = tf.nodes[static_cast<std::size_t>(cur)];
+    ++leaf.self_samples;
+    if (traced) ++leaf.self_traced;
+
+    // Per-op attribution: the innermost serve.* frame is the op span the
+    // sample landed under (inner query.*/db.* frames belong to it).
+    for (std::size_t i = s.frames.size(); i > 0; --i) {
+      if (starts_with(s.frames[i - 1], "serve.")) {
+        op_counter(s.frames[i - 1]).add(1);
+        break;
+      }
+    }
+
+    // Lifetime hot-path aggregate over the full folded call path.
+    std::string path;
+    for (const char* f : s.frames) {
+      if (!path.empty()) path += '/';
+      path += f;
+    }
+    PathAgg& agg = paths_[std::move(path)];
+    ++agg.samples;
+    if (traced) ++agg.traced;
+  }
+}
+
+void ContinuousProfiler::close_window_locked() {
+  const std::uint64_t now_ms = wall_ms();
+  if (window_samples_ == 0) {
+    window_t0_ms_ = now_ms;
+    return;
+  }
+
+  WindowInfo info;
+  info.seq = next_seq_++;
+  info.t0_ms = window_t0_ms_;
+  info.t1_ms = now_ms;
+  info.samples = window_samples_;
+  info.traced = window_traced_;
+
+  // The fold's creation order already has every parent before its
+  // children, which is exactly the SpanRecord buffer invariant
+  // self_profile_experiment relies on.
+  TraceSnapshot snap;
+  const std::uint64_t period = period_ns() == 0 ? 1 : period_ns();
+  for (const auto& [tid, tf] : fold_) {
+    if (tf.nodes.empty()) continue;
+    ThreadTrace t;
+    t.tid = tid;
+    t.spans.reserve(tf.nodes.size());
+    for (const FoldNode& n : tf.nodes) {
+      SpanRecord r;
+      r.name = n.name;
+      r.parent = n.parent;
+      r.start_ns = 0;
+      r.end_ns = n.incl_samples * period;  // duration = inclusive estimate
+      r.weight = n.self_samples;           // instructions column
+      r.traced_weight = n.self_traced;     // flops column
+      t.spans.push_back(r);
+    }
+    snap.threads.push_back(std::move(t));
+  }
+  info.threads = static_cast<std::uint32_t>(snap.threads.size());
+
+  if (!opts_.dir.empty()) {
+    char fname[32];
+    std::snprintf(fname, sizeof fname, "window-%06llu.pvdb",
+                  static_cast<unsigned long long>(info.seq));
+    info.path = opts_.dir + "/" + fname;
+    try {
+      const db::Experiment exp = self_profile_experiment(
+          snap, opts_.name + "-window-" + std::to_string(info.seq));
+      db::save_binary(exp, info.path);
+      std::error_code ec;
+      const auto sz = std::filesystem::file_size(info.path, ec);
+      if (!ec) info.bytes = static_cast<std::uint64_t>(sz);
+    } catch (...) {
+      // A failed write (disk full, injected fault) loses one window, never
+      // the server.
+      ++write_errors_;
+      sampler_counters().write_errors->add(1);
+      fold_.clear();
+      window_samples_ = 0;
+      window_traced_ = 0;
+      window_t0_ms_ = now_ms;
+      return;
+    }
+  }
+
+  ring_.push_back(std::move(info));
+  ++windows_written_;
+  sampler_counters().windows->add(1);
+  while (ring_.size() > opts_.retain) {
+    if (!ring_.front().path.empty()) std::remove(ring_.front().path.c_str());
+    ring_.pop_front();
+  }
+
+  fold_.clear();
+  window_samples_ = 0;
+  window_traced_ = 0;
+  window_t0_ms_ = now_ms;
+}
+
+ContinuousProfiler::Report ContinuousProfiler::report(
+    std::size_t max_paths) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Report r;
+  r.hz = opts_.hz;
+  r.interval_ms = opts_.interval_ms;
+  r.running = thread_running_;
+  r.ticks = ticks_;
+  r.samples = samples_;
+  r.traced = traced_;
+  r.torn = torn_;
+  r.truncated = truncated_;
+  r.windows_written = windows_written_;
+  r.write_errors = write_errors_;
+  r.hot.reserve(paths_.size());
+  for (const auto& [path, agg] : paths_) {
+    HotPath h;
+    h.path = path;
+    h.samples = agg.samples;
+    h.traced = agg.traced;
+    r.hot.push_back(std::move(h));
+  }
+  std::sort(r.hot.begin(), r.hot.end(), [](const HotPath& a, const HotPath& b) {
+    if (a.samples != b.samples) return a.samples > b.samples;
+    return a.path < b.path;
+  });
+  if (r.hot.size() > max_paths) r.hot.resize(max_paths);
+  return r;
+}
+
+std::vector<WindowInfo> ContinuousProfiler::windows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<WindowInfo>(ring_.begin(), ring_.end());
+}
+
+}  // namespace pathview::obs

@@ -1,0 +1,168 @@
+// Continuous profiler: an always-on, low-overhead wall-clock sampler over
+// the live span stacks published by obs::Span (obs.hpp).
+//
+// A background thread ticks at a configurable rate (default ~97 Hz — prime,
+// so it does not beat against millisecond-aligned work), walks every
+// registered thread's lock-free live stack with sample_live_stacks(), and
+// folds each observed call path into a rolling windowed CCT, splitting
+// request-attributed samples (a nonzero trace id was active on the thread)
+// from background samples. When a window closes (interval_ms of wall time,
+// or stop() with samples pending) the fold is converted into synthetic
+// SpanRecords — one per folded node, weight = samples at that exact path,
+// duration = inclusive samples x sampling period — and written through the
+// existing self_profile_experiment() path as a PVDB2 experiment database
+// via support::atomic_write_file, into an on-disk retention ring
+// (`dir/window-<seq>.pvdb`, oldest file deleted beyond `retain`). Every
+// window is a normal experiment: pvviewer opens it with the paper's three
+// views, pvquery answers hot-path queries over it.
+//
+// Cost model: while a profiler exists, every Span push/pop additionally
+// performs a handful of relaxed atomic stores onto the thread's live stack
+// (no clock read, no lock); the sampler thread does the walking and
+// folding. bench/serve_scaling.cpp gates the end-to-end overhead at <= 5%
+// of request throughput.
+//
+// The fold, the hot-path aggregates and the window metadata are all
+// observable in-process (report()/windows()) — pvserve serves them over
+// the wire as the `self_profile` / `profile_windows` ops.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+#include "pathview/obs/obs.hpp"
+
+namespace pathview::obs {
+
+/// Metadata for one closed (written) profile window in the retention ring.
+struct WindowInfo {
+  std::uint64_t seq = 0;        // monotone window sequence number
+  std::string path;             // on-disk .pvdb path ("" = not persisted)
+  std::uint64_t t0_ms = 0;      // wall-clock window open (unix ms)
+  std::uint64_t t1_ms = 0;      // wall-clock window close (unix ms)
+  std::uint64_t samples = 0;    // samples folded into the window
+  std::uint64_t traced = 0;     // ... of which carried a trace id
+  std::uint32_t threads = 0;    // threads that contributed samples
+  std::uint64_t bytes = 0;      // written file size
+};
+
+/// One aggregated call path ("outer/inner" joined with '/'), hottest first.
+struct HotPath {
+  std::string path;
+  std::uint64_t samples = 0;
+  std::uint64_t traced = 0;
+};
+
+class ContinuousProfiler {
+ public:
+  struct Options {
+    /// Sampling rate; <= 0 disables the tick loop entirely.
+    double hz = 97.0;
+    /// Window length: how much wall time each emitted experiment covers.
+    std::uint64_t interval_ms = 60000;
+    /// Retention ring directory; empty = fold in memory, write nothing.
+    std::string dir;
+    /// Maximum window files kept on disk; oldest deleted beyond this.
+    std::size_t retain = 16;
+    /// Experiment name prefix ("<name>-window-<seq>").
+    std::string name = "pathview-self";
+  };
+
+  /// Construction acquires a live-sampling reference (spans start
+  /// publishing immediately); destruction stops the thread, flushes a
+  /// partial window with samples, and releases the reference.
+  explicit ContinuousProfiler(Options opts);
+  ~ContinuousProfiler();
+  ContinuousProfiler(const ContinuousProfiler&) = delete;
+  ContinuousProfiler& operator=(const ContinuousProfiler&) = delete;
+
+  /// Start/stop the background sampler thread. stop() closes the current
+  /// window (writing it if it holds samples) before returning.
+  void start();
+  void stop();
+  bool running() const;
+
+  /// Cumulative profiler state for the `self_profile` op.
+  struct Report {
+    double hz = 0.0;
+    std::uint64_t interval_ms = 0;
+    bool running = false;
+    std::uint64_t ticks = 0;
+    std::uint64_t samples = 0;
+    std::uint64_t traced = 0;
+    std::uint64_t torn = 0;
+    std::uint64_t truncated = 0;
+    std::uint64_t windows_written = 0;
+    std::uint64_t write_errors = 0;
+    std::vector<HotPath> hot;  // top max_paths by samples, then path
+  };
+  Report report(std::size_t max_paths = 10) const;
+
+  /// Window metadata for the files currently in the retention ring (oldest
+  /// first), for the `profile_windows` op.
+  std::vector<WindowInfo> windows() const;
+
+  /// Test hooks: fold one walk right now / force-close the current window
+  /// (both are what the background thread does on its own schedule).
+  void tick_once();
+  void rotate_now();
+
+ private:
+  struct FoldNode {
+    const char* name = "";
+    std::int32_t parent = -1;  // index into the same thread's node list
+    std::uint64_t self_samples = 0;    // samples with this node innermost
+    std::uint64_t self_traced = 0;
+    std::uint64_t incl_samples = 0;    // samples with this node on-stack
+    std::map<std::string_view, std::int32_t> children;
+  };
+  struct ThreadFold {
+    std::uint32_t tid = 0;
+    std::vector<FoldNode> nodes;
+    std::map<std::string_view, std::int32_t> roots;
+  };
+  struct PathAgg {
+    std::uint64_t samples = 0;
+    std::uint64_t traced = 0;
+  };
+
+  void run();
+  void fold_walk_locked(const LiveStackWalk& walk);
+  void close_window_locked();
+  std::uint64_t period_ns() const;
+
+  Options opts_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;   // wakes the sampler thread on stop
+  bool stop_ = false;
+  bool thread_running_ = false;
+  std::thread thread_;
+
+  // Current window fold (guarded by mu_).
+  std::map<std::uint32_t, ThreadFold> fold_;
+  std::uint64_t window_samples_ = 0;
+  std::uint64_t window_traced_ = 0;
+  std::uint64_t window_t0_ms_ = 0;
+  std::uint64_t next_seq_ = 1;
+
+  // Lifetime aggregates (guarded by mu_).
+  std::map<std::string, PathAgg> paths_;
+  std::deque<WindowInfo> ring_;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t samples_ = 0;
+  std::uint64_t traced_ = 0;
+  std::uint64_t torn_ = 0;
+  std::uint64_t truncated_ = 0;
+  std::uint64_t windows_written_ = 0;
+  std::uint64_t write_errors_ = 0;
+};
+
+}  // namespace pathview::obs

@@ -146,7 +146,16 @@ db::Experiment self_profile_experiment(const TraceSnapshot& snap,
           frame_of[i], prof::CctKind::kStmt, structure.self_stmt(proc));
       model::EventVector ev;
       ev[model::Event::kCycles] = static_cast<double>(self_ns);
-      ev[model::Event::kInstructions] = 1.0;  // one entry into the phase
+      // Entry count for real spans; folded wall-clock sample count for
+      // synthetic continuous-profiling records (obs/sampler.hpp).
+      ev[model::Event::kInstructions] = static_cast<double>(s.weight);
+      // Request-attributed weight: samples (or entries) that carried a
+      // trace id, exposed as the flops column so windows can split
+      // request-driven time from background time.
+      const std::uint64_t traced =
+          s.traced_weight != 0 ? s.traced_weight
+                               : (s.trace_id != 0 ? s.weight : 0);
+      ev[model::Event::kFlops] = static_cast<double>(traced);
       cct.add_samples(leaf, ev);
     }
   }

@@ -12,7 +12,10 @@
 //   * each span instance becomes a CCT frame keyed by that call site, with a
 //     statement child carrying its metrics;
 //   * metrics: cycles = self wall-nanoseconds (duration minus direct
-//     children), instructions = span entry count. Threads merge like ranks.
+//     children), instructions = span entry weight (1 per real span; the
+//     folded sample count for synthetic continuous-profiling records),
+//     flops = the request-attributed share of that weight (entries/samples
+//     carrying a nonzero trace id). Threads merge like ranks.
 #pragma once
 
 #include <string>

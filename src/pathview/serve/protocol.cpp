@@ -32,6 +32,8 @@ constexpr OpNames kOpNames[kNumOps] = {
     {"shutdown", "serve.shutdown"},
     {"query", "serve.query"},
     {"explain", "serve.explain"},
+    {"self_profile", "serve.self_profile"},
+    {"profile_windows", "serve.profile_windows"},
 };
 
 }  // namespace

@@ -75,9 +75,13 @@ enum class Op : std::uint8_t {
   kShutdown,       // {} -> ack, then the daemon begins graceful shutdown
   kQuery,          // {session, q} -> query result rows + stats
   kExplain,        // {session, q} -> compiled query plan text
+  kSelfProfile,    // {[max]} -> continuous-profiler hot paths + counters
+                   //            (live data; NOT byte-deterministic)
+  kProfileWindows, // {} -> retention-ring window listing (live data; NOT
+                   //       byte-deterministic)
 };
 
-inline constexpr std::size_t kNumOps = 15;
+inline constexpr std::size_t kNumOps = 17;
 
 /// Wire name of an op ("open", "expand", ...).
 const char* op_name(Op op);

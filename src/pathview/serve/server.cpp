@@ -6,6 +6,7 @@
 #include <cstring>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <optional>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -117,6 +118,18 @@ void Server::start() {
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   start_time_ = std::chrono::steady_clock::now();
+  // The profiler comes up before any serving thread so live-stack
+  // publication is already on when the accept loop opens its span.
+  if (opts_.self_profile_hz > 0.0) {
+    obs::ContinuousProfiler::Options popts;
+    popts.hz = opts_.self_profile_hz;
+    popts.interval_ms = opts_.self_profile_interval_ms;
+    popts.dir = opts_.self_profile_dir;
+    popts.retain = opts_.self_profile_retain;
+    popts.name = "pvserve-self";
+    profiler_ = std::make_unique<obs::ContinuousProfiler>(popts);
+    profiler_->start();
+  }
   workers_.reserve(opts_.threads);
   for (std::size_t i = 0; i < opts_.threads; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -171,6 +184,9 @@ void Server::wait() {
   for (std::thread& w : workers_)
     if (w.joinable()) w.join();
   workers_.clear();
+  // Stop sampling after the serving threads are gone; this also flushes a
+  // partial window so even a short-lived daemon leaves a profile behind.
+  if (profiler_) profiler_->stop();
   if (metrics_thread_.joinable()) {
     {
       std::lock_guard<std::mutex> lock(metrics_mu_);
@@ -234,6 +250,10 @@ void Server::reap_connections() {
 }
 
 void Server::accept_loop() {
+  // Held open for the daemon's whole life: the continuous profiler samples
+  // wall-clock time (blocked threads included), so this span guarantees
+  // every window carries at least one serve.* path even on an idle server.
+  PV_SPAN("serve.accept_loop");
   while (!stopping_.load(std::memory_order_acquire)) {
     reap_connections();
     pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
@@ -445,11 +465,23 @@ JsonValue Server::execute(const Request& req) {
   // beneath it, so every server-side span of this request carries the
   // client's correlation id.
   obs::TraceIdScope trace_scope(req.trace_id);
+  // Flight recorder: armed before the op span so the whole request's span
+  // breakdown (plus any notes, e.g. a query plan) is captured; the capture
+  // is only formatted — into the slow-request log line — when the request
+  // exceeds slow_ms, and dropped for free otherwise.
+  std::optional<obs::FlightRecorder> flight;
+  if (log_) flight.emplace();
   PV_SPAN(op_span_name(req.op));
   requests_.fetch_add(1, std::memory_order_relaxed);
   PV_COUNTER_ADD("serve.requests", 1);
   const std::uint64_t t0 = obs::now_ns();
-  JsonValue resp = sessions_.handle(req);
+  JsonValue resp;
+  if (req.op == Op::kSelfProfile)
+    resp = self_profile_response(req);
+  else if (req.op == Op::kProfileWindows)
+    resp = profile_windows_response(req);
+  else
+    resp = sessions_.handle(req);
   if (req.op == Op::kShutdown) {
     request_stop();
     resp.set("stopping", JsonValue::boolean(true));
@@ -470,6 +502,8 @@ JsonValue Server::execute(const Request& req) {
     q.set("requests", JsonValue::number(requests_handled()));
     q.set("rejects_queue_full", JsonValue::number(queue_full_rejects()));
     q.set("rejects_deadline", JsonValue::number(deadline_rejects()));
+    q.set("log_dropped",
+          JsonValue::number(log_ ? log_->dropped() : std::uint64_t{0}));
     q.set("uptime_ms", JsonValue::number(uptime_ms()));
     resp.set("server", std::move(q));
     resp.set("ops", op_stats_json());
@@ -491,9 +525,9 @@ JsonValue Server::execute(const Request& req) {
     resp.set("trace_id", JsonValue::number(req.trace_id));
 
   if (log_) {
+    const bool slow = latency_us / 1000 >= opts_.slow_ms;
     obs::LogEvent ev;
-    ev.level = ok ? (latency_us / 1000 >= opts_.slow_ms ? "warn" : "info")
-                  : "error";
+    ev.level = ok ? (slow ? "warn" : "info") : "error";
     ev.op = op_name(req.op);
     ev.trace_id = req.trace_id;
     ev.latency_us = latency_us;
@@ -504,8 +538,117 @@ JsonValue Server::execute(const Request& req) {
       ev.outcome =
           err != nullptr ? err->get_string("kind", "internal") : "internal";
     }
+    // Slow requests carry their flight-recorder capture: the span
+    // breakdown of exactly this request, plus any notes the handler
+    // attached (the compiled plan, for query ops).
+    if (slow && flight && flight->armed())
+      ev.message = format_flight(flight->spans(), flight->notes(),
+                                 flight->overflowed());
     log_->log(std::move(ev));
   }
+  return resp;
+}
+
+std::string Server::format_flight(const std::vector<obs::FlightSpan>& spans,
+                                  const std::vector<std::string>& notes,
+                                  bool overflowed) {
+  // Nested name=DURus{...} groups. Spans arrive in capture (begin) order
+  // with parents before children, so one pass with a parent stack renders
+  // the tree: close brace groups until the top of the stack is the span's
+  // parent, then emit it.
+  std::string out = "flight:";
+  std::vector<std::int32_t> open;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const obs::FlightSpan& s = spans[i];
+    while (!open.empty() && open.back() != s.parent) {
+      out += '}';
+      open.pop_back();
+    }
+    if (open.empty())
+      out += ' ';
+    else
+      out += out.back() == '{' ? "" : ",";
+    const std::uint64_t dur_us =
+        s.end_ns > s.start_ns ? (s.end_ns - s.start_ns) / 1000 : 0;
+    out += s.name;
+    out += '=';
+    out += std::to_string(dur_us);
+    out += "us";
+    // Open a brace group only when the next span nests under this one.
+    if (i + 1 < spans.size() &&
+        spans[i + 1].parent == static_cast<std::int32_t>(i)) {
+      out += '{';
+      open.push_back(static_cast<std::int32_t>(i));
+    }
+  }
+  while (!open.empty()) {
+    out += '}';
+    open.pop_back();
+  }
+  if (overflowed) out += " (capture truncated)";
+  for (const std::string& n : notes) {
+    out += " note: ";
+    out += n;
+  }
+  return out;
+}
+
+JsonValue Server::self_profile_response(const Request& req) {
+  JsonValue resp = ok_response(req.id);
+  if (!profiler_) {
+    resp.set("enabled", JsonValue::boolean(false));
+    return resp;
+  }
+  const std::uint64_t max = req.body.get_u64("max", 10);
+  const obs::ContinuousProfiler::Report r =
+      profiler_->report(static_cast<std::size_t>(max));
+  resp.set("enabled", JsonValue::boolean(true));
+  resp.set("hz", JsonValue::number(r.hz));
+  resp.set("interval_ms", JsonValue::number(r.interval_ms));
+  resp.set("running", JsonValue::boolean(r.running));
+  resp.set("ticks", JsonValue::number(r.ticks));
+  resp.set("samples", JsonValue::number(r.samples));
+  resp.set("traced", JsonValue::number(r.traced));
+  resp.set("torn", JsonValue::number(r.torn));
+  resp.set("truncated", JsonValue::number(r.truncated));
+  resp.set("windows_written", JsonValue::number(r.windows_written));
+  resp.set("write_errors", JsonValue::number(r.write_errors));
+  JsonValue hot = JsonValue::array();
+  for (const obs::HotPath& h : r.hot) {
+    JsonValue e = JsonValue::object();
+    e.set("path", JsonValue::string(h.path));
+    e.set("samples", JsonValue::number(h.samples));
+    e.set("traced", JsonValue::number(h.traced));
+    hot.push(std::move(e));
+  }
+  resp.set("hot", std::move(hot));
+  return resp;
+}
+
+JsonValue Server::profile_windows_response(const Request& req) {
+  JsonValue resp = ok_response(req.id);
+  if (!profiler_) {
+    resp.set("enabled", JsonValue::boolean(false));
+    resp.set("windows", JsonValue::array());
+    return resp;
+  }
+  resp.set("enabled", JsonValue::boolean(true));
+  resp.set("dir", JsonValue::string(opts_.self_profile_dir));
+  JsonValue arr = JsonValue::array();
+  for (const obs::WindowInfo& w : profiler_->windows()) {
+    JsonValue e = JsonValue::object();
+    e.set("seq", JsonValue::number(w.seq));
+    e.set("file", JsonValue::string(w.path));
+    e.set("t0_ms", JsonValue::number(w.t0_ms));
+    e.set("t1_ms", JsonValue::number(w.t1_ms));
+    e.set("samples", JsonValue::number(w.samples));
+    e.set("traced", JsonValue::number(w.traced));
+    e.set("threads", JsonValue::number(
+                         static_cast<std::uint64_t>(w.threads)));
+    e.set("bytes", JsonValue::number(w.bytes));
+    arr.push(std::move(e));
+  }
+  resp.set("windows", std::move(arr));
   return resp;
 }
 
@@ -565,7 +708,8 @@ void Server::refresh_gauges() {
       .set(static_cast<std::uint64_t>(cs.entries));
   obs::counter("serve.cache.byte.budget")
       .set(static_cast<std::uint64_t>(sessions_.cache().byte_budget()));
-  if (log_) obs::counter("serve.log.dropped.total").set(log_->dropped());
+  // Log drops are counted at the drop site by EventLog itself
+  // (log.dropped.total -> pathview_log_dropped_total); no gauge mirror.
 }
 
 std::string Server::metrics_text() {

@@ -31,6 +31,7 @@
 
 #include "pathview/obs/log.hpp"
 #include "pathview/obs/obs.hpp"
+#include "pathview/obs/sampler.hpp"
 #include "pathview/serve/session.hpp"
 
 namespace pathview::serve {
@@ -62,6 +63,17 @@ class Server {
     /// this path. "" disables the metrics writer thread.
     std::string metrics_file;
     std::uint32_t metrics_interval_ms = 1000;
+    /// Continuous self-profiling: a background sampler walks the server's
+    /// own live span stacks at this rate, folding windows of interval_ms
+    /// into PVDB2 experiments. <= 0 disables the profiler entirely.
+    double self_profile_hz = 97.0;
+    /// Wall time covered by each emitted profile window.
+    std::uint64_t self_profile_interval_ms = 60000;
+    /// Window retention-ring directory; "" folds in memory only (the
+    /// self_profile/profile_windows ops still work, nothing hits disk).
+    std::string self_profile_dir;
+    /// Maximum window files kept; the oldest is deleted beyond this.
+    std::size_t self_profile_retain = 16;
     SessionManager::Options sessions;
   };
 
@@ -121,6 +133,17 @@ class Server {
   /// Exposed so shutdown paths (and tests) can flush it deterministically.
   obs::EventLog* event_log() { return log_.get(); }
 
+  /// The continuous profiler, or nullptr when self_profile_hz <= 0 (or the
+  /// server has not started). Exposed for tests and tools.
+  obs::ContinuousProfiler* profiler() { return profiler_.get(); }
+
+  /// Format a flight-recorder capture as one log-friendly line: nested
+  /// `name=DURus{child=...}` groups in capture order, followed by notes.
+  /// Exposed for tests.
+  static std::string format_flight(const std::vector<obs::FlightSpan>& spans,
+                                   const std::vector<std::string>& notes,
+                                   bool overflowed);
+
  private:
   /// One in-flight request; lives on the submitting connection thread's
   /// stack, so the queue holds raw pointers.
@@ -154,6 +177,10 @@ class Server {
   /// Build the per-op block of a "stats" reply from the RED registry.
   JsonValue op_stats_json() const;
   void write_metrics_file();
+  /// Server-level ops answered without a session: the continuous-profiler
+  /// hot-path report and the retention-ring window listing.
+  JsonValue self_profile_response(const Request& req);
+  JsonValue profile_windows_response(const Request& req);
 
   Options opts_;
   SessionManager sessions_;
@@ -185,6 +212,7 @@ class Server {
   std::array<obs::Histogram*, kNumOps> op_latency_{};
 
   std::unique_ptr<obs::EventLog> log_;
+  std::unique_ptr<obs::ContinuousProfiler> profiler_;
   std::chrono::steady_clock::time_point start_time_;
 
   std::thread metrics_thread_;

@@ -6,7 +6,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -17,6 +21,7 @@
 #include "pathview/obs/export.hpp"
 #include "pathview/obs/log.hpp"
 #include "pathview/obs/obs.hpp"
+#include "pathview/obs/sampler.hpp"
 #include "pathview/obs/self_profile.hpp"
 #include "pathview/support/error.hpp"
 #include "json_util.hpp"
@@ -631,6 +636,7 @@ TEST(EventLogTest, DropsWhenQueueIsFullInsteadOfBlocking) {
   obs::EventLog log(opts);
   // Bursts of log() calls race a 1-slot queue; retry bursts until the
   // producer outpaces the writer at least once (first burst in practice).
+  const std::uint64_t ctr_before = obs::counter("log.dropped.total").value();
   for (int round = 0; round < 100 && log.dropped() == 0; ++round)
     for (int i = 0; i < 2000; ++i) {
       obs::LogEvent ev;
@@ -639,6 +645,343 @@ TEST(EventLogTest, DropsWhenQueueIsFullInsteadOfBlocking) {
     }
   log.flush();
   EXPECT_GT(log.dropped(), 0u);
+  // Every drop also ticks the registry counter, which the Prometheus
+  // exporter surfaces as pathview_log_dropped_total.
+  EXPECT_EQ(obs::counter("log.dropped.total").value() - ctr_before,
+            log.dropped());
+}
+
+// ---------------------------------------------------------------------------
+// Live span stacks (the continuous profiler's publication side).
+// ---------------------------------------------------------------------------
+
+/// RAII live-sampling reference so a test failure can't leak the mode bit.
+struct LiveScope {
+  LiveScope() { obs::acquire_live_sampling(); }
+  ~LiveScope() { obs::release_live_sampling(); }
+};
+
+TEST_F(ObsTest, LiveStackPublishesOpenSpans) {
+  SKIP_IF_COMPILED_OUT();
+  LiveScope live;
+  PV_SPAN("live_outer");
+  {
+    PV_SPAN("live_inner");
+    const obs::LiveStackWalk walk = obs::sample_live_stacks();
+    bool found = false;
+    for (const obs::LiveThreadSample& s : walk.samples) {
+      if (s.frames.size() < 2 ||
+          std::string_view(s.frames.back()) != "live_inner")
+        continue;
+      // Frames are outermost-first; depth is the true logical depth.
+      EXPECT_EQ(std::string_view(s.frames[s.frames.size() - 2]),
+                "live_outer");
+      EXPECT_EQ(s.depth, s.frames.size());
+      found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_F(ObsTest, LiveStackCarriesTraceId) {
+  SKIP_IF_COMPILED_OUT();
+  LiveScope live;
+  obs::TraceIdScope trace(42);
+  PV_SPAN("traced_live_span");
+  const obs::LiveStackWalk walk = obs::sample_live_stacks();
+  bool found = false;
+  for (const obs::LiveThreadSample& s : walk.samples)
+    if (!s.frames.empty() &&
+        std::string_view(s.frames.back()) == "traced_live_span") {
+      EXPECT_EQ(s.trace_id, 42u);
+      found = true;
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ObsTest, LiveStackNotPublishedWhenSamplingOff) {
+  SKIP_IF_COMPILED_OUT();
+  ASSERT_FALSE(obs::live_sampling_enabled());
+  PV_SPAN("never_published");
+  const obs::LiveStackWalk walk = obs::sample_live_stacks();
+  for (const obs::LiveThreadSample& s : walk.samples)
+    for (const char* f : s.frames)
+      EXPECT_NE(std::string_view(f), "never_published");
+}
+
+TEST_F(ObsTest, LiveStackReportsTruncationOnDeepStacks) {
+  SKIP_IF_COMPILED_OUT();
+  LiveScope live;
+  constexpr int kDepth = static_cast<int>(obs::kMaxLiveDepth) + 12;
+  std::function<void(int)> rec = [&rec](int left) {
+    PV_SPAN("deep_frame");
+    if (left > 1) {
+      rec(left - 1);
+      return;
+    }
+    const obs::LiveStackWalk walk = obs::sample_live_stacks();
+    EXPECT_GE(walk.truncated, 1u);
+    bool found = false;
+    for (const obs::LiveThreadSample& s : walk.samples)
+      if (s.depth >= static_cast<std::uint32_t>(kDepth)) {
+        // Only the outermost kMaxLiveDepth frames are published.
+        EXPECT_EQ(s.frames.size(),
+                  static_cast<std::size_t>(obs::kMaxLiveDepth));
+        found = true;
+      }
+    EXPECT_TRUE(found);
+  };
+  rec(kDepth);
+}
+
+// ---------------------------------------------------------------------------
+// The continuous profiler (obs/sampler.hpp).
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, ProfilerTickFoldsLiveStacksIntoHotPaths) {
+  SKIP_IF_COMPILED_OUT();
+  obs::ContinuousProfiler::Options popts;
+  popts.hz = 0;  // no background thread; the test ticks by hand
+  obs::ContinuousProfiler prof(popts);
+  PV_SPAN("fold_outer");
+  {
+    PV_SPAN("fold_inner");
+    prof.tick_once();
+    prof.tick_once();
+  }
+  prof.tick_once();
+  const obs::ContinuousProfiler::Report rep = prof.report();
+  EXPECT_EQ(rep.ticks, 3u);
+  EXPECT_EQ(rep.samples, 3u);
+  EXPECT_EQ(rep.traced, 0u);
+  ASSERT_GE(rep.hot.size(), 2u);
+  // Hottest exact path first: two samples landed with fold_inner innermost.
+  EXPECT_EQ(rep.hot[0].path, "fold_outer/fold_inner");
+  EXPECT_EQ(rep.hot[0].samples, 2u);
+  EXPECT_EQ(rep.hot[1].path, "fold_outer");
+  EXPECT_EQ(rep.hot[1].samples, 1u);
+}
+
+TEST_F(ObsTest, ProfilerAttributesTracedSamples) {
+  SKIP_IF_COMPILED_OUT();
+  obs::ContinuousProfiler::Options popts;
+  popts.hz = 0;
+  obs::ContinuousProfiler prof(popts);
+  obs::TraceIdScope trace(7);
+  PV_SPAN("traced_fold");
+  prof.tick_once();
+  const obs::ContinuousProfiler::Report rep = prof.report();
+  EXPECT_EQ(rep.samples, 1u);
+  EXPECT_EQ(rep.traced, 1u);
+  ASSERT_EQ(rep.hot.size(), 1u);
+  EXPECT_EQ(rep.hot[0].traced, 1u);
+}
+
+TEST_F(ObsTest, ProfilerWritesWindowsToRetentionRing) {
+  SKIP_IF_COMPILED_OUT();
+  const std::string dir = ::testing::TempDir() + "/obs_prof_ring";
+  std::filesystem::remove_all(dir);
+  obs::ContinuousProfiler::Options popts;
+  popts.hz = 0;
+  popts.dir = dir;
+  popts.retain = 2;
+  popts.name = "ring-test";
+  obs::ContinuousProfiler prof(popts);
+  PV_SPAN("window_span");
+  for (int w = 0; w < 3; ++w) {
+    prof.tick_once();
+    prof.rotate_now();
+  }
+  const std::vector<obs::WindowInfo> wins = prof.windows();
+  ASSERT_EQ(wins.size(), 2u);
+  EXPECT_EQ(wins[0].seq, 2u);
+  EXPECT_EQ(wins[1].seq, 3u);
+  EXPECT_EQ(prof.report().windows_written, 3u);
+  // The oldest file fell off the ring; the survivors are clean, openable
+  // experiment databases.
+  EXPECT_FALSE(std::filesystem::exists(dir + "/window-000001.pvdb"));
+  for (const obs::WindowInfo& w : wins) {
+    EXPECT_TRUE(std::filesystem::exists(w.path));
+    EXPECT_GT(w.bytes, 0u);
+    EXPECT_EQ(w.samples, 1u);
+    const db::Experiment exp = db::load_binary(w.path);
+    EXPECT_FALSE(exp.degraded());
+  }
+  EXPECT_EQ(db::load_binary(wins[1].path).name(), "ring-test-window-3");
+}
+
+TEST_F(ObsTest, ProfilerSkipsEmptyWindows) {
+  SKIP_IF_COMPILED_OUT();
+  const std::string dir = ::testing::TempDir() + "/obs_prof_empty";
+  std::filesystem::remove_all(dir);
+  obs::ContinuousProfiler::Options popts;
+  popts.hz = 0;
+  popts.dir = dir;
+  obs::ContinuousProfiler prof(popts);
+  prof.rotate_now();
+  prof.rotate_now();
+  EXPECT_TRUE(prof.windows().empty());
+  EXPECT_EQ(prof.report().windows_written, 0u);
+  // Sequence numbers are not burned on empty windows.
+  PV_SPAN("late_span");
+  prof.tick_once();
+  prof.rotate_now();
+  const std::vector<obs::WindowInfo> wins = prof.windows();
+  ASSERT_EQ(wins.size(), 1u);
+  EXPECT_EQ(wins[0].seq, 1u);
+}
+
+// The TSan target of the suite: concurrent span churn on several threads
+// races the background sampler, manual walks, and constant window rotation.
+// Every observed stack must be well-formed (no torn reads surfacing as
+// frames, no out-of-range depths) and the lifetime aggregates monotone.
+TEST_F(ObsTest, ProfilerSurvivesConcurrentSpanChurn) {
+  SKIP_IF_COMPILED_OUT();
+  const std::string dir = ::testing::TempDir() + "/obs_prof_hammer";
+  std::filesystem::remove_all(dir);
+  obs::ContinuousProfiler::Options popts;
+  popts.hz = 2000.0;     // ~0.5 ms period: far hotter than production
+  popts.interval_ms = 5; // rotate (and write) constantly
+  popts.dir = dir;
+  popts.retain = 3;
+  popts.name = "hammer";
+  obs::ContinuousProfiler prof(popts);
+  prof.start();
+  ASSERT_TRUE(prof.running());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t)
+    workers.emplace_back([&stop, t] {
+      // Half the workers carry a trace id, half sample as background.
+      obs::TraceIdScope trace(t % 2 == 0 ? 0u
+                                         : static_cast<std::uint64_t>(t));
+      while (!stop.load(std::memory_order_relaxed)) {
+        PV_SPAN("hammer_a");
+        {
+          PV_SPAN("hammer_b");
+          { PV_SPAN("hammer_c"); }
+        }
+        { PV_SPAN("hammer_d"); }
+      }
+    });
+
+  // Violations are collected, not asserted inline: an early return here
+  // would destroy joinable worker threads. Note the walk can also observe
+  // the sampler thread itself (its window writes publish db.* spans), so
+  // frame-name checks apply only to stacks rooted in a worker's hammer_a.
+  std::vector<std::string> violations;
+  std::uint64_t prev_samples = 0;
+  std::uint64_t prev_ticks = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (int i = 0; i < 200; ++i) {
+    const obs::LiveStackWalk walk = obs::sample_live_stacks();
+    for (const obs::LiveThreadSample& s : walk.samples) {
+      if (s.depth == 0) violations.push_back("sample with zero depth");
+      if (s.frames.size() > static_cast<std::size_t>(s.depth))
+        violations.push_back("more frames than logical depth");
+      bool null_frame = false;
+      for (const char* f : s.frames)
+        if (f == nullptr) null_frame = true;
+      if (null_frame) {
+        violations.push_back("null frame pointer");
+        continue;
+      }
+      if (s.frames.empty() ||
+          std::string_view(s.frames.front()) != "hammer_a")
+        continue;  // another thread (e.g. the sampler writing a window)
+      for (const char* f : s.frames) {
+        const std::string_view name(f);
+        if (name != "hammer_a" && name != "hammer_b" && name != "hammer_c" &&
+            name != "hammer_d")
+          violations.push_back("torn stack surfaced frame: " +
+                               std::string(name));
+      }
+    }
+    const obs::ContinuousProfiler::Report rep = prof.report();
+    if (rep.samples < prev_samples)
+      violations.push_back("sample count went backwards");
+    if (rep.ticks < prev_ticks) violations.push_back("tick count went back");
+    prev_samples = rep.samples;
+    prev_ticks = rep.ticks;
+    // Keep hammering until the sampler provably saw traced + untraced work.
+    if (i >= 100 && rep.samples >= 20 && rep.traced >= 1 &&
+        rep.windows_written >= 1)
+      break;
+    if (std::chrono::steady_clock::now() > deadline) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  stop.store(true);
+  for (std::thread& w : workers) w.join();
+  prof.stop();
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violation(s), first: " << violations.front();
+
+  const obs::ContinuousProfiler::Report rep = prof.report(100);
+  EXPECT_GT(rep.ticks, 0u);
+  EXPECT_GE(rep.samples, 20u);
+  EXPECT_GE(rep.traced, 1u);
+  EXPECT_GE(rep.windows_written, 1u);
+  EXPECT_EQ(rep.write_errors, 0u);
+  for (const obs::HotPath& h : rep.hot)
+    EXPECT_EQ(h.path.rfind("hammer_a", 0), 0u) << h.path;
+  // The ring never outgrows its retention bound.
+  EXPECT_LE(prof.windows().size(), 3u);
+  // The newest window is a clean experiment.
+  const std::vector<obs::WindowInfo> wins = prof.windows();
+  ASSERT_FALSE(wins.empty());
+  EXPECT_FALSE(db::load_binary(wins.back().path).degraded());
+}
+
+// ---------------------------------------------------------------------------
+// The flight recorder (slow-request capture).
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, FlightRecorderCapturesSpansEvenWhenRecordingDisabled) {
+  SKIP_IF_COMPILED_OUT();
+  obs::set_enabled(false);  // flight capture is independent of enabled()
+  obs::FlightRecorder fr;
+  EXPECT_TRUE(fr.armed());
+  {
+    PV_SPAN("flight_outer");
+    obs::flight_note("checkpoint");
+    { PV_SPAN("flight_child"); }
+    { PV_SPAN("flight_sibling"); }
+  }
+  const std::vector<obs::FlightSpan> spans = fr.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_STREQ(spans[0].name, "flight_outer");
+  EXPECT_STREQ(spans[1].name, "flight_child");
+  EXPECT_STREQ(spans[2].name, "flight_sibling");
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[1].parent, 0);
+  EXPECT_EQ(spans[2].parent, 0);
+  for (const obs::FlightSpan& s : spans) EXPECT_GE(s.end_ns, s.start_ns);
+  ASSERT_EQ(fr.notes().size(), 1u);
+  EXPECT_EQ(fr.notes()[0], "checkpoint");
+  EXPECT_FALSE(fr.overflowed());
+  // Nothing leaked into the regular span recorder.
+  EXPECT_TRUE(my_spans().empty());
+}
+
+TEST_F(ObsTest, FlightRecorderOverflowsGracefullyAndNestsInert) {
+  SKIP_IF_COMPILED_OUT();
+  obs::FlightRecorder fr(2);
+  { PV_SPAN("f1"); }
+  { PV_SPAN("f2"); }
+  { PV_SPAN("f3"); }
+  EXPECT_TRUE(fr.overflowed());
+  EXPECT_EQ(fr.spans().size(), 2u);
+  {
+    // A second recorder on an already-armed thread is an inert shell: the
+    // outer capture keeps going, the inner observes nothing.
+    obs::FlightRecorder inner;
+    EXPECT_FALSE(inner.armed());
+    { PV_SPAN("f4"); }
+    EXPECT_TRUE(inner.spans().empty());
+  }
+  EXPECT_TRUE(fr.armed());
 }
 
 }  // namespace

@@ -580,6 +580,166 @@ TEST(ServeStats, MetricsFileIsWrittenAndReplaced) {
   std::remove(path.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// Continuous self-profiling ops + the slow-request flight recorder.
+// ---------------------------------------------------------------------------
+
+TEST(ServeProfile, SelfProfileOpReportsHotPaths) {
+  obs::reset();
+  Server server;  // default options: profiler on at 97 Hz, no ring dir
+  server.start();
+  Client client("127.0.0.1", server.port(), {});
+  for (int i = 0; i < 3; ++i) client.call_op("ping", JsonValue::object());
+  // Don't wait for the 97 Hz schedule: force one deterministic sample. The
+  // accept loop's long-lived span guarantees it lands on a serve.* path.
+  ASSERT_NE(server.profiler(), nullptr);
+  server.profiler()->tick_once();
+
+  JsonValue body = JsonValue::object();
+  body.set("max", JsonValue::number(std::uint64_t{4}));
+  const JsonValue rep = client.call_op("self_profile", std::move(body));
+  ASSERT_TRUE(rep.get_bool("ok", false)) << rep.dump();
+  EXPECT_TRUE(rep.get_bool("enabled", false));
+  EXPECT_TRUE(rep.get_bool("running", false));
+  EXPECT_GE(rep.get_u64("ticks", 0), 1u);
+  EXPECT_GE(rep.get_u64("samples", 0), 1u);
+  const JsonValue* hot = rep.find("hot");
+  ASSERT_NE(hot, nullptr) << rep.dump();
+  ASSERT_TRUE(hot->is_array());
+  ASSERT_FALSE(hot->items().empty());
+  EXPECT_LE(hot->items().size(), 4u);
+  bool has_serve_path = false;
+  for (const JsonValue& h : hot->items()) {
+    EXPECT_GE(h.get_u64("samples", 0), 1u);
+    if (h.get_string("path", "").rfind("serve.", 0) == 0)
+      has_serve_path = true;
+  }
+  EXPECT_TRUE(has_serve_path) << rep.dump();
+  server.stop();
+}
+
+TEST(ServeProfile, ProfileOpsReportDisabledWhenHzIsZero) {
+  Server::Options opts;
+  opts.self_profile_hz = 0;
+  Server server(opts);
+  server.start();
+  EXPECT_EQ(server.profiler(), nullptr);
+  Client client("127.0.0.1", server.port(), {});
+  const JsonValue rep =
+      client.call_op("self_profile", JsonValue::object());
+  ASSERT_TRUE(rep.get_bool("ok", false)) << rep.dump();
+  EXPECT_FALSE(rep.get_bool("enabled", true));
+  const JsonValue wins =
+      client.call_op("profile_windows", JsonValue::object());
+  ASSERT_TRUE(wins.get_bool("ok", false)) << wins.dump();
+  EXPECT_FALSE(wins.get_bool("enabled", true));
+  server.stop();
+}
+
+TEST(ServeProfile, ProfileWindowsListsLoadableExperiments) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("serve_prof_ring_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+  Server::Options opts;
+  opts.self_profile_hz = 500;
+  opts.self_profile_interval_ms = 40;
+  opts.self_profile_dir = dir;
+  opts.self_profile_retain = 4;
+  Server server(opts);
+  server.start();
+  Client client("127.0.0.1", server.port(), {});
+
+  JsonValue wins;
+  bool have = false;
+  for (int i = 0; i < 500 && !have; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    wins = client.call_op("profile_windows", JsonValue::object());
+    ASSERT_TRUE(wins.get_bool("ok", false)) << wins.dump();
+    const JsonValue* arr = wins.find("windows");
+    have = arr != nullptr && arr->is_array() && !arr->items().empty();
+  }
+  ASSERT_TRUE(have) << wins.dump();
+  EXPECT_TRUE(wins.get_bool("enabled", false));
+  EXPECT_EQ(wins.get_string("dir", ""), dir);
+  const JsonValue& w = wins.find("windows")->items().front();
+  EXPECT_GE(w.get_u64("samples", 0), 1u);
+  EXPECT_GE(w.get_u64("seq", 0), 1u);
+  const std::string file = w.get_string("file", "");
+  ASSERT_FALSE(file.empty());
+  EXPECT_TRUE(std::filesystem::exists(file));
+  // Ring files are ordinary, clean PVDB2 experiments.
+  const db::Experiment exp = db::load_binary(file);
+  EXPECT_FALSE(exp.degraded());
+  EXPECT_LE(wins.find("windows")->items().size(), 4u);
+  server.stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeFlight, FormatFlightRendersNestedSpansAndNotes) {
+  std::vector<obs::FlightSpan> spans;
+  spans.push_back({"serve.query", 0, 5000, -1});
+  spans.push_back({"query.compile", 500, 1500, 0});
+  spans.push_back({"query.exec", 1500, 4500, 0});
+  EXPECT_EQ(Server::format_flight(spans, {"plan: scan"}, false),
+            "flight: serve.query=5us{query.compile=1us,query.exec=3us}"
+            " note: plan: scan");
+  EXPECT_EQ(Server::format_flight({spans[0]}, {}, true),
+            "flight: serve.query=5us (capture truncated)");
+  EXPECT_EQ(Server::format_flight({}, {}, false), "flight:");
+}
+
+TEST(ServeFlight, SlowRequestsLogSpanBreakdownWithQueryPlan) {
+  TempExperiment exp;
+  const std::string log_path =
+      (std::filesystem::temp_directory_path() /
+       ("serve_flight_" + std::to_string(::getpid()) + ".log"))
+          .string();
+  std::remove(log_path.c_str());
+  Server::Options opts;
+  opts.log_format = "json";
+  opts.log_file = log_path;
+  opts.slow_ms = 0;  // every request is "slow": deterministic capture
+  Server server(opts);
+  server.start();
+  Client client("127.0.0.1", server.port(), {});
+  JsonValue body = JsonValue::object();
+  body.set("path", JsonValue::string(exp.path()));
+  const JsonValue open = client.call_op("open", std::move(body));
+  ASSERT_TRUE(open.get_bool("ok", false)) << open.dump();
+  const std::string sid = open.get_string("session", "");
+  body = JsonValue::object();
+  body.set("session", JsonValue::string(sid));
+  body.set("q", JsonValue::string("order by cycles.incl desc limit 3"));
+  ASSERT_TRUE(
+      client.call_op("query", std::move(body)).get_bool("ok", false));
+
+  // The stats op surfaces the log drop counter alongside the server gauges.
+  const JsonValue stats = client.call_op("stats", JsonValue::object());
+  const JsonValue* srv = stats.find("server");
+  ASSERT_NE(srv, nullptr);
+  EXPECT_EQ(srv->get_u64("log_dropped", 99), 0u);
+
+  ASSERT_NE(server.event_log(), nullptr);
+  server.event_log()->flush();
+  server.stop();
+  std::FILE* f = std::fopen(log_path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content(1 << 20, '\0');
+  content.resize(std::fread(content.data(), 1, content.size(), f));
+  std::fclose(f);
+  // Every logged slow request carries its flight breakdown; the query op's
+  // line also carries the compiled plan as a note.
+  EXPECT_NE(content.find("flight: serve.open="), std::string::npos)
+      << content.substr(0, 1024);
+  const std::size_t qpos = content.find("flight: serve.query=");
+  ASSERT_NE(qpos, std::string::npos) << content.substr(0, 1024);
+  EXPECT_NE(content.find(" note: ", qpos), std::string::npos)
+      << content.substr(qpos, 512);
+  std::remove(log_path.c_str());
+}
+
 TEST(ServeServer, IdleConnectionsAreClosedByTheTimeout) {
   Server::Options opts;
   opts.idle_timeout_ms = 50;

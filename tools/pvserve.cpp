@@ -47,6 +47,15 @@ daemon flags:
   --metrics-file P   write Prometheus text-format metric snapshots to P
                      (atomically replaced) every --metrics-interval-ms
   --metrics-interval-ms N  snapshot cadence (default 1000)
+  --self-profile-hz N  continuous profiler sampling rate (default 97;
+                     0 disables the sampler entirely)
+  --self-profile-interval-ms N  wall time per emitted profile window
+                     (default 60000)
+  --self-profile-dir D  retention ring for window experiments
+                     (D/window-NNNNNN.pvdb); default "" = fold in memory
+                     only, write nothing
+  --self-profile-retain N  window files kept before the oldest is deleted
+                     (default 16)
 
 client flags:
   --port N           daemon port (required)
@@ -181,6 +190,13 @@ int run_daemon(const pathview::tools::Args& args,
   opts.metrics_file = args.flag_str("metrics-file", "");
   opts.metrics_interval_ms =
       static_cast<std::uint32_t>(args.flag("metrics-interval-ms", 1000));
+  opts.self_profile_hz =
+      static_cast<double>(args.flag("self-profile-hz", 97));
+  opts.self_profile_interval_ms = static_cast<std::uint64_t>(
+      std::max(1l, args.flag("self-profile-interval-ms", 60000)));
+  opts.self_profile_dir = args.flag_str("self-profile-dir", "");
+  opts.self_profile_retain = static_cast<std::size_t>(
+      std::max(1l, args.flag("self-profile-retain", 16)));
 
   serve::Server server(opts);
   server.start();

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <deque>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -39,9 +40,14 @@ flags:
                     implies --count 1 --no-ansi)
   --no-ansi         plain text: no colors, no redraw-in-place, ASCII
                     sparklines
+  --reconnect N     live mode only: consecutive transport failures ridden
+                    out (header shows STALE, bounded backoff) before pvtop
+                    gives up with exit 3 (default 5)
 
 exit codes: 0 ok; 2 the daemon refused a stats request; 3 transport error
-(daemon unreachable or connection torn).
+(daemon unreachable or connection torn). Live mode rides out up to
+--reconnect consecutive transport errors before exiting 3; --once fails
+fast on the first one.
 )";
 
 volatile std::sig_atomic_t g_stop = 0;
@@ -90,21 +96,65 @@ int run(const pathview::tools::Args& args) {
   long count = std::max(0l, args.flag("count", 0));
   if (once) count = 1;
 
-  serve::Client client(host, static_cast<std::uint16_t>(port));
+  const long reconnect_limit = std::max(1l, args.flag("reconnect", 5));
+  std::unique_ptr<serve::Client> client;
 
   std::map<std::string, std::uint64_t> prev_counts;
   std::map<std::string, std::deque<double>> trend;
   auto prev_time = std::chrono::steady_clock::now();
   bool first_frame = true;
+  std::string last_body;  // previous rendered frame, reshown under STALE
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
   if (use_ansi) std::fputs(ansi::kHideCursor, stdout);
 
   int rc = 0;
-  for (long frame = 0; !g_stop; ++frame) {
-    const serve::JsonValue reply =
-        client.call_op("stats", serve::JsonValue::object());
+  int failures = 0;
+  for (long frame = 0; !g_stop;) {
+    serve::JsonValue reply;
+    serve::JsonValue prof;
+    try {
+      if (!client)
+        client = std::make_unique<serve::Client>(
+            host, static_cast<std::uint16_t>(port));
+      reply = client->call_op("stats", serve::JsonValue::object());
+      serve::JsonValue pbody = serve::JsonValue::object();
+      pbody.set("max", serve::JsonValue::number(std::uint64_t{8}));
+      prof = client->call_op("self_profile", std::move(pbody));
+      failures = 0;
+    } catch (const serve::TransportError& e) {
+      // --once keeps the fail-fast exit-code taxonomy; live mode rides out
+      // transient daemon restarts: drop the connection, mark the screen
+      // STALE, and retry with bounded backoff.
+      if (once) throw;
+      client.reset();
+      if (++failures >= reconnect_limit) {
+        std::fprintf(stderr,
+                     "pvtop: giving up after %d transport failure(s): %s\n",
+                     failures, e.what());
+        rc = 3;
+        break;
+      }
+      std::string out;
+      if (use_ansi) out += ansi::kClearHome;
+      char banner[200];
+      std::snprintf(banner, sizeof banner,
+                    "pvtop — %s:%ld   STALE (daemon unreachable, reconnect "
+                    "%d/%ld)\n",
+                    host.c_str(), port, failures,
+                    reconnect_limit);
+      out += ansi::styled(ansi::kBold, banner, use_ansi);
+      out += last_body;
+      std::fwrite(out.data(), 1, out.size(), stdout);
+      std::fflush(stdout);
+      const long backoff = std::min(
+          5000l, interval_ms << std::min(failures - 1, 4));
+      for (long slept = 0; slept < backoff && !g_stop; slept += 50)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(std::min(50l, backoff - slept)));
+      continue;
+    }
     if (!reply.get_bool("ok", false)) {
       std::fprintf(stderr, "pvtop: daemon refused stats: %s\n",
                    reply.dump().c_str());
@@ -152,7 +202,6 @@ int run(const pathview::tools::Args& args) {
 
     // --- render -----------------------------------------------------------
     std::string out;
-    if (use_ansi) out += ansi::kClearHome;
 
     const std::uint64_t uptime_ms =
         srv != nullptr ? srv->get_u64("uptime_ms", 0) : 0;
@@ -251,11 +300,57 @@ int run(const pathview::tools::Args& args) {
     }
     if (rows.empty()) out += "  (no requests handled yet)\n";
 
+    // --- hot paths (continuous self-profile) ------------------------------
+    if (prof.get_bool("ok", false) && prof.get_bool("enabled", false)) {
+      out += "\n";
+      char ph[200];
+      std::snprintf(ph, sizeof ph,
+                    "  hot paths — %.0f Hz   %llu samples (%llu traced)   "
+                    "%llu window(s)   torn %llu\n",
+                    prof.get_number("hz", 0.0),
+                    static_cast<unsigned long long>(
+                        prof.get_u64("samples", 0)),
+                    static_cast<unsigned long long>(prof.get_u64("traced", 0)),
+                    static_cast<unsigned long long>(
+                        prof.get_u64("windows_written", 0)),
+                    static_cast<unsigned long long>(prof.get_u64("torn", 0)));
+      out += ansi::styled(ansi::kBold, ph, use_ansi);
+      const serve::JsonValue* hot = prof.find("hot");
+      if (hot != nullptr && hot->is_array() && !hot->items().empty()) {
+        char hh[120];
+        std::snprintf(hh, sizeof hh, "  %8s %7s  %-10s %s\n", "samples",
+                      "traced", "share", "path");
+        out += ansi::styled(ansi::kDim, hh, use_ansi);
+        std::uint64_t max_samples = 1;
+        for (const auto& h : hot->items())
+          max_samples = std::max(max_samples, h.get_u64("samples", 0));
+        for (const auto& h : hot->items()) {
+          const std::uint64_t s = h.get_u64("samples", 0);
+          char hl[240];
+          std::snprintf(hl, sizeof hl, "  %8llu %7llu  [%s] %s\n",
+                        static_cast<unsigned long long>(s),
+                        static_cast<unsigned long long>(
+                            h.get_u64("traced", 0)),
+                        ansi::bar(static_cast<double>(s) /
+                                      static_cast<double>(max_samples),
+                                  8)
+                            .c_str(),
+                        h.get_string("path", "?").c_str());
+          out += hl;
+        }
+      } else {
+        out += "  (no samples in the current window yet)\n";
+      }
+    }
+
+    last_body = out;
+    if (use_ansi) std::fputs(ansi::kClearHome, stdout);
     std::fwrite(out.data(), 1, out.size(), stdout);
     std::fflush(stdout);
     first_frame = false;
 
-    if (count != 0 && frame + 1 >= count) break;
+    ++frame;
+    if (count != 0 && frame >= count) break;
     // Sleep in short slices so Ctrl-C exits promptly.
     for (long slept = 0; slept < interval_ms && !g_stop; slept += 50)
       std::this_thread::sleep_for(
