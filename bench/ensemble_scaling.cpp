@@ -1,0 +1,151 @@
+// Ensemble alignment scaling harness: builds a 32-run x 64-rank ensemble
+// (same program, per-run sample streams, and a deliberate cost drift on the
+// back half of the runs) and gates the interactive-analysis contract:
+// aligning all members into the supergraph AND answering "which call path
+// regressed >= 5% against the baseline" must finish under 2 seconds.
+// Also checks that a shuffled member order yields a byte-identical
+// supergraph (labels and order-independent columns), and writes
+// BENCH_ensemble_scaling.json on the pathview-bench-v2 schema.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "pathview/db/experiment.hpp"
+#include "pathview/ensemble/ensemble.hpp"
+#include "pathview/prof/pipeline.hpp"
+#include "pathview/query/plan.hpp"
+#include "pathview/sim/parallel_runner.hpp"
+#include "pathview/workloads/random_program.hpp"
+
+using namespace pathview;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+template <typename Fn>
+double best_of(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const Clock::time_point t0 = Clock::now();
+    fn();
+    best = std::min(best, seconds_since(t0));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  constexpr std::size_t kRuns = 32;
+  constexpr std::uint32_t kRanks = 64;
+  constexpr int kReps = 3;
+
+  bench::Report rep("supergraph alignment over a 32-run x 64-rank ensemble",
+                    bench::meta_from_args(argc, argv, "ensemble_scaling"));
+  rep.config("runs", static_cast<double>(kRuns));
+  rep.config("ranks", static_cast<double>(kRanks));
+  rep.config("reps", static_cast<double>(kReps));
+
+  // One program shape shared by every run (the realistic ensemble case:
+  // re-executions of the same binary), with per-run sample streams and a
+  // +8% cost drift on the back half of the runs so the regression query has
+  // genuine answers against a front-half baseline.
+  workloads::RandomProgramOptions wopts;
+  wopts.seed = 7;
+  wopts.num_files = 8;
+  wopts.num_procs = 40;
+  wopts.max_stmt_depth = 4;
+  wopts.max_body_stmts = 4;
+  workloads::Workload w = workloads::make_random_program(wopts);
+
+  std::vector<std::shared_ptr<const db::Experiment>> members;
+  members.reserve(kRuns);
+  const Clock::time_point build0 = Clock::now();
+  for (std::size_t r = 0; r < kRuns; ++r) {
+    sim::ParallelConfig pc;
+    pc.nranks = kRanks;
+    pc.base = w.run;
+    pc.base.seed = 1000 + r;
+    if (r >= kRuns / 2) {
+      pc.base.cost_transform = [](std::uint32_t, std::uint32_t,
+                                  model::StmtId,
+                                  const model::EventVector& base) {
+        return base * 1.08;
+      };
+    }
+    const std::vector<sim::RawProfile> raws =
+        sim::run_parallel(*w.program, *w.lowering, pc);
+    const prof::CanonicalCct cct = prof::Pipeline().run(raws, *w.tree);
+    members.push_back(std::make_shared<const db::Experiment>(
+        db::Experiment::capture(*w.tree, cct, "run" + std::to_string(r),
+                                kRanks)));
+  }
+  rep.info("member build time [s] (not gated)", seconds_since(build0));
+  rep.info("member CCT nodes", static_cast<double>(members[0]->cct().size()));
+
+  // --- the gated path: align + "which path regressed >= 5%" ---------------
+  ensemble::EnsembleOptions eopts;
+  eopts.baseline = 0;
+  eopts.regress_threshold = 0.05;
+  // The question is about cycles; materializing per-run + differential
+  // columns for all six events would multiply the table by 6x for columns
+  // the query never reads.
+  eopts.events = {model::Event::kCycles};
+  const std::string regression_query =
+      "match '**' where cycles.incl.regressed > 0 "
+      "order by cycles.incl.delta desc limit 20";
+
+  std::size_t supergraph_nodes = 0;
+  std::size_t regressed_rows = 0;
+  const double e2e_s = best_of(kReps, [&] {
+    const ensemble::Ensemble ens = ensemble::Ensemble::align(members, eopts);
+    const query::QueryResult res =
+        query::run(regression_query, ens.cct(), ens.attribution().table);
+    supergraph_nodes = ens.cct().size();
+    regressed_rows = res.rows.size();
+  });
+  rep.info("supergraph nodes", static_cast<double>(supergraph_nodes));
+  rep.info("regressed paths returned", static_cast<double>(regressed_rows));
+  rep.gate_max("align + regression query end-to-end [ms]", e2e_s * 1e3,
+               2000.0);
+  // The drifted back half must actually show up as regressions.
+  rep.row("regression query finds the injected +8% drift", 1,
+          regressed_rows > 0 ? 1 : 0, 0);
+
+  // --- member-order determinism -------------------------------------------
+  // Reversing the member list must leave the supergraph byte-identical:
+  // same node count, same labels in the same order, same order-independent
+  // columns. Only per-run column contents may move.
+  const ensemble::Ensemble fwd = ensemble::Ensemble::align(members, eopts);
+  std::vector<std::shared_ptr<const db::Experiment>> reversed(
+      members.rbegin(), members.rend());
+  ensemble::EnsembleOptions ropts = eopts;
+  ropts.baseline = kRuns - 1;  // still physical run 0
+  const ensemble::Ensemble rev = ensemble::Ensemble::align(reversed, ropts);
+  bool identical = fwd.cct().size() == rev.cct().size();
+  const auto mean_col = fwd.attribution().table.find(
+      "PAPI_TOT_CYC (I) mean");
+  const auto rmean_col = rev.attribution().table.find(
+      "PAPI_TOT_CYC (I) mean");
+  identical = identical && mean_col && rmean_col;
+  for (prof::CctNodeId n = 0; identical && n < fwd.cct().size(); ++n) {
+    identical = fwd.cct().label(n) == rev.cct().label(n) &&
+                fwd.attribution().table.get(*mean_col, n) ==
+                    rev.attribution().table.get(*rmean_col, n) &&
+                fwd.presence_count(n) == rev.presence_count(n);
+  }
+  rep.row("supergraph is identical under member shuffle", 1,
+          identical ? 1 : 0, 0);
+
+  rep.write_json("BENCH_ensemble_scaling.json");
+  return rep.exit_code();
+}

@@ -166,6 +166,46 @@ query_smoke() {
   wait "$qpid"
 }
 
+# Ensemble smoke against the tools of one build dir: an 8-window ring of
+# databases (same workload, per-window sample seeds), pvdiff aligning the
+# ring directory into a supergraph, and the pvserve open_ensemble + query
+# ops answering with the byte-identical "result" encoding pvdiff --json
+# prints for the same query text.
+ensemble_smoke() {
+  edir=$1
+  ering=$edir/ensemble_check_ring
+  elog=$edir/ensemble_check.log
+  rm -rf "$ering"
+  mkdir -p "$ering"
+  for i in 0 1 2 3 4 5 6 7; do
+    "$edir/tools/pvprof" combustion -o "$ering/window-0$i.pvdb" \
+      --seed $((100 + i)) > /dev/null
+  done
+  # A directory input is the window ring, expanded in window order.
+  "$edir/tools/pvdiff" "$ering" --baseline 0 --top 5 |
+    grep -q 'ensemble of 8 runs'
+  etext="match '**' where cycles.incl.delta >= 0 select cycles.incl.mean, cycles.incl.stddev order by cycles.incl.mean desc limit 5"
+  ejson=$("$edir/tools/pvdiff" "$ering" --query "$etext" --json)
+  [ -n "$ejson" ]
+  "$edir/tools/pvserve" --port 0 > "$elog" 2>&1 &
+  epid=$!
+  for _ in $(seq 100); do
+    grep -q 'listening on' "$elog" && break
+    sleep 0.1
+  done
+  eport=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$elog")
+  esid=$("$edir/tools/pvserve" --client --port "$eport" --request \
+           "{\"v\":1,\"id\":1,\"op\":\"open_ensemble\",\"dir\":\"$ering\"}" |
+         sed -n 's/.*"session":"\([^"]*\)".*/\1/p')
+  [ -n "$esid" ]
+  "$edir/tools/pvserve" --client --port "$eport" --request \
+    "{\"v\":1,\"id\":2,\"op\":\"query\",\"session\":\"$esid\",\"q\":\"$etext\"}" |
+    grep -qF "\"result\":$ejson"
+  kill -TERM "$epid"
+  wait "$epid"
+  rm -rf "$ering"
+}
+
 # Fault-injection matrix against the tools of one build dir: three canned
 # specs prove the durability story end to end — (1) kill -9 at the atomic
 # rename leaves the old database byte-identical, (2) a torn write fails
@@ -228,6 +268,8 @@ echo "== continuous-profiling smoke (windowed self-profile ring)"
 profile_smoke build
 echo "== query smoke (pvquery + serve query op)"
 query_smoke build
+echo "== ensemble smoke (pvdiff + serve open_ensemble op)"
+ensemble_smoke build
 echo "== fault-injection matrix"
 fault_matrix build
 
@@ -242,6 +284,8 @@ if [ "${PATHVIEW_SKIP_SANITIZE:-0}" != "1" ]; then
   profile_smoke build-asan
   echo "== query smoke under ASan"
   query_smoke build-asan
+  echo "== ensemble smoke under ASan"
+  ensemble_smoke build-asan
   echo "== fault-injection matrix under ASan"
   fault_matrix build-asan
 
@@ -249,19 +293,22 @@ if [ "${PATHVIEW_SKIP_SANITIZE:-0}" != "1" ]; then
   cmake -B build-tsan -DPATHVIEW_SANITIZE=thread
   cmake --build build-tsan -j "$(nproc)" \
     --target prof_test pipeline_test obs_test serve_test fault_test \
-    query_test pvserve pvprof pvrun pvtop pvquery
+    query_test ensemble_test pvserve pvprof pvrun pvtop pvquery pvdiff
   build-tsan/tests/prof_test
   build-tsan/tests/pipeline_test
   build-tsan/tests/obs_test
   build-tsan/tests/serve_test
   build-tsan/tests/fault_test
   build-tsan/tests/query_test
+  build-tsan/tests/ensemble_test
   echo "== serve smoke under TSan"
   serve_smoke build-tsan
   echo "== continuous-profiling smoke under TSan"
   profile_smoke build-tsan
   echo "== query smoke under TSan"
   query_smoke build-tsan
+  echo "== ensemble smoke under TSan"
+  ensemble_smoke build-tsan
   echo "== fault-injection matrix under TSan"
   fault_matrix build-tsan
 fi

@@ -1,0 +1,425 @@
+#include "pathview/ensemble/ensemble.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "pathview/support/error.hpp"
+
+namespace pathview::ensemble {
+
+namespace {
+
+using prof::CctNodeId;
+using structure::SNode;
+using structure::SNodeId;
+
+// Identity of a union-tree scope: the serial creation keys, with names
+// re-interned into the union tree's own string table. Entry addresses are
+// deliberately absent — they differ across runs of the same program.
+struct TreeKey {
+  SNodeId parent;
+  structure::SKind kind;
+  NameId name;
+  NameId file;
+  int line;
+  int call_line;
+  bool operator==(const TreeKey&) const = default;
+};
+
+struct TreeKeyHash {
+  std::size_t operator()(const TreeKey& k) const {
+    std::uint64_t h = k.parent;
+    h = h * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(k.kind);
+    h = h * 0xbf58476d1ce4e5b9ULL + k.name;
+    h = h * 0x94d049bb133111ebULL + k.file;
+    h = h * 0x2545f4914f6cdd1dULL +
+        static_cast<std::uint32_t>(k.line);
+    h = h * 0x9e3779b97f4a7c15ULL +
+        static_cast<std::uint32_t>(k.call_line);
+    return static_cast<std::size_t>(h ^ (h >> 31));
+  }
+};
+
+}  // namespace
+
+std::string run_column(std::string_view base, std::size_t member) {
+  std::string s(base);
+  s += " run";
+  s += std::to_string(member);
+  return s;
+}
+
+std::string stat_column(std::string_view base, std::string_view stat) {
+  std::string s(base);
+  s += ' ';
+  s += stat;
+  return s;
+}
+
+Ensemble Ensemble::align(
+    const std::vector<std::shared_ptr<const db::Experiment>>& members,
+    EnsembleOptions opts) {
+  return align(members, {}, std::move(opts));
+}
+
+Ensemble Ensemble::align(
+    const std::vector<std::shared_ptr<const db::Experiment>>& members,
+    const std::vector<std::string>& paths, EnsembleOptions opts) {
+  if (members.empty()) throw InvalidArgument("ensemble: no members");
+  for (const auto& m : members)
+    if (!m) throw InvalidArgument("ensemble: null member experiment");
+  if (!paths.empty() && paths.size() != members.size())
+    throw InvalidArgument("ensemble: paths/members size mismatch");
+  if (opts.baseline >= members.size())
+    throw InvalidArgument("ensemble: baseline index " +
+                          std::to_string(opts.baseline) + " out of range (" +
+                          std::to_string(members.size()) + " members)");
+  if (opts.regress_threshold < 0.0)
+    throw InvalidArgument("ensemble: negative regression threshold");
+
+  const std::size_t N = members.size();
+  const std::vector<model::Event> events =
+      opts.events.empty()
+          ? std::vector<model::Event>(metrics::all_events().begin(),
+                                      metrics::all_events().end())
+          : opts.events;
+
+  // --- Phase 1: union structure tree (insertion order) ----------------------
+  // Scopes from every member are folded into one working tree keyed by the
+  // serial creation keys; smap[k] maps member k's scope ids into it.
+  structure::StructureTree wtree;
+  std::unordered_map<TreeKey, SNodeId, TreeKeyHash> tindex;
+  std::vector<std::vector<SNodeId>> smap(N);
+  for (std::size_t k = 0; k < N; ++k) {
+    const structure::StructureTree& t = members[k]->tree();
+    smap[k].assign(t.size(), structure::kSNull);
+    smap[k][t.root()] = wtree.root();
+    // Child-list DFS: parents are always mapped before their children, with
+    // no assumption about the member tree's id numbering.
+    std::vector<SNodeId> stack(t.node(t.root()).children.rbegin(),
+                               t.node(t.root()).children.rend());
+    while (!stack.empty()) {
+      const SNodeId id = stack.back();
+      stack.pop_back();
+      const SNode& n = t.node(id);
+      TreeKey key{smap[k][n.parent], n.kind,
+                  wtree.names().intern(t.names().str(n.name)),
+                  wtree.names().intern(t.names().str(n.file)), n.line,
+                  n.call_line};
+      auto it = tindex.find(key);
+      SNodeId u;
+      if (it != tindex.end()) {
+        u = it->second;
+      } else {
+        SNode copy;
+        copy.kind = n.kind;
+        copy.parent = key.parent;
+        copy.name = key.name;
+        copy.file = key.file;
+        copy.line = n.line;
+        copy.call_line = n.call_line;
+        copy.entry = 0;  // member-specific; meaningless in the union
+        copy.has_source = n.has_source;
+        u = wtree.add_node(std::move(copy));
+        tindex.emplace(key, u);
+      }
+      smap[k][id] = u;
+      for (auto it2 = n.children.rbegin(); it2 != n.children.rend(); ++it2)
+        stack.push_back(*it2);
+    }
+  }
+
+  // --- Phase 2: union CCT (insertion order), summed raw samples -------------
+  prof::CanonicalCct wcct(&wtree);
+  std::vector<std::vector<CctNodeId>> cmap(N);
+  for (std::size_t k = 0; k < N; ++k) {
+    const prof::CanonicalCct& c = members[k]->cct();
+    cmap[k].assign(c.size(), prof::kCctNull);
+    cmap[k][prof::kCctRoot] = prof::kCctRoot;
+    wcct.add_samples(prof::kCctRoot, c.samples(prof::kCctRoot));
+    c.walk([&](CctNodeId id, int) {
+      if (id == prof::kCctRoot) return;
+      const prof::CctNode& n = c.node(id);
+      const SNodeId sc =
+          n.scope == structure::kSNull ? structure::kSNull : smap[k][n.scope];
+      const SNodeId cs = n.call_site == structure::kSNull ? structure::kSNull
+                                                          : smap[k][n.call_site];
+      const CctNodeId u = wcct.find_or_add_child(cmap[k][n.parent], n.kind, sc, cs);
+      wcct.add_samples(u, c.samples(id));
+      cmap[k][id] = u;
+    });
+  }
+
+  // --- Phase 3: canonicalization --------------------------------------------
+  // The working union's node numbering follows member order. Rebuild both
+  // trees with children sorted by intrinsic keys and DFS-renumber, so the
+  // supergraph is identical under any member permutation.
+  Ensemble out;
+  out.tree_ = std::make_unique<structure::StructureTree>();
+  structure::StructureTree& ctree = *out.tree_;
+  std::vector<SNodeId> tmap(wtree.size(), structure::kSNull);
+  tmap[wtree.root()] = ctree.root();
+  {
+    auto sorted_children = [&](SNodeId id) {
+      std::vector<SNodeId> ch = wtree.node(id).children;
+      std::sort(ch.begin(), ch.end(), [&](SNodeId a, SNodeId b) {
+        const SNode& na = wtree.node(a);
+        const SNode& nb = wtree.node(b);
+        if (na.kind != nb.kind) return na.kind < nb.kind;
+        if (na.name != nb.name) {
+          const std::string& sa = wtree.names().str(na.name);
+          const std::string& sb = wtree.names().str(nb.name);
+          if (sa != sb) return sa < sb;
+        }
+        if (na.file != nb.file) {
+          const std::string& fa = wtree.names().str(na.file);
+          const std::string& fb = wtree.names().str(nb.file);
+          if (fa != fb) return fa < fb;
+        }
+        if (na.line != nb.line) return na.line < nb.line;
+        return na.call_line < nb.call_line;
+      });
+      return ch;
+    };
+    struct Item {
+      SNodeId wid;
+      SNodeId cparent;
+    };
+    std::vector<Item> stack;
+    {
+      const auto ch = sorted_children(wtree.root());
+      for (auto it = ch.rbegin(); it != ch.rend(); ++it)
+        stack.push_back({*it, ctree.root()});
+    }
+    while (!stack.empty()) {
+      const Item item = stack.back();
+      stack.pop_back();
+      const SNode& wn = wtree.node(item.wid);
+      SNode cn;
+      cn.kind = wn.kind;
+      cn.parent = item.cparent;
+      cn.name = ctree.names().intern(wtree.names().str(wn.name));
+      cn.file = ctree.names().intern(wtree.names().str(wn.file));
+      cn.line = wn.line;
+      cn.call_line = wn.call_line;
+      cn.entry = 0;
+      cn.has_source = wn.has_source;
+      const SNodeId cid = ctree.add_node(std::move(cn));
+      tmap[item.wid] = cid;
+      const auto ch = sorted_children(item.wid);
+      for (auto it = ch.rbegin(); it != ch.rend(); ++it)
+        stack.push_back({*it, cid});
+    }
+  }
+
+  out.cct_ = std::make_unique<prof::CanonicalCct>(&ctree);
+  prof::CanonicalCct& ccct = *out.cct_;
+  ccct.reserve(wcct.size());
+  std::vector<CctNodeId> kmap(wcct.size(), prof::kCctNull);
+  kmap[prof::kCctRoot] = prof::kCctRoot;
+  ccct.add_samples(prof::kCctRoot, wcct.samples(prof::kCctRoot));
+  {
+    auto mapped = [&](SNodeId s) {
+      return s == structure::kSNull ? structure::kSNull : tmap[s];
+    };
+    auto sorted_children = [&](CctNodeId id) {
+      std::vector<CctNodeId> ch = wcct.node(id).children;
+      std::sort(ch.begin(), ch.end(), [&](CctNodeId a, CctNodeId b) {
+        const prof::CctNode& na = wcct.node(a);
+        const prof::CctNode& nb = wcct.node(b);
+        if (na.kind != nb.kind) return na.kind < nb.kind;
+        if (mapped(na.scope) != mapped(nb.scope))
+          return mapped(na.scope) < mapped(nb.scope);
+        return mapped(na.call_site) < mapped(nb.call_site);
+      });
+      return ch;
+    };
+    // Preorder keeps parent ids smaller than child ids — the invariant the
+    // attribution reverse sweep and the views rely on.
+    std::vector<CctNodeId> stack;
+    {
+      const auto ch = sorted_children(prof::kCctRoot);
+      stack.assign(ch.rbegin(), ch.rend());
+    }
+    while (!stack.empty()) {
+      const CctNodeId wid = stack.back();
+      stack.pop_back();
+      const prof::CctNode& wn = wcct.node(wid);
+      const CctNodeId cid = ccct.append_child(kmap[wn.parent], wn.kind,
+                                              mapped(wn.scope),
+                                              mapped(wn.call_site));
+      ccct.add_samples(cid, wcct.samples(wid));
+      kmap[wid] = cid;
+      const auto ch = sorted_children(wid);
+      for (auto it = ch.rbegin(); it != ch.rend(); ++it) stack.push_back(*it);
+    }
+  }
+
+  // member node id -> supergraph node id (compose the two phases).
+  out.maps_.resize(N);
+  for (std::size_t k = 0; k < N; ++k) {
+    out.maps_[k].resize(cmap[k].size());
+    for (std::size_t i = 0; i < cmap[k].size(); ++i)
+      out.maps_[k][i] = kmap[cmap[k][i]];
+  }
+
+  // --- Phase 4: presence bitmaps, degraded propagation, member infos --------
+  out.words_ = (N + 63) / 64;
+  out.presence_.assign(ccct.size() * out.words_, 0);
+  for (std::size_t k = 0; k < N; ++k)
+    for (const CctNodeId u : out.maps_[k])
+      out.presence_[u * out.words_ + k / 64] |= std::uint64_t{1} << (k % 64);
+
+  bool degraded = false;
+  out.members_.reserve(N);
+  for (std::size_t k = 0; k < N; ++k) {
+    const db::Experiment& e = *members[k];
+    degraded = degraded || e.degraded();
+    MemberInfo info;
+    info.path = paths.empty() ? std::string() : paths[k];
+    info.name = e.name();
+    info.nranks = e.nranks();
+    info.cct_nodes = e.cct().size();
+    info.degraded = e.degraded();
+    info.dropped_ranks = e.dropped_ranks();
+    out.members_.push_back(std::move(info));
+  }
+  ccct.set_degraded(degraded);
+
+  // --- Phase 5: ensemble metric table ---------------------------------------
+  // Plain columns are the ordinary attribution over the union's summed
+  // samples, so hot paths, `total` and pre-ensemble queries keep their
+  // single-run meaning (and, attribution being linear, each plain column
+  // equals the sum of its run columns).
+  out.opts_ = std::move(opts);
+  out.opts_.events = events;
+  out.attr_ = metrics::attribute_metrics(ccct, events);
+  metrics::MetricTable& table = out.attr_.table;
+  const std::size_t rows = ccct.size();
+
+  const metrics::ColumnId presence_col = table.add_column(
+      {std::string(kPresenceColumn), metrics::MetricKind::kSummary,
+       model::Event::kCycles, true, {}});
+  table.ensure_rows(rows);
+  for (std::size_t r = 0; r < rows; ++r)
+    table.set(presence_col, r,
+              static_cast<double>(out.presence_count(static_cast<CctNodeId>(r))));
+
+  struct Block {
+    model::Event e;
+    bool incl;
+    std::vector<metrics::ColumnId> runs;
+    metrics::ColumnId mean, min, max, stddev, delta, ratio, regressed;
+  };
+  const std::string bref = "run" + std::to_string(out.opts_.baseline);
+  std::vector<Block> blocks;
+  for (const model::Event e : events) {
+    for (const bool incl : {true, false}) {
+      Block b;
+      b.e = e;
+      b.incl = incl;
+      const std::string base =
+          std::string(model::event_name(e)) + (incl ? " (I)" : " (E)");
+      b.runs.reserve(N);
+      for (std::size_t k = 0; k < N; ++k)
+        b.runs.push_back(table.add_column(
+            {run_column(base, k), metrics::MetricKind::kRaw, e, incl, {}}));
+      auto summary = [&](std::string_view stat) {
+        return table.add_column({stat_column(base, stat),
+                                 metrics::MetricKind::kSummary, e, incl, {}});
+      };
+      b.mean = summary("mean");
+      b.min = summary("min");
+      b.max = summary("max");
+      b.stddev = summary("stddev");
+      b.delta = table.add_column({stat_column(base, "delta"),
+                                 metrics::MetricKind::kDerived, e, incl,
+                                 "mean(non-baseline runs) - " + bref});
+      b.ratio = table.add_column({stat_column(base, "ratio"),
+                                 metrics::MetricKind::kDerived, e, incl,
+                                 "mean(non-baseline runs) / " + bref});
+      b.regressed = table.add_column(
+          {stat_column(base, "regressed"), metrics::MetricKind::kDerived, e,
+           incl,
+           "delta > " + std::to_string(out.opts_.regress_threshold) + " * " +
+               bref});
+      blocks.push_back(std::move(b));
+    }
+  }
+  table.ensure_rows(rows);
+
+  // Scatter one member attribution at a time (bounds peak memory to one
+  // member's table). `add`, not `set`: distinct member nodes may legally
+  // merge into one supergraph node.
+  for (std::size_t k = 0; k < N; ++k) {
+    const metrics::Attribution ak =
+        metrics::attribute_metrics(members[k]->cct(), events);
+    const std::vector<CctNodeId>& map = out.maps_[k];
+    for (const Block& b : blocks) {
+      const std::span<const double> src = ak.table.column(
+          b.incl ? ak.cols.inclusive(b.e) : ak.cols.exclusive(b.e));
+      for (std::size_t i = 0; i < src.size(); ++i)
+        if (src[i] != 0.0) table.add(b.runs[k], map[i], src[i]);
+    }
+  }
+
+  const double thr = out.opts_.regress_threshold;
+  const std::size_t B = out.opts_.baseline;
+  for (const Block& b : blocks) {
+    std::vector<std::span<const double>> runs;
+    runs.reserve(N);
+    for (const metrics::ColumnId c : b.runs) runs.push_back(table.column(c));
+    const std::span<double> dmean = table.column_mut(b.mean);
+    const std::span<double> dmin = table.column_mut(b.min);
+    const std::span<double> dmax = table.column_mut(b.max);
+    const std::span<double> dstd = table.column_mut(b.stddev);
+    const std::span<double> ddelta = table.column_mut(b.delta);
+    const std::span<double> dratio = table.column_mut(b.ratio);
+    const std::span<double> dregr = table.column_mut(b.regressed);
+    for (std::size_t r = 0; r < rows; ++r) {
+      double sum = 0.0;
+      double mn = std::numeric_limits<double>::infinity();
+      double mx = -std::numeric_limits<double>::infinity();
+      for (std::size_t k = 0; k < N; ++k) {
+        const double v = runs[k][r];
+        sum += v;
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+      }
+      const double mean = sum / static_cast<double>(N);
+      double var = 0.0;
+      for (std::size_t k = 0; k < N; ++k) {
+        const double d = runs[k][r] - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(N);
+      const double base = runs[B][r];
+      const double others =
+          N > 1 ? (sum - base) / static_cast<double>(N - 1) : base;
+      dmean[r] = mean;
+      dmin[r] = mn;
+      dmax[r] = mx;
+      dstd[r] = std::sqrt(var);
+      ddelta[r] = others - base;
+      dratio[r] = base != 0.0 ? others / base : (others == 0.0 ? 1.0 : 0.0);
+      dregr[r] = ((base > 0.0 && others - base > thr * base) ||
+                  (base == 0.0 && others > 0.0))
+                     ? 1.0
+                     : 0.0;
+    }
+  }
+  return out;
+}
+
+std::size_t Ensemble::presence_count(prof::CctNodeId n) const {
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < words_; ++w)
+    count += static_cast<std::size_t>(
+        std::popcount(presence_[n * words_ + w]));
+  return count;
+}
+
+}  // namespace pathview::ensemble

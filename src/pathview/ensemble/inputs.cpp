@@ -1,0 +1,80 @@
+#include "pathview/ensemble/inputs.hpp"
+
+#include <fnmatch.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string_view>
+
+#include "pathview/support/error.hpp"
+
+namespace pathview::ensemble {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool has_wildcard(std::string_view s) {
+  return s.find_first_of("*?[") != std::string_view::npos;
+}
+
+bool is_database_file(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".pvdb" || ext == ".xml";
+}
+
+}  // namespace
+
+std::vector<std::string> expand_inputs(
+    const std::vector<std::string>& inputs) {
+  std::vector<std::string> out;
+  for (const std::string& input : inputs) {
+    const fs::path p(input);
+    if (has_wildcard(input)) {
+      const fs::path dir =
+          p.parent_path().empty() ? fs::path(".") : p.parent_path();
+      if (has_wildcard(dir.string()))
+        throw InvalidArgument("ensemble input '" + input +
+                              "': glob wildcards are only supported in the "
+                              "filename component");
+      const std::string pattern = p.filename().string();
+      std::vector<std::string> matches;
+      std::error_code ec;
+      for (const auto& entry : fs::directory_iterator(dir, ec)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string name = entry.path().filename().string();
+        if (fnmatch(pattern.c_str(), name.c_str(), 0) == 0)
+          matches.push_back(entry.path().string());
+      }
+      if (ec)
+        throw InvalidArgument("ensemble input '" + input +
+                              "': cannot read directory " + dir.string());
+      if (matches.empty())
+        throw InvalidArgument("ensemble input '" + input +
+                              "': no databases match");
+      std::sort(matches.begin(), matches.end());
+      out.insert(out.end(), matches.begin(), matches.end());
+    } else if (fs::is_directory(p)) {
+      std::vector<std::string> matches;
+      std::error_code ec;
+      for (const auto& entry : fs::directory_iterator(p, ec)) {
+        if (!entry.is_regular_file()) continue;
+        if (is_database_file(entry.path()))
+          matches.push_back(entry.path().string());
+      }
+      if (ec)
+        throw InvalidArgument("ensemble input '" + input +
+                              "': cannot read directory");
+      if (matches.empty())
+        throw InvalidArgument("ensemble input '" + input +
+                              "': directory holds no .pvdb/.xml databases");
+      std::sort(matches.begin(), matches.end());
+      out.insert(out.end(), matches.begin(), matches.end());
+    } else {
+      out.push_back(input);
+    }
+  }
+  return out;
+}
+
+}  // namespace pathview::ensemble

@@ -1,0 +1,23 @@
+// Ensemble input expansion: the CLI/serve surface accepts experiment
+// databases as literal paths, shell-style globs, or directories (e.g. a
+// pvserve --self-profile-dir window ring), and expands them into a concrete,
+// deterministically ordered member list.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pathview::ensemble {
+
+/// Expand each input in place, preserving input order:
+///   * a path containing `*`, `?` or `[` in its filename component is a
+///     glob, matched against that directory's entries (wildcards in the
+///     directory part are rejected);
+///   * a directory contributes every contained `.pvdb` / `.xml` file;
+///   * anything else passes through literally.
+/// Glob and directory matches are sorted lexicographically, so a window
+/// ring expands in window order. A glob or directory that matches nothing
+/// throws InvalidArgument.
+std::vector<std::string> expand_inputs(const std::vector<std::string>& inputs);
+
+}  // namespace pathview::ensemble

@@ -220,6 +220,21 @@ class Parser {
       m.column = base + (s.text == "incl" ? " (I)" : " (E)");
       m.display = base + "." + std::string(s.text);
       next();
+      // Ensemble column suffix: EVENT.incl.delta -> column "EVENT (I) delta"
+      // (docs/ensemble.md naming scheme).
+      if (accept_punct(".")) {
+        const Token& x = peek();
+        if (x.kind != Token::kIdent || !is_ensemble_metric_suffix(x.text))
+          fail(
+              "expected an ensemble suffix after '.' (delta, ratio, mean, "
+              "min, max, stddev, regressed or run<N>)",
+              x.offset);
+        m.column += ' ';
+        m.column += x.text;
+        m.display += '.';
+        m.display += x.text;
+        next();
+      }
       return m;
     }
     m.column = base;
@@ -561,6 +576,18 @@ std::string to_text(const Expr& e) {
   return out;
 }
 
+bool is_ensemble_metric_suffix(std::string_view s) {
+  if (s == "delta" || s == "ratio" || s == "mean" || s == "min" ||
+      s == "max" || s == "stddev" || s == "regressed")
+    return true;
+  if (s.size() > 3 && s.substr(0, 3) == "run") {
+    for (const char c : s.substr(3))
+      if (c < '0' || c > '9') return false;
+    return true;
+  }
+  return false;
+}
+
 std::string resolve_metric_name(std::string_view ref) {
   const std::size_t dot = ref.rfind('.');
   if (dot != std::string_view::npos) {
@@ -569,6 +596,17 @@ std::string resolve_metric_name(std::string_view ref) {
       return std::string(ref.substr(0, dot)) + " (I)";
     if (suffix == "excl")
       return std::string(ref.substr(0, dot)) + " (E)";
+    if (is_ensemble_metric_suffix(suffix)) {
+      // EVENT.incl.SUFFIX -> "EVENT (I) SUFFIX" (ensemble columns).
+      const std::string_view head = ref.substr(0, dot);
+      const std::size_t dot2 = head.rfind('.');
+      if (dot2 != std::string_view::npos) {
+        const std::string_view flavor = head.substr(dot2 + 1);
+        if (flavor == "incl" || flavor == "excl")
+          return std::string(head.substr(0, dot2)) +
+                 (flavor == "incl" ? " (I) " : " (E) ") + std::string(suffix);
+      }
+    }
   }
   return std::string(ref);
 }

@@ -47,17 +47,18 @@ ColumnId resolve_column(const MetricTable& table, const std::string& name,
   if (const auto c = table.find(name)) return *c;
   // Ergonomic aliases: EVENT.incl/.excl refs also accept the short event
   // names every CLI uses ("cycles.incl" resolves to "PAPI_TOT_CYC (I)").
-  if (name.size() > 4) {
-    const std::string_view suffix = std::string_view(name).substr(name.size() - 4);
-    if (suffix == " (I)" || suffix == " (E)") {
-      const std::string_view base =
-          std::string_view(name).substr(0, name.size() - 4);
-      if (const auto ev = short_event(base)) {
-        const std::string papi =
-            std::string(model::event_name(*ev)) + std::string(suffix);
-        if (const auto c = table.find(papi)) return *c;
-      }
+  // Ensemble columns keep the flavor infix ("cycles (I) delta" resolves to
+  // "PAPI_TOT_CYC (I) delta"), so match the first " (I)"/" (E)" and rewrite
+  // the event name in front of it.
+  for (const std::string_view flavor : {" (I)", " (E)"}) {
+    const std::size_t pos = name.find(flavor);
+    if (pos == std::string::npos) continue;
+    if (const auto ev = short_event(std::string_view(name).substr(0, pos))) {
+      const std::string papi = std::string(model::event_name(*ev)) +
+                               name.substr(pos);
+      if (const auto c = table.find(papi)) return *c;
     }
+    break;
   }
   unknown_column(name, offset);
 }

@@ -22,9 +22,15 @@
 //   expr     := or-precedence boolean/arithmetic over metrics, numbers,
 //               'total', with  and or not  + - * /  > >= < <= == !=
 //   metric   := EVENT '.' ('incl'|'excl')   e.g. cycles.incl -> "cycles (I)"
+//             | EVENT '.' ('incl'|'excl') '.' ESUFFIX
+//                                            ensemble column, e.g.
+//                                            cycles.incl.delta ->
+//                                            "cycles (I) delta"
 //             | IDENT                        a column named exactly IDENT
 //             | STRING                       a quoted column name, e.g.
 //                                            "IMBALANCE %"
+//   ESUFFIX  := 'delta'|'ratio'|'mean'|'min'|'max'|'stddev'|'regressed'
+//             | 'run' DIGITS                 (docs/ensemble.md)
 //
 // `total` denotes the root-row value of the nearest metric in the same
 // comparison (so `cycles.incl > 0.05*total` reads "more than 5% of the
@@ -136,8 +142,13 @@ class QueryBuilder {
 };
 
 /// Resolve a metric reference as the grammar does: `EVENT.incl`/`EVENT.excl`
-/// become the attribution column names ("cycles (I)" / "cycles (E)");
+/// become the attribution column names ("cycles (I)" / "cycles (E)"),
+/// `EVENT.incl.SUFFIX` the ensemble column names ("cycles (I) delta");
 /// anything else is a literal column name.
 std::string resolve_metric_name(std::string_view ref);
+
+/// True for the ensemble column suffixes the grammar accepts after
+/// `.incl`/`.excl`: delta, ratio, mean, min, max, stddev, regressed, run<N>.
+bool is_ensemble_metric_suffix(std::string_view s);
 
 }  // namespace pathview::query

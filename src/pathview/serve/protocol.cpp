@@ -34,6 +34,7 @@ constexpr OpNames kOpNames[kNumOps] = {
     {"explain", "serve.explain"},
     {"self_profile", "serve.self_profile"},
     {"profile_windows", "serve.profile_windows"},
+    {"open_ensemble", "serve.open_ensemble"},
 };
 
 }  // namespace

@@ -79,9 +79,11 @@ enum class Op : std::uint8_t {
                    //            (live data; NOT byte-deterministic)
   kProfileWindows, // {} -> retention-ring window listing (live data; NOT
                    //       byte-deterministic)
+  kOpenEnsemble,   // {paths|dir|glob [, baseline, threshold, view]} ->
+                   //   session over the aligned supergraph (docs/ensemble.md)
 };
 
-inline constexpr std::size_t kNumOps = 17;
+inline constexpr std::size_t kNumOps = 18;
 
 /// Wire name of an op ("open", "expand", ...).
 const char* op_name(Op op);

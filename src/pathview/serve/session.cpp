@@ -4,6 +4,7 @@
 
 #include "pathview/analysis/timeline.hpp"
 #include "pathview/core/flatten.hpp"
+#include "pathview/ensemble/inputs.hpp"
 #include "pathview/core/sort.hpp"
 #include "pathview/metrics/attribution.hpp"
 #include "pathview/metrics/derived.hpp"
@@ -58,6 +59,19 @@ Session::Session(std::string sid, std::string path,
   // as pvviewer applies them on load.
   for (const metrics::MetricDesc& d : exp_->user_metrics())
     add_derived(d.name, d.formula);
+}
+
+Session::Session(std::string sid,
+                 std::shared_ptr<const ensemble::Ensemble> ens,
+                 core::ViewType view)
+    : sid_(std::move(sid)),
+      ens_(std::move(ens)),
+      // Copy-on-write: the shared supergraph stays immutable; only the
+      // attribution table (which `metrics.derive` may extend per session)
+      // is copied.
+      attr_(ens_->attribution()) {
+  viewer_ = std::make_unique<ui::ViewerController>(ens_->cct(), attr_);
+  viewer_->select_view(view);
 }
 
 metrics::ColumnId Session::add_derived(const std::string& name,
@@ -128,6 +142,9 @@ JsonValue Session::encode_columns() const {
 }
 
 void Session::ensure_traces() {
+  if (ens_)
+    throw ServeError(ErrorKind::kNotFound,
+                     "ensemble sessions have no traces");
   if (traces_loaded_) {
     if (traces_.empty())
       throw ServeError(ErrorKind::kNotFound,
@@ -174,7 +191,7 @@ std::size_t SessionManager::degraded_sessions() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
   for (const auto& [sid, s] : sessions_)
-    if (s->exp_->degraded()) ++n;
+    if (s->degraded()) ++n;
   return n;
 }
 
@@ -190,6 +207,7 @@ JsonValue SessionManager::handle(const Request& req) {
   try {
     switch (req.op) {
       case Op::kOpen: return do_open(req);
+      case Op::kOpenEnsemble: return do_open_ensemble(req);
       case Op::kClose: return do_close(req);
       case Op::kPing: return do_ping(req);
       case Op::kStats: return do_stats(req);
@@ -204,6 +222,39 @@ JsonValue SessionManager::handle(const Request& req) {
   } catch (const std::exception& e) {
     return error_response(req.id, ErrorKind::kInternal, e.what());
   }
+}
+
+// Reserve the sid and a capacity slot under the lock, but construct the
+// Session (metric attribution over the whole CCT — expensive) outside it
+// so concurrent opens/finds on other sessions don't stall behind it.
+template <class Build>
+std::shared_ptr<Session> SessionManager::register_session(Build&& build) {
+  std::string sid;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sessions_.size() + pending_opens_ >= opts_.max_sessions)
+      throw ServeError(ErrorKind::kOverloaded,
+                       "session limit (" +
+                           std::to_string(opts_.max_sessions) + ") reached");
+    sid = "s" + std::to_string(next_sid_++);
+    ++pending_opens_;
+  }
+  std::shared_ptr<Session> session;
+  try {
+    session = build(sid);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    --pending_opens_;
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --pending_opens_;
+    sessions_.emplace(sid, session);
+    PV_COUNTER_SET("serve.sessions.open", sessions_.size());
+  }
+  PV_COUNTER_ADD("serve.sessions.opened", 1);
+  return session;
 }
 
 JsonValue SessionManager::do_open(const Request& req) {
@@ -222,34 +273,10 @@ JsonValue SessionManager::do_open(const Request& req) {
                      "cannot load \"" + path + "\": " + e.what());
   }
 
-  // Reserve the sid and a capacity slot under the lock, but construct the
-  // Session (metric attribution over the whole CCT — expensive) outside it
-  // so concurrent opens/finds on other sessions don't stall behind it.
-  std::string sid;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (sessions_.size() + pending_opens_ >= opts_.max_sessions)
-      throw ServeError(ErrorKind::kOverloaded,
-                       "session limit (" +
-                           std::to_string(opts_.max_sessions) + ") reached");
-    sid = "s" + std::to_string(next_sid_++);
-    ++pending_opens_;
-  }
-  std::shared_ptr<Session> session;
-  try {
-    session = std::make_shared<Session>(sid, path, std::move(exp), view);
-  } catch (...) {
-    std::lock_guard<std::mutex> lock(mu_);
-    --pending_opens_;
-    throw;
-  }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    --pending_opens_;
-    sessions_.emplace(sid, session);
-    PV_COUNTER_SET("serve.sessions.open", sessions_.size());
-  }
-  PV_COUNTER_ADD("serve.sessions.opened", 1);
+  std::shared_ptr<Session> session =
+      register_session([&](const std::string& sid) {
+        return std::make_shared<Session>(sid, path, std::move(exp), view);
+      });
 
   std::lock_guard<std::mutex> slock(session->mu_);
   JsonValue resp = ok_response(req.id);
@@ -274,6 +301,130 @@ JsonValue SessionManager::do_open(const Request& req) {
                        core::view_type_name(session->viewer_->current_view_type())));
   resp.set("columns", session->encode_columns());
   // The initially visible rows: the view root's children, nothing deeper.
+  resp.set("rows",
+           session->encode_rows(session->display_children(core::kViewRoot)));
+  return resp;
+}
+
+std::shared_ptr<const ensemble::Ensemble> SessionManager::get_ensemble(
+    const std::vector<std::string>& paths, std::size_t baseline,
+    double threshold) {
+  std::string key;
+  for (const std::string& p : paths) {
+    key += p;
+    key += '\x1f';
+  }
+  key += std::to_string(baseline);
+  key += '|';
+  key += std::to_string(threshold);
+
+  std::lock_guard<std::mutex> lock(ens_mu_);
+  if (auto it = ensembles_.find(key); it != ensembles_.end()) {
+    if (std::shared_ptr<const ensemble::Ensemble> e = it->second.lock()) {
+      PV_COUNTER_ADD("serve.ensemble.cache_hits", 1);
+      return e;
+    }
+  }
+  // Members come from the shared ExperimentCache: each run is one cache
+  // entry, loaded once no matter how many ensembles or plain sessions pin
+  // it. Building under ens_mu_ serializes concurrent opens of the *same*
+  // ensemble into one build (and, conservatively, distinct ensembles too).
+  std::vector<std::shared_ptr<const db::Experiment>> members;
+  members.reserve(paths.size());
+  for (const std::string& p : paths) {
+    try {
+      members.push_back(cache_.get(p));
+    } catch (const Error& e) {
+      throw ServeError(ErrorKind::kNotFound,
+                       "cannot load \"" + p + "\": " + e.what());
+    }
+  }
+  ensemble::EnsembleOptions eopts;
+  eopts.baseline = baseline;
+  eopts.regress_threshold = threshold;
+  auto ens = std::make_shared<const ensemble::Ensemble>(
+      ensemble::Ensemble::align(members, paths, std::move(eopts)));
+  PV_COUNTER_ADD("serve.ensemble.built", 1);
+  for (auto it = ensembles_.begin(); it != ensembles_.end();)
+    it = it->second.expired() ? ensembles_.erase(it) : std::next(it);
+  ensembles_[key] = ens;
+  return ens;
+}
+
+JsonValue SessionManager::do_open_ensemble(const Request& req) {
+  std::vector<std::string> inputs;
+  if (const JsonValue* jpaths = req.body.find("paths")) {
+    if (!jpaths->is_array())
+      throw ServeError(ErrorKind::kBadRequest,
+                       "open_ensemble: \"paths\" must be an array of strings");
+    for (const JsonValue& p : jpaths->items()) {
+      if (!p.is_string())
+        throw ServeError(ErrorKind::kBadRequest,
+                         "open_ensemble: \"paths\" must be an array of "
+                         "strings");
+      inputs.push_back(p.as_string());
+    }
+  }
+  if (const std::string dir = req.body.get_string("dir", ""); !dir.empty())
+    inputs.push_back(dir);
+  if (const std::string glob = req.body.get_string("glob", ""); !glob.empty())
+    inputs.push_back(glob);
+  if (inputs.empty())
+    throw ServeError(ErrorKind::kBadRequest,
+                     "open_ensemble: needs \"paths\", \"dir\" or \"glob\"");
+
+  const std::string view_name = req.body.get_string("view", "");
+  const core::ViewType view =
+      view_name.empty() ? opts_.default_view : parse_view_name(view_name);
+  const std::uint64_t baseline = req.body.get_u64("baseline", 0);
+  const double threshold = req.body.get_number("threshold", 0.05);
+
+  // Globs/dirs expand exactly as pvdiff expands them (sorted, in place), so
+  // a window ring opens in window order; InvalidArgument (empty match, bad
+  // glob, bad baseline/threshold) maps to kBadRequest via handle().
+  const std::vector<std::string> paths = ensemble::expand_inputs(inputs);
+  std::shared_ptr<const ensemble::Ensemble> ens =
+      get_ensemble(paths, static_cast<std::size_t>(baseline), threshold);
+
+  std::shared_ptr<Session> session =
+      register_session([&](const std::string& sid) {
+        return std::make_shared<Session>(sid, ens, view);
+      });
+
+  std::lock_guard<std::mutex> slock(session->mu_);
+  JsonValue resp = ok_response(req.id);
+  resp.set("session", JsonValue::string(session->sid()));
+  resp.set("name",
+           JsonValue::string("ensemble of " +
+                             std::to_string(ens->num_members()) + " runs"));
+  JsonValue jmembers = JsonValue::array();
+  for (const ensemble::MemberInfo& m : ens->members()) {
+    JsonValue jm = JsonValue::object();
+    jm.set("path", JsonValue::string(m.path));
+    jm.set("name", JsonValue::string(m.name));
+    jm.set("nranks",
+           JsonValue::number(static_cast<std::uint64_t>(m.nranks)));
+    jm.set("scopes",
+           JsonValue::number(static_cast<std::uint64_t>(m.cct_nodes)));
+    if (m.degraded) {
+      jm.set("degraded", JsonValue::boolean(true));
+      if (!m.dropped_ranks.empty()) {
+        JsonValue dropped = JsonValue::array();
+        for (const std::uint32_t r : m.dropped_ranks)
+          dropped.push(JsonValue::number(static_cast<std::uint64_t>(r)));
+        jm.set("dropped_ranks", std::move(dropped));
+      }
+    }
+    jmembers.push(std::move(jm));
+  }
+  resp.set("members", std::move(jmembers));
+  resp.set("baseline", JsonValue::number(baseline));
+  if (ens->degraded()) resp.set("degraded", JsonValue::boolean(true));
+  resp.set("scopes", JsonValue::number(static_cast<std::uint64_t>(
+                         ens->cct().size())));
+  resp.set("view", JsonValue::string(core::view_type_name(
+                       session->viewer_->current_view_type())));
+  resp.set("columns", session->encode_columns());
   resp.set("rows",
            session->encode_rows(session->display_children(core::kViewRoot)));
   return resp;
@@ -466,7 +617,7 @@ JsonValue SessionManager::op_query(Session& s, const Request& req,
   // ParseError (grammar, with byte offset) and InvalidArgument (unknown
   // columns) surface as kBadRequest via handle().
   query::Plan plan =
-      query::compile(query::parse(text), s.exp_->cct(), s.attr_.table);
+      query::compile(query::parse(text), s.cct(), s.attr_.table);
   // If a slow-request flight recorder is armed on this thread, attach the
   // compiled plan so the eventual log line explains what actually ran.
   obs::flight_note(plan.explain());
@@ -490,7 +641,7 @@ JsonValue SessionManager::op_timeline_window(Session& s, const Request& req) {
   topts.t0 = req.body.get_u64("t0", 0);
   topts.t1 = req.body.get_u64("t1", 0);
   const ui::TimelineImage img =
-      analysis::build_timeline(s.traces_, s.exp_->cct(), topts);
+      analysis::build_timeline(s.traces_, s.cct(), topts);
 
   JsonValue resp = ok_response(req.id);
   resp.set("t0", JsonValue::number(img.t0));
@@ -525,7 +676,7 @@ JsonValue SessionManager::op_timeline_window(Session& s, const Request& req) {
   for (prof::CctNodeId c : distinct) {
     JsonValue entry = JsonValue::object();
     entry.set("node", JsonValue::number(static_cast<std::uint64_t>(c)));
-    entry.set("label", JsonValue::string(s.exp_->cct().label(c)));
+    entry.set("label", JsonValue::string(s.cct().label(c)));
     legend.push(std::move(entry));
   }
   resp.set("legend", std::move(legend));

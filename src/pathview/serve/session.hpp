@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "pathview/db/trace.hpp"
+#include "pathview/ensemble/ensemble.hpp"
 #include "pathview/serve/experiment_cache.hpp"
 #include "pathview/serve/protocol.hpp"
 #include "pathview/ui/controller.hpp"
@@ -34,6 +35,12 @@ class Session {
  public:
   Session(std::string sid, std::string path,
           std::shared_ptr<const db::Experiment> exp, core::ViewType view);
+
+  /// Ensemble-backed session: shares the immutable aligned supergraph
+  /// (copy-on-write — the session copies only the attribution table it may
+  /// extend with derived metrics; tree, CCT and presence stay shared).
+  Session(std::string sid, std::shared_ptr<const ensemble::Ensemble> ens,
+          core::ViewType view);
 
   const std::string& sid() const { return sid_; }
 
@@ -57,9 +64,17 @@ class Session {
   /// InvalidArgument when the experiment has no traces).
   void ensure_traces();
 
+  /// The CCT this session's views/queries run over — the experiment's, or
+  /// the ensemble's supergraph.
+  const prof::CanonicalCct& cct() const {
+    return ens_ ? ens_->cct() : exp_->cct();
+  }
+  bool degraded() const { return ens_ ? ens_->degraded() : exp_->degraded(); }
+
   std::string sid_;
   std::string path_;
-  std::shared_ptr<const db::Experiment> exp_;
+  std::shared_ptr<const db::Experiment> exp_;  // null for ensemble sessions
+  std::shared_ptr<const ensemble::Ensemble> ens_;  // null for single sessions
   metrics::Attribution attr_;
   std::unique_ptr<ui::ViewerController> viewer_;
   std::optional<metrics::ColumnId> sort_col_;
@@ -102,6 +117,7 @@ class SessionManager {
 
  private:
   JsonValue do_open(const Request& req);
+  JsonValue do_open_ensemble(const Request& req);
   JsonValue do_close(const Request& req);
   JsonValue do_session_op(const Request& req);
   JsonValue do_ping(const Request& req) const;
@@ -121,6 +137,19 @@ class SessionManager {
 
   std::shared_ptr<Session> find(const std::string& sid) const;
 
+  /// Aligned supergraph for (paths, baseline, threshold), built once and
+  /// shared by every session opened on the same ensemble while any of them
+  /// lives (weak entries; members come from the ExperimentCache, so two
+  /// ensembles over overlapping runs share the member experiments too).
+  std::shared_ptr<const ensemble::Ensemble> get_ensemble(
+      const std::vector<std::string>& paths, std::size_t baseline,
+      double threshold);
+
+  /// Reserve a sid + capacity slot, run `build` outside the manager lock,
+  /// and publish the session (shared by do_open / do_open_ensemble).
+  template <class Build>
+  std::shared_ptr<Session> register_session(Build&& build);
+
   Options opts_;
   ExperimentCache cache_;
   mutable std::mutex mu_;  // guards sessions_, next_sid_, pending_opens_
@@ -129,6 +158,9 @@ class SessionManager {
   /// Opens whose Session is being constructed outside mu_; counted against
   /// max_sessions so concurrent opens cannot overshoot the limit.
   std::size_t pending_opens_ = 0;
+  std::mutex ens_mu_;  // guards ensembles_ (and serializes ensemble builds)
+  std::unordered_map<std::string, std::weak_ptr<const ensemble::Ensemble>>
+      ensembles_;
 };
 
 /// Parse a view name ("cct" | "callers" | "flat"). Throws InvalidArgument on

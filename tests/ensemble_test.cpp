@@ -1,0 +1,332 @@
+// Golden tests for pathview::ensemble: supergraph alignment, presence
+// bitmaps, differential column exactness, member-order determinism,
+// degraded propagation, query integration and input expansion.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pathview/ensemble/ensemble.hpp"
+#include "pathview/ensemble/inputs.hpp"
+#include "pathview/model/builder.hpp"
+#include "pathview/prof/correlate.hpp"
+#include "pathview/query/plan.hpp"
+#include "pathview/query/query.hpp"
+#include "pathview/sim/engine.hpp"
+#include "pathview/structure/lower.hpp"
+#include "pathview/structure/recovery.hpp"
+#include "pathview/support/error.hpp"
+
+namespace pathview::ensemble {
+namespace {
+
+using model::Event;
+
+/// main -> work(work_cycles) [-> extra(500) when with_extra]; the same tiny
+/// program shape diff_test uses, so the sampled cycle counts are exact.
+std::shared_ptr<db::Experiment> tiny_run(double work_cycles, bool with_extra,
+                                         const std::string& name) {
+  model::ProgramBuilder b;
+  const auto file = b.file("app.c", b.module("app.x"));
+  const auto mainp = b.proc("main", file, 1);
+  const auto work = b.proc("work", file, 10);
+  b.in(mainp).call(2, work);
+  b.in(work).compute(11, model::make_cost(work_cycles));
+  if (with_extra) {
+    const auto extra = b.proc("extra", file, 20);
+    b.in(mainp).call(3, extra);
+    b.in(extra).compute(21, model::make_cost(500));
+  }
+  b.set_entry(mainp);
+  const model::Program prog = b.finish();
+  const structure::Lowering lw(prog);
+  const structure::StructureTree tree =
+      structure::recover_structure(lw.image());
+  sim::RunConfig rc;
+  rc.sampler.sample(Event::kCycles, 1.0);
+  sim::ExecutionEngine eng(prog, lw, rc);
+  const prof::CanonicalCct cct = prof::correlate(eng.run(), tree);
+  return std::make_shared<db::Experiment>(
+      db::Experiment::capture(tree, cct, name, 1));
+}
+
+/// Supergraph node with label `label`, or kCctNull-equivalent failure.
+prof::CctNodeId find_node(const Ensemble& e, const std::string& label) {
+  for (prof::CctNodeId n = 1; n < e.cct().size(); ++n)
+    if (e.cct().label(n) == label) return n;
+  ADD_FAILURE() << "no supergraph node labelled '" << label << "'";
+  return 0;
+}
+
+double col(const Ensemble& e, const std::string& name, prof::CctNodeId n) {
+  const auto c = e.attribution().table.find(name);
+  if (!c) {
+    ADD_FAILURE() << "no column '" << name << "'";
+    return -1;
+  }
+  return e.attribution().table.get(*c, n);
+}
+
+TEST(Ensemble, TwoRunStatsAreExact) {
+  const auto a = tiny_run(1000, false, "a");
+  const auto b = tiny_run(1300, false, "b");
+  const Ensemble e = Ensemble::align({a, b});
+
+  // Identical shapes: the supergraph is exactly one member's CCT.
+  EXPECT_EQ(e.cct().size(), a->cct().size());
+  EXPECT_EQ(e.num_members(), 2u);
+  EXPECT_FALSE(e.degraded());
+
+  const prof::CctNodeId w = find_node(e, "work");
+  // Plain column = across-member sum, so single-run queries keep meaning.
+  EXPECT_DOUBLE_EQ(col(e, "PAPI_TOT_CYC (I)", w), 2300.0);
+  EXPECT_DOUBLE_EQ(col(e, "PAPI_TOT_CYC (I) run0", w), 1000.0);
+  EXPECT_DOUBLE_EQ(col(e, "PAPI_TOT_CYC (I) run1", w), 1300.0);
+  EXPECT_DOUBLE_EQ(col(e, "PAPI_TOT_CYC (I) mean", w), 1150.0);
+  EXPECT_DOUBLE_EQ(col(e, "PAPI_TOT_CYC (I) min", w), 1000.0);
+  EXPECT_DOUBLE_EQ(col(e, "PAPI_TOT_CYC (I) max", w), 1300.0);
+  // Population stddev: mean 1150, deviations +/-150.
+  EXPECT_DOUBLE_EQ(col(e, "PAPI_TOT_CYC (I) stddev", w), 150.0);
+  // delta = mean(non-baseline) - baseline; ratio likewise.
+  EXPECT_DOUBLE_EQ(col(e, "PAPI_TOT_CYC (I) delta", w), 300.0);
+  EXPECT_DOUBLE_EQ(col(e, "PAPI_TOT_CYC (I) ratio", w), 1.3);
+  // 300 > 5% of 1000: regressed.
+  EXPECT_DOUBLE_EQ(col(e, "PAPI_TOT_CYC (I) regressed", w), 1.0);
+  EXPECT_DOUBLE_EQ(col(e, std::string(kPresenceColumn), w), 2.0);
+  EXPECT_TRUE(e.present(w, 0));
+  EXPECT_TRUE(e.present(w, 1));
+  EXPECT_EQ(e.presence_count(w), 2u);
+}
+
+TEST(Ensemble, ImprovementIsNotARegression) {
+  const auto a = tiny_run(1300, false, "a");
+  const auto b = tiny_run(1000, false, "b");
+  const Ensemble e = Ensemble::align({a, b});
+  const prof::CctNodeId w = find_node(e, "work");
+  EXPECT_DOUBLE_EQ(col(e, "PAPI_TOT_CYC (I) delta", w), -300.0);
+  EXPECT_DOUBLE_EQ(col(e, "PAPI_TOT_CYC (I) regressed", w), 0.0);
+}
+
+TEST(Ensemble, MissingNodePresenceAndZeroFill) {
+  const auto a = tiny_run(1000, false, "a");
+  const auto b = tiny_run(1000, true, "b");  // only b has `extra`
+  const Ensemble e = Ensemble::align({a, b});
+
+  EXPECT_GT(e.cct().size(), a->cct().size());
+  const prof::CctNodeId x = find_node(e, "extra");
+  EXPECT_FALSE(e.present(x, 0));
+  EXPECT_TRUE(e.present(x, 1));
+  EXPECT_EQ(e.presence_count(x), 1u);
+  EXPECT_DOUBLE_EQ(col(e, std::string(kPresenceColumn), x), 1.0);
+  // The run that lacks the path contributes exact zeros, not garbage.
+  EXPECT_DOUBLE_EQ(col(e, "PAPI_TOT_CYC (I) run0", x), 0.0);
+  EXPECT_DOUBLE_EQ(col(e, "PAPI_TOT_CYC (I) run1", x), 500.0);
+  EXPECT_DOUBLE_EQ(col(e, "PAPI_TOT_CYC (I) delta", x), 500.0);
+  // A path born after the baseline is a regression by definition.
+  EXPECT_DOUBLE_EQ(col(e, "PAPI_TOT_CYC (I) regressed", x), 1.0);
+  // Shared paths are present everywhere.
+  const prof::CctNodeId w = find_node(e, "work");
+  EXPECT_EQ(e.presence_count(w), 2u);
+}
+
+TEST(Ensemble, MemberShuffleYieldsIdenticalSupergraph) {
+  const auto a = tiny_run(1000, false, "a");
+  const auto b = tiny_run(1300, true, "b");
+  const auto c = tiny_run(900, false, "c");
+
+  EnsembleOptions o1;
+  o1.baseline = 0;  // run a
+  const Ensemble e1 = Ensemble::align({a, b, c}, o1);
+  EnsembleOptions o2;
+  o2.baseline = 1;  // still run a after the shuffle
+  const Ensemble e2 = Ensemble::align({c, a, b}, o2);
+
+  // The supergraph is canonical: same size, same labels in the same node
+  // order, no matter how the member list was ordered.
+  ASSERT_EQ(e1.cct().size(), e2.cct().size());
+  for (prof::CctNodeId n = 0; n < e1.cct().size(); ++n) {
+    EXPECT_EQ(e1.cct().label(n), e2.cct().label(n)) << "node " << n;
+    EXPECT_EQ(e1.presence_count(n), e2.presence_count(n)) << "node " << n;
+  }
+  // Order-independent columns match exactly; per-run columns permute.
+  const char* stable[] = {"PAPI_TOT_CYC (I)",        "PAPI_TOT_CYC (I) mean",
+                          "PAPI_TOT_CYC (I) min",    "PAPI_TOT_CYC (I) max",
+                          "PAPI_TOT_CYC (I) stddev", "PAPI_TOT_CYC (I) delta",
+                          "PAPI_TOT_CYC (I) ratio",
+                          "PAPI_TOT_CYC (I) regressed"};
+  for (prof::CctNodeId n = 0; n < e1.cct().size(); ++n) {
+    for (const char* name : stable)
+      EXPECT_DOUBLE_EQ(col(e1, name, n), col(e2, name, n))
+          << name << " node " << n;
+    EXPECT_DOUBLE_EQ(col(e1, "PAPI_TOT_CYC (I) run0", n),
+                     col(e2, "PAPI_TOT_CYC (I) run1", n));  // a
+    EXPECT_DOUBLE_EQ(col(e1, "PAPI_TOT_CYC (I) run1", n),
+                     col(e2, "PAPI_TOT_CYC (I) run2", n));  // b
+    EXPECT_DOUBLE_EQ(col(e1, "PAPI_TOT_CYC (I) run2", n),
+                     col(e2, "PAPI_TOT_CYC (I) run0", n));  // c
+  }
+}
+
+TEST(Ensemble, ThreeRunDeltaAveragesTheOthers) {
+  const auto a = tiny_run(1000, false, "a");
+  const auto b = tiny_run(1300, false, "b");
+  const auto c = tiny_run(900, false, "c");
+  const Ensemble e = Ensemble::align({a, b, c});
+  const prof::CctNodeId w = find_node(e, "work");
+  // others = (1300 + 900) / 2 = 1100; delta = 100; ratio = 1.1.
+  EXPECT_DOUBLE_EQ(col(e, "PAPI_TOT_CYC (I) delta", w), 100.0);
+  EXPECT_DOUBLE_EQ(col(e, "PAPI_TOT_CYC (I) ratio", w), 1.1);
+  EXPECT_DOUBLE_EQ(col(e, "PAPI_TOT_CYC (I) mean", w), 3200.0 / 3.0);
+  EXPECT_DOUBLE_EQ(col(e, "PAPI_TOT_CYC (I) min", w), 900.0);
+  EXPECT_DOUBLE_EQ(col(e, "PAPI_TOT_CYC (I) max", w), 1300.0);
+}
+
+TEST(Ensemble, DegradedMemberTaintsTheEnsemble) {
+  const auto a = tiny_run(1000, false, "a");
+  const auto b = tiny_run(1000, false, "b");
+  b->set_degraded(true);
+  b->set_dropped_ranks({3});
+
+  const Ensemble clean = Ensemble::align({a, tiny_run(1000, false, "b")});
+  EXPECT_FALSE(clean.degraded());
+  EXPECT_FALSE(clean.attribution().table.degraded());
+
+  const Ensemble e = Ensemble::align({a, b});
+  EXPECT_TRUE(e.degraded());
+  // The flag flows into the metric table so every downstream consumer
+  // (views, queries, serve) sees it without asking the ensemble.
+  EXPECT_TRUE(e.attribution().table.degraded());
+  EXPECT_FALSE(e.members()[0].degraded);
+  EXPECT_TRUE(e.members()[1].degraded);
+  ASSERT_EQ(e.members()[1].dropped_ranks.size(), 1u);
+  EXPECT_EQ(e.members()[1].dropped_ranks[0], 3u);
+}
+
+TEST(Ensemble, MemberInfoAndMapsRoundTrip) {
+  const auto a = tiny_run(1000, false, "alpha");
+  const auto b = tiny_run(1300, true, "beta");
+  const Ensemble e =
+      Ensemble::align({a, b}, {"runs/a.pvdb", "runs/b.pvdb"}, {});
+  ASSERT_EQ(e.members().size(), 2u);
+  EXPECT_EQ(e.members()[0].path, "runs/a.pvdb");
+  EXPECT_EQ(e.members()[0].name, "alpha");
+  EXPECT_EQ(e.members()[1].name, "beta");
+  EXPECT_EQ(e.members()[0].cct_nodes, a->cct().size());
+  // member_map carries every member node to a live supergraph node with the
+  // same label.
+  for (std::size_t k = 0; k < 2; ++k) {
+    const db::Experiment& m = k == 0 ? *a : *b;
+    const auto& map = e.member_map(k);
+    ASSERT_EQ(map.size(), m.cct().size());
+    for (prof::CctNodeId n = 0; n < m.cct().size(); ++n) {
+      ASSERT_LT(map[n], e.cct().size());
+      EXPECT_EQ(e.cct().label(map[n]), m.cct().label(n));
+      EXPECT_TRUE(e.present(map[n], k));
+    }
+  }
+}
+
+TEST(Ensemble, AlignValidatesItsInputs) {
+  const auto a = tiny_run(1000, false, "a");
+  EXPECT_THROW(Ensemble::align({}), InvalidArgument);
+  EXPECT_THROW(Ensemble::align({a, nullptr}), InvalidArgument);
+  EnsembleOptions bad_base;
+  bad_base.baseline = 2;
+  EXPECT_THROW(Ensemble::align({a, a}, bad_base), InvalidArgument);
+  EnsembleOptions bad_thr;
+  bad_thr.regress_threshold = -0.1;
+  EXPECT_THROW(Ensemble::align({a, a}, bad_thr), InvalidArgument);
+  EXPECT_THROW(Ensemble::align({a, a}, {"one-path"}, {}), InvalidArgument);
+}
+
+TEST(Ensemble, QueryRunsOverEnsembleColumns) {
+  const auto a = tiny_run(1000, false, "a");
+  const auto b = tiny_run(1300, false, "b");
+  const Ensemble e = Ensemble::align({a, b});
+
+  const query::Plan plan = query::compile(
+      query::parse("match '**' where cycles.incl.regressed > 0 select "
+                   "cycles.incl.run0, cycles.incl.delta, cycles.incl.ratio "
+                   "order by cycles.incl.delta desc"),
+      e.cct(), e.attribution().table);
+  const query::QueryResult r = plan.execute();
+
+  // Samples land on work's statement; both enclosing frames (main, work)
+  // inherit the same inclusive 1000 -> 1300 regression.
+  ASSERT_EQ(r.columns.size(), 3u);
+  EXPECT_EQ(r.columns[0], "cycles.incl.run0");  // display name, per pvquery
+  ASSERT_EQ(r.rows.size(), 2u);
+  for (const query::ResultRow& row : r.rows) {
+    EXPECT_DOUBLE_EQ(row.values[0], 1000.0);
+    EXPECT_DOUBLE_EQ(row.values[1], 300.0);
+    EXPECT_DOUBLE_EQ(row.values[2], 1.3);
+  }
+}
+
+TEST(EnsembleQueryGrammar, MetricSuffixResolution) {
+  EXPECT_EQ(query::resolve_metric_name("cycles.incl.delta"),
+            "cycles (I) delta");
+  EXPECT_EQ(query::resolve_metric_name("cycles.excl.run12"),
+            "cycles (E) run12");
+  EXPECT_EQ(query::resolve_metric_name("flops.incl.stddev"),
+            "flops (I) stddev");
+  // Unknown suffixes pass through untouched (treated as a literal name).
+  EXPECT_EQ(query::resolve_metric_name("cycles.incl.bogus"),
+            "cycles.incl.bogus");
+  EXPECT_TRUE(query::is_ensemble_metric_suffix("delta"));
+  EXPECT_TRUE(query::is_ensemble_metric_suffix("run0"));
+  EXPECT_TRUE(query::is_ensemble_metric_suffix("run42"));
+  EXPECT_FALSE(query::is_ensemble_metric_suffix("run"));
+  EXPECT_FALSE(query::is_ensemble_metric_suffix("runx"));
+  EXPECT_FALSE(query::is_ensemble_metric_suffix("bogus"));
+  // In query position a dangling suffix is a parse error with a caret.
+  EXPECT_THROW(query::parse("where cycles.incl.bogus > 0"), ParseError);
+}
+
+class InputsDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pv_ensemble_inputs_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    for (const char* f : {"w2.pvdb", "w0.pvdb", "w1.xml", "notes.txt"})
+      std::ofstream(dir_ / f) << "x";
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const char* f) const { return (dir_ / f).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(InputsDir, DirectoryExpandsToSortedDatabases) {
+  const std::vector<std::string> got = expand_inputs({dir_.string()});
+  ASSERT_EQ(got.size(), 3u);  // notes.txt is not a database
+  EXPECT_EQ(got[0], path("w0.pvdb"));
+  EXPECT_EQ(got[1], path("w1.xml"));
+  EXPECT_EQ(got[2], path("w2.pvdb"));
+}
+
+TEST_F(InputsDir, GlobMatchesAndSorts) {
+  const std::vector<std::string> got =
+      expand_inputs({(dir_ / "*.pvdb").string()});
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], path("w0.pvdb"));
+  EXPECT_EQ(got[1], path("w2.pvdb"));
+  EXPECT_THROW(expand_inputs({(dir_ / "*.nothing").string()}),
+               InvalidArgument);
+}
+
+TEST_F(InputsDir, LiteralsPassThroughInPlace) {
+  const std::vector<std::string> got =
+      expand_inputs({path("w2.pvdb"), path("w0.pvdb")});
+  ASSERT_EQ(got.size(), 2u);  // literals keep caller order, no sorting
+  EXPECT_EQ(got[0], path("w2.pvdb"));
+  EXPECT_EQ(got[1], path("w0.pvdb"));
+}
+
+}  // namespace
+}  // namespace pathview::ensemble

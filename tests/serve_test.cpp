@@ -756,5 +756,165 @@ TEST(ServeServer, IdleConnectionsAreClosedByTheTimeout) {
   server.stop();
 }
 
+// ---------------------------------------------------------------------------
+// open_ensemble: round trip, session sharing, and byte-determinism.
+// ---------------------------------------------------------------------------
+
+/// Two experiment databases with the same structure but distinct names, as
+/// a pvdiff-able pair.
+class TempEnsembleFiles {
+ public:
+  TempEnsembleFiles() {
+    workloads::PaperExample ex;
+    const prof::CanonicalCct cct = prof::correlate(ex.profile(), ex.tree());
+    const std::string stem =
+        (std::filesystem::temp_directory_path() /
+         ("serve_ens_" + std::to_string(::getpid()))).string();
+    a_ = stem + "_a.xml";
+    b_ = stem + "_b.xml";
+    db::save_xml(db::Experiment::capture(ex.tree(), cct, "ens a", 1), a_);
+    db::save_xml(db::Experiment::capture(ex.tree(), cct, "ens b", 1), b_);
+  }
+  ~TempEnsembleFiles() {
+    std::remove(a_.c_str());
+    std::remove(b_.c_str());
+  }
+  const std::string& a() const { return a_; }
+  const std::string& b() const { return b_; }
+
+ private:
+  std::string a_, b_;
+};
+
+Request ensemble_request(int id, const std::string& a, const std::string& b,
+                         std::uint64_t baseline) {
+  Request req;
+  req.id = id;
+  req.op = Op::kOpenEnsemble;
+  req.body = JsonValue::object();
+  JsonValue paths = JsonValue::array();
+  paths.push(JsonValue::string(a));
+  paths.push(JsonValue::string(b));
+  req.body.set("paths", std::move(paths));
+  req.body.set("baseline", JsonValue::number(baseline));
+  return req;
+}
+
+TEST(ServeEnsemble, OpenEnsembleRoundTrip) {
+  TempEnsembleFiles files;
+  SessionManager mgr{SessionManager::Options{}};
+
+  JsonValue resp = mgr.handle(ensemble_request(1, files.a(), files.b(), 1));
+  ASSERT_TRUE(resp.get_bool("ok", false)) << resp.dump();
+  EXPECT_EQ(resp.get_string("name", ""), "ensemble of 2 runs");
+  EXPECT_EQ(resp.get_u64("baseline", 99), 1u);
+  EXPECT_GT(resp.get_u64("scopes", 0), 0u);
+  const JsonValue* members = resp.find("members");
+  ASSERT_NE(members, nullptr);
+  ASSERT_EQ(members->items().size(), 2u);
+  EXPECT_EQ(members->items()[0].get_string("path", ""), files.a());
+  EXPECT_EQ(members->items()[0].get_string("name", ""), "ens a");
+  EXPECT_EQ(members->items()[1].get_string("name", ""), "ens b");
+
+  // The ensemble columns are queryable through the ordinary query op.
+  const std::string sid = resp.get_string("session", "");
+  JsonValue q = mgr.handle(session_request(
+      2, Op::kQuery, sid,
+      "match '**' where cycles.incl.delta >= 0 select cycles.incl.run0, "
+      "cycles.incl.mean order by cycles.incl.mean desc limit 3"));
+  ASSERT_TRUE(q.get_bool("ok", false)) << q.dump();
+  EXPECT_NE(q.dump().find("\"result\""), std::string::npos);
+
+  // Ensembles have no trace directory; the timeline op must say so rather
+  // than fall over.
+  Request tl;
+  tl.id = 3;
+  tl.op = Op::kTimelineWindow;
+  tl.body = JsonValue::object();
+  tl.body.set("session", JsonValue::string(sid));
+  JsonValue tresp = mgr.handle(tl);
+  EXPECT_FALSE(tresp.get_bool("ok", true));
+  EXPECT_NE(tresp.dump().find("no traces"), std::string::npos)
+      << tresp.dump();
+
+  Request close;
+  close.id = 4;
+  close.op = Op::kClose;
+  close.body = JsonValue::object();
+  close.body.set("session", JsonValue::string(sid));
+  EXPECT_TRUE(mgr.handle(close).get_bool("ok", false));
+}
+
+TEST(ServeEnsemble, RepliesAreByteDeterministicAcrossManagers) {
+  // The protocol's determinism contract: the same request sequence yields
+  // byte-identical responses regardless of daemon instance (and therefore
+  // of --threads, which only changes which worker runs the handler).
+  TempEnsembleFiles files;
+  auto run_sequence = [&](SessionManager& mgr) {
+    std::string out;
+    out += mgr.handle(ensemble_request(1, files.a(), files.b(), 0)).dump();
+    out += mgr.handle(session_request(
+                          2, Op::kQuery, "s1",
+                          "match '**' where cycles.incl.regressed >= 0 "
+                          "select cycles.incl.delta, cycles.incl.stddev "
+                          "order by cycles.incl.delta desc limit 5"))
+               .dump();
+    return out;
+  };
+  SessionManager m1{SessionManager::Options{}};
+  SessionManager m2{SessionManager::Options{}};
+  const std::string r1 = run_sequence(m1);
+  const std::string r2 = run_sequence(m2);
+  EXPECT_FALSE(r1.empty());
+  EXPECT_EQ(r1, r2);
+  EXPECT_NE(r1.find("\"ok\":true"), std::string::npos) << r1;
+}
+
+TEST(ServeEnsemble, ConcurrentOpensShareOneEnsemble) {
+  TempEnsembleFiles files;
+  SessionManager mgr{SessionManager::Options{}};
+
+  constexpr int kThreads = 4;
+  std::vector<std::string> sids(kThreads);
+  std::vector<std::string> column_dumps(kThreads);
+  {
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i)
+      threads.emplace_back([&, i] {
+        JsonValue resp =
+            mgr.handle(ensemble_request(10 + i, files.a(), files.b(), 0));
+        ASSERT_TRUE(resp.get_bool("ok", false)) << resp.dump();
+        sids[i] = resp.get_string("session", "");
+        const JsonValue* cols = resp.find("columns");
+        ASSERT_NE(cols, nullptr);
+        column_dumps[i] = cols->dump();
+      });
+    for (std::thread& t : threads) t.join();
+  }
+  EXPECT_EQ(mgr.open_sessions(), static_cast<std::size_t>(kThreads));
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_NE(sids[i], sids[0]);
+    EXPECT_EQ(column_dumps[i], column_dumps[0]);
+  }
+
+  // Every session queries the shared supergraph; results are byte-equal.
+  std::vector<std::string> results(kThreads);
+  {
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i)
+      threads.emplace_back([&, i] {
+        JsonValue resp = mgr.handle(session_request(
+            20 + i, Op::kQuery, sids[i],
+            "order by cycles.incl.mean desc limit 4"));
+        ASSERT_TRUE(resp.get_bool("ok", false)) << resp.dump();
+        const JsonValue* result = resp.find("result");
+        ASSERT_NE(result, nullptr);
+        results[i] = result->dump();
+      });
+    for (std::thread& t : threads) t.join();
+  }
+  for (int i = 1; i < kThreads; ++i) EXPECT_EQ(results[i], results[0]);
+}
+
 }  // namespace
 }  // namespace pathview::serve
