@@ -1,0 +1,236 @@
+// Chaos recovery harness: the robustness stack measured end to end. A
+// supervised pvserve worker is SIGKILLed mid-session and every recovery
+// layer has to hold at once:
+//   - the supervisor respawns the worker on the same port (health file
+//     passes through "starting" and returns to "serving");
+//   - the session journal resurrects the killed session, replaying the
+//     navigation ops that preceded the crash;
+//   - the auto-resume client reconnects, resumes, and re-sends, so the
+//     caller's continued reply stream is byte-identical to an
+//     uninterrupted run against a server that never died;
+//   - the whole detour — kill to first post-crash reply — costs < 2 s.
+// Writes BENCH_chaos_recovery.json with the measurements.
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "pathview/db/experiment.hpp"
+#include "pathview/prof/pipeline.hpp"
+#include "pathview/serve/client.hpp"
+#include "pathview/serve/server.hpp"
+#include "pathview/serve/supervisor.hpp"
+#include "pathview/support/error.hpp"
+#include "pathview/workloads/registry.hpp"
+
+using namespace pathview;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+/// The worker pid from a "serving" health snapshot (-1 when absent).
+long health_pid(const std::string& path) {
+  const std::string text = slurp(path);
+  const std::size_t at = text.find("\"pid\":");
+  if (at == std::string::npos) return -1;
+  return std::strtol(text.c_str() + at + 6, nullptr, 10);
+}
+
+/// A navigation request with a pinned id, so the reply bytes of the oracle
+/// run and the chaos run can be diffed directly.
+serve::JsonValue nav(const char* op, const std::string& sid,
+                     std::uint64_t id) {
+  serve::JsonValue b = serve::JsonValue::object();
+  b.set("op", serve::JsonValue::string(op));
+  b.set("session", serve::JsonValue::string(sid));
+  b.set("id", serve::JsonValue::number(id));
+  return b;
+}
+
+/// Part 1: journaled navigation that must survive the crash.
+void run_part1(serve::Client& client, const std::string& sid) {
+  serve::JsonValue expand = nav("expand", sid, 2);
+  expand.set("node", serve::JsonValue::number(std::uint64_t{1}));
+  client.call(std::move(expand));
+  serve::JsonValue sort = nav("sort", sid, 3);
+  sort.set("column", serve::JsonValue::number(std::uint64_t{0}));
+  client.call(std::move(sort));
+}
+
+/// Part 2: the continued stream whose bytes are the oracle. Returns the
+/// concatenated reply dumps.
+std::string run_part2(serve::Client& client, const std::string& sid) {
+  std::string stream;
+  stream += client.call(nav("expand", sid, 10)).dump();
+  stream += client.call(nav("hot_path", sid, 11)).dump();
+  stream += client.call(nav("metrics", sid, 12)).dump();
+  return stream;
+}
+
+std::string open_session(serve::Client& client, const std::string& db_path) {
+  serve::JsonValue body = serve::JsonValue::object();
+  body.set("path", serve::JsonValue::string(db_path));
+  const serve::JsonValue reply = client.call_op("open", std::move(body));
+  if (!reply.get_bool("ok", false))
+    throw Error("open failed: " + reply.dump());
+  return reply.get_string("session", "");
+}
+
+void wait_for_server(std::uint16_t port) {
+  for (int i = 0; i < 400; ++i) {
+    try {
+      ::close(serve::connect_to("127.0.0.1", port));
+      return;
+    } catch (const std::exception&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+  }
+  throw Error("supervised daemon never became reachable");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  constexpr std::uint32_t kRanks = 8;
+
+  bench::Report rep("chaos recovery: kill -9 the worker, keep the session",
+                    bench::meta_from_args(argc, argv, "chaos_recovery"));
+  rep.config("workload", "subsurface");
+  rep.config("ranks", static_cast<double>(kRanks));
+
+  const std::string dir = "/tmp/pathview_chaos_bench";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const workloads::Workload w = workloads::make_workload("subsurface", kRanks);
+  const std::vector<sim::RawProfile> raws =
+      workloads::profile_workload(w, kRanks);
+  const prof::CanonicalCct merged = prof::Pipeline().run(raws, *w.tree);
+  const db::Experiment exp =
+      db::Experiment::capture(*w.tree, merged, "chaos-bench", kRanks);
+  const std::string db_path = dir + "/exp.pvdb";
+  db::save_binary(exp, db_path);
+
+  // --- oracle: the same script against a server that never dies ------------
+  std::string oracle;
+  {
+    serve::Server::Options opts;
+    opts.threads = 2;
+    opts.sessions.session_dir = dir + "/journal_oracle";
+    serve::Server server(opts);
+    server.start();
+    serve::Client client("127.0.0.1", server.port());
+    const std::string sid = open_session(client, db_path);
+    run_part1(client, sid);
+    oracle = run_part2(client, sid);
+    server.stop();
+  }
+  rep.row("oracle run produced a reply stream", 1, oracle.empty() ? 0 : 1, 0);
+
+  // --- chaos: supervised daemon, SIGKILL mid-session -----------------------
+  const std::uint16_t port = serve::reserve_ephemeral_port("127.0.0.1");
+  const std::string health = dir + "/health.json";
+  const std::string jdir = dir + "/journal_chaos";
+  std::fflush(stdout);  // don't let the fork duplicate buffered report rows
+  const pid_t sup = ::fork();
+  if (sup == 0) {
+    // Supervisor process: forks the worker before any thread exists here.
+    serve::SupervisorOptions sopts;
+    sopts.backoff_ms = 50;
+    sopts.health_file = health;
+    sopts.quiet = true;
+    serve::Supervisor supervisor(sopts);
+    const int rc = supervisor.run([&] {
+      serve::Server::Options wopts;
+      wopts.port = port;
+      wopts.threads = 2;
+      wopts.health_file = health;
+      wopts.health_interval_ms = 100;
+      wopts.sessions.session_dir = jdir;
+      const char* env = std::getenv(serve::kSupervisorRestartsEnv);
+      wopts.supervisor_restarts =
+          env != nullptr ? static_cast<std::uint32_t>(std::atol(env)) : 0;
+      serve::Server server(wopts);
+      server.start();
+      server.wait();  // returns after a protocol "shutdown"
+      return 0;
+    });
+    ::_exit(rc);
+  }
+  if (sup < 0) throw Error("fork failed");
+
+  wait_for_server(port);
+  serve::RetryOptions retry;
+  retry.auto_resume = true;
+  retry.reconnect_attempts = 20;
+  retry.reconnect_backoff_ms = 25;
+  retry.max_backoff_ms = 250;
+  serve::Client client("127.0.0.1", port, retry);
+  const std::string sid = open_session(client, db_path);
+  run_part1(client, sid);
+
+  const long worker_pid = health_pid(health);
+  rep.info("worker pid from health file", static_cast<double>(worker_pid));
+  rep.row("health file names a live worker pid", 1, worker_pid > 0 ? 1 : 0,
+          0);
+  ::kill(static_cast<pid_t>(worker_pid), SIGKILL);
+
+  // The next call rides the crash: reconnect with backoff, resume_session,
+  // re-send. Recovery time is kill-to-first-continued-reply.
+  const Clock::time_point t0 = Clock::now();
+  const std::string continued = run_part2(client, sid);
+  const double recovery_ms = ms_since(t0);
+
+  rep.info("recovery after SIGKILL [ms]", recovery_ms);
+  rep.gate_max("kill-to-reply recovery <= 2000 ms", recovery_ms, 2000.0);
+  rep.row("continued stream byte-identical to uninterrupted run", 1,
+          continued == oracle ? 1 : 0, 0);
+  rep.info("client auto-resume recoveries", static_cast<double>(
+                                                client.resumes()));
+  rep.row("client recovered via exactly one resume", 1,
+          client.resumes() == 1 ? 1 : 0, 0);
+
+  const serve::JsonValue stats =
+      client.call_op("stats", serve::JsonValue::object());
+  const serve::JsonValue* srv = stats.find("server");
+  const std::uint64_t restarts =
+      srv != nullptr ? srv->get_u64("supervisor_restarts", 0) : 0;
+  rep.info("supervisor restarts reported by stats", static_cast<double>(
+                                                        restarts));
+  rep.row("respawned worker reports >= 1 restart", 1, restarts >= 1 ? 1 : 0,
+          0);
+  rep.row("health file back to \"serving\"", 1,
+          slurp(health).find("\"serving\"") != std::string::npos ? 1 : 0, 0);
+
+  // Clean drain: protocol shutdown ends the worker with exit 0, which ends
+  // supervision; the supervisor process itself must exit clean.
+  client.call_op("shutdown", serve::JsonValue::object());
+  int status = 0;
+  ::waitpid(sup, &status, 0);
+  rep.row("supervisor exits clean after protocol shutdown", 1,
+          WIFEXITED(status) && WEXITSTATUS(status) == 0 ? 1 : 0, 0);
+
+  std::filesystem::remove_all(dir);
+  rep.write_json("BENCH_chaos_recovery.json");
+  return rep.exit_code();
+}

@@ -243,6 +243,63 @@ fault_matrix() {
   grep -q 'DEGRADED DATA' "$fdir/fault_salvage.log"
 }
 
+# Chaos matrix against the tools of one build dir: a supervised daemon with
+# a health file and a session journal, one session opened and navigated,
+# then the worker killed with SIGKILL. The supervisor must respawn it on the
+# same port (health passes through "starting" and returns to "serving" under
+# a fresh pid with restarts recorded), resume_session must resurrect the
+# journaled session, and the resurrected cursor must keep answering. A
+# final SIGTERM drains the worker and ends supervision cleanly.
+chaos_smoke() {
+  xdir=$1
+  xdb=$xdir/chaos_check.pvdb
+  xlog=$xdir/chaos_check.log
+  xhealth=$xdir/chaos_check.health
+  xjournal=$xdir/chaos_check_journal
+  rm -rf "$xjournal" "$xhealth"
+  "$xdir/tools/pvprof" subsurface -o "$xdb" --ranks 4 > /dev/null
+  "$xdir/tools/pvserve" --supervise --port 0 --health-file "$xhealth" \
+    --session-dir "$xjournal" --health-interval-ms 100 \
+    --restart-backoff-ms 50 > "$xlog" 2>&1 &
+  xpid=$!
+  for _ in $(seq 100); do
+    grep -q 'listening on' "$xlog" && break
+    sleep 0.1
+  done
+  xport=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$xlog" |
+          head -1)
+  sid=$("$xdir/tools/pvserve" --client --port "$xport" \
+          --request "{\"v\":1,\"id\":1,\"op\":\"open\",\"path\":\"$xdb\"}" |
+        sed -n 's/.*"session":"\([^"]*\)".*/\1/p')
+  [ -n "$sid" ]
+  "$xdir/tools/pvserve" --client --port "$xport" --request \
+    "{\"v\":1,\"id\":2,\"op\":\"expand\",\"session\":\"$sid\",\"node\":1}" \
+    > /dev/null
+  # The worker's pid is in the health snapshot (the supervisor is $xpid).
+  wpid=$(sed -n 's/.*"pid":\([0-9]*\).*/\1/p' "$xhealth")
+  [ -n "$wpid" ]
+  [ "$wpid" != "$xpid" ]
+  kill -9 "$wpid"
+  # Wait out the respawn: "serving" again, under a fresh worker pid.
+  for _ in $(seq 100); do
+    if grep -q '"state":"serving"' "$xhealth" 2>/dev/null; then
+      npid=$(sed -n 's/.*"pid":\([0-9]*\).*/\1/p' "$xhealth")
+      [ "$npid" != "$wpid" ] && break
+    fi
+    sleep 0.1
+  done
+  grep -q '"restarts":1' "$xhealth"
+  "$xdir/tools/pvserve" --client --port "$xport" --request \
+    "{\"v\":1,\"id\":3,\"op\":\"resume_session\",\"token\":\"$sid\"}" |
+    grep -q '"resumed":true'
+  "$xdir/tools/pvserve" --client --port "$xport" --request \
+    "{\"v\":1,\"id\":4,\"op\":\"expand\",\"session\":\"$sid\",\"node\":1}" |
+    grep -q '"ok":true'
+  kill -TERM "$xpid"
+  wait "$xpid"
+  rm -rf "$xjournal" "$xhealth"
+}
+
 cmake -B build -DPATHVIEW_WERROR=ON
 cmake --build build -j "$(nproc)"
 # Per-test timeout so one hung test fails instead of wedging the whole run.
@@ -272,6 +329,8 @@ echo "== ensemble smoke (pvdiff + serve open_ensemble op)"
 ensemble_smoke build
 echo "== fault-injection matrix"
 fault_matrix build
+echo "== chaos matrix (SIGKILL the supervised worker)"
+chaos_smoke build
 
 if [ "${PATHVIEW_SKIP_SANITIZE:-0}" != "1" ]; then
   echo "== sanitizer pass (ASan+UBSan)"
@@ -288,6 +347,8 @@ if [ "${PATHVIEW_SKIP_SANITIZE:-0}" != "1" ]; then
   ensemble_smoke build-asan
   echo "== fault-injection matrix under ASan"
   fault_matrix build-asan
+  echo "== chaos matrix under ASan"
+  chaos_smoke build-asan
 
   echo "== sanitizer pass (TSan: pipeline worker pool + obs + serve + faults)"
   cmake -B build-tsan -DPATHVIEW_SANITIZE=thread
@@ -311,6 +372,8 @@ if [ "${PATHVIEW_SKIP_SANITIZE:-0}" != "1" ]; then
   ensemble_smoke build-tsan
   echo "== fault-injection matrix under TSan"
   fault_matrix build-tsan
+  echo "== chaos matrix under TSan"
+  chaos_smoke build-tsan
 fi
 
 echo "ALL CHECKS PASSED"

@@ -1,5 +1,6 @@
 #include "pathview/fault/fault.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <chrono>
 #include <cstdlib>
@@ -140,6 +141,8 @@ void record_fire(const LiveRule& r, const char* site) {
     case Kind::kDelay: PV_COUNTER_ADD("fault.delays", 1); break;
     case Kind::kAlloc: PV_COUNTER_ADD("fault.allocs", 1); break;
     case Kind::kCrash: PV_COUNTER_ADD("fault.crashes", 1); break;
+    case Kind::kReset: PV_COUNTER_ADD("fault.resets", 1); break;
+    case Kind::kStall: PV_COUNTER_ADD("fault.stalls", 1); break;
   }
   (void)site;
 }
@@ -159,8 +162,14 @@ void apply(const LiveRule& r, const char* site) {
       // A SIGKILL analog: no unwinding, no flushing, no atexit — exactly
       // what a job killed mid-write looks like to the next reader.
       std::_Exit(static_cast<int>(r.rule.arg ? r.rule.arg : 137));
+    case Kind::kReset:
+      // Styled as the errno text a torn TCP connection produces, so the
+      // caller's transport-error handling exercises its real path.
+      throw InjectedFault(site, "connection reset by peer (rule '" +
+                                    r.rule.site + "')");
     case Kind::kShortWrite:
-      return;  // handled by clamp_len
+    case Kind::kStall:
+      return;  // handled by clamp_len / stall_ms
   }
 }
 
@@ -177,6 +186,8 @@ const char* kind_name(Kind k) {
     case Kind::kDelay: return "delay";
     case Kind::kAlloc: return "alloc";
     case Kind::kCrash: return "crash";
+    case Kind::kReset: return "reset";
+    case Kind::kStall: return "stall";
   }
   return "?";
 }
@@ -228,9 +239,16 @@ Plan Plan::parse(std::string_view spec) {
     } else if (verb == "crash") {
       rule.kind = Kind::kCrash;
       if (!arg.empty()) rule.arg = parse_u64(clause, arg, "crash");
+    } else if (verb == "reset") {
+      rule.kind = Kind::kReset;
+    } else if (verb == "stall") {
+      rule.kind = Kind::kStall;
+      if (arg.empty()) spec_error(clause, "stall needs '=MS'");
+      rule.arg = parse_u64(clause, arg, "stall");
     } else {
-      spec_error(clause, "unknown action '" + std::string(verb) +
-                             "' (error|short=N|delay=MS|alloc|crash)");
+      spec_error(clause,
+                 "unknown action '" + std::string(verb) +
+                     "' (error|short=N|delay=MS|alloc|crash|reset|stall=MS)");
     }
 
     for (std::size_t i = 2; i < parts.size(); ++i) {
@@ -295,9 +313,24 @@ void check_site(const char* site) {
   if (plan == nullptr) return;
   for (std::size_t i = 0; i < plan->rules.size(); ++i) {
     LiveRule& r = *plan->rules[i];
-    if (r.rule.kind == Kind::kShortWrite) continue;  // clamp_len territory
+    if (r.rule.kind == Kind::kShortWrite || r.rule.kind == Kind::kStall)
+      continue;  // clamp_len / stall_ms territory
     if (rule_fires(*plan, i, r, site)) apply(r, site);
   }
+}
+
+std::uint64_t stall_ms(const char* site) {
+  Installed* plan = g_plan.load(std::memory_order_acquire);
+  if (plan == nullptr) return 0;
+  std::uint64_t ms = 0;
+  for (std::size_t i = 0; i < plan->rules.size(); ++i) {
+    LiveRule& r = *plan->rules[i];
+    if (r.rule.kind != Kind::kStall) continue;
+    if (!rule_fires(*plan, i, r, site)) continue;
+    record_fire(r, site);
+    ms = std::max<std::uint64_t>(ms, r.rule.arg);
+  }
+  return ms;
 }
 
 std::size_t clamp_len(const char* site, std::size_t n) {

@@ -14,11 +14,19 @@
 //   spec   := rule (';' rule)*
 //   rule   := site ':' action (':' mod)*
 //   action := 'error' | 'short=' N | 'delay=' MS | 'alloc' | 'crash'
+//           | 'reset' | 'stall=' MS
 //   mod    := 'after=' K | 'count=' K | 'prob=' P | 'seed=' S
 //   site   := dotted name, '*' wildcards allowed ("db.*", "*.rename")
 //
 // e.g.  PATHVIEW_FAULTS='db.experiment.save.write:crash:after=1'
 //       PATHVIEW_FAULTS='db.measurement.load.read:error:prob=0.25:seed=7'
+//       PATHVIEW_FAULTS='serve.net.write:stall=200:after=3'
+//
+// The socket-level actions model network chaos rather than disk failure:
+// 'reset' throws InjectedFault styled as a peer connection reset at any
+// PV_FAULT site on a network path, and 'stall=MS' pauses a framed transfer
+// mid-frame (consumed via stall_ms() by transports that split their writes,
+// e.g. serve::write_frame) — the slowloris/partial-frame scenario.
 //
 // Cost model: when no plan is installed (the production state) every
 // PV_FAULT site is one relaxed atomic load and a predictable branch —
@@ -43,6 +51,8 @@ enum class Kind : std::uint8_t {
   kDelay,       // sleep `arg` milliseconds
   kAlloc,       // throw std::bad_alloc
   kCrash,       // _Exit(arg ? arg : 137) — a kill -9 analog, no unwinding
+  kReset,       // throw InjectedFault styled as a peer connection reset
+  kStall,       // pause a framed transfer mid-frame for `arg` ms (stall_ms)
 };
 
 const char* kind_name(Kind k);
@@ -114,6 +124,13 @@ void check_site(const char* site);
 /// rule fires). Also runs check_site semantics for the other kinds, so one
 /// call per chunk covers every action.
 std::size_t clamp_len(const char* site, std::size_t n);
+
+/// Evaluate partial-frame stall rules at `site`: returns the milliseconds a
+/// transport should pause mid-transfer (0 when no stall rule fires). Only
+/// kStall rules are consumed here — pair with check_site / clamp_len for
+/// the other kinds. Transports that cannot split a transfer may ignore
+/// stalls; check_site never fires them.
+std::uint64_t stall_ms(const char* site);
 
 namespace detail {
 extern std::atomic<bool> g_active;

@@ -52,6 +52,73 @@ void Client::reconnect() {
   }
 }
 
+void Client::track_session(const std::string& token) {
+  if (token.empty()) return;
+  if (std::find(tracked_.begin(), tracked_.end(), token) == tracked_.end())
+    tracked_.push_back(token);
+}
+
+void Client::untrack_session(const std::string& token) {
+  tracked_.erase(std::remove(tracked_.begin(), tracked_.end(), token),
+                 tracked_.end());
+}
+
+bool Client::resume_after_disconnect() {
+  const std::uint32_t tries =
+      std::max<std::uint32_t>(1, retry_.reconnect_attempts);
+  std::uint64_t delay = std::max<std::uint32_t>(1, retry_.reconnect_backoff_ms);
+  for (std::uint32_t attempt = 0; attempt < tries; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      delay = std::min<std::uint64_t>(delay * 2, retry_.max_backoff_ms);
+    }
+    try {
+      reconnect();
+    } catch (const TransportError&) {
+      continue;  // the respawned daemon may not be listening yet
+    }
+    bool transport_ok = true;
+    bool all_resumed = true;
+    for (const std::string& token : tracked_) {
+      JsonValue req = JsonValue::object();
+      req.set("v",
+              JsonValue::number(static_cast<std::int64_t>(kProtocolVersion)));
+      req.set("id", JsonValue::number(next_id_++));
+      req.set("op", JsonValue::string("resume_session"));
+      req.set("token", JsonValue::string(token));
+      std::string raw;
+      try {
+        write_frame(fd_, req.dump());
+        if (!read_frame(fd_, &raw)) throw TransportError("closed mid-resume");
+      } catch (const std::exception&) {
+        transport_ok = false;
+        break;
+      }
+      JsonValue reply;
+      try {
+        reply = JsonValue::parse(raw);
+      } catch (const Error&) {
+        return false;  // garbage reply: not a restart we can recover from
+      }
+      if (!reply.get_bool("ok", false)) {
+        // A shed/overloaded resume is worth another round; a final refusal
+        // (unknown token, damaged journal header) is not.
+        if (reply.find("retry_after_ms") != nullptr) {
+          all_resumed = false;
+          break;
+        }
+        return false;
+      }
+    }
+    if (transport_ok && all_resumed) {
+      ++resumes_;
+      PV_COUNTER_ADD("serve.client.resumes", 1);
+      return true;
+    }
+  }
+  return false;
+}
+
 JsonValue Client::call(JsonValue request) {
   if (!request.is_object())
     throw ProtocolError("client request must be a JSON object");
@@ -63,6 +130,7 @@ JsonValue Client::call(JsonValue request) {
   if (trace_id_ != 0 && request.find("trace_id") == nullptr)
     request.set("trace_id", JsonValue::number(trace_id_));
 
+  const std::string op_text = request.get_string("op", "");
   const std::string payload = request.dump();
   const std::uint32_t attempts = std::max<std::uint32_t>(1, retry_.max_attempts);
   const bool has_deadline = retry_.deadline_ms != 0;
@@ -77,11 +145,20 @@ JsonValue Client::call(JsonValue request) {
                            " attempt(s)");
     std::string raw;
     try {
-      write_frame(fd_, payload);
-      if (!read_frame(fd_, &raw))
-        throw TransportError("server closed the connection mid-call");
-    } catch (const fault::InjectedFault& e) {
-      throw TransportError(e.what());
+      try {
+        write_frame(fd_, payload);
+        if (!read_frame(fd_, &raw))
+          throw TransportError("server closed the connection mid-call");
+      } catch (const fault::InjectedFault& e) {
+        throw TransportError(e.what());
+      }
+    } catch (const TransportError&) {
+      // The daemon (or the wire) died mid-call. With auto_resume on,
+      // reconnect, resume the tracked sessions, and re-send this request —
+      // at-least-once delivery, bounded by max_attempts.
+      if (!retry_.auto_resume || attempt + 1 >= attempts) throw;
+      if (!resume_after_disconnect()) throw;
+      continue;
     }
 
     JsonValue reply;
@@ -89,6 +166,17 @@ JsonValue Client::call(JsonValue request) {
       reply = JsonValue::parse(raw);
     } catch (const Error& e) {
       throw ProtocolError(std::string("unparseable reply: ") + e.what());
+    }
+
+    if (retry_.auto_resume && reply.get_bool("ok", false)) {
+      // Keep the resume set current: opens start tracking, close stops.
+      if (const std::string sid = reply.get_string("session", "");
+          !sid.empty() &&
+          (op_text == "open" || op_text == "open_ensemble" ||
+           op_text == "resume_session"))
+        track_session(sid);
+      if (op_text == "close")
+        untrack_session(reply.get_string("closed", ""));
     }
 
     std::uint32_t hint = 0;

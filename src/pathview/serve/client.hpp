@@ -18,10 +18,21 @@
 //   TransportError — the bytes didn't flow            (exit 3)
 //   ProtocolError  — the bytes weren't a usable reply  (exit 2)
 //   ok:false reply — a well-formed refusal             (exit 2)
+//
+// Auto-resume (opt-in via RetryOptions::auto_resume): when a call hits a
+// transport failure, the client reconnects with capped backoff, replays
+// `resume_session` for every tracked session token over the fresh
+// connection, and re-sends the interrupted request — so a supervised
+// daemon's crash-and-respawn is invisible to the caller beyond latency.
+// Sessions are tracked automatically from open/open_ensemble/resume
+// replies. The re-send makes delivery AT-LEAST-ONCE: a mutating request
+// whose reply was lost may execute twice (navigation ops are idempotent,
+// so in practice the cursor converges).
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "pathview/serve/json.hpp"
 #include "pathview/serve/protocol.hpp"
@@ -40,6 +51,12 @@ struct RetryOptions {
   std::uint32_t deadline_ms = 0;
   /// Seed for the deterministic jitter stream (+/- 25% of each delay).
   std::uint64_t jitter_seed = 0;
+  /// Survive daemon restarts: reconnect + resume_session + re-send.
+  bool auto_resume = false;
+  /// Reconnect tries per transport failure before giving up.
+  std::uint32_t reconnect_attempts = 5;
+  /// First reconnect delay; doubles per try, capped at max_backoff_ms.
+  std::uint32_t reconnect_backoff_ms = 100;
 };
 
 class Client {
@@ -70,11 +87,24 @@ class Client {
 
   /// Retries performed across all calls (observability for tests/tools).
   std::uint64_t retries() const { return retries_; }
+  /// Successful reconnect-and-resume recoveries.
+  std::uint64_t resumes() const { return resumes_; }
+
+  /// Session tokens to resume after a reconnect. call() maintains this
+  /// automatically when auto_resume is on; exposed for explicit control.
+  void track_session(const std::string& token);
+  void untrack_session(const std::string& token);
+  const std::vector<std::string>& tracked_sessions() const {
+    return tracked_;
+  }
 
   int fd() const { return fd_; }
 
  private:
   void reconnect();
+  /// Reconnect with backoff and resume every tracked session. True when
+  /// the connection is usable again; false = give up (caller rethrows).
+  bool resume_after_disconnect();
 
   std::string host_;
   std::uint16_t port_;
@@ -84,6 +114,8 @@ class Client {
   std::uint64_t trace_id_ = 0;
   std::uint64_t jitter_state_;
   std::uint64_t retries_ = 0;
+  std::uint64_t resumes_ = 0;
+  std::vector<std::string> tracked_;
 };
 
 }  // namespace pathview::serve

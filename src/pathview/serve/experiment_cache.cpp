@@ -42,11 +42,29 @@ ExperimentCache::ExperimentCache() : ExperimentCache(Options()) {}
 
 ExperimentCache::ExperimentCache(Options opts) : opts_(opts) {
   if (opts_.shards == 0) opts_.shards = 1;
-  shard_budget_ = opts_.byte_budget / opts_.shards;
-  if (shard_budget_ == 0) shard_budget_ = 1;
+  budget_.store(opts_.byte_budget, std::memory_order_relaxed);
+  std::size_t per_shard = opts_.byte_budget / opts_.shards;
+  if (per_shard == 0) per_shard = 1;
+  shard_budget_.store(per_shard, std::memory_order_relaxed);
   shards_.reserve(opts_.shards);
   for (std::size_t i = 0; i < opts_.shards; ++i)
     shards_.push_back(std::make_unique<Shard>());
+}
+
+void ExperimentCache::set_byte_budget(std::size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  budget_.store(bytes, std::memory_order_relaxed);
+  std::size_t per_shard = bytes / shards_.size();
+  if (per_shard == 0) per_shard = 1;
+  shard_budget_.store(per_shard, std::memory_order_relaxed);
+  // Shrinks take effect now, not on the next insert: the brownout
+  // controller calls this precisely because memory is short.
+  for (const auto& sp : shards_) {
+    std::lock_guard<std::mutex> lock(sp->mu);
+    evict_to_fit(*sp, per_shard);
+  }
+  PV_COUNTER_SET("serve.cache.bytes",
+                 resident_bytes_.load(std::memory_order_relaxed));
 }
 
 ExperimentCache::Shard& ExperimentCache::shard_for(const std::string& path) {
@@ -89,7 +107,7 @@ std::shared_ptr<const db::Experiment> ExperimentCache::get(
   resident_bytes_.fetch_add(e.bytes, std::memory_order_relaxed);
   s.lru.push_front(std::move(e));
   s.index.emplace(path, s.lru.begin());
-  evict_to_fit(s, shard_budget_);
+  evict_to_fit(s, shard_budget_.load(std::memory_order_relaxed));
   PV_COUNTER_SET("serve.cache.bytes",
                  resident_bytes_.load(std::memory_order_relaxed));
   return s.lru.front().exp;

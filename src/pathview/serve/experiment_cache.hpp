@@ -53,7 +53,14 @@ class ExperimentCache {
   std::shared_ptr<const db::Experiment> get(const std::string& path);
 
   Stats stats() const;
-  std::size_t byte_budget() const { return opts_.byte_budget; }
+  std::size_t byte_budget() const {
+    return budget_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-size the byte budget live (memory-pressure response: the brownout
+  /// controller halves it, then restores it). Shrinking evicts immediately;
+  /// sessions holding evicted experiments keep them alive until they close.
+  void set_byte_budget(std::size_t bytes);
 
   /// Drop every cached entry (sessions keep their references).
   void clear();
@@ -78,7 +85,9 @@ class ExperimentCache {
   void evict_to_fit(Shard& s, std::size_t budget);
 
   Options opts_;
-  std::size_t shard_budget_;
+  /// Live budget (opts_.byte_budget is only the configured initial value).
+  std::atomic<std::size_t> budget_;
+  std::atomic<std::size_t> shard_budget_;
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Resident total across shards (mirrors the per-shard sums, readable
   /// without taking every shard lock; feeds the serve.cache.bytes gauge).

@@ -1,0 +1,121 @@
+#include "pathview/serve/journal.hpp"
+
+#include <charconv>
+
+#include "pathview/support/crc32c.hpp"
+#include "pathview/support/error.hpp"
+
+namespace pathview::serve {
+
+namespace {
+
+constexpr std::string_view kHeaderMagic = "PVSJ1";
+constexpr std::string_view kOpsMagic = "PVSJ2";
+
+void append_section(std::string* out, std::string_view magic,
+                    std::string_view payload) {
+  *out += magic;
+  *out += ' ';
+  *out += std::to_string(payload.size());
+  *out += ' ';
+  *out += std::to_string(support::crc32c(payload));
+  *out += '\n';
+  *out += payload;
+  *out += '\n';
+}
+
+/// Parse "<magic> <len> <crc>\n<payload>\n" at `*pos`; on success advances
+/// `*pos` past the section and fills `*payload`. False on any damage.
+bool take_section(std::string_view bytes, std::size_t* pos,
+                  std::string_view magic, std::string* payload) {
+  std::size_t p = *pos;
+  if (bytes.substr(p, magic.size()) != magic) return false;
+  p += magic.size();
+  const std::size_t eol = bytes.find('\n', p);
+  if (eol == std::string_view::npos) return false;
+  // "<space><len><space><crc>"
+  std::uint64_t len = 0, crc = 0;
+  {
+    std::string_view nums = bytes.substr(p, eol - p);
+    if (nums.empty() || nums.front() != ' ') return false;
+    nums.remove_prefix(1);
+    const std::size_t sp = nums.find(' ');
+    if (sp == std::string_view::npos) return false;
+    const std::string_view len_text = nums.substr(0, sp);
+    const std::string_view crc_text = nums.substr(sp + 1);
+    auto r1 = std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+    auto r2 = std::from_chars(crc_text.data(), crc_text.data() + crc_text.size(), crc);
+    if (r1.ec != std::errc() || r1.ptr != len_text.data() + len_text.size())
+      return false;
+    if (r2.ec != std::errc() || r2.ptr != crc_text.data() + crc_text.size())
+      return false;
+  }
+  p = eol + 1;
+  if (bytes.size() < p + len + 1) return false;  // torn payload
+  const std::string_view body = bytes.substr(p, len);
+  if (bytes[p + len] != '\n') return false;
+  if (support::crc32c(body) != static_cast<std::uint32_t>(crc)) return false;
+  payload->assign(body);
+  *pos = p + len + 1;
+  return true;
+}
+
+}  // namespace
+
+const char* journal_state_name(JournalState s) {
+  switch (s) {
+    case JournalState::kComplete: return "complete";
+    case JournalState::kDegraded: return "degraded";
+    case JournalState::kUnusable: return "unusable";
+  }
+  return "?";
+}
+
+std::string encode_journal(const JsonValue& header, const JsonValue& ops) {
+  std::string out;
+  append_section(&out, kHeaderMagic, header.dump());
+  append_section(&out, kOpsMagic, ops.dump());
+  return out;
+}
+
+JournalState decode_journal(std::string_view bytes, JsonValue* header,
+                            JsonValue* ops) {
+  std::size_t pos = 0;
+  std::string header_text;
+  if (!take_section(bytes, &pos, kHeaderMagic, &header_text))
+    return JournalState::kUnusable;
+  JsonValue parsed_header;
+  try {
+    parsed_header = JsonValue::parse(header_text);
+  } catch (const Error&) {
+    return JournalState::kUnusable;
+  }
+  if (!parsed_header.is_object()) return JournalState::kUnusable;
+  *header = std::move(parsed_header);
+
+  std::string ops_text;
+  if (!take_section(bytes, &pos, kOpsMagic, &ops_text)) {
+    *ops = JsonValue::array();
+    return JournalState::kDegraded;
+  }
+  JsonValue parsed_ops;
+  try {
+    parsed_ops = JsonValue::parse(ops_text);
+  } catch (const Error&) {
+    *ops = JsonValue::array();
+    return JournalState::kDegraded;
+  }
+  if (!parsed_ops.is_array()) {
+    *ops = JsonValue::array();
+    return JournalState::kDegraded;
+  }
+  *ops = std::move(parsed_ops);
+  return JournalState::kComplete;
+}
+
+std::string journal_path(const std::string& session_dir,
+                         const std::string& sid) {
+  return session_dir + "/" + sid + ".pvsj";
+}
+
+}  // namespace pathview::serve

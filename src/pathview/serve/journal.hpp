@@ -1,0 +1,53 @@
+// Durable per-session journals: the cursor state a resumed session replays.
+//
+// A session journal is a tiny two-section file written with the PR 5
+// atomic-write machinery on every mutating navigation op:
+//
+//   PVSJ1 <len> <crc32c>\n<header JSON>\n
+//   PVSJ2 <len> <crc32c>\n<ops JSON array>\n
+//
+// Section 1 (the header) pins what the session was opened ON: experiment
+// path or ensemble paths + baseline + threshold, the initial view, and the
+// session token. Section 2 is the ordered replay log of every mutating
+// request body (expand/collapse/sort/flatten/hot_path/derive) since open.
+// Replaying that log through the ordinary op handlers reconstructs the
+// exact cursor — same materialized view nodes, same ids, same sort — which
+// is what makes post-resume reply streams byte-identical to an
+// uninterrupted run's.
+//
+// Salvage semantics mirror PVDB2: atomic_write_file means a reader sees a
+// complete file or the previous complete file, but a torn/garbled section 2
+// (disk damage, a hand-edited file) degrades — the session resumes at its
+// open-time defaults with the `degraded` bit set — while a damaged header
+// makes the token unusable (kUnusable -> not_found), never a crash.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "pathview/serve/json.hpp"
+
+namespace pathview::serve {
+
+enum class JournalState {
+  kComplete,  // both sections decoded and CRC-verified
+  kDegraded,  // header ok, ops section torn/damaged: resume with defaults
+  kUnusable,  // header missing/damaged: the token cannot be resumed
+};
+
+const char* journal_state_name(JournalState s);
+
+/// Serialize a journal. `header` must be an object, `ops` an array.
+std::string encode_journal(const JsonValue& header, const JsonValue& ops);
+
+/// Decode `bytes`. On kComplete both outputs are filled; on kDegraded
+/// `*header` is filled and `*ops` becomes an empty array; on kUnusable
+/// neither is touched. Never throws on damaged input.
+JournalState decode_journal(std::string_view bytes, JsonValue* header,
+                            JsonValue* ops);
+
+/// Journal file path for a session token inside `session_dir`.
+std::string journal_path(const std::string& session_dir,
+                         const std::string& sid);
+
+}  // namespace pathview::serve

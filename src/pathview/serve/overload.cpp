@@ -1,0 +1,102 @@
+#include "pathview/serve/overload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pathview/obs/obs.hpp"
+
+namespace pathview::serve {
+
+OverloadController::OverloadController(OverloadOptions opts) : opts_(opts) {
+  if (opts_.rate_limit_rps > 0 && opts_.rate_limit_burst <= 0)
+    opts_.rate_limit_burst = 2.0 * opts_.rate_limit_rps;
+  if (opts_.expensive_cost < 1.0) opts_.expensive_cost = 1.0;
+  opts_.brownout_enter = std::clamp(opts_.brownout_enter, 0.0, 1.0);
+  opts_.brownout_exit =
+      std::clamp(opts_.brownout_exit, 0.0, opts_.brownout_enter);
+  if (opts_.max_peers == 0) opts_.max_peers = 1;
+}
+
+void OverloadController::observe_queue(std::size_t queue_depth,
+                                       std::size_t queue_capacity) {
+  if (!opts_.brownout || queue_capacity == 0) return;
+  const double fill =
+      static_cast<double>(queue_depth) / static_cast<double>(queue_capacity);
+  if (browned_out_.load(std::memory_order_relaxed)) {
+    if (fill <= opts_.brownout_exit) {
+      browned_out_.store(false, std::memory_order_relaxed);
+      PV_COUNTER_ADD("serve.brownout.exits", 1);
+    }
+  } else if (fill >= opts_.brownout_enter) {
+    browned_out_.store(true, std::memory_order_relaxed);
+    brownouts_.fetch_add(1, std::memory_order_relaxed);
+    PV_COUNTER_ADD("serve.brownout.entries", 1);
+  }
+}
+
+OverloadController::Decision OverloadController::admit(
+    Op op, const std::string& peer, std::size_t queue_depth,
+    std::size_t queue_capacity, std::uint64_t now_ns) {
+  Decision d;
+  // Health must answer even from a fully saturated daemon — that is its
+  // whole point — and it is never enqueued, so it bypasses everything.
+  if (op == Op::kHealth) return d;
+
+  observe_queue(queue_depth, queue_capacity);
+  const bool expensive = op_expensive(op);
+  if (expensive && browned_out_.load(std::memory_order_relaxed)) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    PV_COUNTER_ADD("serve.shed", 1);
+    d.verdict = Verdict::kShed;
+    d.retry_after_ms = opts_.retry_after_ms;
+    return d;
+  }
+
+  if (opts_.rate_limit_rps <= 0 || peer.empty()) return d;
+  const double cost = expensive ? opts_.expensive_cost : 1.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(peer);
+  if (it == buckets_.end()) {
+    // New peers start with a full bucket (burst allowance).
+    lru_.push_front(Bucket{peer, opts_.rate_limit_burst, now_ns});
+    it = buckets_.emplace(peer, lru_.begin()).first;
+    while (lru_.size() > opts_.max_peers) {
+      buckets_.erase(lru_.back().peer);
+      lru_.pop_back();
+    }
+  } else {
+    lru_.splice(lru_.begin(), lru_, it->second);
+  }
+  Bucket& b = lru_.front();
+  if (now_ns > b.last_ns) {
+    const double dt = static_cast<double>(now_ns - b.last_ns) * 1e-9;
+    b.tokens = std::min(opts_.rate_limit_burst,
+                        b.tokens + dt * opts_.rate_limit_rps);
+    b.last_ns = now_ns;
+  }
+  if (b.tokens >= cost) {
+    b.tokens -= cost;
+    return d;
+  }
+  rate_limited_.fetch_add(1, std::memory_order_relaxed);
+  PV_COUNTER_ADD("serve.rate_limited", 1);
+  d.verdict = Verdict::kRateLimited;
+  // When the deficit will refill: an honest hint, floored at the generic
+  // backoff hint so clients never spin.
+  const double deficit = cost - b.tokens;
+  const double wait_ms = std::ceil(deficit / opts_.rate_limit_rps * 1000.0);
+  d.retry_after_ms = static_cast<std::uint32_t>(
+      std::clamp(wait_ms, static_cast<double>(opts_.retry_after_ms),
+                 3600.0 * 1000.0));
+  return d;
+}
+
+void OverloadController::forget_peer(const std::string& peer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(peer);
+  if (it == buckets_.end()) return;
+  lru_.erase(it->second);
+  buckets_.erase(it);
+}
+
+}  // namespace pathview::serve

@@ -1,0 +1,111 @@
+// Adaptive overload control for pvserve: per-peer token-bucket rate
+// limiting plus a brownout controller that sheds expensive ops first.
+//
+// Admission runs on the connection thread BEFORE a request is enqueued, so
+// an overloaded daemon answers refusals at wire speed instead of letting
+// work pile up:
+//
+//   1. Brownout: when the queue crosses a high-water mark (hysteresis, so
+//      the state doesn't flap), expensive ops (open/open_ensemble/query/
+//      timeline_window/resume_session) are shed with a typed "overloaded"
+//      error and retry_after_ms while cheap ops — navigation, stats,
+//      health — keep answering. The server's control loop additionally
+//      shrinks the ExperimentCache budget while browned out.
+//   2. Rate limiting: each peer (remote address of the connection) owns a
+//      token bucket; cheap ops cost 1 token, expensive ops cost more. A
+//      greedy client drains its own bucket and collects "rate_limited"
+//      errors with a retry hint; a polite client on another connection is
+//      untouched. Off by default (rate 0) — enable with --rate-limit-rps.
+//
+// Every refusal this controller produces carries retry_after_ms, so the
+// serve::Client backoff path handles both kinds transparently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "pathview/serve/protocol.hpp"
+
+namespace pathview::serve {
+
+struct OverloadOptions {
+  /// Token refill per second per peer; 0 disables rate limiting.
+  double rate_limit_rps = 0.0;
+  /// Bucket capacity (burst allowance); 0 = 2x the refill rate.
+  double rate_limit_burst = 0.0;
+  /// Tokens one expensive op costs (cheap ops cost 1).
+  double expensive_cost = 4.0;
+  /// Brownout shedding on/off.
+  bool brownout = true;
+  /// Enter brownout when queue depth >= enter * capacity; exit when it
+  /// falls to <= exit * capacity. Hysteresis keeps the state stable.
+  double brownout_enter = 0.75;
+  double brownout_exit = 0.25;
+  /// Hint attached to shed/rate-limited refusals.
+  std::uint32_t retry_after_ms = 50;
+  /// Tracked peer buckets are bounded; least-recently-seen are dropped.
+  std::size_t max_peers = 1024;
+};
+
+class OverloadController {
+ public:
+  enum class Verdict : std::uint8_t { kAdmit, kShed, kRateLimited };
+  struct Decision {
+    Verdict verdict = Verdict::kAdmit;
+    std::uint32_t retry_after_ms = 0;
+  };
+
+  OverloadController() : OverloadController(OverloadOptions()) {}
+  explicit OverloadController(OverloadOptions opts);
+
+  /// Admission decision for one request. `now_ns` is a monotonic clock
+  /// reading, injectable so tests are deterministic.
+  Decision admit(Op op, const std::string& peer, std::size_t queue_depth,
+                 std::size_t queue_capacity, std::uint64_t now_ns);
+
+  /// Update the brownout state from a queue observation without admitting
+  /// anything (the control loop's periodic pressure check).
+  void observe_queue(std::size_t queue_depth, std::size_t queue_capacity);
+
+  /// Drop a peer's bucket (its connection closed).
+  void forget_peer(const std::string& peer);
+
+  bool browned_out() const {
+    return browned_out_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t shed_requests() const {
+    return shed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rate_limited() const {
+    return rate_limited_.load(std::memory_order_relaxed);
+  }
+  /// Times the brownout state was entered (lifetime).
+  std::uint64_t brownouts_entered() const {
+    return brownouts_.load(std::memory_order_relaxed);
+  }
+
+  const OverloadOptions& options() const { return opts_; }
+
+ private:
+  struct Bucket {
+    std::string peer;
+    double tokens = 0;
+    std::uint64_t last_ns = 0;
+  };
+
+  OverloadOptions opts_;
+  std::atomic<bool> browned_out_{false};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> rate_limited_{0};
+  std::atomic<std::uint64_t> brownouts_{0};
+
+  std::mutex mu_;  // guards buckets_ + lru_
+  std::list<Bucket> lru_;  // front = most recently seen
+  std::unordered_map<std::string, std::list<Bucket>::iterator> buckets_;
+};
+
+}  // namespace pathview::serve

@@ -1,7 +1,10 @@
 #include "pathview/serve/protocol.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <poll.h>
+#include <thread>
 #include <unistd.h>
 
 #include "pathview/fault/fault.hpp"
@@ -35,6 +38,8 @@ constexpr OpNames kOpNames[kNumOps] = {
     {"self_profile", "serve.self_profile"},
     {"profile_windows", "serve.profile_windows"},
     {"open_ensemble", "serve.open_ensemble"},
+    {"health", "serve.health"},
+    {"resume_session", "serve.resume_session"},
 };
 
 }  // namespace
@@ -49,6 +54,19 @@ std::optional<Op> parse_op(std::string_view name) {
   for (std::size_t i = 0; i < kNumOps; ++i)
     if (name == kOpNames[i].wire) return static_cast<Op>(i);
   return std::nullopt;
+}
+
+bool op_expensive(Op op) {
+  switch (op) {
+    case Op::kOpen:
+    case Op::kOpenEnsemble:
+    case Op::kQuery:
+    case Op::kTimelineWindow:
+    case Op::kResumeSession:
+      return true;
+    default:
+      return false;
+  }
 }
 
 Request Request::from_json(JsonValue v) {
@@ -79,6 +97,7 @@ const char* error_kind_name(ErrorKind k) {
     case ErrorKind::kDeadline: return "deadline";
     case ErrorKind::kShutdown: return "shutdown";
     case ErrorKind::kInternal: return "internal";
+    case ErrorKind::kRateLimited: return "rate_limited";
   }
   return "internal";
 }
@@ -129,10 +148,33 @@ std::string encode_frame(std::string_view payload) {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 /// Read exactly `n` bytes; returns bytes read before EOF (== n on success).
-std::size_t read_exact(int fd, char* buf, std::size_t n) {
+/// With a deadline, each wait for readability is bounded by the time left;
+/// running out mid-frame throws TransportError (the slowloris guard).
+std::size_t read_exact(int fd, char* buf, std::size_t n,
+                       const Clock::time_point* deadline = nullptr) {
   std::size_t got = 0;
   while (got < n) {
+    if (deadline != nullptr) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            *deadline - Clock::now())
+                            .count();
+      if (left <= 0)
+        throw TransportError("read deadline expired mid-frame after " +
+                             std::to_string(got) + " byte(s)");
+      pollfd pfd{fd, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, static_cast<int>(left));
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        throw TransportError(std::string("socket poll failed: ") +
+                             std::strerror(errno));
+      }
+      if (pr == 0)
+        throw TransportError("read deadline expired mid-frame after " +
+                             std::to_string(got) + " byte(s)");
+    }
     const ssize_t r = ::read(fd, buf + got, n - got);
     if (r == 0) return got;
     if (r < 0) {
@@ -145,14 +187,21 @@ std::size_t read_exact(int fd, char* buf, std::size_t n) {
   return got;
 }
 
-}  // namespace
-
-bool read_frame(int fd, std::string* out) {
+bool read_frame_impl(int fd, std::string* out, std::uint32_t deadline_ms) {
   char hdr[4];
   PV_FAULT("serve.net.read");
-  const std::size_t got = read_exact(fd, hdr, 4);
-  if (got == 0) return false;  // clean EOF between frames
-  if (got < 4) throw TransportError("truncated frame header");
+  // The first byte may take forever (an idle connection between requests);
+  // the deadline clock starts only once the frame has begun.
+  const std::size_t first = read_exact(fd, hdr, 1);
+  if (first == 0) return false;  // clean EOF between frames
+  Clock::time_point deadline_at;
+  const Clock::time_point* deadline = nullptr;
+  if (deadline_ms != 0) {
+    deadline_at = Clock::now() + std::chrono::milliseconds(deadline_ms);
+    deadline = &deadline_at;
+  }
+  if (read_exact(fd, hdr + 1, 3, deadline) < 3)
+    throw TransportError("truncated frame header");
   const std::uint32_t n = (static_cast<std::uint32_t>(
                                static_cast<unsigned char>(hdr[0]))
                            << 24) |
@@ -169,17 +218,15 @@ bool read_frame(int fd, std::string* out) {
                         " bytes exceeds the " +
                         std::to_string(kMaxFrameBytes) + "-byte cap");
   out->resize(n);
-  if (n != 0 && read_exact(fd, out->data(), n) < n)
+  if (n != 0 && read_exact(fd, out->data(), n, deadline) < n)
     throw TransportError("truncated frame payload");
   return true;
 }
 
-void write_frame(int fd, std::string_view payload) {
-  PV_FAULT("serve.net.write");
-  const std::string framed = encode_frame(payload);
+void write_all(int fd, const char* data, std::size_t n) {
   std::size_t sent = 0;
-  while (sent < framed.size()) {
-    const ssize_t w = ::write(fd, framed.data() + sent, framed.size() - sent);
+  while (sent < n) {
+    const ssize_t w = ::write(fd, data + sent, n - sent);
     if (w < 0) {
       if (errno == EINTR) continue;
       throw TransportError(std::string("socket write failed: ") +
@@ -187,6 +234,34 @@ void write_frame(int fd, std::string_view payload) {
     }
     sent += static_cast<std::size_t>(w);
   }
+}
+
+}  // namespace
+
+bool read_frame(int fd, std::string* out) {
+  return read_frame_impl(fd, out, 0);
+}
+
+bool read_frame_deadline(int fd, std::string* out, std::uint32_t deadline_ms) {
+  return read_frame_impl(fd, out, deadline_ms);
+}
+
+void write_frame(int fd, std::string_view payload) {
+  PV_FAULT("serve.net.write");
+  const std::string framed = encode_frame(payload);
+  // Partial-frame chaos: a fired stall rule splits the frame and pauses
+  // between the halves — what a congested or malicious peer's half-sent
+  // frame looks like to the reader on the other end.
+  const std::uint64_t stall =
+      fault::active() ? fault::stall_ms("serve.net.write") : 0;
+  if (stall > 0 && framed.size() > 1) {
+    const std::size_t half = framed.size() / 2;
+    write_all(fd, framed.data(), half);
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall));
+    write_all(fd, framed.data() + half, framed.size() - half);
+    return;
+  }
+  write_all(fd, framed.data(), framed.size());
 }
 
 }  // namespace pathview::serve

@@ -81,9 +81,15 @@ enum class Op : std::uint8_t {
                    //       byte-deterministic)
   kOpenEnsemble,   // {paths|dir|glob [, baseline, threshold, view]} ->
                    //   session over the aligned supergraph (docs/ensemble.md)
+  kHealth,         // {} -> liveness/readiness snapshot, answered inline on
+                   //       the connection thread so it keeps responding even
+                   //       when the queue is saturated (live data; NOT
+                   //       byte-deterministic)
+  kResumeSession,  // {token} -> reconstruct a journaled session after a
+                   //            daemon restart (docs/serving.md)
 };
 
-inline constexpr std::size_t kNumOps = 18;
+inline constexpr std::size_t kNumOps = 20;
 
 /// Wire name of an op ("open", "expand", ...).
 const char* op_name(Op op);
@@ -91,6 +97,12 @@ const char* op_name(Op op);
 std::optional<Op> parse_op(std::string_view name);
 /// Obs span label for an op ("serve.open", ...), a static string.
 const char* op_span_name(Op op);
+
+/// Cost tier for overload control: expensive ops do work proportional to a
+/// whole experiment (loads, alignment, query execution, trace scans, journal
+/// replay) and are shed first under brownout; cheap ops (navigation, stats,
+/// health) keep answering.
+bool op_expensive(Op op);
 
 // ---------------------------------------------------------------------------
 // Requests and responses.
@@ -112,10 +124,11 @@ struct Request {
 enum class ErrorKind : std::uint8_t {
   kBadRequest = 0,  // malformed JSON / unknown op / bad params
   kNotFound,        // unknown session, missing database or trace files
-  kOverloaded,      // request queue full; retry_after_ms is set
+  kOverloaded,      // queue full or brownout shed; retry_after_ms is set
   kDeadline,        // request expired before a worker picked it up
   kShutdown,        // daemon is shutting down
   kInternal,        // unexpected failure
+  kRateLimited,     // per-peer token bucket empty; retry_after_ms is set
 };
 
 const char* error_kind_name(ErrorKind k);
@@ -139,7 +152,15 @@ std::string encode_frame(std::string_view payload);
 /// ProtocolError on oversized frames.
 bool read_frame(int fd, std::string* out);
 
-/// Write one framed payload; throws TransportError on socket errors.
+/// Like read_frame, but a slowloris guard: waiting for the frame to *begin*
+/// blocks indefinitely (idle connections are governed separately), yet once
+/// its first byte arrives the remainder must land within `deadline_ms` or
+/// the read throws TransportError. 0 behaves exactly like read_frame.
+bool read_frame_deadline(int fd, std::string* out, std::uint32_t deadline_ms);
+
+/// Write one framed payload; throws TransportError on socket errors. Under
+/// an injected "serve.net.write:stall=MS" fault the frame is deliberately
+/// written in two halves with the stall between them (partial-frame chaos).
 void write_frame(int fd, std::string_view payload);
 
 }  // namespace pathview::serve

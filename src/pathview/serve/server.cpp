@@ -36,11 +36,42 @@ void close_quietly(int& fd) {
   fd = -1;
 }
 
+/// Stable label for an accept(2) failure; counted per reason so fd
+/// exhaustion is distinguishable from churn in the metrics.
+const char* accept_error_reason(int err) {
+  switch (err) {
+    case EINTR: return "eintr";
+    case ECONNABORTED: return "connaborted";
+    case EMFILE: return "emfile";
+    case ENFILE: return "enfile";
+    case ENOMEM: return "enomem";
+    case ENOBUFS: return "enobufs";
+    default: return "other";
+  }
+}
+
+void count_accept_error(const char* reason) {
+  obs::counter(obs::labeled("serve.accept.errors", {{"reason", reason}}))
+      .add(1);
+}
+
 }  // namespace
 
 Server::Server() : Server(Options()) {}
 
-Server::Server(Options opts) : opts_(opts), sessions_(opts.sessions) {
+namespace {
+/// One backpressure knob: the session manager's transient refusals carry
+/// the same retry hint the server attaches to queue-full rejections.
+SessionManager::Options sessions_options(const Server::Options& o) {
+  SessionManager::Options s = o.sessions;
+  s.retry_after_ms = o.retry_after_ms;
+  return s;
+}
+}  // namespace
+
+Server::Server(Options opts)
+    : opts_(opts), sessions_(sessions_options(opts)),
+      overload_(opts.overload) {
   if (opts_.threads == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     opts_.threads = hw == 0 ? 1 : hw;
@@ -138,6 +169,13 @@ void Server::start() {
     metrics_stop_ = false;
     metrics_thread_ = std::thread([this] { metrics_loop(); });
   }
+  base_cache_budget_ = sessions_.cache().byte_budget();
+  cache_shrunk_ = false;
+  control_stop_ = false;
+  control_thread_ = std::thread([this] { control_loop(); });
+  // An external watcher sees "serving" the moment start() returns, not one
+  // control-loop tick later.
+  write_health_file();
 }
 
 void Server::request_stop() {
@@ -196,6 +234,16 @@ void Server::wait() {
     metrics_thread_.join();
     // One final snapshot so the file reflects the complete run.
     write_metrics_file();
+  }
+  if (control_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(control_mu_);
+      control_stop_ = true;
+    }
+    control_cv_.notify_all();
+    control_thread_.join();
+    // Final health write: stopping_ is set, so the file reads "draining".
+    write_health_file();
   }
   if (log_) log_->flush();
   close_quietly(listen_fd_);
@@ -260,27 +308,59 @@ void Server::accept_loop() {
     const int pr = ::poll(fds, 2, -1);
     if (pr < 0) {
       if (errno == EINTR) continue;
-      break;
+      // A failing poll on the listen socket must not kill the daemon:
+      // count it, back off, and try again (stop still works via the pipe).
+      count_accept_error("poll");
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
     }
     if (fds[1].revents != 0) break;  // stop requested
     if ((fds[0].revents & POLLIN) == 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    sockaddr_in peer_addr{};
+    socklen_t peer_len = sizeof(peer_addr);
+    const int fd = ::accept(listen_fd_,
+                            reinterpret_cast<sockaddr*>(&peer_addr), &peer_len);
     if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      break;
+      const int err = errno;
+      count_accept_error(accept_error_reason(err));
+      if (err == EINTR || err == ECONNABORTED) continue;
+      // EMFILE/ENFILE (fd exhaustion), ENOMEM/ENOBUFS, and anything else:
+      // sleep-and-retry. The pending connection stays in the backlog; a
+      // transient resource spike must not end the accept loop.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    if (fault::active()) {
+      // Chaos harness hooks: "serve.net.accept:error|reset" refuses the
+      // connection at the door, "serve.net.accept:stall=MS" delays it.
+      try {
+        PV_FAULT("serve.net.accept");
+      } catch (const std::exception&) {
+        count_accept_error("fault");
+        ::close(fd);
+        continue;
+      }
+      if (const std::uint64_t ms = fault::stall_ms("serve.net.accept"); ms > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    char ip[INET_ADDRSTRLEN] = {0};
+    ::inet_ntop(AF_INET, &peer_addr.sin_addr, ip, sizeof(ip));
+    std::string peer =
+        std::string(ip) + ":" + std::to_string(ntohs(peer_addr.sin_port));
     std::lock_guard<std::mutex> lock(conn_mu_);
     if (stopping_.load(std::memory_order_acquire)) {
       ::close(fd);
       break;
     }
-    conns_.emplace_back(fd, std::thread([this, fd] { serve_connection(fd); }));
+    conns_.emplace_back(fd, std::thread([this, fd, peer = std::move(peer)] {
+                          serve_connection(fd, peer);
+                        }));
   }
 }
 
-void Server::serve_connection(int fd) {
+void Server::serve_connection(int fd, std::string peer) {
   PV_SPAN("serve.connection");
   std::string payload;
   try {
@@ -303,14 +383,17 @@ void Server::serve_connection(int fd) {
           break;
         }
       }
-      if (!read_frame(fd, &payload)) break;
-      const JsonValue resp = process(payload);
+      // read_frame_deadline is the slowloris guard: a peer that opens a
+      // frame must finish it within the bound or loses the connection.
+      if (!read_frame_deadline(fd, &payload, opts_.read_deadline_ms)) break;
+      const JsonValue resp = process(payload, peer);
       write_frame(fd, resp.dump());
     }
   } catch (const std::exception&) {
     // Torn connection or malformed framing: drop the connection. Sessions
     // are daemon-scoped and unaffected.
   }
+  overload_.forget_peer(peer);
   std::lock_guard<std::mutex> lock(conn_mu_);
   for (auto& [cfd, th] : conns_)
     if (cfd == fd) {
@@ -320,7 +403,7 @@ void Server::serve_connection(int fd) {
     }
 }
 
-JsonValue Server::process(const std::string& payload) {
+JsonValue Server::process(const std::string& payload, const std::string& peer) {
   // Parse on the connection thread (cheap); run the op on the pool.
   std::uint64_t id = 0;
   std::uint64_t tid = 0;
@@ -375,8 +458,41 @@ JsonValue Server::process(const std::string& payload) {
     return resp;
   };
 
+  // Health answers inline on the connection thread — never enqueued, never
+  // shed — so liveness probes work even against a saturated or draining
+  // daemon. (Live data; exempt from byte determinism, like stats.)
+  if (req.op == Op::kHealth) {
+    op_count_[static_cast<std::size_t>(Op::kHealth)]->add(1);
+    JsonValue resp = ok_response(req.id);
+    const JsonValue hv = health_value();
+    for (const auto& [key, value] : hv.members()) resp.set(key, value);
+    return resp;
+  }
+
   if (stopping_.load(std::memory_order_acquire))
     return reject(ErrorKind::kShutdown, "server is shutting down", 0);
+
+  // Admission control before the queue: shed expensive ops under brownout,
+  // refuse peers whose token bucket ran dry. Both refusals carry
+  // retry_after_ms and are answered at wire speed.
+  {
+    std::size_t depth;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      depth = queue_.size();
+    }
+    const OverloadController::Decision d = overload_.admit(
+        req.op, peer, depth, opts_.queue_capacity, obs::now_ns());
+    if (d.verdict == OverloadController::Verdict::kShed)
+      return reject(ErrorKind::kOverloaded,
+                    "browned out: expensive ops are shed until the queue "
+                    "drains",
+                    d.retry_after_ms);
+    if (d.verdict == OverloadController::Verdict::kRateLimited)
+      return reject(ErrorKind::kRateLimited,
+                    "peer " + peer + " exceeded its request rate",
+                    d.retry_after_ms);
+  }
 
   Job job;
   job.req = std::move(req);
@@ -502,6 +618,12 @@ JsonValue Server::execute(const Request& req) {
     q.set("requests", JsonValue::number(requests_handled()));
     q.set("rejects_queue_full", JsonValue::number(queue_full_rejects()));
     q.set("rejects_deadline", JsonValue::number(deadline_rejects()));
+    q.set("shed_requests", JsonValue::number(overload_.shed_requests()));
+    q.set("rate_limited", JsonValue::number(overload_.rate_limited()));
+    q.set("brownout", JsonValue::boolean(overload_.browned_out()));
+    q.set("supervisor_restarts",
+          JsonValue::number(
+              static_cast<std::uint64_t>(opts_.supervisor_restarts)));
     q.set("log_dropped",
           JsonValue::number(log_ ? log_->dropped() : std::uint64_t{0}));
     q.set("uptime_ms", JsonValue::number(uptime_ms()));
@@ -652,6 +774,86 @@ JsonValue Server::profile_windows_response(const Request& req) {
   return resp;
 }
 
+JsonValue Server::health_value() {
+  JsonValue h = JsonValue::object();
+  const bool draining = stopping_.load(std::memory_order_acquire);
+  const bool browned = overload_.browned_out();
+  h.set("state", JsonValue::string(draining  ? "draining"
+                                   : browned ? "browned-out"
+                                             : "serving"));
+  std::size_t depth;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    depth = queue_.size();
+  }
+  if (draining) {
+    h.set("reason", JsonValue::string("shutdown requested"));
+  } else if (browned) {
+    h.set("reason",
+          JsonValue::string("queue " + std::to_string(depth) + "/" +
+                            std::to_string(opts_.queue_capacity) +
+                            "; shedding expensive ops"));
+  }
+  h.set("pid", JsonValue::number(static_cast<std::uint64_t>(::getpid())));
+  h.set("port", JsonValue::number(static_cast<std::uint64_t>(port_)));
+  h.set("restarts", JsonValue::number(
+                        static_cast<std::uint64_t>(opts_.supervisor_restarts)));
+  h.set("uptime_ms", JsonValue::number(uptime_ms()));
+  h.set("sessions_open", JsonValue::number(
+                             static_cast<std::uint64_t>(
+                                 sessions_.open_sessions())));
+  h.set("brownout", JsonValue::boolean(browned));
+  h.set("queue_depth", JsonValue::number(static_cast<std::uint64_t>(depth)));
+  h.set("queue_capacity", JsonValue::number(
+                              static_cast<std::uint64_t>(
+                                  opts_.queue_capacity)));
+  return h;
+}
+
+void Server::write_health_file() {
+  if (opts_.health_file.empty()) return;
+  try {
+    support::atomic_write_file(opts_.health_file, health_value().dump() + "\n",
+                               "serve.health.save");
+  } catch (const std::exception&) {
+    // Health reporting must never take the serving path down.
+    obs::counter("serve.health.write_failures.total").add(1);
+  }
+}
+
+void Server::control_loop() {
+  std::unique_lock<std::mutex> lock(control_mu_);
+  for (;;) {
+    control_cv_.wait_for(lock,
+                         std::chrono::milliseconds(opts_.health_interval_ms),
+                         [this] { return control_stop_; });
+    if (control_stop_) return;  // wait() writes the final snapshot
+    lock.unlock();
+    std::size_t depth;
+    {
+      std::lock_guard<std::mutex> qlock(queue_mu_);
+      depth = queue_.size();
+    }
+    // Keep the brownout state fresh even when no admission decision runs
+    // (e.g. the storm stopped arriving but the queue is still draining).
+    overload_.observe_queue(depth, opts_.queue_capacity);
+    // Memory pressure: a browned-out daemon halves its experiment cache so
+    // shedding is accompanied by an actual footprint reduction; the budget
+    // is restored when the brownout ends.
+    const bool browned = overload_.browned_out();
+    if (browned && !cache_shrunk_ && base_cache_budget_ > 0) {
+      sessions_.cache().set_byte_budget(base_cache_budget_ / 2);
+      cache_shrunk_ = true;
+      PV_COUNTER_ADD("serve.cache.shrinks", 1);
+    } else if (!browned && cache_shrunk_) {
+      sessions_.cache().set_byte_budget(base_cache_budget_);
+      cache_shrunk_ = false;
+    }
+    write_health_file();
+    lock.lock();
+  }
+}
+
 std::uint64_t Server::uptime_ms() const {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -698,6 +900,13 @@ void Server::refresh_gauges() {
   obs::counter("serve.sessions.opened.total").set(sessions_.sessions_opened());
   obs::counter("serve.sessions.degraded")
       .set(static_cast<std::uint64_t>(sessions_.degraded_sessions()));
+  obs::counter("serve.sessions.resumed.total")
+      .set(sessions_.resumed_sessions());
+  obs::counter("serve.shed.total").set(overload_.shed_requests());
+  obs::counter("serve.rate_limited.total").set(overload_.rate_limited());
+  obs::counter("serve.brownout.active").set(overload_.browned_out() ? 1 : 0);
+  obs::counter("serve.supervisor.restarts")
+      .set(static_cast<std::uint64_t>(opts_.supervisor_restarts));
   const ExperimentCache::Stats cs = sessions_.cache().stats();
   obs::counter("serve.cache.hits.total").set(cs.hits);
   obs::counter("serve.cache.misses.total").set(cs.misses);
@@ -757,6 +966,29 @@ int connect_to(const std::string& host, std::uint16_t port) {
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return fd;
+}
+
+std::uint16_t reserve_ephemeral_port(const std::string& host) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw Error(std::string("socket() failed: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr(host, 0);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw Error("cannot reserve a port on " + host + ": " + why);
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw Error("getsockname() failed: " + why);
+  }
+  ::close(fd);
+  return ntohs(bound.sin_port);
 }
 
 }  // namespace pathview::serve

@@ -32,6 +32,7 @@
 #include "pathview/obs/log.hpp"
 #include "pathview/obs/obs.hpp"
 #include "pathview/obs/sampler.hpp"
+#include "pathview/serve/overload.hpp"
 #include "pathview/serve/session.hpp"
 
 namespace pathview::serve {
@@ -53,6 +54,20 @@ class Server {
     /// Close a connection whose client sends nothing for this long.
     /// 0 disables the timeout (connections may idle forever).
     std::uint32_t idle_timeout_ms = 0;
+    /// Slowloris guard: once a frame's first byte arrives, the rest must
+    /// land within this bound or the connection is dropped. 0 disables.
+    std::uint32_t read_deadline_ms = 30000;
+    /// Liveness/readiness snapshot, atomically replaced at this path by the
+    /// control loop (and once at startup/shutdown). "" disables.
+    std::string health_file;
+    /// Control-loop cadence: health-file refresh + brownout evaluation +
+    /// memory-pressure reaction.
+    std::uint32_t health_interval_ms = 500;
+    /// Adaptive overload control (brownout shedding, per-peer rate limits).
+    OverloadOptions overload;
+    /// Respawn count inherited from `pvserve --supervise` (reported in
+    /// stats/health; the server itself never restarts anything).
+    std::uint32_t supervisor_restarts = 0;
     /// Structured per-request log: "" disables, "text" or "json" enable.
     std::string log_format;
     /// Log sink path; empty = stderr. Ignored when log_format is "".
@@ -104,7 +119,15 @@ class Server {
   bool running() const { return running_.load(std::memory_order_acquire); }
 
   SessionManager& sessions() { return sessions_; }
+  OverloadController& overload() { return overload_; }
   const Options& options() const { return opts_; }
+
+  /// The health snapshot the `health` op and --health-file expose:
+  /// {"state": "serving"|"browned-out"|"draining", "pid", "port",
+  ///  "restarts", "uptime_ms", "sessions_open", "brownout", "queue_depth",
+  ///  "queue_capacity"}. (The supervisor writes {"state":"starting"} while
+  ///  the worker is down.)
+  JsonValue health_value();
 
   /// Lifetime totals (also embedded in "stats" responses).
   std::uint64_t requests_handled() const {
@@ -160,9 +183,10 @@ class Server {
   /// Join and erase conns_ entries whose connection thread has finished
   /// (marked by fd == -1). Called from the accept loop between accepts.
   void reap_connections();
-  void serve_connection(int fd);
-  /// Parse + dispatch one frame, returning the response to write.
-  JsonValue process(const std::string& payload);
+  void serve_connection(int fd, std::string peer);
+  /// Parse + dispatch one frame, returning the response to write. `peer` is
+  /// the remote "ip:port" — the rate-limit bucket key.
+  JsonValue process(const std::string& payload, const std::string& peer);
   void worker_loop();
   JsonValue execute(const Request& req);
   void close_connections();
@@ -181,9 +205,14 @@ class Server {
   /// hot-path report and the retention-ring window listing.
   JsonValue self_profile_response(const Request& req);
   JsonValue profile_windows_response(const Request& req);
+  /// Brownout evaluation + memory-pressure reaction + health-file refresh,
+  /// every health_interval_ms.
+  void control_loop();
+  void write_health_file();
 
   Options opts_;
   SessionManager sessions_;
+  OverloadController overload_;
 
   int listen_fd_ = -1;
   std::mutex stop_mu_;  // orders stop-pipe writes against its close
@@ -219,10 +248,24 @@ class Server {
   std::mutex metrics_mu_;
   std::condition_variable metrics_cv_;
   bool metrics_stop_ = false;
+
+  std::thread control_thread_;
+  std::mutex control_mu_;
+  std::condition_variable control_cv_;
+  bool control_stop_ = false;
+  /// Cache budget to restore when a brownout ends (memory pressure shrinks
+  /// it live while browned out).
+  std::size_t base_cache_budget_ = 0;
+  bool cache_shrunk_ = false;
 };
 
 /// Connect to a pvserve daemon; returns the socket fd. Throws Error on
 /// failure. Used by `pvserve --client`, the e2e tests, and the bench.
 int connect_to(const std::string& host, std::uint16_t port);
+
+/// Bind host:0, read back the kernel-assigned port, and release it. Lets
+/// `pvserve --supervise` pick one stable port that every respawned worker
+/// rebinds (racy in principle, reliable for a local supervisor in practice).
+std::uint16_t reserve_ephemeral_port(const std::string& host);
 
 }  // namespace pathview::serve

@@ -1,6 +1,8 @@
 #include "pathview/serve/session.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <filesystem>
 
 #include "pathview/analysis/timeline.hpp"
 #include "pathview/core/flatten.hpp"
@@ -10,8 +12,10 @@
 #include "pathview/metrics/derived.hpp"
 #include "pathview/obs/obs.hpp"
 #include "pathview/query/plan.hpp"
+#include "pathview/serve/journal.hpp"
 #include "pathview/serve/query_codec.hpp"
 #include "pathview/support/error.hpp"
+#include "pathview/support/io.hpp"
 
 namespace pathview::serve {
 
@@ -19,8 +23,12 @@ namespace {
 
 /// Internal control-flow exception carrying the protocol error kind.
 struct ServeError : Error {
-  ServeError(ErrorKind k, const std::string& what) : Error(what), kind(k) {}
+  ServeError(ErrorKind k, const std::string& what,
+             std::uint32_t retry_ms = 0)
+      : Error(what), kind(k), retry_after_ms(retry_ms) {}
   ErrorKind kind;
+  /// Nonzero marks the refusal transient; echoed as "retry_after_ms".
+  std::uint32_t retry_after_ms;
 };
 
 const char* metric_kind_name(metrics::MetricKind k) {
@@ -32,6 +40,34 @@ const char* metric_kind_name(metrics::MetricKind k) {
   return "raw";
 }
 
+/// The journal entry for one mutating request: its op name plus the
+/// op-specific params, minus envelope fields that must not replay (ids,
+/// trace ids, the session token itself).
+JsonValue sanitize_body(const Request& req) {
+  JsonValue out = JsonValue::object();
+  out.set("op", JsonValue::string(op_name(req.op)));
+  if (req.body.is_object()) {
+    for (const auto& [key, value] : req.body.members()) {
+      if (key == "v" || key == "id" || key == "op" || key == "trace_id" ||
+          key == "session")
+        continue;
+      out.set(key, value);
+    }
+  }
+  return out;
+}
+
+/// "s<N>" -> N; 0 when the token is not a dense session id.
+std::uint64_t sid_number(std::string_view sid) {
+  if (sid.size() < 2 || sid[0] != 's') return 0;
+  std::uint64_t n = 0;
+  const char* first = sid.data() + 1;
+  const char* last = sid.data() + sid.size();
+  auto r = std::from_chars(first, last, n);
+  if (r.ec != std::errc() || r.ptr != last) return 0;
+  return n;
+}
+
 }  // namespace
 
 core::ViewType parse_view_name(const std::string& name) {
@@ -40,6 +76,17 @@ core::ViewType parse_view_name(const std::string& name) {
   if (name == "flat") return core::ViewType::kFlat;
   // handle() maps InvalidArgument onto a kBadRequest error response.
   throw InvalidArgument("unknown view \"" + name + "\" (cct|callers|flat)");
+}
+
+/// Inverse of parse_view_name: the wire token journal headers store (the
+/// display name from core::view_type_name is for humans, not for replay).
+const char* view_wire_name(core::ViewType view) {
+  switch (view) {
+    case core::ViewType::kCallingContext: return "cct";
+    case core::ViewType::kCallers: return "callers";
+    case core::ViewType::kFlat: return "flat";
+  }
+  return "cct";
 }
 
 // ---------------------------------------------------------------------------
@@ -141,6 +188,23 @@ JsonValue Session::encode_columns() const {
   return cols;
 }
 
+bool Session::journaled_op(const Request& req) {
+  switch (req.op) {
+    case Op::kExpand:
+    case Op::kCollapse:
+    case Op::kSort:
+    case Op::kFlatten:
+    case Op::kUnflatten:
+    case Op::kHotPath:
+      return true;
+    case Op::kMetrics:
+      // Only derivations mutate; a bare column listing does not.
+      return req.body.find("derive") != nullptr;
+    default:
+      return false;
+  }
+}
+
 void Session::ensure_traces() {
   if (ens_)
     throw ServeError(ErrorKind::kNotFound,
@@ -167,7 +231,25 @@ void Session::ensure_traces() {
 SessionManager::SessionManager() : SessionManager(Options()) {}
 
 SessionManager::SessionManager(Options opts)
-    : opts_(opts), cache_(opts.cache) {}
+    : opts_(opts), cache_(opts.cache) {
+  if (opts_.session_dir.empty()) return;
+  // Journals from a previous incarnation must keep their tokens: scan the
+  // session dir so freshly opened sessions never collide with a resumable
+  // "s<N>" that is still on disk.
+  std::error_code ec;
+  std::filesystem::create_directories(opts_.session_dir, ec);
+  for (const auto& ent :
+       std::filesystem::directory_iterator(opts_.session_dir, ec)) {
+    const std::string name = ent.path().filename().string();
+    constexpr std::string_view kExt = ".pvsj";
+    if (name.size() <= kExt.size() ||
+        std::string_view(name).substr(name.size() - kExt.size()) != kExt)
+      continue;
+    const std::uint64_t n =
+        sid_number(std::string_view(name).substr(0, name.size() - kExt.size()));
+    if (n >= next_sid_) next_sid_ = n + 1;
+  }
+}
 
 std::shared_ptr<Session> SessionManager::find(const std::string& sid) const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -185,6 +267,11 @@ std::size_t SessionManager::open_sessions() const {
 std::uint64_t SessionManager::sessions_opened() const {
   std::lock_guard<std::mutex> lock(mu_);
   return next_sid_ - 1;
+}
+
+std::uint64_t SessionManager::resumed_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resumed_;
 }
 
 std::size_t SessionManager::degraded_sessions() const {
@@ -212,10 +299,11 @@ JsonValue SessionManager::handle(const Request& req) {
       case Op::kPing: return do_ping(req);
       case Op::kStats: return do_stats(req);
       case Op::kShutdown: return ok_response(req.id);
+      case Op::kResumeSession: return do_resume_session(req);
       default: return do_session_op(req);
     }
   } catch (const ServeError& e) {
-    return error_response(req.id, e.kind, e.what());
+    return error_response(req.id, e.kind, e.what(), e.retry_after_ms);
   } catch (const Error& e) {
     // InvalidArgument / ParseError from views, formulas, loaders.
     return error_response(req.id, ErrorKind::kBadRequest, e.what());
@@ -235,7 +323,8 @@ std::shared_ptr<Session> SessionManager::register_session(Build&& build) {
     if (sessions_.size() + pending_opens_ >= opts_.max_sessions)
       throw ServeError(ErrorKind::kOverloaded,
                        "session limit (" +
-                           std::to_string(opts_.max_sessions) + ") reached");
+                           std::to_string(opts_.max_sessions) + ") reached",
+                       opts_.retry_after_ms);
     sid = "s" + std::to_string(next_sid_++);
     ++pending_opens_;
   }
@@ -255,6 +344,87 @@ std::shared_ptr<Session> SessionManager::register_session(Build&& build) {
   }
   PV_COUNTER_ADD("serve.sessions.opened", 1);
   return session;
+}
+
+// register_session for resume: the sid comes from the journal, not the dense
+// counter. Returns nullptr when a concurrent resume already published it.
+template <class Build>
+std::shared_ptr<Session> SessionManager::register_session_with_sid(
+    const std::string& sid, Build&& build) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sessions_.count(sid) != 0) return nullptr;
+    if (sessions_.size() + pending_opens_ >= opts_.max_sessions)
+      throw ServeError(ErrorKind::kOverloaded,
+                       "session limit (" +
+                           std::to_string(opts_.max_sessions) + ") reached",
+                       opts_.retry_after_ms);
+    // Keep the dense-id invariant: this token is taken forever.
+    if (const std::uint64_t n = sid_number(sid); n >= next_sid_)
+      next_sid_ = n + 1;
+    ++pending_opens_;
+  }
+  std::shared_ptr<Session> session;
+  try {
+    session = build(sid);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    --pending_opens_;
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --pending_opens_;
+    auto [it, inserted] = sessions_.emplace(sid, session);
+    if (!inserted) return nullptr;  // a concurrent resume won the race
+    PV_COUNTER_SET("serve.sessions.open", sessions_.size());
+  }
+  PV_COUNTER_ADD("serve.sessions.opened", 1);
+  return session;
+}
+
+// ---------------------------------------------------------------------------
+// Journaling (see journal.hpp).
+// ---------------------------------------------------------------------------
+
+void SessionManager::init_journal(Session& s, JsonValue header) {
+  if (opts_.session_dir.empty()) return;
+  s.journal_file_ = journal_path(opts_.session_dir, s.sid());
+  s.journal_max_ops_ = opts_.journal_max_ops;
+  s.journal_header_ = std::move(header);
+  s.journal_ops_ = JsonValue::array();
+  checkpoint(s);
+}
+
+void SessionManager::checkpoint(Session& s) {
+  if (s.journal_file_.empty()) return;
+  try {
+    support::atomic_write_file(
+        s.journal_file_, encode_journal(s.journal_header_, s.journal_ops_),
+        "serve.journal.save");
+    PV_COUNTER_ADD("serve.journal.checkpoints", 1);
+  } catch (const std::exception&) {
+    // A checkpoint must never fail the op it rides on: the session keeps
+    // serving, a later resume just falls back to the previous checkpoint
+    // (atomic_write_file guarantees that file is still whole).
+    PV_COUNTER_ADD("serve.journal.errors", 1);
+  }
+}
+
+void SessionManager::journal_op(Session& s, const Request& req) {
+  if (s.journal_file_.empty() || s.journal_suppressed_) return;
+  if (!Session::journaled_op(req)) return;
+  if (s.journal_ops_.items().size() >= s.journal_max_ops_) {
+    if (!s.journal_overflow_) {
+      s.journal_overflow_ = true;
+      s.journal_header_.set("overflow", JsonValue::boolean(true));
+      PV_COUNTER_ADD("serve.journal.overflows", 1);
+      checkpoint(s);
+    }
+    return;
+  }
+  s.journal_ops_.push(sanitize_body(req));
+  checkpoint(s);
 }
 
 JsonValue SessionManager::do_open(const Request& req) {
@@ -279,6 +449,13 @@ JsonValue SessionManager::do_open(const Request& req) {
       });
 
   std::lock_guard<std::mutex> slock(session->mu_);
+  {
+    JsonValue jheader = JsonValue::object();
+    jheader.set("type", JsonValue::string("exp"));
+    jheader.set("path", JsonValue::string(path));
+    jheader.set("view", JsonValue::string(view_wire_name(view)));
+    init_journal(*session, std::move(jheader));
+  }
   JsonValue resp = ok_response(req.id);
   resp.set("session", JsonValue::string(session->sid()));
   resp.set("name", JsonValue::string(session->exp_->name()));
@@ -392,6 +569,17 @@ JsonValue SessionManager::do_open_ensemble(const Request& req) {
       });
 
   std::lock_guard<std::mutex> slock(session->mu_);
+  {
+    JsonValue jheader = JsonValue::object();
+    jheader.set("type", JsonValue::string("ens"));
+    JsonValue jpaths = JsonValue::array();
+    for (const std::string& p : paths) jpaths.push(JsonValue::string(p));
+    jheader.set("paths", std::move(jpaths));
+    jheader.set("baseline", JsonValue::number(baseline));
+    jheader.set("threshold", JsonValue::number(threshold));
+    jheader.set("view", JsonValue::string(view_wire_name(view)));
+    init_journal(*session, std::move(jheader));
+  }
   JsonValue resp = ok_response(req.id);
   resp.set("session", JsonValue::string(session->sid()));
   resp.set("name",
@@ -432,13 +620,27 @@ JsonValue SessionManager::do_open_ensemble(const Request& req) {
 
 JsonValue SessionManager::do_close(const Request& req) {
   const std::string sid = req.body.get_string("session", "");
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = sessions_.find(sid);
-  if (it == sessions_.end())
-    throw ServeError(ErrorKind::kNotFound, "unknown session \"" + sid + "\"");
-  sessions_.erase(it);
-  PV_COUNTER_SET("serve.sessions.open", sessions_.size());
-  PV_COUNTER_ADD("serve.sessions.closed", 1);
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(sid);
+    if (it == sessions_.end())
+      throw ServeError(ErrorKind::kNotFound, "unknown session \"" + sid + "\"");
+    session = std::move(it->second);
+    sessions_.erase(it);
+    PV_COUNTER_SET("serve.sessions.open", sessions_.size());
+    PV_COUNTER_ADD("serve.sessions.closed", 1);
+  }
+  {
+    // An explicitly closed session is not resumable: drop its journal. The
+    // session mutex also drains any in-flight op before the delete.
+    std::lock_guard<std::mutex> slock(session->mu_);
+    if (!session->journal_file_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove(session->journal_file_, ec);
+      session->journal_file_.clear();
+    }
+  }
   JsonValue resp = ok_response(req.id);
   resp.set("closed", JsonValue::string(sid));
   return resp;
@@ -458,6 +660,7 @@ JsonValue SessionManager::do_stats(const Request& req) {
   resp.set("sessions_open",
            JsonValue::number(static_cast<std::uint64_t>(open_sessions())));
   resp.set("sessions_opened", JsonValue::number(sessions_opened()));
+  resp.set("resumed_sessions", JsonValue::number(resumed_sessions()));
   resp.set("sessions_degraded", JsonValue::number(static_cast<std::uint64_t>(
                                     degraded_sessions())));
   JsonValue cache = JsonValue::object();
@@ -474,23 +677,183 @@ JsonValue SessionManager::do_stats(const Request& req) {
   return resp;
 }
 
+JsonValue SessionManager::do_resume_session(const Request& req) {
+  std::string token = req.body.get_string("token", "");
+  if (token.empty()) token = req.body.get_string("session", "");
+  if (token.empty())
+    throw ServeError(ErrorKind::kBadRequest, "resume_session: missing \"token\"");
+  if (opts_.session_dir.empty())
+    throw ServeError(ErrorKind::kBadRequest,
+                     "resume_session: daemon has no --session-dir (durable "
+                     "sessions are off)");
+
+  // The continuation the client needs to pick up where it left off: the
+  // current display roots in the current sort order.
+  const auto resume_reply = [&](Session& s, bool live, std::uint64_t replayed,
+                                bool degraded) {
+    JsonValue resp = ok_response(req.id);
+    resp.set("session", JsonValue::string(s.sid()));
+    resp.set("resumed", JsonValue::boolean(true));
+    if (live) resp.set("live", JsonValue::boolean(true));
+    resp.set("replayed", JsonValue::number(replayed));
+    if (degraded) resp.set("degraded", JsonValue::boolean(true));
+    resp.set("view", JsonValue::string(core::view_type_name(
+                         s.viewer_->current_view_type())));
+    resp.set("columns", s.encode_columns());
+    resp.set("rows", s.encode_rows(s.flatten_ ? s.flatten_->roots()
+                                              : s.display_children(
+                                                    core::kViewRoot)));
+    return resp;
+  };
+
+  // Idempotent on a live session (the connection died, not the daemon).
+  {
+    std::shared_ptr<Session> live;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (auto it = sessions_.find(token); it != sessions_.end())
+        live = it->second;
+    }
+    if (live) {
+      std::lock_guard<std::mutex> slock(live->mu_);
+      return resume_reply(*live, /*live=*/true, 0, live->resume_degraded_);
+    }
+  }
+
+  const std::string jfile = journal_path(opts_.session_dir, token);
+  std::string bytes;
+  try {
+    bytes = support::read_file(jfile, "serve.journal.load");
+  } catch (const Error& e) {
+    throw ServeError(ErrorKind::kNotFound, "no journal for token \"" + token +
+                                               "\": " + e.what());
+  }
+  JsonValue header, ops;
+  const JournalState jstate = decode_journal(bytes, &header, &ops);
+  if (jstate == JournalState::kUnusable)
+    throw ServeError(ErrorKind::kNotFound,
+                     "journal for \"" + token +
+                         "\" is unusable (damaged header section)");
+  bool degraded = jstate == JournalState::kDegraded;
+  if (header.get_bool("overflow", false)) degraded = true;
+
+  const std::string view_name = header.get_string("view", "");
+  const core::ViewType view =
+      view_name.empty() ? opts_.default_view : parse_view_name(view_name);
+  const std::string type = header.get_string("type", "");
+  std::shared_ptr<Session> session;
+  if (type == "exp") {
+    const std::string path = header.get_string("path", "");
+    if (path.empty())
+      throw ServeError(ErrorKind::kNotFound,
+                       "journal for \"" + token + "\" names no experiment");
+    std::shared_ptr<const db::Experiment> exp;
+    try {
+      exp = cache_.get(path);
+    } catch (const Error& e) {
+      throw ServeError(ErrorKind::kNotFound,
+                       "cannot reload \"" + path + "\": " + e.what());
+    }
+    session = register_session_with_sid(token, [&](const std::string& sid) {
+      return std::make_shared<Session>(sid, path, std::move(exp), view);
+    });
+  } else if (type == "ens") {
+    std::vector<std::string> paths;
+    if (const JsonValue* jpaths = header.find("paths"); jpaths &&
+                                                        jpaths->is_array()) {
+      for (const JsonValue& p : jpaths->items())
+        if (p.is_string()) paths.push_back(p.as_string());
+    }
+    if (paths.empty())
+      throw ServeError(ErrorKind::kNotFound,
+                       "journal for \"" + token + "\" names no members");
+    std::shared_ptr<const ensemble::Ensemble> ens = get_ensemble(
+        paths, static_cast<std::size_t>(header.get_u64("baseline", 0)),
+        header.get_number("threshold", 0.05));
+    session = register_session_with_sid(token, [&](const std::string& sid) {
+      return std::make_shared<Session>(sid, ens, view);
+    });
+  } else {
+    throw ServeError(ErrorKind::kNotFound,
+                     "journal for \"" + token + "\" has unknown type \"" +
+                         type + "\"");
+  }
+  if (!session) {
+    // A concurrent resume_session for the same token won; answer from the
+    // session it published.
+    std::shared_ptr<Session> live = find(token);
+    std::lock_guard<std::mutex> slock(live->mu_);
+    return resume_reply(*live, /*live=*/true, 0, live->resume_degraded_);
+  }
+
+  // Replay the mutating-op log through the ordinary handlers, discarding
+  // replies. A mid-replay failure keeps the state reached so far and marks
+  // the resume degraded — salvage, never a crash.
+  std::lock_guard<std::mutex> slock(session->mu_);
+  session->journal_suppressed_ = true;
+  std::uint64_t replayed = 0;
+  JsonValue kept = JsonValue::array();
+  for (const JsonValue& entry : ops.items()) {
+    std::optional<Op> op;
+    if (entry.is_object()) op = parse_op(entry.get_string("op", ""));
+    if (!op) {
+      degraded = true;
+      break;
+    }
+    Request r;
+    r.op = *op;
+    r.body = entry;
+    try {
+      run_session_op(*session, r);
+    } catch (const std::exception&) {
+      degraded = true;
+      break;
+    }
+    kept.push(entry);
+    ++replayed;
+  }
+  session->journal_suppressed_ = false;
+  session->resumed_ = true;
+  session->resume_degraded_ = degraded;
+  session->journal_file_ = jfile;
+  session->journal_max_ops_ = opts_.journal_max_ops;
+  session->journal_overflow_ = header.get_bool("overflow", false);
+  session->journal_header_ = std::move(header);
+  session->journal_ops_ = std::move(kept);
+  checkpoint(*session);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++resumed_;
+  }
+  PV_COUNTER_ADD("serve.sessions.resumed", 1);
+  return resume_reply(*session, /*live=*/false, replayed, degraded);
+}
+
 JsonValue SessionManager::do_session_op(const Request& req) {
   const std::string sid = req.body.get_string("session", "");
   if (sid.empty())
     throw ServeError(ErrorKind::kBadRequest, "missing \"session\"");
   std::shared_ptr<Session> session = find(sid);
   std::lock_guard<std::mutex> lock(session->mu_);
+  JsonValue resp = run_session_op(*session, req);
+  // Handlers throw on failure, so reaching here means the op mutated state
+  // (or was read-only): journal + checkpoint only what actually happened.
+  journal_op(*session, req);
+  return resp;
+}
+
+JsonValue SessionManager::run_session_op(Session& s, const Request& req) {
   switch (req.op) {
-    case Op::kExpand: return op_expand(*session, req);
-    case Op::kCollapse: return op_collapse(*session, req);
-    case Op::kSort: return op_sort(*session, req);
-    case Op::kFlatten: return op_flatten(*session, req, /*unflatten=*/false);
-    case Op::kUnflatten: return op_flatten(*session, req, /*unflatten=*/true);
-    case Op::kHotPath: return op_hot_path(*session, req);
-    case Op::kMetrics: return op_metrics(*session, req);
-    case Op::kTimelineWindow: return op_timeline_window(*session, req);
-    case Op::kQuery: return op_query(*session, req, /*explain_only=*/false);
-    case Op::kExplain: return op_query(*session, req, /*explain_only=*/true);
+    case Op::kExpand: return op_expand(s, req);
+    case Op::kCollapse: return op_collapse(s, req);
+    case Op::kSort: return op_sort(s, req);
+    case Op::kFlatten: return op_flatten(s, req, /*unflatten=*/false);
+    case Op::kUnflatten: return op_flatten(s, req, /*unflatten=*/true);
+    case Op::kHotPath: return op_hot_path(s, req);
+    case Op::kMetrics: return op_metrics(s, req);
+    case Op::kTimelineWindow: return op_timeline_window(s, req);
+    case Op::kQuery: return op_query(s, req, /*explain_only=*/false);
+    case Op::kExplain: return op_query(s, req, /*explain_only=*/true);
     default:
       throw ServeError(ErrorKind::kBadRequest, "op not valid on a session");
   }

@@ -47,6 +47,11 @@ class Session {
  private:
   friend class SessionManager;
 
+  /// True when `req` mutates cursor state and so belongs in the replay log
+  /// (expand/collapse/sort/flatten/unflatten/hot_path, and metrics only when
+  /// it derives a column).
+  static bool journaled_op(const Request& req);
+
   /// Add a derived metric to the three views AND the attribution table, so
   /// interactive columns and the query substrate never diverge. Returns the
   /// view-table column id (what the `metrics` op reports).
@@ -84,6 +89,18 @@ class Session {
   std::unique_ptr<core::FlattenState> flatten_;
   bool traces_loaded_ = false;
   std::vector<std::unique_ptr<db::TraceReader>> traces_;
+
+  // Durable-resume state (see journal.hpp). journal_file_ empty = journaling
+  // off (no --session-dir). All guarded by mu_.
+  std::string journal_file_;
+  JsonValue journal_header_;  // what the session was opened on
+  JsonValue journal_ops_;     // ordered replay log of mutating bodies
+  std::size_t journal_max_ops_ = 0;
+  bool journal_overflow_ = false;    // log capped; resume will be degraded
+  bool journal_suppressed_ = false;  // true while replaying during resume
+  bool resumed_ = false;             // this session came back from a journal
+  bool resume_degraded_ = false;     // ...with salvage semantics
+
   std::mutex mu_;  // serializes requests against this session
 };
 
@@ -94,6 +111,18 @@ class SessionManager {
     std::size_t max_sessions = 256;
     /// View an "open" request starts in when it does not name one.
     core::ViewType default_view = core::ViewType::kCallingContext;
+    /// Directory for per-session journals ("" = durable resume off). Every
+    /// mutating op checkpoints the session's cursor state here, and
+    /// `resume_session` reconstructs sessions from it after a restart.
+    std::string session_dir;
+    /// Replay-log cap; beyond it the journal stops growing and a later
+    /// resume is degraded (defaults cursor) rather than unbounded.
+    std::size_t journal_max_ops = 4096;
+    /// Hint attached to transient "overloaded" refusals (the session-limit
+    /// ceiling): sessions close, so the client should come back. Keeps the
+    /// protocol contract that every kOverloaded reply carries
+    /// retry_after_ms. The server aligns this with its own knob.
+    std::uint32_t retry_after_ms = 50;
   };
 
   SessionManager();
@@ -106,6 +135,8 @@ class SessionManager {
   std::size_t open_sessions() const;
   /// Total sessions ever opened (open + closed).
   std::uint64_t sessions_opened() const;
+  /// Sessions reconstructed from journals by `resume_session` (lifetime).
+  std::uint64_t resumed_sessions() const;
   /// Open sessions whose experiment loaded in degraded mode (some inputs
   /// were unreadable; see pathview::fault). Surfaced in "stats" and pvtop.
   std::size_t degraded_sessions() const;
@@ -122,6 +153,16 @@ class SessionManager {
   JsonValue do_session_op(const Request& req);
   JsonValue do_ping(const Request& req) const;
   JsonValue do_stats(const Request& req);
+  JsonValue do_resume_session(const Request& req);
+
+  /// Dispatch one session-scoped op body (the session's mutex must be
+  /// held). Shared by do_session_op and journal replay.
+  JsonValue run_session_op(Session& s, const Request& req);
+
+  // Journal plumbing; all called with the session's mutex held.
+  void init_journal(Session& s, JsonValue header);
+  void journal_op(Session& s, const Request& req);
+  void checkpoint(Session& s);
 
   // Session-op bodies; called with the session's mutex held.
   JsonValue op_expand(Session& s, const Request& req);
@@ -149,12 +190,18 @@ class SessionManager {
   /// and publish the session (shared by do_open / do_open_ensemble).
   template <class Build>
   std::shared_ptr<Session> register_session(Build&& build);
+  /// Same, but re-publishing a resumed session under its original sid.
+  /// Returns nullptr when the sid is (concurrently) live already.
+  template <class Build>
+  std::shared_ptr<Session> register_session_with_sid(const std::string& sid,
+                                                     Build&& build);
 
   Options opts_;
   ExperimentCache cache_;
   mutable std::mutex mu_;  // guards sessions_, next_sid_, pending_opens_
   std::unordered_map<std::string, std::shared_ptr<Session>> sessions_;
   std::uint64_t next_sid_ = 1;
+  std::uint64_t resumed_ = 0;  // guarded by mu_
   /// Opens whose Session is being constructed outside mu_; counted against
   /// max_sessions so concurrent opens cannot overshoot the limit.
   std::size_t pending_opens_ = 0;

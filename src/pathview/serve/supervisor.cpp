@@ -1,0 +1,172 @@
+#include "pathview/serve/supervisor.hpp"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <deque>
+
+#include "pathview/support/io.hpp"
+
+namespace pathview::serve {
+
+namespace {
+
+// Signal forwarding target. Plain signal-safe global: the handler may run
+// between fork and waitpid on the supervisor thread (the only thread).
+std::sig_atomic_t g_child_pid = 0;
+
+void forward_signal(int signo) {
+  const pid_t pid = static_cast<pid_t>(g_child_pid);
+  if (pid > 0) kill(pid, signo);
+}
+
+std::uint64_t monotonic_ms() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000u +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1000000u;
+}
+
+void sleep_ms(std::uint64_t ms) {
+  timespec ts{};
+  ts.tv_sec = static_cast<time_t>(ms / 1000u);
+  ts.tv_nsec = static_cast<long>(ms % 1000u) * 1000000L;
+  while (nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
+
+std::string describe_status(int status) {
+  char buf[64];
+  if (WIFEXITED(status)) {
+    std::snprintf(buf, sizeof(buf), "exit code %d", WEXITSTATUS(status));
+  } else if (WIFSIGNALED(status)) {
+    std::snprintf(buf, sizeof(buf), "signal %d (%s)", WTERMSIG(status),
+                  strsignal(WTERMSIG(status)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "status 0x%x", status);
+  }
+  return buf;
+}
+
+int exit_code_for(int status) {
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return 1;
+}
+
+}  // namespace
+
+Supervisor::Supervisor(SupervisorOptions opts) : opts_(std::move(opts)) {
+  if (opts_.backoff_ms == 0) opts_.backoff_ms = 1;
+  if (opts_.max_backoff_ms < opts_.backoff_ms)
+    opts_.max_backoff_ms = opts_.backoff_ms;
+}
+
+void Supervisor::write_health_starting(int last_status) {
+  if (opts_.health_file.empty()) return;
+  std::string body = "{\"state\":\"starting\",\"restarts\":";
+  body += std::to_string(restarts_);
+  body += ",\"last_exit\":\"";
+  body += describe_status(last_status);
+  body += "\"}\n";
+  try {
+    support::atomic_write_file(opts_.health_file, body, "serve.health.save");
+  } catch (...) {
+    // Health reporting must never take the supervisor down.
+  }
+}
+
+int Supervisor::run(const std::function<int()>& worker) {
+  struct sigaction sa{};
+  sa.sa_handler = forward_signal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  std::uint32_t backoff = opts_.backoff_ms;
+  std::deque<std::uint64_t> abnormal_exits;  // monotonic ms timestamps
+  int last_status = 0;
+
+  for (;;) {
+    {
+      char restarts_text[16];
+      std::snprintf(restarts_text, sizeof(restarts_text), "%u", restarts_);
+      setenv(kSupervisorRestartsEnv, restarts_text, 1);
+    }
+    write_health_starting(last_status);
+    // The child inherits buffered stdio; flush so nothing prints twice.
+    std::fflush(stdout);
+    std::fflush(stderr);
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "pvserve: supervisor fork failed: %s\n",
+                   std::strerror(errno));
+      return restarts_ == 0 ? 1 : exit_code_for(last_status);
+    }
+    if (pid == 0) {
+      // Child: restore default signal dispositions so the worker's own
+      // handlers (the daemon self-pipe) start from a clean slate.
+      std::signal(SIGTERM, SIG_DFL);
+      std::signal(SIGINT, SIG_DFL);
+      int rc = 1;
+      try {
+        rc = worker();
+      } catch (...) {
+        rc = 1;
+      }
+      // _exit, not exit: the child shares the parent's atexit state and
+      // must not run it (or flush inherited buffers) twice.
+      std::fflush(stdout);
+      std::fflush(stderr);
+      _exit(rc);
+    }
+
+    g_child_pid = static_cast<std::sig_atomic_t>(pid);
+    int status = 0;
+    pid_t waited;
+    do {
+      waited = waitpid(pid, &status, 0);
+    } while (waited < 0 && errno == EINTR);
+    g_child_pid = 0;
+    if (waited < 0) {
+      std::fprintf(stderr, "pvserve: supervisor waitpid failed: %s\n",
+                   std::strerror(errno));
+      return 1;
+    }
+    last_status = status;
+
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0) return 0;
+
+    // Abnormal exit: respawn unless the crash-loop breaker trips.
+    const std::uint64_t now = monotonic_ms();
+    abnormal_exits.push_back(now);
+    while (!abnormal_exits.empty() &&
+           now - abnormal_exits.front() > opts_.window_ms)
+      abnormal_exits.pop_front();
+    if (opts_.max_restarts > 0 && abnormal_exits.size() > opts_.max_restarts) {
+      std::fprintf(stderr,
+                   "pvserve: worker died %zu times in %llums (%s); giving up\n",
+                   abnormal_exits.size(),
+                   static_cast<unsigned long long>(opts_.window_ms),
+                   describe_status(status).c_str());
+      return exit_code_for(status);
+    }
+
+    ++restarts_;
+    if (!opts_.quiet)
+      std::fprintf(stderr,
+                   "pvserve: worker died (%s); respawn #%u in %ums\n",
+                   describe_status(status).c_str(), restarts_, backoff);
+    sleep_ms(backoff);
+    backoff = std::min(backoff * 2, opts_.max_backoff_ms);
+  }
+}
+
+}  // namespace pathview::serve

@@ -1,0 +1,64 @@
+// Crash supervision for pvserve: a tiny parent process that forks the
+// worker, waits, and respawns it when it dies abnormally.
+//
+// The parent stays free of threads and heap surprises — it forks BEFORE the
+// worker closure starts any thread, waits in waitpid, and forwards
+// SIGTERM/SIGINT to the child so `kill <supervisor>` drains the worker
+// gracefully. A clean worker exit (code 0, e.g. after a protocol "shutdown"
+// or a forwarded signal) ends supervision; anything else — non-zero exit,
+// SIGKILL, SIGSEGV, an injected crash fault — triggers a respawn after a
+// capped exponential backoff. A crash-loop breaker gives up when the worker
+// keeps dying: more than max_restarts abnormal exits inside window_ms ends
+// supervision with the last exit's code.
+//
+// The worker learns its incarnation via $PVSERVE_SUPERVISOR_RESTARTS
+// (exported before each fork), and the supervisor stamps the health file
+// with {"state":"starting"} between death and respawn so an external
+// watcher sees the gap, not a stale "serving".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace pathview::serve {
+
+struct SupervisorOptions {
+  /// First respawn delay; doubles per consecutive abnormal exit, capped.
+  std::uint32_t backoff_ms = 100;
+  std::uint32_t max_backoff_ms = 5000;
+  /// Crash-loop breaker: give up after this many abnormal exits within
+  /// window_ms. 0 disables the breaker (respawn forever).
+  std::uint32_t max_restarts = 8;
+  std::uint64_t window_ms = 60000;
+  /// Stamped with {"state":"starting"} before each (re)spawn; "" disables.
+  std::string health_file;
+  /// Suppress the per-respawn stderr notices.
+  bool quiet = false;
+};
+
+/// Environment variable the worker reads to report supervisor_restarts.
+inline constexpr char kSupervisorRestartsEnv[] = "PVSERVE_SUPERVISOR_RESTARTS";
+
+class Supervisor {
+ public:
+  explicit Supervisor(SupervisorOptions opts);
+
+  /// Fork and run `worker` in the child (its return value becomes the
+  /// child's exit code), respawning per the policy above. Returns the final
+  /// exit code to propagate: 0 after a clean worker exit, the worker's last
+  /// status after the crash-loop breaker trips or a respawn cannot fork.
+  /// Must be called before the process starts any threads.
+  int run(const std::function<int()>& worker);
+
+  /// Respawns performed so far (0 for the first incarnation).
+  std::uint32_t restarts() const { return restarts_; }
+
+ private:
+  void write_health_starting(int last_status);
+
+  SupervisorOptions opts_;
+  std::uint32_t restarts_ = 0;
+};
+
+}  // namespace pathview::serve

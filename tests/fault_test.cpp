@@ -78,6 +78,54 @@ TEST_F(FaultTest, RejectsMalformedSpecs) {
   EXPECT_TRUE(fault::Plan::parse("").empty());
 }
 
+TEST_F(FaultTest, ParsesSocketChaosVerbs) {
+  const fault::Plan plan = fault::Plan::parse(
+      "serve.net.read:reset:after=1;"
+      "serve.net.write:stall=200:count=2;"
+      "serve.net.accept:stall=50");
+  ASSERT_EQ(plan.rules.size(), 3u);
+  EXPECT_EQ(plan.rules[0].kind, fault::Kind::kReset);
+  EXPECT_EQ(plan.rules[0].after, 1u);
+  EXPECT_EQ(plan.rules[1].kind, fault::Kind::kStall);
+  EXPECT_EQ(plan.rules[1].arg, 200u);
+  EXPECT_EQ(plan.rules[1].count, 2u);
+  EXPECT_EQ(plan.rules[2].kind, fault::Kind::kStall);
+  EXPECT_EQ(std::string(fault::kind_name(fault::Kind::kReset)), "reset");
+  EXPECT_EQ(std::string(fault::kind_name(fault::Kind::kStall)), "stall");
+  // A stall without a duration is malformed, like short without a length.
+  EXPECT_THROW(fault::Plan::parse("a.b:stall"), InvalidArgument);
+}
+
+TEST_F(FaultTest, ResetThrowsStyledAsConnectionReset) {
+  fault::install_spec("serve.net.write:reset");
+  try {
+    fault::check_site("serve.net.write");
+    FAIL() << "expected InjectedFault";
+  } catch (const fault::InjectedFault& e) {
+    EXPECT_EQ(e.site(), "serve.net.write");
+    EXPECT_NE(std::string(e.what()).find("connection reset"),
+              std::string::npos)
+        << e.what();
+  }
+  // Reset is check_site territory; stall_ms never fires it.
+  fault::install_spec("s.site:reset");
+  EXPECT_EQ(fault::stall_ms("s.site"), 0u);
+}
+
+TEST_F(FaultTest, StallIsConsumedOnlyByStallMs) {
+  fault::install_spec("serve.net.write:stall=120:count=2");
+  // check_site ignores stall rules (transports that cannot split a transfer
+  // may skip them entirely).
+  fault::check_site("serve.net.write");  // must not throw
+  EXPECT_EQ(fault::stall_ms("other.site"), 0u);
+  EXPECT_EQ(fault::stall_ms("serve.net.write"), 120u);
+  EXPECT_EQ(fault::stall_ms("serve.net.write"), 120u);
+  EXPECT_EQ(fault::stall_ms("serve.net.write"), 0u);  // count exhausted
+  // The longest matching stall wins when several rules fire.
+  fault::install_spec("a.*:stall=30;a.b:stall=90");
+  EXPECT_EQ(fault::stall_ms("a.b"), 90u);
+}
+
 // --- firing semantics --------------------------------------------------------
 
 TEST_F(FaultTest, InactiveByDefaultAndZeroCostPathDoesNothing) {

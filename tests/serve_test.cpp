@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <netinet/in.h>
@@ -19,8 +20,11 @@
 #include "pathview/prof/correlate.hpp"
 #include "pathview/serve/client.hpp"
 #include "pathview/serve/experiment_cache.hpp"
+#include "pathview/serve/journal.hpp"
+#include "pathview/serve/overload.hpp"
 #include "pathview/serve/server.hpp"
 #include "pathview/serve/session.hpp"
+#include "pathview/serve/supervisor.hpp"
 #include "pathview/support/error.hpp"
 #include "pathview/workloads/paper_example.hpp"
 
@@ -914,6 +918,498 @@ TEST(ServeEnsemble, ConcurrentOpensShareOneEnsemble) {
     for (std::thread& t : threads) t.join();
   }
   for (int i = 1; i < kThreads; ++i) EXPECT_EQ(results[i], results[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Durable session journals: encode/decode salvage semantics.
+// ---------------------------------------------------------------------------
+
+/// A unique temp directory removed on scope exit.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = (std::filesystem::temp_directory_path() /
+             (tag + "_" + std::to_string(::getpid())))
+                .string();
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+JsonValue sample_journal_header() {
+  JsonValue h = JsonValue::object();
+  h.set("type", JsonValue::string("exp"));
+  h.set("path", JsonValue::string("/tmp/x.xml"));
+  h.set("view", JsonValue::string("cct"));
+  return h;
+}
+
+JsonValue sample_journal_ops() {
+  JsonValue ops = JsonValue::array();
+  JsonValue op = JsonValue::object();
+  op.set("op", JsonValue::string("expand"));
+  op.set("node", JsonValue::number(std::uint64_t{0}));
+  ops.push(std::move(op));
+  return ops;
+}
+
+TEST(ServeJournal, EncodeDecodeRoundTrip) {
+  const JsonValue header = sample_journal_header();
+  const JsonValue ops = sample_journal_ops();
+  const std::string bytes = encode_journal(header, ops);
+  EXPECT_EQ(bytes.rfind("PVSJ1 ", 0), 0u);
+  EXPECT_NE(bytes.find("PVSJ2 "), std::string::npos);
+  JsonValue h, o;
+  EXPECT_EQ(decode_journal(bytes, &h, &o), JournalState::kComplete);
+  EXPECT_EQ(h.dump(), header.dump());
+  EXPECT_EQ(o.dump(), ops.dump());
+}
+
+TEST(ServeJournal, TornOpsSectionDegrades) {
+  const JsonValue header = sample_journal_header();
+  const std::string bytes = encode_journal(header, sample_journal_ops());
+  // Truncate mid-ops-section: what a crash between the two section writes
+  // (or disk damage past the header) leaves behind. The header salvages;
+  // the replay log is gone.
+  const std::string torn = bytes.substr(0, bytes.find("PVSJ2") + 9);
+  JsonValue h, o;
+  EXPECT_EQ(decode_journal(torn, &h, &o), JournalState::kDegraded);
+  EXPECT_EQ(h.dump(), header.dump());
+  ASSERT_TRUE(o.is_array());
+  EXPECT_TRUE(o.items().empty());
+  // A flipped byte inside the ops payload fails its CRC: same salvage.
+  std::string flipped = bytes;
+  flipped[flipped.size() - 3] ^= 0x5a;
+  EXPECT_EQ(decode_journal(flipped, &h, &o), JournalState::kDegraded);
+}
+
+TEST(ServeJournal, DamagedHeaderIsUnusable) {
+  std::string bytes =
+      encode_journal(sample_journal_header(), sample_journal_ops());
+  bytes[8] ^= 0x5a;  // inside section 1's framing/payload
+  JsonValue h, o;
+  EXPECT_EQ(decode_journal(bytes, &h, &o), JournalState::kUnusable);
+  EXPECT_EQ(decode_journal("not a journal at all", &h, &o),
+            JournalState::kUnusable);
+  EXPECT_EQ(decode_journal("", &h, &o), JournalState::kUnusable);
+  EXPECT_EQ(std::string(journal_state_name(JournalState::kComplete)),
+            "complete");
+  EXPECT_EQ(journal_path("/some/dir", "s7"), "/some/dir/s7.pvsj");
+}
+
+// ---------------------------------------------------------------------------
+// Durable session resume: checkpoint -> restart -> byte-identical replies.
+// ---------------------------------------------------------------------------
+
+Request nav_request(int id, Op op, const std::string& sid) {
+  Request req;
+  req.id = id;
+  req.op = op;
+  req.body = JsonValue::object();
+  req.body.set("session", JsonValue::string(sid));
+  return req;
+}
+
+Request resume_request(int id, const std::string& token) {
+  Request req;
+  req.id = id;
+  req.op = Op::kResumeSession;
+  req.body = JsonValue::object();
+  req.body.set("token", JsonValue::string(token));
+  return req;
+}
+
+TEST(ServeResume, CheckpointThenResumeIsByteIdentical) {
+  TempExperiment exp;
+  TempDir dir("serve_resume");
+  SessionManager::Options opts;
+  opts.session_dir = dir.path();
+
+  // An uninterrupted run: open, navigate (expand root, flip the sort), and
+  // capture the reply of a probe expansion — the oracle.
+  std::string oracle;
+  {
+    SessionManager a(opts);
+    JsonValue open = a.handle(open_request(exp.path()));
+    ASSERT_TRUE(open.get_bool("ok", false)) << open.dump();
+    ASSERT_EQ(open.get_string("session", ""), "s1");
+    ASSERT_TRUE(std::filesystem::exists(journal_path(dir.path(), "s1")));
+    ASSERT_TRUE(
+        a.handle(nav_request(2, Op::kExpand, "s1")).get_bool("ok", false));
+    Request sort = nav_request(3, Op::kSort, "s1");
+    sort.body.set("column", JsonValue::number(std::uint64_t{0}));
+    sort.body.set("descending", JsonValue::boolean(false));
+    ASSERT_TRUE(a.handle(sort).get_bool("ok", false));
+    oracle = a.handle(nav_request(4, Op::kExpand, "s1")).dump();
+    ASSERT_NE(oracle.find("\"ok\":true"), std::string::npos) << oracle;
+  }
+
+  // "Restart": a fresh manager over the same journal directory. The resume
+  // replays the log and the probe reply must be byte-identical.
+  SessionManager b(opts);
+  const JsonValue resumed = b.handle(resume_request(10, "s1"));
+  ASSERT_TRUE(resumed.get_bool("ok", false)) << resumed.dump();
+  EXPECT_EQ(resumed.get_string("session", ""), "s1");
+  EXPECT_TRUE(resumed.get_bool("resumed", false));
+  EXPECT_FALSE(resumed.get_bool("degraded", false));
+  EXPECT_EQ(resumed.get_u64("replayed", 0), 3u);  // expand + sort + expand
+  EXPECT_EQ(b.resumed_sessions(), 1u);
+  EXPECT_EQ(b.handle(nav_request(4, Op::kExpand, "s1")).dump(), oracle);
+
+  // The startup scan bumped the sid counter past journaled sessions, so a
+  // new open never collides with a resumable token.
+  JsonValue open2 = b.handle(open_request(exp.path()));
+  ASSERT_TRUE(open2.get_bool("ok", false)) << open2.dump();
+  EXPECT_EQ(open2.get_string("session", ""), "s2");
+
+  // Close deletes the journal: the token is no longer resumable.
+  ASSERT_TRUE(
+      b.handle(nav_request(11, Op::kClose, "s1")).get_bool("ok", false));
+  EXPECT_FALSE(std::filesystem::exists(journal_path(dir.path(), "s1")));
+}
+
+TEST(ServeResume, TornJournalResumesDegraded) {
+  TempExperiment exp;
+  TempDir dir("serve_resume_torn");
+  SessionManager::Options opts;
+  opts.session_dir = dir.path();
+  {
+    SessionManager a(opts);
+    ASSERT_TRUE(a.handle(open_request(exp.path())).get_bool("ok", false));
+    ASSERT_TRUE(
+        a.handle(nav_request(2, Op::kExpand, "s1")).get_bool("ok", false));
+  }
+  // Damage the ops section on disk (disk rot / hand-edited file).
+  const std::string jpath = journal_path(dir.path(), "s1");
+  std::FILE* f = std::fopen(jpath.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string bytes(1 << 16, '\0');
+  bytes.resize(std::fread(bytes.data(), 1, bytes.size(), f));
+  std::fclose(f);
+  bytes.resize(bytes.find("PVSJ2") + 9);
+  f = std::fopen(jpath.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+
+  // Salvage semantics: the session comes back at its open-time defaults
+  // with the degraded bit set — never a crash, never a refused token.
+  SessionManager b(opts);
+  const JsonValue resumed = b.handle(resume_request(10, "s1"));
+  ASSERT_TRUE(resumed.get_bool("ok", false)) << resumed.dump();
+  EXPECT_TRUE(resumed.get_bool("resumed", false));
+  EXPECT_TRUE(resumed.get_bool("degraded", false));
+  EXPECT_EQ(resumed.get_u64("replayed", 99), 0u);
+  // The resumed cursor still works.
+  EXPECT_TRUE(
+      b.handle(nav_request(11, Op::kExpand, "s1")).get_bool("ok", false));
+}
+
+TEST(ServeResume, UnknownTokenAndDisabledJournalingAreRefused) {
+  TempExperiment exp;
+  TempDir dir("serve_resume_unknown");
+  SessionManager::Options opts;
+  opts.session_dir = dir.path();
+  SessionManager mgr(opts);
+  JsonValue resp = mgr.handle(resume_request(1, "s42"));
+  EXPECT_FALSE(resp.get_bool("ok", true)) << resp.dump();
+
+  // Without --session-dir the op is a structural refusal, not a crash.
+  SessionManager off{SessionManager::Options{}};
+  resp = off.handle(resume_request(2, "s1"));
+  EXPECT_FALSE(resp.get_bool("ok", true)) << resp.dump();
+}
+
+TEST(ServeResume, LiveSessionResumeIsIdempotent) {
+  TempExperiment exp;
+  TempDir dir("serve_resume_live");
+  SessionManager::Options opts;
+  opts.session_dir = dir.path();
+  SessionManager mgr(opts);
+  ASSERT_TRUE(mgr.handle(open_request(exp.path())).get_bool("ok", false));
+  // Resuming a session that never died is an ack, not a rebuild.
+  const JsonValue resp = mgr.handle(resume_request(2, "s1"));
+  ASSERT_TRUE(resp.get_bool("ok", false)) << resp.dump();
+  EXPECT_TRUE(resp.get_bool("live", false));
+  EXPECT_EQ(mgr.open_sessions(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Overload control: brownout hysteresis, shed order, per-peer buckets.
+// ---------------------------------------------------------------------------
+
+using Verdict = OverloadController::Verdict;
+
+TEST(ServeOverload, BrownoutHysteresisShedsExpensiveOpsFirst) {
+  OverloadOptions o;
+  o.retry_after_ms = 75;
+  OverloadController c(o);
+  // Below the high-water mark everything admits.
+  EXPECT_EQ(c.admit(Op::kQuery, "p", 50, 100, 0).verdict, Verdict::kAdmit);
+  // Crossing 75% enters brownout: expensive ops shed with the retry hint...
+  const auto shed = c.admit(Op::kQuery, "p", 80, 100, 0);
+  EXPECT_EQ(shed.verdict, Verdict::kShed);
+  EXPECT_EQ(shed.retry_after_ms, 75u);
+  EXPECT_TRUE(c.browned_out());
+  // ...while cheap navigation, stats, and health keep answering.
+  EXPECT_EQ(c.admit(Op::kExpand, "p", 80, 100, 0).verdict, Verdict::kAdmit);
+  EXPECT_EQ(c.admit(Op::kStats, "p", 80, 100, 0).verdict, Verdict::kAdmit);
+  EXPECT_EQ(c.admit(Op::kHealth, "p", 100, 100, 0).verdict, Verdict::kAdmit);
+  // Hysteresis: draining below enter but above exit keeps the brownout.
+  EXPECT_EQ(c.admit(Op::kOpen, "p", 50, 100, 0).verdict, Verdict::kShed);
+  // Only falling to the low-water mark (25%) recovers.
+  EXPECT_EQ(c.admit(Op::kOpen, "p", 20, 100, 0).verdict, Verdict::kAdmit);
+  EXPECT_FALSE(c.browned_out());
+  EXPECT_EQ(c.shed_requests(), 2u);
+  EXPECT_EQ(c.brownouts_entered(), 1u);
+}
+
+TEST(ServeOverload, TokenBucketsArePerPeerAndRefill) {
+  OverloadOptions o;
+  o.rate_limit_rps = 2.0;
+  o.rate_limit_burst = 4.0;
+  o.brownout = false;
+  OverloadController c(o);
+  std::uint64_t now = 0;
+  // A greedy peer drains its burst of 4 cheap tokens...
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(c.admit(Op::kPing, "greedy", 0, 100, now).verdict,
+              Verdict::kAdmit)
+        << i;
+  const auto limited = c.admit(Op::kPing, "greedy", 0, 100, now);
+  EXPECT_EQ(limited.verdict, Verdict::kRateLimited);
+  EXPECT_GE(limited.retry_after_ms, o.retry_after_ms);
+  // ...while a polite peer's bucket is untouched (fairness).
+  EXPECT_EQ(c.admit(Op::kPing, "polite", 0, 100, now).verdict,
+            Verdict::kAdmit);
+  // One second refills rps-worth of tokens.
+  now += 1'000'000'000ull;
+  EXPECT_EQ(c.admit(Op::kPing, "greedy", 0, 100, now).verdict,
+            Verdict::kAdmit);
+  EXPECT_EQ(c.admit(Op::kPing, "greedy", 0, 100, now).verdict,
+            Verdict::kAdmit);
+  EXPECT_EQ(c.admit(Op::kPing, "greedy", 0, 100, now).verdict,
+            Verdict::kRateLimited);
+  EXPECT_EQ(c.rate_limited(), 2u);
+  // Expensive ops cost expensive_cost (4.0) tokens: one empties the bucket.
+  now += 10'000'000'000ull;  // back to the burst cap
+  EXPECT_EQ(c.admit(Op::kQuery, "greedy", 0, 100, now).verdict,
+            Verdict::kAdmit);
+  EXPECT_EQ(c.admit(Op::kPing, "greedy", 0, 100, now).verdict,
+            Verdict::kRateLimited);
+  // forget_peer resets the bucket (connection closed -> fresh burst).
+  c.forget_peer("greedy");
+  EXPECT_EQ(c.admit(Op::kPing, "greedy", 0, 100, now).verdict,
+            Verdict::kAdmit);
+}
+
+TEST(ServeServer, RateLimitedPeersGetTypedRefusalsWhileOthersProceed) {
+  Server::Options opts;
+  opts.overload.rate_limit_rps = 1.0;
+  opts.overload.rate_limit_burst = 2.0;
+  Server server(opts);
+  server.start();
+  // Each connection is its own peer (distinct source port): the greedy one
+  // collects typed refusals with a retry hint, the polite one is untouched.
+  const int greedy = connect_to("127.0.0.1", server.port());
+  std::string raw;
+  bool saw_limit = false;
+  for (int i = 0; i < 8 && !saw_limit; ++i) {
+    write_frame(greedy, kPing);
+    ASSERT_TRUE(read_frame(greedy, &raw));
+    const JsonValue reply = JsonValue::parse(raw);
+    if (!reply.get_bool("ok", true)) {
+      EXPECT_NE(raw.find("\"rate_limited\""), std::string::npos) << raw;
+      EXPECT_GT(reply.get_u64("retry_after_ms", 0), 0u) << raw;
+      saw_limit = true;
+    }
+  }
+  EXPECT_TRUE(saw_limit);
+  const int polite = connect_to("127.0.0.1", server.port());
+  write_frame(polite, kPing);
+  ASSERT_TRUE(read_frame(polite, &raw));
+  EXPECT_TRUE(JsonValue::parse(raw).get_bool("ok", false)) << raw;
+  ::close(greedy);
+  ::close(polite);
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Health: the inline op, the health file, and the slowloris read deadline.
+// ---------------------------------------------------------------------------
+
+TEST(ServeHealth, HealthOpReportsServing) {
+  Server server;
+  server.start();
+  Client client("127.0.0.1", server.port(), {});
+  const JsonValue h = client.call_op("health", JsonValue::object());
+  ASSERT_TRUE(h.get_bool("ok", false)) << h.dump();
+  EXPECT_EQ(h.get_string("state", ""), "serving");
+  EXPECT_EQ(h.get_u64("port", 0), server.port());
+  EXPECT_GT(h.get_u64("pid", 0), 0u);
+  EXPECT_FALSE(h.get_bool("brownout", true));
+  EXPECT_EQ(h.get_u64("queue_capacity", 0), 128u);
+  server.stop();
+}
+
+TEST(ServeHealth, HealthFileTransitionsToDrainingOnStop) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("serve_health_" + std::to_string(::getpid()) + ".json"))
+          .string();
+  std::remove(path.c_str());
+  Server::Options opts;
+  opts.health_file = path;
+  Server server(opts);
+  server.start();  // writes one snapshot synchronously
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content(4096, '\0');
+  content.resize(std::fread(content.data(), 1, content.size(), f));
+  std::fclose(f);
+  EXPECT_NE(content.find("\"state\":\"serving\""), std::string::npos)
+      << content;
+  server.stop();  // final write reads "draining"
+  f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  content.assign(4096, '\0');
+  content.resize(std::fread(content.data(), 1, content.size(), f));
+  std::fclose(f);
+  EXPECT_NE(content.find("\"state\":\"draining\""), std::string::npos)
+      << content;
+  std::remove(path.c_str());
+}
+
+TEST(ServeServer, SlowlorisPartialFrameIsDropped) {
+  Server::Options opts;
+  opts.read_deadline_ms = 50;
+  Server server(opts);
+  server.start();
+  const int fd = connect_to("127.0.0.1", server.port());
+  // Two header bytes, then silence: once the first byte lands, the rest of
+  // the frame must arrive within the deadline or the connection dies.
+  const char partial[2] = {0, 0};
+  ASSERT_EQ(::send(fd, partial, sizeof partial, 0), 2);
+  char buf[16];
+  const ssize_t n = ::recv(fd, buf, sizeof buf, 0);  // blocks until close
+  EXPECT_EQ(n, 0) << "expected EOF from the dropped connection";
+  ::close(fd);
+
+  // A fresh, well-behaved connection still works.
+  const int ok_fd = connect_to("127.0.0.1", server.port());
+  std::string raw;
+  write_frame(ok_fd, kPing);
+  ASSERT_TRUE(read_frame(ok_fd, &raw));
+  EXPECT_TRUE(JsonValue::parse(raw).get_bool("ok", false));
+  ::close(ok_fd);
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// The supervisor: respawn on abnormal exit, clean exit ends supervision,
+// crash-loop breaker.
+// ---------------------------------------------------------------------------
+
+TEST(ServeSupervisor, CleanExitEndsSupervision) {
+  SupervisorOptions opts;
+  opts.quiet = true;
+  Supervisor sup(opts);
+  EXPECT_EQ(sup.run([] { return 0; }), 0);
+  EXPECT_EQ(sup.restarts(), 0u);
+}
+
+TEST(ServeSupervisor, RespawnsUntilTheWorkerExitsClean) {
+  const std::string health =
+      (std::filesystem::temp_directory_path() /
+       ("serve_sup_" + std::to_string(::getpid()) + ".json"))
+          .string();
+  std::remove(health.c_str());
+  SupervisorOptions opts;
+  opts.backoff_ms = 1;
+  opts.quiet = true;
+  opts.health_file = health;
+  Supervisor sup(opts);
+  // Each incarnation reads its restart count from the env the supervisor
+  // exports; the first two "crash", the third exits clean.
+  const int rc = sup.run([] {
+    const char* n = std::getenv(kSupervisorRestartsEnv);
+    return (n != nullptr && std::atoi(n) >= 2) ? 0 : 1;
+  });
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(sup.restarts(), 2u);
+  // The supervisor stamped "starting" between death and respawn.
+  std::FILE* f = std::fopen(health.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content(4096, '\0');
+  content.resize(std::fread(content.data(), 1, content.size(), f));
+  std::fclose(f);
+  EXPECT_NE(content.find("\"state\":\"starting\""), std::string::npos)
+      << content;
+  EXPECT_NE(content.find("\"restarts\":2"), std::string::npos) << content;
+  std::remove(health.c_str());
+}
+
+TEST(ServeSupervisor, CrashLoopBreakerGivesUp) {
+  SupervisorOptions opts;
+  opts.backoff_ms = 1;
+  opts.max_backoff_ms = 2;
+  opts.max_restarts = 2;
+  opts.quiet = true;
+  Supervisor sup(opts);
+  // A worker that can never come up: after max_restarts abnormal exits
+  // inside the window the breaker trips and the worker's code surfaces.
+  EXPECT_EQ(sup.run([] { return 7; }), 7);
+  EXPECT_EQ(sup.restarts(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Client auto-resume across a daemon restart.
+// ---------------------------------------------------------------------------
+
+TEST(ServeClient, AutoResumeSurvivesDaemonRestart) {
+  TempExperiment exp;
+  TempDir dir("serve_client_resume");
+  const std::uint16_t port = reserve_ephemeral_port("127.0.0.1");
+  Server::Options opts;
+  opts.port = port;
+  opts.sessions.session_dir = dir.path();
+
+  RetryOptions retry;
+  retry.auto_resume = true;
+  retry.reconnect_backoff_ms = 10;
+
+  auto server1 = std::make_unique<Server>(opts);
+  server1->start();
+  Client client("127.0.0.1", port, retry);
+  JsonValue body = JsonValue::object();
+  body.set("path", JsonValue::string(exp.path()));
+  const JsonValue open = client.call_op("open", std::move(body));
+  ASSERT_TRUE(open.get_bool("ok", false)) << open.dump();
+  const std::string sid = open.get_string("session", "");
+  ASSERT_EQ(client.tracked_sessions(), std::vector<std::string>{sid});
+  body = JsonValue::object();
+  body.set("session", JsonValue::string(sid));
+  body.set("id", JsonValue::number(std::uint64_t{42}));  // pin for the diff
+  const std::string oracle = client.call_op("expand", body).dump();
+
+  // Kill the daemon and bring up a fresh one on the same port + journal
+  // dir. The next call rides the transport failure: reconnect, resume, and
+  // re-send — the caller just sees the same bytes again.
+  server1->stop();
+  server1.reset();
+  Server server2(opts);
+  server2.start();
+  body = JsonValue::object();
+  body.set("session", JsonValue::string(sid));
+  body.set("id", JsonValue::number(std::uint64_t{42}));
+  EXPECT_EQ(client.call_op("expand", std::move(body)).dump(), oracle);
+  EXPECT_EQ(client.resumes(), 1u);
+  server2.stop();
 }
 
 }  // namespace

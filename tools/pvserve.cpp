@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <poll.h>
 #include <string>
@@ -20,6 +21,7 @@
 
 #include "pathview/serve/client.hpp"
 #include "pathview/serve/server.hpp"
+#include "pathview/serve/supervisor.hpp"
 #include "tool_util.hpp"
 
 namespace {
@@ -28,6 +30,7 @@ const std::string kUsage = R"(pvserve - profile query server
 
 usage:
   pvserve [flags]                     run the daemon (prints the bound port)
+  pvserve --supervise [flags]         run the daemon under a crash supervisor
   pvserve --client --port N [flags]   send requests to a running daemon
 
 daemon flags:
@@ -56,6 +59,22 @@ daemon flags:
                      only, write nothing
   --self-profile-retain N  window files kept before the oldest is deleted
                      (default 16)
+  --read-deadline-ms N  slowloris guard: a started frame must finish within
+                     this bound or the connection drops (default 30000;
+                     0 disables)
+  --health-file P    atomically write {"state": "serving"|"browned-out"|
+                     "draining", ...} liveness snapshots to P
+  --health-interval-ms N  health/brownout control-loop cadence (default 500)
+  --session-dir D    journal session cursors into D so `resume_session`
+                     survives a daemon restart (default off)
+  --rate-limit-rps N   per-peer token refill rate (default 0 = off)
+  --rate-limit-burst N bucket capacity (default 2x the rate)
+
+supervisor flags (with --supervise; all daemon flags apply to the worker):
+  --max-restarts N   crash-loop breaker: give up after N abnormal exits in
+                     60s (default 8; 0 = respawn forever)
+  --restart-backoff-ms N  first respawn delay, doubles up to 5000ms
+                     (default 100)
 
 client flags:
   --port N           daemon port (required)
@@ -70,6 +89,9 @@ client flags:
   --backoff-ms N     backoff cap for those retries (default 2000)
   --deadline-ms N    per-request wall-clock budget, attempts + backoff
                      (default 0 = none)
+  --auto-resume      survive daemon restarts: reconnect with backoff,
+                     resume_session every open session, re-send the
+                     interrupted request (at-least-once)
 
 client exit codes: 0 ok; 2 protocol error (the daemon refused the request
 or replied unusably); 3 transport error (could not connect, connection
@@ -109,6 +131,7 @@ int run_client(const pathview::tools::Args& args) {
       static_cast<std::uint32_t>(std::max(1l, args.flag("backoff-ms", 2000)));
   retry.deadline_ms =
       static_cast<std::uint32_t>(std::max(0l, args.flag("deadline-ms", 0)));
+  retry.auto_resume = args.has("auto-resume");
 
   int rc = kExitOk;
   try {
@@ -154,11 +177,12 @@ int run_client(const pathview::tools::Args& args) {
 }
 
 int run_daemon(const pathview::tools::Args& args,
-               pathview::tools::ObsSession& obs_session) {
+               pathview::tools::ObsSession& obs_session,
+               long port_override = -1) {
   using namespace pathview;
   serve::Server::Options opts;
   opts.host = args.flag_str("host", "127.0.0.1");
-  const long port = args.flag("port", 0);
+  const long port = port_override >= 0 ? port_override : args.flag("port", 0);
   if (port < 0 || port > 65535) {
     std::fprintf(stderr, "pvserve: bad --port %ld\n", port);
     return 2;
@@ -197,6 +221,19 @@ int run_daemon(const pathview::tools::Args& args,
   opts.self_profile_dir = args.flag_str("self-profile-dir", "");
   opts.self_profile_retain = static_cast<std::size_t>(
       std::max(1l, args.flag("self-profile-retain", 16)));
+  opts.read_deadline_ms = static_cast<std::uint32_t>(
+      std::max(0l, args.flag("read-deadline-ms", 30000)));
+  opts.health_file = args.flag_str("health-file", "");
+  opts.health_interval_ms = static_cast<std::uint32_t>(
+      std::max(50l, args.flag("health-interval-ms", 500)));
+  opts.sessions.session_dir = args.flag_str("session-dir", "");
+  opts.overload.rate_limit_rps =
+      static_cast<double>(std::max(0l, args.flag("rate-limit-rps", 0)));
+  opts.overload.rate_limit_burst =
+      static_cast<double>(std::max(0l, args.flag("rate-limit-burst", 0)));
+  if (const char* env = std::getenv(serve::kSupervisorRestartsEnv))
+    opts.supervisor_restarts =
+        static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10));
 
   serve::Server server(opts);
   server.start();
@@ -244,6 +281,36 @@ int run_daemon(const pathview::tools::Args& args,
   return 0;
 }
 
+int run_supervised(const pathview::tools::Args& args) {
+  using namespace pathview;
+  const std::string host = args.flag_str("host", "127.0.0.1");
+  long port = args.flag("port", 0);
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "pvserve: bad --port %ld\n", port);
+    return 2;
+  }
+  // A respawned worker must come back on the SAME port its clients know, so
+  // an ephemeral request is resolved once, up front, and pinned.
+  if (port == 0) port = serve::reserve_ephemeral_port(host);
+
+  serve::SupervisorOptions sopts;
+  sopts.max_restarts = static_cast<std::uint32_t>(
+      std::max(0l, args.flag("max-restarts", 8)));
+  sopts.backoff_ms = static_cast<std::uint32_t>(
+      std::max(1l, args.flag("restart-backoff-ms", 100)));
+  sopts.health_file = args.flag_str("health-file", "");
+  std::printf("pvserve: supervising %s:%ld (max-restarts=%u)\n", host.c_str(),
+              port, sopts.max_restarts);
+  std::fflush(stdout);
+  serve::Supervisor supervisor(sopts);
+  // The worker closure runs in a fresh fork each incarnation; it builds its
+  // own ObsSession so per-incarnation telemetry starts clean.
+  return supervisor.run([&args, port]() -> int {
+    tools::ObsSession obs_session(args, "pvserve");
+    return run_daemon(args, obs_session, port);
+  });
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -254,6 +321,7 @@ int main(int argc, char** argv) {
     return exit_code;
   try {
     if (args.has("client")) return run_client(args);
+    if (args.has("supervise")) return run_supervised(args);
     tools::ObsSession obs_session(args, "pvserve");
     return run_daemon(args, obs_session);
   } catch (const Error& e) {

@@ -248,6 +248,31 @@ int run(const pathview::tools::Args& args) {
                   static_cast<unsigned long long>(q_cap));
     out += sess;
 
+    // Overload-control line: only interesting when something was refused or
+    // a brownout is active, so it appears on demand (same soft-red styling
+    // as the DEGRADED marker).
+    const std::uint64_t shed =
+        srv != nullptr ? srv->get_u64("shed_requests", 0) : 0;
+    const std::uint64_t rate_limited =
+        srv != nullptr ? srv->get_u64("rate_limited", 0) : 0;
+    const bool brownout =
+        srv != nullptr && srv->get_bool("brownout", false);
+    const std::uint64_t restarts =
+        srv != nullptr ? srv->get_u64("supervisor_restarts", 0) : 0;
+    if (shed != 0 || rate_limited != 0 || brownout || restarts != 0) {
+      char ol[200];
+      std::snprintf(ol, sizeof ol,
+                    "overload: %llu shed / %llu rate-limited%s%s\n",
+                    static_cast<unsigned long long>(shed),
+                    static_cast<unsigned long long>(rate_limited),
+                    brownout ? "   BROWNED-OUT" : "",
+                    restarts != 0
+                        ? ("   restarts " + std::to_string(restarts)).c_str()
+                        : "");
+      out += brownout ? ansi::styled(ansi::fg256(203), ol, use_ansi)
+                      : std::string(ol);
+    }
+
     if (cache != nullptr) {
       const std::uint64_t hits = cache->get_u64("hits", 0);
       const std::uint64_t misses = cache->get_u64("misses", 0);
